@@ -1,0 +1,106 @@
+//! Experiment CLI — regenerates every table and figure of the paper's
+//! evaluation plus the workspace ablations.
+//!
+//! ```text
+//! experiments all
+//! experiments fig3 fig6 abl-spanner
+//! experiments table2 --full          # include the expensive OPT 9x9 row
+//! experiments fig8 --quick           # reduced workloads
+//! experiments all --out results/     # CSV mirror directory
+//! ```
+
+use geoind_bench::config::Config;
+use geoind_bench::exp;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = Config::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut iter = args.into_iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--full" => cfg.full = true,
+            "--queries" => {
+                cfg.queries = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--queries needs a positive integer"));
+            }
+            "--seed" => {
+                cfg.seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                cfg.out_dir = iter
+                    .next()
+                    .map(Into::into)
+                    .unwrap_or_else(|| die("--out needs a directory"));
+            }
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            name if name.starts_with("--") => die(&format!("unknown flag {name}")),
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        print_help();
+        return;
+    }
+    if names.iter().any(|n| n == "all") {
+        names = exp::ALL.iter().map(|s| s.to_string()).collect();
+    }
+    for n in &names {
+        if !exp::ALL.contains(&n.as_str()) {
+            die(&format!("unknown experiment '{n}'; known: all {}", exp::ALL.join(" ")));
+        }
+    }
+
+    println!(
+        "# geoind experiments: {} (queries={}, seed={}, quick={}, full={})\n",
+        names.join(" "),
+        cfg.effective_queries(),
+        cfg.seed,
+        cfg.quick,
+        cfg.full
+    );
+    for name in names {
+        let t = Instant::now();
+        println!("## {name}");
+        let tables = exp::run(&name, &cfg);
+        let mut charts = exp::charts::charts_for(&name, &tables);
+        charts.resize(tables.len(), None);
+        for (table, chart) in tables.iter().zip(charts) {
+            table.print();
+            if let Some(chart) = chart {
+                println!("{chart}");
+            }
+            let path = cfg.out_dir.join(format!("{}.csv", table.file_stem()));
+            if let Err(e) = table.write_csv(&path) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("(csv: {})", path.display());
+            }
+            println!();
+        }
+        println!("## {name} done in {:.1}s\n", t.elapsed().as_secs_f64());
+    }
+}
+
+fn print_help() {
+    println!(
+        "usage: experiments [EXPERIMENT...] [--quick] [--full] [--queries N] [--seed S] [--out DIR]\n\
+         experiments: all {}",
+        exp::ALL.join(" ")
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

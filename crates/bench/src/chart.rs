@@ -1,0 +1,151 @@
+//! Minimal ASCII line charts for the figure experiments.
+//!
+//! The paper's artifacts are *figures*; the CLI renders each one as a small
+//! terminal plot next to the numeric table so trends (the Fig. 6 gap, the
+//! Fig. 8 "U", the Fig. 10 flattening) are visible at a glance without
+//! leaving the shell.
+
+/// One named data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points, any order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Plot dimensions (plot area, excluding axes/labels).
+const WIDTH: usize = 56;
+const HEIGHT: usize = 12;
+const MARKS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Render series into a text chart with axes and a legend.
+///
+/// Returns an empty string when there is nothing plottable (no series or a
+/// degenerate value range), so callers can print unconditionally.
+pub fn render(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    let pts: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if pts.is_empty() {
+        return String::new();
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if !(x1 - x0).is_finite() || !(y1 - y0).is_finite() || x1 <= x0 {
+        return String::new();
+    }
+    if y1 <= y0 {
+        // Flat line: pad the range so it renders mid-chart.
+        y0 -= 0.5;
+        y1 += 0.5;
+    }
+    let mut grid = vec![vec![' '; WIDTH]; HEIGHT];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x - x0) / (x1 - x0)) * (WIDTH - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (HEIGHT - 1) as f64).round() as usize;
+            let row = HEIGHT - 1 - cy.min(HEIGHT - 1);
+            let col = cx.min(WIDTH - 1);
+            // Later series overwrite; collisions show the last mark.
+            grid[row][col] = mark;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    let ytop = format!("{y1:.2}");
+    let ybot = format!("{y0:.2}");
+    let margin = ytop.len().max(ybot.len());
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{ytop:>margin$}")
+        } else if r == HEIGHT - 1 {
+            format!("{ybot:>margin$}")
+        } else {
+            " ".repeat(margin)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(margin));
+    out.push('+');
+    out.push_str(&"-".repeat(WIDTH));
+    out.push('\n');
+    let x0_label = format!("{x0:.2}");
+    let x1_label = format!("{x1:.2} ({x_label})");
+    out.push_str(&format!(
+        "{}{x0_label:<w$}{x1_label}\n",
+        " ".repeat(margin + 1),
+        w = WIDTH - 12
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", MARKS[i % MARKS.len()], s.name))
+        .collect();
+    out.push_str(&format!("  [{y_label}]  {}\n", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(name: &str, f: impl Fn(f64) -> f64) -> Series {
+        Series {
+            name: name.into(),
+            points: (0..=10).map(|i| (i as f64, f(i as f64))).collect(),
+        }
+    }
+
+    #[test]
+    fn renders_axes_and_legend() {
+        let chart = render(
+            "demo",
+            "eps",
+            "km",
+            &[line("up", |x| x), line("down", |x| 10.0 - x)],
+        );
+        assert!(chart.contains("demo"));
+        assert!(chart.contains("* up"));
+        assert!(chart.contains("o down"));
+        assert!(chart.contains("10.00")); // y max label
+        assert!(chart.contains("(eps)"));
+        // All chart rows share the same width.
+        let rows: Vec<&str> = chart.lines().filter(|l| l.contains('|')).collect();
+        assert_eq!(rows.len(), HEIGHT);
+    }
+
+    #[test]
+    fn increasing_series_slopes_up() {
+        let chart = render("t", "x", "y", &[line("s", |x| x)]);
+        let rows: Vec<&str> = chart.lines().filter(|l| l.contains('|')).collect();
+        let col_of = |row: &str| row.find('*');
+        // Topmost mark is to the right of the bottommost mark.
+        let top = rows.iter().find_map(|r| col_of(r)).unwrap();
+        let bottom = rows.iter().rev().find_map(|r| col_of(r)).unwrap();
+        assert!(top > bottom, "top {top} vs bottom {bottom}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs_render_nothing() {
+        assert_eq!(render("t", "x", "y", &[]), "");
+        let single_x = Series { name: "s".into(), points: vec![(1.0, 2.0), (1.0, 3.0)] };
+        assert_eq!(render("t", "x", "y", &[single_x]), "");
+    }
+
+    #[test]
+    fn flat_series_still_renders() {
+        let flat = Series { name: "f".into(), points: vec![(0.0, 2.0), (5.0, 2.0)] };
+        let chart = render("t", "x", "y", &[flat]);
+        assert!(chart.contains('*'));
+    }
+}

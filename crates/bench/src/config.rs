@@ -1,0 +1,58 @@
+//! Shared experiment configuration.
+
+use std::path::PathBuf;
+
+/// Knobs shared by every experiment runner.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Queries per measurement (paper: 3,000).
+    pub queries: usize,
+    /// Base RNG seed; every sub-measurement derives from it.
+    pub seed: u64,
+    /// Directory for CSV mirrors of the printed tables.
+    pub out_dir: PathBuf,
+    /// Run reduced workloads (CI-friendly).
+    pub quick: bool,
+    /// Include the very expensive configurations (e.g. the OPT 9×9 row of
+    /// Table 2, Figure 3 up to g=7).
+    pub full: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            queries: 3_000,
+            seed: 0x9E01_2019,
+            out_dir: PathBuf::from("results"),
+            quick: false,
+            full: false,
+        }
+    }
+}
+
+impl Config {
+    /// A fast configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self { queries: 200, quick: true, ..Self::default() }
+    }
+
+    /// Effective query count (reduced under `--quick`).
+    pub fn effective_queries(&self) -> usize {
+        if self.quick {
+            self.queries.min(300)
+        } else {
+            self.queries
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_reduces_queries() {
+        assert!(Config::quick().effective_queries() <= 300);
+        assert_eq!(Config::default().effective_queries(), 3_000);
+    }
+}

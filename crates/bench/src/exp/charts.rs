@@ -1,0 +1,109 @@
+//! Derive terminal charts from the figure tables.
+//!
+//! The figure runners emit numeric tables with the x-variable in the first
+//! column and one series per subsequent numeric column (auxiliary columns
+//! like index heights are excluded by name). This module turns those tables
+//! back into the line plots the paper prints.
+
+use crate::chart::{render, Series};
+use crate::report::Table;
+
+/// Build charts for an experiment's tables, aligned one entry per table
+/// (`None` where a table is not plottable). Non-figure experiments yield
+/// an empty vector.
+pub fn charts_for(experiment: &str, tables: &[Table]) -> Vec<Option<String>> {
+    let (x_label, y_label) = match experiment {
+        "fig3" => ("g", "km / seconds"),
+        "fig5" => ("g", "Pr[x|x]"),
+        "fig6" | "fig8" | "fig10" => ("x", "km"),
+        "fig7" | "fig9" | "fig11" => ("x", "km^2"),
+        _ => return Vec::new(),
+    };
+    tables.iter().map(|t| table_chart(t, x_label, y_label)).collect()
+}
+
+/// Convert one table to a chart: first column = x, numeric columns whose
+/// header is not an auxiliary (`h(...)`, `*_err`, counts/times) = series.
+fn table_chart(table: &Table, x_label: &str, y_label: &str) -> Option<String> {
+    let headers = table.headers();
+    if headers.len() < 2 || table.rows().is_empty() {
+        return None;
+    }
+    let xs: Vec<f64> = table
+        .rows()
+        .iter()
+        .map(|r| r[0].parse::<f64>())
+        .collect::<Result<_, _>>()
+        .ok()?;
+    let mut series = Vec::new();
+    for (ci, h) in headers.iter().enumerate().skip(1) {
+        if is_auxiliary(h) {
+            continue;
+        }
+        let mut points = Vec::new();
+        for (ri, row) in table.rows().iter().enumerate() {
+            if let Ok(y) = row[ci].parse::<f64>() {
+                points.push((xs[ri], y));
+            }
+        }
+        if points.len() >= 2 {
+            series.push(Series { name: h.clone(), points });
+        }
+    }
+    if series.is_empty() {
+        return None;
+    }
+    let chart = render(&table.title, x_label, y_label, &series);
+    (!chart.is_empty()).then_some(chart)
+}
+
+fn is_auxiliary(header: &str) -> bool {
+    header.starts_with("h(")
+        || header.starts_with("msm_h")
+        || header.ends_with("_err")
+        || header.contains("time")
+        || header.contains("pivot")
+        || header.contains("rows")
+        || header.contains("cells")
+        || header.contains("ms_per_query")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig_like_table() -> Table {
+        let mut t = Table::new("Fig X", &["eps", "PL g=4", "MSM g=4", "msm_h(g4)"]);
+        t.push(vec!["0.1".into(), "8.7".into(), "4.6".into(), "1".into()]);
+        t.push(vec!["0.5".into(), "4.2".into(), "3.1".into(), "1".into()]);
+        t.push(vec!["0.9".into(), "2.2".into(), "2.2".into(), "2".into()]);
+        t
+    }
+
+    #[test]
+    fn figure_tables_become_charts() {
+        let charts = charts_for("fig6", &[fig_like_table()]);
+        assert_eq!(charts.len(), 1);
+        let chart = charts[0].as_deref().unwrap();
+        assert!(chart.contains("PL g=4"));
+        assert!(chart.contains("MSM g=4"));
+        // The auxiliary height column is not plotted.
+        assert!(!chart.contains("msm_h"));
+    }
+
+    #[test]
+    fn non_figure_experiments_yield_none() {
+        assert!(charts_for("table2", &[fig_like_table()]).is_empty());
+        assert!(charts_for("abl-cache", &[fig_like_table()]).is_empty());
+    }
+
+    #[test]
+    fn non_numeric_first_column_yields_aligned_none() {
+        let mut t = Table::new("T", &["strategy", "loss"]);
+        t.push(vec!["Auto".into(), "2.5".into()]);
+        let charts = charts_for("fig6", &[t, fig_like_table()]);
+        assert_eq!(charts.len(), 2);
+        assert!(charts[0].is_none());
+        assert!(charts[1].is_some());
+    }
+}

@@ -1,0 +1,67 @@
+//! Figures 10 and 11 — utility loss of MSM as the self-map target ρ varies.
+//!
+//! For both datasets, `ρ ∈ {0.5..0.9}` and `g ∈ {2, 4, 6}` at `ε = 0.5`,
+//! under the Euclidean (Fig. 10) and squared Euclidean (Fig. 11) metrics.
+//! Expected shape: a clear decreasing trend at `g = 2` (smooth level
+//! transitions); non-monotone at `g = 4` (budget starvation past a point);
+//! roughly flat at `g = 6` (starvation everywhere — a single level gets the
+//! entire budget regardless of ρ).
+
+use crate::config::Config;
+use crate::exp::fig8_9;
+use crate::report::{fnum, Table};
+use crate::workloads::{cities, City};
+use geoind_core::metrics::QualityMetric;
+
+/// The ρ sweep.
+pub const RHOS: [f64; 5] = [0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// The granularities plotted as separate lines.
+pub const GS: [u32; 3] = [2, 4, 6];
+
+/// Run for one quality metric (Fig. 10 = Euclidean, Fig. 11 = squared).
+pub fn run(cfg: &Config, metric: QualityMetric) -> Vec<Table> {
+    let fig = if metric == QualityMetric::Euclidean { "Fig 10" } else { "Fig 11" };
+    cities(cfg).iter().map(|c| one_city(cfg, c, metric, fig)).collect()
+}
+
+fn one_city(cfg: &Config, city: &City, metric: QualityMetric, fig: &str) -> Table {
+    let gs: &[u32] = if cfg.quick { &GS[..2] } else { &GS };
+    let mut headers: Vec<String> = vec!["rho".into()];
+    headers.extend(gs.iter().map(|g| format!("g={g}")));
+    headers.extend(gs.iter().map(|g| format!("h(g={g})")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        format!("{fig}: MSM utility loss ({}) vs rho, {} dataset (eps=0.5)", metric.unit(), city.name),
+        &header_refs,
+    );
+    for (i, &rho) in RHOS.iter().enumerate() {
+        let mut losses = Vec::new();
+        let mut heights = Vec::new();
+        for &g in gs {
+            let (loss, h) =
+                fig8_9::measure_msm(city, g, rho, metric, cfg.seed + 91 + i as u64);
+            losses.push(fnum(loss));
+            heights.push(h.to_string());
+        }
+        let mut cells = vec![fnum(rho)];
+        cells.extend(losses);
+        cells.extend(heights);
+        table.push(cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_covers_all_rhos() {
+        let mut cfg = Config::quick();
+        cfg.queries = 60;
+        let tables = run(&cfg, QualityMetric::Euclidean);
+        assert_eq!(tables.len(), 2); // both datasets
+        assert_eq!(tables[0].len(), RHOS.len());
+    }
+}

@@ -1,0 +1,82 @@
+//! Figures 8 and 9 — utility loss of MSM as the granularity varies.
+//!
+//! For both datasets, `g ∈ {2..6}` and `ρ ∈ {0.5, 0.7, 0.9}` at `ε = 0.5`,
+//! under the Euclidean (Fig. 8) and squared Euclidean (Fig. 9) metrics.
+//! Expected shape: a "U" — loss falls as the grid refines, then rises once
+//! high granularity forces cross-cell reports and budget starvation at the
+//! lower levels.
+
+use crate::config::Config;
+use crate::report::{fnum, Table};
+use crate::workloads::{cities, msm_prior, City};
+use geoind_core::metrics::QualityMetric;
+use geoind_core::msm::MsmMechanism;
+
+/// Total budget used by the figures.
+pub const EPS: f64 = 0.5;
+
+/// The ρ settings plotted as separate lines.
+pub const RHOS: [f64; 3] = [0.5, 0.7, 0.9];
+
+/// Run for one quality metric (Fig. 8 = Euclidean, Fig. 9 = squared).
+pub fn run(cfg: &Config, metric: QualityMetric) -> Vec<Table> {
+    let fig = if metric == QualityMetric::Euclidean { "Fig 8" } else { "Fig 9" };
+    let max_g = if cfg.quick { 4 } else { 6 };
+    cities(cfg).iter().map(|c| one_city(cfg, c, metric, fig, max_g)).collect()
+}
+
+fn one_city(cfg: &Config, city: &City, metric: QualityMetric, fig: &str, max_g: u32) -> Table {
+    let mut table = Table::new(
+        format!("{fig}: MSM utility loss ({}) vs granularity, {} dataset (eps=0.5)", metric.unit(), city.name),
+        &["g", "rho=0.5", "rho=0.7", "rho=0.9", "h(0.5)", "h(0.7)", "h(0.9)"],
+    );
+    for g in 2..=max_g {
+        let mut losses = Vec::new();
+        let mut heights = Vec::new();
+        for (i, &rho) in RHOS.iter().enumerate() {
+            let (loss, h) = measure_msm(city, g, rho, metric, cfg.seed + 57 + i as u64);
+            losses.push(fnum(loss));
+            heights.push(h.to_string());
+        }
+        let mut cells = vec![g.to_string()];
+        cells.extend(losses);
+        cells.extend(heights);
+        table.push(cells);
+    }
+    table
+}
+
+/// Build and measure one MSM configuration; returns `(loss, height)`.
+pub fn measure_msm(
+    city: &City,
+    g: u32,
+    rho: f64,
+    metric: QualityMetric,
+    seed: u64,
+) -> (f64, u32) {
+    let msm = MsmMechanism::builder(city.dataset.domain(), msm_prior(&city.dataset, g))
+        .epsilon(EPS)
+        .granularity(g)
+        .rho(rho)
+        .metric(metric)
+        .build()
+        .expect("valid MSM config");
+    let loss = city.evaluator.measure(&msm, metric, seed).mean_loss;
+    (loss, msm.height())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::cities;
+
+    #[test]
+    fn g2_produces_multi_level_index_at_default_eps() {
+        let mut cfg = Config::quick();
+        cfg.queries = 100;
+        let city = cities(&cfg).into_iter().next().unwrap();
+        let (loss, h) = measure_msm(&city, 2, 0.7, QualityMetric::Euclidean, 3);
+        assert!(h >= 2, "g=2 at eps=0.5 should afford multiple levels, got h={h}");
+        assert!(loss > 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! One module per reproduced table/figure, plus the ablations.
+//!
+//! Every runner takes the shared [`Config`] and
+//! returns the tables it produced; the CLI prints them and mirrors them to
+//! CSV.
+
+pub mod ablations;
+pub mod charts;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6_7;
+pub mod fig8_9;
+pub mod fig10_11;
+pub mod table2;
+
+use crate::config::Config;
+use crate::report::Table;
+
+/// All experiment names understood by the CLI, in run order for `all`.
+pub const ALL: &[&str] = &[
+    "fig3", "fig5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "abl-alloc",
+    "abl-spanner", "abl-index", "abl-remap", "abl-cache",
+];
+
+/// Dispatch one experiment by name.
+///
+/// # Panics
+/// Panics on an unknown experiment name (the CLI validates first).
+pub fn run(name: &str, cfg: &Config) -> Vec<Table> {
+    match name {
+        "fig3" => fig3::run(cfg),
+        "fig5" => fig5::run(cfg),
+        "table2" => table2::run(cfg),
+        "fig6" => fig6_7::run(cfg, geoind_core::metrics::QualityMetric::Euclidean),
+        "fig7" => fig6_7::run(cfg, geoind_core::metrics::QualityMetric::SqEuclidean),
+        "fig8" => fig8_9::run(cfg, geoind_core::metrics::QualityMetric::Euclidean),
+        "fig9" => fig8_9::run(cfg, geoind_core::metrics::QualityMetric::SqEuclidean),
+        "fig10" => fig10_11::run(cfg, geoind_core::metrics::QualityMetric::Euclidean),
+        "fig11" => fig10_11::run(cfg, geoind_core::metrics::QualityMetric::SqEuclidean),
+        "abl-alloc" => ablations::alloc(cfg),
+        "abl-spanner" => ablations::spanner(cfg),
+        "abl-index" => ablations::index(cfg),
+        "abl-remap" => ablations::remap(cfg),
+        "abl-cache" => ablations::cache(cfg),
+        other => panic!("unknown experiment: {other}"),
+    }
+}

@@ -1,0 +1,99 @@
+//! Table 2 — MSM vs OPT at matched effective granularity (Gowalla, ε=0.5).
+//!
+//! Paper rows: OPT on a `4×4` / `9×9` / `16×16` grid against MSM with
+//! `g = 2 / 3 / 4` and two levels (so the leaf level matches OPT's grid).
+//! The paper could not finish OPT at `16×16` within 72 hours; we keep the
+//! same row with OPT marked as skipped. OPT at `9×9` (81 locations,
+//! ~0.5 M constraints) takes tens of minutes on this solver and runs only
+//! under `--full`.
+
+use crate::config::Config;
+use crate::report::{fnum, ftime, Table};
+use crate::workloads::{cities, msm_prior};
+use geoind_core::alloc::AllocationStrategy;
+use geoind_core::eval::Evaluator;
+use geoind_core::metrics::QualityMetric;
+use geoind_core::msm::MsmMechanism;
+use geoind_core::opt::OptimalMechanism;
+use geoind_data::prior::GridPrior;
+use geoind_spatial::grid::Grid;
+use std::time::Instant;
+
+/// Privacy budget for the whole table (paper default).
+pub const EPS: f64 = 0.5;
+
+/// Run the comparison.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let city = cities(cfg).into_iter().next().expect("gowalla city");
+    let mut table = Table::new(
+        "Table 2: MSM vs OPT at matched effective granularity (Gowalla, eps=0.5)",
+        &[
+            "eff_grid",
+            "msm_g",
+            "opt_loss_km",
+            "msm_loss_km",
+            "opt_time",
+            "msm_ms_per_query",
+        ],
+    );
+    for (opt_g, msm_g) in [(4u32, 2u32), (9, 3), (16, 4)] {
+        // OPT side: 4x4 always; 9x9 only under --full; 16x16 never (the
+        // paper's own 72h+ row).
+        let (opt_loss, opt_time) = if opt_g == 4 || (opt_g == 9 && cfg.full) {
+            let grid = Grid::new(city.dataset.domain(), opt_g);
+            let prior = GridPrior::from_dataset(&city.dataset, opt_g);
+            let t = Instant::now();
+            let opt = OptimalMechanism::on_grid(EPS, &grid, &prior, QualityMetric::Euclidean)
+                .expect("OPT feasible");
+            let solve = t.elapsed().as_secs_f64();
+            let r = city.evaluator.measure(&opt, QualityMetric::Euclidean, cfg.seed + 17);
+            (fnum(r.mean_loss), ftime(solve))
+        } else if opt_g == 9 {
+            ("(--full)".into(), "(--full)".into())
+        } else {
+            ("—".into(), "72h+ (paper)".into())
+        };
+        let (msm_loss, msm_time) = measure_msm(&city.evaluator, &city.dataset, msm_g, cfg);
+        table.push(vec![
+            format!("{opt_g}x{opt_g}"),
+            msm_g.to_string(),
+            opt_loss,
+            msm_loss,
+            opt_time,
+            msm_time,
+        ]);
+    }
+    vec![table]
+}
+
+fn measure_msm(
+    evaluator: &Evaluator,
+    dataset: &geoind_data::checkin::Dataset,
+    g: u32,
+    cfg: &Config,
+) -> (String, String) {
+    let msm = MsmMechanism::builder(dataset.domain(), msm_prior(dataset, g))
+        .epsilon(EPS)
+        .granularity(g)
+        .rho(0.8)
+        .strategy(AllocationStrategy::FixedHeight(2))
+        .build()
+        .expect("valid MSM config");
+    let r = evaluator.measure(&msm, QualityMetric::Euclidean, cfg.seed + 18 + g as u64);
+    (fnum(r.mean_loss), fnum(r.mean_time_s * 1e3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msm_side_runs_quickly() {
+        let mut cfg = Config::quick();
+        cfg.queries = 50;
+        let city = cities(&cfg).into_iter().next().unwrap();
+        let (loss, _) = measure_msm(&city.evaluator, &city.dataset, 2, &cfg);
+        let v: f64 = loss.parse().unwrap();
+        assert!(v > 0.0 && v < 15.0, "implausible loss {v}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (Section 6), plus the ablations called out in DESIGN.md.
+//!
+//! Each experiment is a function from a [`config::Config`] to one or more
+//! [`report::Table`]s, printed to stdout and mirrored as CSV under the
+//! output directory. The `experiments` binary is the CLI front-end:
+//!
+//! ```text
+//! experiments all                 # everything at default scale
+//! experiments fig3 fig5 table2    # a subset
+//! experiments fig6 --quick        # smaller workloads, faster
+//! experiments table2 --full       # include the very expensive OPT rows
+//! ```
+
+#![warn(missing_docs)]
+// Index-based loops over parallel arrays are the clearest style for the
+// numeric kernels here; the iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+// Test reference constants keep full printed precision from their sources.
+#![allow(clippy::excessive_precision)]
+
+pub mod chart;
+pub mod config;
+pub mod exp;
+pub mod report;
+pub mod workloads;

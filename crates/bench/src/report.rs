@@ -1,0 +1,205 @@
+//! Plain-text table rendering and CSV mirroring for experiment output.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A simple titled table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (also used for the CSV filename by the CLI).
+    pub title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics when the cell count differs from the header count.
+    pub fn push(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text block.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+
+    /// Write a CSV mirror.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "{}", escape_row(&self.headers))?;
+        for row in &self.rows {
+            writeln!(f, "{}", escape_row(row))?;
+        }
+        f.flush()
+    }
+
+    /// Sanitized filename stem derived from the title.
+    pub fn file_stem(&self) -> String {
+        self.title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .collect::<String>()
+            .split('-')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+}
+
+fn escape_row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Format a float with a sensible number of digits for tables.
+pub fn fnum(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Format seconds adaptively (s / ms).
+pub fn ftime(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.2}s")
+    } else {
+        format!("{:.1}ms", seconds * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["g", "loss"]);
+        t.push(vec!["2".into(), "4.3".into()]);
+        t.push(vec!["10".into(), "2.1".into()]);
+        let r = t.render();
+        assert!(r.contains("== Demo =="));
+        assert!(r.lines().count() >= 4);
+        // Right-aligned: the "2" under the wider "10" (line 3 is the first
+        // data row; 0=title, 1=header, 2=separator).
+        let lines: Vec<&str> = r.lines().collect();
+        assert!(lines[3].starts_with(' '));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push(vec!["1,5".into(), "x\"y".into()]);
+        let dir = std::env::temp_dir().join(format!("geoind-csv-{}", std::process::id()));
+        let p = dir.join("t.csv");
+        t.write_csv(&p).unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(s.lines().next().unwrap(), "a,b");
+        assert!(s.contains("\"1,5\""));
+        assert!(s.contains("\"x\"\"y\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_stem_sanitizes() {
+        let t = Table::new("Fig 6a: Gowalla (d)", &["x"]);
+        assert_eq!(t.file_stem(), "fig-6a-gowalla-d");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(2.34567), "2.346");
+        assert_eq!(fnum(0.1234567), "0.1235");
+        assert_eq!(fnum(123.456), "123.5");
+        assert_eq!(ftime(2.5), "2.50s");
+        assert_eq!(ftime(0.0123), "12.3ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+}

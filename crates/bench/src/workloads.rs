@@ -1,0 +1,95 @@
+//! Shared workloads: the two synthetic cities at paper scale, per-granularity
+//! priors, and query sets.
+
+use crate::config::Config;
+use geoind_core::eval::Evaluator;
+use geoind_data::checkin::Dataset;
+use geoind_data::prior::GridPrior;
+use geoind_data::synth::SyntheticCity;
+
+/// One evaluation city: a named dataset plus its query workload.
+pub struct City {
+    /// Display name used in table titles ("Gowalla" / "Yelp").
+    pub name: &'static str,
+    /// The check-in dataset.
+    pub dataset: Dataset,
+    /// The fixed query workload sampled from the check-ins.
+    pub evaluator: Evaluator,
+}
+
+/// Build the two evaluation cities. Paper scale by default
+/// (265,571 / 81,201 check-ins); reduced under `--quick`.
+pub fn cities(cfg: &Config) -> Vec<City> {
+    let (austin, vegas) = if cfg.quick {
+        (
+            SyntheticCity::austin_like().generate_with_size(30_000, 3_000),
+            SyntheticCity::vegas_like().generate_with_size(12_000, 1_500),
+        )
+    } else {
+        (SyntheticCity::austin_like().generate(), SyntheticCity::vegas_like().generate())
+    };
+    let q = cfg.effective_queries();
+    vec![
+        City {
+            name: "Gowalla",
+            evaluator: Evaluator::sample_from(&austin, q, cfg.seed),
+            dataset: austin,
+        },
+        City {
+            name: "Yelp",
+            evaluator: Evaluator::sample_from(&vegas, q, cfg.seed + 1),
+            dataset: vegas,
+        },
+    ]
+}
+
+/// The fine prior granularity used for MSM at per-level granularity `g`:
+/// chosen so every effective granularity `g^i` the allocator can reach at
+/// ε ≤ 1 divides it exactly, making the restricted sub-priors exact.
+pub fn fine_granularity_for(g: u32) -> u32 {
+    match g {
+        2 => 32, // heights up to 5
+        3 => 27, // up to 3
+        4 => 16, // up to 2
+        5 => 25, // up to 2
+        6 => 36, // up to 2
+        _ => g * g,
+    }
+}
+
+/// The global prior for MSM runs at per-level granularity `g` (Section 6.1:
+/// finest effective granularity, aggregated on demand).
+pub fn msm_prior(dataset: &Dataset, g: u32) -> GridPrior {
+    GridPrior::from_dataset(dataset, fine_granularity_for(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cities_are_smaller() {
+        let quick = cities(&Config::quick());
+        assert_eq!(quick.len(), 2);
+        assert_eq!(quick[0].name, "Gowalla");
+        assert!(quick[0].dataset.len() <= 30_000);
+        assert_eq!(quick[0].evaluator.queries().len(), 200);
+    }
+
+    #[test]
+    fn fine_granularities_divide_effective() {
+        // g=2 can reach h=5 (eff 32), g=3 h=3 (27), others h=2.
+        assert_eq!(fine_granularity_for(2) % 32, 0);
+        assert_eq!(fine_granularity_for(3) % 27, 0);
+        assert_eq!(fine_granularity_for(4) % 16, 0);
+        assert_eq!(fine_granularity_for(5) % 25, 0);
+        assert_eq!(fine_granularity_for(6) % 36, 0);
+    }
+
+    #[test]
+    fn msm_prior_has_expected_granularity() {
+        let ds = SyntheticCity::vegas_like().generate_with_size(1_000, 100);
+        let p = msm_prior(&ds, 4);
+        assert_eq!(p.grid().granularity(), 16);
+    }
+}

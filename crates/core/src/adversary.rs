@@ -1,0 +1,191 @@
+//! Bayesian adversary against a known channel.
+//!
+//! GeoInd bounds the *multiplicative* knowledge gain of any adversary. This
+//! module makes the attack concrete: given the adversary's prior `Π` and
+//! the (public) channel `K`, compute the posterior `P(x | z)` and the
+//! optimal remapping attack, and measure the expected inference error —
+//! the standard evaluation companion to utility loss.
+
+use crate::channel::Channel;
+use crate::metrics::QualityMetric;
+use geoind_spatial::geom::Point;
+
+/// A Bayesian adversary with a prior over the channel's input locations.
+#[derive(Debug, Clone)]
+pub struct BayesianAdversary {
+    prior: Vec<f64>,
+}
+
+impl BayesianAdversary {
+    /// Create an adversary with the given (normalized internally) prior.
+    ///
+    /// # Panics
+    /// Panics on negative weights or an all-zero prior.
+    pub fn new(prior: Vec<f64>) -> Self {
+        let total: f64 = prior
+            .iter()
+            .map(|&p| {
+                assert!(p >= 0.0 && p.is_finite(), "invalid prior weight {p}");
+                p
+            })
+            .sum();
+        assert!(total > 0.0, "prior must have positive mass");
+        Self { prior: prior.into_iter().map(|p| p / total).collect() }
+    }
+
+    /// The adversary's normalized prior.
+    pub fn prior(&self) -> &[f64] {
+        &self.prior
+    }
+
+    /// Posterior `P(x | z)` over the channel's inputs after observing
+    /// output index `z`. Returns `None` when `z` has zero marginal
+    /// probability under this prior (the observation is impossible).
+    ///
+    /// # Panics
+    /// Panics if the prior length does not match the channel's inputs.
+    pub fn posterior(&self, channel: &Channel, z: usize) -> Option<Vec<f64>> {
+        assert_eq!(self.prior.len(), channel.num_inputs(), "prior/channel mismatch");
+        let mut post: Vec<f64> =
+            (0..channel.num_inputs()).map(|x| self.prior[x] * channel.prob(x, z)).collect();
+        let total: f64 = post.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        for p in &mut post {
+            *p /= total;
+        }
+        Some(post)
+    }
+
+    /// The Bayes-optimal point estimate after observing `z`: the candidate
+    /// input minimizing posterior-expected loss under `metric`.
+    pub fn optimal_guess(
+        &self,
+        channel: &Channel,
+        z: usize,
+        metric: QualityMetric,
+    ) -> Option<Point> {
+        let post = self.posterior(channel, z)?;
+        let inputs = channel.inputs();
+        let mut best: Option<(f64, Point)> = None;
+        for &cand in inputs {
+            let risk: f64 = post
+                .iter()
+                .zip(inputs)
+                .map(|(&p, &x)| p * metric.loss(cand, x))
+                .sum();
+            if best.is_none_or(|(b, _)| risk < b) {
+                best = Some((risk, cand));
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    /// Expected inference error of the optimal remapping attack:
+    /// `Σ_x Π(x) Σ_z K(x)(z) · metric(x, guess(z))`. Larger is better for
+    /// the user.
+    pub fn expected_error(&self, channel: &Channel, metric: QualityMetric) -> f64 {
+        let n = channel.num_inputs();
+        let m = channel.num_outputs();
+        let guesses: Vec<Option<Point>> =
+            (0..m).map(|z| self.optimal_guess(channel, z, metric)).collect();
+        let mut total = 0.0;
+        for x in 0..n {
+            if self.prior[x] == 0.0 {
+                continue;
+            }
+            for (z, guess) in guesses.iter().enumerate() {
+                let p = channel.prob(x, z);
+                if p > 0.0 {
+                    if let Some(g) = guess {
+                        total += self.prior[x] * p * metric.loss(channel.inputs()[x], *g);
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// The adversary's *prior* expected error (best guess before seeing any
+    /// output) — the baseline the channel's noise is measured against.
+    pub fn prior_error(&self, channel: &Channel, metric: QualityMetric) -> f64 {
+        let inputs = channel.inputs();
+        let mut best = f64::INFINITY;
+        for &cand in inputs {
+            let risk: f64 = self
+                .prior
+                .iter()
+                .zip(inputs)
+                .map(|(&p, &x)| p * metric.loss(cand, x))
+                .sum();
+            best = best.min(risk);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel2(stay: f64) -> Channel {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+        Channel::new(pts.clone(), pts, vec![stay, 1.0 - stay, 1.0 - stay, stay])
+    }
+
+    #[test]
+    fn posterior_bayes_rule() {
+        let c = channel2(0.8);
+        let adv = BayesianAdversary::new(vec![0.5, 0.5]);
+        let post = adv.posterior(&c, 0).unwrap();
+        assert!((post[0] - 0.8).abs() < 1e-12);
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Skewed prior shifts the posterior.
+        let adv = BayesianAdversary::new(vec![0.9, 0.1]);
+        let post = adv.posterior(&c, 0).unwrap();
+        assert!(post[0] > 0.95);
+    }
+
+    #[test]
+    fn impossible_observation_is_none() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let c = Channel::new(pts.clone(), pts, vec![1.0, 0.0, 1.0, 0.0]);
+        let adv = BayesianAdversary::new(vec![0.5, 0.5]);
+        assert!(adv.posterior(&c, 1).is_none());
+    }
+
+    #[test]
+    fn optimal_guess_follows_posterior_mode_for_two_points() {
+        let c = channel2(0.9);
+        let adv = BayesianAdversary::new(vec![0.5, 0.5]);
+        assert_eq!(adv.optimal_guess(&c, 0, QualityMetric::Euclidean), Some(Point::new(0.0, 0.0)));
+        assert_eq!(adv.optimal_guess(&c, 1, QualityMetric::Euclidean), Some(Point::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn noisier_channel_increases_adversary_error() {
+        let adv = BayesianAdversary::new(vec![0.5, 0.5]);
+        let sharp = adv.expected_error(&channel2(0.95), QualityMetric::Euclidean);
+        let noisy = adv.expected_error(&channel2(0.6), QualityMetric::Euclidean);
+        assert!(noisy > sharp, "noisy {noisy} vs sharp {sharp}");
+    }
+
+    #[test]
+    fn prior_error_is_upper_bound_on_posterior_attack() {
+        // Observing the channel can only help the adversary.
+        let adv = BayesianAdversary::new(vec![0.3, 0.7]);
+        for stay in [0.5, 0.7, 0.9] {
+            let c = channel2(stay);
+            let post = adv.expected_error(&c, QualityMetric::Euclidean);
+            let prior = adv.prior_error(&c, QualityMetric::Euclidean);
+            assert!(post <= prior + 1e-12, "stay={stay}: {post} > {prior}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn zero_prior_rejected() {
+        BayesianAdversary::new(vec![0.0, 0.0]);
+    }
+}

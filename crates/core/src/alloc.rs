@@ -1,0 +1,315 @@
+//! Budget allocation across index levels (paper Section 5, Algorithm 2).
+//!
+//! For each level `i` of the hierarchical grid the allocator solves the
+//! paper's **Problem 1**: the minimum budget `ε_i` such that the self-map
+//! probability estimate `Φ(ε_i) = 1/T(ε_i·L/gⁱ)` reaches the target `ρ`.
+//! Because errors near the root cost `g×` more utility than errors near the
+//! leaves, upper levels are funded first; the published pseudocode's
+//! `max{solution, υ}` is read as `min` (take the computed minimum, capped by
+//! the remaining budget) — see DESIGN.md.
+//!
+//! Besides the paper's [`AllocationStrategy::Auto`], two more strategies
+//! support the evaluation: [`AllocationStrategy::FixedHeight`] (needed to
+//! match OPT's effective granularity in Table 2) and
+//! [`AllocationStrategy::Uniform`] (an ablation baseline).
+
+use geoind_math::lattice::self_map_probability;
+use geoind_math::roots::bisect_increasing;
+
+/// How the total budget is split across levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AllocationStrategy {
+    /// Algorithm 2: fund levels top-down at their Problem-1 minimum until
+    /// the budget runs out; the final level absorbs the remainder. The
+    /// height cap bounds the index depth (and the effective granularity
+    /// `g^h`).
+    Auto {
+        /// Maximum index height.
+        max_height: u32,
+    },
+    /// Exactly `h` levels: greedy top-down as in Auto with the leaf taking
+    /// the remainder; if the greedy pass would starve a level to zero, fall
+    /// back to an *impact-weighted* split `ε_i ∝ g^{h−i}` (an error at
+    /// level `i` costs `g×` more utility than at level `i+1`, the paper's
+    /// Section-5 observation, so upper levels keep the lion's share).
+    FixedHeight(u32),
+    /// Exactly `h` levels with `ε/h` each (ablation baseline).
+    Uniform(u32),
+}
+
+impl Default for AllocationStrategy {
+    fn default() -> Self {
+        AllocationStrategy::Auto { max_height: 5 }
+    }
+}
+
+/// The result of an allocation: one budget per level, summing to the input.
+#[derive(Debug, Clone)]
+pub struct LevelBudgets {
+    budgets: Vec<f64>,
+    needed: Vec<f64>,
+}
+
+impl LevelBudgets {
+    /// Index height `h` (number of levels).
+    pub fn height(&self) -> u32 {
+        self.budgets.len() as u32
+    }
+
+    /// Budget of level `i` (1-based, as in the paper).
+    pub fn level(&self, i: u32) -> f64 {
+        assert!(i >= 1 && i <= self.height(), "level {i} out of range");
+        self.budgets[(i - 1) as usize]
+    }
+
+    /// All budgets, level 1 first.
+    pub fn budgets(&self) -> &[f64] {
+        &self.budgets
+    }
+
+    /// The Problem-1 minimum for each level (diagnostics).
+    pub fn needed(&self) -> &[f64] {
+        &self.needed
+    }
+
+    /// Total budget (equals the `ε` passed to the allocator).
+    pub fn total(&self) -> f64 {
+        self.budgets.iter().sum()
+    }
+}
+
+/// Budget allocator for a `g`-ary hierarchical grid over a square region.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetAllocator {
+    region_side: f64,
+    g: u32,
+    rho: f64,
+}
+
+impl BudgetAllocator {
+    /// Create an allocator.
+    ///
+    /// # Panics
+    /// Panics unless `region_side > 0`, `g ≥ 2` and `ρ ∈ (0, 1)`.
+    pub fn new(region_side: f64, g: u32, rho: f64) -> Self {
+        assert!(region_side > 0.0, "region side must be positive");
+        assert!(g >= 2, "granularity must be >= 2");
+        assert!(rho > 0.0 && rho < 1.0, "rho must be in (0,1), got {rho}");
+        Self { region_side, g, rho }
+    }
+
+    /// Target self-map probability `ρ`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Solve Problem 1 for level `i` (1-based): the minimum `ε` with
+    /// `Φ(ε) ≥ ρ` on the `g×g` grid refining a level-`(i−1)` cell. Grows
+    /// geometrically (`×g`) with the level, since the cell side shrinks by
+    /// `g` per level.
+    pub fn min_budget_for_level(&self, level: u32) -> f64 {
+        assert!(level >= 1, "levels are 1-based");
+        // Cell side at this level: L / g^level.
+        let side = self.region_side / (self.g as f64).powi(level as i32 - 1);
+        bisect_increasing(
+            |eps| self_map_probability(eps, side, self.g),
+            self.rho,
+            0.1,
+            1e9,
+            1e-10,
+        )
+        .expect("Phi approaches 1, so a solution always exists")
+    }
+
+    /// Split `eps` across levels according to `strategy`.
+    ///
+    /// # Examples
+    /// ```
+    /// use geoind_core::alloc::{AllocationStrategy, BudgetAllocator};
+    ///
+    /// // 20 km region, 3x3 per-level grid, 80% self-map target.
+    /// let alloc = BudgetAllocator::new(20.0, 3, 0.8);
+    /// let budgets = alloc.allocate(0.5, AllocationStrategy::Auto { max_height: 5 });
+    /// assert_eq!(budgets.height(), 2);                 // the paper's Table-2 regime
+    /// assert!((budgets.total() - 0.5).abs() < 1e-9);   // composability: sums to eps
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `eps <= 0` or the strategy requests a zero height.
+    pub fn allocate(&self, eps: f64, strategy: AllocationStrategy) -> LevelBudgets {
+        assert!(eps > 0.0, "total budget must be positive");
+        match strategy {
+            AllocationStrategy::Auto { max_height } => {
+                assert!(max_height >= 1, "max_height must be >= 1");
+                let mut budgets = Vec::new();
+                let mut needed = Vec::new();
+                let mut remaining = eps;
+                for level in 1..=max_height {
+                    let need = self.min_budget_for_level(level);
+                    needed.push(need);
+                    if need >= remaining || level == max_height {
+                        budgets.push(remaining);
+                        break;
+                    }
+                    budgets.push(need);
+                    remaining -= need;
+                }
+                LevelBudgets { budgets, needed }
+            }
+            AllocationStrategy::FixedHeight(h) => {
+                assert!(h >= 1, "height must be >= 1");
+                let needed: Vec<f64> =
+                    (1..=h).map(|l| self.min_budget_for_level(l)).collect();
+                // Greedy pass, leaf absorbs the remainder.
+                let mut budgets = Vec::with_capacity(h as usize);
+                let mut remaining = eps;
+                let mut starved = false;
+                for (idx, &need) in needed.iter().enumerate() {
+                    let is_leaf = idx + 1 == h as usize;
+                    let b = if is_leaf { remaining } else { need.min(remaining) };
+                    if b <= 0.0 {
+                        starved = true;
+                        break;
+                    }
+                    budgets.push(b);
+                    remaining -= b;
+                }
+                if starved {
+                    // Impact-weighted fallback: level i's utility impact is
+                    // g× that of level i+1, so weight ε_i ∝ g^{h-i}.
+                    let gf = self.g as f64;
+                    let weights: Vec<f64> =
+                        (1..=h).map(|i| gf.powi((h - i) as i32)).collect();
+                    let total: f64 = weights.iter().sum();
+                    budgets = weights.iter().map(|w| eps * w / total).collect();
+                }
+                LevelBudgets { budgets, needed }
+            }
+            AllocationStrategy::Uniform(h) => {
+                assert!(h >= 1, "height must be >= 1");
+                let needed = (1..=h).map(|l| self.min_budget_for_level(l)).collect();
+                LevelBudgets { budgets: vec![eps / h as f64; h as usize], needed }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> BudgetAllocator {
+        BudgetAllocator::new(20.0, 3, 0.8)
+    }
+
+    #[test]
+    fn min_budget_achieves_rho() {
+        let a = alloc();
+        for level in 1..=3 {
+            let e = a.min_budget_for_level(level);
+            let side = 20.0 / 3f64.powi(level as i32 - 1);
+            let phi = self_map_probability(e, side, 3);
+            assert!(phi >= 0.8 - 1e-6, "level {level}: phi {phi}");
+            // Minimality: a slightly smaller budget misses rho.
+            let phi_less = self_map_probability(e * 0.999, side, 3);
+            assert!(phi_less < 0.8, "level {level} budget not minimal");
+        }
+    }
+
+    #[test]
+    fn needs_grow_geometrically_with_level() {
+        let a = alloc();
+        let e1 = a.min_budget_for_level(1);
+        let e2 = a.min_budget_for_level(2);
+        let e3 = a.min_budget_for_level(3);
+        // Cell side shrinks by g per level, so the needed budget scales by g.
+        assert!((e2 / e1 - 3.0).abs() < 1e-6, "ratio {}", e2 / e1);
+        assert!((e3 / e2 - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn auto_matches_paper_walkthrough() {
+        // g=3, L=20, rho=0.8: level 1 needs ~0.46; at eps=0.5 the index has
+        // two levels with the leftover on level 2 (the Table-2 regime).
+        let a = alloc();
+        let lb = a.allocate(0.5, AllocationStrategy::Auto { max_height: 5 });
+        assert_eq!(lb.height(), 2);
+        assert!((lb.total() - 0.5).abs() < 1e-12);
+        assert!(lb.level(1) > 0.4 && lb.level(1) < 0.5);
+        assert!(lb.level(2) > 0.0);
+    }
+
+    #[test]
+    fn auto_consumes_whole_budget() {
+        for eps in [0.1, 0.5, 2.0, 10.0] {
+            let lb = alloc().allocate(eps, AllocationStrategy::Auto { max_height: 6 });
+            assert!((lb.total() - eps).abs() < 1e-9, "eps={eps}");
+            for &b in lb.budgets() {
+                assert!(b > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_height_grows_with_budget() {
+        let a = alloc();
+        let h_small = a.allocate(0.2, AllocationStrategy::Auto { max_height: 8 }).height();
+        let h_big = a.allocate(5.0, AllocationStrategy::Auto { max_height: 8 }).height();
+        assert!(h_big > h_small, "{h_big} vs {h_small}");
+    }
+
+    #[test]
+    fn auto_respects_height_cap() {
+        let lb = alloc().allocate(100.0, AllocationStrategy::Auto { max_height: 3 });
+        assert_eq!(lb.height(), 3);
+        assert!((lb.total() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_height_greedy_when_affordable() {
+        let a = alloc();
+        let need1 = a.min_budget_for_level(1);
+        let lb = a.allocate(need1 * 2.0, AllocationStrategy::FixedHeight(2));
+        assert_eq!(lb.height(), 2);
+        assert!((lb.level(1) - need1).abs() < 1e-9);
+        assert!((lb.level(2) - need1).abs() < 1e-9); // remainder
+    }
+
+    #[test]
+    fn fixed_height_impact_weighted_when_starved() {
+        let a = alloc();
+        // Budget below even level 1's need: greedy would starve level 2+.
+        let lb = a.allocate(0.1, AllocationStrategy::FixedHeight(3));
+        assert_eq!(lb.height(), 3);
+        assert!((lb.total() - 0.1).abs() < 1e-12);
+        for &b in lb.budgets() {
+            assert!(b > 0.0);
+        }
+        // Impact weighting: upper levels get g× the budget of the next.
+        assert!((lb.level(1) / lb.level(2) - 3.0).abs() < 1e-6);
+        assert!((lb.level(2) / lb.level(3) - 3.0).abs() < 1e-6);
+        // The root keeps the lion's share.
+        assert!(lb.level(1) > 0.5 * lb.total());
+    }
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let lb = alloc().allocate(0.9, AllocationStrategy::Uniform(3));
+        for &b in lb.budgets() {
+            assert!((b - 0.3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rho_increases_needed_budget() {
+        let lo = BudgetAllocator::new(20.0, 4, 0.5).min_budget_for_level(1);
+        let hi = BudgetAllocator::new(20.0, 4, 0.9).min_budget_for_level(1);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in (0,1)")]
+    fn bad_rho_rejected() {
+        BudgetAllocator::new(20.0, 4, 1.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Utility-loss measurement harness (paper Section 6.1's protocol).
+//!
+//! The paper measures "the utility loss experienced by a user of a
+//! location-based service over a set of 3,000 requests randomly selected
+//! from the check-ins". [`Evaluator`] reproduces that protocol: sample
+//! query locations from a dataset, run a mechanism on each, and aggregate
+//! the quality loss plus wall-clock timing.
+
+use crate::metrics::QualityMetric;
+use crate::Mechanism;
+use geoind_data::checkin::Dataset;
+use geoind_spatial::geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Aggregated measurement of one mechanism on one workload.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Quality metric used.
+    pub metric: QualityMetric,
+    /// Number of queries.
+    pub queries: usize,
+    /// Mean quality loss.
+    pub mean_loss: f64,
+    /// Standard deviation of the per-query loss.
+    pub std_loss: f64,
+    /// Median per-query loss.
+    pub p50_loss: f64,
+    /// 90th-percentile per-query loss.
+    pub p90_loss: f64,
+    /// Maximum observed loss.
+    pub max_loss: f64,
+    /// Mean per-query sanitization time, seconds.
+    pub mean_time_s: f64,
+    /// Total wall-clock for all queries, seconds.
+    pub total_time_s: f64,
+}
+
+impl EvalReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: loss {:.4} {} (±{:.4}, p50 {:.4}, p90 {:.4}, max {:.4}) over {} queries, {:.2} ms/query",
+            self.mechanism,
+            self.mean_loss,
+            self.metric.unit(),
+            self.std_loss,
+            self.p50_loss,
+            self.p90_loss,
+            self.max_loss,
+            self.queries,
+            self.mean_time_s * 1e3
+        )
+    }
+}
+
+/// A fixed query workload.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    queries: Vec<Point>,
+}
+
+impl Evaluator {
+    /// Use an explicit query set.
+    ///
+    /// # Panics
+    /// Panics if `queries` is empty.
+    pub fn new(queries: Vec<Point>) -> Self {
+        assert!(!queries.is_empty(), "need at least one query");
+        Self { queries }
+    }
+
+    /// Sample `n` query locations uniformly from a dataset's check-ins
+    /// (with replacement), seeded for reproducibility.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or `n == 0`.
+    pub fn sample_from(dataset: &Dataset, n: usize, seed: u64) -> Self {
+        assert!(!dataset.is_empty(), "cannot sample queries from an empty dataset");
+        assert!(n > 0, "need at least one query");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..n)
+            .map(|_| dataset.checkins()[rng.gen_range(0..dataset.len())].location)
+            .collect();
+        Self { queries }
+    }
+
+    /// The workload.
+    pub fn queries(&self) -> &[Point] {
+        &self.queries
+    }
+
+    /// Run `mechanism` over every query and aggregate the loss.
+    pub fn measure<M: Mechanism>(
+        &self,
+        mechanism: &M,
+        metric: QualityMetric,
+        seed: u64,
+    ) -> EvalReport {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut losses = Vec::with_capacity(self.queries.len());
+        let start = Instant::now();
+        for &x in &self.queries {
+            let z = mechanism.report(x, &mut rng);
+            losses.push(metric.loss(x, z));
+        }
+        let total_time_s = start.elapsed().as_secs_f64();
+        let n = losses.len() as f64;
+        let mean = losses.iter().sum::<f64>() / n;
+        let var = losses.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / n;
+        let max = losses.iter().fold(0.0f64, |a, &b| a.max(b));
+        let mut sorted = losses;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite losses"));
+        EvalReport {
+            mechanism: mechanism.name(),
+            metric,
+            queries: self.queries.len(),
+            mean_loss: mean,
+            std_loss: var.sqrt(),
+            p50_loss: percentile(&sorted, 0.50),
+            p90_loss: percentile(&sorted, 0.90),
+            max_loss: max,
+            mean_time_s: total_time_s / n,
+            total_time_s,
+        }
+    }
+}
+
+/// Nearest-rank percentile of a pre-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoind_spatial::geom::BBox;
+
+    /// A no-noise mechanism for harness testing.
+    struct Identity;
+    impl Mechanism for Identity {
+        fn report<R: Rng + ?Sized>(&self, x: Point, _rng: &mut R) -> Point {
+            x
+        }
+        fn name(&self) -> String {
+            "identity".into()
+        }
+    }
+
+    /// A constant-shift mechanism with known loss.
+    struct Shift(f64);
+    impl Mechanism for Shift {
+        fn report<R: Rng + ?Sized>(&self, x: Point, _rng: &mut R) -> Point {
+            x.offset(self.0, 0.0)
+        }
+        fn name(&self) -> String {
+            "shift".into()
+        }
+    }
+
+    #[test]
+    fn identity_has_zero_loss() {
+        let ev = Evaluator::new(vec![Point::new(1.0, 1.0), Point::new(2.0, 3.0)]);
+        let r = ev.measure(&Identity, QualityMetric::Euclidean, 0);
+        assert_eq!(r.mean_loss, 0.0);
+        assert_eq!(r.std_loss, 0.0);
+        assert_eq!(r.queries, 2);
+    }
+
+    #[test]
+    fn constant_shift_has_exact_loss() {
+        let ev = Evaluator::new(vec![Point::new(0.0, 0.0); 10]);
+        let r = ev.measure(&Shift(2.5), QualityMetric::Euclidean, 0);
+        assert!((r.mean_loss - 2.5).abs() < 1e-12);
+        assert!(r.std_loss < 1e-12);
+        assert!((r.p50_loss - 2.5).abs() < 1e-12);
+        assert!((r.p90_loss - 2.5).abs() < 1e-12);
+        let r2 = ev.measure(&Shift(2.5), QualityMetric::SqEuclidean, 0);
+        assert!((r2.mean_loss - 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let ds = geoind_data::synth::SyntheticCity::austin_like().generate_with_size(1_000, 100);
+        let a = Evaluator::sample_from(&ds, 50, 42);
+        let b = Evaluator::sample_from(&ds, 50, 42);
+        assert_eq!(a.queries(), b.queries());
+        let c = Evaluator::sample_from(&ds, 50, 43);
+        assert_ne!(a.queries(), c.queries());
+    }
+
+    #[test]
+    fn queries_come_from_dataset() {
+        let ds = geoind_data::synth::SyntheticCity::vegas_like().generate_with_size(500, 50);
+        let ev = Evaluator::sample_from(&ds, 100, 7);
+        let domain: BBox = ds.domain();
+        for q in ev.queries() {
+            assert!(domain.contains(*q));
+        }
+    }
+
+    #[test]
+    fn summary_mentions_mechanism_and_unit() {
+        let ev = Evaluator::new(vec![Point::new(0.0, 0.0)]);
+        let r = ev.measure(&Identity, QualityMetric::Euclidean, 0);
+        let s = r.summary();
+        assert!(s.contains("identity"));
+        assert!(s.contains("km"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Geo-indistinguishability mechanisms — the paper's contribution.
+//!
+//! Three mechanisms share the [`Mechanism`] interface:
+//!
+//! * [`planar_laplace::PlanarLaplace`] — the fast, utility-poor baseline
+//!   (Eq. 2), optionally remapped onto a discrete location set;
+//! * [`opt::OptimalMechanism`] — the LP-based optimal mechanism of
+//!   Bordenabe et al. (Eq. 3–6), exact but cubic in the location count;
+//! * [`msm::MsmMechanism`] — the paper's **multi-step mechanism**
+//!   (Algorithm 1): OPT applied per level of a hierarchical grid index with
+//!   the privacy budget split by the Section-5 cost model
+//!   ([`alloc`], Algorithm 2).
+//!
+//! Supporting modules: [`channel`] (row-stochastic channels + GeoInd
+//! verification), [`metrics`] (quality-loss metrics `d_Q`), [`spanner`]
+//! (δ-spanner constraint reduction, an ablation), [`adversary`] (Bayesian
+//! posterior attacks), [`remap`] (Bayes-optimal post-processing),
+//! [`trajectory`] (session budgets over movement traces) and [`eval`]
+//! (utility-loss measurement harness).
+
+#![warn(missing_docs)]
+// Index-based loops over parallel arrays are the clearest style for the
+// numeric kernels here; the iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+// Test reference constants keep full printed precision from their sources.
+#![allow(clippy::excessive_precision)]
+
+pub mod adversary;
+pub mod alloc;
+pub mod audit;
+pub mod channel;
+pub mod eval;
+pub mod pmsm;
+pub mod metrics;
+pub mod msm;
+pub mod offline;
+pub mod opt;
+pub mod planar_laplace;
+pub mod remap;
+pub mod spanner;
+pub mod trajectory;
+
+pub use adversary::BayesianAdversary;
+pub use audit::{audit_geoind, AuditConfig, AuditReport};
+pub use alloc::{AllocationStrategy, BudgetAllocator, LevelBudgets};
+pub use channel::Channel;
+pub use eval::{EvalReport, Evaluator};
+pub use pmsm::{KdMsmMechanism, PartitionMsm, QuadMsmMechanism};
+pub use metrics::QualityMetric;
+pub use msm::MsmMechanism;
+pub use opt::OptimalMechanism;
+pub use planar_laplace::PlanarLaplace;
+pub use remap::RemappedMechanism;
+pub use trajectory::{BudgetLedger, StepOutcome, TrajectoryProtector};
+
+use geoind_spatial::geom::Point;
+use rand::Rng;
+
+/// A location-sanitization mechanism: maps a true location to a reported
+/// one, consuming randomness.
+pub trait Mechanism {
+    /// Sanitize `x` into a reported location.
+    fn report<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point;
+
+    /// Short human-readable mechanism name (used by the evaluation harness).
+    fn name(&self) -> String;
+}
+
+/// Errors produced while constructing mechanisms.
+#[derive(Debug)]
+pub enum MechanismError {
+    /// A parameter is out of its valid range.
+    BadParameter(String),
+    /// The underlying linear program failed.
+    Lp(geoind_lp::LpError),
+}
+
+impl std::fmt::Display for MechanismError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MechanismError::BadParameter(m) => write!(f, "bad parameter: {m}"),
+            MechanismError::Lp(e) => write!(f, "lp solver: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MechanismError {}
+
+impl From<geoind_lp::LpError> for MechanismError {
+    fn from(e: geoind_lp::LpError) -> Self {
+        MechanismError::Lp(e)
+    }
+}

@@ -1,0 +1,64 @@
+//! Quality-loss metrics `d_Q(x, z)` (Section 2.2 of the paper).
+//!
+//! Distinct from the *distinguishability* metric (always Euclidean here):
+//! a quality metric measures how much service quality the user loses when
+//! `z` is reported instead of `x`.
+
+use geoind_spatial::geom::Point;
+
+/// Quality-loss metric between true and reported locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QualityMetric {
+    /// Euclidean distance (km) — extra distance travelled.
+    Euclidean,
+    /// Squared Euclidean distance (km²) — proxy for result-set inflation
+    /// when the user widens the query radius to compensate.
+    SqEuclidean,
+}
+
+impl QualityMetric {
+    /// Evaluate the loss for one (true, reported) pair.
+    #[inline]
+    pub fn loss(&self, x: Point, z: Point) -> f64 {
+        match self {
+            QualityMetric::Euclidean => x.dist(z),
+            QualityMetric::SqEuclidean => x.dist2(z),
+        }
+    }
+
+    /// Unit string for reports.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            QualityMetric::Euclidean => "km",
+            QualityMetric::SqEuclidean => "km^2",
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QualityMetric::Euclidean => "d",
+            QualityMetric::SqEuclidean => "d2",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn losses() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(QualityMetric::Euclidean.loss(a, b), 5.0);
+        assert_eq!(QualityMetric::SqEuclidean.loss(a, b), 25.0);
+        assert_eq!(QualityMetric::Euclidean.loss(a, a), 0.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(QualityMetric::Euclidean.unit(), "km");
+        assert_eq!(QualityMetric::SqEuclidean.label(), "d2");
+    }
+}

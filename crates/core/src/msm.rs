@@ -1,0 +1,556 @@
+//! The Multi-Step Mechanism (paper Section 4, Algorithm 1).
+//!
+//! MSM walks a GeoInd-preserving hierarchical index (GIHI) from the virtual
+//! root to a leaf. At each level it restricts the prior to the `g²` children
+//! of the previously selected cell, solves (or fetches from cache) the
+//! optimal mechanism over those `g²` logical locations with that level's
+//! budget `ε_i`, and samples the next cell. The leaf-level sample is
+//! reported. By sequential composition the whole walk satisfies GeoInd with
+//! budget `Σ ε_i = ε`, while every LP is only `g²` locations large — this is
+//! the paper's utility/scalability compromise.
+//!
+//! If the true location falls outside the selected cell at some level
+//! (a privacy-mandated event), its logical location for that step is drawn
+//! uniformly from the sub-grid (Algorithm 1, lines 9–10).
+//!
+//! The per-node channels depend only on `(node, ε_i, prior, d_Q)` — never on
+//! the query — so they are memoized: a client answering thousands of queries
+//! pays each LP once.
+
+use crate::alloc::{AllocationStrategy, BudgetAllocator, LevelBudgets};
+use crate::channel::Channel;
+use crate::metrics::QualityMetric;
+use crate::opt::{OptOptions, OptimalMechanism};
+use crate::{Mechanism, MechanismError};
+use geoind_data::prior::GridPrior;
+use geoind_spatial::geom::{BBox, Point};
+use geoind_spatial::grid::Grid;
+use geoind_spatial::hier::{HierGrid, LevelCell};
+use parking_lot::RwLock;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Builder for [`MsmMechanism`].
+#[derive(Debug, Clone)]
+pub struct MsmBuilder {
+    domain: BBox,
+    prior: GridPrior,
+    eps: Option<f64>,
+    g: u32,
+    rho: f64,
+    metric: QualityMetric,
+    strategy: AllocationStrategy,
+    opt_options: OptOptions,
+    caching: bool,
+}
+
+impl MsmBuilder {
+    /// Total privacy budget `ε` (required).
+    pub fn epsilon(mut self, eps: f64) -> Self {
+        self.eps = Some(eps);
+        self
+    }
+
+    /// Per-level grid granularity `g` (fan-out `g²`). Default 4.
+    pub fn granularity(mut self, g: u32) -> Self {
+        self.g = g;
+        self
+    }
+
+    /// Target self-map probability `ρ` for the budget allocator.
+    /// Default 0.8 (the paper's default).
+    pub fn rho(mut self, rho: f64) -> Self {
+        self.rho = rho;
+        self
+    }
+
+    /// Quality metric `d_Q`. Default Euclidean.
+    pub fn metric(mut self, metric: QualityMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Budget-allocation strategy. Default `Auto { max_height: 5 }`.
+    pub fn strategy(mut self, strategy: AllocationStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Options forwarded to every per-node OPT solve.
+    pub fn opt_options(mut self, opts: OptOptions) -> Self {
+        self.opt_options = opts;
+        self
+    }
+
+    /// Enable/disable the per-node channel cache (on by default; the off
+    /// switch exists for the `abl-cache` ablation).
+    pub fn caching(mut self, on: bool) -> Self {
+        self.caching = on;
+        self
+    }
+
+    /// Finalize.
+    ///
+    /// # Errors
+    /// [`MechanismError::BadParameter`] when ε is missing/non-positive, the
+    /// granularity is < 2, or the prior's domain disagrees with `domain`.
+    pub fn build(self) -> Result<MsmMechanism, MechanismError> {
+        let eps = self
+            .eps
+            .ok_or_else(|| MechanismError::BadParameter("epsilon not set".into()))?;
+        if eps <= 0.0 {
+            return Err(MechanismError::BadParameter(format!("eps must be positive, got {eps}")));
+        }
+        if self.g < 2 {
+            return Err(MechanismError::BadParameter(format!(
+                "granularity must be >= 2, got {}",
+                self.g
+            )));
+        }
+        let pd = self.prior.grid().domain();
+        if (pd.min.dist(self.domain.min) > 1e-9) || (pd.max.dist(self.domain.max) > 1e-9) {
+            return Err(MechanismError::BadParameter(
+                "prior domain differs from mechanism domain".into(),
+            ));
+        }
+        let allocator = BudgetAllocator::new(self.domain.side(), self.g, self.rho);
+        let budgets = allocator.allocate(eps, self.strategy);
+        let hier = HierGrid::new(self.domain, self.g, budgets.height());
+        Ok(MsmMechanism {
+            hier,
+            budgets,
+            prior: self.prior,
+            metric: self.metric,
+            eps,
+            rho: self.rho,
+            opt_options: self.opt_options,
+            caching: self.caching,
+            cache: RwLock::new(HashMap::new()),
+        })
+    }
+}
+
+/// The multi-step mechanism over a hierarchical grid index.
+#[derive(Debug)]
+pub struct MsmMechanism {
+    hier: HierGrid,
+    budgets: LevelBudgets,
+    prior: GridPrior,
+    metric: QualityMetric,
+    eps: f64,
+    rho: f64,
+    opt_options: OptOptions,
+    caching: bool,
+    cache: RwLock<HashMap<LevelCell, Arc<Channel>>>,
+}
+
+impl MsmMechanism {
+    /// Start a builder over `domain` with a (fine-grained) global prior.
+    pub fn builder(domain: BBox, prior: GridPrior) -> MsmBuilder {
+        MsmBuilder {
+            domain,
+            prior,
+            eps: None,
+            g: 4,
+            rho: 0.8,
+            metric: QualityMetric::Euclidean,
+            strategy: AllocationStrategy::default(),
+            opt_options: OptOptions::default(),
+            caching: true,
+        }
+    }
+
+    /// Total privacy budget.
+    pub fn epsilon(&self) -> f64 {
+        self.eps
+    }
+
+    /// Target self-map probability `ρ`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Per-level grid granularity `g`.
+    pub fn granularity(&self) -> u32 {
+        self.hier.granularity()
+    }
+
+    /// Index height `h`.
+    pub fn height(&self) -> u32 {
+        self.hier.height()
+    }
+
+    /// Effective leaf granularity `g^h`.
+    pub fn effective_granularity(&self) -> u32 {
+        self.hier.effective_granularity(self.hier.height())
+    }
+
+    /// The per-level budgets chosen by the allocator.
+    pub fn budgets(&self) -> &LevelBudgets {
+        &self.budgets
+    }
+
+    /// The quality metric.
+    pub fn metric(&self) -> QualityMetric {
+        self.metric
+    }
+
+    /// The leaf-level grid (all possible reported locations are its cell
+    /// centers).
+    pub fn leaf_grid(&self) -> Grid {
+        self.hier.level_grid(self.hier.height())
+    }
+
+    /// Number of per-node channels currently memoized.
+    pub fn cached_channels(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Drop all memoized channels.
+    pub fn clear_cache(&self) {
+        self.cache.write().clear();
+    }
+
+    /// Internal accessors for the offline precompute/persistence module.
+    pub(crate) fn channel_for_offline(&self, parent: LevelCell) -> Arc<Channel> {
+        self.channel_for(parent)
+    }
+
+    pub(crate) fn children_of(&self, parent: LevelCell) -> Vec<LevelCell> {
+        self.hier.children(parent)
+    }
+
+    pub(crate) fn center_of(&self, cell: LevelCell) -> geoind_spatial::geom::Point {
+        self.hier.center(cell)
+    }
+
+    pub(crate) fn cache_snapshot(&self) -> Vec<(LevelCell, Arc<Channel>)> {
+        let mut v: Vec<(LevelCell, Arc<Channel>)> =
+            self.cache.read().iter().map(|(k, c)| (*k, Arc::clone(c))).collect();
+        v.sort_by_key(|(c, _)| (c.level, c.id));
+        v
+    }
+
+    pub(crate) fn cache_insert(&self, cell: LevelCell, channel: Arc<Channel>) {
+        self.cache.write().insert(cell, channel);
+    }
+
+    /// The optimal channel over the children of `parent` (level
+    /// `parent.level + 1`), memoized when caching is enabled.
+    fn channel_for(&self, parent: LevelCell) -> Arc<Channel> {
+        if self.caching {
+            if let Some(c) = self.cache.read().get(&parent) {
+                return Arc::clone(c);
+            }
+        }
+        let built = Arc::new(self.build_channel(parent));
+        if self.caching {
+            self.cache.write().insert(parent, Arc::clone(&built));
+        }
+        built
+    }
+
+    /// Solve the per-node OPT: `g²` child-cell centers, the global prior
+    /// restricted to the node and renormalized (uniform when the node has
+    /// zero mass), and the level budget.
+    fn build_channel(&self, parent: LevelCell) -> Channel {
+        let children = self.hier.children(parent);
+        let centers: Vec<Point> = children.iter().map(|c| self.hier.center(*c)).collect();
+        let extents: Vec<BBox> = children.iter().map(|c| self.hier.extent(*c)).collect();
+        let mut masses = self.prior.masses(&extents);
+        let total: f64 = masses.iter().sum();
+        if total <= 0.0 {
+            masses = vec![1.0; masses.len()];
+        }
+        let level = parent.level + 1;
+        let eps_i = self.budgets.level(level);
+        let opt = OptimalMechanism::solve_with(
+            eps_i,
+            &centers,
+            &masses,
+            self.metric,
+            self.opt_options,
+        )
+        .expect("per-node OPT is feasible by construction");
+        opt.channel().clone()
+    }
+
+    /// The exact distribution over leaf cells produced for input `x`
+    /// (including the uniform-resample rule for out-of-cell inputs).
+    /// Exponential in the height — intended for tests and small analyses.
+    pub fn exact_output_distribution(&self, x: Point) -> Vec<f64> {
+        let x = clamp_into(self.hier.domain(), x);
+        let leaf = self.leaf_grid();
+        let mut out = vec![0.0; leaf.num_cells()];
+        self.exact_rec(LevelCell::ROOT, x, 1.0, &mut out);
+        out
+    }
+
+    fn exact_rec(&self, cell: LevelCell, x: Point, p: f64, out: &mut [f64]) {
+        if p == 0.0 {
+            return;
+        }
+        if cell.level == self.hier.height() {
+            out[cell.id] += p;
+            return;
+        }
+        let children = self.hier.children(cell);
+        let channel = self.channel_for(cell);
+        let gg = children.len();
+        // Input row: the enclosing child when x is inside this cell,
+        // otherwise the uniform mixture of all rows (lines 9-10).
+        let ext = self.hier.extent(cell);
+        let row: Vec<f64> = if ext.contains(x) || cell.level == 0 {
+            let child = self.hier.enclosing_cell(x, cell.level + 1);
+            channel.row(self.hier.local_index(child)).to_vec()
+        } else {
+            let mut mix = vec![0.0; gg];
+            for u in 0..gg {
+                for (z, m) in mix.iter_mut().enumerate() {
+                    *m += channel.prob(u, z) / gg as f64;
+                }
+            }
+            mix
+        };
+        for (zi, &pz) in row.iter().enumerate() {
+            self.exact_rec(children[zi], x, p * pz, out);
+        }
+    }
+
+    /// A *provable* upper bound on `ln(P(z|x)/P(z|x′))` for any output `z`,
+    /// by per-level composition: level 1 uses the exact snapped distance
+    /// (the root encloses everything); deeper levels use the diameter of a
+    /// sub-grid's center set, which covers both in-cell and uniform-resample
+    /// cases.
+    pub fn composition_bound(&self, x: Point, xp: Point) -> f64 {
+        let x = clamp_into(self.hier.domain(), x);
+        let xp = clamp_into(self.hier.domain(), xp);
+        let g = self.hier.granularity() as f64;
+        let side = self.hier.domain().side();
+        let l1 = self.hier.level_grid(1);
+        let mut bound = self.budgets.level(1) * l1.snap(x).dist(l1.snap(xp));
+        for level in 2..=self.hier.height() {
+            // Sub-grid center diameter: (g-1)/g * parent side * sqrt(2).
+            let parent_side = side / g.powi(level as i32 - 1);
+            let diam = (g - 1.0) / g * parent_side * std::f64::consts::SQRT_2;
+            bound += self.budgets.level(level) * diam;
+        }
+        bound
+    }
+}
+
+fn clamp_into(domain: BBox, p: Point) -> Point {
+    // Clamp into the half-open domain so `EnclosingCell` is total.
+    let q = domain.clamp(p);
+    Point::new(q.x.min(domain.max.x - 1e-12), q.y.min(domain.max.y - 1e-12))
+}
+
+impl Mechanism for MsmMechanism {
+    fn report<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
+        let x = clamp_into(self.hier.domain(), x);
+        let mut current = LevelCell::ROOT;
+        for _level in 1..=self.hier.height() {
+            let children = self.hier.children(current);
+            let channel = self.channel_for(current);
+            let ext = self.hier.extent(current);
+            let input_idx = if ext.contains(x) {
+                self.hier.local_index(self.hier.enclosing_cell(x, current.level + 1))
+            } else {
+                rng.gen_range(0..children.len())
+            };
+            let z = channel.sample(input_idx, rng);
+            current = children[z];
+        }
+        self.hier.center(current)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "MSM(eps={}, g={}, h={}, rho={})",
+            self.eps,
+            self.granularity(),
+            self.height(),
+            self.rho
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoind_data::synth::SyntheticCity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_msm(eps: f64) -> MsmMechanism {
+        let domain = BBox::square(8.0);
+        let prior = GridPrior::uniform(domain, 8);
+        MsmMechanism::builder(domain, prior)
+            .epsilon(eps)
+            .granularity(2)
+            .rho(0.7)
+            .strategy(AllocationStrategy::FixedHeight(2))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reports_land_on_leaf_centers() {
+        let msm = tiny_msm(0.8);
+        let leaf = msm.leaf_grid();
+        let centers = leaf.centers();
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..200 {
+            let x = Point::new((i % 8) as f64 + 0.1, (i % 7) as f64 + 0.3);
+            let z = msm.report(x, &mut rng);
+            assert!(centers.iter().any(|c| c.dist(z) < 1e-12), "{z:?} not a leaf center");
+        }
+    }
+
+    #[test]
+    fn budget_sums_to_epsilon() {
+        let msm = tiny_msm(0.6);
+        assert!((msm.budgets().total() - 0.6).abs() < 1e-9);
+        assert_eq!(msm.height(), 2);
+        assert_eq!(msm.effective_granularity(), 4);
+    }
+
+    #[test]
+    fn cache_fills_and_clears() {
+        let msm = tiny_msm(0.8);
+        assert_eq!(msm.cached_channels(), 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            msm.report(Point::new(4.0, 4.0), &mut rng);
+        }
+        // Root channel plus at least one level-1 node.
+        assert!(msm.cached_channels() >= 2);
+        // Bounded by the number of internal nodes (1 + g²).
+        assert!(msm.cached_channels() <= 5);
+        msm.clear_cache();
+        assert_eq!(msm.cached_channels(), 0);
+    }
+
+    #[test]
+    fn exact_distribution_matches_sampling() {
+        let msm = tiny_msm(1.0);
+        let x = Point::new(1.3, 6.2);
+        let exact = msm.exact_output_distribution(x);
+        assert!((exact.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let leaf = msm.leaf_grid();
+        let mut counts = vec![0usize; leaf.num_cells()];
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        for _ in 0..n {
+            counts[leaf.cell_of(msm.report(x, &mut rng))] += 1;
+        }
+        for (cell, &p) in exact.iter().enumerate() {
+            let f = counts[cell] as f64 / n as f64;
+            assert!(
+                (f - p).abs() < 0.01,
+                "cell {cell}: empirical {f} vs exact {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn composition_bound_holds_on_exact_distributions() {
+        // The end-to-end channel must satisfy the per-level composition
+        // bound for every (x, x', z) triple — this is the mechanism's
+        // privacy guarantee made checkable.
+        let msm = tiny_msm(0.9);
+        let leaf = msm.leaf_grid();
+        let points: Vec<Point> = leaf.centers();
+        let dists: Vec<Vec<f64>> =
+            points.iter().map(|x| msm.exact_output_distribution(*x)).collect();
+        for (i, x) in points.iter().enumerate() {
+            for (j, xp) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let bound = msm.composition_bound(*x, *xp).exp();
+                for z in 0..leaf.num_cells() {
+                    let (a, b) = (dists[i][z], dists[j][z]);
+                    if b > 1e-12 {
+                        assert!(
+                            a / b <= bound * (1.0 + 1e-6),
+                            "triple ({i},{j},{z}): ratio {} > bound {bound}",
+                            a / b
+                        );
+                    } else {
+                        assert!(a < 1e-12, "support mismatch breaks GeoInd");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_budget_less_loss() {
+        let domain = BBox::square(20.0);
+        let data = SyntheticCity::austin_like().generate_with_size(20_000, 2_000);
+        let prior = GridPrior::from_dataset(&data, 16);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut prev = f64::INFINITY;
+        for eps in [0.1, 0.5, 1.5] {
+            let msm = MsmMechanism::builder(domain, prior.clone())
+                .epsilon(eps)
+                .granularity(4)
+                .build()
+                .unwrap();
+            let mut loss = 0.0;
+            let n = 400;
+            for k in 0..n {
+                let x = data.checkins()[k * 7 % data.len()].location;
+                loss += msm.report(x, &mut rng).dist(x);
+            }
+            loss /= n as f64;
+            assert!(loss < prev * 1.15, "loss {loss} not (roughly) decreasing at eps={eps}");
+            prev = loss;
+        }
+    }
+
+    #[test]
+    fn missing_epsilon_rejected() {
+        let domain = BBox::square(8.0);
+        let prior = GridPrior::uniform(domain, 4);
+        assert!(matches!(
+            MsmMechanism::builder(domain, prior).build(),
+            Err(MechanismError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_domain_rejected() {
+        let prior = GridPrior::uniform(BBox::square(10.0), 4);
+        assert!(matches!(
+            MsmMechanism::builder(BBox::square(8.0), prior).epsilon(0.5).build(),
+            Err(MechanismError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn caching_off_recomputes_but_same_distribution() {
+        let domain = BBox::square(8.0);
+        let prior = GridPrior::uniform(domain, 8);
+        let build = |caching: bool| {
+            MsmMechanism::builder(domain, prior.clone())
+                .epsilon(0.8)
+                .granularity(2)
+                .strategy(AllocationStrategy::FixedHeight(2))
+                .caching(caching)
+                .build()
+                .unwrap()
+        };
+        let with = build(true);
+        let without = build(false);
+        let x = Point::new(5.5, 2.5);
+        let a = with.exact_output_distribution(x);
+        let b = without.exact_output_distribution(x);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-9);
+        }
+        assert_eq!(without.cached_channels(), 0);
+    }
+}

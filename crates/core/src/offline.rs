@@ -1,0 +1,248 @@
+//! Offline precomputation and persistence of MSM's per-node channels.
+//!
+//! Section 3.1 of the paper: the mobile device "will also download in
+//! advance (offline) a set of objects that are required to support our
+//! technique … the amount of data that needs to be downloaded offline is
+//! small (in the order of tens of megabytes)". Those objects are exactly
+//! the per-node optimal channels; this module implements the flow:
+//!
+//! 1. a provisioning service calls [`MsmMechanism::precompute`] to solve
+//!    every per-node LP eagerly,
+//! 2. serializes the channel cache with [`MsmMechanism::export_cache`]
+//!    (a small self-describing little-endian binary format),
+//! 3. the device calls [`MsmMechanism::import_cache`] and answers every
+//!    query without ever touching the LP solver.
+
+use crate::channel::Channel;
+use crate::msm::MsmMechanism;
+use geoind_spatial::geom::Point;
+use geoind_spatial::hier::LevelCell;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// Format magic + version.
+const MAGIC: &[u8; 8] = b"GEOIND01";
+
+impl MsmMechanism {
+    /// Eagerly solve the channels of every internal index node, breadth
+    /// first, up to `max_nodes` (the full tree has
+    /// `(g^{2h} − 1)/(g² − 1)` internal nodes). Returns how many channels
+    /// the cache now holds.
+    pub fn precompute(&self, max_nodes: usize) -> usize {
+        let mut frontier = vec![LevelCell::ROOT];
+        let mut visited = 0usize;
+        while let Some(cell) = frontier.pop() {
+            if visited >= max_nodes {
+                break;
+            }
+            // channel_for caches internally.
+            let _ = self.channel_for_offline(cell);
+            visited += 1;
+            if cell.level + 1 < self.height() {
+                frontier.extend(self.children_of(cell));
+            }
+        }
+        self.cached_channels()
+    }
+
+    /// Serialize the current channel cache. Returns the number of channels
+    /// written.
+    ///
+    /// # Errors
+    /// Propagates I/O failures from `w`.
+    pub fn export_cache(&self, w: &mut impl Write) -> io::Result<usize> {
+        let entries = self.cache_snapshot();
+        w.write_all(MAGIC)?;
+        write_u64(w, entries.len() as u64)?;
+        for (cell, channel) in &entries {
+            write_u64(w, cell.level as u64)?;
+            write_u64(w, cell.id as u64)?;
+            write_u64(w, channel.num_inputs() as u64)?;
+            write_u64(w, channel.num_outputs() as u64)?;
+            for p in channel.inputs().iter().chain(channel.outputs()) {
+                write_f64(w, p.x)?;
+                write_f64(w, p.y)?;
+            }
+            for x in 0..channel.num_inputs() {
+                for &v in channel.row(x) {
+                    write_f64(w, v)?;
+                }
+            }
+        }
+        Ok(entries.len())
+    }
+
+    /// Load channels exported by [`MsmMechanism::export_cache`] into this
+    /// mechanism's cache. Returns the number of channels loaded.
+    ///
+    /// The file must come from a mechanism with the same structure: each
+    /// entry is validated against this index's geometry (child count and
+    /// centers) before being admitted.
+    ///
+    /// # Errors
+    /// `InvalidData` on bad magic, malformed entries, or geometry mismatch.
+    pub fn import_cache(&self, r: &mut impl Read) -> io::Result<usize> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let count = read_u64(r)? as usize;
+        if count > 4_000_000 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible entry count"));
+        }
+        let mut loaded = 0usize;
+        for _ in 0..count {
+            let level = read_u64(r)? as u32;
+            let id = read_u64(r)? as usize;
+            let n = read_u64(r)? as usize;
+            let m = read_u64(r)? as usize;
+            if n == 0 || m == 0 || n > 65_536 || m > 65_536 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "bad channel shape"));
+            }
+            let mut pts = Vec::with_capacity(n + m);
+            for _ in 0..(n + m) {
+                pts.push(Point::new(read_f64(r)?, read_f64(r)?));
+            }
+            let mut probs = Vec::with_capacity(n * m);
+            for _ in 0..n * m {
+                probs.push(read_f64(r)?);
+            }
+            let cell = LevelCell { level, id };
+            // Geometry validation against this index.
+            if level + 1 > self.height() {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "entry beyond index height"));
+            }
+            let expect: Vec<Point> = self.children_of(cell).iter().map(|c| self.center_of(*c)).collect();
+            if expect.len() != n || n != m {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "child count mismatch"));
+            }
+            for (a, b) in expect.iter().zip(&pts[..n]) {
+                if a.dist(*b) > 1e-9 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "channel geometry does not match this index",
+                    ));
+                }
+            }
+            let channel = Channel::new(pts[..n].to_vec(), pts[n..].to_vec(), probs);
+            self.cache_insert(cell, Arc::new(channel));
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocationStrategy;
+    use geoind_data::prior::GridPrior;
+    use geoind_spatial::geom::BBox;
+
+    fn mechanism() -> MsmMechanism {
+        let domain = BBox::square(8.0);
+        let prior = GridPrior::uniform(domain, 8);
+        MsmMechanism::builder(domain, prior)
+            .epsilon(0.8)
+            .granularity(2)
+            .strategy(AllocationStrategy::FixedHeight(2))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn precompute_fills_the_whole_tree() {
+        let msm = mechanism();
+        // g=2, h=2: internal nodes = root + 4 level-1 cells.
+        let n = msm.precompute(usize::MAX);
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_distributions() {
+        let provisioner = mechanism();
+        provisioner.precompute(usize::MAX);
+        let mut blob = Vec::new();
+        let written = provisioner.export_cache(&mut blob).unwrap();
+        assert_eq!(written, 5);
+        assert!(!blob.is_empty());
+
+        let device = mechanism();
+        assert_eq!(device.cached_channels(), 0);
+        let loaded = device.import_cache(&mut blob.as_slice()).unwrap();
+        assert_eq!(loaded, 5);
+        assert_eq!(device.cached_channels(), 5);
+
+        // Identical exact output distributions without any further solving.
+        let x = geoind_spatial::geom::Point::new(1.7, 6.1);
+        let a = provisioner.exact_output_distribution(x);
+        let b = device.exact_output_distribution(x);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let device = mechanism();
+        let mut blob: &[u8] = b"NOTMAGIC\x00\x00\x00\x00\x00\x00\x00\x00";
+        let err = device.import_cache(&mut blob).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let provisioner = mechanism();
+        provisioner.precompute(usize::MAX);
+        let mut blob = Vec::new();
+        provisioner.export_cache(&mut blob).unwrap();
+        blob.truncate(blob.len() / 2);
+        let device = mechanism();
+        assert!(device.import_cache(&mut blob.as_slice()).is_err());
+    }
+
+    #[test]
+    fn geometry_mismatch_rejected() {
+        let provisioner = mechanism();
+        provisioner.precompute(usize::MAX);
+        let mut blob = Vec::new();
+        provisioner.export_cache(&mut blob).unwrap();
+        // A device with a different domain scale must refuse the blob.
+        let domain = BBox::square(16.0);
+        let other = MsmMechanism::builder(domain, GridPrior::uniform(domain, 8))
+            .epsilon(0.8)
+            .granularity(2)
+            .strategy(AllocationStrategy::FixedHeight(2))
+            .build()
+            .unwrap();
+        assert!(other.import_cache(&mut blob.as_slice()).is_err());
+    }
+
+    #[test]
+    fn precompute_respects_node_cap() {
+        let msm = mechanism();
+        let n = msm.precompute(2);
+        assert!(n <= 2, "cache holds {n}");
+    }
+}

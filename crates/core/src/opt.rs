@@ -1,0 +1,453 @@
+//! The optimal GeoInd mechanism (Bordenabe et al., Eq. 3–6) over a discrete
+//! location set, solved with the workspace LP engine.
+//!
+//! Given budget `ε`, prior `Π`, quality metric `d_Q` and locations
+//! `X = Z`, OPT finds the row-stochastic channel `K` minimizing
+//! `Σ Π(x)·K(x)(z)·d_Q(x,z)` subject to the ε-GeoInd constraints — the
+//! best utility any GeoInd mechanism can achieve against that prior.
+//!
+//! The LP has `n²` variables and `n + n²(n−1)` constraints; it is solved
+//! through its dual (see `geoind_lp::dual`), whose basis has only `n²` rows
+//! and whose slack basis is immediately feasible.
+
+use crate::channel::Channel;
+use crate::metrics::QualityMetric;
+use crate::spanner::Spanner;
+use crate::{Mechanism, MechanismError};
+use geoind_data::prior::GridPrior;
+use geoind_lp::model::{Model, Op, Sense, SolveVia};
+use geoind_lp::simplex::SimplexOptions;
+use geoind_spatial::geom::Point;
+use geoind_spatial::grid::Grid;
+use geoind_spatial::kdtree::KdTree;
+use rand::Rng;
+
+/// Which GeoInd constraint set to generate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstraintSet {
+    /// All `n²(n−1)` pairwise constraints (exact OPT).
+    Full,
+    /// Constraints only on the edges of a greedy δ-spanner, tightened to
+    /// `ε/δ` — an over-constrained but much smaller program whose solution
+    /// still satisfies ε-GeoInd (utility is ≥ the exact optimum).
+    Spanner {
+        /// Spanner dilation δ ≥ 1.
+        dilation: f64,
+    },
+}
+
+/// Options for [`OptimalMechanism::solve_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct OptOptions {
+    /// LP path; `Dual` is right for every non-trivial size.
+    pub via: SolveVia,
+    /// Constraint generation strategy.
+    pub constraints: ConstraintSet,
+    /// Simplex tuning.
+    pub simplex: SimplexOptions,
+}
+
+impl Default for OptOptions {
+    fn default() -> Self {
+        Self {
+            via: SolveVia::Dual,
+            constraints: ConstraintSet::Full,
+            simplex: SimplexOptions::default(),
+        }
+    }
+}
+
+/// Size/effort statistics from the LP solve.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveStats {
+    /// Constraint rows in the primal formulation.
+    pub rows: usize,
+    /// Variables in the primal formulation.
+    pub cols: usize,
+    /// Simplex pivots performed.
+    pub iterations: usize,
+}
+
+/// The optimal mechanism: a precomputed channel plus a nearest-location
+/// snapper for continuous inputs.
+#[derive(Debug, Clone)]
+pub struct OptimalMechanism {
+    eps: f64,
+    metric: QualityMetric,
+    channel: Channel,
+    snapper: KdTree,
+    stats: SolveStats,
+}
+
+impl OptimalMechanism {
+    /// Solve OPT with default options.
+    ///
+    /// # Examples
+    /// ```
+    /// use geoind_core::metrics::QualityMetric;
+    /// use geoind_core::opt::OptimalMechanism;
+    /// use geoind_spatial::geom::Point;
+    ///
+    /// // Two locations 1 km apart, uniform prior: the optimal flip
+    /// // probability has the closed form 1 / (1 + e^eps).
+    /// let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+    /// let opt = OptimalMechanism::solve(1.0, &pts, &[0.5, 0.5], QualityMetric::Euclidean)
+    ///     .unwrap();
+    /// let flip = 1.0 / (1.0 + 1.0f64.exp());
+    /// assert!((opt.channel().prob(0, 1) - flip).abs() < 1e-8);
+    /// ```
+    pub fn solve(
+        eps: f64,
+        locations: &[Point],
+        prior: &[f64],
+        metric: QualityMetric,
+    ) -> Result<Self, MechanismError> {
+        Self::solve_with(eps, locations, prior, metric, OptOptions::default())
+    }
+
+    /// Solve OPT on the cells of a grid with a matching prior (aggregating
+    /// the prior to the grid's granularity when needed).
+    pub fn on_grid(
+        eps: f64,
+        grid: &Grid,
+        prior: &GridPrior,
+        metric: QualityMetric,
+    ) -> Result<Self, MechanismError> {
+        let prior = if prior.grid().granularity() == grid.granularity() {
+            prior.clone()
+        } else {
+            prior.aggregate_to(grid.granularity())
+        };
+        Self::solve(eps, &grid.centers(), prior.probs(), metric)
+    }
+
+    /// Solve OPT with explicit options.
+    ///
+    /// # Errors
+    /// [`MechanismError::BadParameter`] for invalid inputs;
+    /// [`MechanismError::Lp`] if the LP fails (it is feasible by
+    /// construction, so this indicates an iteration limit).
+    pub fn solve_with(
+        eps: f64,
+        locations: &[Point],
+        prior: &[f64],
+        metric: QualityMetric,
+        opts: OptOptions,
+    ) -> Result<Self, MechanismError> {
+        if eps <= 0.0 {
+            return Err(MechanismError::BadParameter(format!("eps must be positive, got {eps}")));
+        }
+        if locations.len() < 2 {
+            return Err(MechanismError::BadParameter("need at least 2 locations".into()));
+        }
+        if prior.len() != locations.len() {
+            return Err(MechanismError::BadParameter(format!(
+                "prior length {} != location count {}",
+                prior.len(),
+                locations.len()
+            )));
+        }
+        let psum: f64 = prior.iter().sum();
+        if prior.iter().any(|&p| p < 0.0 || !p.is_finite()) || psum <= 0.0 {
+            return Err(MechanismError::BadParameter("prior must be non-negative, nonzero".into()));
+        }
+        let n = locations.len();
+
+        let mut model = Model::new(Sense::Minimize);
+        // Variables k[x*n + z] with objective Π(x)·d_Q(x,z).
+        for x in 0..n {
+            let px = prior[x] / psum;
+            for z in 0..n {
+                model.add_var(px * metric.loss(locations[x], locations[z]));
+            }
+        }
+        // Row-stochasticity: Σ_z k(x,z) = 1.
+        for x in 0..n {
+            let entries: Vec<(usize, f64)> = (0..n).map(|z| (x * n + z, 1.0)).collect();
+            model.add_row(&entries, Op::Eq, 1.0);
+        }
+        // GeoInd constraints. Rows are scaled by e^{−ε·d} so every
+        // coefficient stays in [−1, 1] (the rhs is 0, so scaling is free).
+        let add_pair = |m: &mut Model, x: usize, xp: usize, e: f64| {
+            let scale = (-e * locations[x].dist(locations[xp])).exp();
+            for z in 0..n {
+                m.add_row(&[(x * n + z, scale), (xp * n + z, -1.0)], Op::Le, 0.0);
+            }
+        };
+        match opts.constraints {
+            ConstraintSet::Full => {
+                for x in 0..n {
+                    for xp in 0..n {
+                        if x != xp {
+                            add_pair(&mut model, x, xp, eps);
+                        }
+                    }
+                }
+            }
+            ConstraintSet::Spanner { dilation } => {
+                if dilation < 1.0 {
+                    return Err(MechanismError::BadParameter(format!(
+                        "spanner dilation must be >= 1, got {dilation}"
+                    )));
+                }
+                let spanner = Spanner::greedy(locations, dilation);
+                for &(i, j) in spanner.edges() {
+                    add_pair(&mut model, i, j, eps / dilation);
+                    add_pair(&mut model, j, i, eps / dilation);
+                }
+            }
+        }
+
+        let stats_rows = model.num_rows();
+        let stats_cols = model.num_vars();
+        let sol = model.solve_with(opts.via, opts.simplex)?;
+        // The LP enforces row-scaled constraints; un-scale solver tolerance
+        // back into an honest GeoInd guarantee (see Channel::geoind_repair).
+        let channel = Channel::new(locations.to_vec(), locations.to_vec(), sol.values)
+            .geoind_repair(eps);
+        let snapper = KdTree::build(locations.iter().copied().enumerate().map(|(i, p)| (p, i)));
+        Ok(Self {
+            eps,
+            metric,
+            channel,
+            snapper,
+            stats: SolveStats { rows: stats_rows, cols: stats_cols, iterations: sol.iterations },
+        })
+    }
+
+    /// The optimal channel.
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// The privacy budget.
+    pub fn epsilon(&self) -> f64 {
+        self.eps
+    }
+
+    /// The quality metric the channel was optimized for.
+    pub fn metric(&self) -> QualityMetric {
+        self.metric
+    }
+
+    /// LP size/effort statistics.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Expected loss under a prior (defaults to the training objective when
+    /// called with the same prior used at solve time).
+    pub fn expected_loss(&self, prior: &[f64]) -> f64 {
+        self.channel.expected_loss(prior, self.metric)
+    }
+
+    /// Index of the logical location nearest to a continuous point.
+    pub fn snap_index(&self, x: Point) -> usize {
+        self.snapper.nearest(x).expect("non-empty location set").1
+    }
+}
+
+impl Mechanism for OptimalMechanism {
+    fn report<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
+        let idx = self.snap_index(x);
+        self.channel.sample_location(idx, rng)
+    }
+
+    fn name(&self) -> String {
+        format!("OPT(eps={}, n={})", self.eps, self.channel.num_inputs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoind_spatial::geom::BBox;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_points(n: usize, spacing: f64) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect()
+    }
+
+    #[test]
+    fn two_point_closed_form() {
+        // Uniform prior, unit distance: optimum flips with prob 1/(1+e^eps).
+        let eps = 1.0;
+        let opt = OptimalMechanism::solve(
+            eps,
+            &line_points(2, 1.0),
+            &[0.5, 0.5],
+            QualityMetric::Euclidean,
+        )
+        .unwrap();
+        let flip = 1.0 / (1.0 + eps.exp());
+        assert!((opt.channel().prob(0, 1) - flip).abs() < 1e-8);
+        assert!((opt.channel().prob(1, 0) - flip).abs() < 1e-8);
+        assert!((opt.expected_loss(&[0.5, 0.5]) - flip).abs() < 1e-8);
+    }
+
+    #[test]
+    fn channel_satisfies_geoind() {
+        let grid = Grid::new(BBox::square(20.0), 3);
+        let prior = GridPrior::uniform(BBox::square(20.0), 3);
+        let opt =
+            OptimalMechanism::on_grid(0.5, &grid, &prior, QualityMetric::Euclidean).unwrap();
+        assert!(
+            opt.channel().satisfies_geoind(0.5, 1e-6),
+            "violation {}",
+            opt.channel().geoind_violation(0.5)
+        );
+    }
+
+    #[test]
+    fn geoind_holds_for_any_prior_it_was_not_tuned_for() {
+        // The remarkable OPT property (Section 2.3): tuned for one prior,
+        // private for all. GeoInd is a property of the channel alone, so a
+        // skewed-prior channel passes the same constraint check.
+        let pts = line_points(4, 2.0);
+        let skewed = [0.7, 0.1, 0.1, 0.1];
+        let opt =
+            OptimalMechanism::solve(0.4, &pts, &skewed, QualityMetric::Euclidean).unwrap();
+        assert!(opt.channel().satisfies_geoind(0.4, 1e-6));
+    }
+
+    #[test]
+    fn beats_or_matches_planar_laplace_utility() {
+        // OPT is *optimal*: no GeoInd channel over the same locations can
+        // do better; in particular a discretized PL cannot.
+        let domain = BBox::square(20.0);
+        let grid = Grid::new(domain, 4);
+        let mut weights = vec![0.0; 16];
+        weights[5] = 10.0;
+        weights[6] = 5.0;
+        weights[9] = 3.0;
+        weights[0] = 1.0;
+        let prior = GridPrior::from_weights(grid.clone(), weights);
+        let eps = 0.3;
+        let opt = OptimalMechanism::on_grid(eps, &grid, &prior, QualityMetric::Euclidean).unwrap();
+        let opt_loss = opt.expected_loss(prior.probs());
+
+        // Monte-Carlo the PL+remap loss under the same prior.
+        let pl = crate::planar_laplace::PlanarLaplace::new(eps).with_grid_remap(grid.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut pl_loss = 0.0;
+        let trials = 3_000;
+        for (cell, &p) in prior.probs().iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let x = grid.center_of(cell);
+            let mut acc = 0.0;
+            for _ in 0..trials {
+                acc += pl.report(x, &mut rng).dist(x);
+            }
+            pl_loss += p * acc / trials as f64;
+        }
+        assert!(
+            opt_loss <= pl_loss * 1.02,
+            "OPT loss {opt_loss} should not exceed PL loss {pl_loss}"
+        );
+    }
+
+    #[test]
+    fn skewed_prior_beats_uniform_prior_utility() {
+        // Tuning to a concentrated prior must give (weakly) better expected
+        // loss under that prior than the channel tuned for uniform.
+        let pts = Grid::new(BBox::square(10.0), 3).centers();
+        let mut skewed = vec![0.01; 9];
+        skewed[4] = 0.92;
+        let tuned =
+            OptimalMechanism::solve(0.3, &pts, &skewed, QualityMetric::Euclidean).unwrap();
+        let generic = OptimalMechanism::solve(
+            0.3,
+            &pts,
+            &[1.0 / 9.0; 9],
+            QualityMetric::Euclidean,
+        )
+        .unwrap();
+        let lt = tuned.channel().expected_loss(&skewed, QualityMetric::Euclidean);
+        let lg = generic.channel().expected_loss(&skewed, QualityMetric::Euclidean);
+        assert!(lt <= lg + 1e-8, "tuned {lt} vs generic {lg}");
+    }
+
+    #[test]
+    fn spanner_variant_is_private_and_close() {
+        let grid = Grid::new(BBox::square(20.0), 3);
+        let prior = GridPrior::uniform(BBox::square(20.0), 3);
+        let eps = 0.5;
+        let exact =
+            OptimalMechanism::on_grid(eps, &grid, &prior, QualityMetric::Euclidean).unwrap();
+        let solve_spanner = |dilation: f64| {
+            OptimalMechanism::solve_with(
+                eps,
+                &grid.centers(),
+                prior.probs(),
+                QualityMetric::Euclidean,
+                OptOptions {
+                    constraints: ConstraintSet::Spanner { dilation },
+                    ..OptOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let tight = solve_spanner(1.05);
+        let loose = solve_spanner(1.5);
+        // Still ε-GeoInd (the whole point of the spanner argument)...
+        assert!(tight.channel().satisfies_geoind(eps, 1e-6));
+        assert!(loose.channel().satisfies_geoind(eps, 1e-6));
+        // ...with fewer constraints...
+        assert!(loose.stats().rows < exact.stats().rows);
+        // ...at a utility premium that shrinks as δ → 1 (the ε/δ budget
+        // tightening is the price of the smaller program).
+        let le = exact.expected_loss(prior.probs());
+        let lt = tight.expected_loss(prior.probs());
+        let ll = loose.expected_loss(prior.probs());
+        assert!(lt >= le - 1e-8 && ll >= le - 1e-8, "spanner cannot beat the true optimum");
+        assert!(lt <= ll + 1e-8, "tighter dilation should not lose more ({lt} vs {ll})");
+        assert!(lt <= le * 1.35, "near-exact spanner loss {lt} too far above exact {le}");
+    }
+
+    #[test]
+    fn higher_eps_means_lower_loss() {
+        let grid = Grid::new(BBox::square(20.0), 3);
+        let prior = GridPrior::uniform(BBox::square(20.0), 3);
+        let mut prev = f64::INFINITY;
+        for eps in [0.1, 0.3, 0.6, 1.0] {
+            let opt =
+                OptimalMechanism::on_grid(eps, &grid, &prior, QualityMetric::Euclidean).unwrap();
+            let loss = opt.expected_loss(prior.probs());
+            assert!(loss <= prev + 1e-9, "loss not decreasing at eps={eps}");
+            prev = loss;
+        }
+    }
+
+    #[test]
+    fn report_snaps_and_samples() {
+        let grid = Grid::new(BBox::square(10.0), 2);
+        let prior = GridPrior::uniform(BBox::square(10.0), 2);
+        let opt = OptimalMechanism::on_grid(1.0, &grid, &prior, QualityMetric::Euclidean).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let centers = grid.centers();
+        for _ in 0..100 {
+            let z = opt.report(Point::new(1.1, 2.3), &mut rng);
+            assert!(centers.iter().any(|c| c.dist(z) < 1e-12));
+        }
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let pts = line_points(3, 1.0);
+        assert!(matches!(
+            OptimalMechanism::solve(0.0, &pts, &[0.3, 0.3, 0.4], QualityMetric::Euclidean),
+            Err(MechanismError::BadParameter(_))
+        ));
+        assert!(matches!(
+            OptimalMechanism::solve(0.5, &pts, &[0.5, 0.5], QualityMetric::Euclidean),
+            Err(MechanismError::BadParameter(_))
+        ));
+        assert!(matches!(
+            OptimalMechanism::solve(0.5, &pts[..1], &[1.0], QualityMetric::Euclidean),
+            Err(MechanismError::BadParameter(_))
+        ));
+    }
+}

@@ -1,0 +1,204 @@
+//! Greedy δ-spanners for GeoInd constraint reduction.
+//!
+//! The exact optimal mechanism needs a constraint per `(x, x′, z)` triple.
+//! Chatzikokolakis et al. (PoPETS 2017) observed that enforcing the
+//! constraints only on the edges of a δ-spanner of the location set — at
+//! the tightened budget `ε/δ` — still implies ε-GeoInd for every pair, by
+//! chaining along spanner paths:
+//! `K(x)(z) ≤ e^{(ε/δ)·d_G(x,x′)}·K(x′)(z) ≤ e^{ε·d(x,x′)}·K(x′)(z)`.
+//!
+//! The workspace uses this as an ablation against the exact formulation
+//! (`abl-spanner` in EXPERIMENTS.md).
+
+use geoind_spatial::geom::Point;
+
+/// An undirected graph whose shortest-path metric `d_G` satisfies
+/// `d ≤ d_G ≤ δ·d` over the given points.
+#[derive(Debug, Clone)]
+pub struct Spanner {
+    dilation: f64,
+    edges: Vec<(usize, usize)>,
+    n: usize,
+}
+
+impl Spanner {
+    /// Greedy spanner construction (Althöfer et al.): consider pairs by
+    /// ascending distance; add an edge only when the current graph distance
+    /// exceeds `δ·d`.
+    ///
+    /// O(n² log n + n·E) with Dijkstra checks — intended for the ≤ a few
+    /// hundred locations the mechanisms use.
+    ///
+    /// # Panics
+    /// Panics if `dilation < 1` or fewer than 2 points are given.
+    pub fn greedy(points: &[Point], dilation: f64) -> Self {
+        assert!(dilation >= 1.0, "dilation must be >= 1");
+        assert!(points.len() >= 2, "spanner needs at least two points");
+        let n = points.len();
+        let mut pairs: Vec<(usize, usize, f64)> = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pairs.push((i, j, points[i].dist(points[j])));
+            }
+        }
+        pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("NaN distance"));
+        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut edges = Vec::new();
+        for (i, j, d) in pairs {
+            if shortest_path_bounded(&adj, i, j, dilation * d) > dilation * d {
+                adj[i].push((j, d));
+                adj[j].push((i, d));
+                edges.push((i, j));
+            }
+        }
+        Self { dilation, edges, n }
+    }
+
+    /// The dilation bound δ this spanner was built for.
+    pub fn dilation(&self) -> f64 {
+        self.dilation
+    }
+
+    /// Spanner edges as index pairs (`i < j`).
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Shortest-path distance in the spanner between two vertices, for
+    /// verification. Returns `f64::INFINITY` when disconnected.
+    pub fn graph_distance(&self, points: &[Point], a: usize, b: usize) -> f64 {
+        assert_eq!(points.len(), self.n);
+        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.n];
+        for &(i, j) in &self.edges {
+            let d = points[i].dist(points[j]);
+            adj[i].push((j, d));
+            adj[j].push((i, d));
+        }
+        shortest_path_bounded(&adj, a, b, f64::INFINITY)
+    }
+}
+
+/// Dijkstra from `src` to `dst`, early-exiting once `bound` is exceeded.
+/// Returns the distance (possibly `> bound`, meaning "too far").
+fn shortest_path_bounded(
+    adj: &[Vec<(usize, f64)>],
+    src: usize,
+    dst: usize,
+    bound: f64,
+) -> f64 {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Entry(f64, usize);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Min-heap on distance.
+            other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+        }
+    }
+
+    let mut dist = vec![f64::INFINITY; adj.len()];
+    dist[src] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Entry(0.0, src));
+    while let Some(Entry(d, u)) = heap.pop() {
+        if u == dst {
+            return d;
+        }
+        if d > dist[u] || d > bound {
+            continue;
+        }
+        for &(v, w) in &adj[u] {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(Entry(nd, v));
+            }
+        }
+    }
+    dist[dst]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoind_spatial::geom::BBox;
+    use geoind_spatial::grid::Grid;
+
+    fn grid_points(g: u32) -> Vec<Point> {
+        Grid::new(BBox::square(10.0), g).centers()
+    }
+
+    #[test]
+    fn dilation_one_preserves_the_metric_exactly() {
+        // δ=1 does NOT force the complete graph: collinear grid points are
+        // served by stretch-1 paths. But every graph distance must equal
+        // the metric distance.
+        let pts = grid_points(3);
+        let s = Spanner::greedy(&pts, 1.0);
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let dg = s.graph_distance(&pts, i, j);
+                let d = pts[i].dist(pts[j]);
+                assert!((dg - d).abs() < 1e-9, "({i},{j}): {dg} vs {d}");
+            }
+        }
+        // Diagonal-adjacent pairs have no stretch-1 path through others, so
+        // the edge count still exceeds a spanning tree.
+        assert!(s.edges().len() >= pts.len());
+    }
+
+    #[test]
+    fn spanner_respects_dilation_bound() {
+        let pts = grid_points(5);
+        for delta in [1.2, 1.5, 2.0, 3.0] {
+            let s = Spanner::greedy(&pts, delta);
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    let dg = s.graph_distance(&pts, i, j);
+                    let d = pts[i].dist(pts[j]);
+                    assert!(
+                        dg <= delta * d + 1e-9,
+                        "delta={delta}: pair ({i},{j}) stretched {dg} > {}",
+                        delta * d
+                    );
+                    assert!(dg >= d - 1e-9, "graph shorter than metric?");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_dilation_gives_sparser_graph() {
+        let pts = grid_points(6);
+        let tight = Spanner::greedy(&pts, 1.1).edges().len();
+        let loose = Spanner::greedy(&pts, 2.5).edges().len();
+        assert!(
+            loose < tight,
+            "expected sparser graph at higher dilation ({loose} vs {tight})"
+        );
+        // And dramatically fewer than the complete graph.
+        assert!(loose < pts.len() * (pts.len() - 1) / 8);
+    }
+
+    #[test]
+    fn connected() {
+        let pts = grid_points(4);
+        let s = Spanner::greedy(&pts, 2.0);
+        for j in 1..pts.len() {
+            assert!(s.graph_distance(&pts, 0, j).is_finite());
+        }
+    }
+}

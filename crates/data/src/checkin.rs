@@ -1,0 +1,100 @@
+//! Check-in records and dataset containers.
+
+use geoind_spatial::geom::{BBox, Point};
+
+/// One check-in: a user reporting presence at a location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckIn {
+    /// Opaque user identifier.
+    pub user: u64,
+    /// Location on the local km-plane.
+    pub location: Point,
+}
+
+/// An in-memory check-in dataset over a square domain.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    domain: BBox,
+    checkins: Vec<CheckIn>,
+}
+
+impl Dataset {
+    /// Build a dataset, dropping check-ins that fall outside `domain`.
+    pub fn new(name: impl Into<String>, domain: BBox, checkins: Vec<CheckIn>) -> Self {
+        let checkins: Vec<CheckIn> =
+            checkins.into_iter().filter(|c| domain.contains(c.location)).collect();
+        Self { name: name.into(), domain, checkins }
+    }
+
+    /// Human-readable dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The square spatial domain.
+    pub fn domain(&self) -> BBox {
+        self.domain
+    }
+
+    /// All check-ins.
+    pub fn checkins(&self) -> &[CheckIn] {
+        &self.checkins
+    }
+
+    /// All check-in locations.
+    pub fn locations(&self) -> impl Iterator<Item = Point> + '_ {
+        self.checkins.iter().map(|c| c.location)
+    }
+
+    /// Number of check-ins.
+    pub fn len(&self) -> usize {
+        self.checkins.len()
+    }
+
+    /// True when the dataset holds no check-ins.
+    pub fn is_empty(&self) -> bool {
+        self.checkins.is_empty()
+    }
+
+    /// Number of distinct users.
+    pub fn num_users(&self) -> usize {
+        let mut ids: Vec<u64> = self.checkins.iter().map(|c| c.user).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_domain_checkins_dropped() {
+        let d = Dataset::new(
+            "t",
+            BBox::square(10.0),
+            vec![
+                CheckIn { user: 1, location: Point::new(5.0, 5.0) },
+                CheckIn { user: 2, location: Point::new(15.0, 5.0) },
+                CheckIn { user: 1, location: Point::new(-1.0, 0.0) },
+            ],
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.num_users(), 1);
+    }
+
+    #[test]
+    fn user_counting() {
+        let mk = |u, x| CheckIn { user: u, location: Point::new(x, 1.0) };
+        let d = Dataset::new(
+            "t",
+            BBox::square(10.0),
+            vec![mk(1, 1.0), mk(2, 2.0), mk(1, 3.0), mk(3, 4.0)],
+        );
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.num_users(), 3);
+        assert!(!d.is_empty());
+    }
+}

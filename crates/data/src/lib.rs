@@ -1,0 +1,32 @@
+//! Check-in datasets, synthetic urban generators, and grid-histogram priors.
+//!
+//! The paper evaluates on check-ins from two geo-social apps — Gowalla
+//! (Austin, TX: 265,571 check-ins / 12,155 users) and Yelp (Las Vegas, NV:
+//! 81,201 check-ins / 7,581 users) — each clipped to a 20×20 km urban box.
+//! Those raw dumps are not redistributable, so this crate ships:
+//!
+//! * [`checkin`] — the dataset container used throughout the workspace;
+//! * [`synth`] — seeded synthetic city generators that reproduce the
+//!   statistical shape the mechanisms care about (a heavily skewed,
+//!   multi-cluster prior over a 20×20 km square) at the paper's scale;
+//! * [`loader`] — parsers for the genuine SNAP-Gowalla and Yelp CSV layouts,
+//!   so the real data drops in when available;
+//! * [`prior`] — the grid-histogram prior `Π` of Section 6.1, including
+//!   fine→coarse aggregation and sub-grid restriction for the multi-step
+//!   mechanism.
+
+#![warn(missing_docs)]
+// Index-based loops over parallel arrays are the clearest style for the
+// numeric kernels here; the iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+// Test reference constants keep full printed precision from their sources.
+#![allow(clippy::excessive_precision)]
+
+pub mod checkin;
+pub mod loader;
+pub mod prior;
+pub mod synth;
+
+pub use checkin::{CheckIn, Dataset};
+pub use prior::GridPrior;
+pub use synth::SyntheticCity;

@@ -1,0 +1,253 @@
+//! Loaders for the genuine dataset formats used by the paper.
+//!
+//! * [`load_gowalla`] reads the SNAP Gowalla dump
+//!   (`user \t check-in-time \t latitude \t longitude \t location-id`, one
+//!   check-in per line).
+//! * [`load_checkin_csv`] reads a simple `user,lat,lon` CSV with a header —
+//!   the shape of a Yelp-review extract after projecting reviews to
+//!   (user, business location) pairs.
+//!
+//! Both clip to a lat/lon window ([`GeoBounds`]; the paper's Austin and Las
+//! Vegas windows ship as constants), project to a local km-plane, and shift
+//! so the window's south-west corner sits at the origin of a square domain.
+
+use crate::checkin::{CheckIn, Dataset};
+use geoind_spatial::geom::{BBox, Point, Projection};
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// A latitude/longitude window.
+#[derive(Debug, Clone, Copy)]
+pub struct GeoBounds {
+    /// Southern edge, degrees.
+    pub min_lat: f64,
+    /// Northern edge, degrees.
+    pub max_lat: f64,
+    /// Western edge, degrees.
+    pub min_lon: f64,
+    /// Eastern edge, degrees.
+    pub max_lon: f64,
+}
+
+/// The paper's Gowalla window: Austin, TX (20×20 km).
+pub const AUSTIN: GeoBounds =
+    GeoBounds { min_lat: 30.1927, max_lat: 30.3723, min_lon: -97.8698, max_lon: -97.6618 };
+
+/// The paper's Yelp window: Las Vegas, NV (20×20 km).
+pub const LAS_VEGAS: GeoBounds =
+    GeoBounds { min_lat: 36.0645, max_lat: 36.2442, min_lon: -115.291, max_lon: -115.069 };
+
+impl GeoBounds {
+    /// True if a coordinate lies inside the window.
+    pub fn contains(&self, lat: f64, lon: f64) -> bool {
+        lat >= self.min_lat && lat <= self.max_lat && lon >= self.min_lon && lon <= self.max_lon
+    }
+
+    /// Projection anchored at the window center.
+    pub fn projection(&self) -> Projection {
+        Projection::new(0.5 * (self.min_lat + self.max_lat), 0.5 * (self.min_lon + self.max_lon))
+    }
+
+    /// The square km-plane domain for this window (south-west corner at the
+    /// origin; side = the larger of the projected extents).
+    pub fn domain(&self) -> BBox {
+        let proj = self.projection();
+        let sw = proj.project(self.min_lat, self.min_lon);
+        let ne = proj.project(self.max_lat, self.max_lon);
+        BBox::new(Point::new(0.0, 0.0), Point::new(ne.x - sw.x, ne.y - sw.y)).enclosing_square()
+    }
+
+    /// Project a coordinate into [`GeoBounds::domain`] space.
+    pub fn to_plane(&self, lat: f64, lon: f64) -> Point {
+        let proj = self.projection();
+        let sw = proj.project(self.min_lat, self.min_lon);
+        let p = proj.project(lat, lon);
+        Point::new(p.x - sw.x, p.y - sw.y)
+    }
+}
+
+/// Errors raised while loading a dataset file.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and description).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Load a SNAP-format Gowalla dump, keeping check-ins inside `bounds`.
+///
+/// Lines that fail to parse raise [`LoadError::Parse`]; out-of-window
+/// check-ins are silently skipped (that is the paper's clipping step).
+pub fn load_gowalla(path: impl AsRef<Path>, bounds: GeoBounds) -> Result<Dataset, LoadError> {
+    let file = std::fs::File::open(path.as_ref())?;
+    let reader = BufReader::new(file);
+    let mut checkins = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let user: u64 = next_field(&mut fields, lineno, "user")?
+            .parse()
+            .map_err(|e| LoadError::Parse(lineno + 1, format!("user id: {e}")))?;
+        let _time = next_field(&mut fields, lineno, "timestamp")?;
+        let lat: f64 = next_field(&mut fields, lineno, "latitude")?
+            .parse()
+            .map_err(|e| LoadError::Parse(lineno + 1, format!("latitude: {e}")))?;
+        let lon: f64 = next_field(&mut fields, lineno, "longitude")?
+            .parse()
+            .map_err(|e| LoadError::Parse(lineno + 1, format!("longitude: {e}")))?;
+        if bounds.contains(lat, lon) {
+            checkins.push(CheckIn { user, location: bounds.to_plane(lat, lon) });
+        }
+    }
+    Ok(Dataset::new("gowalla", bounds.domain(), checkins))
+}
+
+/// Load a `user,lat,lon` CSV (header required), keeping rows inside
+/// `bounds`.
+pub fn load_checkin_csv(
+    path: impl AsRef<Path>,
+    name: &str,
+    bounds: GeoBounds,
+) -> Result<Dataset, LoadError> {
+    let file = std::fs::File::open(path.as_ref())?;
+    let reader = BufReader::new(file);
+    let mut checkins = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 || line.trim().is_empty() {
+            continue; // header
+        }
+        let mut fields = line.split(',');
+        let user: u64 = next_field(&mut fields, lineno, "user")?
+            .trim()
+            .parse()
+            .map_err(|e| LoadError::Parse(lineno + 1, format!("user id: {e}")))?;
+        let lat: f64 = next_field(&mut fields, lineno, "lat")?
+            .trim()
+            .parse()
+            .map_err(|e| LoadError::Parse(lineno + 1, format!("latitude: {e}")))?;
+        let lon: f64 = next_field(&mut fields, lineno, "lon")?
+            .trim()
+            .parse()
+            .map_err(|e| LoadError::Parse(lineno + 1, format!("longitude: {e}")))?;
+        if bounds.contains(lat, lon) {
+            checkins.push(CheckIn { user, location: bounds.to_plane(lat, lon) });
+        }
+    }
+    Ok(Dataset::new(name, bounds.domain(), checkins))
+}
+
+fn next_field<'a>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    lineno: usize,
+    what: &str,
+) -> Result<&'a str, LoadError> {
+    fields.next().ok_or_else(|| LoadError::Parse(lineno + 1, format!("missing field: {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, content: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("geoind-test-{}-{name}", std::process::id()));
+        let mut f = std::fs::File::create(&p).unwrap();
+        f.write_all(content.as_bytes()).unwrap();
+        p
+    }
+
+    #[test]
+    fn austin_window_is_20km_square() {
+        let d = AUSTIN.domain();
+        assert!((d.side() - 20.0).abs() < 0.5, "side {}", d.side());
+    }
+
+    #[test]
+    fn vegas_window_is_20km_square() {
+        let d = LAS_VEGAS.domain();
+        assert!((d.side() - 20.0).abs() < 0.5, "side {}", d.side());
+    }
+
+    #[test]
+    fn gowalla_roundtrip() {
+        let content = "\
+0\t2010-10-19T23:55:27Z\t30.2357\t-97.7947\t22847
+0\t2010-10-18T22:17:43Z\t30.2691\t-97.7494\t420315
+1\t2010-10-17T23:42:03Z\t40.6438\t-73.7828\t316637
+
+2\t2010-10-17T19:26:05Z\t30.2557\t-97.7633\t16516
+";
+        let path = temp_file("gowalla.txt", content);
+        let ds = load_gowalla(&path, AUSTIN).unwrap();
+        std::fs::remove_file(&path).ok();
+        // The New-York check-in is clipped away.
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.num_users(), 2);
+        for c in ds.checkins() {
+            assert!(ds.domain().contains(c.location));
+        }
+    }
+
+    #[test]
+    fn gowalla_bad_line_reports_position() {
+        let path = temp_file("bad.txt", "0\t2010\tnot-a-lat\t-97.7\t1\n");
+        let err = load_gowalla(&path, AUSTIN).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        match err {
+            LoadError::Parse(line, msg) => {
+                assert_eq!(line, 1);
+                assert!(msg.contains("latitude"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_loader_with_header() {
+        let content = "user,lat,lon\n7,36.1,-115.17\n8,36.12,-115.2\n9,10.0,10.0\n";
+        let path = temp_file("yelp.csv", content);
+        let ds = load_checkin_csv(&path, "yelp", LAS_VEGAS).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.name(), "yelp");
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_gowalla("/nonexistent/definitely/missing.txt", AUSTIN).unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+    }
+
+    #[test]
+    fn plane_projection_keeps_relative_positions() {
+        // A point on the window's west edge maps near x=0; east edge near
+        // the domain side.
+        let w = AUSTIN.to_plane(30.28, AUSTIN.min_lon);
+        let e = AUSTIN.to_plane(30.28, AUSTIN.max_lon);
+        assert!(w.x.abs() < 1e-9);
+        assert!((e.x - AUSTIN.domain().side()).abs() < 0.5);
+    }
+}

@@ -1,0 +1,217 @@
+//! Grid-histogram priors — the adversary's background knowledge `Π`.
+//!
+//! Following Section 6.1 of the paper: a global prior is computed on the
+//! finest effective grid by counting check-ins per cell relative to the
+//! total, and aggregated to coarser grids as needed. The prior describes the
+//! behaviour of an *average* user and feeds the optimal mechanism's
+//! objective.
+
+use crate::checkin::Dataset;
+use geoind_spatial::geom::{BBox, Point};
+use geoind_spatial::grid::{CellId, Grid};
+
+/// A probability distribution over the cells of a [`Grid`].
+#[derive(Debug, Clone)]
+pub struct GridPrior {
+    grid: Grid,
+    probs: Vec<f64>,
+}
+
+impl GridPrior {
+    /// Count check-ins of `dataset` on a `g×g` grid and normalize.
+    pub fn from_dataset(dataset: &Dataset, g: u32) -> Self {
+        Self::from_points(dataset.domain(), g, dataset.locations())
+    }
+
+    /// Count arbitrary points on a `g×g` grid over `domain` and normalize.
+    /// Points outside the domain are ignored. An empty point set yields the
+    /// uniform prior.
+    pub fn from_points(domain: BBox, g: u32, points: impl IntoIterator<Item = Point>) -> Self {
+        let grid = Grid::new(domain, g);
+        let mut counts = vec![0.0f64; grid.num_cells()];
+        for p in points {
+            if domain.contains(p) {
+                counts[grid.cell_of(p)] += 1.0;
+            }
+        }
+        Self::from_weights(grid, counts)
+    }
+
+    /// The uniform prior on a `g×g` grid.
+    pub fn uniform(domain: BBox, g: u32) -> Self {
+        let grid = Grid::new(domain, g);
+        let n = grid.num_cells();
+        Self { probs: vec![1.0 / n as f64; n], grid }
+    }
+
+    /// Normalize non-negative weights into a prior. All-zero weights fall
+    /// back to uniform.
+    ///
+    /// # Panics
+    /// Panics on negative/non-finite weights or a length mismatch.
+    pub fn from_weights(grid: Grid, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), grid.num_cells(), "weight/cell count mismatch");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "invalid prior weight {w}");
+                w
+            })
+            .sum();
+        if total <= 0.0 {
+            return Self::uniform(grid.domain(), grid.granularity());
+        }
+        let probs = weights.into_iter().map(|w| w / total).collect();
+        Self { grid, probs }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Cell probabilities, in cell-id order (sums to 1).
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Probability mass of one cell.
+    pub fn prob(&self, cell: CellId) -> f64 {
+        self.probs[cell]
+    }
+
+    /// Probability mass inside an axis-aligned region, attributing each cell
+    /// to the region containing its center. Exact whenever `region` is
+    /// aligned with cell boundaries (the only way the mechanisms call it).
+    pub fn mass_in(&self, region: BBox) -> f64 {
+        let g = self.grid.granularity() as i64;
+        let side = self.grid.cell_side();
+        let min = self.grid.domain().min;
+        // Index range of cells whose centers can lie inside the region.
+        let c0 = (((region.min.x - min.x) / side - 0.5).ceil() as i64).clamp(0, g - 1);
+        let c1 = (((region.max.x - min.x) / side - 0.5).floor() as i64).clamp(0, g - 1);
+        let r0 = (((region.min.y - min.y) / side - 0.5).ceil() as i64).clamp(0, g - 1);
+        let r1 = (((region.max.y - min.y) / side - 0.5).floor() as i64).clamp(0, g - 1);
+        let mut total = 0.0;
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                let id = (r * g + c) as usize;
+                if region.contains(self.grid.center_of(id)) {
+                    total += self.probs[id];
+                }
+            }
+        }
+        total
+    }
+
+    /// Aggregate to a coarser `g×g` prior by summing fine cells into the
+    /// coarse cell containing their center (exact when granularities divide).
+    pub fn aggregate_to(&self, g: u32) -> GridPrior {
+        let coarse = Grid::new(self.grid.domain(), g);
+        let mut weights = vec![0.0f64; coarse.num_cells()];
+        for (id, &p) in self.probs.iter().enumerate() {
+            weights[coarse.cell_of(self.grid.center_of(id))] += p;
+        }
+        GridPrior::from_weights(coarse, weights)
+    }
+
+    /// Raw (unnormalized) masses of a list of regions, each by center
+    /// membership. Renormalization is the caller's business — the multi-step
+    /// mechanism renormalizes within the sub-grid it is currently expanding.
+    pub fn masses(&self, regions: &[BBox]) -> Vec<f64> {
+        regions.iter().map(|r| self.mass_in(*r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkin::CheckIn;
+
+    fn point_dataset(points: &[(f64, f64)]) -> Dataset {
+        Dataset::new(
+            "t",
+            BBox::square(8.0),
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| CheckIn { user: i as u64, location: Point::new(x, y) })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn counts_normalize() {
+        let ds = point_dataset(&[(1.0, 1.0), (1.5, 1.5), (7.0, 7.0), (6.5, 7.5)]);
+        let p = GridPrior::from_dataset(&ds, 2);
+        assert_eq!(p.probs().len(), 4);
+        assert!((p.prob(0) - 0.5).abs() < 1e-12);
+        assert!((p.prob(3) - 0.5).abs() < 1e-12);
+        assert!((p.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_gives_uniform() {
+        let ds = point_dataset(&[]);
+        let p = GridPrior::from_dataset(&ds, 4);
+        for &q in p.probs() {
+            assert!((q - 1.0 / 16.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let p = GridPrior::uniform(BBox::square(8.0), 3);
+        assert!((p.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((p.prob(4) - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_preserves_mass() {
+        let ds = point_dataset(&[(0.5, 0.5), (1.5, 0.5), (7.9, 7.9), (4.5, 4.5), (5.5, 5.5)]);
+        let fine = GridPrior::from_dataset(&ds, 8);
+        let coarse = fine.aggregate_to(2);
+        assert!((coarse.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Bottom-left quadrant holds 2 of 5 points.
+        assert!((coarse.prob(0) - 0.4).abs() < 1e-12);
+        // Top-right quadrant holds 3 of 5 (7.9,7.9 / 4.5,4.5 / 5.5,5.5).
+        assert!((coarse.prob(3) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_in_aligned_regions_is_exact() {
+        let ds = point_dataset(&[(0.5, 0.5), (3.5, 0.5), (7.5, 7.5)]);
+        let p = GridPrior::from_dataset(&ds, 8);
+        let left_half = BBox::new(Point::new(0.0, 0.0), Point::new(4.0, 8.0));
+        assert!((p.mass_in(left_half) - 2.0 / 3.0).abs() < 1e-12);
+        let whole = BBox::square(8.0);
+        assert!((p.mass_in(whole) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masses_of_quadrants_sum_to_one() {
+        let ds = point_dataset(&[(1.0, 1.0), (5.0, 1.0), (1.0, 5.0), (5.0, 5.0), (6.0, 6.0)]);
+        let p = GridPrior::from_dataset(&ds, 8);
+        let q = |x0: f64, y0: f64| BBox::new(Point::new(x0, y0), Point::new(x0 + 4.0, y0 + 4.0));
+        let regions = [q(0.0, 0.0), q(4.0, 0.0), q(0.0, 4.0), q(4.0, 4.0)];
+        let m = p.masses(&regions);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((m[3] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid prior weight")]
+    fn negative_weights_panic() {
+        let grid = Grid::new(BBox::square(4.0), 2);
+        GridPrior::from_weights(grid, vec![0.5, -0.1, 0.3, 0.3]);
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_uniform() {
+        let grid = Grid::new(BBox::square(4.0), 2);
+        let p = GridPrior::from_weights(grid, vec![0.0; 4]);
+        for &q in p.probs() {
+            assert!((q - 0.25).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Seeded synthetic city generators.
+//!
+//! The real Gowalla/Yelp dumps the paper uses are not redistributable, so
+//! the workspace ships generators that reproduce the *statistical shape*
+//! that drives every result in the evaluation: check-ins concentrated on a
+//! handful of POI clusters (downtown core plus secondary centers) over a
+//! 20×20 km box, with a thin uniform background and heavy-tailed per-user
+//! activity. The mechanisms only ever consume the resulting prior
+//! histogram, so matching this shape is what preserves the paper's
+//! utility-loss orderings (OPT < MSM < PL).
+//!
+//! Generators are fully deterministic given their seed.
+
+use crate::checkin::{CheckIn, Dataset};
+use geoind_spatial::geom::{BBox, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One Gaussian POI cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Cluster center on the km-plane.
+    pub center: Point,
+    /// Isotropic standard deviation, km.
+    pub sigma: f64,
+    /// Relative popularity (need not be normalized).
+    pub weight: f64,
+}
+
+/// A parametric synthetic city.
+#[derive(Debug, Clone)]
+pub struct SyntheticCity {
+    name: String,
+    domain: BBox,
+    clusters: Vec<ClusterSpec>,
+    /// Fraction of check-ins drawn uniformly over the whole domain.
+    background: f64,
+    seed: u64,
+    default_checkins: usize,
+    default_users: usize,
+}
+
+impl SyntheticCity {
+    /// A city with a custom cluster layout over a square domain.
+    ///
+    /// # Panics
+    /// Panics if `clusters` is empty or `background` is outside `[0, 1]`.
+    pub fn custom(
+        name: impl Into<String>,
+        domain: BBox,
+        clusters: Vec<ClusterSpec>,
+        background: f64,
+    ) -> Self {
+        assert!(!clusters.is_empty(), "need at least one cluster");
+        assert!((0.0..=1.0).contains(&background), "background must be in [0,1]");
+        Self {
+            name: name.into(),
+            domain,
+            clusters,
+            background,
+            seed: 0xA057_1420_19ED_B700,
+            default_checkins: 50_000,
+            default_users: 5_000,
+        }
+    }
+
+    /// Austin-like layout (the paper's Gowalla partition): one dominant
+    /// downtown core by the river, a university cluster just north, and a
+    /// string of secondary centers; 265,571 check-ins from 12,155 users by
+    /// default.
+    pub fn austin_like() -> Self {
+        let mut c = Self::custom(
+            "gowalla-austin-synthetic",
+            BBox::square(20.0),
+            vec![
+                ClusterSpec { center: Point::new(9.5, 9.0), sigma: 0.9, weight: 0.34 },
+                ClusterSpec { center: Point::new(9.8, 11.2), sigma: 0.7, weight: 0.18 },
+                ClusterSpec { center: Point::new(12.5, 13.0), sigma: 1.3, weight: 0.12 },
+                ClusterSpec { center: Point::new(6.0, 6.5), sigma: 1.5, weight: 0.10 },
+                ClusterSpec { center: Point::new(14.5, 7.0), sigma: 1.2, weight: 0.08 },
+                ClusterSpec { center: Point::new(4.5, 13.5), sigma: 1.6, weight: 0.07 },
+                ClusterSpec { center: Point::new(16.5, 15.5), sigma: 1.4, weight: 0.06 },
+                ClusterSpec { center: Point::new(10.5, 4.0), sigma: 1.4, weight: 0.05 },
+            ],
+            0.08,
+        );
+        c.default_checkins = 265_571;
+        c.default_users = 12_155;
+        c.seed = 0x6077_A11A_2019_0001;
+        c
+    }
+
+    /// Las-Vegas-like layout (the paper's Yelp partition): an extremely
+    /// concentrated Strip corridor plus a downtown cluster; 81,201 check-ins
+    /// from 7,581 users by default.
+    pub fn vegas_like() -> Self {
+        let mut c = Self::custom(
+            "yelp-vegas-synthetic",
+            BBox::square(20.0),
+            vec![
+                ClusterSpec { center: Point::new(10.2, 7.5), sigma: 0.5, weight: 0.30 },
+                ClusterSpec { center: Point::new(10.5, 9.2), sigma: 0.5, weight: 0.22 },
+                ClusterSpec { center: Point::new(10.8, 11.0), sigma: 0.6, weight: 0.16 },
+                ClusterSpec { center: Point::new(11.5, 14.0), sigma: 0.9, weight: 0.12 },
+                ClusterSpec { center: Point::new(6.5, 10.5), sigma: 1.6, weight: 0.07 },
+                ClusterSpec { center: Point::new(15.0, 6.0), sigma: 1.7, weight: 0.06 },
+            ],
+            0.07,
+        );
+        c.default_checkins = 81_201;
+        c.default_users = 7_581;
+        c.seed = 0x7E1F_0E6A_2019_0002;
+        c
+    }
+
+    /// Override the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generator name (also the produced dataset's name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The spatial domain.
+    pub fn domain(&self) -> BBox {
+        self.domain
+    }
+
+    /// Generate the paper-scale dataset for this city.
+    pub fn generate(&self) -> Dataset {
+        self.generate_with_size(self.default_checkins, self.default_users)
+    }
+
+    /// Generate an arbitrary-scale dataset.
+    ///
+    /// # Panics
+    /// Panics if `num_users == 0` or `num_checkins == 0`.
+    pub fn generate_with_size(&self, num_checkins: usize, num_users: usize) -> Dataset {
+        assert!(num_checkins > 0 && num_users > 0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Heavy-tailed per-user activity: weight_u ∝ U^(-1/a) (Pareto-ish,
+        // a = 1.5), normalized to the requested check-in count.
+        let user_weights: Vec<f64> = (0..num_users)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-4..1.0);
+                u.powf(-1.0 / 1.5)
+            })
+            .collect();
+        let wsum: f64 = user_weights.iter().sum();
+
+        // Each user favors a home cluster but roams: 70% home, 30% global.
+        let cluster_weights: Vec<f64> = self.clusters.iter().map(|c| c.weight).collect();
+        let home: Vec<usize> =
+            (0..num_users).map(|_| sample_weighted(&cluster_weights, &mut rng)).collect();
+
+        let mut checkins = Vec::with_capacity(num_checkins);
+        let mut assigned = 0usize;
+        for u in 0..num_users {
+            // Integer share of this user's check-ins, clamped so rounding
+            // never overshoots; the top-up loop below covers any shortfall.
+            let rounded = ((user_weights[u] / wsum) * num_checkins as f64).round() as usize;
+            let share = rounded.min(num_checkins - assigned);
+            assigned += share;
+            for _ in 0..share {
+                let location = if rng.gen::<f64>() < self.background {
+                    Point::new(
+                        rng.gen_range(self.domain.min.x..self.domain.max.x),
+                        rng.gen_range(self.domain.min.y..self.domain.max.y),
+                    )
+                } else {
+                    let ci = if rng.gen::<f64>() < 0.7 {
+                        home[u]
+                    } else {
+                        sample_weighted(&cluster_weights, &mut rng)
+                    };
+                    self.sample_cluster(&self.clusters[ci], &mut rng)
+                };
+                checkins.push(CheckIn { user: u as u64, location });
+            }
+            if assigned >= num_checkins {
+                break;
+            }
+        }
+        // Rounding shortfall: attribute the remainder to random users.
+        while checkins.len() < num_checkins {
+            let u = rng.gen_range(0..num_users);
+            let location = if rng.gen::<f64>() < self.background {
+                Point::new(
+                    rng.gen_range(self.domain.min.x..self.domain.max.x),
+                    rng.gen_range(self.domain.min.y..self.domain.max.y),
+                )
+            } else {
+                let ci = sample_weighted(&cluster_weights, &mut rng);
+                self.sample_cluster(&self.clusters[ci], &mut rng)
+            };
+            checkins.push(CheckIn { user: u as u64, location });
+        }
+        Dataset::new(self.name.clone(), self.domain, checkins)
+    }
+
+    /// Draw one point from a cluster, rejected back into the domain.
+    fn sample_cluster(&self, c: &ClusterSpec, rng: &mut StdRng) -> Point {
+        for _ in 0..32 {
+            let (gx, gy) = gaussian_pair(rng);
+            let p = Point::new(c.center.x + c.sigma * gx, c.center.y + c.sigma * gy);
+            if self.domain.contains(p) {
+                return p;
+            }
+        }
+        // Pathological cluster far outside the domain: clamp.
+        let p = self.domain.clamp(c.center);
+        Point::new(
+            p.x.min(self.domain.max.x - 1e-9),
+            p.y.min(self.domain.max.y - 1e-9),
+        )
+    }
+}
+
+/// Standard-normal pair via Box–Muller.
+fn gaussian_pair(rng: &mut StdRng) -> (f64, f64) {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let t = 2.0 * std::f64::consts::PI * u2;
+    (r * t.cos(), r * t.sin())
+}
+
+/// Draw an index proportional to `weights`.
+fn sample_weighted(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut t = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SyntheticCity::austin_like().generate_with_size(2_000, 100);
+        let b = SyntheticCity::austin_like().generate_with_size(2_000, 100);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.checkins().iter().zip(b.checkins()) {
+            assert_eq!(x.user, y.user);
+            assert_eq!(x.location, y.location);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticCity::austin_like().generate_with_size(500, 50);
+        let b = SyntheticCity::austin_like().with_seed(99).generate_with_size(500, 50);
+        let same = a
+            .checkins()
+            .iter()
+            .zip(b.checkins())
+            .filter(|(x, y)| x.location == y.location)
+            .count();
+        assert!(same < a.len() / 2);
+    }
+
+    #[test]
+    fn scale_matches_request() {
+        let d = SyntheticCity::vegas_like().generate_with_size(10_000, 1_000);
+        assert_eq!(d.len(), 10_000);
+        // Not every user necessarily checks in (tiny shares round to 0),
+        // but most should.
+        assert!(d.num_users() > 500);
+    }
+
+    #[test]
+    fn all_checkins_inside_domain() {
+        let d = SyntheticCity::austin_like().generate_with_size(20_000, 2_000);
+        for c in d.checkins() {
+            assert!(d.domain().contains(c.location));
+        }
+    }
+
+    #[test]
+    fn prior_is_skewed_toward_downtown() {
+        // The downtown quadrant must carry far more than its area share.
+        let d = SyntheticCity::austin_like().generate_with_size(50_000, 5_000);
+        let downtown = BBox::new(Point::new(7.0, 6.0), Point::new(13.0, 13.0));
+        let inside = d.locations().filter(|p| downtown.contains(*p)).count();
+        let frac = inside as f64 / d.len() as f64;
+        let area_frac = (6.0 * 7.0) / 400.0; // = 0.105
+        assert!(
+            frac > 3.0 * area_frac,
+            "downtown fraction {frac} not skewed (area share {area_frac})"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_user_activity() {
+        let d = SyntheticCity::austin_like().generate_with_size(50_000, 5_000);
+        let mut counts = std::collections::HashMap::new();
+        for c in d.checkins() {
+            *counts.entry(c.user).or_insert(0usize) += 1;
+        }
+        let mut v: Vec<usize> = counts.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        // Top 1% of users produce a disproportionate share of check-ins.
+        let top: usize = v.iter().take(v.len() / 100).sum();
+        assert!(top as f64 > 0.05 * d.len() as f64);
+    }
+
+    #[test]
+    fn paper_scale_defaults() {
+        let austin = SyntheticCity::austin_like();
+        let vegas = SyntheticCity::vegas_like();
+        assert_eq!(austin.default_checkins, 265_571);
+        assert_eq!(austin.default_users, 12_155);
+        assert_eq!(vegas.default_checkins, 81_201);
+        assert_eq!(vegas.default_users, 7_581);
+    }
+}

@@ -1,0 +1,88 @@
+//! A from-scratch linear-programming solver, sized for the optimal
+//! geo-indistinguishability mechanism.
+//!
+//! The OPT mechanism of Bordenabe et al. (used as the per-level building
+//! block of the paper's multi-step mechanism) is a linear program with
+//! `n²` variables and `n + n²(n−1)` constraints for `n` candidate locations —
+//! cubic in `n`. The paper solves it with Gurobi's dual simplex; this crate
+//! provides the equivalent capability without external dependencies:
+//!
+//! * [`model`] — a small modelling API ([`Model`]): non-negative or free
+//!   variables, `≤ / = / ≥` rows, min/max objectives.
+//! * [`simplex`] — a revised primal simplex on computational standard form
+//!   with an explicitly maintained (periodically refactorized) basis
+//!   inverse, crash slack basis, two phases, Dantzig pricing with Bland
+//!   anti-cycling fallback.
+//! * [`dual`] — mechanical dualization. The OPT LP is *row-heavy*
+//!   (`O(n³)` rows, `O(n²)` columns); its dual is column-heavy, which is the
+//!   shape the revised simplex wants (basis size = row count). Solving the
+//!   dual and reading the primal solution off the row duals is exactly how a
+//!   commercial dual-simplex run behaves on the original problem.
+//! * [`presolve`] — empty-row/column elimination and singleton-equality
+//!   substitution ahead of the simplex.
+//! * [`mps`] — free-format MPS read/write for debugging against external
+//!   solvers.
+//! * [`tableau`] — a naive dense two-phase tableau simplex kept as a test
+//!   oracle.
+//! * [`sparse`] / [`dense`] — CSC matrices and a dense LU with partial
+//!   pivoting.
+//!
+//! ```
+//! use geoind_lp::model::{Model, Sense, Op, SolveVia};
+//!
+//! // max 3x + 2y  s.t.  x + y <= 4,  x + 3y <= 6,  x,y >= 0
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_var(3.0);
+//! let y = m.add_var(2.0);
+//! m.add_row(&[(x, 1.0), (y, 1.0)], Op::Le, 4.0);
+//! m.add_row(&[(x, 1.0), (y, 3.0)], Op::Le, 6.0);
+//! let sol = m.solve(SolveVia::Primal).unwrap();
+//! assert!((sol.objective - 12.0).abs() < 1e-9);
+//! assert!((sol.values[x] - 4.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+// Index-based loops over parallel arrays are the clearest style for the
+// numeric kernels here; the iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+// Test reference constants keep full printed precision from their sources.
+#![allow(clippy::excessive_precision)]
+
+pub mod dense;
+pub mod dual;
+pub mod model;
+pub mod mps;
+pub mod presolve;
+pub mod simplex;
+pub mod sparse;
+pub mod tableau;
+
+pub use model::{Model, Op, Sense, Solution, SolveVia, VarDomain};
+pub use simplex::{Pricing, SimplexOptions, SimplexStatus};
+pub use sparse::CscMatrix;
+
+/// Errors surfaced by the solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// No feasible point exists (phase-1 optimum above tolerance).
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The iteration limit was hit before convergence.
+    IterationLimit,
+    /// The model is malformed (e.g. a row references a missing variable).
+    BadModel(String),
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "infeasible"),
+            LpError::Unbounded => write!(f, "unbounded"),
+            LpError::IterationLimit => write!(f, "iteration limit reached"),
+            LpError::BadModel(m) => write!(f, "bad model: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

@@ -1,0 +1,350 @@
+//! Free-format MPS serialization for [`Model`].
+//!
+//! MPS is the lingua franca of LP solvers; being able to dump the optimal
+//! mechanism's program and feed it to an external solver (or read one back)
+//! is invaluable for debugging and for validating this crate against
+//! reference implementations. Supported subset (everything [`Model`] can
+//! express):
+//!
+//! * `OBJSENSE` (`MAX`/`MIN`, default `MIN`),
+//! * `ROWS` (`N`/`L`/`G`/`E`),
+//! * `COLUMNS`, `RHS`,
+//! * `BOUNDS` with `FR` (free variables; everything else defaults to `x ≥ 0`).
+
+use crate::model::{Model, Op, Sense, VarDomain};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serialize a model to free-format MPS.
+///
+/// Variables are named `X0, X1, …` in index order and rows `R0, R1, …`; the
+/// objective row is `COST`.
+pub fn to_mps(model: &Model, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "NAME {name}");
+    if model.sense() == Sense::Maximize {
+        let _ = writeln!(out, "OBJSENSE\n    MAX");
+    }
+    let _ = writeln!(out, "ROWS\n N  COST");
+    for (i, (_, op, _)) in model.rows_for_mps().iter().enumerate() {
+        let tag = match op {
+            Op::Le => 'L',
+            Op::Ge => 'G',
+            Op::Eq => 'E',
+        };
+        let _ = writeln!(out, " {tag}  R{i}");
+    }
+    // COLUMNS: entries grouped per variable.
+    let mut per_var: Vec<Vec<(usize, f64)>> = vec![Vec::new(); model.num_vars()];
+    for (ri, (entries, _, _)) in model.rows_for_mps().iter().enumerate() {
+        for &(v, c) in entries {
+            per_var[v].push((ri, c));
+        }
+    }
+    let _ = writeln!(out, "COLUMNS");
+    for v in 0..model.num_vars() {
+        let c = model.objective_of(v);
+        if c != 0.0 {
+            let _ = writeln!(out, "    X{v}  COST  {c}");
+        }
+        for &(ri, coef) in &per_var[v] {
+            let _ = writeln!(out, "    X{v}  R{ri}  {coef}");
+        }
+    }
+    let _ = writeln!(out, "RHS");
+    for (ri, (_, _, rhs)) in model.rows_for_mps().iter().enumerate() {
+        if *rhs != 0.0 {
+            let _ = writeln!(out, "    RHS  R{ri}  {rhs}");
+        }
+    }
+    let frees: Vec<usize> =
+        (0..model.num_vars()).filter(|&v| model.domain_of(v) == VarDomain::Free).collect();
+    if !frees.is_empty() {
+        let _ = writeln!(out, "BOUNDS");
+        for v in frees {
+            let _ = writeln!(out, " FR BND  X{v}");
+        }
+    }
+    let _ = writeln!(out, "ENDATA");
+    out
+}
+
+/// Errors raised while parsing MPS text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpsParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for MpsParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MPS line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for MpsParseError {}
+
+/// Parse free-format MPS text into a [`Model`].
+///
+/// Row/variable order follows first appearance; the objective row is the
+/// (single) `N` row.
+pub fn from_mps(text: &str) -> Result<Model, MpsParseError> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Section {
+        None,
+        ObjSense,
+        Rows,
+        Columns,
+        Rhs,
+        Bounds,
+        Done,
+    }
+    let err = |line: usize, message: &str| MpsParseError { line, message: message.into() };
+
+    let mut sense = Sense::Minimize;
+    let mut obj_row: Option<String> = None;
+    // name -> (op); insertion order tracked separately.
+    let mut row_ops: HashMap<String, Op> = HashMap::new();
+    let mut row_order: Vec<String> = Vec::new();
+    let mut var_order: Vec<String> = Vec::new();
+    let mut var_ids: HashMap<String, usize> = HashMap::new();
+    let mut obj_coeffs: HashMap<usize, f64> = HashMap::new();
+    let mut entries: HashMap<String, Vec<(usize, f64)>> = HashMap::new();
+    let mut rhs: HashMap<String, f64> = HashMap::new();
+    let mut free_vars: Vec<usize> = Vec::new();
+
+    let mut section = Section::None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let ln = lineno + 1;
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        // Section headers start in column 1 of the raw line.
+        if !raw.starts_with(' ') && !raw.starts_with('\t') {
+            let mut it = line.split_whitespace();
+            match it.next().unwrap_or("") {
+                "NAME" => continue,
+                "OBJSENSE" => {
+                    section = Section::ObjSense;
+                    continue;
+                }
+                "ROWS" => {
+                    section = Section::Rows;
+                    continue;
+                }
+                "COLUMNS" => {
+                    section = Section::Columns;
+                    continue;
+                }
+                "RHS" => {
+                    section = Section::Rhs;
+                    continue;
+                }
+                "BOUNDS" => {
+                    section = Section::Bounds;
+                    continue;
+                }
+                "RANGES" => return Err(err(ln, "RANGES section not supported")),
+                "ENDATA" => {
+                    section = Section::Done;
+                    break;
+                }
+                other => return Err(err(ln, &format!("unknown section {other}"))),
+            }
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match section {
+            Section::ObjSense => {
+                sense = match fields[0] {
+                    "MAX" | "MAXIMIZE" => Sense::Maximize,
+                    "MIN" | "MINIMIZE" => Sense::Minimize,
+                    other => return Err(err(ln, &format!("bad OBJSENSE {other}"))),
+                };
+            }
+            Section::Rows => {
+                if fields.len() != 2 {
+                    return Err(err(ln, "ROWS lines need `<type> <name>`"));
+                }
+                let name = fields[1].to_string();
+                match fields[0] {
+                    "N" => {
+                        if obj_row.replace(name).is_some() {
+                            return Err(err(ln, "multiple N rows"));
+                        }
+                    }
+                    tag => {
+                        let op = match tag {
+                            "L" => Op::Le,
+                            "G" => Op::Ge,
+                            "E" => Op::Eq,
+                            other => return Err(err(ln, &format!("bad row type {other}"))),
+                        };
+                        row_ops.insert(name.clone(), op);
+                        row_order.push(name);
+                    }
+                }
+            }
+            Section::Columns => {
+                // `<var> <row> <val> [<row> <val>]`
+                if fields.len() != 3 && fields.len() != 5 {
+                    return Err(err(ln, "COLUMNS lines need 3 or 5 fields"));
+                }
+                let vname = fields[0].to_string();
+                let vid = *var_ids.entry(vname.clone()).or_insert_with(|| {
+                    var_order.push(vname);
+                    var_order.len() - 1
+                });
+                for pair in fields[1..].chunks(2) {
+                    let row = pair[0];
+                    let val: f64 = pair[1]
+                        .parse()
+                        .map_err(|_| err(ln, &format!("bad number {}", pair[1])))?;
+                    if Some(row) == obj_row.as_deref() {
+                        *obj_coeffs.entry(vid).or_insert(0.0) += val;
+                    } else if row_ops.contains_key(row) {
+                        entries.entry(row.to_string()).or_default().push((vid, val));
+                    } else {
+                        return Err(err(ln, &format!("unknown row {row}")));
+                    }
+                }
+            }
+            Section::Rhs => {
+                if fields.len() != 3 && fields.len() != 5 {
+                    return Err(err(ln, "RHS lines need 3 or 5 fields"));
+                }
+                for pair in fields[1..].chunks(2) {
+                    let row = pair[0];
+                    let val: f64 = pair[1]
+                        .parse()
+                        .map_err(|_| err(ln, &format!("bad number {}", pair[1])))?;
+                    if !row_ops.contains_key(row) {
+                        return Err(err(ln, &format!("unknown RHS row {row}")));
+                    }
+                    rhs.insert(row.to_string(), val);
+                }
+            }
+            Section::Bounds => {
+                if fields.len() < 3 {
+                    return Err(err(ln, "BOUNDS lines need `<type> <set> <var>`"));
+                }
+                match fields[0] {
+                    "FR" => {
+                        let v = var_ids
+                            .get(fields[2])
+                            .ok_or_else(|| err(ln, &format!("unknown variable {}", fields[2])))?;
+                        free_vars.push(*v);
+                    }
+                    other => return Err(err(ln, &format!("bound type {other} not supported"))),
+                }
+            }
+            Section::None | Section::Done => {
+                return Err(err(ln, "data before any section header"))
+            }
+        }
+    }
+    if section != Section::Done {
+        return Err(err(text.lines().count(), "missing ENDATA"));
+    }
+
+    let mut model = Model::new(sense);
+    for (vid, _) in var_order.iter().enumerate() {
+        let c = obj_coeffs.get(&vid).copied().unwrap_or(0.0);
+        if free_vars.contains(&vid) {
+            model.add_var_free(c);
+        } else {
+            model.add_var(c);
+        }
+    }
+    for rname in &row_order {
+        let op = row_ops[rname];
+        let row_entries = entries.get(rname).cloned().unwrap_or_default();
+        model.add_row(&row_entries, op, rhs.get(rname).copied().unwrap_or(0.0));
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SolveVia;
+
+    fn sample_model() -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(3.0);
+        let y = m.add_var(5.0);
+        let z = m.add_var_free(-1.0);
+        m.add_row(&[(x, 1.0), (z, 2.0)], Op::Le, 4.0);
+        m.add_row(&[(y, 2.0)], Op::Le, 12.0);
+        m.add_row(&[(x, 3.0), (y, 2.0), (z, -1.0)], Op::Ge, 6.0);
+        m.add_row(&[(z, 1.0)], Op::Eq, -1.0);
+        m
+    }
+
+    #[test]
+    fn roundtrip_preserves_solutions() {
+        let original = sample_model();
+        let text = to_mps(&original, "sample");
+        let parsed = from_mps(&text).expect("parse back");
+        assert_eq!(parsed.num_vars(), original.num_vars());
+        assert_eq!(parsed.num_rows(), original.num_rows());
+        let a = original.solve(SolveVia::Primal).unwrap();
+        let b = parsed.solve(SolveVia::Primal).unwrap();
+        assert!((a.objective - b.objective).abs() < 1e-9);
+        for (u, v) in a.values.iter().zip(&b.values) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn objsense_header_emitted_only_for_max() {
+        let text = to_mps(&sample_model(), "s");
+        assert!(text.contains("OBJSENSE"));
+        let mut min_model = Model::new(Sense::Minimize);
+        min_model.add_var(1.0);
+        assert!(!to_mps(&min_model, "m").contains("OBJSENSE"));
+    }
+
+    #[test]
+    fn parses_handwritten_mps() {
+        let text = "\
+NAME test
+ROWS
+ N  COST
+ L  LIM1
+ G  LIM2
+COLUMNS
+    A  COST  1.0  LIM1  1.0
+    B  COST  2.0  LIM1  1.0
+    B  LIM2  1.0
+RHS
+    RHS  LIM1  10.0  LIM2  2.0
+ENDATA
+";
+        let m = from_mps(text).unwrap();
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_rows(), 2);
+        let sol = m.solve(SolveVia::Primal).unwrap();
+        // min A + 2B s.t. A + B <= 10, B >= 2 -> A=0, B=2.
+        assert!((sol.objective - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "NAME x\nROWS\n Q  R0\nENDATA\n";
+        let e = from_mps(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("row type"));
+
+        let noend = "NAME x\nROWS\n N COST\n";
+        assert!(from_mps(noend).unwrap_err().message.contains("ENDATA"));
+    }
+
+    #[test]
+    fn unsupported_sections_rejected() {
+        let text = "NAME x\nROWS\n N COST\nRANGES\nENDATA\n";
+        assert!(from_mps(text).unwrap_err().message.contains("RANGES"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Lightweight LP presolve.
+//!
+//! Reductions applied before the simplex sees the model:
+//!
+//! 1. **Empty rows** — `0 op rhs` is either vacuous (drop) or a proof of
+//!    infeasibility (fail fast).
+//! 2. **Empty columns** — a variable in no row is set by its cost sign
+//!    alone: 0 for a non-negative variable with `c ≥ 0` under minimization,
+//!    otherwise the model is unbounded.
+//! 3. **Singleton equality rows** — `a·x = b` fixes `x = b/a`; the value is
+//!    substituted into every other row and the variable removed (with a
+//!    domain check for non-negative variables).
+//!
+//! The reductions iterate to a fixpoint (fixing a variable can empty
+//! another row). [`presolve_and_solve`] wraps the whole flow and
+//! reconstructs the full-length solution vector; duals are returned in the
+//! *reduced* row space (None for rows the presolve removed), since most
+//! callers — including the OPT mechanism — only consume primal values.
+
+use crate::model::{Model, Op, RowTuple, Sense, Solution, SolveVia, VarDomain};
+use crate::simplex::SimplexOptions;
+use crate::LpError;
+
+/// Outcome of presolving: a smaller model plus reconstruction data, or a
+/// complete answer when the reductions solved (or refuted) the model.
+#[derive(Debug)]
+pub enum Presolved {
+    /// A reduced model remains to be solved.
+    Reduced(Box<ReducedLp>),
+    /// All variables were fixed by the reductions.
+    Solved {
+        /// Values of every original variable.
+        values: Vec<f64>,
+        /// Objective in the original sense.
+        objective: f64,
+    },
+}
+
+/// The reduced model and the bookkeeping to undo the reductions.
+#[derive(Debug)]
+pub struct ReducedLp {
+    /// The smaller model.
+    pub model: Model,
+    /// For each original variable: `Ok(idx)` = column in the reduced model,
+    /// `Err(value)` = fixed by presolve.
+    pub var_map: Vec<Result<usize, f64>>,
+    /// For each original row: its index in the reduced model, if kept.
+    pub row_map: Vec<Option<usize>>,
+    /// Objective contribution of the fixed variables (original sense).
+    pub fixed_objective: f64,
+}
+
+const TOL: f64 = 1e-9;
+
+/// Apply the reductions to a model.
+///
+/// # Errors
+/// [`LpError::Infeasible`] / [`LpError::Unbounded`] when a reduction proves
+/// it outright.
+pub fn presolve(model: &Model) -> Result<Presolved, LpError> {
+    let n = model.num_vars();
+    let mut fixed: Vec<Option<f64>> = vec![None; n];
+    let mut row_alive: Vec<bool> = vec![true; model.num_rows()];
+    // Working copy of rows as (entries, op, rhs); rhs absorbs fixed vars.
+    let mut rows: Vec<RowTuple> = model.rows_for_presolve();
+    let min_sign = if model.sense() == Sense::Maximize { -1.0 } else { 1.0 };
+
+    // Variables appearing in no row at all.
+    let mut appears = vec![false; n];
+    for (entries, _, _) in &rows {
+        for &(v, c) in entries {
+            if c != 0.0 {
+                appears[v] = true;
+            }
+        }
+    }
+    for v in 0..n {
+        if !appears[v] {
+            let c_min = min_sign * model.objective_of(v);
+            match model.domain_of(v) {
+                VarDomain::NonNeg => {
+                    if c_min < -TOL {
+                        return Err(LpError::Unbounded);
+                    }
+                    fixed[v] = Some(0.0);
+                }
+                VarDomain::Free => {
+                    if c_min.abs() > TOL {
+                        return Err(LpError::Unbounded);
+                    }
+                    fixed[v] = Some(0.0);
+                }
+            }
+        }
+    }
+
+    // Fixpoint loop: singleton equality rows and emptied rows.
+    loop {
+        let mut changed = false;
+        for (ri, alive) in row_alive.iter_mut().enumerate() {
+            if !*alive {
+                continue;
+            }
+            let (entries, op, rhs) = &mut rows[ri];
+            // Drop entries of fixed variables into the rhs.
+            entries.retain(|&(v, c)| {
+                if let Some(val) = fixed[v] {
+                    *rhs -= c * val;
+                    false
+                } else {
+                    c != 0.0
+                }
+            });
+            if entries.is_empty() {
+                let feasible = match op {
+                    Op::Le => *rhs >= -TOL,
+                    Op::Ge => *rhs <= TOL,
+                    Op::Eq => rhs.abs() <= TOL,
+                };
+                if !feasible {
+                    return Err(LpError::Infeasible);
+                }
+                *alive = false;
+                changed = true;
+                continue;
+            }
+            if *op == Op::Eq && entries.len() == 1 {
+                let (v, c) = entries[0];
+                let value = *rhs / c;
+                if model.domain_of(v) == VarDomain::NonNeg && value < -TOL {
+                    return Err(LpError::Infeasible);
+                }
+                fixed[v] = Some(value);
+                *alive = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Assemble the reduced model.
+    let mut var_map: Vec<Result<usize, f64>> = Vec::with_capacity(n);
+    let mut reduced = Model::new(model.sense());
+    let mut fixed_objective = 0.0;
+    for v in 0..n {
+        match fixed[v] {
+            Some(val) => {
+                fixed_objective += model.objective_of(v) * val;
+                var_map.push(Err(val));
+            }
+            None => {
+                let idx = match model.domain_of(v) {
+                    VarDomain::NonNeg => reduced.add_var(model.objective_of(v)),
+                    VarDomain::Free => reduced.add_var_free(model.objective_of(v)),
+                };
+                var_map.push(Ok(idx));
+            }
+        }
+    }
+    if reduced.num_vars() == 0 {
+        return Ok(Presolved::Solved {
+            values: fixed.into_iter().map(|f| f.unwrap_or(0.0)).collect(),
+            objective: fixed_objective,
+        });
+    }
+    let mut row_map: Vec<Option<usize>> = vec![None; model.num_rows()];
+    for (ri, alive) in row_alive.iter().enumerate() {
+        if !*alive {
+            continue;
+        }
+        let (entries, op, rhs) = &rows[ri];
+        let mapped: Vec<(usize, f64)> = entries
+            .iter()
+            .map(|&(v, c)| (var_map[v].expect("unfixed var maps to a column"), c))
+            .collect();
+        row_map[ri] = Some(reduced.num_rows());
+        reduced.add_row(&mapped, *op, *rhs);
+    }
+    Ok(Presolved::Reduced(Box::new(ReducedLp { model: reduced, var_map, row_map, fixed_objective })))
+}
+
+/// Presolve, solve the reduction, and reconstruct the original solution.
+/// Duals are reported per original row (`0.0` for presolved-away rows, which
+/// are non-binding or absorbed).
+///
+/// # Errors
+/// Any [`LpError`] from the reductions or the solver.
+pub fn presolve_and_solve(
+    model: &Model,
+    via: SolveVia,
+    opts: SimplexOptions,
+) -> Result<Solution, LpError> {
+    match presolve(model)? {
+        Presolved::Solved { values, objective } => Ok(Solution {
+            objective,
+            values,
+            duals: vec![0.0; model.num_rows()],
+            iterations: 0,
+            residual: 0.0,
+        }),
+        Presolved::Reduced(red) => {
+            let inner = red.model.solve_with(via, opts)?;
+            let values: Vec<f64> = red
+                .var_map
+                .iter()
+                .map(|m| match m {
+                    Ok(idx) => inner.values[*idx],
+                    Err(v) => *v,
+                })
+                .collect();
+            let mut duals = vec![0.0; model.num_rows()];
+            for (orig, mapped) in red.row_map.iter().enumerate() {
+                if let Some(mi) = mapped {
+                    duals[orig] = inner.duals[*mi];
+                }
+            }
+            Ok(Solution {
+                objective: inner.objective + red.fixed_objective,
+                values,
+                duals,
+                iterations: inner.iterations,
+                residual: inner.residual,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Op, Sense, SolveVia};
+
+    #[test]
+    fn empty_rows_dropped_and_checked() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(1.0);
+        m.add_row(&[], Op::Le, 5.0); // vacuous
+        m.add_row(&[(x, 1.0)], Op::Ge, 2.0);
+        let sol = presolve_and_solve(&m, SolveVia::Primal, SimplexOptions::default()).unwrap();
+        assert!((sol.values[x] - 2.0).abs() < 1e-9);
+
+        let mut bad = Model::new(Sense::Minimize);
+        let _ = bad.add_var(1.0);
+        bad.add_row(&[], Op::Ge, 1.0); // 0 >= 1
+        assert_eq!(
+            presolve_and_solve(&bad, SolveVia::Primal, SimplexOptions::default()).unwrap_err(),
+            LpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn unused_variable_fixed_or_unbounded() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(1.0);
+        let unused = m.add_var(3.0);
+        m.add_row(&[(x, 1.0)], Op::Ge, 1.0);
+        let sol = presolve_and_solve(&m, SolveVia::Primal, SimplexOptions::default()).unwrap();
+        assert_eq!(sol.values[unused], 0.0);
+        assert!((sol.objective - 1.0).abs() < 1e-9);
+
+        let mut ub = Model::new(Sense::Minimize);
+        let _x = ub.add_var(-1.0); // min -x with x unused & unbounded above
+        assert_eq!(
+            presolve_and_solve(&ub, SolveVia::Primal, SimplexOptions::default()).unwrap_err(),
+            LpError::Unbounded
+        );
+    }
+
+    #[test]
+    fn singleton_equality_substitution_cascades() {
+        // x = 4; x + y = 6 becomes y = 2 after substitution.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(1.0);
+        let y = m.add_var(1.0);
+        m.add_row(&[(x, 2.0)], Op::Eq, 8.0);
+        m.add_row(&[(x, 1.0), (y, 1.0)], Op::Eq, 6.0);
+        let sol = presolve_and_solve(&m, SolveVia::Primal, SimplexOptions::default()).unwrap();
+        assert!((sol.values[x] - 4.0).abs() < 1e-9);
+        assert!((sol.values[y] - 2.0).abs() < 1e-9);
+        assert!((sol.objective - 6.0).abs() < 1e-9);
+        assert_eq!(sol.iterations, 0, "fully presolved; no simplex needed");
+    }
+
+    #[test]
+    fn negative_fix_of_nonneg_var_is_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(1.0);
+        m.add_row(&[(x, 1.0)], Op::Eq, -3.0);
+        assert_eq!(
+            presolve_and_solve(&m, SolveVia::Primal, SimplexOptions::default()).unwrap_err(),
+            LpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn free_variable_fix_can_be_negative() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var_free(1.0);
+        let y = m.add_var(0.5);
+        m.add_row(&[(x, 1.0)], Op::Eq, -3.0);
+        m.add_row(&[(y, 1.0), (x, 1.0)], Op::Ge, 0.0); // y >= 3
+        let sol = presolve_and_solve(&m, SolveVia::Primal, SimplexOptions::default()).unwrap();
+        assert!((sol.values[x] + 3.0).abs() < 1e-9);
+        assert!((sol.values[y] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presolve_matches_direct_solve_on_mixed_model() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var(3.0);
+        let b = m.add_var(2.0);
+        let c = m.add_var(1.0);
+        m.add_row(&[(c, 5.0)], Op::Eq, 10.0); // fixes c = 2
+        m.add_row(&[(a, 1.0), (b, 1.0), (c, 1.0)], Op::Le, 6.0);
+        m.add_row(&[(a, 1.0)], Op::Le, 3.0);
+        let direct = m.solve(SolveVia::Primal).unwrap();
+        let pre = presolve_and_solve(&m, SolveVia::Primal, SimplexOptions::default()).unwrap();
+        assert!((direct.objective - pre.objective).abs() < 1e-9);
+        for j in 0..3 {
+            assert!((direct.values[j] - pre.values[j]).abs() < 1e-9);
+        }
+    }
+}

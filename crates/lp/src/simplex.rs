@@ -1,0 +1,662 @@
+//! Revised primal simplex on computational standard form.
+//!
+//! Solves `min c·x  s.t.  A x = b, x ≥ 0` with `b ≥ 0`, where `A` is a
+//! sparse [`CscMatrix`] whose columns include any slack/surplus columns the
+//! caller appended. The engine:
+//!
+//! * crashes an initial basis from unit columns (slacks), adding artificial
+//!   variables only for uncovered rows;
+//! * runs phase 1 (min Σ artificials) only when artificials exist, then
+//!   pivots surviving zero-level artificials out (redundant rows keep theirs,
+//!   harmlessly);
+//! * maintains an explicit basis inverse, updated in `O(m²)` per pivot and
+//!   refactorized from a fresh LU every [`SimplexOptions::refactor_every`]
+//!   pivots to shed drift;
+//! * prices with Dantzig's rule and falls back to Bland's rule after a long
+//!   degenerate stall (anti-cycling).
+//!
+//! The problems this crate was built for (duals of optimal-mechanism LPs)
+//! are *column-heavy*: millions of columns over a few thousand rows, every
+//! column carrying 1–3 nonzeros. All per-iteration work is therefore either
+//! `O(m²)` dense (BTRAN/FTRAN against the inverse) or `O(nnz)` sparse
+//! (pricing), never `O(m·n)` dense.
+
+use crate::dense::{DenseMatrix, LuFactors};
+use crate::sparse::CscMatrix;
+
+/// A linear program in computational standard form.
+#[derive(Debug, Clone)]
+pub struct StandardLp {
+    /// Constraint matrix (structural + slack columns).
+    pub cols: CscMatrix,
+    /// Objective coefficients, one per column.
+    pub costs: Vec<f64>,
+    /// Right-hand side, `b ≥ 0`.
+    pub rhs: Vec<f64>,
+}
+
+/// Entering-variable selection rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pricing {
+    /// Most negative reduced cost. Simple and cheap per iteration.
+    #[default]
+    Dantzig,
+    /// Devex (Forrest–Goldfarb) approximate steepest edge: picks the column
+    /// maximizing `d_j² / w_j` with reference weights updated each pivot.
+    /// Costs one extra BTRAN per iteration but typically needs markedly
+    /// fewer pivots on degenerate LPs like the optimal-mechanism duals.
+    Devex,
+}
+
+/// Tuning knobs for the simplex engine.
+#[derive(Debug, Clone, Copy)]
+pub struct SimplexOptions {
+    /// Hard cap on pivots across both phases.
+    pub max_iterations: usize,
+    /// Dual-feasibility tolerance on reduced costs.
+    pub opt_tol: f64,
+    /// Minimum pivot magnitude accepted by the ratio test.
+    pub pivot_tol: f64,
+    /// Rebuild the basis inverse from an LU every this many pivots.
+    pub refactor_every: usize,
+    /// Consecutive non-improving pivots before switching to Bland's rule.
+    pub stall_limit: usize,
+    /// Entering-variable selection rule.
+    pub pricing: Pricing,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 2_000_000,
+            opt_tol: 1e-9,
+            pivot_tol: 1e-9,
+            refactor_every: 600,
+            stall_limit: 2_000,
+            pricing: Pricing::Dantzig,
+        }
+    }
+}
+
+/// Termination status of a simplex run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimplexStatus {
+    /// Optimal basic feasible solution found.
+    Optimal,
+    /// Phase 1 could not drive the artificials to zero.
+    Infeasible,
+    /// The objective decreases without bound.
+    Unbounded,
+    /// `max_iterations` exhausted.
+    IterationLimit,
+}
+
+/// Result of a simplex run.
+#[derive(Debug, Clone)]
+pub struct SimplexResult {
+    /// Why the run stopped.
+    pub status: SimplexStatus,
+    /// Primal values, one per column of the input (valid when `Optimal`).
+    pub x: Vec<f64>,
+    /// Row duals `y = B⁻ᵀ c_B` at the final basis (valid when `Optimal`).
+    pub duals: Vec<f64>,
+    /// Objective value `c·x`.
+    pub objective: f64,
+    /// Total pivots performed.
+    pub iterations: usize,
+    /// `‖Ax − b‖∞` at exit — a self-check on accumulated drift.
+    pub residual: f64,
+}
+
+/// Identifier for a basic variable: a real column or an artificial for a row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Basic {
+    Col(usize),
+    Artificial(usize),
+}
+
+struct Engine<'a> {
+    lp: &'a StandardLp,
+    opts: SimplexOptions,
+    m: usize,
+    basis: Vec<Basic>,
+    /// Which columns are currently basic.
+    in_basis: Vec<bool>,
+    /// Explicit basis inverse, column-major.
+    binv: DenseMatrix,
+    /// Values of the basic variables.
+    xb: Vec<f64>,
+    iterations: usize,
+    pivots_since_refactor: usize,
+    /// Devex reference weights, one per real column (unused under Dantzig).
+    devex: Vec<f64>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(lp: &'a StandardLp, opts: SimplexOptions) -> Self {
+        let m = lp.rhs.len();
+        assert_eq!(lp.cols.nrows(), m, "matrix/rhs row mismatch");
+        assert_eq!(lp.costs.len(), lp.cols.ncols(), "cost/column mismatch");
+        assert!(lp.rhs.iter().all(|&b| b >= 0.0), "standard form requires b >= 0");
+
+        // Crash: cover each row with a unit (+1 singleton) column if one
+        // exists; otherwise an artificial.
+        let mut row_cover: Vec<Option<usize>> = vec![None; m];
+        for j in 0..lp.cols.ncols() {
+            let mut it = lp.cols.col(j);
+            if let (Some((r, v)), None) = (it.next(), it.next()) {
+                if (v - 1.0).abs() < 1e-12 && row_cover[r].is_none() {
+                    row_cover[r] = Some(j);
+                }
+            }
+        }
+        let mut in_basis = vec![false; lp.cols.ncols()];
+        let basis: Vec<Basic> = row_cover
+            .iter()
+            .enumerate()
+            .map(|(r, cov)| match cov {
+                Some(j) => {
+                    in_basis[*j] = true;
+                    Basic::Col(*j)
+                }
+                None => Basic::Artificial(r),
+            })
+            .collect();
+        Self {
+            lp,
+            opts,
+            m,
+            basis,
+            in_basis,
+            binv: DenseMatrix::identity(m),
+            xb: lp.rhs.clone(),
+            iterations: 0,
+            pivots_since_refactor: 0,
+            devex: if opts.pricing == Pricing::Devex {
+                vec![1.0; lp.cols.ncols()]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    fn has_artificials(&self) -> bool {
+        self.basis.iter().any(|b| matches!(b, Basic::Artificial(_)))
+    }
+
+    /// Cost of a basic variable under the given phase.
+    fn basic_cost(&self, b: Basic, phase1: bool) -> f64 {
+        match (b, phase1) {
+            (Basic::Artificial(_), true) => 1.0,
+            (Basic::Artificial(_), false) => 0.0,
+            (Basic::Col(j), true) => {
+                let _ = j;
+                0.0
+            }
+            (Basic::Col(j), false) => self.lp.costs[j],
+        }
+    }
+
+    /// Row duals for the current basis and phase.
+    fn duals(&self, phase1: bool) -> Vec<f64> {
+        let cb: Vec<f64> = self.basis.iter().map(|&b| self.basic_cost(b, phase1)).collect();
+        self.binv.mul_vec_transpose(&cb)
+    }
+
+    /// Dantzig / Devex (or Bland) pricing: pick an entering column.
+    fn price(&self, y: &[f64], phase1: bool, bland: bool) -> Option<usize> {
+        let devex = self.opts.pricing == Pricing::Devex && !bland;
+        // (column, score) where score is -d for Dantzig, d²/w for Devex.
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..self.lp.cols.ncols() {
+            if self.in_basis[j] {
+                continue;
+            }
+            let cj = if phase1 { 0.0 } else { self.lp.costs[j] };
+            let d = cj - self.lp.cols.col_dot(j, y);
+            if d < -self.opts.opt_tol {
+                if bland {
+                    return Some(j);
+                }
+                let score = if devex { d * d / self.devex[j] } else { -d };
+                if best.is_none_or(|(_, bs)| score > bs) {
+                    best = Some((j, score));
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    /// Devex weight update after selecting entering `q` with FTRAN column
+    /// `w` and leaving row `r` (Forrest–Goldfarb reference framework).
+    fn update_devex(&mut self, q: usize, r: usize, w: &[f64]) {
+        if self.opts.pricing != Pricing::Devex {
+            return;
+        }
+        let alpha_q = w[r];
+        if alpha_q.abs() < self.opts.pivot_tol {
+            return;
+        }
+        // Row r of B⁻¹, gathered once: alpha_j = A_jᵀ·rho for nonbasic j.
+        let rho: Vec<f64> = (0..self.m).map(|k| self.binv.col(k)[r]).collect();
+        let wq = self.devex[q].max(1.0);
+        let scale = wq / (alpha_q * alpha_q);
+        let mut overflow = false;
+        for j in 0..self.lp.cols.ncols() {
+            if j == q || self.in_basis[j] {
+                continue;
+            }
+            let alpha_j = self.lp.cols.col_dot(j, &rho);
+            if alpha_j != 0.0 {
+                let cand = alpha_j * alpha_j * scale;
+                if cand > self.devex[j] {
+                    self.devex[j] = cand;
+                    if cand > 1e12 {
+                        overflow = true;
+                    }
+                }
+            }
+        }
+        // The leaving variable re-enters the nonbasic pool.
+        if let Basic::Col(j) = self.basis[r] {
+            self.devex[j] = (wq / (alpha_q * alpha_q)).max(1.0);
+        }
+        // Reset the reference framework when weights blow up.
+        if overflow {
+            for v in &mut self.devex {
+                *v = 1.0;
+            }
+        }
+    }
+
+    /// FTRAN: `w = B⁻¹ A_q`.
+    fn ftran(&self, q: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.m];
+        for (r, v) in self.lp.cols.col(q) {
+            let col = self.binv.col(r);
+            for i in 0..self.m {
+                w[i] += v * col[i];
+            }
+        }
+        w
+    }
+
+    /// Ratio test; returns the leaving row. `None` means unbounded.
+    fn ratio_test(&self, w: &[f64], bland: bool) -> Option<usize> {
+        let mut best: Option<(usize, f64, f64)> = None; // (row, theta, |w|)
+        for i in 0..self.m {
+            if w[i] > self.opts.pivot_tol {
+                let theta = self.xb[i] / w[i];
+                match best {
+                    None => best = Some((i, theta, w[i])),
+                    Some((bi, bt, bw)) => {
+                        let better = if bland {
+                            // Bland: smallest basic index among ties.
+                            theta < bt - 1e-12
+                                || (theta < bt + 1e-12
+                                    && self.basic_order(i) < self.basic_order(bi))
+                        } else {
+                            theta < bt - 1e-12 || (theta < bt + 1e-12 && w[i] > bw)
+                        };
+                        if better {
+                            best = Some((i, theta, w[i]));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(i, _, _)| i)
+    }
+
+    /// Total order on basic variables used by Bland's rule (artificials
+    /// after all real columns).
+    fn basic_order(&self, row: usize) -> usize {
+        match self.basis[row] {
+            Basic::Col(j) => j,
+            Basic::Artificial(r) => self.lp.cols.ncols() + r,
+        }
+    }
+
+    /// Apply the pivot: column `q` enters, row `r` leaves.
+    fn pivot(&mut self, r: usize, q: usize, w: &[f64]) {
+        let theta = self.xb[r] / w[r];
+        for i in 0..self.m {
+            self.xb[i] -= theta * w[i];
+        }
+        self.xb[r] = theta;
+        if let Basic::Col(j) = self.basis[r] {
+            self.in_basis[j] = false;
+        }
+        self.basis[r] = Basic::Col(q);
+        self.in_basis[q] = true;
+
+        // Rank-1 update of the explicit inverse.
+        let wr = w[r];
+        for k in 0..self.m {
+            let col = self.binv.col_mut(k);
+            let t = col[r];
+            if t != 0.0 {
+                let t = t / wr;
+                for i in 0..self.m {
+                    col[i] -= w[i] * t;
+                }
+                col[r] = t;
+            }
+        }
+        self.iterations += 1;
+        self.pivots_since_refactor += 1;
+        if self.pivots_since_refactor >= self.opts.refactor_every {
+            self.refactorize();
+        }
+    }
+
+    /// Rebuild `binv` and `xb` from scratch via a dense LU of the basis.
+    fn refactorize(&mut self) {
+        let mut b = DenseMatrix::zeros(self.m, self.m);
+        for (i, &var) in self.basis.iter().enumerate() {
+            match var {
+                Basic::Col(j) => {
+                    for (r, v) in self.lp.cols.col(j) {
+                        b.set(r, i, v);
+                    }
+                }
+                Basic::Artificial(r) => b.set(r, i, 1.0),
+            }
+        }
+        match LuFactors::factor(&b) {
+            Ok(lu) => {
+                let mut inv = DenseMatrix::zeros(self.m, self.m);
+                let mut e = vec![0.0; self.m];
+                for k in 0..self.m {
+                    e[k] = 1.0;
+                    let col = lu.solve(&e);
+                    inv.col_mut(k).copy_from_slice(&col);
+                    e[k] = 0.0;
+                }
+                self.binv = inv;
+                self.xb = self.binv.mul_vec(&self.lp.rhs);
+                // Numerical guard: clip small negatives introduced by drift.
+                for v in &mut self.xb {
+                    if *v < 0.0 && *v > -1e-7 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            Err(_) => {
+                // Numerically singular refactorization: keep the updated
+                // inverse (it got us here) and carry on; the final residual
+                // check reports any real damage.
+            }
+        }
+        self.pivots_since_refactor = 0;
+    }
+
+    /// Objective of the current basis under the given phase costs.
+    fn objective(&self, phase1: bool) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.xb)
+            .map(|(&b, &v)| self.basic_cost(b, phase1) * v)
+            .sum()
+    }
+
+    /// Run one phase to optimality. Returns `None` when optimal, otherwise a
+    /// terminal status.
+    fn run_phase(&mut self, phase1: bool) -> Option<SimplexStatus> {
+        let mut bland = false;
+        let mut stall = 0usize;
+        let mut last_obj = self.objective(phase1);
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return Some(SimplexStatus::IterationLimit);
+            }
+            let y = self.duals(phase1);
+            let Some(q) = self.price(&y, phase1, bland) else {
+                return None; // phase-optimal
+            };
+            let w = self.ftran(q);
+            let Some(r) = self.ratio_test(&w, bland) else {
+                // Phase 1 is bounded below by 0, so an unbounded ray here
+                // signals numerical trouble; report it as unbounded anyway.
+                return Some(SimplexStatus::Unbounded);
+            };
+            self.update_devex(q, r, &w);
+            self.pivot(r, q, &w);
+            let obj = self.objective(phase1);
+            if obj < last_obj - 1e-12 {
+                last_obj = obj;
+                stall = 0;
+                bland = false;
+            } else {
+                stall += 1;
+                if stall > self.opts.stall_limit {
+                    bland = true;
+                }
+            }
+        }
+    }
+
+    /// After phase 1: pivot basic artificials out wherever possible.
+    fn purge_artificials(&mut self) {
+        for row in 0..self.m {
+            if !matches!(self.basis[row], Basic::Artificial(_)) {
+                continue;
+            }
+            // Row `row` of B⁻¹, gathered.
+            let rho: Vec<f64> = (0..self.m).map(|k| self.binv.col(k)[row]).collect();
+            // Find any nonbasic real column with a usable pivot in this row.
+            let mut found = None;
+            for j in 0..self.lp.cols.ncols() {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let a = self.lp.cols.col_dot(j, &rho);
+                if a.abs() > 1e-7 {
+                    found = Some(j);
+                    break;
+                }
+            }
+            if let Some(q) = found {
+                let w = self.ftran(q);
+                // Degenerate pivot: the artificial sits at zero, so theta=0
+                // and feasibility is preserved regardless of the sign of w.
+                debug_assert!(self.xb[row].abs() < 1e-6);
+                self.xb[row] = 0.0;
+                self.pivot(row, q, &w);
+            }
+            // else: redundant row; the artificial stays basic at zero and
+            // can never move (its row of B⁻¹A is identically zero).
+        }
+    }
+
+    fn result(&self, status: SimplexStatus) -> SimplexResult {
+        let mut x = vec![0.0; self.lp.cols.ncols()];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if let Basic::Col(j) = b {
+                x[j] = self.xb[i];
+            }
+        }
+        // Clip drift-induced tiny negatives.
+        for v in &mut x {
+            if *v < 0.0 && *v > -1e-7 {
+                *v = 0.0;
+            }
+        }
+        let ax = self.lp.cols.mul_vec(&x);
+        let mut residual = 0.0f64;
+        for i in 0..self.m {
+            let mut lhs = ax[i];
+            if let Basic::Artificial(_) = self.basis[i] {
+                lhs += self.xb[i]; // artificial contribution
+            }
+            residual = residual.max((lhs - self.lp.rhs[i]).abs());
+        }
+        let objective = x.iter().zip(&self.lp.costs).map(|(v, c)| v * c).sum();
+        SimplexResult {
+            status,
+            x,
+            duals: self.duals(false),
+            objective,
+            iterations: self.iterations,
+            residual,
+        }
+    }
+}
+
+/// Solve a [`StandardLp`] (minimization) with the revised simplex.
+pub fn solve_standard(lp: &StandardLp, opts: SimplexOptions) -> SimplexResult {
+    let mut eng = Engine::new(lp, opts);
+    if eng.has_artificials() {
+        if let Some(bad) = eng.run_phase(true) {
+            return eng.result(bad);
+        }
+        let p1 = eng.objective(true);
+        if p1 > 1e-7 {
+            return eng.result(SimplexStatus::Infeasible);
+        }
+        eng.purge_artificials();
+    }
+    match eng.run_phase(false) {
+        Some(bad) => eng.result(bad),
+        None => eng.result(SimplexStatus::Optimal),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CscBuilder;
+
+    /// Build a StandardLp from dense rows (appending nothing — caller
+    /// includes slacks explicitly).
+    fn lp_from_dense(a: &[&[f64]], costs: &[f64], rhs: &[f64]) -> StandardLp {
+        let m = a.len();
+        let n = a[0].len();
+        let mut b = CscBuilder::new(m);
+        for j in 0..n {
+            let col: Vec<(usize, f64)> = (0..m).map(|i| (i, a[i][j])).collect();
+            b.push_col(&col);
+        }
+        StandardLp { cols: b.finish(), costs: costs.to_vec(), rhs: rhs.to_vec() }
+    }
+
+    #[test]
+    fn slack_start_no_artificials() {
+        // min -3x - 2y s.t. x + y + s1 = 4, x + 3y + s2 = 6.
+        let lp = lp_from_dense(
+            &[&[1.0, 1.0, 1.0, 0.0], &[1.0, 3.0, 0.0, 1.0]],
+            &[-3.0, -2.0, 0.0, 0.0],
+            &[4.0, 6.0],
+        );
+        let r = solve_standard(&lp, SimplexOptions::default());
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        assert!((r.objective + 12.0).abs() < 1e-9);
+        assert!((r.x[0] - 4.0).abs() < 1e-9);
+        assert!((r.x[1] - 0.0).abs() < 1e-9);
+        assert!(r.residual < 1e-9);
+    }
+
+    #[test]
+    fn phase1_needed_for_equalities() {
+        // min x + y s.t. x + y = 2, x - y = 0  ->  x = y = 1, obj 2.
+        let lp = lp_from_dense(&[&[1.0, 1.0], &[1.0, -1.0]], &[1.0, 1.0], &[2.0, 0.0]);
+        let r = solve_standard(&lp, SimplexOptions::default());
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        assert!((r.objective - 2.0).abs() < 1e-9);
+        assert!((r.x[0] - 1.0).abs() < 1e-9);
+        assert!((r.x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x = 1 and x = 2 simultaneously.
+        let lp = lp_from_dense(&[&[1.0], &[1.0]], &[0.0], &[1.0, 2.0]);
+        let r = solve_standard(&lp, SimplexOptions::default());
+        assert_eq!(r.status, SimplexStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x s.t. x - s = 0 (x can grow forever).
+        let lp = lp_from_dense(&[&[1.0, -1.0]], &[-1.0, 0.0], &[0.0]);
+        let r = solve_standard(&lp, SimplexOptions::default());
+        assert_eq!(r.status, SimplexStatus::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple rows intersecting at the same vertex (degenerate).
+        let lp = lp_from_dense(
+            &[
+                &[1.0, 1.0, 1.0, 0.0, 0.0],
+                &[1.0, 0.0, 0.0, 1.0, 0.0],
+                &[0.0, 1.0, 0.0, 0.0, 1.0],
+            ],
+            &[-1.0, -1.0, 0.0, 0.0, 0.0],
+            &[1.0, 1.0, 1.0],
+        );
+        let r = solve_standard(&lp, SimplexOptions::default());
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        assert!((r.objective + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_rows_tolerated() {
+        // Row 2 = 2 x row 1: artificial stays basic at zero on the
+        // redundant row; solution still optimal.
+        let lp = lp_from_dense(
+            &[&[1.0, 1.0], &[2.0, 2.0]],
+            &[1.0, 2.0],
+            &[3.0, 6.0],
+        );
+        let r = solve_standard(&lp, SimplexOptions::default());
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        assert!((r.objective - 3.0).abs() < 1e-9, "obj={}", r.objective);
+        assert!(r.residual < 1e-8);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality() {
+        // min c x, Ax = b: at optimum, y'b == objective and c - A'y >= 0.
+        let lp = lp_from_dense(
+            &[&[2.0, 1.0, 1.0, 0.0], &[1.0, 3.0, 0.0, 1.0]],
+            &[-5.0, -4.0, 0.0, 0.0],
+            &[8.0, 9.0],
+        );
+        let r = solve_standard(&lp, SimplexOptions::default());
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        let yb: f64 = r.duals.iter().zip(&lp.rhs).map(|(y, b)| y * b).sum();
+        assert!((yb - r.objective).abs() < 1e-8);
+        for j in 0..lp.cols.ncols() {
+            let red = lp.costs[j] - lp.cols.col_dot(j, &r.duals);
+            assert!(red > -1e-7, "reduced cost {red} negative at optimum");
+        }
+    }
+
+    #[test]
+    fn refactorization_keeps_accuracy() {
+        // Force frequent refactorization on a chain problem and check the
+        // residual stays tiny.
+        let n = 30usize;
+        let mut bld = CscBuilder::new(n);
+        // x_i + x_{i+1}-style band + slacks.
+        for j in 0..n {
+            let mut col = vec![(j, 1.0)];
+            if j + 1 < n {
+                col.push((j + 1, 0.5));
+            }
+            bld.push_col(&col);
+        }
+        for j in 0..n {
+            bld.push_col(&[(j, 1.0)]);
+        }
+        let costs: Vec<f64> =
+            (0..n).map(|i| -((i % 7) as f64) - 1.0).chain((0..n).map(|_| 0.0)).collect();
+        let rhs: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let lp = StandardLp { cols: bld.finish(), costs, rhs };
+        let opts = SimplexOptions { refactor_every: 3, ..SimplexOptions::default() };
+        let r = solve_standard(&lp, opts);
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        assert!(r.residual < 1e-9, "residual {}", r.residual);
+    }
+}

@@ -1,0 +1,221 @@
+//! Naive dense two-phase tableau simplex — a slow, transparent oracle.
+//!
+//! This solver exists purely to cross-check the revised simplex in tests
+//! (including property tests over random LPs). It uses Bland's rule
+//! throughout, which guarantees termination at the cost of speed, and dense
+//! `O(m·n)` tableau updates.
+
+use crate::model::{Op, Sense};
+use crate::LpError;
+
+/// Solve `min/max c·x  s.t.  rows, x ≥ 0` with a dense tableau.
+///
+/// Returns `(objective, x)`.
+pub fn solve_dense(
+    sense: Sense,
+    costs: &[f64],
+    rows: &[(Vec<f64>, Op, f64)],
+) -> Result<(f64, Vec<f64>), LpError> {
+    let n = costs.len();
+    let m = rows.len();
+    for (coefs, _, _) in rows {
+        assert_eq!(coefs.len(), n, "row width mismatch");
+    }
+    let sense_sign = if sense == Sense::Maximize { -1.0 } else { 1.0 };
+
+    // Count slacks and artificials.
+    let mut num_slack = 0;
+    for (_, op, _) in rows {
+        if *op != Op::Eq {
+            num_slack += 1;
+        }
+    }
+    // Layout: [structural | slack | artificial | rhs].
+    let total = n + num_slack + m;
+    let width = total + 1;
+    let mut t = vec![vec![0.0f64; width]; m];
+    let mut basis = vec![0usize; m];
+    let mut slack_at = 0usize;
+    for (i, (coefs, op, rhs)) in rows.iter().enumerate() {
+        let flip = if *rhs < 0.0 { -1.0 } else { 1.0 };
+        for j in 0..n {
+            t[i][j] = coefs[j] * flip;
+        }
+        if *op != Op::Eq {
+            let s = match op {
+                Op::Le => 1.0,
+                Op::Ge => -1.0,
+                Op::Eq => unreachable!(),
+            };
+            t[i][n + slack_at] = s * flip;
+            slack_at += 1;
+        }
+        // Artificial for every row keeps the code simple.
+        t[i][n + num_slack + i] = 1.0;
+        basis[i] = n + num_slack + i;
+        t[i][total] = rhs * flip;
+    }
+
+    // Phase 1: minimize sum of artificials.
+    let mut obj1 = vec![0.0f64; width];
+    for i in 0..m {
+        for (j, o) in obj1.iter_mut().enumerate() {
+            *o -= t[i][j]; // reduced costs under the artificial basis
+        }
+    }
+    // Objective coefficients for artificials are 1; after pricing out the
+    // basis they are 0 in obj1 already (−Σ rows + 1 each = 0 only at the
+    // artificial columns): fix them explicitly.
+    for i in 0..m {
+        obj1[n + num_slack + i] = 0.0;
+    }
+    run(&mut t, &mut obj1, &mut basis, total, |j| j < n + num_slack)?;
+    let phase1_obj = -obj1[total];
+    if phase1_obj > 1e-7 {
+        return Err(LpError::Infeasible);
+    }
+
+    // Phase 2: real costs, artificial columns barred from entering.
+    let mut obj2 = vec![0.0f64; width];
+    for j in 0..n {
+        obj2[j] = sense_sign * costs[j];
+    }
+    // Price out the current basis.
+    for i in 0..m {
+        let b = basis[i];
+        let cb = if b < n { sense_sign * costs[b] } else { 0.0 };
+        if cb != 0.0 {
+            for j in 0..width {
+                obj2[j] -= cb * t[i][j];
+            }
+        }
+    }
+    run(&mut t, &mut obj2, &mut basis, total, |j| j < n + num_slack)?;
+
+    let mut x = vec![0.0f64; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = t[i][total];
+        }
+    }
+    let objective: f64 = x.iter().zip(costs).map(|(v, c)| v * c).sum();
+    Ok((objective, x))
+}
+
+/// Bland-rule tableau iteration until optimal.
+fn run(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    total: usize,
+    may_enter: impl Fn(usize) -> bool,
+) -> Result<(), LpError> {
+    let m = t.len();
+    for _ in 0..200_000 {
+        // Bland: smallest improving column index.
+        let Some(q) = (0..total).find(|&j| may_enter(j) && obj[j] < -1e-9) else {
+            return Ok(());
+        };
+        // Bland leaving rule: min ratio, smallest basis index tie-break.
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t[i][q] > 1e-9 {
+                let ratio = t[i][total] / t[i][q];
+                if ratio < best_ratio - 1e-12
+                    || (ratio < best_ratio + 1e-12
+                        && leave.is_none_or(|l| basis[i] < basis[l]))
+                {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(r) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        // Pivot on (r, q).
+        let piv = t[r][q];
+        for v in t[r].iter_mut() {
+            *v /= piv;
+        }
+        for i in 0..m {
+            if i != r && t[i][q].abs() > 0.0 {
+                let f = t[i][q];
+                for j in 0..=total {
+                    t[i][j] -= f * t[r][j];
+                }
+            }
+        }
+        let f = obj[q];
+        if f != 0.0 {
+            for j in 0..=total {
+                obj[j] -= f * t[r][j];
+            }
+        }
+        basis[r] = q;
+    }
+    Err(LpError::IterationLimit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_max() {
+        let (obj, x) = solve_dense(
+            Sense::Maximize,
+            &[3.0, 5.0],
+            &[
+                (vec![1.0, 0.0], Op::Le, 4.0),
+                (vec![0.0, 2.0], Op::Le, 12.0),
+                (vec![3.0, 2.0], Op::Le, 18.0),
+            ],
+        )
+        .unwrap();
+        assert!((obj - 36.0).abs() < 1e-9);
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_min() {
+        let (obj, x) = solve_dense(
+            Sense::Minimize,
+            &[2.0, 3.0],
+            &[
+                (vec![1.0, 1.0], Op::Eq, 10.0),
+                (vec![1.0, -1.0], Op::Eq, 2.0),
+            ],
+        )
+        .unwrap();
+        assert!((obj - 24.0).abs() < 1e-8);
+        assert!((x[0] - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn infeasible() {
+        let r = solve_dense(
+            Sense::Minimize,
+            &[1.0],
+            &[(vec![1.0], Op::Ge, 5.0), (vec![1.0], Op::Le, 2.0)],
+        );
+        assert_eq!(r.unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded() {
+        let r = solve_dense(Sense::Maximize, &[1.0], &[(vec![-1.0], Op::Le, 1.0)]);
+        assert_eq!(r.unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs() {
+        // min x + y s.t. -x - y <= -3  (i.e. x + y >= 3)
+        let (obj, _) =
+            solve_dense(Sense::Minimize, &[1.0, 1.0], &[(vec![-1.0, -1.0], Op::Le, -3.0)])
+                .unwrap();
+        assert!((obj - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,193 @@
+//! Real branches of the Lambert W function.
+//!
+//! `W(x)` solves `W·e^W = x`. Two real branches exist:
+//!
+//! * the principal branch `W₀` on `[-1/e, ∞)` with `W₀ ≥ -1`, and
+//! * the lower branch `W₋₁` on `[-1/e, 0)` with `W₋₁ ≤ -1`.
+//!
+//! The planar-Laplace mechanism needs `W₋₁` to invert the radial CDF
+//! `C(r) = 1 − (1 + εr)·e^{−εr}`: with `p ~ U(0,1)` the sampled radius is
+//! `r = −(1/ε)·(W₋₁((p − 1)/e) + 1)`.
+//!
+//! Both branches are computed with a branch-point / logarithmic initial
+//! guess refined by Halley's method, giving ~1 ulp accuracy in a handful of
+//! iterations.
+
+/// `1/e`, the negated left endpoint of both real branches.
+pub const INV_E: f64 = 1.0 / std::f64::consts::E;
+
+const MAX_ITER: usize = 64;
+const TOL: f64 = 1e-15;
+
+/// Halley refinement of an initial guess `w` for `W(x)`.
+fn halley(x: f64, mut w: f64) -> f64 {
+    for _ in 0..MAX_ITER {
+        let ew = w.exp();
+        let f = w * ew - x;
+        // Halley: w -= f / (e^w (w+1) - (w+2) f / (2w+2))
+        let denom = ew * (w + 1.0) - (w + 2.0) * f / (2.0 * w + 2.0);
+        if denom == 0.0 {
+            break;
+        }
+        let dw = f / denom;
+        w -= dw;
+        if dw.abs() <= TOL * (1.0 + w.abs()) {
+            break;
+        }
+    }
+    w
+}
+
+/// Principal branch `W₀(x)` for `x ≥ -1/e`.
+///
+/// Returns `NaN` for `x < -1/e` (outside the real domain).
+///
+/// # Examples
+/// ```
+/// use geoind_math::lambert_w0;
+/// let w = lambert_w0(1.0);
+/// assert!((w * w.exp() - 1.0).abs() < 1e-12); // Ω constant ≈ 0.5671
+/// ```
+pub fn lambert_w0(x: f64) -> f64 {
+    if x.is_nan() || x < -INV_E - 1e-12 {
+        return f64::NAN;
+    }
+    if x <= -INV_E {
+        return -1.0;
+    }
+    if x == 0.0 {
+        return 0.0;
+    }
+    // Initial guess.
+    let w0 = if x < -0.25 {
+        // Near the branch point: series in q = sqrt(2(1 + e x)).
+        let q = (2.0 * (1.0 + std::f64::consts::E * x)).max(0.0).sqrt();
+        -1.0 + q - q * q / 3.0 + 11.0 / 72.0 * q * q * q
+    } else if x < 3.0 {
+        // Padé-ish rational start around 0.
+        x * (1.0 - x * (1.0 - 1.5 * x) / (1.0 + x * (2.0 + x)))
+    } else {
+        // Asymptotic: W ≈ ln x − ln ln x.
+        let l1 = x.ln();
+        let l2 = l1.ln();
+        l1 - l2 + l2 / l1
+    };
+    halley(x, w0)
+}
+
+/// Lower branch `W₋₁(x)` for `x ∈ [-1/e, 0)`.
+///
+/// Returns `NaN` outside the domain.
+///
+/// # Examples
+/// ```
+/// use geoind_math::lambert_wm1;
+/// let w = lambert_wm1(-0.1);
+/// assert!(w < -1.0);
+/// assert!((w * w.exp() + 0.1).abs() < 1e-12);
+/// ```
+pub fn lambert_wm1(x: f64) -> f64 {
+    if x.is_nan() || !(-INV_E - 1e-12..0.0).contains(&x) {
+        return f64::NAN;
+    }
+    if x <= -INV_E {
+        return -1.0;
+    }
+    // Initial guess.
+    let w0 = if x > -0.25 * INV_E {
+        // Away from the branch point: W₋₁(x) ≈ ln(−x) − ln(−ln(−x)).
+        let l1 = (-x).ln();
+        let l2 = (-l1).ln();
+        l1 - l2 + l2 / l1
+    } else {
+        // Near the branch point: series with q = −sqrt(2(1 + e x)).
+        let q = -((2.0 * (1.0 + std::f64::consts::E * x)).max(0.0)).sqrt();
+        -1.0 + q - q * q / 3.0 + 11.0 / 72.0 * q * q * q
+    };
+    halley(x, w0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_inverse(x: f64, w: f64) {
+        let back = w * w.exp();
+        assert!(
+            (back - x).abs() <= 1e-12 * (1.0 + x.abs()),
+            "W({x}) = {w}: W e^W = {back}"
+        );
+    }
+
+    #[test]
+    fn w0_known_values() {
+        // Omega constant: W0(1).
+        assert!((lambert_w0(1.0) - 0.567_143_290_409_783_8).abs() < 1e-14);
+        // W0(e) = 1.
+        assert!((lambert_w0(std::f64::consts::E) - 1.0).abs() < 1e-14);
+        // W0(0) = 0.
+        assert_eq!(lambert_w0(0.0), 0.0);
+        // W0(-1/e) = -1.
+        assert!((lambert_w0(-INV_E) + 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn w0_inverse_sweep() {
+        let mut x = -INV_E + 1e-6;
+        while x < 1e6 {
+            check_inverse(x, lambert_w0(x));
+            x = if x < 0.0 { x / 2.0 + 0.05 } else { x * 3.0 + 0.1 };
+        }
+    }
+
+    #[test]
+    fn wm1_known_values() {
+        // W-1(-1/e) = -1.
+        assert!((lambert_wm1(-INV_E) + 1.0).abs() < 1e-7);
+        // Reference: W-1(-0.1) ≈ -3.577152063957297.
+        assert!((lambert_wm1(-0.1) + 3.577_152_063_957_297).abs() < 1e-12);
+        // W-1(-0.2) ≈ -2.542641357773526.
+        assert!((lambert_wm1(-0.2) + 2.542_641_357_773_526).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wm1_inverse_sweep() {
+        // Geometric sweep across the whole domain (-1/e, 0).
+        let mut x = -INV_E * 0.999_999;
+        while x < -1e-300 {
+            check_inverse(x, lambert_wm1(x));
+            x *= 0.7;
+        }
+    }
+
+    #[test]
+    fn wm1_is_below_minus_one_and_w0_above() {
+        for i in 1..100 {
+            let x = -INV_E * (i as f64) / 100.0;
+            assert!(lambert_wm1(x) <= -1.0 + 1e-9);
+            assert!(lambert_w0(x) >= -1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn out_of_domain_is_nan() {
+        assert!(lambert_w0(-1.0).is_nan());
+        assert!(lambert_wm1(0.5).is_nan());
+        assert!(lambert_wm1(-1.0).is_nan());
+        assert!(lambert_wm1(0.0).is_nan());
+        assert!(lambert_w0(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn planar_laplace_cdf_inversion() {
+        // r = -(1/eps) (W-1((p-1)/e) + 1) must invert C(r) = 1-(1+eps r)e^{-eps r}.
+        let eps = 0.7;
+        for p in [0.001, 0.1, 0.5, 0.9, 0.999] {
+            let w = lambert_wm1((p - 1.0) * INV_E);
+            let r = -(w + 1.0) / eps;
+            assert!(r >= 0.0);
+            let cdf = 1.0 - (1.0 + eps * r) * (-eps * r).exp();
+            assert!((cdf - p).abs() < 1e-10, "p={p} r={r} cdf={cdf}");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Numerical substrate for geo-indistinguishability.
+//!
+//! This crate bundles every piece of non-trivial numerics the mechanisms in
+//! `geoind-core` depend on:
+//!
+//! * [`lambertw`] — both real branches of the Lambert W function, used to
+//!   invert the planar-Laplace radial CDF (Eq. 2 of the paper).
+//! * [`zeta`] — the Riemann zeta function on the real axis (`s > 1`).
+//! * [`beta`] — the Dirichlet beta function `L(s, χ₄)` (Eq. 10).
+//! * [`lattice`] — the 2-D exponential lattice sum `T(β)` of Section 5 of the
+//!   paper, both by direct ring summation and by the Poisson-summation
+//!   expansion of Eq. (8)–(9), plus the self-map probability `Φ = 1/T`.
+//! * [`roots`] — bisection on monotone functions (used to solve the paper's
+//!   Problem 1 for the minimum per-level budget).
+//! * [`sampling`] — Walker alias tables for O(1) categorical sampling and the
+//!   polar planar-Laplace radius sampler.
+//!
+//! Everything is implemented from scratch on `f64`, with accuracy targets and
+//! reference values pinned in unit tests.
+
+#![warn(missing_docs)]
+// Index-based loops over parallel arrays are the clearest style for the
+// numeric kernels here; the iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+// Test reference constants keep full printed precision from their sources.
+#![allow(clippy::excessive_precision)]
+
+pub mod beta;
+pub mod lambertw;
+pub mod lattice;
+pub mod roots;
+pub mod sampling;
+pub mod zeta;
+
+pub use beta::dirichlet_beta;
+pub use lambertw::{lambert_w0, lambert_wm1};
+pub use lattice::{lattice_sum, lattice_sum_direct, lattice_sum_expansion, self_map_probability};
+pub use roots::bisect_increasing;
+pub use sampling::{planar_laplace_radius, AliasTable};
+pub use zeta::riemann_zeta;

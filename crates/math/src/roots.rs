@@ -1,0 +1,85 @@
+//! Root bracketing and bisection on monotone functions.
+//!
+//! The paper's Problem 1 asks for the minimum budget `ε` with
+//! `Φ(ε) − ρ ≥ 0`. `Φ` is strictly increasing in `ε` but has no closed form,
+//! so (as the paper notes) a simple branch-and-bound / bisection on the
+//! monotone constraint recovers `ε` to arbitrary precision.
+
+/// Find the smallest `x > 0` with `f(x) >= target`, assuming `f` is
+/// monotonically increasing. Returns `None` if no such `x` exists below
+/// `upper_limit`.
+///
+/// The routine first grows an exponential bracket from `seed`, then bisects
+/// to an absolute tolerance of `tol`.
+///
+/// # Examples
+/// ```
+/// use geoind_math::bisect_increasing;
+/// let x = bisect_increasing(|x| x * x, 9.0, 1.0, 1e6, 1e-12).unwrap();
+/// assert!((x - 3.0).abs() < 1e-9);
+/// ```
+pub fn bisect_increasing<F: Fn(f64) -> f64>(
+    f: F,
+    target: f64,
+    seed: f64,
+    upper_limit: f64,
+    tol: f64,
+) -> Option<f64> {
+    assert!(seed > 0.0 && upper_limit > seed && tol > 0.0);
+    // Grow the bracket.
+    let mut hi = seed;
+    while f(hi) < target {
+        hi *= 2.0;
+        if hi > upper_limit {
+            return None;
+        }
+    }
+    let mut lo = hi / 2.0;
+    // If even the seed satisfies the target, shrink the lower edge to ~0.
+    while f(lo) >= target {
+        lo /= 2.0;
+        if lo < 1e-300 {
+            return Some(lo);
+        }
+    }
+    // Invariant: f(lo) < target <= f(hi).
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_root_of_monotone_function() {
+        let x = bisect_increasing(|x| 1.0 - (-x).exp(), 0.5, 0.1, 100.0, 1e-12).unwrap();
+        assert!((x - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_upper_limit() {
+        assert!(bisect_increasing(|x| x, 10.0, 1.0, 5.0, 1e-9).is_none());
+    }
+
+    #[test]
+    fn target_below_all_values_returns_tiny() {
+        let x = bisect_increasing(|_| 1.0, 0.5, 1.0, 10.0, 1e-9).unwrap();
+        assert!(x < 1e-200);
+    }
+
+    #[test]
+    fn result_is_minimal() {
+        let f = |x: f64| x.powi(3);
+        let x = bisect_increasing(f, 8.0, 0.5, 1e9, 1e-12).unwrap();
+        assert!(f(x) >= 8.0);
+        assert!(f(x - 1e-9) < 8.0 + 1e-6);
+    }
+}

@@ -1,0 +1,121 @@
+//! Riemann zeta function on the real axis, `s > 1`.
+//!
+//! The Poisson-summation expansion of the lattice sum (Eq. 8–9 of the paper)
+//! needs `ζ(k + 1/2)` for `k = 1, 2, …`. We evaluate `ζ(s)` with the
+//! Euler–Maclaurin formula:
+//!
+//! ```text
+//! ζ(s) = Σ_{n=1}^{N-1} n^{-s} + N^{1-s}/(s-1) + N^{-s}/2
+//!        + Σ_{j=1}^{J} B_{2j}/(2j)! · (s)_{2j-1} · N^{-s-2j+1} + R
+//! ```
+//!
+//! with Bernoulli numbers `B_{2j}` and Pochhammer `(s)_m = s(s+1)…(s+m−1)`.
+//! With `N = 20` and `J = 10` the truncation error is far below 1e-15 for all
+//! `s ≥ 1.1`.
+
+/// Bernoulli numbers B₂, B₄, …, B₂₀.
+const BERNOULLI_EVEN: [f64; 10] = [
+    1.0 / 6.0,
+    -1.0 / 30.0,
+    1.0 / 42.0,
+    -1.0 / 30.0,
+    5.0 / 66.0,
+    -691.0 / 2730.0,
+    7.0 / 6.0,
+    -3617.0 / 510.0,
+    43867.0 / 798.0,
+    -174611.0 / 330.0,
+];
+
+/// Riemann zeta `ζ(s)` for real `s > 1`.
+///
+/// Accuracy is ~1e-15 relative for `s ≥ 1.1`; closer to the pole the
+/// Euler–Maclaurin tail still converges but the leading `N^{1-s}/(s-1)` term
+/// dominates and relative accuracy degrades gracefully.
+///
+/// # Panics
+/// Panics if `s <= 1` (the series diverges at the pole and the analytic
+/// continuation is out of scope for this crate).
+///
+/// # Examples
+/// ```
+/// use geoind_math::riemann_zeta;
+/// let z2 = riemann_zeta(2.0);
+/// assert!((z2 - std::f64::consts::PI.powi(2) / 6.0).abs() < 1e-14);
+/// ```
+pub fn riemann_zeta(s: f64) -> f64 {
+    assert!(s > 1.0, "riemann_zeta requires s > 1, got {s}");
+    let n = 20usize;
+    let nf = n as f64;
+    let mut sum = 0.0;
+    for k in 1..n {
+        sum += (k as f64).powf(-s);
+    }
+    sum += nf.powf(1.0 - s) / (s - 1.0);
+    sum += 0.5 * nf.powf(-s);
+    // Euler–Maclaurin correction terms.
+    let mut poch = s; // (s)_1
+    let mut fact = 2.0; // (2j)! running value, starts at 2! = 2
+    let mut npow = nf.powf(-s - 1.0);
+    for (j, &b) in BERNOULLI_EVEN.iter().enumerate() {
+        // term_j = B_{2j} / (2j)! * (s)(s+1)...(s+2j-2) * N^{-s-2j+1}
+        let term = b / fact * poch * npow;
+        sum += term;
+        if term.abs() < 1e-18 * sum.abs() {
+            break;
+        }
+        // Advance to j+1: multiply Pochhammer by (s+2j-1)(s+2j) and factorial
+        // by (2j+1)(2j+2); shift the power of N by -2.
+        let tj = 2.0 * (j as f64 + 1.0);
+        poch *= (s + tj - 1.0) * (s + tj);
+        fact *= (tj + 1.0) * (tj + 2.0);
+        npow /= nf * nf;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn even_integer_values() {
+        assert!((riemann_zeta(2.0) - PI * PI / 6.0).abs() < 1e-14);
+        assert!((riemann_zeta(4.0) - PI.powi(4) / 90.0).abs() < 1e-14);
+        assert!((riemann_zeta(6.0) - PI.powi(6) / 945.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn half_integer_values() {
+        // Reference values (Mathematica, 16 digits).
+        assert!((riemann_zeta(1.5) - 2.612_375_348_685_488).abs() < 1e-13);
+        assert!((riemann_zeta(2.5) - 1.341_487_257_250_917).abs() < 1e-14);
+        assert!((riemann_zeta(3.5) - 1.126_733_867_317_056).abs() < 1e-14);
+        assert!((riemann_zeta(4.5) - 1.054_707_510_761_454).abs() < 1e-14);
+    }
+
+    #[test]
+    fn large_s_tends_to_one() {
+        assert!((riemann_zeta(30.0) - 1.0).abs() < 1e-9);
+        assert!((riemann_zeta(60.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn monotone_decreasing() {
+        let mut prev = riemann_zeta(1.05);
+        for i in 1..200 {
+            let s = 1.05 + i as f64 * 0.1;
+            let z = riemann_zeta(s);
+            assert!(z < prev, "zeta not decreasing at s={s}");
+            assert!(z > 1.0);
+            prev = z;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires s > 1")]
+    fn pole_panics() {
+        riemann_zeta(1.0);
+    }
+}

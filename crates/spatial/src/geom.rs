@@ -1,0 +1,238 @@
+//! Planar geometry on a local km-plane.
+//!
+//! All mechanisms work in a flat 2-D coordinate system measured in
+//! kilometres. Real check-ins arrive as WGS-84 lat/lon; at city scale
+//! (≤ tens of km) an equirectangular projection around a reference latitude
+//! is accurate to well under 0.1% and keeps every distance Euclidean, which
+//! is the distinguishability metric `d(·,·)` the paper uses.
+
+/// A point on the local km-plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Easting, km.
+    pub x: f64,
+    /// Northing, km.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point from km coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`, in km.
+    pub fn dist(&self, other: Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`, in km².
+    pub fn dist2(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Component-wise translation.
+    pub fn offset(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+/// An axis-aligned bounding box `[min_x, max_x) × [min_y, max_y)`.
+///
+/// Half-open on the upper edges so grid cells tile a domain without overlap;
+/// [`BBox::contains`] treats the global upper edge as inclusive when testing
+/// against the full domain is desired via [`BBox::contains_closed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl BBox {
+    /// Construct a box; panics if the corners are inverted or degenerate.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(
+            max.x > min.x && max.y > min.y,
+            "degenerate bbox: {min:?}..{max:?}"
+        );
+        Self { min, max }
+    }
+
+    /// The square `[0, side) × [0, side)`.
+    pub fn square(side: f64) -> Self {
+        assert!(side > 0.0);
+        Self::new(Point::new(0.0, 0.0), Point::new(side, side))
+    }
+
+    /// Width (km).
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (km).
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Side length, asserting the box is (numerically) square.
+    pub fn side(&self) -> f64 {
+        let w = self.width();
+        let h = self.height();
+        assert!(
+            (w - h).abs() <= 1e-9 * w.max(h),
+            "side() on a non-square bbox {w}x{h}"
+        );
+        w
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new(0.5 * (self.min.x + self.max.x), 0.5 * (self.min.y + self.max.y))
+    }
+
+    /// Half-open membership test.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x < self.max.x && p.y >= self.min.y && p.y < self.max.y
+    }
+
+    /// Closed membership test (both upper edges inclusive).
+    pub fn contains_closed(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamp a point into the closed box.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+
+    /// Grow a rectangle into the smallest enclosing square (paper footnote 3:
+    /// non-square domains are scaled/equalized before running the algorithm).
+    pub fn enclosing_square(&self) -> BBox {
+        let side = self.width().max(self.height());
+        BBox::new(self.min, Point::new(self.min.x + side, self.min.y + side))
+    }
+}
+
+/// Mean Earth radius in km (spherical approximation).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Equirectangular projection of WGS-84 coordinates onto a km-plane anchored
+/// at `(lat0, lon0)` (which maps to the origin).
+#[derive(Debug, Clone, Copy)]
+pub struct Projection {
+    lat0: f64,
+    lon0: f64,
+    cos_lat0: f64,
+}
+
+impl Projection {
+    /// Anchor the plane at the given reference coordinate (degrees).
+    pub fn new(lat0_deg: f64, lon0_deg: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat0_deg), "latitude out of range");
+        Self {
+            lat0: lat0_deg.to_radians(),
+            lon0: lon0_deg.to_radians(),
+            cos_lat0: lat0_deg.to_radians().cos(),
+        }
+    }
+
+    /// Project (lat, lon) in degrees to km-plane coordinates.
+    pub fn project(&self, lat_deg: f64, lon_deg: f64) -> Point {
+        let lat = lat_deg.to_radians();
+        let lon = lon_deg.to_radians();
+        Point::new(
+            EARTH_RADIUS_KM * (lon - self.lon0) * self.cos_lat0,
+            EARTH_RADIUS_KM * (lat - self.lat0),
+        )
+    }
+
+    /// Inverse projection back to (lat, lon) degrees.
+    pub fn unproject(&self, p: Point) -> (f64, f64) {
+        let lat = self.lat0 + p.y / EARTH_RADIUS_KM;
+        let lon = self.lon0 + p.x / (EARTH_RADIUS_KM * self.cos_lat0);
+        (lat.to_degrees(), lon.to_degrees())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.dist2(b), 25.0);
+        assert_eq!(a.dist(a), 0.0);
+    }
+
+    #[test]
+    fn bbox_membership_half_open() {
+        let b = BBox::square(10.0);
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(b.contains(Point::new(9.999, 9.999)));
+        assert!(!b.contains(Point::new(10.0, 5.0)));
+        assert!(b.contains_closed(Point::new(10.0, 10.0)));
+        assert!(!b.contains_closed(Point::new(10.0001, 10.0)));
+    }
+
+    #[test]
+    fn bbox_center_and_side() {
+        let b = BBox::new(Point::new(2.0, 4.0), Point::new(6.0, 8.0));
+        assert_eq!(b.center(), Point::new(4.0, 6.0));
+        assert_eq!(b.side(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-square")]
+    fn side_panics_on_rectangle() {
+        BBox::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0)).side();
+    }
+
+    #[test]
+    fn clamp_pulls_points_inside() {
+        let b = BBox::square(5.0);
+        let p = b.clamp(Point::new(-3.0, 7.0));
+        assert_eq!(p, Point::new(0.0, 5.0));
+        assert!(b.contains_closed(p));
+    }
+
+    #[test]
+    fn enclosing_square_covers_rectangle() {
+        let r = BBox::new(Point::new(1.0, 1.0), Point::new(5.0, 3.0));
+        let s = r.enclosing_square();
+        assert_eq!(s.side(), 4.0);
+        assert!(s.contains_closed(r.max));
+    }
+
+    #[test]
+    fn projection_roundtrip() {
+        // Austin, TX reference (paper's Gowalla region).
+        let proj = Projection::new(30.2825, -97.7658);
+        for (lat, lon) in [(30.1927, -97.8698), (30.3723, -97.6618), (30.28, -97.75)] {
+            let p = proj.project(lat, lon);
+            let (lat2, lon2) = proj.unproject(p);
+            assert!((lat - lat2).abs() < 1e-12);
+            assert!((lon - lon2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_scale_matches_paper_region() {
+        // The paper's Austin region (lat 30.1927..30.3723, lon -97.8698..
+        // -97.6618) is described as 20x20 km; the projection must agree to
+        // within ~2%.
+        let proj = Projection::new(30.2825, -97.7658);
+        let sw = proj.project(30.1927, -97.8698);
+        let ne = proj.project(30.3723, -97.6618);
+        let w = ne.x - sw.x;
+        let h = ne.y - sw.y;
+        assert!((w - 20.0).abs() < 0.5, "width {w}");
+        assert!((h - 20.0).abs() < 0.5, "height {h}");
+    }
+}

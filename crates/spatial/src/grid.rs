@@ -1,0 +1,196 @@
+//! Uniform `g×g` grid over a square domain.
+//!
+//! The paper discretizes the dataspace into *logical locations*: cell centers
+//! of a regular grid (Section 3.1). [`Grid`] provides the bidirectional
+//! mapping between continuous points and cells, in row-major cell order
+//! (`id = row·g + col`, row 0 at the bottom).
+
+use crate::geom::{BBox, Point};
+
+/// Index of a cell in row-major order.
+pub type CellId = usize;
+
+/// A regular `g×g` grid over a square [`BBox`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    domain: BBox,
+    g: u32,
+    cell_side: f64,
+}
+
+impl Grid {
+    /// Build a `g×g` grid over `domain` (must be square).
+    ///
+    /// # Panics
+    /// Panics if `g == 0` or the domain is not square.
+    pub fn new(domain: BBox, g: u32) -> Self {
+        assert!(g >= 1, "granularity must be >= 1");
+        let side = domain.side();
+        Self { domain, g, cell_side: side / g as f64 }
+    }
+
+    /// Grid granularity `g`.
+    pub fn granularity(&self) -> u32 {
+        self.g
+    }
+
+    /// Total number of cells, `g²`.
+    pub fn num_cells(&self) -> usize {
+        (self.g as usize) * (self.g as usize)
+    }
+
+    /// The square domain covered.
+    pub fn domain(&self) -> BBox {
+        self.domain
+    }
+
+    /// Side length of one cell (km).
+    pub fn cell_side(&self) -> f64 {
+        self.cell_side
+    }
+
+    /// Cell enclosing `p`. Points outside the domain are clamped to the
+    /// nearest boundary cell (this mirrors `EnclosingCell` in the paper,
+    /// which is only ever called on in-domain points; clamping makes the API
+    /// total).
+    pub fn cell_of(&self, p: Point) -> CellId {
+        let col = (((p.x - self.domain.min.x) / self.cell_side).floor() as i64)
+            .clamp(0, self.g as i64 - 1) as usize;
+        let row = (((p.y - self.domain.min.y) / self.cell_side).floor() as i64)
+            .clamp(0, self.g as i64 - 1) as usize;
+        row * self.g as usize + col
+    }
+
+    /// `(row, col)` of a cell.
+    pub fn row_col(&self, id: CellId) -> (u32, u32) {
+        assert!(id < self.num_cells(), "cell id {id} out of range");
+        ((id / self.g as usize) as u32, (id % self.g as usize) as u32)
+    }
+
+    /// Cell id from `(row, col)`.
+    pub fn cell_at(&self, row: u32, col: u32) -> CellId {
+        assert!(row < self.g && col < self.g);
+        row as usize * self.g as usize + col as usize
+    }
+
+    /// Center of a cell — the *logical location* the paper snaps to.
+    pub fn center_of(&self, id: CellId) -> Point {
+        let (row, col) = self.row_col(id);
+        Point::new(
+            self.domain.min.x + (col as f64 + 0.5) * self.cell_side,
+            self.domain.min.y + (row as f64 + 0.5) * self.cell_side,
+        )
+    }
+
+    /// Spatial extent of a cell.
+    pub fn extent_of(&self, id: CellId) -> BBox {
+        let (row, col) = self.row_col(id);
+        let min = Point::new(
+            self.domain.min.x + col as f64 * self.cell_side,
+            self.domain.min.y + row as f64 * self.cell_side,
+        );
+        BBox::new(min, min.offset(self.cell_side, self.cell_side))
+    }
+
+    /// Snap a point to the center of its enclosing cell.
+    pub fn snap(&self, p: Point) -> Point {
+        self.center_of(self.cell_of(p))
+    }
+
+    /// All cell centers, in cell-id order.
+    pub fn centers(&self) -> Vec<Point> {
+        (0..self.num_cells()).map(|id| self.center_of(id)).collect()
+    }
+
+    /// Euclidean distance between the centers of two cells (km).
+    pub fn center_dist(&self, a: CellId, b: CellId) -> f64 {
+        self.center_of(a).dist(self.center_of(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid3() -> Grid {
+        Grid::new(BBox::square(9.0), 3)
+    }
+
+    #[test]
+    fn geometry_basics() {
+        let g = grid3();
+        assert_eq!(g.num_cells(), 9);
+        assert_eq!(g.cell_side(), 3.0);
+        assert_eq!(g.center_of(0), Point::new(1.5, 1.5));
+        assert_eq!(g.center_of(8), Point::new(7.5, 7.5));
+        assert_eq!(g.center_of(5), Point::new(7.5, 4.5)); // row 1, col 2
+    }
+
+    #[test]
+    fn cell_of_and_center_roundtrip() {
+        let g = grid3();
+        for id in 0..g.num_cells() {
+            assert_eq!(g.cell_of(g.center_of(id)), id);
+        }
+    }
+
+    #[test]
+    fn cell_of_boundary_points() {
+        let g = grid3();
+        // Exact lower corner belongs to cell 0; upper corner clamps to 8.
+        assert_eq!(g.cell_of(Point::new(0.0, 0.0)), 0);
+        assert_eq!(g.cell_of(Point::new(9.0, 9.0)), 8);
+        // Interior cell edge belongs to the upper cell (half-open).
+        assert_eq!(g.cell_of(Point::new(3.0, 0.0)), 1);
+    }
+
+    #[test]
+    fn out_of_domain_clamps() {
+        let g = grid3();
+        assert_eq!(g.cell_of(Point::new(-5.0, -5.0)), 0);
+        assert_eq!(g.cell_of(Point::new(100.0, 100.0)), 8);
+    }
+
+    #[test]
+    fn extent_contains_center_and_tiles_domain() {
+        let g = grid3();
+        let mut area = 0.0;
+        for id in 0..g.num_cells() {
+            let e = g.extent_of(id);
+            assert!(e.contains(g.center_of(id)));
+            area += e.width() * e.height();
+        }
+        assert!((area - 81.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_col_roundtrip() {
+        let g = Grid::new(BBox::square(20.0), 7);
+        for id in 0..g.num_cells() {
+            let (r, c) = g.row_col(id);
+            assert_eq!(g.cell_at(r, c), id);
+        }
+    }
+
+    #[test]
+    fn center_dist_symmetric() {
+        let g = grid3();
+        assert_eq!(g.center_dist(0, 8), g.center_dist(8, 0));
+        assert!((g.center_dist(0, 1) - 3.0).abs() < 1e-12);
+        assert!((g.center_dist(0, 4) - (18.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snap_idempotent() {
+        let g = grid3();
+        let p = Point::new(2.2, 7.9);
+        let s = g.snap(p);
+        assert_eq!(g.snap(s), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_cell_id_panics() {
+        grid3().center_of(9);
+    }
+}

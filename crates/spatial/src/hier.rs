@@ -1,0 +1,246 @@
+//! GIHI — the GeoInd-preserving Hierarchical Index (paper Section 4, Fig. 4).
+//!
+//! A [`HierGrid`] of granularity `g` and height `h` refines a square domain
+//! top-down: level 0 is the *virtual root* (the whole domain), level `i` is
+//! an effective `gⁱ × gⁱ` grid, and each level-`i` cell has exactly `g²`
+//! children at level `i+1` lying inside its spatial extent.
+//!
+//! The multi-step mechanism walks one root-to-leaf path of this structure,
+//! solving a `g²`-location optimal mechanism inside the chosen cell at every
+//! level.
+
+use crate::geom::{BBox, Point};
+use crate::grid::{CellId, Grid};
+
+/// A cell addressed by `(level, id)` where `id` indexes the effective
+/// `g^level × g^level` grid of that level in row-major order.
+///
+/// `level == 0` always has `id == 0`: the virtual root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LevelCell {
+    /// Tree level; 0 is the virtual root.
+    pub level: u32,
+    /// Row-major index within the effective grid of `level`.
+    pub id: CellId,
+}
+
+impl LevelCell {
+    /// The virtual root node covering the whole domain.
+    pub const ROOT: LevelCell = LevelCell { level: 0, id: 0 };
+}
+
+/// Hierarchical grid index with fan-out `g²` per node.
+#[derive(Debug, Clone)]
+pub struct HierGrid {
+    domain: BBox,
+    g: u32,
+    height: u32,
+}
+
+impl HierGrid {
+    /// Build a GIHI of granularity `g` (fan-out `g²`) and `height` levels
+    /// below the virtual root.
+    ///
+    /// # Panics
+    /// Panics if `g < 2`, `height == 0`, or the effective leaf granularity
+    /// `g^height` overflows `u32`.
+    pub fn new(domain: BBox, g: u32, height: u32) -> Self {
+        assert!(g >= 2, "hierarchical grid needs fan-out >= 2, got g={g}");
+        assert!(height >= 1, "height must be >= 1");
+        let mut eff: u64 = 1;
+        for _ in 0..height {
+            eff = eff.checked_mul(g as u64).expect("granularity overflow");
+            assert!(eff <= u32::MAX as u64, "effective granularity overflows");
+        }
+        domain.side(); // assert squareness
+        Self { domain, g, height }
+    }
+
+    /// Per-level granularity `g`.
+    pub fn granularity(&self) -> u32 {
+        self.g
+    }
+
+    /// Number of levels below the root.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The covered domain.
+    pub fn domain(&self) -> BBox {
+        self.domain
+    }
+
+    /// Effective granularity `g^level` of a level (level 0 ⇒ 1).
+    pub fn effective_granularity(&self, level: u32) -> u32 {
+        assert!(level <= self.height, "level {level} exceeds height");
+        self.g.pow(level)
+    }
+
+    /// The effective grid at `level` (level 0 is a single-cell grid).
+    pub fn level_grid(&self, level: u32) -> Grid {
+        Grid::new(self.domain, self.effective_granularity(level).max(1))
+    }
+
+    /// Spatial extent of a cell.
+    pub fn extent(&self, cell: LevelCell) -> BBox {
+        self.level_grid(cell.level).extent_of(cell.id)
+    }
+
+    /// Center (logical location) of a cell.
+    pub fn center(&self, cell: LevelCell) -> Point {
+        self.level_grid(cell.level).center_of(cell.id)
+    }
+
+    /// The cell of `level` enclosing point `p` (paper: `EnclosingCell(x, i)`).
+    pub fn enclosing_cell(&self, p: Point, level: u32) -> LevelCell {
+        LevelCell { level, id: self.level_grid(level).cell_of(p) }
+    }
+
+    /// The parent of a non-root cell.
+    pub fn parent(&self, cell: LevelCell) -> LevelCell {
+        assert!(cell.level >= 1, "root has no parent");
+        let child_grid = self.level_grid(cell.level);
+        let (row, col) = child_grid.row_col(cell.id);
+        let parent_level = cell.level - 1;
+        if parent_level == 0 {
+            return LevelCell::ROOT;
+        }
+        let pg = self.effective_granularity(parent_level) as usize;
+        let (prow, pcol) = ((row / self.g) as usize, (col / self.g) as usize);
+        LevelCell { level: parent_level, id: prow * pg + pcol }
+    }
+
+    /// The `g²` children of a cell at `cell.level + 1`, in row-major order of
+    /// the *local* `g×g` subgrid (local index `lr·g + lc`).
+    ///
+    /// # Panics
+    /// Panics if `cell.level == height` (leaves have no children).
+    pub fn children(&self, cell: LevelCell) -> Vec<LevelCell> {
+        assert!(cell.level < self.height, "leaf cells have no children");
+        let child_level = cell.level + 1;
+        let cg = self.effective_granularity(child_level) as usize;
+        let (row, col) = if cell.level == 0 {
+            (0u32, 0u32)
+        } else {
+            self.level_grid(cell.level).row_col(cell.id)
+        };
+        let (base_r, base_c) = ((row * self.g) as usize, (col * self.g) as usize);
+        let mut out = Vec::with_capacity((self.g * self.g) as usize);
+        for lr in 0..self.g as usize {
+            for lc in 0..self.g as usize {
+                out.push(LevelCell { level: child_level, id: (base_r + lr) * cg + base_c + lc });
+            }
+        }
+        out
+    }
+
+    /// Local `g×g` index (row-major) of a level-`i` cell within its parent.
+    pub fn local_index(&self, cell: LevelCell) -> usize {
+        assert!(cell.level >= 1);
+        let (row, col) = self.level_grid(cell.level).row_col(cell.id);
+        ((row % self.g) * self.g + (col % self.g)) as usize
+    }
+
+    /// Root-to-leaf path of cells enclosing `p` (levels `1..=height`).
+    pub fn path_to(&self, p: Point) -> Vec<LevelCell> {
+        (1..=self.height).map(|l| self.enclosing_cell(p, l)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gihi() -> HierGrid {
+        HierGrid::new(BBox::square(8.0), 2, 3)
+    }
+
+    #[test]
+    fn effective_granularities() {
+        let h = gihi();
+        assert_eq!(h.effective_granularity(0), 1);
+        assert_eq!(h.effective_granularity(1), 2);
+        assert_eq!(h.effective_granularity(2), 4);
+        assert_eq!(h.effective_granularity(3), 8);
+    }
+
+    #[test]
+    fn children_lie_inside_parent() {
+        let h = gihi();
+        for level in 0..h.height() {
+            let n = h.effective_granularity(level) as usize;
+            for id in 0..n * n {
+                let cell = LevelCell { level, id };
+                let ext = h.extent(cell);
+                let kids = h.children(cell);
+                assert_eq!(kids.len(), 4);
+                for k in kids {
+                    let ke = h.extent(k);
+                    assert!(ext.contains_closed(ke.min) && ext.contains_closed(ke.max));
+                    assert_eq!(h.parent(k), cell);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn children_are_in_local_row_major_order() {
+        let h = gihi();
+        let kids = h.children(LevelCell::ROOT);
+        // Local order: bottom-left, bottom-right, top-left, top-right.
+        assert_eq!(kids[0].id, 0);
+        assert_eq!(kids[1].id, 1);
+        assert_eq!(kids[2].id, 2);
+        assert_eq!(kids[3].id, 3);
+        for (i, k) in kids.iter().enumerate() {
+            assert_eq!(h.local_index(*k), i);
+        }
+    }
+
+    #[test]
+    fn path_to_is_nested_and_encloses_point() {
+        let h = gihi();
+        let p = Point::new(6.3, 1.2);
+        let path = h.path_to(p);
+        assert_eq!(path.len(), 3);
+        for (i, cell) in path.iter().enumerate() {
+            assert_eq!(cell.level, i as u32 + 1);
+            assert!(h.extent(*cell).contains(p));
+        }
+        for w in path.windows(2) {
+            assert_eq!(h.parent(w[1]), w[0]);
+        }
+    }
+
+    #[test]
+    fn g3_local_indexing() {
+        let h = HierGrid::new(BBox::square(9.0), 3, 2);
+        // Level-2 cell containing (8.9, 0.1): row 0, col 8 -> id 8.
+        let c = h.enclosing_cell(Point::new(8.9, 0.1), 2);
+        assert_eq!(c.id, 8);
+        assert_eq!(h.local_index(c), 2); // col 8 % 3 = 2, row 0 % 3 = 0
+        assert_eq!(h.parent(c), LevelCell { level: 1, id: 2 });
+    }
+
+    #[test]
+    fn level_zero_is_whole_domain() {
+        let h = gihi();
+        let e = h.extent(LevelCell::ROOT);
+        assert_eq!(e, h.domain());
+        assert_eq!(h.center(LevelCell::ROOT), Point::new(4.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf cells have no children")]
+    fn leaf_children_panic() {
+        let h = gihi();
+        h.children(LevelCell { level: 3, id: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out")]
+    fn g1_rejected() {
+        HierGrid::new(BBox::square(1.0), 1, 2);
+    }
+}

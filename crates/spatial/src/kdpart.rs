@@ -1,0 +1,300 @@
+//! Prior-adaptive k-d partition — the paper's Section-8 future-work index.
+//!
+//! The GIHI of [`crate::hier`] splits space uniformly; when the prior is
+//! heavily skewed (all check-ins downtown), most grid cells are empty and the
+//! per-level optimal mechanism wastes its locations on them. A
+//! [`KdPartition`] instead splits each node region at the *weighted median*
+//! of the observed points, alternating axes, so every child carries roughly
+//! equal prior mass. MSM can walk this structure exactly like the grid: the
+//! children of a node tile its region without overlap, which is the only
+//! property the composability argument needs.
+
+use crate::geom::{BBox, Point};
+
+/// One node of the partition tree.
+#[derive(Debug, Clone)]
+pub struct PartNode {
+    /// Spatial extent; children tile this box exactly.
+    pub bbox: BBox,
+    /// Child node ids (empty for leaves).
+    pub children: Vec<usize>,
+    /// Fraction of the training points inside this node's box.
+    pub mass: f64,
+    /// Depth below the root (root is level 0).
+    pub level: u32,
+}
+
+/// A hierarchical space partition with power-of-two fan-out, built by
+/// recursive weighted-median splits of a training point set.
+#[derive(Debug, Clone)]
+pub struct KdPartition {
+    nodes: Vec<PartNode>,
+    root: usize,
+    fanout: usize,
+    height: u32,
+}
+
+impl KdPartition {
+    /// Build a partition of `domain` with `fanout` children per node and
+    /// `height` levels below the root, adapted to `points`.
+    ///
+    /// Nodes whose region contains no training points are split at the
+    /// geometric middle instead of a median.
+    ///
+    /// # Panics
+    /// Panics if `fanout` is not a power of two `≥ 2` or `height == 0`.
+    pub fn build(domain: BBox, points: &[Point], fanout: usize, height: u32) -> Self {
+        assert!(fanout >= 2 && fanout.is_power_of_two(), "fanout must be a power of two >= 2");
+        assert!(height >= 1, "height must be >= 1");
+        let mut nodes = Vec::new();
+        let inside: Vec<Point> = points.iter().copied().filter(|p| domain.contains(*p)).collect();
+        let total = inside.len().max(1) as f64;
+        let mut scratch = inside;
+        let root = Self::build_rec(domain, &mut scratch, fanout, height, 0, total, &mut nodes);
+        Self { nodes, root, fanout, height }
+    }
+
+    fn build_rec(
+        bbox: BBox,
+        pts: &mut [Point],
+        fanout: usize,
+        height: u32,
+        level: u32,
+        total: f64,
+        nodes: &mut Vec<PartNode>,
+    ) -> usize {
+        let mass = pts.len() as f64 / total;
+        if level == height {
+            nodes.push(PartNode { bbox, children: Vec::new(), mass, level });
+            return nodes.len() - 1;
+        }
+        // Split this region into `fanout` pieces by repeated median splits.
+        let mut pieces: Vec<(BBox, std::ops::Range<usize>)> = vec![(bbox, 0..pts.len())];
+        while pieces.len() < fanout {
+            let mut next = Vec::with_capacity(pieces.len() * 2);
+            for (pb, range) in pieces {
+                let slice = &mut pts[range.clone()];
+                let axis = if pb.width() >= pb.height() { 0u8 } else { 1u8 };
+                let split = Self::split_coord(pb, slice, axis);
+                let mid = partition_points(slice, axis, split);
+                let (b_lo, b_hi) = split_box(pb, axis, split);
+                next.push((b_lo, range.start..range.start + mid));
+                next.push((b_hi, range.start + mid..range.end));
+            }
+            pieces = next;
+        }
+        let mut children = Vec::with_capacity(fanout);
+        for (pb, range) in pieces {
+            let child = Self::build_rec(
+                pb,
+                &mut pts[range],
+                fanout,
+                height,
+                level + 1,
+                total,
+                nodes,
+            );
+            children.push(child);
+        }
+        nodes.push(PartNode { bbox, children, mass, level });
+        nodes.len() - 1
+    }
+
+    /// Pick a split coordinate: weighted median if points exist, box middle
+    /// otherwise; always strictly inside the box so children are
+    /// non-degenerate.
+    fn split_coord(bbox: BBox, pts: &mut [Point], axis: u8) -> f64 {
+        let (lo, hi) = if axis == 0 { (bbox.min.x, bbox.max.x) } else { (bbox.min.y, bbox.max.y) };
+        let mid_default = 0.5 * (lo + hi);
+        if pts.len() < 2 {
+            return mid_default;
+        }
+        let m = pts.len() / 2;
+        pts.select_nth_unstable_by(m, |a, b| {
+            let (ka, kb) = if axis == 0 { (a.x, b.x) } else { (a.y, b.y) };
+            ka.partial_cmp(&kb).expect("NaN coordinate")
+        });
+        let med = if axis == 0 { pts[m].x } else { pts[m].y };
+        // Keep a minimum sliver on each side to avoid degenerate boxes.
+        let eps = 1e-9 * (hi - lo).max(1.0);
+        med.clamp(lo + eps, hi - eps)
+    }
+
+    /// Root node id.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Fan-out per internal node.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Levels below the root.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: usize) -> &PartNode {
+        &self.nodes[id]
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false: a partition has at least the root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The child of `id` whose box contains `p`, if any.
+    pub fn child_containing(&self, id: usize, p: Point) -> Option<usize> {
+        self.nodes[id].children.iter().copied().find(|&c| {
+            let b = self.nodes[c].bbox;
+            // Treat shared edges as belonging to the lower/left child via
+            // half-open membership, but accept the global closed boundary.
+            b.contains(p)
+                || (p.x == b.max.x && b.max.x == self.nodes[self.root].bbox.max.x && p.y >= b.min.y && p.y < b.max.y)
+                || (p.y == b.max.y && b.max.y == self.nodes[self.root].bbox.max.y && p.x >= b.min.x && p.x < b.max.x)
+                || (p.x == b.max.x
+                    && b.max.x == self.nodes[self.root].bbox.max.x
+                    && p.y == b.max.y
+                    && b.max.y == self.nodes[self.root].bbox.max.y)
+        })
+    }
+
+    /// All leaf node ids.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].children.is_empty()).collect()
+    }
+}
+
+/// In-place partition of points by `coord < split`; returns the boundary.
+fn partition_points(pts: &mut [Point], axis: u8, split: f64) -> usize {
+    let mut i = 0usize;
+    let mut j = pts.len();
+    while i < j {
+        let k = if axis == 0 { pts[i].x } else { pts[i].y };
+        if k < split {
+            i += 1;
+        } else {
+            j -= 1;
+            pts.swap(i, j);
+        }
+    }
+    i
+}
+
+fn split_box(b: BBox, axis: u8, split: f64) -> (BBox, BBox) {
+    if axis == 0 {
+        (
+            BBox::new(b.min, Point::new(split, b.max.y)),
+            BBox::new(Point::new(split, b.min.y), b.max),
+        )
+    } else {
+        (
+            BBox::new(b.min, Point::new(b.max.x, split)),
+            BBox::new(Point::new(b.min.x, split), b.max),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn skewed_points(n: usize, seed: u64) -> Vec<Point> {
+        // Cluster near (2,2) in a 20x20 domain.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point::new(
+                    (2.0 + rng.gen_range(-1.5..1.5f64)).clamp(0.0, 19.99),
+                    (2.0 + rng.gen_range(-1.5..1.5f64)).clamp(0.0, 19.99),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn children_tile_parent_exactly() {
+        let pts = skewed_points(1000, 3);
+        let part = KdPartition::build(BBox::square(20.0), &pts, 4, 3);
+        for id in 0..part.len() {
+            let node = part.node(id);
+            if node.children.is_empty() {
+                continue;
+            }
+            let area: f64 = node
+                .children
+                .iter()
+                .map(|&c| {
+                    let b = part.node(c).bbox;
+                    b.width() * b.height()
+                })
+                .sum();
+            let pa = node.bbox.width() * node.bbox.height();
+            assert!((area - pa).abs() < 1e-6 * pa, "node {id}: {area} vs {pa}");
+            let mass: f64 = node.children.iter().map(|&c| part.node(c).mass).sum();
+            assert!((mass - node.mass).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn masses_balanced_on_skewed_data() {
+        let pts = skewed_points(4000, 5);
+        let part = KdPartition::build(BBox::square(20.0), &pts, 4, 1);
+        let root = part.node(part.root());
+        // Weighted-median splits put ~1/4 mass in each child (within slack
+        // for duplicate coordinates).
+        for &c in &root.children {
+            let m = part.node(c).mass;
+            assert!((m - 0.25).abs() < 0.05, "child mass {m}");
+        }
+    }
+
+    #[test]
+    fn child_containing_finds_unique_child() {
+        let pts = skewed_points(500, 7);
+        let part = KdPartition::build(BBox::square(20.0), &pts, 4, 2);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..500 {
+            let p = Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0));
+            let mut node = part.root();
+            for _ in 0..part.height() {
+                let c = part.child_containing(node, p).expect("point lost during descent");
+                assert!(part.node(c).bbox.contains_closed(p));
+                node = c;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_training_set_splits_geometrically() {
+        let part = KdPartition::build(BBox::square(16.0), &[], 4, 2);
+        // With no data the splits are at box middles: leaf boxes are 4x4.
+        for leaf in part.leaves() {
+            let b = part.node(leaf).bbox;
+            assert!((b.width() - 4.0).abs() < 1e-6);
+            assert!((b.height() - 4.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn leaf_count_matches_fanout_and_height() {
+        let pts = skewed_points(100, 9);
+        let part = KdPartition::build(BBox::square(20.0), &pts, 4, 3);
+        assert_eq!(part.leaves().len(), 4usize.pow(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_fanout_panics() {
+        KdPartition::build(BBox::square(1.0), &[], 3, 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! A k-d tree over planar points with exact nearest-neighbour queries.
+//!
+//! Used to remap continuous planar-Laplace output onto a discrete candidate
+//! set `Z` (the post-processing step of Chatzikokolakis et al. that the
+//! paper applies to the PL baseline), and by the example applications for
+//! POI retrieval.
+
+use crate::geom::Point;
+
+/// Immutable k-d tree storing `(Point, payload-index)` pairs.
+///
+/// Built once in O(n log n) by median splitting; queries are exact.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    // Implicit binary tree in an array; node i has children 2i+1 / 2i+2 is
+    // NOT used here — instead nodes store explicit child offsets to keep the
+    // build simple and cache-friendly after the in-place partition.
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    point: Point,
+    /// Caller-supplied index (e.g. cell id or POI id).
+    item: usize,
+    axis: u8,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+impl KdTree {
+    /// Build from `(point, item)` pairs. An empty input yields an empty tree.
+    pub fn build(items: impl IntoIterator<Item = (Point, usize)>) -> Self {
+        let mut pts: Vec<(Point, usize)> = items.into_iter().collect();
+        let mut nodes = Vec::with_capacity(pts.len());
+        let n = pts.len();
+        let root = if n == 0 { None } else { Some(Self::build_rec(&mut pts, 0, &mut nodes)) };
+        let _ = n;
+        Self { nodes, root }
+    }
+
+    fn build_rec(pts: &mut [(Point, usize)], depth: u8, nodes: &mut Vec<Node>) -> usize {
+        let axis = depth % 2;
+        let mid = pts.len() / 2;
+        pts.select_nth_unstable_by(mid, |a, b| {
+            let (ka, kb) = if axis == 0 { (a.0.x, b.0.x) } else { (a.0.y, b.0.y) };
+            ka.partial_cmp(&kb).expect("NaN coordinate in k-d tree")
+        });
+        let (point, item) = pts[mid];
+        let (lo, hi) = pts.split_at_mut(mid);
+        let hi = &mut hi[1..];
+        let left = if lo.is_empty() { None } else { Some(Self::build_rec(lo, depth + 1, nodes)) };
+        let right = if hi.is_empty() { None } else { Some(Self::build_rec(hi, depth + 1, nodes)) };
+        nodes.push(Node { point, item, axis, left, right });
+        nodes.len() - 1
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree stores no points.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Exact nearest neighbour of `q`: returns `(point, item, distance)`.
+    /// `None` on an empty tree. Ties are broken arbitrarily (first found).
+    pub fn nearest(&self, q: Point) -> Option<(Point, usize, f64)> {
+        let root = self.root?;
+        let mut best: Option<(usize, f64)> = None;
+        self.nearest_rec(root, q, &mut best);
+        best.map(|(idx, d2)| {
+            let n = &self.nodes[idx];
+            (n.point, n.item, d2.sqrt())
+        })
+    }
+
+    fn nearest_rec(&self, idx: usize, q: Point, best: &mut Option<(usize, f64)>) {
+        let node = &self.nodes[idx];
+        let d2 = node.point.dist2(q);
+        if best.is_none_or(|(_, bd2)| d2 < bd2) {
+            *best = Some((idx, d2));
+        }
+        let diff = if node.axis == 0 { q.x - node.point.x } else { q.y - node.point.y };
+        let (near, far) =
+            if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if let Some(n) = near {
+            self.nearest_rec(n, q, best);
+        }
+        // Only descend the far side if the splitting plane is closer than
+        // the current best.
+        if let Some(f) = far {
+            if best.is_none_or(|(_, bd2)| diff * diff < bd2) {
+                self.nearest_rec(f, q, best);
+            }
+        }
+    }
+
+    /// The `k` nearest neighbours, sorted by ascending distance.
+    pub fn k_nearest(&self, q: Point, k: usize) -> Vec<(Point, usize, f64)> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        // Max-heap of (d2, idx) capped at k, kept as a sorted vec (k is
+        // small in all our uses).
+        let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        self.knn_rec(self.root.unwrap(), q, k, &mut heap);
+        heap.into_iter()
+            .map(|(d2, idx)| {
+                let n = &self.nodes[idx];
+                (n.point, n.item, d2.sqrt())
+            })
+            .collect()
+    }
+
+    fn knn_rec(&self, idx: usize, q: Point, k: usize, heap: &mut Vec<(f64, usize)>) {
+        let node = &self.nodes[idx];
+        let d2 = node.point.dist2(q);
+        let pos = heap.partition_point(|&(hd2, _)| hd2 < d2);
+        if pos < k {
+            heap.insert(pos, (d2, idx));
+            heap.truncate(k);
+        }
+        let diff = if node.axis == 0 { q.x - node.point.x } else { q.y - node.point.y };
+        let (near, far) =
+            if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if let Some(n) = near {
+            self.knn_rec(n, q, k, heap);
+        }
+        if let Some(f) = far {
+            let worst = if heap.len() < k { f64::INFINITY } else { heap[heap.len() - 1].0 };
+            if diff * diff < worst {
+                self.knn_rec(f, q, k, heap);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<(Point, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|i| (Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0)), i)).collect()
+    }
+
+    fn brute_nearest(pts: &[(Point, usize)], q: Point) -> (usize, f64) {
+        pts.iter()
+            .map(|&(p, i)| (i, p.dist(q)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(std::iter::empty());
+        assert!(t.is_empty());
+        assert!(t.nearest(Point::new(0.0, 0.0)).is_none());
+        assert!(t.k_nearest(Point::new(0.0, 0.0), 3).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::build([(Point::new(1.0, 2.0), 42)]);
+        let (p, item, d) = t.nearest(Point::new(4.0, 6.0)).unwrap();
+        assert_eq!(p, Point::new(1.0, 2.0));
+        assert_eq!(item, 42);
+        assert_eq!(d, 5.0);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = random_points(500, 11);
+        let t = KdTree::build(pts.iter().copied());
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..1000 {
+            let q = Point::new(rng.gen_range(-5.0..25.0), rng.gen_range(-5.0..25.0));
+            let (bi, bd) = brute_nearest(&pts, q);
+            let (_, i, d) = t.nearest(q).unwrap();
+            assert!((d - bd).abs() < 1e-12, "query {q:?}: got {i}@{d}, want {bi}@{bd}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = random_points(200, 21);
+        let t = KdTree::build(pts.iter().copied());
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..200 {
+            let q = Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0));
+            let k = rng.gen_range(1..=10usize);
+            let got = t.k_nearest(q, k);
+            assert_eq!(got.len(), k);
+            let mut all: Vec<f64> = pts.iter().map(|&(p, _)| p.dist(q)).collect();
+            all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (j, (_, _, d)) in got.iter().enumerate() {
+                assert!((d - all[j]).abs() < 1e-12);
+            }
+            // Sorted ascending.
+            for w in got.windows(2) {
+                assert!(w[0].2 <= w[1].2);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_n() {
+        let pts = random_points(5, 31);
+        let t = KdTree::build(pts.iter().copied());
+        let got = t.k_nearest(Point::new(10.0, 10.0), 20);
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let p = Point::new(3.0, 3.0);
+        let t = KdTree::build([(p, 0), (p, 1), (p, 2)]);
+        assert_eq!(t.len(), 3);
+        let got = t.k_nearest(p, 3);
+        assert_eq!(got.len(), 3);
+        for (_, _, d) in got {
+            assert_eq!(d, 0.0);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Spatial substrate for geo-indistinguishability.
+//!
+//! The paper operates on a square planar region (a 20×20 km city) carved into
+//! regular grids, a hierarchical grid index (**GIHI**, Fig. 4), and — as a
+//! future-work extension — prior-adaptive hierarchical partitions. This crate
+//! provides all of those plus a k-d tree for nearest-neighbour remapping,
+//! entirely from scratch:
+//!
+//! * [`geom`] — points in a km-plane, axis-aligned boxes, distances, and an
+//!   equirectangular lat/lon↔km projection for ingesting real check-ins.
+//! * [`grid`] — the uniform `g×g` grid with cell snapping and centers.
+//! * [`hier`] — the hierarchical grid index: per-level addressing, enclosing
+//!   cells, spatial extents (Section 4 of the paper).
+//! * [`kdtree`] — exact nearest-neighbour / k-NN queries over point sets.
+//! * [`kdpart`] — a k-d–style *partition* tree that splits on prior mass,
+//!   usable as an alternative MSM index (paper Section 8).
+//! * [`quadtree`] — an adaptive quadtree that refines only dense regions.
+//! * [`partition`] — the [`SpacePartition`] trait MSM walks, implemented by
+//!   both adaptive indexes.
+
+#![warn(missing_docs)]
+// Index-based loops over parallel arrays are the clearest style for the
+// numeric kernels here; the iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+// Test reference constants keep full printed precision from their sources.
+#![allow(clippy::excessive_precision)]
+
+pub mod geom;
+pub mod grid;
+pub mod hier;
+pub mod kdpart;
+pub mod kdtree;
+pub mod partition;
+pub mod quadtree;
+
+pub use geom::{BBox, Point};
+pub use grid::{CellId, Grid};
+pub use hier::{HierGrid, LevelCell};
+pub use kdpart::KdPartition;
+pub use kdtree::KdTree;
+pub use partition::SpacePartition;
+pub use quadtree::AdaptiveQuadtree;

@@ -1,0 +1,148 @@
+//! A common interface over hierarchical space partitions.
+//!
+//! The multi-step mechanism only needs four things from an index: a root,
+//! children that tile their parent's region without overlap, each node's
+//! spatial extent, and a prior mass per node. [`SpacePartition`] captures
+//! exactly that, so MSM runs unchanged over the uniform grid, the
+//! weighted-median k-d partition, or the adaptive quadtree — the index
+//! families the paper's Section 8 proposes to explore.
+
+use crate::geom::{BBox, Point};
+
+/// A hierarchical partition of a square domain.
+///
+/// Invariants implementations must uphold (property-tested per impl):
+/// * the children of a node tile its box exactly (no overlap, no gaps);
+/// * `mass` of a node equals the sum of its children's masses;
+/// * every node's `level` is its parent's plus one, root at level 0;
+/// * depth never exceeds [`SpacePartition::max_depth`].
+pub trait SpacePartition {
+    /// Root node id (level 0, covering the whole domain).
+    fn root(&self) -> usize;
+
+    /// Children of a node (empty slice for leaves).
+    fn children(&self, id: usize) -> &[usize];
+
+    /// Spatial extent of a node.
+    fn bbox(&self, id: usize) -> BBox;
+
+    /// Prior mass of a node (fraction of the training points inside).
+    fn mass(&self, id: usize) -> f64;
+
+    /// Depth of a node below the root.
+    fn level(&self, id: usize) -> u32;
+
+    /// Maximum leaf depth in this partition.
+    fn max_depth(&self) -> u32;
+
+    /// True when the node has no children.
+    fn is_leaf(&self, id: usize) -> bool {
+        self.children(id).is_empty()
+    }
+
+    /// The child of `id` whose box contains `p`, if any.
+    fn child_containing(&self, id: usize, p: Point) -> Option<usize> {
+        self.children(id).iter().copied().find(|&c| {
+            let b = self.bbox(c);
+            b.contains(p) || on_global_upper_edge(self.bbox(self.root()), b, p)
+        })
+    }
+
+    /// Descend from the root to the leaf containing `p` (must be in the
+    /// domain).
+    fn leaf_containing(&self, p: Point) -> Option<usize> {
+        let mut node = self.root();
+        while !self.is_leaf(node) {
+            node = self.child_containing(node, p)?;
+        }
+        Some(node)
+    }
+}
+
+/// Half-open boxes miss points sitting exactly on the domain's top/right
+/// edge; accept them for boxes that touch that global edge.
+fn on_global_upper_edge(domain: BBox, b: BBox, p: Point) -> bool {
+    let on_right = p.x == b.max.x && b.max.x == domain.max.x;
+    let on_top = p.y == b.max.y && b.max.y == domain.max.y;
+    let x_in = p.x >= b.min.x && (p.x < b.max.x || on_right);
+    let y_in = p.y >= b.min.y && (p.y < b.max.y || on_top);
+    (on_right || on_top) && x_in && y_in
+}
+
+impl SpacePartition for crate::kdpart::KdPartition {
+    fn root(&self) -> usize {
+        KdPartition::root(self)
+    }
+
+    fn children(&self, id: usize) -> &[usize] {
+        &self.node(id).children
+    }
+
+    fn bbox(&self, id: usize) -> BBox {
+        self.node(id).bbox
+    }
+
+    fn mass(&self, id: usize) -> f64 {
+        self.node(id).mass
+    }
+
+    fn level(&self, id: usize) -> u32 {
+        self.node(id).level
+    }
+
+    fn max_depth(&self) -> u32 {
+        self.height()
+    }
+}
+
+use crate::kdpart::KdPartition;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kdpartition_implements_the_contract() {
+        let pts: Vec<Point> =
+            (0..500).map(|i| Point::new((i % 23) as f64 * 0.8, (i % 19) as f64)).collect();
+        let part = KdPartition::build(BBox::square(20.0), &pts, 4, 2);
+        let root = SpacePartition::root(&part);
+        assert_eq!(part.level(root), 0);
+        assert_eq!(part.max_depth(), 2);
+        // Tiling + mass conservation per node.
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            let kids = SpacePartition::children(&part, n);
+            if kids.is_empty() {
+                assert_eq!(part.level(n), 2);
+                continue;
+            }
+            let area: f64 =
+                kids.iter().map(|&c| part.bbox(c).width() * part.bbox(c).height()).sum();
+            let pb = part.bbox(n);
+            assert!((area - pb.width() * pb.height()).abs() < 1e-6);
+            let mass: f64 = kids.iter().map(|&c| SpacePartition::mass(&part, c)).sum();
+            assert!((mass - SpacePartition::mass(&part, n)).abs() < 1e-9);
+            stack.extend_from_slice(kids);
+        }
+    }
+
+    #[test]
+    fn leaf_containing_descends_fully() {
+        let pts: Vec<Point> = (0..200).map(|i| Point::new((i % 17) as f64, (i % 13) as f64)).collect();
+        let part = KdPartition::build(BBox::square(20.0), &pts, 4, 3);
+        for p in [Point::new(0.0, 0.0), Point::new(10.5, 3.3), Point::new(19.999, 19.999)] {
+            let leaf = part.leaf_containing(p).expect("point must land in a leaf");
+            assert!(part.is_leaf(leaf));
+            assert!(part.bbox(leaf).contains_closed(p));
+        }
+    }
+
+    #[test]
+    fn global_upper_edge_points_are_owned() {
+        let part = KdPartition::build(BBox::square(8.0), &[], 4, 2);
+        for p in [Point::new(8.0, 4.0), Point::new(4.0, 8.0), Point::new(8.0, 8.0)] {
+            assert!(part.leaf_containing(p).is_some(), "{p:?} unowned");
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Adaptive quadtree partition.
+//!
+//! Splits a square region into quadrants *only where the data warrants it*:
+//! a node is subdivided while it holds more than `max_points_per_leaf`
+//! training points and is above `max_depth`. Dense downtown areas get deep,
+//! fine leaves; empty suburbs stay coarse — a different answer than the
+//! k-d partition to the same Section-8 question ("indexes that adjust to
+//! skewed priors"), with the advantage that leaf boxes remain square.
+
+use crate::geom::{BBox, Point};
+use crate::partition::SpacePartition;
+
+#[derive(Debug, Clone)]
+struct QNode {
+    bbox: BBox,
+    children: Vec<usize>, // 0 or 4
+    mass: f64,
+    level: u32,
+}
+
+/// A variable-depth quadtree over a square domain.
+#[derive(Debug, Clone)]
+pub struct AdaptiveQuadtree {
+    nodes: Vec<QNode>,
+    root: usize,
+    max_depth: u32,
+}
+
+impl AdaptiveQuadtree {
+    /// Build from training points.
+    ///
+    /// A node splits while it contains more than `max_points_per_leaf`
+    /// points (strictly) and its depth is below `max_depth`.
+    ///
+    /// # Panics
+    /// Panics if `max_depth == 0` or `max_points_per_leaf == 0`.
+    pub fn build(
+        domain: BBox,
+        points: &[Point],
+        max_points_per_leaf: usize,
+        max_depth: u32,
+    ) -> Self {
+        assert!(max_depth >= 1, "max_depth must be >= 1");
+        assert!(max_points_per_leaf >= 1, "max_points_per_leaf must be >= 1");
+        domain.side(); // assert squareness
+        let mut inside: Vec<Point> = points.iter().copied().filter(|p| domain.contains(*p)).collect();
+        let total = inside.len().max(1) as f64;
+        let mut nodes = Vec::new();
+        let root = Self::build_rec(
+            domain,
+            &mut inside,
+            0,
+            max_points_per_leaf,
+            max_depth,
+            total,
+            &mut nodes,
+        );
+        Self { nodes, root, max_depth }
+    }
+
+    fn build_rec(
+        bbox: BBox,
+        pts: &mut [Point],
+        level: u32,
+        cap: usize,
+        max_depth: u32,
+        total: f64,
+        nodes: &mut Vec<QNode>,
+    ) -> usize {
+        let mass = pts.len() as f64 / total;
+        if level == max_depth || pts.len() <= cap {
+            nodes.push(QNode { bbox, children: Vec::new(), mass, level });
+            return nodes.len() - 1;
+        }
+        let c = bbox.center();
+        // Partition points into quadrants: SW, SE, NW, NE (in-place,
+        // stable enough for our purposes).
+        let mid_y = partition_by(pts, |p| p.y < c.y);
+        let (south, north) = pts.split_at_mut(mid_y);
+        let mid_sw = partition_by(south, |p| p.x < c.x);
+        let mid_nw = partition_by(north, |p| p.x < c.x);
+        let (sw, se) = south.split_at_mut(mid_sw);
+        let (nw, ne) = north.split_at_mut(mid_nw);
+        let boxes = [
+            BBox::new(bbox.min, c),
+            BBox::new(Point::new(c.x, bbox.min.y), Point::new(bbox.max.x, c.y)),
+            BBox::new(Point::new(bbox.min.x, c.y), Point::new(c.x, bbox.max.y)),
+            BBox::new(c, bbox.max),
+        ];
+        let quads: [&mut [Point]; 4] = [sw, se, nw, ne];
+        let mut children = Vec::with_capacity(4);
+        for (b, q) in boxes.into_iter().zip(quads) {
+            children.push(Self::build_rec(b, q, level + 1, cap, max_depth, total, nodes));
+        }
+        nodes.push(QNode { bbox, children, mass, level });
+        nodes.len() - 1
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Never empty (there is always a root).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All leaf ids.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].children.is_empty()).collect()
+    }
+
+    /// The deepest leaf level actually present.
+    pub fn deepest_leaf(&self) -> u32 {
+        self.leaves().iter().map(|&l| self.nodes[l].level).max().unwrap_or(0)
+    }
+}
+
+/// Stable-ish in-place partition; returns the boundary index.
+fn partition_by(pts: &mut [Point], pred: impl Fn(&Point) -> bool) -> usize {
+    let mut i = 0;
+    let mut j = pts.len();
+    while i < j {
+        if pred(&pts[i]) {
+            i += 1;
+        } else {
+            j -= 1;
+            pts.swap(i, j);
+        }
+    }
+    i
+}
+
+impl SpacePartition for AdaptiveQuadtree {
+    fn root(&self) -> usize {
+        self.root
+    }
+
+    fn children(&self, id: usize) -> &[usize] {
+        &self.nodes[id].children
+    }
+
+    fn bbox(&self, id: usize) -> BBox {
+        self.nodes[id].bbox
+    }
+
+    fn mass(&self, id: usize) -> f64 {
+        self.nodes[id].mass
+    }
+
+    fn level(&self, id: usize) -> u32 {
+        self.nodes[id].level
+    }
+
+    fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clustered(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                if i % 10 == 0 {
+                    Point::new(rng.gen_range(0.0..16.0), rng.gen_range(0.0..16.0))
+                } else {
+                    Point::new(rng.gen_range(2.0..4.0), rng.gen_range(2.0..4.0))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn splits_only_dense_regions() {
+        let pts = clustered(2_000, 1);
+        let qt = AdaptiveQuadtree::build(BBox::square(16.0), &pts, 50, 5);
+        // The cluster quadrant must reach deeper than the sparse corners.
+        let leaves = qt.leaves();
+        let deepest_cluster = leaves
+            .iter()
+            .filter(|&&l| qt.bbox(l).contains(Point::new(3.0, 3.0)) || qt.bbox(l).min.dist(Point::new(2.0, 2.0)) < 3.0)
+            .map(|&l| qt.level(l))
+            .max()
+            .unwrap();
+        let far_leaf = qt.leaf_containing(Point::new(15.0, 15.0)).unwrap();
+        assert!(
+            deepest_cluster > qt.level(far_leaf),
+            "cluster depth {deepest_cluster} vs sparse depth {}",
+            qt.level(far_leaf)
+        );
+        assert!(qt.deepest_leaf() <= 5);
+    }
+
+    #[test]
+    fn children_tile_and_masses_conserve() {
+        let pts = clustered(1_000, 2);
+        let qt = AdaptiveQuadtree::build(BBox::square(16.0), &pts, 30, 4);
+        for id in 0..qt.len() {
+            let kids = qt.children(id);
+            if kids.is_empty() {
+                continue;
+            }
+            assert_eq!(kids.len(), 4);
+            let area: f64 = kids.iter().map(|&c| {
+                let b = qt.bbox(c);
+                b.width() * b.height()
+            }).sum();
+            let pb = qt.bbox(id);
+            assert!((area - pb.width() * pb.height()).abs() < 1e-9);
+            let mass: f64 = kids.iter().map(|&c| qt.mass(c)).sum();
+            assert!((mass - qt.mass(id)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn every_point_reaches_a_leaf() {
+        let pts = clustered(500, 3);
+        let qt = AdaptiveQuadtree::build(BBox::square(16.0), &pts, 20, 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let p = Point::new(rng.gen_range(0.0..16.0), rng.gen_range(0.0..16.0));
+            let leaf = qt.leaf_containing(p).expect("descent must succeed");
+            assert!(qt.bbox(leaf).contains(p));
+        }
+    }
+
+    #[test]
+    fn no_data_yields_single_leaf() {
+        let qt = AdaptiveQuadtree::build(BBox::square(8.0), &[], 10, 3);
+        assert_eq!(qt.len(), 1);
+        assert!(qt.is_leaf(qt.root()));
+        assert_eq!(qt.deepest_leaf(), 0);
+    }
+
+    #[test]
+    fn cap_of_one_fully_splits_duplicates_region() {
+        // Points at the same spot cannot be separated: depth caps at
+        // max_depth rather than recursing forever.
+        let pts = vec![Point::new(1.0, 1.0); 50];
+        let qt = AdaptiveQuadtree::build(BBox::square(8.0), &pts, 1, 4);
+        assert_eq!(qt.deepest_leaf(), 4);
+    }
+}

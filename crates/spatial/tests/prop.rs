@@ -1,0 +1,90 @@
+//! Property tests for the spatial substrate.
+
+use geoind_spatial::geom::{BBox, Point};
+use geoind_spatial::grid::Grid;
+use geoind_spatial::hier::HierGrid;
+use geoind_spatial::kdpart::KdPartition;
+use geoind_spatial::kdtree::KdTree;
+use proptest::prelude::*;
+
+fn in_domain_point(side: f64) -> impl Strategy<Value = Point> {
+    (0.0..side, 0.0..side).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    /// Every in-domain point belongs to exactly the cell whose extent
+    /// contains it, and snapping is idempotent.
+    #[test]
+    fn grid_cell_of_is_consistent(
+        p in in_domain_point(20.0),
+        g in 1u32..20,
+    ) {
+        let grid = Grid::new(BBox::square(20.0), g);
+        let id = grid.cell_of(p);
+        prop_assert!(grid.extent_of(id).contains(p));
+        let snapped = grid.snap(p);
+        prop_assert_eq!(grid.cell_of(snapped), id);
+        prop_assert_eq!(grid.snap(snapped), snapped);
+        // Snapping moves at most half a cell diagonal.
+        prop_assert!(p.dist(snapped) <= grid.cell_side() * std::f64::consts::SQRT_2 / 2.0 + 1e-12);
+    }
+
+    /// The hierarchical path to a point is an ancestor chain whose extents
+    /// all contain the point, and each local index round-trips.
+    #[test]
+    fn hier_path_is_an_ancestor_chain(
+        p in in_domain_point(16.0),
+        g in 2u32..5,
+        h in 1u32..4,
+    ) {
+        let hier = HierGrid::new(BBox::square(16.0), g, h);
+        let path = hier.path_to(p);
+        prop_assert_eq!(path.len(), h as usize);
+        for (i, cell) in path.iter().enumerate() {
+            prop_assert!(hier.extent(*cell).contains(p));
+            prop_assert!(hier.local_index(*cell) < (g * g) as usize);
+            if i > 0 {
+                prop_assert_eq!(hier.parent(*cell), path[i - 1]);
+                // The cell appears among its parent's children at its
+                // local index.
+                let kids = hier.children(path[i - 1]);
+                prop_assert_eq!(kids[hier.local_index(*cell)], *cell);
+            }
+        }
+    }
+
+    /// k-d tree nearest neighbour equals brute force on arbitrary inputs.
+    #[test]
+    fn kdtree_nearest_equals_brute_force(
+        pts in prop::collection::vec(in_domain_point(20.0), 1..80),
+        q in in_domain_point(20.0),
+    ) {
+        let tree = KdTree::build(pts.iter().copied().enumerate().map(|(i, p)| (p, i)));
+        let (_, _, d) = tree.nearest(q).unwrap();
+        let brute = pts.iter().map(|p| p.dist(q)).fold(f64::INFINITY, f64::min);
+        prop_assert!((d - brute).abs() < 1e-9);
+    }
+
+    /// k-d partition: every point descends to exactly one leaf whose box
+    /// contains it, and leaf masses sum to the root mass.
+    #[test]
+    fn kdpart_descent_and_mass_conservation(
+        pts in prop::collection::vec(in_domain_point(20.0), 0..200),
+        q in in_domain_point(20.0),
+        h in 1u32..4,
+    ) {
+        let part = KdPartition::build(BBox::square(20.0), &pts, 4, h);
+        // Descent terminates at a leaf containing q.
+        let mut node = part.root();
+        for _ in 0..h {
+            let child = part.child_containing(node, q);
+            prop_assert!(child.is_some(), "point lost at node {node}");
+            node = child.unwrap();
+        }
+        prop_assert!(part.node(node).children.is_empty());
+        prop_assert!(part.node(node).bbox.contains_closed(q));
+        // Mass conservation.
+        let leaf_mass: f64 = part.leaves().iter().map(|&l| part.node(l).mass).sum();
+        prop_assert!((leaf_mass - part.node(part.root()).mass).abs() < 1e-9);
+    }
+}

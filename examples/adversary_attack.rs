@@ -1,0 +1,44 @@
+//! Bayesian adversary attack: what does a curious service actually learn?
+//!
+//! GeoInd's promise is a bound on *relative* knowledge gain. This example
+//! makes that concrete: an adversary with the full check-in prior observes
+//! a reported cell and runs the Bayes-optimal remapping attack against the
+//! optimal mechanism's (public) channel. We show the expected localization
+//! error before and after the observation for several privacy budgets — as
+//! ε shrinks, the posterior attack degenerates toward the prior guess.
+//!
+//! ```text
+//! cargo run --release --example adversary_attack
+//! ```
+
+use geoind::mechanisms::adversary::BayesianAdversary;
+use geoind::prelude::*;
+
+fn main() {
+    let dataset = SyntheticCity::austin_like().generate_with_size(60_000, 6_000);
+    let domain = dataset.domain();
+    let g = 5;
+    let grid = Grid::new(domain, g);
+    let prior = GridPrior::from_dataset(&dataset, g);
+    let metric = QualityMetric::Euclidean;
+
+    println!("Bayes-optimal remapping attack vs OPT on a {g}x{g} grid\n");
+    println!("{:>6}  {:>14}  {:>14}  {:>9}", "eps", "prior_err(km)", "attack_err(km)", "leak");
+    for eps in [0.05, 0.1, 0.3, 0.5, 1.0, 2.0] {
+        let opt = OptimalMechanism::on_grid(eps, &grid, &prior, metric)
+            .expect("OPT is feasible");
+        let adversary = BayesianAdversary::new(prior.probs().to_vec());
+        let before = adversary.prior_error(opt.channel(), metric);
+        let after = adversary.expected_error(opt.channel(), metric);
+        // "leak" = fraction of the adversary's prior uncertainty removed.
+        let leak = 1.0 - after / before;
+        println!("{eps:>6}  {before:>14.3}  {after:>14.3}  {:>8.1}%", leak * 100.0);
+    }
+
+    println!(
+        "\nReading: at tight budgets the observation barely improves the adversary's\n\
+         estimate over the prior; at loose budgets the channel gives the location away.\n\
+         Either way the GeoInd constraint caps the per-pair posterior/prior ratio at\n\
+         e^(eps*d) — background knowledge cannot break the bound, only exploit it."
+    );
+}

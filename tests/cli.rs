@@ -1,0 +1,99 @@
+//! End-to-end tests of the `geoind` CLI binary.
+
+use std::process::Command;
+
+fn geoind() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_geoind"))
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = geoind().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["protect", "eval", "audit", "precompute"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn no_command_exits_nonzero() {
+    let out = geoind().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_command_reports_error() {
+    let out = geoind().arg("frobnicate").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn protect_km_plane_roundtrip() {
+    let out = geoind()
+        .args([
+            "protect",
+            "--x",
+            "9.5",
+            "--y",
+            "9.0",
+            "--eps",
+            "0.5",
+            "--g",
+            "2",
+            "--synthetic-size",
+            "5000",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("reported (km):"));
+    assert!(text.contains("loss     (km):"));
+}
+
+#[test]
+fn protect_rejects_out_of_window_coordinates() {
+    let out = geoind()
+        .args(["protect", "--lat", "48.85", "--lon", "2.35", "--synthetic-size", "2000"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("outside"));
+}
+
+#[test]
+fn bad_flag_value_is_a_usage_error() {
+    let out = geoind()
+        .args(["protect", "--eps", "not-a-number"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad number"));
+}
+
+#[test]
+fn precompute_writes_a_loadable_bundle() {
+    let path = std::env::temp_dir().join(format!("geoind-cli-cache-{}.bin", std::process::id()));
+    let out = geoind()
+        .args([
+            "precompute",
+            "--out",
+            path.to_str().unwrap(),
+            "--eps",
+            "0.6",
+            "--g",
+            "2",
+            "--synthetic-size",
+            "5000",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let blob = std::fs::read(&path).expect("bundle written");
+    assert!(blob.starts_with(b"GEOIND01"));
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,138 @@
+//! Integration tests for the extension features: trajectories, remapping,
+//! offline channel distribution, and the black-box auditor — exercised
+//! together through the public facade.
+
+use geoind::mechanisms::audit::{audit_geoind, AuditConfig};
+use geoind::mechanisms::remap::{empirical_channel, RemappedMechanism};
+use geoind::mechanisms::trajectory::TrajectoryProtector;
+use geoind::mechanisms::Mechanism;
+use geoind::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn city() -> Dataset {
+    SyntheticCity::austin_like().generate_with_size(15_000, 1_500)
+}
+
+#[test]
+fn offline_provisioning_flow_end_to_end() {
+    // Provisioner precomputes and exports; device imports and serves
+    // queries with zero LP solves (verified by the cache hit count).
+    let dataset = city();
+    let build = || {
+        MsmMechanism::builder(dataset.domain(), GridPrior::from_dataset(&dataset, 16))
+            .epsilon(0.6)
+            .granularity(2)
+            .build()
+            .unwrap()
+    };
+    let provisioner = build();
+    let nodes = provisioner.precompute(usize::MAX);
+    assert!(nodes >= 2);
+    let mut blob = Vec::new();
+    provisioner.export_cache(&mut blob).unwrap();
+    // "Tens of megabytes" in the paper; kilobytes at this configuration.
+    assert!(blob.len() < 1_000_000, "blob unexpectedly large: {} bytes", blob.len());
+
+    let device = build();
+    device.import_cache(&mut blob.as_slice()).unwrap();
+    assert_eq!(device.cached_channels(), nodes);
+    let mut rng = StdRng::seed_from_u64(3);
+    let z = device.report(dataset.checkins()[0].location, &mut rng);
+    assert!(dataset.domain().contains_closed(z));
+    // No new channels were solved to answer the query.
+    assert_eq!(device.cached_channels(), nodes);
+}
+
+#[test]
+fn trajectory_protection_with_msm_mechanism() {
+    let dataset = city();
+    let per_eps = 0.3;
+    let msm = MsmMechanism::builder(dataset.domain(), GridPrior::from_dataset(&dataset, 16))
+        .epsilon(per_eps)
+        .granularity(4)
+        .build()
+        .unwrap();
+    let mut protector = TrajectoryProtector::new(msm, per_eps, 0.9, 0.2).unwrap();
+    let trace: Vec<Point> = (0..6).map(|i| Point::new(5.0 + i as f64, 10.0)).collect();
+    let mut rng = StdRng::seed_from_u64(4);
+    let out = protector.protect_trace(&trace, &mut rng);
+    // 0.9 / 0.3 = 3 fresh releases affordable; 1-km steps defeat the
+    // 200 m suppression radius, so exactly 3 succeed.
+    assert_eq!(out.iter().filter(|o| o.is_some()).count(), 3);
+    assert!((protector.ledger().spent() - 0.9).abs() < 1e-12);
+}
+
+#[test]
+fn remapped_pl_beats_raw_pl_on_skewed_prior() {
+    let dataset = city();
+    let g = 4u32;
+    let grid = Grid::new(dataset.domain(), g);
+    let prior = GridPrior::from_dataset(&dataset, g);
+    let eps = 0.25;
+    let evaluator = Evaluator::sample_from(&dataset, 400, 9);
+    let metric = QualityMetric::SqEuclidean;
+
+    let pl = PlanarLaplace::new(eps).with_grid_remap(grid.clone());
+    let mut rng = StdRng::seed_from_u64(10);
+    let channel = empirical_channel(&pl, &grid.centers(), &grid.centers(), 3_000, &mut rng);
+    let remapped = RemappedMechanism::new(
+        PlanarLaplace::new(eps).with_grid_remap(grid.clone()),
+        &channel,
+        prior.probs().to_vec(),
+        metric,
+    )
+    .unwrap();
+    let raw = evaluator.measure(&pl, metric, 11).mean_loss;
+    let better = evaluator.measure(&remapped, metric, 11).mean_loss;
+    assert!(better < raw, "remap did not help: {better} vs {raw}");
+}
+
+#[test]
+fn auditor_clears_msm_and_flags_a_leak() {
+    let dataset = city();
+    let eps = 0.8;
+    let msm = MsmMechanism::builder(dataset.domain(), GridPrior::from_dataset(&dataset, 16))
+        .epsilon(eps)
+        .granularity(2)
+        .build()
+        .unwrap();
+    // Audit against the *composition bound* for the probe pair, which is
+    // MSM's actual guarantee (slightly weaker than eps*d for close pairs).
+    let a = Point::new(9.0, 9.0);
+    let b = Point::new(11.5, 9.0);
+    let bound = msm.composition_bound(a, b);
+    let effective_eps = bound / a.dist(b);
+    let grid = Grid::new(dataset.domain(), 8);
+    let mut rng = StdRng::seed_from_u64(12);
+    let report = audit_geoind(
+        &msm,
+        effective_eps,
+        &[(a, b)],
+        &grid,
+        AuditConfig { samples: 15_000, min_cell_count: 40 },
+        &mut rng,
+    );
+    assert!(report.passes(0.5), "MSM flagged: excess {}", report.worst_excess());
+
+    // A deliberately broken deployment (claims eps, runs 5*eps) is caught.
+    struct Mislabeled(PlanarLaplace);
+    impl Mechanism for Mislabeled {
+        fn report<R: rand::Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
+            self.0.report(x, rng)
+        }
+        fn name(&self) -> String {
+            "mislabeled".into()
+        }
+    }
+    let broken = Mislabeled(PlanarLaplace::new(5.0 * eps));
+    let report = audit_geoind(
+        &broken,
+        eps,
+        &[(Point::new(7.0, 10.0), Point::new(13.0, 10.0))],
+        &grid,
+        AuditConfig { samples: 15_000, min_cell_count: 40 },
+        &mut rng,
+    );
+    assert!(!report.passes(0.5), "broken deployment slipped through the audit");
+}

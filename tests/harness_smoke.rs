@@ -1,0 +1,50 @@
+//! Smoke tests for the experiment harness: every experiment runs end to end
+//! at a tiny scale and yields plausibly-shaped tables.
+
+use geoind_bench::config::Config;
+use geoind_bench::exp;
+
+fn tiny_config() -> Config {
+    let mut cfg = Config::quick();
+    cfg.queries = 40;
+    cfg.out_dir = std::env::temp_dir().join(format!("geoind-smoke-{}", std::process::id()));
+    cfg
+}
+
+#[test]
+fn every_cheap_experiment_produces_tables() {
+    let cfg = tiny_config();
+    // The LP-heavy runs (fig6..fig11 at g=6, abl-spanner at g=5) are
+    // exercised by the release-mode bench run; here we cover the rest.
+    for name in ["fig5", "table2", "abl-alloc", "abl-index"] {
+        let tables = exp::run(name, &cfg);
+        assert!(!tables.is_empty(), "{name} produced no tables");
+        for t in &tables {
+            assert!(!t.is_empty(), "{name}: empty table {}", t.title);
+        }
+    }
+}
+
+#[test]
+fn fig3_scales_down() {
+    let cfg = tiny_config();
+    let tables = geoind_bench::exp::fig3::run_to(&cfg, 3);
+    assert_eq!(tables[0].len(), 2);
+}
+
+#[test]
+fn csv_mirrors_are_written() {
+    let cfg = tiny_config();
+    let tables = exp::run("abl-alloc", &cfg);
+    let path = cfg.out_dir.join(format!("{}.csv", tables[0].file_stem()));
+    tables[0].write_csv(&path).expect("csv written");
+    let content = std::fs::read_to_string(&path).expect("readable");
+    assert!(content.lines().count() >= 2);
+    std::fs::remove_dir_all(&cfg.out_dir).ok();
+}
+
+#[test]
+#[should_panic(expected = "unknown experiment")]
+fn unknown_experiment_panics() {
+    exp::run("fig99", &tiny_config());
+}

@@ -1,0 +1,130 @@
+//! Privacy-focused integration tests: the GeoInd guarantees, checked on the
+//! channels and end-to-end distributions the mechanisms actually produce.
+
+#![allow(clippy::needless_range_loop)]
+
+use geoind::mechanisms::adversary::BayesianAdversary;
+use geoind::mechanisms::alloc::AllocationStrategy;
+use geoind::prelude::*;
+use proptest::prelude::*;
+
+fn city() -> Dataset {
+    SyntheticCity::vegas_like().generate_with_size(15_000, 1_500)
+}
+
+#[test]
+fn opt_channel_satisfies_geoind_on_real_prior() {
+    let dataset = city();
+    let g = 4;
+    let grid = Grid::new(dataset.domain(), g);
+    let prior = GridPrior::from_dataset(&dataset, g);
+    for eps in [0.2, 0.5, 1.0] {
+        let opt = OptimalMechanism::on_grid(eps, &grid, &prior, QualityMetric::Euclidean)
+            .expect("feasible");
+        let v = opt.channel().geoind_violation(eps);
+        assert!(v <= 1e-6, "eps={eps}: violation {v}");
+    }
+}
+
+#[test]
+fn msm_end_to_end_respects_the_composition_bound() {
+    let dataset = city();
+    let prior = GridPrior::from_dataset(&dataset, 8);
+    let msm = MsmMechanism::builder(dataset.domain(), prior)
+        .epsilon(0.7)
+        .granularity(2)
+        .strategy(AllocationStrategy::FixedHeight(2))
+        .build()
+        .expect("valid configuration");
+    let leaf = msm.leaf_grid();
+    let points = leaf.centers();
+    let dists: Vec<Vec<f64>> =
+        points.iter().map(|x| msm.exact_output_distribution(*x)).collect();
+    for (i, x) in points.iter().enumerate() {
+        for (j, xp) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let bound = msm.composition_bound(*x, *xp).exp();
+            for z in 0..points.len() {
+                if dists[j][z] > 1e-12 {
+                    let ratio = dists[i][z] / dists[j][z];
+                    assert!(
+                        ratio <= bound * (1.0 + 1e-6),
+                        "triple ({i},{j},{z}): {ratio} > {bound}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn adversary_gain_is_capped_by_the_geoind_factor() {
+    // For any output z and any pair (x, x'), posterior odds change by at
+    // most e^{eps d(x,x')} relative to prior odds — the semantic reading of
+    // Eq. (1), tested against the Bayes attack implementation itself.
+    let dataset = city();
+    let g = 3;
+    let grid = Grid::new(dataset.domain(), g);
+    let prior = GridPrior::from_dataset(&dataset, g);
+    let eps = 0.4;
+    let opt =
+        OptimalMechanism::on_grid(eps, &grid, &prior, QualityMetric::Euclidean).expect("feasible");
+    let adv = BayesianAdversary::new(prior.probs().to_vec());
+    let channel = opt.channel();
+    for z in 0..channel.num_outputs() {
+        let Some(post) = adv.posterior(channel, z) else { continue };
+        for x in 0..channel.num_inputs() {
+            for xp in 0..channel.num_inputs() {
+                if x == xp || adv.prior()[x] == 0.0 || adv.prior()[xp] == 0.0 {
+                    continue;
+                }
+                if post[xp] <= 1e-12 {
+                    continue;
+                }
+                let posterior_odds = post[x] / post[xp];
+                let prior_odds = adv.prior()[x] / adv.prior()[xp];
+                let bound = (eps * channel.inputs()[x].dist(channel.inputs()[xp])).exp();
+                assert!(
+                    posterior_odds <= prior_odds * bound * (1.0 + 1e-6),
+                    "odds gain {} exceeds bound {bound} at (x={x}, x'={xp}, z={z})",
+                    posterior_odds / prior_odds
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// OPT channels satisfy the GeoInd constraints for randomized priors
+    /// and budgets (small grids to keep the LP tiny).
+    #[test]
+    fn opt_geoind_under_random_priors(
+        weights in prop::collection::vec(0.0..10.0f64, 9),
+        eps in 0.1..1.5f64,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let domain = BBox::square(12.0);
+        let grid = Grid::new(domain, 3);
+        let prior = GridPrior::from_weights(grid.clone(), weights);
+        let opt = OptimalMechanism::on_grid(eps, &grid, &prior, QualityMetric::Euclidean)
+            .expect("feasible");
+        prop_assert!(opt.channel().geoind_violation(eps) <= 1e-6);
+        // Rows are distributions.
+        for x in 0..9 {
+            let s: f64 = opt.channel().row(x).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// The planar-Laplace sampled radius follows the analytic CDF.
+    #[test]
+    fn planar_laplace_radius_matches_cdf(eps in 0.2..2.0f64, p in 0.01..0.99f64) {
+        let r = geoind::math::sampling::planar_laplace_inverse_cdf(eps, p);
+        let cdf = 1.0 - (1.0 + eps * r) * (-eps * r).exp();
+        prop_assert!((cdf - p).abs() < 1e-9);
+    }
+}
