@@ -1,10 +1,9 @@
-//! Criterion micro-benchmarks for the LP substrate.
+//! Wall-clock micro-benchmarks for the LP substrate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use geoind_lp::model::{Model, Op, Sense, SolveVia};
 use geoind_lp::tableau::solve_dense;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use geoind_rng::{Rng, SeededRng};
+use geoind_testkit::bench::Bench;
 use std::hint::black_box;
 
 /// An OPT-shaped LP over `n` collinear unit-spaced locations.
@@ -34,31 +33,33 @@ fn opt_shaped(n: usize, eps: f64) -> Model {
     m
 }
 
-fn bench_paths(c: &mut Criterion) {
+fn bench_paths(b: &mut Bench) {
     for n in [6usize, 10] {
         let model = opt_shaped(n, 0.6);
-        let mut group = c.benchmark_group(format!("opt_shaped_n{n}"));
-        group.sample_size(10);
-        group.bench_function("dual_path", |b| {
-            b.iter(|| black_box(model.solve(SolveVia::Dual).unwrap()))
+        b.iter(&format!("opt_shaped_n{n}/dual_path"), || {
+            black_box(model.solve(SolveVia::Dual).unwrap())
         });
-        group.bench_function("dual_path_devex", |b| {
+        {
             use geoind_lp::simplex::{Pricing, SimplexOptions};
-            let opts = SimplexOptions { pricing: Pricing::Devex, ..SimplexOptions::default() };
-            b.iter(|| black_box(model.solve_with(SolveVia::Dual, opts).unwrap()))
-        });
-        if n <= 6 {
-            group.bench_function("primal_path", |b| {
-                b.iter(|| black_box(model.solve(SolveVia::Primal).unwrap()))
+            let opts = SimplexOptions {
+                pricing: Pricing::Devex,
+                ..SimplexOptions::default()
+            };
+            b.iter(&format!("opt_shaped_n{n}/dual_path_devex"), || {
+                black_box(model.solve_with(SolveVia::Dual, opts).unwrap())
             });
         }
-        group.finish();
+        if n <= 6 {
+            b.iter(&format!("opt_shaped_n{n}/primal_path"), || {
+                black_box(model.solve(SolveVia::Primal).unwrap())
+            });
+        }
     }
 }
 
-fn bench_oracle_vs_revised(c: &mut Criterion) {
+fn bench_oracle_vs_revised(b: &mut Bench) {
     // A modest random feasible LP where both solvers apply.
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = SeededRng::from_seed(9);
     let n = 12usize;
     let m = 14usize;
     let costs: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
@@ -76,17 +77,17 @@ fn bench_oracle_vs_revised(c: &mut Criterion) {
         let entries: Vec<(usize, f64)> = vars.iter().zip(coefs).map(|(&v, &c)| (v, c)).collect();
         model.add_row(&entries, *op, *rhs);
     }
-    c.bench_function("revised_simplex_random_lp", |b| {
-        b.iter(|| black_box(model.solve(SolveVia::Primal).unwrap()))
+    b.iter("revised_simplex_random_lp", || {
+        black_box(model.solve(SolveVia::Primal).unwrap())
     });
-    c.bench_function("tableau_oracle_random_lp", |b| {
-        b.iter(|| black_box(solve_dense(Sense::Minimize, &costs, &rows).unwrap()))
+    b.iter("tableau_oracle_random_lp", || {
+        black_box(solve_dense(Sense::Minimize, &costs, &rows).unwrap())
     });
 }
 
-fn bench_lu(c: &mut Criterion) {
+fn bench_lu(b: &mut Bench) {
     use geoind_lp::dense::{DenseMatrix, LuFactors};
-    let mut rng = StdRng::seed_from_u64(10);
+    let mut rng = SeededRng::from_seed(10);
     let n = 200usize;
     let mut a = DenseMatrix::zeros(n, n);
     for j in 0..n {
@@ -95,19 +96,21 @@ fn bench_lu(c: &mut Criterion) {
         }
         a.set(j, j, a.get(j, j) + 5.0);
     }
-    let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let rhs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let lu = LuFactors::factor(&a).unwrap();
-    let mut group = c.benchmark_group("dense_lu_200");
-    group.sample_size(20);
-    group.bench_function("factor", |bch| {
-        bch.iter(|| black_box(LuFactors::factor(&a).unwrap()))
+    b.iter("dense_lu_200/factor", || {
+        black_box(LuFactors::factor(&a).unwrap())
     });
-    group.bench_function("solve", |bch| bch.iter(|| black_box(lu.solve(&b))));
-    group.bench_function("solve_transpose", |bch| {
-        bch.iter(|| black_box(lu.solve_transpose(&b)))
+    b.iter("dense_lu_200/solve", || black_box(lu.solve(&rhs)));
+    b.iter("dense_lu_200/solve_transpose", || {
+        black_box(lu.solve_transpose(&rhs))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_paths, bench_oracle_vs_revised, bench_lu);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("lp_solver");
+    bench_paths(&mut b);
+    bench_oracle_vs_revised(&mut b);
+    bench_lu(&mut b);
+    b.finish();
+}

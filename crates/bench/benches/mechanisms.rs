@@ -1,11 +1,10 @@
-//! Criterion micro-benchmarks for the three mechanisms.
+//! Wall-clock micro-benchmarks for the three mechanisms.
 //!
 //! These complement the `experiments` binary (which regenerates the paper's
 //! tables/figures): here we pin the per-operation costs — a PL sample, a
 //! warm MSM report, an OPT solve — that the paper's Section 6.2 discusses
 //! qualitatively ("PL takes ~10 ms, MSM 100–200 ms amortized, OPT minutes").
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use geoind_core::metrics::QualityMetric;
 use geoind_core::msm::MsmMechanism;
 use geoind_core::opt::OptimalMechanism;
@@ -13,47 +12,42 @@ use geoind_core::planar_laplace::PlanarLaplace;
 use geoind_core::Mechanism;
 use geoind_data::prior::GridPrior;
 use geoind_data::synth::SyntheticCity;
+use geoind_rng::SeededRng;
 use geoind_spatial::geom::Point;
 use geoind_spatial::grid::Grid;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use geoind_testkit::bench::Bench;
 use std::hint::black_box;
 
-fn bench_planar_laplace(c: &mut Criterion) {
+fn bench_planar_laplace(b: &mut Bench) {
     let pl = PlanarLaplace::new(0.5);
     let grid = Grid::new(geoind_spatial::geom::BBox::square(20.0), 16);
     let pl_grid = PlanarLaplace::new(0.5).with_grid_remap(grid);
     let x = Point::new(10.0, 10.0);
-    let mut rng = StdRng::seed_from_u64(1);
-    c.bench_function("pl_report_continuous", |b| {
-        b.iter(|| black_box(pl.report(black_box(x), &mut rng)))
+    let mut rng = SeededRng::from_seed(1);
+    b.iter("pl_report_continuous", || {
+        black_box(pl.report(black_box(x), &mut rng))
     });
-    c.bench_function("pl_report_grid_remap", |b| {
-        b.iter(|| black_box(pl_grid.report(black_box(x), &mut rng)))
+    let mut rng2 = SeededRng::from_seed(1);
+    b.iter("pl_report_grid_remap", || {
+        black_box(pl_grid.report(black_box(x), &mut rng2))
     });
 }
 
-fn bench_opt_solve(c: &mut Criterion) {
+fn bench_opt_solve(b: &mut Bench) {
     let dataset = SyntheticCity::austin_like().generate_with_size(30_000, 3_000);
     let domain = dataset.domain();
     for g in [3u32, 4] {
         let grid = Grid::new(domain, g);
         let prior = GridPrior::from_dataset(&dataset, g);
-        let mut group = c.benchmark_group("opt_solve");
-        group.sample_size(10);
-        group.bench_function(format!("g{g}_{}cells", g * g), |b| {
-            b.iter(|| {
-                black_box(
-                    OptimalMechanism::on_grid(0.5, &grid, &prior, QualityMetric::Euclidean)
-                        .unwrap(),
-                )
-            })
+        b.iter(&format!("opt_solve/g{g}_{}cells", g * g), || {
+            black_box(
+                OptimalMechanism::on_grid(0.5, &grid, &prior, QualityMetric::Euclidean).unwrap(),
+            )
         });
-        group.finish();
     }
 }
 
-fn bench_msm_report(c: &mut Criterion) {
+fn bench_msm_report(b: &mut Bench) {
     let dataset = SyntheticCity::austin_like().generate_with_size(30_000, 3_000);
     let prior = GridPrior::from_dataset(&dataset, 16);
     let msm = MsmMechanism::builder(dataset.domain(), prior)
@@ -61,40 +55,38 @@ fn bench_msm_report(c: &mut Criterion) {
         .granularity(4)
         .build()
         .unwrap();
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = SeededRng::from_seed(2);
     // Warm the per-node channel cache first (the client's steady state).
     for i in 0..50 {
         msm.report(Point::new((i % 19) as f64, (i % 17) as f64), &mut rng);
     }
     let x = Point::new(9.3, 8.7);
-    c.bench_function("msm_report_warm_cache", |b| {
-        b.iter(|| black_box(msm.report(black_box(x), &mut rng)))
+    b.iter("msm_report_warm_cache", || {
+        black_box(msm.report(black_box(x), &mut rng))
     });
 }
 
-fn bench_channel_sampling(c: &mut Criterion) {
+fn bench_channel_sampling(b: &mut Bench) {
     let dataset = SyntheticCity::austin_like().generate_with_size(30_000, 3_000);
     let grid = Grid::new(dataset.domain(), 4);
     let prior = GridPrior::from_dataset(&dataset, 4);
     let opt = OptimalMechanism::on_grid(0.5, &grid, &prior, QualityMetric::Euclidean).unwrap();
-    let mut rng = StdRng::seed_from_u64(3);
-    c.bench_function("channel_sample_row", |b| {
-        b.iter(|| black_box(opt.channel().sample(black_box(5), &mut rng)))
+    let mut rng = SeededRng::from_seed(3);
+    b.iter("channel_sample_row", || {
+        black_box(opt.channel().sample(black_box(5), &mut rng))
     });
-    c.bench_function("channel_geoind_check_16cells", |b| {
-        b.iter_batched(
-            || opt.channel().clone(),
-            |ch| black_box(ch.geoind_violation(0.5)),
-            BatchSize::SmallInput,
-        )
-    });
+    b.iter_batched(
+        "channel_geoind_check_16cells",
+        || opt.channel().clone(),
+        |ch| black_box(ch.geoind_violation(0.5)),
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_planar_laplace,
-    bench_opt_solve,
-    bench_msm_report,
-    bench_channel_sampling
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("mechanisms");
+    bench_planar_laplace(&mut b);
+    bench_opt_solve(&mut b);
+    bench_msm_report(&mut b);
+    bench_channel_sampling(&mut b);
+    b.finish();
+}

@@ -1,70 +1,65 @@
-//! Criterion micro-benchmarks for the numerical substrate.
+//! Wall-clock micro-benchmarks for the numerical substrate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use geoind_core::alloc::{AllocationStrategy, BudgetAllocator};
 use geoind_math::lattice::{lattice_sum_direct, lattice_sum_expansion};
 use geoind_math::sampling::{planar_laplace_radius, AliasTable};
 use geoind_math::{dirichlet_beta, lambert_wm1, riemann_zeta};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use geoind_rng::{Rng, SeededRng};
+use geoind_testkit::bench::Bench;
 use std::hint::black_box;
 
-fn bench_lattice(c: &mut Criterion) {
-    c.bench_function("lattice_direct_beta1.5", |b| {
-        b.iter(|| black_box(lattice_sum_direct(black_box(1.5))))
+fn bench_lattice(b: &mut Bench) {
+    b.iter("lattice_direct_beta1.5", || {
+        black_box(lattice_sum_direct(black_box(1.5)))
     });
-    c.bench_function("lattice_expansion_beta0.5", |b| {
-        b.iter(|| black_box(lattice_sum_expansion(black_box(0.5))))
+    b.iter("lattice_expansion_beta0.5", || {
+        black_box(lattice_sum_expansion(black_box(0.5)))
     });
-    c.bench_function("lattice_expansion_beta0.05", |b| {
-        b.iter(|| black_box(lattice_sum_expansion(black_box(0.05))))
-    });
-}
-
-fn bench_special_functions(c: &mut Criterion) {
-    c.bench_function("lambert_wm1", |b| {
-        b.iter(|| black_box(lambert_wm1(black_box(-0.123))))
-    });
-    c.bench_function("riemann_zeta_1.5", |b| {
-        b.iter(|| black_box(riemann_zeta(black_box(1.5))))
-    });
-    c.bench_function("dirichlet_beta_1.5", |b| {
-        b.iter(|| black_box(dirichlet_beta(black_box(1.5))))
+    b.iter("lattice_expansion_beta0.05", || {
+        black_box(lattice_sum_expansion(black_box(0.05)))
     });
 }
 
-fn bench_sampling(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(4);
+fn bench_special_functions(b: &mut Bench) {
+    b.iter("lambert_wm1", || black_box(lambert_wm1(black_box(-0.123))));
+    b.iter("riemann_zeta_1.5", || {
+        black_box(riemann_zeta(black_box(1.5)))
+    });
+    b.iter("dirichlet_beta_1.5", || {
+        black_box(dirichlet_beta(black_box(1.5)))
+    });
+}
+
+fn bench_sampling(b: &mut Bench) {
+    let mut rng = SeededRng::from_seed(4);
     let weights: Vec<f64> = (0..256).map(|_| rng.gen_range(0.0..1.0)).collect();
-    c.bench_function("alias_build_256", |b| {
-        b.iter(|| black_box(AliasTable::new(black_box(&weights))))
+    b.iter("alias_build_256", || {
+        black_box(AliasTable::new(black_box(&weights)))
     });
     let table = AliasTable::new(&weights);
-    c.bench_function("alias_sample", |b| {
-        b.iter(|| black_box(table.sample(&mut rng)))
-    });
-    c.bench_function("planar_laplace_radius", |b| {
-        b.iter(|| black_box(planar_laplace_radius(black_box(0.5), &mut rng)))
+    let mut rng2 = SeededRng::from_seed(5);
+    b.iter("alias_sample", || black_box(table.sample(&mut rng2)));
+    let mut rng3 = SeededRng::from_seed(6);
+    b.iter("planar_laplace_radius", || {
+        black_box(planar_laplace_radius(black_box(0.5), &mut rng3))
     });
 }
 
-fn bench_budget_allocation(c: &mut Criterion) {
+fn bench_budget_allocation(b: &mut Bench) {
     let alloc = BudgetAllocator::new(20.0, 4, 0.8);
-    c.bench_function("problem1_min_budget_level1", |b| {
-        b.iter(|| black_box(alloc.min_budget_for_level(black_box(1))))
+    b.iter("problem1_min_budget_level1", || {
+        black_box(alloc.min_budget_for_level(black_box(1)))
     });
-    c.bench_function("algorithm2_allocate", |b| {
-        b.iter(|| {
-            black_box(alloc.allocate(black_box(0.9), AllocationStrategy::Auto { max_height: 5 }))
-        })
+    b.iter("algorithm2_allocate", || {
+        black_box(alloc.allocate(black_box(0.9), AllocationStrategy::Auto { max_height: 5 }))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_lattice,
-    bench_special_functions,
-    bench_sampling,
-    bench_budget_allocation
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("numerics");
+    bench_lattice(&mut b);
+    bench_special_functions(&mut b);
+    bench_sampling(&mut b);
+    bench_budget_allocation(&mut b);
+    b.finish();
+}

@@ -57,7 +57,10 @@ fn main() {
     }
     for n in &names {
         if !exp::ALL.contains(&n.as_str()) {
-            die(&format!("unknown experiment '{n}'; known: all {}", exp::ALL.join(" ")));
+            die(&format!(
+                "unknown experiment '{n}'; known: all {}",
+                exp::ALL.join(" ")
+            ));
         }
     }
 

@@ -24,8 +24,10 @@ const MARKS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
 /// Returns an empty string when there is nothing plottable (no series or a
 /// degenerate value range), so callers can print unconditionally.
 pub fn render(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
-    let pts: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if pts.is_empty() {
         return String::new();
     }
@@ -138,13 +140,19 @@ mod tests {
     #[test]
     fn empty_and_degenerate_inputs_render_nothing() {
         assert_eq!(render("t", "x", "y", &[]), "");
-        let single_x = Series { name: "s".into(), points: vec![(1.0, 2.0), (1.0, 3.0)] };
+        let single_x = Series {
+            name: "s".into(),
+            points: vec![(1.0, 2.0), (1.0, 3.0)],
+        };
         assert_eq!(render("t", "x", "y", &[single_x]), "");
     }
 
     #[test]
     fn flat_series_still_renders() {
-        let flat = Series { name: "f".into(), points: vec![(0.0, 2.0), (5.0, 2.0)] };
+        let flat = Series {
+            name: "f".into(),
+            points: vec![(0.0, 2.0), (5.0, 2.0)],
+        };
         let chart = render("t", "x", "y", &[flat]);
         assert!(chart.contains('*'));
     }

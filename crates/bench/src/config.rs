@@ -33,7 +33,11 @@ impl Default for Config {
 impl Config {
     /// A fast configuration for tests and smoke runs.
     pub fn quick() -> Self {
-        Self { queries: 200, quick: true, ..Self::default() }
+        Self {
+            queries: 200,
+            quick: true,
+            ..Self::default()
+        }
     }
 
     /// Effective query count (reduced under `--quick`).

@@ -16,10 +16,10 @@ use crate::report::{fnum, ftime, Table};
 use crate::workloads::{cities, msm_prior, City};
 use geoind_core::alloc::AllocationStrategy;
 use geoind_core::eval::Evaluator;
-use geoind_core::pmsm::{KdMsmMechanism, QuadMsmMechanism};
 use geoind_core::metrics::QualityMetric;
 use geoind_core::msm::MsmMechanism;
 use geoind_core::opt::{ConstraintSet, OptOptions, OptimalMechanism};
+use geoind_core::pmsm::{KdMsmMechanism, QuadMsmMechanism};
 use geoind_data::prior::GridPrior;
 use geoind_spatial::geom::Point;
 use geoind_spatial::grid::Grid;
@@ -60,13 +60,20 @@ pub fn alloc(cfg: &Config) -> Vec<Table> {
             .strategy(strategy)
             .build()
             .expect("valid MSM config");
-        let r = city.evaluator.measure(&msm, QualityMetric::Euclidean, cfg.seed + 131);
+        let r = city
+            .evaluator
+            .measure(&msm, QualityMetric::Euclidean, cfg.seed + 131);
         table.push(vec![
             name.into(),
             msm.height().to_string(),
             format!(
                 "[{}]",
-                msm.budgets().budgets().iter().map(|b| fnum(*b)).collect::<Vec<_>>().join(", ")
+                msm.budgets()
+                    .budgets()
+                    .iter()
+                    .map(|b| fnum(*b))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             fnum(r.mean_loss),
         ]);
@@ -92,11 +99,16 @@ pub fn spanner(cfg: &Config) -> Vec<Table> {
             &grid.centers(),
             prior.probs(),
             QualityMetric::Euclidean,
-            OptOptions { constraints, ..OptOptions::default() },
+            OptOptions {
+                constraints,
+                ..OptOptions::default()
+            },
         )
         .expect("OPT feasible");
         let solve = t.elapsed().as_secs_f64();
-        let r = city.evaluator.measure(&opt, QualityMetric::Euclidean, cfg.seed + 137);
+        let r = city
+            .evaluator
+            .measure(&opt, QualityMetric::Euclidean, cfg.seed + 137);
         table.push(vec![
             label,
             opt.stats().rows.to_string(),
@@ -106,7 +118,10 @@ pub fn spanner(cfg: &Config) -> Vec<Table> {
     };
     run_one("exact (full)".into(), ConstraintSet::Full);
     for delta in [1.1, 1.5, 2.0] {
-        run_one(format!("spanner d={delta}"), ConstraintSet::Spanner { dilation: delta });
+        run_one(
+            format!("spanner d={delta}"),
+            ConstraintSet::Spanner { dilation: delta },
+        );
     }
     vec![table]
 }
@@ -130,7 +145,9 @@ pub fn index(cfg: &Config) -> Vec<Table> {
             .build()
             .expect("valid MSM config");
         let budgets = msm.budgets().budgets().to_vec();
-        let r = city.evaluator.measure(&msm, QualityMetric::Euclidean, cfg.seed + 139);
+        let r = city
+            .evaluator
+            .measure(&msm, QualityMetric::Euclidean, cfg.seed + 139);
         table.push(vec![
             "uniform grid (g=2)".into(),
             h.to_string(),
@@ -141,7 +158,9 @@ pub fn index(cfg: &Config) -> Vec<Table> {
         let part = KdPartition::build(city.dataset.domain(), &pts, 4, h);
         let kd = KdMsmMechanism::new(part, budgets.clone(), QualityMetric::Euclidean)
             .expect("valid KdMSM config");
-        let r = city.evaluator.measure(&kd, QualityMetric::Euclidean, cfg.seed + 140);
+        let r = city
+            .evaluator
+            .measure(&kd, QualityMetric::Euclidean, cfg.seed + 140);
         table.push(vec![
             "k-d partition".into(),
             h.to_string(),
@@ -154,7 +173,9 @@ pub fn index(cfg: &Config) -> Vec<Table> {
         let qt = AdaptiveQuadtree::build(city.dataset.domain(), &pts, cap, h);
         let quad = QuadMsmMechanism::new(qt, budgets, QualityMetric::Euclidean)
             .expect("valid QuadMSM config");
-        let r = city.evaluator.measure(&quad, QualityMetric::Euclidean, cfg.seed + 141);
+        let r = city
+            .evaluator
+            .measure(&quad, QualityMetric::Euclidean, cfg.seed + 141);
         table.push(vec![
             "adaptive quadtree".into(),
             h.to_string(),
@@ -170,7 +191,7 @@ pub fn index(cfg: &Config) -> Vec<Table> {
 /// recover, and how close does it get to OPT?
 pub fn remap(cfg: &Config) -> Vec<Table> {
     use geoind_core::remap::{empirical_channel, RemappedMechanism};
-    use rand::SeedableRng;
+    use geoind_rng::SeededRng;
     let city = gowalla(cfg);
     let g = if cfg.quick { 3 } else { 5 };
     let eps = 0.3;
@@ -181,19 +202,16 @@ pub fn remap(cfg: &Config) -> Vec<Table> {
         format!("Ablation: Bayes-optimal remapping (Gowalla, g={g}, eps={eps}, d^2)"),
         &["mechanism", "loss_km2"],
     );
-    let pl = || {
-        geoind_core::planar_laplace::PlanarLaplace::new(eps).with_grid_remap(grid.clone())
-    };
+    let pl = || geoind_core::planar_laplace::PlanarLaplace::new(eps).with_grid_remap(grid.clone());
     let r = city.evaluator.measure(&pl(), metric, cfg.seed + 151);
     table.push(vec!["PL + grid snap".into(), fnum(r.mean_loss)]);
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed + 152);
+    let mut rng = SeededRng::from_seed(cfg.seed + 152);
     let centers = grid.centers();
     let samples = if cfg.quick { 1_000 } else { 5_000 };
     let channel = empirical_channel(&pl(), &centers, &centers, samples, &mut rng);
-    let remapped =
-        RemappedMechanism::new(pl(), &channel, prior.probs().to_vec(), metric)
-            .expect("valid remap");
+    let remapped = RemappedMechanism::new(pl(), &channel, prior.probs().to_vec(), metric)
+        .expect("valid remap");
     let r = city.evaluator.measure(&remapped, metric, cfg.seed + 153);
     table.push(vec!["PL + Bayes remap".into(), fnum(r.mean_loss)]);
 
@@ -207,7 +225,8 @@ pub fn remap(cfg: &Config) -> Vec<Table> {
 pub fn cache(cfg: &Config) -> Vec<Table> {
     let city = gowalla(cfg);
     let g = if cfg.quick { 3 } else { 5 };
-    let queries = Evaluator::new(city.evaluator.queries()[..cfg.effective_queries().min(50)].to_vec());
+    let queries =
+        Evaluator::new(city.evaluator.queries()[..cfg.effective_queries().min(50)].to_vec());
     let mut table = Table::new(
         format!("Ablation: MSM channel cache (Gowalla, g={g}, eps=0.5, 50 queries)"),
         &["caching", "total_time", "ms_per_query", "loss_km"],

@@ -19,7 +19,10 @@ pub fn charts_for(experiment: &str, tables: &[Table]) -> Vec<Option<String>> {
         "fig7" | "fig9" | "fig11" => ("x", "km^2"),
         _ => return Vec::new(),
     };
-    tables.iter().map(|t| table_chart(t, x_label, y_label)).collect()
+    tables
+        .iter()
+        .map(|t| table_chart(t, x_label, y_label))
+        .collect()
 }
 
 /// Convert one table to a chart: first column = x, numeric columns whose
@@ -47,7 +50,10 @@ fn table_chart(table: &Table, x_label: &str, y_label: &str) -> Option<String> {
             }
         }
         if points.len() >= 2 {
-            series.push(Series { name: h.clone(), points });
+            series.push(Series {
+                name: h.clone(),
+                points,
+            });
         }
     }
     if series.is_empty() {

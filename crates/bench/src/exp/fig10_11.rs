@@ -21,8 +21,15 @@ pub const GS: [u32; 3] = [2, 4, 6];
 
 /// Run for one quality metric (Fig. 10 = Euclidean, Fig. 11 = squared).
 pub fn run(cfg: &Config, metric: QualityMetric) -> Vec<Table> {
-    let fig = if metric == QualityMetric::Euclidean { "Fig 10" } else { "Fig 11" };
-    cities(cfg).iter().map(|c| one_city(cfg, c, metric, fig)).collect()
+    let fig = if metric == QualityMetric::Euclidean {
+        "Fig 10"
+    } else {
+        "Fig 11"
+    };
+    cities(cfg)
+        .iter()
+        .map(|c| one_city(cfg, c, metric, fig))
+        .collect()
 }
 
 fn one_city(cfg: &Config, city: &City, metric: QualityMetric, fig: &str) -> Table {
@@ -32,15 +39,18 @@ fn one_city(cfg: &Config, city: &City, metric: QualityMetric, fig: &str) -> Tabl
     headers.extend(gs.iter().map(|g| format!("h(g={g})")));
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(
-        format!("{fig}: MSM utility loss ({}) vs rho, {} dataset (eps=0.5)", metric.unit(), city.name),
+        format!(
+            "{fig}: MSM utility loss ({}) vs rho, {} dataset (eps=0.5)",
+            metric.unit(),
+            city.name
+        ),
         &header_refs,
     );
     for (i, &rho) in RHOS.iter().enumerate() {
         let mut losses = Vec::new();
         let mut heights = Vec::new();
         for &g in gs {
-            let (loss, h) =
-                fig8_9::measure_msm(city, g, rho, metric, cfg.seed + 91 + i as u64);
+            let (loss, h) = fig8_9::measure_msm(city, g, rho, metric, cfg.seed + 91 + i as u64);
             losses.push(fnum(loss));
             heights.push(h.to_string());
         }

@@ -36,7 +36,15 @@ pub fn run_to(cfg: &Config, max_g: u32) -> Vec<Table> {
     let city = cities(cfg).into_iter().next().expect("gowalla city");
     let mut table = Table::new(
         "Fig 3: OPT utility loss and time vs granularity (Gowalla, eps=0.5)",
-        &["g", "cells", "lp_rows", "utility_km", "solve_time", "pivots", "ms_per_query"],
+        &[
+            "g",
+            "cells",
+            "lp_rows",
+            "utility_km",
+            "solve_time",
+            "pivots",
+            "ms_per_query",
+        ],
     );
     for g in 2..=max_g {
         let grid = Grid::new(city.dataset.domain(), g);
@@ -45,7 +53,9 @@ pub fn run_to(cfg: &Config, max_g: u32) -> Vec<Table> {
         let opt = OptimalMechanism::on_grid(EPS, &grid, &prior, QualityMetric::Euclidean)
             .expect("OPT is feasible");
         let solve = t.elapsed().as_secs_f64();
-        let report = city.evaluator.measure(&opt, QualityMetric::Euclidean, cfg.seed + g as u64);
+        let report = city
+            .evaluator
+            .measure(&opt, QualityMetric::Euclidean, cfg.seed + g as u64);
         table.push(vec![
             g.to_string(),
             (g * g).to_string(),

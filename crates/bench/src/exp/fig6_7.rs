@@ -24,8 +24,15 @@ pub const GS: [u32; 2] = [4, 6];
 
 /// Run for one quality metric (Fig. 6 = Euclidean, Fig. 7 = squared).
 pub fn run(cfg: &Config, metric: QualityMetric) -> Vec<Table> {
-    let fig = if metric == QualityMetric::Euclidean { "Fig 6" } else { "Fig 7" };
-    cities(cfg).iter().map(|c| one_city(cfg, c, metric, fig)).collect()
+    let fig = if metric == QualityMetric::Euclidean {
+        "Fig 6"
+    } else {
+        "Fig 7"
+    };
+    cities(cfg)
+        .iter()
+        .map(|c| one_city(cfg, c, metric, fig))
+        .collect()
 }
 
 fn one_city(cfg: &Config, city: &City, metric: QualityMetric, fig: &str) -> Table {
@@ -35,7 +42,15 @@ fn one_city(cfg: &Config, city: &City, metric: QualityMetric, fig: &str) -> Tabl
             metric.unit(),
             city.name
         ),
-        &["eps", "PL g=4", "MSM g=4", "PL g=6", "MSM g=6", "msm_h(g4)", "msm_h(g6)"],
+        &[
+            "eps",
+            "PL g=4",
+            "MSM g=4",
+            "PL g=6",
+            "MSM g=6",
+            "msm_h(g4)",
+            "msm_h(g6)",
+        ],
     );
     for (i, &eps) in EPSILONS.iter().enumerate() {
         let mut cells = vec![fnum(eps)];
@@ -72,8 +87,7 @@ pub fn measure_pair(
     // PL is remapped onto the same effective grid MSM reports on, as the
     // paper's benchmark does.
     let eff = msm.effective_granularity();
-    let pl = PlanarLaplace::new(eps)
-        .with_grid_remap(Grid::new(city.dataset.domain(), eff));
+    let pl = PlanarLaplace::new(eps).with_grid_remap(Grid::new(city.dataset.domain(), eff));
     let msm_r = measure(&city.evaluator, &msm, metric, seed);
     let pl_r = measure(&city.evaluator, &pl, metric, seed + 1);
     (pl_r, msm_r, msm.height())
@@ -93,9 +107,6 @@ mod tests {
         cfg.queries = 150;
         let city = cities(&cfg).into_iter().next().unwrap();
         let (pl, msm, _) = measure_pair(&city, 0.1, 3, QualityMetric::Euclidean, 7);
-        assert!(
-            msm < pl,
-            "MSM ({msm}) should beat PL ({pl}) at eps=0.1"
-        );
+        assert!(msm < pl, "MSM ({msm}) should beat PL ({pl}) at eps=0.1");
     }
 }

@@ -20,15 +20,28 @@ pub const RHOS: [f64; 3] = [0.5, 0.7, 0.9];
 
 /// Run for one quality metric (Fig. 8 = Euclidean, Fig. 9 = squared).
 pub fn run(cfg: &Config, metric: QualityMetric) -> Vec<Table> {
-    let fig = if metric == QualityMetric::Euclidean { "Fig 8" } else { "Fig 9" };
+    let fig = if metric == QualityMetric::Euclidean {
+        "Fig 8"
+    } else {
+        "Fig 9"
+    };
     let max_g = if cfg.quick { 4 } else { 6 };
-    cities(cfg).iter().map(|c| one_city(cfg, c, metric, fig, max_g)).collect()
+    cities(cfg)
+        .iter()
+        .map(|c| one_city(cfg, c, metric, fig, max_g))
+        .collect()
 }
 
 fn one_city(cfg: &Config, city: &City, metric: QualityMetric, fig: &str, max_g: u32) -> Table {
     let mut table = Table::new(
-        format!("{fig}: MSM utility loss ({}) vs granularity, {} dataset (eps=0.5)", metric.unit(), city.name),
-        &["g", "rho=0.5", "rho=0.7", "rho=0.9", "h(0.5)", "h(0.7)", "h(0.9)"],
+        format!(
+            "{fig}: MSM utility loss ({}) vs granularity, {} dataset (eps=0.5)",
+            metric.unit(),
+            city.name
+        ),
+        &[
+            "g", "rho=0.5", "rho=0.7", "rho=0.9", "h(0.5)", "h(0.7)", "h(0.9)",
+        ],
     );
     for g in 2..=max_g {
         let mut losses = Vec::new();
@@ -47,13 +60,7 @@ fn one_city(cfg: &Config, city: &City, metric: QualityMetric, fig: &str, max_g: 
 }
 
 /// Build and measure one MSM configuration; returns `(loss, height)`.
-pub fn measure_msm(
-    city: &City,
-    g: u32,
-    rho: f64,
-    metric: QualityMetric,
-    seed: u64,
-) -> (f64, u32) {
+pub fn measure_msm(city: &City, g: u32, rho: f64, metric: QualityMetric, seed: u64) -> (f64, u32) {
     let msm = MsmMechanism::builder(city.dataset.domain(), msm_prior(&city.dataset, g))
         .epsilon(EPS)
         .granularity(g)
@@ -76,7 +83,10 @@ mod tests {
         cfg.queries = 100;
         let city = cities(&cfg).into_iter().next().unwrap();
         let (loss, h) = measure_msm(&city, 2, 0.7, QualityMetric::Euclidean, 3);
-        assert!(h >= 2, "g=2 at eps=0.5 should afford multiple levels, got h={h}");
+        assert!(
+            h >= 2,
+            "g=2 at eps=0.5 should afford multiple levels, got h={h}"
+        );
         assert!(loss > 0.0);
     }
 }

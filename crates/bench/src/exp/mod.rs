@@ -6,11 +6,11 @@
 
 pub mod ablations;
 pub mod charts;
+pub mod fig10_11;
 pub mod fig3;
 pub mod fig5;
 pub mod fig6_7;
 pub mod fig8_9;
-pub mod fig10_11;
 pub mod table2;
 
 use crate::config::Config;
@@ -18,8 +18,20 @@ use crate::report::Table;
 
 /// All experiment names understood by the CLI, in run order for `all`.
 pub const ALL: &[&str] = &[
-    "fig3", "fig5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "abl-alloc",
-    "abl-spanner", "abl-index", "abl-remap", "abl-cache",
+    "fig3",
+    "fig5",
+    "table2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "abl-alloc",
+    "abl-spanner",
+    "abl-index",
+    "abl-remap",
+    "abl-cache",
 ];
 
 /// Dispatch one experiment by name.

@@ -46,7 +46,9 @@ pub fn run(cfg: &Config) -> Vec<Table> {
             let opt = OptimalMechanism::on_grid(EPS, &grid, &prior, QualityMetric::Euclidean)
                 .expect("OPT feasible");
             let solve = t.elapsed().as_secs_f64();
-            let r = city.evaluator.measure(&opt, QualityMetric::Euclidean, cfg.seed + 17);
+            let r = city
+                .evaluator
+                .measure(&opt, QualityMetric::Euclidean, cfg.seed + 17);
             (fnum(r.mean_loss), ftime(solve))
         } else if opt_g == 9 {
             ("(--full)".into(), "(--full)".into())

@@ -26,7 +26,10 @@ pub fn cities(cfg: &Config) -> Vec<City> {
             SyntheticCity::vegas_like().generate_with_size(12_000, 1_500),
         )
     } else {
-        (SyntheticCity::austin_like().generate(), SyntheticCity::vegas_like().generate())
+        (
+            SyntheticCity::austin_like().generate(),
+            SyntheticCity::vegas_like().generate(),
+        )
     };
     let q = cfg.effective_queries();
     vec![

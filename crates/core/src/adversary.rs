@@ -30,7 +30,9 @@ impl BayesianAdversary {
             })
             .sum();
         assert!(total > 0.0, "prior must have positive mass");
-        Self { prior: prior.into_iter().map(|p| p / total).collect() }
+        Self {
+            prior: prior.into_iter().map(|p| p / total).collect(),
+        }
     }
 
     /// The adversary's normalized prior.
@@ -45,9 +47,14 @@ impl BayesianAdversary {
     /// # Panics
     /// Panics if the prior length does not match the channel's inputs.
     pub fn posterior(&self, channel: &Channel, z: usize) -> Option<Vec<f64>> {
-        assert_eq!(self.prior.len(), channel.num_inputs(), "prior/channel mismatch");
-        let mut post: Vec<f64> =
-            (0..channel.num_inputs()).map(|x| self.prior[x] * channel.prob(x, z)).collect();
+        assert_eq!(
+            self.prior.len(),
+            channel.num_inputs(),
+            "prior/channel mismatch"
+        );
+        let mut post: Vec<f64> = (0..channel.num_inputs())
+            .map(|x| self.prior[x] * channel.prob(x, z))
+            .collect();
         let total: f64 = post.iter().sum();
         if total <= 0.0 {
             return None;
@@ -88,8 +95,9 @@ impl BayesianAdversary {
     pub fn expected_error(&self, channel: &Channel, metric: QualityMetric) -> f64 {
         let n = channel.num_inputs();
         let m = channel.num_outputs();
-        let guesses: Vec<Option<Point>> =
-            (0..m).map(|z| self.optimal_guess(channel, z, metric)).collect();
+        let guesses: Vec<Option<Point>> = (0..m)
+            .map(|z| self.optimal_guess(channel, z, metric))
+            .collect();
         let mut total = 0.0;
         for x in 0..n {
             if self.prior[x] == 0.0 {
@@ -159,8 +167,14 @@ mod tests {
     fn optimal_guess_follows_posterior_mode_for_two_points() {
         let c = channel2(0.9);
         let adv = BayesianAdversary::new(vec![0.5, 0.5]);
-        assert_eq!(adv.optimal_guess(&c, 0, QualityMetric::Euclidean), Some(Point::new(0.0, 0.0)));
-        assert_eq!(adv.optimal_guess(&c, 1, QualityMetric::Euclidean), Some(Point::new(2.0, 0.0)));
+        assert_eq!(
+            adv.optimal_guess(&c, 0, QualityMetric::Euclidean),
+            Some(Point::new(0.0, 0.0))
+        );
+        assert_eq!(
+            adv.optimal_guess(&c, 1, QualityMetric::Euclidean),
+            Some(Point::new(2.0, 0.0))
+        );
     }
 
     #[test]

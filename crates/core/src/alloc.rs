@@ -95,7 +95,11 @@ impl BudgetAllocator {
         assert!(region_side > 0.0, "region side must be positive");
         assert!(g >= 2, "granularity must be >= 2");
         assert!(rho > 0.0 && rho < 1.0, "rho must be in (0,1), got {rho}");
-        Self { region_side, g, rho }
+        Self {
+            region_side,
+            g,
+            rho,
+        }
     }
 
     /// Target self-map probability `ρ`.
@@ -158,15 +162,18 @@ impl BudgetAllocator {
             }
             AllocationStrategy::FixedHeight(h) => {
                 assert!(h >= 1, "height must be >= 1");
-                let needed: Vec<f64> =
-                    (1..=h).map(|l| self.min_budget_for_level(l)).collect();
+                let needed: Vec<f64> = (1..=h).map(|l| self.min_budget_for_level(l)).collect();
                 // Greedy pass, leaf absorbs the remainder.
                 let mut budgets = Vec::with_capacity(h as usize);
                 let mut remaining = eps;
                 let mut starved = false;
                 for (idx, &need) in needed.iter().enumerate() {
                     let is_leaf = idx + 1 == h as usize;
-                    let b = if is_leaf { remaining } else { need.min(remaining) };
+                    let b = if is_leaf {
+                        remaining
+                    } else {
+                        need.min(remaining)
+                    };
                     if b <= 0.0 {
                         starved = true;
                         break;
@@ -178,8 +185,7 @@ impl BudgetAllocator {
                     // Impact-weighted fallback: level i's utility impact is
                     // g× that of level i+1, so weight ε_i ∝ g^{h-i}.
                     let gf = self.g as f64;
-                    let weights: Vec<f64> =
-                        (1..=h).map(|i| gf.powi((h - i) as i32)).collect();
+                    let weights: Vec<f64> = (1..=h).map(|i| gf.powi((h - i) as i32)).collect();
                     let total: f64 = weights.iter().sum();
                     budgets = weights.iter().map(|w| eps * w / total).collect();
                 }
@@ -188,7 +194,10 @@ impl BudgetAllocator {
             AllocationStrategy::Uniform(h) => {
                 assert!(h >= 1, "height must be >= 1");
                 let needed = (1..=h).map(|l| self.min_budget_for_level(l)).collect();
-                LevelBudgets { budgets: vec![eps / h as f64; h as usize], needed }
+                LevelBudgets {
+                    budgets: vec![eps / h as f64; h as usize],
+                    needed,
+                }
             }
         }
     }
@@ -253,8 +262,12 @@ mod tests {
     #[test]
     fn auto_height_grows_with_budget() {
         let a = alloc();
-        let h_small = a.allocate(0.2, AllocationStrategy::Auto { max_height: 8 }).height();
-        let h_big = a.allocate(5.0, AllocationStrategy::Auto { max_height: 8 }).height();
+        let h_small = a
+            .allocate(0.2, AllocationStrategy::Auto { max_height: 8 })
+            .height();
+        let h_big = a
+            .allocate(5.0, AllocationStrategy::Auto { max_height: 8 })
+            .height();
         assert!(h_big > h_small, "{h_big} vs {h_small}");
     }
 

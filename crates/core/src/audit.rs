@@ -14,9 +14,9 @@
 //! audit is for.
 
 use crate::Mechanism;
+use geoind_rng::Rng;
 use geoind_spatial::geom::Point;
 use geoind_spatial::grid::Grid;
-use rand::Rng;
 
 /// Tuning for an audit run.
 #[derive(Debug, Clone, Copy)]
@@ -29,7 +29,10 @@ pub struct AuditConfig {
 
 impl Default for AuditConfig {
     fn default() -> Self {
-        Self { samples: 20_000, min_cell_count: 50 }
+        Self {
+            samples: 20_000,
+            min_cell_count: 50,
+        }
     }
 }
 
@@ -67,7 +70,9 @@ pub struct AuditReport {
 impl AuditReport {
     /// The largest excess over any pair (`-inf` if nothing was comparable).
     pub fn worst_excess(&self) -> f64 {
-        self.findings.first().map_or(f64::NEG_INFINITY, |f| f.excess())
+        self.findings
+            .first()
+            .map_or(f64::NEG_INFINITY, |f| f.excess())
     }
 
     /// Verdict with an explicit statistical slack (in nats). A slack of
@@ -91,14 +96,23 @@ pub fn audit_geoind<M: Mechanism, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> AuditReport {
     assert!(!pairs.is_empty(), "need at least one pair to audit");
-    assert!(cfg.samples > 0 && cfg.min_cell_count > 0, "degenerate audit config");
+    assert!(
+        cfg.samples > 0 && cfg.min_cell_count > 0,
+        "degenerate audit config"
+    );
     assert!(eps > 0.0, "eps must be positive");
     let mut findings = Vec::with_capacity(pairs.len());
     for &(a, b) in pairs {
         let ca = histogram(mechanism, a, output_grid, cfg.samples, rng);
         let cb = histogram(mechanism, b, output_grid, cfg.samples, rng);
         let allowance = eps * a.dist(b);
-        let mut worst = PairFinding { a, b, cell: 0, log_ratio: 0.0, allowance };
+        let mut worst = PairFinding {
+            a,
+            b,
+            cell: 0,
+            log_ratio: 0.0,
+            allowance,
+        };
         for cell in 0..output_grid.num_cells() {
             let (na, nb) = (ca[cell], cb[cell]);
             // Compare only well-populated cells; a support mismatch with a
@@ -107,18 +121,28 @@ pub fn audit_geoind<M: Mechanism, R: Rng + ?Sized>(
                 continue;
             }
             // Add-one smoothing keeps empty-vs-populated comparable.
-            let ratio =
-                ((na as f64 + 1.0) / (nb as f64 + 1.0)).ln().abs();
+            let ratio = ((na as f64 + 1.0) / (nb as f64 + 1.0)).ln().abs();
             if ratio > worst.log_ratio {
-                worst = PairFinding { a, b, cell, log_ratio: ratio, allowance };
+                worst = PairFinding {
+                    a,
+                    b,
+                    cell,
+                    log_ratio: ratio,
+                    allowance,
+                };
             }
         }
         findings.push(worst);
     }
     findings.sort_by(|x, y| {
-        y.excess().partial_cmp(&x.excess()).expect("finite excesses")
+        y.excess()
+            .partial_cmp(&x.excess())
+            .expect("finite excesses")
     });
-    AuditReport { findings, samples: cfg.samples }
+    AuditReport {
+        findings,
+        samples: cfg.samples,
+    }
 }
 
 fn histogram<M: Mechanism, R: Rng + ?Sized>(
@@ -140,9 +164,8 @@ fn histogram<M: Mechanism, R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::planar_laplace::PlanarLaplace;
+    use geoind_rng::SeededRng;
     use geoind_spatial::geom::BBox;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// A "mechanism" that leaks the true location verbatim.
     struct Liar;
@@ -166,13 +189,13 @@ mod tests {
         }
     }
 
-    fn setup() -> (Grid, Vec<(Point, Point)>, StdRng) {
+    fn setup() -> (Grid, Vec<(Point, Point)>, SeededRng) {
         let grid = Grid::new(BBox::square(20.0), 8);
         let pairs = vec![
             (Point::new(10.0, 10.0), Point::new(11.0, 10.0)),
             (Point::new(5.0, 5.0), Point::new(5.0, 6.5)),
         ];
-        (grid, pairs, StdRng::seed_from_u64(11))
+        (grid, pairs, SeededRng::from_seed(11))
     }
 
     #[test]
@@ -205,13 +228,20 @@ mod tests {
             0.8,
             &pairs,
             &grid,
-            AuditConfig { samples: 2_000, min_cell_count: 20 },
+            AuditConfig {
+                samples: 2_000,
+                min_cell_count: 20,
+            },
             &mut rng,
         );
         assert!(!report.passes(0.45));
         // The excess is enormous: one side's cell holds everything, the
         // other's nothing.
-        assert!(report.worst_excess() > 3.0, "excess {}", report.worst_excess());
+        assert!(
+            report.worst_excess() > 3.0,
+            "excess {}",
+            report.worst_excess()
+        );
     }
 
     #[test]
@@ -244,7 +274,10 @@ mod tests {
             0.5,
             &pairs,
             &grid,
-            AuditConfig { samples: 5_000, min_cell_count: 30 },
+            AuditConfig {
+                samples: 5_000,
+                min_cell_count: 30,
+            },
             &mut rng,
         );
         for w in report.findings.windows(2) {

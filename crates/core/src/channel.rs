@@ -8,8 +8,8 @@
 
 use crate::metrics::QualityMetric;
 use geoind_math::sampling::AliasTable;
+use geoind_rng::Rng;
 use geoind_spatial::geom::Point;
-use rand::Rng;
 
 /// A probabilistic mapping from `n` input locations to `m` output locations,
 /// stored as a dense row-stochastic matrix.
@@ -58,16 +58,20 @@ impl Channel {
                 }
                 sum += *v;
             }
-            assert!(
-                (sum - 1.0).abs() < 1e-6,
-                "row {row} sums to {sum}, not 1"
-            );
+            assert!((sum - 1.0).abs() < 1e-6, "row {row} sums to {sum}, not 1");
             for v in r.iter_mut() {
                 *v /= sum;
             }
         }
-        let samplers = (0..n).map(|row| AliasTable::new(&probs[row * m..(row + 1) * m])).collect();
-        Self { inputs, outputs, probs, samplers }
+        let samplers = (0..n)
+            .map(|row| AliasTable::new(&probs[row * m..(row + 1) * m]))
+            .collect();
+        Self {
+            inputs,
+            outputs,
+            probs,
+            samplers,
+        }
     }
 
     /// Input locations (logical locations `X`).
@@ -289,7 +293,11 @@ impl Channel {
     /// # Panics
     /// Panics if input/output counts differ.
     pub fn mean_self_probability(&self) -> f64 {
-        assert_eq!(self.inputs.len(), self.outputs.len(), "self-prob needs square channel");
+        assert_eq!(
+            self.inputs.len(),
+            self.outputs.len(),
+            "self-prob needs square channel"
+        );
         let n = self.inputs.len();
         (0..n).map(|x| self.prob(x, x)).sum::<f64>() / n as f64
     }
@@ -302,7 +310,11 @@ impl Channel {
     /// # Panics
     /// Panics if input/output counts differ.
     pub fn central_self_probability(&self) -> f64 {
-        assert_eq!(self.inputs.len(), self.outputs.len(), "self-prob needs square channel");
+        assert_eq!(
+            self.inputs.len(),
+            self.outputs.len(),
+            "self-prob needs square channel"
+        );
         let n = self.inputs.len() as f64;
         let cx = self.inputs.iter().map(|p| p.x).sum::<f64>() / n;
         let cy = self.inputs.iter().map(|p| p.y).sum::<f64>() / n;
@@ -321,16 +333,11 @@ impl Channel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use geoind_rng::SeededRng;
 
     fn two_point_channel(stay: f64) -> Channel {
         let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
-        Channel::new(
-            pts.clone(),
-            pts,
-            vec![stay, 1.0 - stay, 1.0 - stay, stay],
-        )
+        Channel::new(pts.clone(), pts, vec![stay, 1.0 - stay, 1.0 - stay, stay])
     }
 
     #[test]
@@ -343,7 +350,7 @@ mod tests {
     #[test]
     fn sampling_matches_probabilities() {
         let c = two_point_channel(0.8);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SeededRng::from_seed(3);
         let n = 100_000;
         let stays = (0..n).filter(|_| c.sample(0, &mut rng) == 0).count();
         let f = stays as f64 / n as f64;
@@ -380,8 +387,11 @@ mod tests {
     #[test]
     fn central_self_probability_picks_interior_cell() {
         // 3 collinear points; middle one has a distinct self-probability.
-        let pts =
-            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
         let probs = vec![
             0.8, 0.1, 0.1, //
             0.25, 0.5, 0.25, //

@@ -9,9 +9,8 @@
 use crate::metrics::QualityMetric;
 use crate::Mechanism;
 use geoind_data::checkin::Dataset;
+use geoind_rng::{Rng, SeededRng};
 use geoind_spatial::geom::Point;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Aggregated measurement of one mechanism on one workload.
@@ -79,9 +78,12 @@ impl Evaluator {
     /// # Panics
     /// Panics if the dataset is empty or `n == 0`.
     pub fn sample_from(dataset: &Dataset, n: usize, seed: u64) -> Self {
-        assert!(!dataset.is_empty(), "cannot sample queries from an empty dataset");
+        assert!(
+            !dataset.is_empty(),
+            "cannot sample queries from an empty dataset"
+        );
         assert!(n > 0, "need at least one query");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeededRng::from_seed(seed);
         let queries = (0..n)
             .map(|_| dataset.checkins()[rng.gen_range(0..dataset.len())].location)
             .collect();
@@ -100,7 +102,7 @@ impl Evaluator {
         metric: QualityMetric,
         seed: u64,
     ) -> EvalReport {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeededRng::from_seed(seed);
         let mut losses = Vec::with_capacity(self.queries.len());
         let start = Instant::now();
         for &x in &self.queries {

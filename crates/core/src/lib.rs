@@ -30,31 +30,31 @@ pub mod alloc;
 pub mod audit;
 pub mod channel;
 pub mod eval;
-pub mod pmsm;
 pub mod metrics;
 pub mod msm;
 pub mod offline;
 pub mod opt;
 pub mod planar_laplace;
+pub mod pmsm;
 pub mod remap;
 pub mod spanner;
 pub mod trajectory;
 
 pub use adversary::BayesianAdversary;
-pub use audit::{audit_geoind, AuditConfig, AuditReport};
 pub use alloc::{AllocationStrategy, BudgetAllocator, LevelBudgets};
+pub use audit::{audit_geoind, AuditConfig, AuditReport};
 pub use channel::Channel;
 pub use eval::{EvalReport, Evaluator};
-pub use pmsm::{KdMsmMechanism, PartitionMsm, QuadMsmMechanism};
 pub use metrics::QualityMetric;
 pub use msm::MsmMechanism;
 pub use opt::OptimalMechanism;
 pub use planar_laplace::PlanarLaplace;
+pub use pmsm::{KdMsmMechanism, PartitionMsm, QuadMsmMechanism};
 pub use remap::RemappedMechanism;
 pub use trajectory::{BudgetLedger, StepOutcome, TrajectoryProtector};
 
+use geoind_rng::Rng;
 use geoind_spatial::geom::Point;
-use rand::Rng;
 
 /// A location-sanitization mechanism: maps a true location to a reported
 /// one, consuming randomness.

@@ -23,13 +23,13 @@ use crate::metrics::QualityMetric;
 use crate::opt::{OptOptions, OptimalMechanism};
 use crate::{Mechanism, MechanismError};
 use geoind_data::prior::GridPrior;
+use geoind_rng::Rng;
 use geoind_spatial::geom::{BBox, Point};
 use geoind_spatial::grid::Grid;
 use geoind_spatial::hier::{HierGrid, LevelCell};
-use parking_lot::RwLock;
-use rand::Rng;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::{PoisonError, RwLock};
 
 /// Builder for [`MsmMechanism`].
 #[derive(Debug, Clone)]
@@ -100,7 +100,9 @@ impl MsmBuilder {
             .eps
             .ok_or_else(|| MechanismError::BadParameter("epsilon not set".into()))?;
         if eps <= 0.0 {
-            return Err(MechanismError::BadParameter(format!("eps must be positive, got {eps}")));
+            return Err(MechanismError::BadParameter(format!(
+                "eps must be positive, got {eps}"
+            )));
         }
         if self.g < 2 {
             return Err(MechanismError::BadParameter(format!(
@@ -204,12 +206,18 @@ impl MsmMechanism {
 
     /// Number of per-node channels currently memoized.
     pub fn cached_channels(&self) -> usize {
-        self.cache.read().len()
+        self.cache
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Drop all memoized channels.
     pub fn clear_cache(&self) {
-        self.cache.write().clear();
+        self.cache
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 
     /// Internal accessors for the offline precompute/persistence module.
@@ -226,27 +234,43 @@ impl MsmMechanism {
     }
 
     pub(crate) fn cache_snapshot(&self) -> Vec<(LevelCell, Arc<Channel>)> {
-        let mut v: Vec<(LevelCell, Arc<Channel>)> =
-            self.cache.read().iter().map(|(k, c)| (*k, Arc::clone(c))).collect();
+        let mut v: Vec<(LevelCell, Arc<Channel>)> = self
+            .cache
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, c)| (*k, Arc::clone(c)))
+            .collect();
         v.sort_by_key(|(c, _)| (c.level, c.id));
         v
     }
 
     pub(crate) fn cache_insert(&self, cell: LevelCell, channel: Arc<Channel>) {
-        self.cache.write().insert(cell, channel);
+        self.cache
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(cell, channel);
     }
 
     /// The optimal channel over the children of `parent` (level
     /// `parent.level + 1`), memoized when caching is enabled.
     fn channel_for(&self, parent: LevelCell) -> Arc<Channel> {
         if self.caching {
-            if let Some(c) = self.cache.read().get(&parent) {
+            if let Some(c) = self
+                .cache
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .get(&parent)
+            {
                 return Arc::clone(c);
             }
         }
         let built = Arc::new(self.build_channel(parent));
         if self.caching {
-            self.cache.write().insert(parent, Arc::clone(&built));
+            self.cache
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(parent, Arc::clone(&built));
         }
         built
     }
@@ -265,14 +289,9 @@ impl MsmMechanism {
         }
         let level = parent.level + 1;
         let eps_i = self.budgets.level(level);
-        let opt = OptimalMechanism::solve_with(
-            eps_i,
-            &centers,
-            &masses,
-            self.metric,
-            self.opt_options,
-        )
-        .expect("per-node OPT is feasible by construction");
+        let opt =
+            OptimalMechanism::solve_with(eps_i, &centers, &masses, self.metric, self.opt_options)
+                .expect("per-node OPT is feasible by construction");
         opt.channel().clone()
     }
 
@@ -355,7 +374,8 @@ impl Mechanism for MsmMechanism {
             let channel = self.channel_for(current);
             let ext = self.hier.extent(current);
             let input_idx = if ext.contains(x) {
-                self.hier.local_index(self.hier.enclosing_cell(x, current.level + 1))
+                self.hier
+                    .local_index(self.hier.enclosing_cell(x, current.level + 1))
             } else {
                 rng.gen_range(0..children.len())
             };
@@ -380,8 +400,7 @@ impl Mechanism for MsmMechanism {
 mod tests {
     use super::*;
     use geoind_data::synth::SyntheticCity;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use geoind_rng::SeededRng;
 
     fn tiny_msm(eps: f64) -> MsmMechanism {
         let domain = BBox::square(8.0);
@@ -400,11 +419,14 @@ mod tests {
         let msm = tiny_msm(0.8);
         let leaf = msm.leaf_grid();
         let centers = leaf.centers();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SeededRng::from_seed(1);
         for i in 0..200 {
             let x = Point::new((i % 8) as f64 + 0.1, (i % 7) as f64 + 0.3);
             let z = msm.report(x, &mut rng);
-            assert!(centers.iter().any(|c| c.dist(z) < 1e-12), "{z:?} not a leaf center");
+            assert!(
+                centers.iter().any(|c| c.dist(z) < 1e-12),
+                "{z:?} not a leaf center"
+            );
         }
     }
 
@@ -420,7 +442,7 @@ mod tests {
     fn cache_fills_and_clears() {
         let msm = tiny_msm(0.8);
         assert_eq!(msm.cached_channels(), 0);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SeededRng::from_seed(2);
         for _ in 0..50 {
             msm.report(Point::new(4.0, 4.0), &mut rng);
         }
@@ -440,7 +462,7 @@ mod tests {
         assert!((exact.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         let leaf = msm.leaf_grid();
         let mut counts = vec![0usize; leaf.num_cells()];
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SeededRng::from_seed(3);
         let n = 200_000;
         for _ in 0..n {
             counts[leaf.cell_of(msm.report(x, &mut rng))] += 1;
@@ -462,8 +484,10 @@ mod tests {
         let msm = tiny_msm(0.9);
         let leaf = msm.leaf_grid();
         let points: Vec<Point> = leaf.centers();
-        let dists: Vec<Vec<f64>> =
-            points.iter().map(|x| msm.exact_output_distribution(*x)).collect();
+        let dists: Vec<Vec<f64>> = points
+            .iter()
+            .map(|x| msm.exact_output_distribution(*x))
+            .collect();
         for (i, x) in points.iter().enumerate() {
             for (j, xp) in points.iter().enumerate() {
                 if i == j {
@@ -491,7 +515,7 @@ mod tests {
         let domain = BBox::square(20.0);
         let data = SyntheticCity::austin_like().generate_with_size(20_000, 2_000);
         let prior = GridPrior::from_dataset(&data, 16);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SeededRng::from_seed(11);
         let mut prev = f64::INFINITY;
         for eps in [0.1, 0.5, 1.5] {
             let msm = MsmMechanism::builder(domain, prior.clone())
@@ -506,7 +530,10 @@ mod tests {
                 loss += msm.report(x, &mut rng).dist(x);
             }
             loss /= n as f64;
-            assert!(loss < prev * 1.15, "loss {loss} not (roughly) decreasing at eps={eps}");
+            assert!(
+                loss < prev * 1.15,
+                "loss {loss} not (roughly) decreasing at eps={eps}"
+            );
             prev = loss;
         }
     }
@@ -525,7 +552,9 @@ mod tests {
     fn mismatched_domain_rejected() {
         let prior = GridPrior::uniform(BBox::square(10.0), 4);
         assert!(matches!(
-            MsmMechanism::builder(BBox::square(8.0), prior).epsilon(0.5).build(),
+            MsmMechanism::builder(BBox::square(8.0), prior)
+                .epsilon(0.5)
+                .build(),
             Err(MechanismError::BadParameter(_))
         ));
     }

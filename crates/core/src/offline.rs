@@ -89,7 +89,10 @@ impl MsmMechanism {
         }
         let count = read_u64(r)? as usize;
         if count > 4_000_000 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible entry count"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "implausible entry count",
+            ));
         }
         let mut loaded = 0usize;
         for _ in 0..count {
@@ -98,7 +101,10 @@ impl MsmMechanism {
             let n = read_u64(r)? as usize;
             let m = read_u64(r)? as usize;
             if n == 0 || m == 0 || n > 65_536 || m > 65_536 {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "bad channel shape"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bad channel shape",
+                ));
             }
             let mut pts = Vec::with_capacity(n + m);
             for _ in 0..(n + m) {
@@ -111,11 +117,21 @@ impl MsmMechanism {
             let cell = LevelCell { level, id };
             // Geometry validation against this index.
             if level + 1 > self.height() {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "entry beyond index height"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "entry beyond index height",
+                ));
             }
-            let expect: Vec<Point> = self.children_of(cell).iter().map(|c| self.center_of(*c)).collect();
+            let expect: Vec<Point> = self
+                .children_of(cell)
+                .iter()
+                .map(|c| self.center_of(*c))
+                .collect();
             if expect.len() != n || n != m {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "child count mismatch"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "child count mismatch",
+                ));
             }
             for (a, b) in expect.iter().zip(&pts[..n]) {
                 if a.dist(*b) > 1e-9 {

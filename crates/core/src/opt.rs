@@ -17,10 +17,10 @@ use crate::{Mechanism, MechanismError};
 use geoind_data::prior::GridPrior;
 use geoind_lp::model::{Model, Op, Sense, SolveVia};
 use geoind_lp::simplex::SimplexOptions;
+use geoind_rng::Rng;
 use geoind_spatial::geom::Point;
 use geoind_spatial::grid::Grid;
 use geoind_spatial::kdtree::KdTree;
-use rand::Rng;
 
 /// Which GeoInd constraint set to generate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,10 +135,14 @@ impl OptimalMechanism {
         opts: OptOptions,
     ) -> Result<Self, MechanismError> {
         if eps <= 0.0 {
-            return Err(MechanismError::BadParameter(format!("eps must be positive, got {eps}")));
+            return Err(MechanismError::BadParameter(format!(
+                "eps must be positive, got {eps}"
+            )));
         }
         if locations.len() < 2 {
-            return Err(MechanismError::BadParameter("need at least 2 locations".into()));
+            return Err(MechanismError::BadParameter(
+                "need at least 2 locations".into(),
+            ));
         }
         if prior.len() != locations.len() {
             return Err(MechanismError::BadParameter(format!(
@@ -149,7 +153,9 @@ impl OptimalMechanism {
         }
         let psum: f64 = prior.iter().sum();
         if prior.iter().any(|&p| p < 0.0 || !p.is_finite()) || psum <= 0.0 {
-            return Err(MechanismError::BadParameter("prior must be non-negative, nonzero".into()));
+            return Err(MechanismError::BadParameter(
+                "prior must be non-negative, nonzero".into(),
+            ));
         }
         let n = locations.len();
 
@@ -203,15 +209,19 @@ impl OptimalMechanism {
         let sol = model.solve_with(opts.via, opts.simplex)?;
         // The LP enforces row-scaled constraints; un-scale solver tolerance
         // back into an honest GeoInd guarantee (see Channel::geoind_repair).
-        let channel = Channel::new(locations.to_vec(), locations.to_vec(), sol.values)
-            .geoind_repair(eps);
+        let channel =
+            Channel::new(locations.to_vec(), locations.to_vec(), sol.values).geoind_repair(eps);
         let snapper = KdTree::build(locations.iter().copied().enumerate().map(|(i, p)| (p, i)));
         Ok(Self {
             eps,
             metric,
             channel,
             snapper,
-            stats: SolveStats { rows: stats_rows, cols: stats_cols, iterations: sol.iterations },
+            stats: SolveStats {
+                rows: stats_rows,
+                cols: stats_cols,
+                iterations: sol.iterations,
+            },
         })
     }
 
@@ -261,12 +271,13 @@ impl Mechanism for OptimalMechanism {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use geoind_rng::SeededRng;
     use geoind_spatial::geom::BBox;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn line_points(n: usize, spacing: f64) -> Vec<Point> {
-        (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect()
+        (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect()
     }
 
     #[test]
@@ -290,8 +301,7 @@ mod tests {
     fn channel_satisfies_geoind() {
         let grid = Grid::new(BBox::square(20.0), 3);
         let prior = GridPrior::uniform(BBox::square(20.0), 3);
-        let opt =
-            OptimalMechanism::on_grid(0.5, &grid, &prior, QualityMetric::Euclidean).unwrap();
+        let opt = OptimalMechanism::on_grid(0.5, &grid, &prior, QualityMetric::Euclidean).unwrap();
         assert!(
             opt.channel().satisfies_geoind(0.5, 1e-6),
             "violation {}",
@@ -306,8 +316,7 @@ mod tests {
         // skewed-prior channel passes the same constraint check.
         let pts = line_points(4, 2.0);
         let skewed = [0.7, 0.1, 0.1, 0.1];
-        let opt =
-            OptimalMechanism::solve(0.4, &pts, &skewed, QualityMetric::Euclidean).unwrap();
+        let opt = OptimalMechanism::solve(0.4, &pts, &skewed, QualityMetric::Euclidean).unwrap();
         assert!(opt.channel().satisfies_geoind(0.4, 1e-6));
     }
 
@@ -329,7 +338,7 @@ mod tests {
 
         // Monte-Carlo the PL+remap loss under the same prior.
         let pl = crate::planar_laplace::PlanarLaplace::new(eps).with_grid_remap(grid.clone());
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SeededRng::from_seed(5);
         let mut pl_loss = 0.0;
         let trials = 3_000;
         for (cell, &p) in prior.probs().iter().enumerate() {
@@ -356,17 +365,15 @@ mod tests {
         let pts = Grid::new(BBox::square(10.0), 3).centers();
         let mut skewed = vec![0.01; 9];
         skewed[4] = 0.92;
-        let tuned =
-            OptimalMechanism::solve(0.3, &pts, &skewed, QualityMetric::Euclidean).unwrap();
-        let generic = OptimalMechanism::solve(
-            0.3,
-            &pts,
-            &[1.0 / 9.0; 9],
-            QualityMetric::Euclidean,
-        )
-        .unwrap();
-        let lt = tuned.channel().expected_loss(&skewed, QualityMetric::Euclidean);
-        let lg = generic.channel().expected_loss(&skewed, QualityMetric::Euclidean);
+        let tuned = OptimalMechanism::solve(0.3, &pts, &skewed, QualityMetric::Euclidean).unwrap();
+        let generic =
+            OptimalMechanism::solve(0.3, &pts, &[1.0 / 9.0; 9], QualityMetric::Euclidean).unwrap();
+        let lt = tuned
+            .channel()
+            .expected_loss(&skewed, QualityMetric::Euclidean);
+        let lg = generic
+            .channel()
+            .expected_loss(&skewed, QualityMetric::Euclidean);
         assert!(lt <= lg + 1e-8, "tuned {lt} vs generic {lg}");
     }
 
@@ -402,9 +409,18 @@ mod tests {
         let le = exact.expected_loss(prior.probs());
         let lt = tight.expected_loss(prior.probs());
         let ll = loose.expected_loss(prior.probs());
-        assert!(lt >= le - 1e-8 && ll >= le - 1e-8, "spanner cannot beat the true optimum");
-        assert!(lt <= ll + 1e-8, "tighter dilation should not lose more ({lt} vs {ll})");
-        assert!(lt <= le * 1.35, "near-exact spanner loss {lt} too far above exact {le}");
+        assert!(
+            lt >= le - 1e-8 && ll >= le - 1e-8,
+            "spanner cannot beat the true optimum"
+        );
+        assert!(
+            lt <= ll + 1e-8,
+            "tighter dilation should not lose more ({lt} vs {ll})"
+        );
+        assert!(
+            lt <= le * 1.35,
+            "near-exact spanner loss {lt} too far above exact {le}"
+        );
     }
 
     #[test]
@@ -426,7 +442,7 @@ mod tests {
         let grid = Grid::new(BBox::square(10.0), 2);
         let prior = GridPrior::uniform(BBox::square(10.0), 2);
         let opt = OptimalMechanism::on_grid(1.0, &grid, &prior, QualityMetric::Euclidean).unwrap();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SeededRng::from_seed(9);
         let centers = grid.centers();
         for _ in 0..100 {
             let z = opt.report(Point::new(1.1, 2.3), &mut rng);

@@ -10,10 +10,10 @@
 
 use crate::Mechanism;
 use geoind_math::sampling::planar_laplace_radius;
+use geoind_rng::Rng;
 use geoind_spatial::geom::Point;
 use geoind_spatial::grid::Grid;
 use geoind_spatial::kdtree::KdTree;
-use rand::Rng;
 
 /// Where the continuous PL output lands after post-processing.
 #[derive(Debug, Clone)]
@@ -42,10 +42,10 @@ impl PlanarLaplace {
     /// use geoind_core::planar_laplace::PlanarLaplace;
     /// use geoind_core::Mechanism;
     /// use geoind_spatial::geom::Point;
-    /// use rand::SeedableRng;
+    /// use geoind_rng::SeededRng;
     ///
     /// let pl = PlanarLaplace::new(0.5);
-    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// let mut rng = SeededRng::from_seed(1);
     /// let z = pl.report(Point::new(10.0, 10.0), &mut rng);
     /// assert!(z.dist(Point::new(10.0, 10.0)) < 50.0); // some finite noise
     /// ```
@@ -54,7 +54,10 @@ impl PlanarLaplace {
     /// Panics if `eps <= 0`.
     pub fn new(eps: f64) -> Self {
         assert!(eps > 0.0, "privacy budget must be positive");
-        Self { eps, remap: Remap::None }
+        Self {
+            eps,
+            remap: Remap::None,
+        }
     }
 
     /// Remap outputs to cell centers of `grid` (the paper's PL benchmark).
@@ -115,18 +118,16 @@ impl Mechanism for PlanarLaplace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use geoind_rng::SeededRng;
     use geoind_spatial::geom::BBox;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn continuous_mean_distance_is_two_over_eps() {
         let pl = PlanarLaplace::new(0.5);
         let x = Point::new(10.0, 10.0);
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = SeededRng::from_seed(17);
         let n = 100_000;
-        let mean: f64 =
-            (0..n).map(|_| pl.report(x, &mut rng).dist(x)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| pl.report(x, &mut rng).dist(x)).sum::<f64>() / n as f64;
         assert!((mean - 4.0).abs() < 0.1, "mean displacement {mean}");
     }
 
@@ -134,7 +135,7 @@ mod tests {
     fn radially_symmetric() {
         let pl = PlanarLaplace::new(1.0);
         let x = Point::new(0.0, 0.0);
-        let mut rng = StdRng::seed_from_u64(23);
+        let mut rng = SeededRng::from_seed(23);
         let n = 40_000;
         let (mut east, mut north) = (0usize, 0usize);
         for _ in 0..n {
@@ -154,7 +155,7 @@ mod tests {
     fn grid_remap_lands_on_centers() {
         let grid = Grid::new(BBox::square(20.0), 4);
         let pl = PlanarLaplace::new(0.2).with_grid_remap(grid.clone());
-        let mut rng = StdRng::seed_from_u64(29);
+        let mut rng = SeededRng::from_seed(29);
         let centers = grid.centers();
         for _ in 0..500 {
             let z = pl.report(Point::new(3.0, 17.0), &mut rng);
@@ -167,9 +168,13 @@ mod tests {
 
     #[test]
     fn discrete_remap_lands_on_candidates() {
-        let pois = vec![Point::new(1.0, 1.0), Point::new(5.0, 5.0), Point::new(9.0, 2.0)];
+        let pois = vec![
+            Point::new(1.0, 1.0),
+            Point::new(5.0, 5.0),
+            Point::new(9.0, 2.0),
+        ];
         let pl = PlanarLaplace::new(0.5).with_discrete_remap(pois.clone());
-        let mut rng = StdRng::seed_from_u64(31);
+        let mut rng = SeededRng::from_seed(31);
         for _ in 0..200 {
             let z = pl.report(Point::new(4.0, 4.0), &mut rng);
             assert!(pois.contains(&z));
@@ -187,7 +192,7 @@ mod tests {
         let a = Point::new(10.0, 10.0);
         let b = Point::new(10.5, 10.0);
         let grid = Grid::new(BBox::square(20.0), 10);
-        let mut rng = StdRng::seed_from_u64(37);
+        let mut rng = SeededRng::from_seed(37);
         let n = 300_000;
         let mut ca = vec![0.0f64; grid.num_cells()];
         let mut cb = vec![0.0f64; grid.num_cells()];

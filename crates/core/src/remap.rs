@@ -22,9 +22,9 @@ use crate::adversary::BayesianAdversary;
 use crate::channel::Channel;
 use crate::metrics::QualityMetric;
 use crate::{Mechanism, MechanismError};
+use geoind_rng::Rng;
 use geoind_spatial::geom::Point;
 use geoind_spatial::kdtree::KdTree;
-use rand::Rng;
 
 /// A channel-based mechanism whose outputs are replaced by their
 /// Bayes-optimal estimates under a prior.
@@ -74,9 +74,19 @@ impl<M: Mechanism> RemappedMechanism<M> {
                 }
             }
         }
-        let output_index =
-            KdTree::build(channel.outputs().iter().copied().enumerate().map(|(i, p)| (p, i)));
-        Ok(Self { inner, table, output_index })
+        let output_index = KdTree::build(
+            channel
+                .outputs()
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(i, p)| (p, i)),
+        );
+        Ok(Self {
+            inner,
+            table,
+            output_index,
+        })
     }
 
     /// The remap table (output index → estimate).
@@ -115,7 +125,10 @@ fn best_estimate(
 impl<M: Mechanism> Mechanism for RemappedMechanism<M> {
     fn report<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
         let raw = self.inner.report(x, rng);
-        let (_, idx, _) = self.output_index.nearest(raw).expect("non-empty output set");
+        let (_, idx, _) = self
+            .output_index
+            .nearest(raw)
+            .expect("non-empty output set");
         self.table[idx]
     }
 
@@ -161,10 +174,9 @@ mod tests {
     use crate::opt::OptimalMechanism;
     use crate::planar_laplace::PlanarLaplace;
     use geoind_data::prior::GridPrior;
+    use geoind_rng::SeededRng;
     use geoind_spatial::geom::BBox;
     use geoind_spatial::grid::Grid;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn posterior_mean_for_squared_metric() {
@@ -193,7 +205,7 @@ mod tests {
         let eps = 0.25;
         let pl = PlanarLaplace::new(eps).with_grid_remap(grid.clone());
 
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SeededRng::from_seed(5);
         let centers = grid.centers();
         let channel = empirical_channel(&pl, &centers, &centers, 4_000, &mut rng);
         let remapped = RemappedMechanism::new(
@@ -233,8 +245,7 @@ mod tests {
         let grid = Grid::new(domain, 3);
         let prior = GridPrior::uniform(domain, 3);
         let eps = 0.5;
-        let opt =
-            OptimalMechanism::on_grid(eps, &grid, &prior, QualityMetric::Euclidean).unwrap();
+        let opt = OptimalMechanism::on_grid(eps, &grid, &prior, QualityMetric::Euclidean).unwrap();
         let channel = opt.channel().clone();
         let remapped = RemappedMechanism::new(
             OptimalMechanism::on_grid(eps, &grid, &prior, QualityMetric::Euclidean).unwrap(),
@@ -243,7 +254,7 @@ mod tests {
             QualityMetric::Euclidean,
         )
         .unwrap();
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = SeededRng::from_seed(6);
         let (mut a, mut b) = (0.0, 0.0);
         let trials = 30_000;
         for cell in 0..grid.num_cells() {
@@ -253,14 +264,17 @@ mod tests {
                 b += x.dist(remapped.report(x, &mut rng));
             }
         }
-        assert!(b >= a * 0.97, "remap 'improved' OPT suspiciously: {b} vs {a}");
+        assert!(
+            b >= a * 0.97,
+            "remap 'improved' OPT suspiciously: {b} vs {a}"
+        );
     }
 
     #[test]
     fn empirical_channel_rows_are_stochastic() {
         let pl = PlanarLaplace::new(1.0);
         let pts = Grid::new(BBox::square(10.0), 3).centers();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SeededRng::from_seed(7);
         let ch = empirical_channel(&pl, &pts, &pts, 500, &mut rng);
         for x in 0..pts.len() {
             assert!((ch.row(x).iter().sum::<f64>() - 1.0).abs() < 1e-9);

@@ -85,12 +85,7 @@ impl Spanner {
 
 /// Dijkstra from `src` to `dst`, early-exiting once `bound` is exceeded.
 /// Returns the distance (possibly `> bound`, meaning "too far").
-fn shortest_path_bounded(
-    adj: &[Vec<(usize, f64)>],
-    src: usize,
-    dst: usize,
-    bound: f64,
-) -> f64 {
+fn shortest_path_bounded(adj: &[Vec<(usize, f64)>], src: usize, dst: usize, bound: f64) -> f64 {
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
 

@@ -15,8 +15,8 @@
 //!   GeoInd literature).
 
 use crate::{Mechanism, MechanismError};
+use geoind_rng::Rng;
 use geoind_spatial::geom::Point;
-use rand::Rng;
 
 /// A privacy-budget account for a reporting session.
 #[derive(Debug, Clone)]
@@ -104,7 +104,9 @@ impl<M: Mechanism> TrajectoryProtector<M> {
         suppression_radius: f64,
     ) -> Result<Self, MechanismError> {
         if per_report_eps <= 0.0 {
-            return Err(MechanismError::BadParameter("per-report eps must be positive".into()));
+            return Err(MechanismError::BadParameter(
+                "per-report eps must be positive".into(),
+            ));
         }
         if session_budget < per_report_eps {
             return Err(MechanismError::BadParameter(
@@ -112,7 +114,9 @@ impl<M: Mechanism> TrajectoryProtector<M> {
             ));
         }
         if suppression_radius < 0.0 {
-            return Err(MechanismError::BadParameter("suppression radius must be >= 0".into()));
+            return Err(MechanismError::BadParameter(
+                "suppression radius must be >= 0".into(),
+            ));
         }
         Ok(Self {
             mechanism,
@@ -180,11 +184,12 @@ impl<M: Mechanism> TrajectoryProtector<M> {
 mod tests {
     use super::*;
     use crate::planar_laplace::PlanarLaplace;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use geoind_rng::SeededRng;
 
     fn walk(n: usize, step: f64) -> Vec<Point> {
-        (0..n).map(|i| Point::new(10.0 + i as f64 * step, 10.0)).collect()
+        (0..n)
+            .map(|i| Point::new(10.0 + i as f64 * step, 10.0))
+            .collect()
     }
 
     #[test]
@@ -199,9 +204,8 @@ mod tests {
 
     #[test]
     fn budget_caps_release_count() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut p =
-            TrajectoryProtector::new(PlanarLaplace::new(0.2), 0.2, 1.0, 0.0).unwrap();
+        let mut rng = SeededRng::from_seed(1);
+        let mut p = TrajectoryProtector::new(PlanarLaplace::new(0.2), 0.2, 1.0, 0.0).unwrap();
         let out = p.protect_trace(&walk(10, 1.0), &mut rng);
         // 1.0 / 0.2 = 5 releases, then exhaustion.
         assert_eq!(out.iter().filter(|o| o.is_some()).count(), 5);
@@ -212,9 +216,8 @@ mod tests {
 
     #[test]
     fn suppression_reuses_release_without_spending() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut p =
-            TrajectoryProtector::new(PlanarLaplace::new(0.5), 0.5, 2.0, 0.5).unwrap();
+        let mut rng = SeededRng::from_seed(2);
+        let mut p = TrajectoryProtector::new(PlanarLaplace::new(0.5), 0.5, 2.0, 0.5).unwrap();
         // Tiny steps: only the first report should spend budget.
         let out = p.protect_trace(&walk(8, 0.01), &mut rng);
         assert_eq!(p.releases(), 1);
@@ -228,9 +231,8 @@ mod tests {
 
     #[test]
     fn movement_beyond_radius_triggers_fresh_release() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut p =
-            TrajectoryProtector::new(PlanarLaplace::new(0.5), 0.5, 10.0, 0.5).unwrap();
+        let mut rng = SeededRng::from_seed(3);
+        let mut p = TrajectoryProtector::new(PlanarLaplace::new(0.5), 0.5, 10.0, 0.5).unwrap();
         let trace = vec![
             Point::new(10.0, 10.0),
             Point::new(10.1, 10.0), // within radius: reuse
@@ -255,9 +257,8 @@ mod tests {
         // ratio between two traces differing in every position is bounded by
         // sum(eps_i * d_i). We verify the *accounting* side: spent budget
         // equals releases * per-report eps.
-        let mut rng = StdRng::seed_from_u64(4);
-        let mut p =
-            TrajectoryProtector::new(PlanarLaplace::new(0.3), 0.3, 1.0, 0.0).unwrap();
+        let mut rng = SeededRng::from_seed(4);
+        let mut p = TrajectoryProtector::new(PlanarLaplace::new(0.3), 0.3, 1.0, 0.0).unwrap();
         let _ = p.protect_trace(&walk(3, 2.0), &mut rng);
         assert!((p.ledger().spent() - 0.9).abs() < 1e-12);
         assert_eq!(p.releases(), 3);

@@ -1,120 +1,170 @@
-//! Property tests for the mechanism layer.
+//! Property tests for the mechanism layer (on the deterministic
+//! `geoind-testkit` harness; failures print a per-case seed).
 
 use geoind_core::alloc::{AllocationStrategy, BudgetAllocator};
 use geoind_core::channel::Channel;
 use geoind_core::metrics::QualityMetric;
 use geoind_core::opt::OptimalMechanism;
+use geoind_rng::{Rng, SeededRng};
 use geoind_spatial::geom::Point;
-use proptest::prelude::*;
+use geoind_testkit::gens::{f64_range, u32_range, Gen};
+use geoind_testkit::{check, ensure, ensure_eq, Config};
 
 /// Random row-stochastic channel over `n` collinear points.
-fn random_channel(n: usize) -> impl Strategy<Value = Channel> {
-    prop::collection::vec(prop::collection::vec(0.01..1.0f64, n), n).prop_map(move |rows| {
+struct RandomChannel(usize);
+
+impl Gen for RandomChannel {
+    type Value = Channel;
+    fn generate(&self, rng: &mut SeededRng) -> Channel {
+        let n = self.0;
         let pts: Vec<Point> = (0..n).map(|i| Point::new(i as f64, 0.0)).collect();
         let mut probs = Vec::with_capacity(n * n);
-        for row in rows {
+        for _ in 0..n {
+            let row: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..1.0)).collect();
             let s: f64 = row.iter().sum();
             probs.extend(row.into_iter().map(|v| v / s));
         }
         Channel::new(pts.clone(), pts, probs)
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Budget allocation conserves the total and keeps all levels alive,
-    /// for every strategy and random parameters.
-    #[test]
-    fn allocation_conserves_budget(
-        eps in 0.05..3.0f64,
-        g in 2u32..7,
-        rho in 0.3..0.95f64,
-        h in 1u32..4,
-    ) {
-        let alloc = BudgetAllocator::new(20.0, g, rho);
-        for strategy in [
-            AllocationStrategy::Auto { max_height: 5 },
-            AllocationStrategy::FixedHeight(h),
-            AllocationStrategy::Uniform(h),
-        ] {
-            let lb = alloc.allocate(eps, strategy);
-            prop_assert!((lb.total() - eps).abs() < 1e-9, "{strategy:?} leaked budget");
-            prop_assert!(lb.budgets().iter().all(|&b| b > 0.0), "{strategy:?} starved a level");
-            if let AllocationStrategy::FixedHeight(hh) | AllocationStrategy::Uniform(hh) = strategy {
-                prop_assert_eq!(lb.height(), hh);
+/// Budget allocation conserves the total and keeps all levels alive,
+/// for every strategy and random parameters.
+#[test]
+fn allocation_conserves_budget() {
+    check(
+        "allocation_conserves_budget",
+        Config::cases(64),
+        &(
+            f64_range(0.05, 3.0),
+            u32_range(2, 7),
+            f64_range(0.3, 0.95),
+            u32_range(1, 4),
+        ),
+        |&(eps, g, rho, h)| {
+            let alloc = BudgetAllocator::new(20.0, g, rho);
+            for strategy in [
+                AllocationStrategy::Auto { max_height: 5 },
+                AllocationStrategy::FixedHeight(h),
+                AllocationStrategy::Uniform(h),
+            ] {
+                let lb = alloc.allocate(eps, strategy);
+                ensure!(
+                    (lb.total() - eps).abs() < 1e-9,
+                    "{strategy:?} leaked budget"
+                );
+                ensure!(
+                    lb.budgets().iter().all(|&b| b > 0.0),
+                    "{strategy:?} starved a level"
+                );
+                if let AllocationStrategy::FixedHeight(hh) | AllocationStrategy::Uniform(hh) =
+                    strategy
+                {
+                    ensure_eq!(lb.height(), hh);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// geoind_repair output always satisfies the constraints it repairs,
-    /// and is (numerically) idempotent.
-    #[test]
-    fn repair_establishes_geoind_and_is_idempotent(
-        channel in random_channel(4),
-        eps in 0.2..2.0f64,
-    ) {
-        let fixed = channel.geoind_repair(eps);
-        prop_assert!(fixed.geoind_violation(eps) <= 1e-9,
-            "violation {}", fixed.geoind_violation(eps));
-        let twice = fixed.geoind_repair(eps);
-        for x in 0..fixed.num_inputs() {
-            for z in 0..fixed.num_outputs() {
-                prop_assert!((fixed.prob(x, z) - twice.prob(x, z)).abs() < 1e-9);
+/// geoind_repair output always satisfies the constraints it repairs,
+/// and is (numerically) idempotent.
+#[test]
+fn repair_establishes_geoind_and_is_idempotent() {
+    check(
+        "repair_establishes_geoind_and_is_idempotent",
+        Config::cases(64),
+        &(RandomChannel(4), f64_range(0.2, 2.0)),
+        |(channel, eps)| {
+            let eps = *eps;
+            let fixed = channel.geoind_repair(eps);
+            ensure!(
+                fixed.geoind_violation(eps) <= 1e-9,
+                "violation {}",
+                fixed.geoind_violation(eps)
+            );
+            let twice = fixed.geoind_repair(eps);
+            for x in 0..fixed.num_inputs() {
+                for z in 0..fixed.num_outputs() {
+                    ensure!((fixed.prob(x, z) - twice.prob(x, z)).abs() < 1e-9);
+                }
             }
-        }
-        // Rows stay stochastic.
-        for x in 0..fixed.num_inputs() {
-            prop_assert!((fixed.row(x).iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        }
-    }
-
-    /// Channel composition is associative and row-stochastic.
-    #[test]
-    fn composition_is_associative(
-        a in random_channel(3),
-        b in random_channel(3),
-        c in random_channel(3),
-    ) {
-        let left = a.then(&b).then(&c);
-        let right = a.then(&b.then(&c));
-        for x in 0..3 {
-            for z in 0..3 {
-                prop_assert!((left.prob(x, z) - right.prob(x, z)).abs() < 1e-12);
+            // Rows stay stochastic.
+            for x in 0..fixed.num_inputs() {
+                ensure!((fixed.row(x).iter().sum::<f64>() - 1.0).abs() < 1e-9);
             }
-            prop_assert!((left.row(x).iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Post-processing preserves GeoInd for arbitrary second stages
-    /// (data-processing inequality, randomized check).
-    #[test]
-    fn post_processing_preserves_geoind(
-        post in random_channel(3),
-        eps in 0.3..1.5f64,
-    ) {
-        let pts: Vec<Point> = (0..3).map(|i| Point::new(i as f64, 0.0)).collect();
-        let opt = OptimalMechanism::solve(
-            eps,
-            &pts,
-            &[0.2, 0.5, 0.3],
-            QualityMetric::Euclidean,
-        ).unwrap();
-        let composed = opt.channel().then(&post);
-        prop_assert!(composed.geoind_violation(eps) <= 1e-7,
-            "DPI violated: {}", composed.geoind_violation(eps));
-    }
+/// Channel composition is associative and row-stochastic.
+#[test]
+fn composition_is_associative() {
+    check(
+        "composition_is_associative",
+        Config::cases(64),
+        &(RandomChannel(3), RandomChannel(3), RandomChannel(3)),
+        |(a, b, c)| {
+            let left = a.then(b).then(c);
+            let right = a.then(&b.then(c));
+            for x in 0..3 {
+                for z in 0..3 {
+                    ensure!((left.prob(x, z) - right.prob(x, z)).abs() < 1e-12);
+                }
+                ensure!((left.row(x).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// OPT two-point closed form holds for arbitrary budgets and spacings:
-    /// with a uniform prior the optimal flip probability is 1/(1 + e^{εd}).
-    #[test]
-    fn opt_two_point_closed_form(eps in 0.2..2.0f64, d in 0.5..8.0f64) {
-        let pts = vec![Point::new(0.0, 0.0), Point::new(d, 0.0)];
-        let opt = OptimalMechanism::solve(eps, &pts, &[0.5, 0.5], QualityMetric::Euclidean)
-            .unwrap();
-        let expect = 1.0 / (1.0 + (eps * d).exp());
-        prop_assert!((opt.channel().prob(0, 1) - expect).abs() < 1e-6,
-            "flip {} vs closed form {expect}", opt.channel().prob(0, 1));
-        prop_assert!((opt.channel().prob(1, 0) - expect).abs() < 1e-6);
-    }
+/// Post-processing preserves GeoInd for arbitrary second stages
+/// (data-processing inequality, randomized check).
+#[test]
+fn post_processing_preserves_geoind() {
+    check(
+        "post_processing_preserves_geoind",
+        Config::cases(64),
+        &(RandomChannel(3), f64_range(0.3, 1.5)),
+        |(post, eps)| {
+            let eps = *eps;
+            let pts: Vec<Point> = (0..3).map(|i| Point::new(i as f64, 0.0)).collect();
+            let opt =
+                OptimalMechanism::solve(eps, &pts, &[0.2, 0.5, 0.3], QualityMetric::Euclidean)
+                    .unwrap();
+            let composed = opt.channel().then(post);
+            ensure!(
+                composed.geoind_violation(eps) <= 1e-7,
+                "DPI violated: {}",
+                composed.geoind_violation(eps)
+            );
+            Ok(())
+        },
+    );
+}
+
+/// OPT two-point closed form holds for arbitrary budgets and spacings:
+/// with a uniform prior the optimal flip probability is 1/(1 + e^{εd}).
+#[test]
+fn opt_two_point_closed_form() {
+    check(
+        "opt_two_point_closed_form",
+        Config::cases(64),
+        &(f64_range(0.2, 2.0), f64_range(0.5, 8.0)),
+        |&(eps, d)| {
+            let pts = vec![Point::new(0.0, 0.0), Point::new(d, 0.0)];
+            let opt =
+                OptimalMechanism::solve(eps, &pts, &[0.5, 0.5], QualityMetric::Euclidean).unwrap();
+            let expect = 1.0 / (1.0 + (eps * d).exp());
+            ensure!(
+                (opt.channel().prob(0, 1) - expect).abs() < 1e-6,
+                "flip {} vs closed form {expect}",
+                opt.channel().prob(0, 1)
+            );
+            ensure!((opt.channel().prob(1, 0) - expect).abs() < 1e-6);
+            Ok(())
+        },
+    );
 }

@@ -22,9 +22,15 @@ pub struct Dataset {
 impl Dataset {
     /// Build a dataset, dropping check-ins that fall outside `domain`.
     pub fn new(name: impl Into<String>, domain: BBox, checkins: Vec<CheckIn>) -> Self {
-        let checkins: Vec<CheckIn> =
-            checkins.into_iter().filter(|c| domain.contains(c.location)).collect();
-        Self { name: name.into(), domain, checkins }
+        let checkins: Vec<CheckIn> = checkins
+            .into_iter()
+            .filter(|c| domain.contains(c.location))
+            .collect();
+        Self {
+            name: name.into(),
+            domain,
+            checkins,
+        }
     }
 
     /// Human-readable dataset name.
@@ -76,9 +82,18 @@ mod tests {
             "t",
             BBox::square(10.0),
             vec![
-                CheckIn { user: 1, location: Point::new(5.0, 5.0) },
-                CheckIn { user: 2, location: Point::new(15.0, 5.0) },
-                CheckIn { user: 1, location: Point::new(-1.0, 0.0) },
+                CheckIn {
+                    user: 1,
+                    location: Point::new(5.0, 5.0),
+                },
+                CheckIn {
+                    user: 2,
+                    location: Point::new(15.0, 5.0),
+                },
+                CheckIn {
+                    user: 1,
+                    location: Point::new(-1.0, 0.0),
+                },
             ],
         );
         assert_eq!(d.len(), 1);
@@ -87,7 +102,10 @@ mod tests {
 
     #[test]
     fn user_counting() {
-        let mk = |u, x| CheckIn { user: u, location: Point::new(x, 1.0) };
+        let mk = |u, x| CheckIn {
+            user: u,
+            location: Point::new(x, 1.0),
+        };
         let d = Dataset::new(
             "t",
             BBox::square(10.0),

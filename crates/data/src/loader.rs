@@ -30,12 +30,20 @@ pub struct GeoBounds {
 }
 
 /// The paper's Gowalla window: Austin, TX (20×20 km).
-pub const AUSTIN: GeoBounds =
-    GeoBounds { min_lat: 30.1927, max_lat: 30.3723, min_lon: -97.8698, max_lon: -97.6618 };
+pub const AUSTIN: GeoBounds = GeoBounds {
+    min_lat: 30.1927,
+    max_lat: 30.3723,
+    min_lon: -97.8698,
+    max_lon: -97.6618,
+};
 
 /// The paper's Yelp window: Las Vegas, NV (20×20 km).
-pub const LAS_VEGAS: GeoBounds =
-    GeoBounds { min_lat: 36.0645, max_lat: 36.2442, min_lon: -115.291, max_lon: -115.069 };
+pub const LAS_VEGAS: GeoBounds = GeoBounds {
+    min_lat: 36.0645,
+    max_lat: 36.2442,
+    min_lon: -115.291,
+    max_lon: -115.069,
+};
 
 impl GeoBounds {
     /// True if a coordinate lies inside the window.
@@ -45,7 +53,10 @@ impl GeoBounds {
 
     /// Projection anchored at the window center.
     pub fn projection(&self) -> Projection {
-        Projection::new(0.5 * (self.min_lat + self.max_lat), 0.5 * (self.min_lon + self.max_lon))
+        Projection::new(
+            0.5 * (self.min_lat + self.max_lat),
+            0.5 * (self.min_lon + self.max_lon),
+        )
     }
 
     /// The square km-plane domain for this window (south-west corner at the
@@ -117,7 +128,10 @@ pub fn load_gowalla(path: impl AsRef<Path>, bounds: GeoBounds) -> Result<Dataset
             .parse()
             .map_err(|e| LoadError::Parse(lineno + 1, format!("longitude: {e}")))?;
         if bounds.contains(lat, lon) {
-            checkins.push(CheckIn { user, location: bounds.to_plane(lat, lon) });
+            checkins.push(CheckIn {
+                user,
+                location: bounds.to_plane(lat, lon),
+            });
         }
     }
     Ok(Dataset::new("gowalla", bounds.domain(), checkins))
@@ -152,7 +166,10 @@ pub fn load_checkin_csv(
             .parse()
             .map_err(|e| LoadError::Parse(lineno + 1, format!("longitude: {e}")))?;
         if bounds.contains(lat, lon) {
-            checkins.push(CheckIn { user, location: bounds.to_plane(lat, lon) });
+            checkins.push(CheckIn {
+                user,
+                location: bounds.to_plane(lat, lon),
+            });
         }
     }
     Ok(Dataset::new(name, bounds.domain(), checkins))
@@ -163,7 +180,9 @@ fn next_field<'a>(
     lineno: usize,
     what: &str,
 ) -> Result<&'a str, LoadError> {
-    fields.next().ok_or_else(|| LoadError::Parse(lineno + 1, format!("missing field: {what}")))
+    fields
+        .next()
+        .ok_or_else(|| LoadError::Parse(lineno + 1, format!("missing field: {what}")))
 }
 
 #[cfg(test)]

@@ -41,7 +41,10 @@ impl GridPrior {
     pub fn uniform(domain: BBox, g: u32) -> Self {
         let grid = Grid::new(domain, g);
         let n = grid.num_cells();
-        Self { probs: vec![1.0 / n as f64; n], grid }
+        Self {
+            probs: vec![1.0 / n as f64; n],
+            grid,
+        }
     }
 
     /// Normalize non-negative weights into a prior. All-zero weights fall
@@ -50,7 +53,11 @@ impl GridPrior {
     /// # Panics
     /// Panics on negative/non-finite weights or a length mismatch.
     pub fn from_weights(grid: Grid, weights: Vec<f64>) -> Self {
-        assert_eq!(weights.len(), grid.num_cells(), "weight/cell count mismatch");
+        assert_eq!(
+            weights.len(),
+            grid.num_cells(),
+            "weight/cell count mismatch"
+        );
         let total: f64 = weights
             .iter()
             .map(|&w| {
@@ -135,7 +142,10 @@ mod tests {
             points
                 .iter()
                 .enumerate()
-                .map(|(i, &(x, y))| CheckIn { user: i as u64, location: Point::new(x, y) })
+                .map(|(i, &(x, y))| CheckIn {
+                    user: i as u64,
+                    location: Point::new(x, y),
+                })
                 .collect(),
         )
     }

@@ -12,9 +12,8 @@
 //! Generators are fully deterministic given their seed.
 
 use crate::checkin::{CheckIn, Dataset};
+use geoind_rng::{Rng, SeededRng};
 use geoind_spatial::geom::{BBox, Point};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One Gaussian POI cluster.
 #[derive(Debug, Clone, Copy)]
@@ -52,7 +51,10 @@ impl SyntheticCity {
         background: f64,
     ) -> Self {
         assert!(!clusters.is_empty(), "need at least one cluster");
-        assert!((0.0..=1.0).contains(&background), "background must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&background),
+            "background must be in [0,1]"
+        );
         Self {
             name: name.into(),
             domain,
@@ -73,14 +75,46 @@ impl SyntheticCity {
             "gowalla-austin-synthetic",
             BBox::square(20.0),
             vec![
-                ClusterSpec { center: Point::new(9.5, 9.0), sigma: 0.9, weight: 0.34 },
-                ClusterSpec { center: Point::new(9.8, 11.2), sigma: 0.7, weight: 0.18 },
-                ClusterSpec { center: Point::new(12.5, 13.0), sigma: 1.3, weight: 0.12 },
-                ClusterSpec { center: Point::new(6.0, 6.5), sigma: 1.5, weight: 0.10 },
-                ClusterSpec { center: Point::new(14.5, 7.0), sigma: 1.2, weight: 0.08 },
-                ClusterSpec { center: Point::new(4.5, 13.5), sigma: 1.6, weight: 0.07 },
-                ClusterSpec { center: Point::new(16.5, 15.5), sigma: 1.4, weight: 0.06 },
-                ClusterSpec { center: Point::new(10.5, 4.0), sigma: 1.4, weight: 0.05 },
+                ClusterSpec {
+                    center: Point::new(9.5, 9.0),
+                    sigma: 0.9,
+                    weight: 0.34,
+                },
+                ClusterSpec {
+                    center: Point::new(9.8, 11.2),
+                    sigma: 0.7,
+                    weight: 0.18,
+                },
+                ClusterSpec {
+                    center: Point::new(12.5, 13.0),
+                    sigma: 1.3,
+                    weight: 0.12,
+                },
+                ClusterSpec {
+                    center: Point::new(6.0, 6.5),
+                    sigma: 1.5,
+                    weight: 0.10,
+                },
+                ClusterSpec {
+                    center: Point::new(14.5, 7.0),
+                    sigma: 1.2,
+                    weight: 0.08,
+                },
+                ClusterSpec {
+                    center: Point::new(4.5, 13.5),
+                    sigma: 1.6,
+                    weight: 0.07,
+                },
+                ClusterSpec {
+                    center: Point::new(16.5, 15.5),
+                    sigma: 1.4,
+                    weight: 0.06,
+                },
+                ClusterSpec {
+                    center: Point::new(10.5, 4.0),
+                    sigma: 1.4,
+                    weight: 0.05,
+                },
             ],
             0.08,
         );
@@ -98,12 +132,36 @@ impl SyntheticCity {
             "yelp-vegas-synthetic",
             BBox::square(20.0),
             vec![
-                ClusterSpec { center: Point::new(10.2, 7.5), sigma: 0.5, weight: 0.30 },
-                ClusterSpec { center: Point::new(10.5, 9.2), sigma: 0.5, weight: 0.22 },
-                ClusterSpec { center: Point::new(10.8, 11.0), sigma: 0.6, weight: 0.16 },
-                ClusterSpec { center: Point::new(11.5, 14.0), sigma: 0.9, weight: 0.12 },
-                ClusterSpec { center: Point::new(6.5, 10.5), sigma: 1.6, weight: 0.07 },
-                ClusterSpec { center: Point::new(15.0, 6.0), sigma: 1.7, weight: 0.06 },
+                ClusterSpec {
+                    center: Point::new(10.2, 7.5),
+                    sigma: 0.5,
+                    weight: 0.30,
+                },
+                ClusterSpec {
+                    center: Point::new(10.5, 9.2),
+                    sigma: 0.5,
+                    weight: 0.22,
+                },
+                ClusterSpec {
+                    center: Point::new(10.8, 11.0),
+                    sigma: 0.6,
+                    weight: 0.16,
+                },
+                ClusterSpec {
+                    center: Point::new(11.5, 14.0),
+                    sigma: 0.9,
+                    weight: 0.12,
+                },
+                ClusterSpec {
+                    center: Point::new(6.5, 10.5),
+                    sigma: 1.6,
+                    weight: 0.07,
+                },
+                ClusterSpec {
+                    center: Point::new(15.0, 6.0),
+                    sigma: 1.7,
+                    weight: 0.06,
+                },
             ],
             0.07,
         );
@@ -140,7 +198,7 @@ impl SyntheticCity {
     /// Panics if `num_users == 0` or `num_checkins == 0`.
     pub fn generate_with_size(&self, num_checkins: usize, num_users: usize) -> Dataset {
         assert!(num_checkins > 0 && num_users > 0);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeededRng::from_seed(self.seed);
 
         // Heavy-tailed per-user activity: weight_u ∝ U^(-1/a) (Pareto-ish,
         // a = 1.5), normalized to the requested check-in count.
@@ -154,8 +212,9 @@ impl SyntheticCity {
 
         // Each user favors a home cluster but roams: 70% home, 30% global.
         let cluster_weights: Vec<f64> = self.clusters.iter().map(|c| c.weight).collect();
-        let home: Vec<usize> =
-            (0..num_users).map(|_| sample_weighted(&cluster_weights, &mut rng)).collect();
+        let home: Vec<usize> = (0..num_users)
+            .map(|_| sample_weighted(&cluster_weights, &mut rng))
+            .collect();
 
         let mut checkins = Vec::with_capacity(num_checkins);
         let mut assigned = 0usize;
@@ -166,20 +225,23 @@ impl SyntheticCity {
             let share = rounded.min(num_checkins - assigned);
             assigned += share;
             for _ in 0..share {
-                let location = if rng.gen::<f64>() < self.background {
+                let location = if rng.gen_f64() < self.background {
                     Point::new(
                         rng.gen_range(self.domain.min.x..self.domain.max.x),
                         rng.gen_range(self.domain.min.y..self.domain.max.y),
                     )
                 } else {
-                    let ci = if rng.gen::<f64>() < 0.7 {
+                    let ci = if rng.gen_f64() < 0.7 {
                         home[u]
                     } else {
                         sample_weighted(&cluster_weights, &mut rng)
                     };
                     self.sample_cluster(&self.clusters[ci], &mut rng)
                 };
-                checkins.push(CheckIn { user: u as u64, location });
+                checkins.push(CheckIn {
+                    user: u as u64,
+                    location,
+                });
             }
             if assigned >= num_checkins {
                 break;
@@ -188,7 +250,7 @@ impl SyntheticCity {
         // Rounding shortfall: attribute the remainder to random users.
         while checkins.len() < num_checkins {
             let u = rng.gen_range(0..num_users);
-            let location = if rng.gen::<f64>() < self.background {
+            let location = if rng.gen_f64() < self.background {
                 Point::new(
                     rng.gen_range(self.domain.min.x..self.domain.max.x),
                     rng.gen_range(self.domain.min.y..self.domain.max.y),
@@ -197,13 +259,16 @@ impl SyntheticCity {
                 let ci = sample_weighted(&cluster_weights, &mut rng);
                 self.sample_cluster(&self.clusters[ci], &mut rng)
             };
-            checkins.push(CheckIn { user: u as u64, location });
+            checkins.push(CheckIn {
+                user: u as u64,
+                location,
+            });
         }
         Dataset::new(self.name.clone(), self.domain, checkins)
     }
 
     /// Draw one point from a cluster, rejected back into the domain.
-    fn sample_cluster(&self, c: &ClusterSpec, rng: &mut StdRng) -> Point {
+    fn sample_cluster(&self, c: &ClusterSpec, rng: &mut SeededRng) -> Point {
         for _ in 0..32 {
             let (gx, gy) = gaussian_pair(rng);
             let p = Point::new(c.center.x + c.sigma * gx, c.center.y + c.sigma * gy);
@@ -221,18 +286,18 @@ impl SyntheticCity {
 }
 
 /// Standard-normal pair via Box–Muller.
-fn gaussian_pair(rng: &mut StdRng) -> (f64, f64) {
+fn gaussian_pair(rng: &mut SeededRng) -> (f64, f64) {
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen::<f64>();
+    let u2: f64 = rng.gen_f64();
     let r = (-2.0 * u1.ln()).sqrt();
     let t = 2.0 * std::f64::consts::PI * u2;
     (r * t.cos(), r * t.sin())
 }
 
 /// Draw an index proportional to `weights`.
-fn sample_weighted(weights: &[f64], rng: &mut StdRng) -> usize {
+fn sample_weighted(weights: &[f64], rng: &mut SeededRng) -> usize {
     let total: f64 = weights.iter().sum();
-    let mut t = rng.gen::<f64>() * total;
+    let mut t = rng.gen_f64() * total;
     for (i, &w) in weights.iter().enumerate() {
         t -= w;
         if t <= 0.0 {
@@ -260,7 +325,9 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = SyntheticCity::austin_like().generate_with_size(500, 50);
-        let b = SyntheticCity::austin_like().with_seed(99).generate_with_size(500, 50);
+        let b = SyntheticCity::austin_like()
+            .with_seed(99)
+            .generate_with_size(500, 50);
         let same = a
             .checkins()
             .iter()

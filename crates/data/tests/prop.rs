@@ -1,88 +1,126 @@
-//! Property tests for datasets and priors.
+//! Property tests for datasets and priors (on the deterministic
+//! `geoind-testkit` harness; failures print a per-case seed).
 
 use geoind_data::checkin::{CheckIn, Dataset};
 use geoind_data::prior::GridPrior;
 use geoind_data::synth::{ClusterSpec, SyntheticCity};
 use geoind_spatial::geom::{BBox, Point};
-use proptest::prelude::*;
+use geoind_testkit::gens::{f64_range, u32_range, u64_any, usize_range, vec_of};
+use geoind_testkit::{check, ensure, ensure_eq, Config};
 
-proptest! {
-    /// Priors from arbitrary point sets are probability distributions, and
-    /// aggregation preserves total mass at every coarser granularity.
-    #[test]
-    fn prior_is_distribution_and_aggregates(
-        pts in prop::collection::vec((0.0..20.0f64, 0.0..20.0f64), 0..300),
-        g in 1u32..24,
-        coarse in 1u32..8,
-    ) {
-        let domain = BBox::square(20.0);
-        let prior =
-            GridPrior::from_points(domain, g, pts.iter().map(|&(x, y)| Point::new(x, y)));
-        let sum: f64 = prior.probs().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
-        prop_assert!(prior.probs().iter().all(|&p| p >= 0.0));
-        let agg = prior.aggregate_to(coarse);
-        prop_assert!((agg.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        // Whole-domain mass query is exact.
-        prop_assert!((prior.mass_in(domain) - 1.0).abs() < 1e-9);
-    }
+/// Priors from arbitrary point sets are probability distributions, and
+/// aggregation preserves total mass at every coarser granularity.
+#[test]
+fn prior_is_distribution_and_aggregates() {
+    check(
+        "prior_is_distribution_and_aggregates",
+        Config::cases(128),
+        &(
+            vec_of((f64_range(0.0, 20.0), f64_range(0.0, 20.0)), 0, 300),
+            u32_range(1, 24),
+            u32_range(1, 8),
+        ),
+        |&(ref pts, g, coarse)| {
+            let domain = BBox::square(20.0);
+            let prior =
+                GridPrior::from_points(domain, g, pts.iter().map(|&(x, y)| Point::new(x, y)));
+            let sum: f64 = prior.probs().iter().sum();
+            ensure!((sum - 1.0).abs() < 1e-9);
+            ensure!(prior.probs().iter().all(|&p| p >= 0.0));
+            let agg = prior.aggregate_to(coarse);
+            ensure!((agg.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            // Whole-domain mass query is exact.
+            ensure!((prior.mass_in(domain) - 1.0).abs() < 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// Quadrant masses partition the total for any point set.
-    #[test]
-    fn quadrant_masses_partition(
-        pts in prop::collection::vec((0.0..16.0f64, 0.0..16.0f64), 1..200),
-    ) {
-        let domain = BBox::square(16.0);
-        let prior =
-            GridPrior::from_points(domain, 16, pts.iter().map(|&(x, y)| Point::new(x, y)));
-        let q = |x0: f64, y0: f64| {
-            BBox::new(Point::new(x0, y0), Point::new(x0 + 8.0, y0 + 8.0))
-        };
-        let total: f64 = prior
-            .masses(&[q(0.0, 0.0), q(8.0, 0.0), q(0.0, 8.0), q(8.0, 8.0)])
-            .iter()
-            .sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-    }
+/// Quadrant masses partition the total for any point set.
+#[test]
+fn quadrant_masses_partition() {
+    check(
+        "quadrant_masses_partition",
+        Config::cases(128),
+        &vec_of((f64_range(0.0, 16.0), f64_range(0.0, 16.0)), 1, 200),
+        |pts: &Vec<(f64, f64)>| {
+            let domain = BBox::square(16.0);
+            let prior =
+                GridPrior::from_points(domain, 16, pts.iter().map(|&(x, y)| Point::new(x, y)));
+            let q =
+                |x0: f64, y0: f64| BBox::new(Point::new(x0, y0), Point::new(x0 + 8.0, y0 + 8.0));
+            let total: f64 = prior
+                .masses(&[q(0.0, 0.0), q(8.0, 0.0), q(0.0, 8.0), q(8.0, 8.0)])
+                .iter()
+                .sum();
+            ensure!((total - 1.0).abs() < 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// Synthetic cities respect their requested size and domain for any
-    /// cluster layout.
-    #[test]
-    fn synthetic_city_respects_contract(
-        cx in 2.0..18.0f64,
-        cy in 2.0..18.0f64,
-        sigma in 0.2..3.0f64,
-        background in 0.0..0.5f64,
-        n in 50usize..1500,
-        users in 5usize..100,
-        seed in any::<u64>(),
-    ) {
-        let city = SyntheticCity::custom(
-            "prop",
-            BBox::square(20.0),
-            vec![ClusterSpec { center: Point::new(cx, cy), sigma, weight: 1.0 }],
-            background,
-        )
-        .with_seed(seed);
-        let ds = city.generate_with_size(n, users);
-        prop_assert_eq!(ds.len(), n);
-        for c in ds.checkins() {
-            prop_assert!(ds.domain().contains(c.location));
-            prop_assert!((c.user as usize) < users);
-        }
-    }
+/// Synthetic cities respect their requested size and domain for any
+/// cluster layout.
+#[test]
+fn synthetic_city_respects_contract() {
+    check(
+        "synthetic_city_respects_contract",
+        Config::cases(64),
+        &(
+            (f64_range(2.0, 18.0), f64_range(2.0, 18.0)),
+            f64_range(0.2, 3.0),
+            f64_range(0.0, 0.5),
+            usize_range(50, 1500),
+            usize_range(5, 100),
+            u64_any(),
+        ),
+        |&((cx, cy), sigma, background, n, users, seed)| {
+            let city = SyntheticCity::custom(
+                "prop",
+                BBox::square(20.0),
+                vec![ClusterSpec {
+                    center: Point::new(cx, cy),
+                    sigma,
+                    weight: 1.0,
+                }],
+                background,
+            )
+            .with_seed(seed);
+            let ds = city.generate_with_size(n, users);
+            ensure_eq!(ds.len(), n);
+            for c in ds.checkins() {
+                ensure!(ds.domain().contains(c.location));
+                ensure!((c.user as usize) < users);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Dataset construction filters exactly the out-of-domain check-ins.
-    #[test]
-    fn dataset_filtering(pts in prop::collection::vec((-5.0..25.0f64, -5.0..25.0f64), 0..200)) {
-        let domain = BBox::square(20.0);
-        let checkins: Vec<CheckIn> = pts
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| CheckIn { user: i as u64, location: Point::new(x, y) })
-            .collect();
-        let expected = checkins.iter().filter(|c| domain.contains(c.location)).count();
-        let ds = Dataset::new("prop", domain, checkins);
-        prop_assert_eq!(ds.len(), expected);
-    }
+/// Dataset construction filters exactly the out-of-domain check-ins.
+#[test]
+fn dataset_filtering() {
+    check(
+        "dataset_filtering",
+        Config::cases(128),
+        &vec_of((f64_range(-5.0, 25.0), f64_range(-5.0, 25.0)), 0, 200),
+        |pts: &Vec<(f64, f64)>| {
+            let domain = BBox::square(20.0);
+            let checkins: Vec<CheckIn> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| CheckIn {
+                    user: i as u64,
+                    location: Point::new(x, y),
+                })
+                .collect();
+            let expected = checkins
+                .iter()
+                .filter(|c| domain.contains(c.location))
+                .count();
+            let ds = Dataset::new("prop", domain, checkins);
+            ensure_eq!(ds.len(), expected);
+            Ok(())
+        },
+    );
 }

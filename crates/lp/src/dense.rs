@@ -16,7 +16,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// All-zero matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        Self {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// Identity matrix.
@@ -227,11 +231,10 @@ impl LuFactors {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use geoind_rng::{Rng, SeededRng};
 
     fn random_matrix(n: usize, seed: u64) -> DenseMatrix {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeededRng::from_seed(seed);
         let mut m = DenseMatrix::zeros(n, n);
         for j in 0..n {
             for i in 0..n {
@@ -258,7 +261,7 @@ mod tests {
             let n = 1 + (seed as usize % 12) * 3;
             let a = random_matrix(n, seed);
             let lu = LuFactors::factor(&a).unwrap();
-            let mut rng = StdRng::seed_from_u64(seed + 100);
+            let mut rng = SeededRng::from_seed(seed + 100);
             let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
             let b = a.mul_vec(&x_true);
             let x = lu.solve(&b);
@@ -274,7 +277,7 @@ mod tests {
             let n = 2 + (seed as usize % 7) * 5;
             let a = random_matrix(n, seed);
             let lu = LuFactors::factor(&a).unwrap();
-            let mut rng = StdRng::seed_from_u64(seed + 200);
+            let mut rng = SeededRng::from_seed(seed + 200);
             let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
             let b = a.mul_vec_transpose(&x_true);
             let x = lu.solve_transpose(&b);
@@ -314,7 +317,12 @@ mod tests {
         let y: Vec<f64> = (0..8).map(|i| (8 - i) as f64).collect();
         // y' (A x) == (A' y)' x
         let lhs: f64 = a.mul_vec(&x).iter().zip(&y).map(|(u, v)| u * v).sum();
-        let rhs: f64 = a.mul_vec_transpose(&y).iter().zip(&x).map(|(u, v)| u * v).sum();
+        let rhs: f64 = a
+            .mul_vec_transpose(&y)
+            .iter()
+            .zip(&x)
+            .map(|(u, v)| u * v)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-9);
     }
 }

@@ -40,7 +40,11 @@ pub struct Dualized {
 /// # Panics
 /// Panics if the model is a maximization (callers negate first).
 pub fn dualize_min(primal: &Model) -> Dualized {
-    assert_eq!(primal.sense(), Sense::Minimize, "dualize_min expects a minimization");
+    assert_eq!(
+        primal.sense(),
+        Sense::Minimize,
+        "dualize_min expects a minimization"
+    );
     let mut dual = Model::new(Sense::Maximize);
     let mut row_var_signs = Vec::with_capacity(primal.num_rows());
     // One dual variable per primal row; objective coefficient = rhs.
@@ -70,7 +74,10 @@ pub fn dualize_min(primal: &Model) -> Dualized {
         };
         dual.add_row(entries, op, primal.obj[j]);
     }
-    Dualized { model: dual, row_var_signs }
+    Dualized {
+        model: dual,
+        row_var_signs,
+    }
 }
 
 /// Solve `primal` by dualizing, running the simplex on the dual, and mapping

@@ -89,7 +89,12 @@ pub struct Solution {
 impl Model {
     /// Start an empty model.
     pub fn new(sense: Sense) -> Self {
-        Self { sense, obj: Vec::new(), domains: Vec::new(), rows: Vec::new() }
+        Self {
+            sense,
+            obj: Vec::new(),
+            domains: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Add a non-negative variable with the given objective coefficient;
@@ -115,7 +120,11 @@ impl Model {
         for &(v, _) in entries {
             assert!(v < self.obj.len(), "row references unknown variable {v}");
         }
-        self.rows.push(Row { entries: entries.to_vec(), op, rhs });
+        self.rows.push(Row {
+            entries: entries.to_vec(),
+            op,
+            rhs,
+        });
     }
 
     /// Number of variables.
@@ -145,7 +154,10 @@ impl Model {
 
     /// Clone the rows in presolve-friendly form.
     pub(crate) fn rows_for_presolve(&self) -> Vec<RowTuple> {
-        self.rows.iter().map(|r| (r.entries.clone(), r.op, r.rhs)).collect()
+        self.rows
+            .iter()
+            .map(|r| (r.entries.clone(), r.op, r.rhs))
+            .collect()
     }
 
     /// Clone the rows for MPS serialization (same shape as presolve's view).
@@ -198,7 +210,11 @@ impl Model {
                 (p, Some(n)) => res.x[p] - res.x[n],
             };
         }
-        let sense_sign = if self.sense == Sense::Maximize { -1.0 } else { 1.0 };
+        let sense_sign = if self.sense == Sense::Maximize {
+            -1.0
+        } else {
+            1.0
+        };
         let objective = sense_sign * res.objective;
         let duals: Vec<f64> = map
             .row_signs
@@ -218,10 +234,17 @@ impl Model {
     /// Convert to computational standard form (min, `Ax = b`, `b ≥ 0`).
     pub(crate) fn to_standard(&self) -> (StandardLp, StandardMap) {
         let nrows = self.rows.len();
-        let sense_sign = if self.sense == Sense::Maximize { -1.0 } else { 1.0 };
+        let sense_sign = if self.sense == Sense::Maximize {
+            -1.0
+        } else {
+            1.0
+        };
         // Row flip signs so b >= 0.
-        let row_signs: Vec<f64> =
-            self.rows.iter().map(|r| if r.rhs < 0.0 { -1.0 } else { 1.0 }).collect();
+        let row_signs: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|r| if r.rhs < 0.0 { -1.0 } else { 1.0 })
+            .collect();
 
         // Per-variable row lists.
         let mut var_entries: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.num_vars()];
@@ -259,9 +282,23 @@ impl Model {
             bld.push_col(&[(i, coef * row_signs[i])]);
             costs.push(0.0);
         }
-        let rhs: Vec<f64> =
-            self.rows.iter().zip(&row_signs).map(|(r, &s)| r.rhs * s).collect();
-        (StandardLp { cols: bld.finish(), costs, rhs }, StandardMap { var_cols, row_signs })
+        let rhs: Vec<f64> = self
+            .rows
+            .iter()
+            .zip(&row_signs)
+            .map(|(r, &s)| r.rhs * s)
+            .collect();
+        (
+            StandardLp {
+                cols: bld.finish(),
+                costs,
+                rhs,
+            },
+            StandardMap {
+                var_cols,
+                row_signs,
+            },
+        )
     }
 }
 
@@ -369,7 +406,10 @@ mod tests {
     #[test]
     fn empty_model_is_bad() {
         let m = Model::new(Sense::Minimize);
-        assert!(matches!(m.solve(SolveVia::Primal), Err(LpError::BadModel(_))));
+        assert!(matches!(
+            m.solve(SolveVia::Primal),
+            Err(LpError::BadModel(_))
+        ));
     }
 
     #[test]

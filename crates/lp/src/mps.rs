@@ -57,8 +57,9 @@ pub fn to_mps(model: &Model, name: &str) -> String {
             let _ = writeln!(out, "    RHS  R{ri}  {rhs}");
         }
     }
-    let frees: Vec<usize> =
-        (0..model.num_vars()).filter(|&v| model.domain_of(v) == VarDomain::Free).collect();
+    let frees: Vec<usize> = (0..model.num_vars())
+        .filter(|&v| model.domain_of(v) == VarDomain::Free)
+        .collect();
     if !frees.is_empty() {
         let _ = writeln!(out, "BOUNDS");
         for v in frees {
@@ -101,7 +102,10 @@ pub fn from_mps(text: &str) -> Result<Model, MpsParseError> {
         Bounds,
         Done,
     }
-    let err = |line: usize, message: &str| MpsParseError { line, message: message.into() };
+    let err = |line: usize, message: &str| MpsParseError {
+        line,
+        message: message.into(),
+    };
 
     let mut sense = Sense::Minimize;
     let mut obj_row: Option<String> = None;
@@ -240,9 +244,7 @@ pub fn from_mps(text: &str) -> Result<Model, MpsParseError> {
                     other => return Err(err(ln, &format!("bound type {other} not supported"))),
                 }
             }
-            Section::None | Section::Done => {
-                return Err(err(ln, "data before any section header"))
-            }
+            Section::None | Section::Done => return Err(err(ln, "data before any section header")),
         }
     }
     if section != Section::Done {

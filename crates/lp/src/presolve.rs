@@ -63,7 +63,11 @@ pub fn presolve(model: &Model) -> Result<Presolved, LpError> {
     let mut row_alive: Vec<bool> = vec![true; model.num_rows()];
     // Working copy of rows as (entries, op, rhs); rhs absorbs fixed vars.
     let mut rows: Vec<RowTuple> = model.rows_for_presolve();
-    let min_sign = if model.sense() == Sense::Maximize { -1.0 } else { 1.0 };
+    let min_sign = if model.sense() == Sense::Maximize {
+        -1.0
+    } else {
+        1.0
+    };
 
     // Variables appearing in no row at all.
     let mut appears = vec![false; n];
@@ -178,7 +182,12 @@ pub fn presolve(model: &Model) -> Result<Presolved, LpError> {
         row_map[ri] = Some(reduced.num_rows());
         reduced.add_row(&mapped, *op, *rhs);
     }
-    Ok(Presolved::Reduced(Box::new(ReducedLp { model: reduced, var_map, row_map, fixed_objective })))
+    Ok(Presolved::Reduced(Box::new(ReducedLp {
+        model: reduced,
+        var_map,
+        row_map,
+        fixed_objective,
+    })))
 }
 
 /// Presolve, solve the reduction, and reconstruct the original solution.

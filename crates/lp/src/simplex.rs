@@ -137,7 +137,10 @@ impl<'a> Engine<'a> {
         let m = lp.rhs.len();
         assert_eq!(lp.cols.nrows(), m, "matrix/rhs row mismatch");
         assert_eq!(lp.costs.len(), lp.cols.ncols(), "cost/column mismatch");
-        assert!(lp.rhs.iter().all(|&b| b >= 0.0), "standard form requires b >= 0");
+        assert!(
+            lp.rhs.iter().all(|&b| b >= 0.0),
+            "standard form requires b >= 0"
+        );
 
         // Crash: cover each row with a unit (+1 singleton) column if one
         // exists; otherwise an artificial.
@@ -199,7 +202,11 @@ impl<'a> Engine<'a> {
 
     /// Row duals for the current basis and phase.
     fn duals(&self, phase1: bool) -> Vec<f64> {
-        let cb: Vec<f64> = self.basis.iter().map(|&b| self.basic_cost(b, phase1)).collect();
+        let cb: Vec<f64> = self
+            .basis
+            .iter()
+            .map(|&b| self.basic_cost(b, phase1))
+            .collect();
         self.binv.mul_vec_transpose(&cb)
     }
 
@@ -537,7 +544,11 @@ mod tests {
             let col: Vec<(usize, f64)> = (0..m).map(|i| (i, a[i][j])).collect();
             b.push_col(&col);
         }
-        StandardLp { cols: b.finish(), costs: costs.to_vec(), rhs: rhs.to_vec() }
+        StandardLp {
+            cols: b.finish(),
+            costs: costs.to_vec(),
+            rhs: rhs.to_vec(),
+        }
     }
 
     #[test]
@@ -604,11 +615,7 @@ mod tests {
     fn redundant_rows_tolerated() {
         // Row 2 = 2 x row 1: artificial stays basic at zero on the
         // redundant row; solution still optimal.
-        let lp = lp_from_dense(
-            &[&[1.0, 1.0], &[2.0, 2.0]],
-            &[1.0, 2.0],
-            &[3.0, 6.0],
-        );
+        let lp = lp_from_dense(&[&[1.0, 1.0], &[2.0, 2.0]], &[1.0, 2.0], &[3.0, 6.0]);
         let r = solve_standard(&lp, SimplexOptions::default());
         assert_eq!(r.status, SimplexStatus::Optimal);
         assert!((r.objective - 3.0).abs() < 1e-9, "obj={}", r.objective);
@@ -650,11 +657,20 @@ mod tests {
         for j in 0..n {
             bld.push_col(&[(j, 1.0)]);
         }
-        let costs: Vec<f64> =
-            (0..n).map(|i| -((i % 7) as f64) - 1.0).chain((0..n).map(|_| 0.0)).collect();
+        let costs: Vec<f64> = (0..n)
+            .map(|i| -((i % 7) as f64) - 1.0)
+            .chain((0..n).map(|_| 0.0))
+            .collect();
         let rhs: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
-        let lp = StandardLp { cols: bld.finish(), costs, rhs };
-        let opts = SimplexOptions { refactor_every: 3, ..SimplexOptions::default() };
+        let lp = StandardLp {
+            cols: bld.finish(),
+            costs,
+            rhs,
+        };
+        let opts = SimplexOptions {
+            refactor_every: 3,
+            ..SimplexOptions::default()
+        };
         let r = solve_standard(&lp, opts);
         assert_eq!(r.status, SimplexStatus::Optimal);
         assert!(r.residual < 1e-9, "residual {}", r.residual);

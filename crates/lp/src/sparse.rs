@@ -25,8 +25,16 @@ pub struct CscBuilder {
 impl CscBuilder {
     /// Start a builder for a matrix with `nrows` rows.
     pub fn new(nrows: usize) -> Self {
-        assert!(nrows <= u32::MAX as usize, "row count exceeds u32 index space");
-        Self { nrows, col_ptr: vec![0], row_idx: Vec::new(), values: Vec::new() }
+        assert!(
+            nrows <= u32::MAX as usize,
+            "row count exceeds u32 index space"
+        );
+        Self {
+            nrows,
+            col_ptr: vec![0],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Reserve space for an expected number of nonzeros.

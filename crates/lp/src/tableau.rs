@@ -123,8 +123,7 @@ fn run(
             if t[i][q] > 1e-9 {
                 let ratio = t[i][total] / t[i][q];
                 if ratio < best_ratio - 1e-12
-                    || (ratio < best_ratio + 1e-12
-                        && leave.is_none_or(|l| basis[i] < basis[l]))
+                    || (ratio < best_ratio + 1e-12 && leave.is_none_or(|l| basis[i] < basis[l]))
                 {
                     best_ratio = ratio;
                     leave = Some(i);
@@ -213,9 +212,12 @@ mod tests {
     #[test]
     fn negative_rhs() {
         // min x + y s.t. -x - y <= -3  (i.e. x + y >= 3)
-        let (obj, _) =
-            solve_dense(Sense::Minimize, &[1.0, 1.0], &[(vec![-1.0, -1.0], Op::Le, -3.0)])
-                .unwrap();
+        let (obj, _) = solve_dense(
+            Sense::Minimize,
+            &[1.0, 1.0],
+            &[(vec![-1.0, -1.0], Op::Le, -3.0)],
+        )
+        .unwrap();
         assert!((obj - 3.0).abs() < 1e-9);
     }
 }

@@ -36,8 +36,7 @@ pub fn dirichlet_beta(s: f64) -> f64 {
         c = b - c;
         let a_k = (2.0 * k as f64 + 1.0).powf(-s);
         sum += c * a_k;
-        b *= (k as f64 + n as f64) * (k as f64 - n as f64)
-            / ((k as f64 + 0.5) * (k as f64 + 1.0));
+        b *= (k as f64 + n as f64) * (k as f64 - n as f64) / ((k as f64 + 0.5) * (k as f64 + 1.0));
     }
     sum / d
 }

@@ -136,7 +136,11 @@ mod tests {
         let mut x = -INV_E + 1e-6;
         while x < 1e6 {
             check_inverse(x, lambert_w0(x));
-            x = if x < 0.0 { x / 2.0 + 0.05 } else { x * 3.0 + 0.1 };
+            x = if x < 0.0 {
+                x / 2.0 + 0.05
+            } else {
+                x * 3.0 + 0.1
+            };
         }
     }
 

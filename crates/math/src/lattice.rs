@@ -215,9 +215,7 @@ mod tests {
     #[test]
     fn phi_decreases_with_granularity() {
         // Finer cells (same eps) are harder to stay inside.
-        let phis: Vec<f64> = (2..8)
-            .map(|g| self_map_probability(0.8, 20.0, g))
-            .collect();
+        let phis: Vec<f64> = (2..8).map(|g| self_map_probability(0.8, 20.0, g)).collect();
         for w in phis.windows(2) {
             assert!(w[1] < w[0]);
         }

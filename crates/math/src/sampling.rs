@@ -8,7 +8,7 @@
 //!   Lambert-W branch.
 
 use crate::lambertw::{lambert_wm1, INV_E};
-use rand::Rng;
+use geoind_rng::Rng;
 
 /// Walker alias table over `n` categories.
 ///
@@ -85,7 +85,7 @@ impl AliasTable {
     /// Draw one category index.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let i = rng.gen_range(0..self.prob.len());
-        if rng.gen::<f64>() < self.prob[i] {
+        if rng.gen_f64() < self.prob[i] {
             i
         } else {
             self.alias[i] as usize
@@ -110,19 +110,18 @@ pub fn planar_laplace_inverse_cdf(eps: f64, p: f64) -> f64 {
 
 /// Sample a planar-Laplace radius with budget `eps`.
 pub fn planar_laplace_radius<R: Rng + ?Sized>(eps: f64, rng: &mut R) -> f64 {
-    planar_laplace_inverse_cdf(eps, rng.gen::<f64>())
+    planar_laplace_inverse_cdf(eps, rng.gen_f64())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use geoind_rng::SeededRng;
 
     #[test]
     fn alias_single_category() {
         let t = AliasTable::new(&[3.0]);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SeededRng::from_seed(1);
         for _ in 0..10 {
             assert_eq!(t.sample(&mut rng), 0);
         }
@@ -131,7 +130,7 @@ mod tests {
     #[test]
     fn alias_zero_weight_never_sampled() {
         let t = AliasTable::new(&[1.0, 0.0, 1.0, 0.0]);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SeededRng::from_seed(2);
         for _ in 0..10_000 {
             let s = t.sample(&mut rng);
             assert!(s == 0 || s == 2, "sampled zero-weight category {s}");
@@ -142,7 +141,7 @@ mod tests {
     fn alias_matches_distribution() {
         let weights = [0.1, 0.4, 0.15, 0.05, 0.3];
         let t = AliasTable::new(&weights);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SeededRng::from_seed(42);
         let n = 400_000usize;
         let mut counts = [0usize; 5];
         for _ in 0..n {
@@ -184,7 +183,7 @@ mod tests {
     fn radius_mean_is_two_over_eps() {
         // E[r] for the planar Laplacian is 2/eps.
         let eps = 0.5;
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SeededRng::from_seed(7);
         let n = 200_000;
         let mean: f64 = (0..n)
             .map(|_| planar_laplace_radius(eps, &mut rng))

@@ -1,84 +1,140 @@
-//! Property tests for the numerical substrate.
+//! Property tests for the numerical substrate (on the deterministic
+//! `geoind-testkit` harness; failures print a per-case seed).
 
 use geoind_math::lattice::{lattice_sum, self_map_probability};
 use geoind_math::sampling::{planar_laplace_inverse_cdf, AliasTable};
 use geoind_math::{bisect_increasing, lambert_w0, lambert_wm1};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use geoind_rng::SeededRng;
+use geoind_testkit::gens::{f64_range, filter, u32_range, u64_any, vec_of};
+use geoind_testkit::{check, ensure, Config};
 
-proptest! {
-    /// Both Lambert-W branches invert `w·e^w` across their domains.
-    #[test]
-    fn lambert_branches_invert(t in -0.999f64..-1e-6) {
-        // Parameterize the domain (-1/e, 0) as t/e.
-        let x = t * (1.0f64).exp().recip();
-        let w0 = lambert_w0(x);
-        let wm1 = lambert_wm1(x);
-        prop_assert!((w0 * w0.exp() - x).abs() < 1e-11);
-        prop_assert!((wm1 * wm1.exp() - x).abs() < 1e-11);
-        prop_assert!(w0 >= -1.0 - 1e-9);
-        prop_assert!(wm1 <= -1.0 + 1e-9);
-    }
+/// Both Lambert-W branches invert `w·e^w` across their domains.
+#[test]
+fn lambert_branches_invert() {
+    check(
+        "lambert_branches_invert",
+        Config::cases(256),
+        &f64_range(-0.999, -1e-6),
+        |&t| {
+            // Parameterize the domain (-1/e, 0) as t/e.
+            let x = t * (1.0f64).exp().recip();
+            let w0 = lambert_w0(x);
+            let wm1 = lambert_wm1(x);
+            ensure!((w0 * w0.exp() - x).abs() < 1e-11);
+            ensure!((wm1 * wm1.exp() - x).abs() < 1e-11);
+            ensure!(w0 >= -1.0 - 1e-9);
+            ensure!(wm1 <= -1.0 + 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// The planar-Laplace inverse CDF is monotone in p and inverts the CDF.
-    #[test]
-    fn pl_inverse_cdf_monotone(eps in 0.05f64..3.0, p1 in 0.001f64..0.995, dp in 1e-4f64..0.004) {
-        let p2 = p1 + dp;
-        let r1 = planar_laplace_inverse_cdf(eps, p1);
-        let r2 = planar_laplace_inverse_cdf(eps, p2);
-        prop_assert!(r2 >= r1, "inverse CDF not monotone: {r1} > {r2}");
-        let cdf = 1.0 - (1.0 + eps * r1) * (-eps * r1).exp();
-        prop_assert!((cdf - p1).abs() < 1e-9);
-    }
+/// The planar-Laplace inverse CDF is monotone in p and inverts the CDF.
+#[test]
+fn pl_inverse_cdf_monotone() {
+    check(
+        "pl_inverse_cdf_monotone",
+        Config::cases(256),
+        &(
+            f64_range(0.05, 3.0),
+            f64_range(0.001, 0.995),
+            f64_range(1e-4, 0.004),
+        ),
+        |&(eps, p1, dp)| {
+            let p2 = p1 + dp;
+            let r1 = planar_laplace_inverse_cdf(eps, p1);
+            let r2 = planar_laplace_inverse_cdf(eps, p2);
+            ensure!(r2 >= r1, "inverse CDF not monotone: {r1} > {r2}");
+            let cdf = 1.0 - (1.0 + eps * r1) * (-eps * r1).exp();
+            ensure!((cdf - p1).abs() < 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// `T(β)` is ≥ 1, decreasing, and Φ stays a probability.
-    #[test]
-    fn lattice_sum_behaves(beta in 0.01f64..6.0) {
-        let t = lattice_sum(beta);
-        prop_assert!(t >= 1.0);
-        let t2 = lattice_sum(beta * 1.1);
-        prop_assert!(t2 <= t + 1e-12);
-        let phi = 1.0 / t;
-        prop_assert!((0.0..=1.0).contains(&phi));
-    }
+/// `T(β)` is ≥ 1, decreasing, and Φ stays a probability.
+#[test]
+fn lattice_sum_behaves() {
+    check(
+        "lattice_sum_behaves",
+        Config::cases(256),
+        &f64_range(0.01, 6.0),
+        |&beta| {
+            let t = lattice_sum(beta);
+            ensure!(t >= 1.0);
+            let t2 = lattice_sum(beta * 1.1);
+            ensure!(t2 <= t + 1e-12);
+            let phi = 1.0 / t;
+            ensure!((0.0..=1.0).contains(&phi));
+            Ok(())
+        },
+    );
+}
 
-    /// Φ is monotone in ε and anti-monotone in g.
-    #[test]
-    fn phi_monotonicity(eps in 0.02f64..3.0, g in 2u32..12) {
-        let phi = self_map_probability(eps, 20.0, g);
-        prop_assert!(self_map_probability(eps * 1.2, 20.0, g) >= phi - 1e-12);
-        prop_assert!(self_map_probability(eps, 20.0, g + 1) <= phi + 1e-12);
-    }
+/// Φ is monotone in ε and anti-monotone in g.
+#[test]
+fn phi_monotonicity() {
+    check(
+        "phi_monotonicity",
+        Config::cases(256),
+        &(f64_range(0.02, 3.0), u32_range(2, 12)),
+        |&(eps, g)| {
+            let phi = self_map_probability(eps, 20.0, g);
+            ensure!(self_map_probability(eps * 1.2, 20.0, g) >= phi - 1e-12);
+            ensure!(self_map_probability(eps, 20.0, g + 1) <= phi + 1e-12);
+            Ok(())
+        },
+    );
+}
 
-    /// Bisection returns the minimal satisfying point of monotone targets.
-    #[test]
-    fn bisection_minimality(target in 0.1f64..0.95) {
-        let f = |x: f64| 1.0 - (-x).exp();
-        let x = bisect_increasing(f, target, 0.5, 1e6, 1e-11).unwrap();
-        prop_assert!(f(x) >= target - 1e-9);
-        prop_assert!(f(x - 1e-8) <= target + 1e-9);
-    }
+/// Bisection returns the minimal satisfying point of monotone targets.
+#[test]
+fn bisection_minimality() {
+    check(
+        "bisection_minimality",
+        Config::cases(256),
+        &f64_range(0.1, 0.95),
+        |&target| {
+            let f = |x: f64| 1.0 - (-x).exp();
+            let x = bisect_increasing(f, target, 0.5, 1e6, 1e-11).unwrap();
+            ensure!(f(x) >= target - 1e-9);
+            ensure!(f(x - 1e-8) <= target + 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// Alias tables never emit zero-weight categories and hit every
-    /// positive-weight category eventually.
-    #[test]
-    fn alias_support_is_exact(weights in prop::collection::vec(0.0f64..5.0, 1..20), seed in any::<u64>()) {
-        prop_assume!(weights.iter().sum::<f64>() > 0.1);
-        let table = AliasTable::new(&weights);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut seen = vec![false; weights.len()];
-        for _ in 0..4_000 {
-            let s = table.sample(&mut rng);
-            prop_assert!(weights[s] > 0.0, "sampled zero-weight category {s}");
-            seen[s] = true;
-        }
-        // Categories holding at least 5% of the mass must show up in 4k draws.
-        let total: f64 = weights.iter().sum();
-        for (i, &w) in weights.iter().enumerate() {
-            if w / total > 0.05 {
-                prop_assert!(seen[i], "never sampled heavy category {i}");
+/// Alias tables never emit zero-weight categories and hit every
+/// positive-weight category eventually.
+#[test]
+fn alias_support_is_exact() {
+    check(
+        "alias_support_is_exact",
+        Config::cases(64),
+        &(
+            filter(vec_of(f64_range(0.0, 5.0), 1, 19), |w: &Vec<f64>| {
+                w.iter().sum::<f64>() > 0.1
+            }),
+            u64_any(),
+        ),
+        |(weights, seed)| {
+            let table = AliasTable::new(weights);
+            let mut rng = SeededRng::from_seed(*seed);
+            let mut seen = vec![false; weights.len()];
+            for _ in 0..4_000 {
+                let s = table.sample(&mut rng);
+                ensure!(weights[s] > 0.0, "sampled zero-weight category {s}");
+                seen[s] = true;
             }
-        }
-    }
+            // Categories holding at least 5% of the mass must show up in 4k
+            // draws.
+            let total: f64 = weights.iter().sum();
+            for (i, &w) in weights.iter().enumerate() {
+                if w / total > 0.05 {
+                    ensure!(seen[i], "never sampled heavy category {i}");
+                }
+            }
+            Ok(())
+        },
+    );
 }

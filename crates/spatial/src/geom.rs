@@ -91,7 +91,10 @@ impl BBox {
 
     /// Center point.
     pub fn center(&self) -> Point {
-        Point::new(0.5 * (self.min.x + self.max.x), 0.5 * (self.min.y + self.max.y))
+        Point::new(
+            0.5 * (self.min.x + self.max.x),
+            0.5 * (self.min.y + self.max.y),
+        )
     }
 
     /// Half-open membership test.
@@ -106,7 +109,10 @@ impl BBox {
 
     /// Clamp a point into the closed box.
     pub fn clamp(&self, p: Point) -> Point {
-        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
     }
 
     /// Grow a rectangle into the smallest enclosing square (paper footnote 3:

@@ -26,7 +26,11 @@ impl Grid {
     pub fn new(domain: BBox, g: u32) -> Self {
         assert!(g >= 1, "granularity must be >= 1");
         let side = domain.side();
-        Self { domain, g, cell_side: side / g as f64 }
+        Self {
+            domain,
+            g,
+            cell_side: side / g as f64,
+        }
     }
 
     /// Grid granularity `g`.

@@ -94,7 +94,10 @@ impl HierGrid {
 
     /// The cell of `level` enclosing point `p` (paper: `EnclosingCell(x, i)`).
     pub fn enclosing_cell(&self, p: Point, level: u32) -> LevelCell {
-        LevelCell { level, id: self.level_grid(level).cell_of(p) }
+        LevelCell {
+            level,
+            id: self.level_grid(level).cell_of(p),
+        }
     }
 
     /// The parent of a non-root cell.
@@ -108,7 +111,10 @@ impl HierGrid {
         }
         let pg = self.effective_granularity(parent_level) as usize;
         let (prow, pcol) = ((row / self.g) as usize, (col / self.g) as usize);
-        LevelCell { level: parent_level, id: prow * pg + pcol }
+        LevelCell {
+            level: parent_level,
+            id: prow * pg + pcol,
+        }
     }
 
     /// The `g²` children of a cell at `cell.level + 1`, in row-major order of
@@ -129,7 +135,10 @@ impl HierGrid {
         let mut out = Vec::with_capacity((self.g * self.g) as usize);
         for lr in 0..self.g as usize {
             for lc in 0..self.g as usize {
-                out.push(LevelCell { level: child_level, id: (base_r + lr) * cg + base_c + lc });
+                out.push(LevelCell {
+                    level: child_level,
+                    id: (base_r + lr) * cg + base_c + lc,
+                });
             }
         }
         out
@@ -144,7 +153,9 @@ impl HierGrid {
 
     /// Root-to-leaf path of cells enclosing `p` (levels `1..=height`).
     pub fn path_to(&self, p: Point) -> Vec<LevelCell> {
-        (1..=self.height).map(|l| self.enclosing_cell(p, l)).collect()
+        (1..=self.height)
+            .map(|l| self.enclosing_cell(p, l))
+            .collect()
     }
 }
 

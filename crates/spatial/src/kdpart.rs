@@ -44,14 +44,26 @@ impl KdPartition {
     /// # Panics
     /// Panics if `fanout` is not a power of two `≥ 2` or `height == 0`.
     pub fn build(domain: BBox, points: &[Point], fanout: usize, height: u32) -> Self {
-        assert!(fanout >= 2 && fanout.is_power_of_two(), "fanout must be a power of two >= 2");
+        assert!(
+            fanout >= 2 && fanout.is_power_of_two(),
+            "fanout must be a power of two >= 2"
+        );
         assert!(height >= 1, "height must be >= 1");
         let mut nodes = Vec::new();
-        let inside: Vec<Point> = points.iter().copied().filter(|p| domain.contains(*p)).collect();
+        let inside: Vec<Point> = points
+            .iter()
+            .copied()
+            .filter(|p| domain.contains(*p))
+            .collect();
         let total = inside.len().max(1) as f64;
         let mut scratch = inside;
         let root = Self::build_rec(domain, &mut scratch, fanout, height, 0, total, &mut nodes);
-        Self { nodes, root, fanout, height }
+        Self {
+            nodes,
+            root,
+            fanout,
+            height,
+        }
     }
 
     fn build_rec(
@@ -65,7 +77,12 @@ impl KdPartition {
     ) -> usize {
         let mass = pts.len() as f64 / total;
         if level == height {
-            nodes.push(PartNode { bbox, children: Vec::new(), mass, level });
+            nodes.push(PartNode {
+                bbox,
+                children: Vec::new(),
+                mass,
+                level,
+            });
             return nodes.len() - 1;
         }
         // Split this region into `fanout` pieces by repeated median splits.
@@ -85,18 +102,16 @@ impl KdPartition {
         }
         let mut children = Vec::with_capacity(fanout);
         for (pb, range) in pieces {
-            let child = Self::build_rec(
-                pb,
-                &mut pts[range],
-                fanout,
-                height,
-                level + 1,
-                total,
-                nodes,
-            );
+            let child =
+                Self::build_rec(pb, &mut pts[range], fanout, height, level + 1, total, nodes);
             children.push(child);
         }
-        nodes.push(PartNode { bbox, children, mass, level });
+        nodes.push(PartNode {
+            bbox,
+            children,
+            mass,
+            level,
+        });
         nodes.len() - 1
     }
 
@@ -104,7 +119,11 @@ impl KdPartition {
     /// otherwise; always strictly inside the box so children are
     /// non-degenerate.
     fn split_coord(bbox: BBox, pts: &mut [Point], axis: u8) -> f64 {
-        let (lo, hi) = if axis == 0 { (bbox.min.x, bbox.max.x) } else { (bbox.min.y, bbox.max.y) };
+        let (lo, hi) = if axis == 0 {
+            (bbox.min.x, bbox.max.x)
+        } else {
+            (bbox.min.y, bbox.max.y)
+        };
         let mid_default = 0.5 * (lo + hi);
         if pts.len() < 2 {
             return mid_default;
@@ -157,8 +176,14 @@ impl KdPartition {
             // Treat shared edges as belonging to the lower/left child via
             // half-open membership, but accept the global closed boundary.
             b.contains(p)
-                || (p.x == b.max.x && b.max.x == self.nodes[self.root].bbox.max.x && p.y >= b.min.y && p.y < b.max.y)
-                || (p.y == b.max.y && b.max.y == self.nodes[self.root].bbox.max.y && p.x >= b.min.x && p.x < b.max.x)
+                || (p.x == b.max.x
+                    && b.max.x == self.nodes[self.root].bbox.max.x
+                    && p.y >= b.min.y
+                    && p.y < b.max.y)
+                || (p.y == b.max.y
+                    && b.max.y == self.nodes[self.root].bbox.max.y
+                    && p.x >= b.min.x
+                    && p.x < b.max.x)
                 || (p.x == b.max.x
                     && b.max.x == self.nodes[self.root].bbox.max.x
                     && p.y == b.max.y
@@ -168,7 +193,9 @@ impl KdPartition {
 
     /// All leaf node ids.
     pub fn leaves(&self) -> Vec<usize> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].children.is_empty()).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].children.is_empty())
+            .collect()
     }
 }
 
@@ -205,12 +232,11 @@ fn split_box(b: BBox, axis: u8, split: f64) -> (BBox, BBox) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use geoind_rng::{Rng, SeededRng};
 
     fn skewed_points(n: usize, seed: u64) -> Vec<Point> {
         // Cluster near (2,2) in a 20x20 domain.
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeededRng::from_seed(seed);
         (0..n)
             .map(|_| {
                 Point::new(
@@ -262,12 +288,14 @@ mod tests {
     fn child_containing_finds_unique_child() {
         let pts = skewed_points(500, 7);
         let part = KdPartition::build(BBox::square(20.0), &pts, 4, 2);
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = SeededRng::from_seed(8);
         for _ in 0..500 {
             let p = Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0));
             let mut node = part.root();
             for _ in 0..part.height() {
-                let c = part.child_containing(node, p).expect("point lost during descent");
+                let c = part
+                    .child_containing(node, p)
+                    .expect("point lost during descent");
                 assert!(part.node(c).bbox.contains_closed(p));
                 node = c;
             }

@@ -35,7 +35,11 @@ impl KdTree {
         let mut pts: Vec<(Point, usize)> = items.into_iter().collect();
         let mut nodes = Vec::with_capacity(pts.len());
         let n = pts.len();
-        let root = if n == 0 { None } else { Some(Self::build_rec(&mut pts, 0, &mut nodes)) };
+        let root = if n == 0 {
+            None
+        } else {
+            Some(Self::build_rec(&mut pts, 0, &mut nodes))
+        };
         let _ = n;
         Self { nodes, root }
     }
@@ -44,15 +48,33 @@ impl KdTree {
         let axis = depth % 2;
         let mid = pts.len() / 2;
         pts.select_nth_unstable_by(mid, |a, b| {
-            let (ka, kb) = if axis == 0 { (a.0.x, b.0.x) } else { (a.0.y, b.0.y) };
+            let (ka, kb) = if axis == 0 {
+                (a.0.x, b.0.x)
+            } else {
+                (a.0.y, b.0.y)
+            };
             ka.partial_cmp(&kb).expect("NaN coordinate in k-d tree")
         });
         let (point, item) = pts[mid];
         let (lo, hi) = pts.split_at_mut(mid);
         let hi = &mut hi[1..];
-        let left = if lo.is_empty() { None } else { Some(Self::build_rec(lo, depth + 1, nodes)) };
-        let right = if hi.is_empty() { None } else { Some(Self::build_rec(hi, depth + 1, nodes)) };
-        nodes.push(Node { point, item, axis, left, right });
+        let left = if lo.is_empty() {
+            None
+        } else {
+            Some(Self::build_rec(lo, depth + 1, nodes))
+        };
+        let right = if hi.is_empty() {
+            None
+        } else {
+            Some(Self::build_rec(hi, depth + 1, nodes))
+        };
+        nodes.push(Node {
+            point,
+            item,
+            axis,
+            left,
+            right,
+        });
         nodes.len() - 1
     }
 
@@ -84,9 +106,16 @@ impl KdTree {
         if best.is_none_or(|(_, bd2)| d2 < bd2) {
             *best = Some((idx, d2));
         }
-        let diff = if node.axis == 0 { q.x - node.point.x } else { q.y - node.point.y };
-        let (near, far) =
-            if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let diff = if node.axis == 0 {
+            q.x - node.point.x
+        } else {
+            q.y - node.point.y
+        };
+        let (near, far) = if diff < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
         if let Some(n) = near {
             self.nearest_rec(n, q, best);
         }
@@ -124,14 +153,25 @@ impl KdTree {
             heap.insert(pos, (d2, idx));
             heap.truncate(k);
         }
-        let diff = if node.axis == 0 { q.x - node.point.x } else { q.y - node.point.y };
-        let (near, far) =
-            if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let diff = if node.axis == 0 {
+            q.x - node.point.x
+        } else {
+            q.y - node.point.y
+        };
+        let (near, far) = if diff < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
         if let Some(n) = near {
             self.knn_rec(n, q, k, heap);
         }
         if let Some(f) = far {
-            let worst = if heap.len() < k { f64::INFINITY } else { heap[heap.len() - 1].0 };
+            let worst = if heap.len() < k {
+                f64::INFINITY
+            } else {
+                heap[heap.len() - 1].0
+            };
             if diff * diff < worst {
                 self.knn_rec(f, q, k, heap);
             }
@@ -142,12 +182,18 @@ impl KdTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use geoind_rng::{Rng, SeededRng};
 
     fn random_points(n: usize, seed: u64) -> Vec<(Point, usize)> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|i| (Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0)), i)).collect()
+        let mut rng = SeededRng::from_seed(seed);
+        (0..n)
+            .map(|i| {
+                (
+                    Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0)),
+                    i,
+                )
+            })
+            .collect()
     }
 
     fn brute_nearest(pts: &[(Point, usize)], q: Point) -> (usize, f64) {
@@ -178,12 +224,15 @@ mod tests {
     fn nearest_matches_brute_force() {
         let pts = random_points(500, 11);
         let t = KdTree::build(pts.iter().copied());
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = SeededRng::from_seed(12);
         for _ in 0..1000 {
             let q = Point::new(rng.gen_range(-5.0..25.0), rng.gen_range(-5.0..25.0));
             let (bi, bd) = brute_nearest(&pts, q);
             let (_, i, d) = t.nearest(q).unwrap();
-            assert!((d - bd).abs() < 1e-12, "query {q:?}: got {i}@{d}, want {bi}@{bd}");
+            assert!(
+                (d - bd).abs() < 1e-12,
+                "query {q:?}: got {i}@{d}, want {bi}@{bd}"
+            );
         }
     }
 
@@ -191,7 +240,7 @@ mod tests {
     fn knn_matches_brute_force() {
         let pts = random_points(200, 21);
         let t = KdTree::build(pts.iter().copied());
-        let mut rng = StdRng::seed_from_u64(22);
+        let mut rng = SeededRng::from_seed(22);
         for _ in 0..200 {
             let q = Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0));
             let k = rng.gen_range(1..=10usize);

@@ -103,8 +103,9 @@ mod tests {
 
     #[test]
     fn kdpartition_implements_the_contract() {
-        let pts: Vec<Point> =
-            (0..500).map(|i| Point::new((i % 23) as f64 * 0.8, (i % 19) as f64)).collect();
+        let pts: Vec<Point> = (0..500)
+            .map(|i| Point::new((i % 23) as f64 * 0.8, (i % 19) as f64))
+            .collect();
         let part = KdPartition::build(BBox::square(20.0), &pts, 4, 2);
         let root = SpacePartition::root(&part);
         assert_eq!(part.level(root), 0);
@@ -117,8 +118,10 @@ mod tests {
                 assert_eq!(part.level(n), 2);
                 continue;
             }
-            let area: f64 =
-                kids.iter().map(|&c| part.bbox(c).width() * part.bbox(c).height()).sum();
+            let area: f64 = kids
+                .iter()
+                .map(|&c| part.bbox(c).width() * part.bbox(c).height())
+                .sum();
             let pb = part.bbox(n);
             assert!((area - pb.width() * pb.height()).abs() < 1e-6);
             let mass: f64 = kids.iter().map(|&c| SpacePartition::mass(&part, c)).sum();
@@ -129,9 +132,15 @@ mod tests {
 
     #[test]
     fn leaf_containing_descends_fully() {
-        let pts: Vec<Point> = (0..200).map(|i| Point::new((i % 17) as f64, (i % 13) as f64)).collect();
+        let pts: Vec<Point> = (0..200)
+            .map(|i| Point::new((i % 17) as f64, (i % 13) as f64))
+            .collect();
         let part = KdPartition::build(BBox::square(20.0), &pts, 4, 3);
-        for p in [Point::new(0.0, 0.0), Point::new(10.5, 3.3), Point::new(19.999, 19.999)] {
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(10.5, 3.3),
+            Point::new(19.999, 19.999),
+        ] {
             let leaf = part.leaf_containing(p).expect("point must land in a leaf");
             assert!(part.is_leaf(leaf));
             assert!(part.bbox(leaf).contains_closed(p));
@@ -141,7 +150,11 @@ mod tests {
     #[test]
     fn global_upper_edge_points_are_owned() {
         let part = KdPartition::build(BBox::square(8.0), &[], 4, 2);
-        for p in [Point::new(8.0, 4.0), Point::new(4.0, 8.0), Point::new(8.0, 8.0)] {
+        for p in [
+            Point::new(8.0, 4.0),
+            Point::new(4.0, 8.0),
+            Point::new(8.0, 8.0),
+        ] {
             assert!(part.leaf_containing(p).is_some(), "{p:?} unowned");
         }
     }

@@ -43,7 +43,11 @@ impl AdaptiveQuadtree {
         assert!(max_depth >= 1, "max_depth must be >= 1");
         assert!(max_points_per_leaf >= 1, "max_points_per_leaf must be >= 1");
         domain.side(); // assert squareness
-        let mut inside: Vec<Point> = points.iter().copied().filter(|p| domain.contains(*p)).collect();
+        let mut inside: Vec<Point> = points
+            .iter()
+            .copied()
+            .filter(|p| domain.contains(*p))
+            .collect();
         let total = inside.len().max(1) as f64;
         let mut nodes = Vec::new();
         let root = Self::build_rec(
@@ -55,7 +59,11 @@ impl AdaptiveQuadtree {
             total,
             &mut nodes,
         );
-        Self { nodes, root, max_depth }
+        Self {
+            nodes,
+            root,
+            max_depth,
+        }
     }
 
     fn build_rec(
@@ -69,7 +77,12 @@ impl AdaptiveQuadtree {
     ) -> usize {
         let mass = pts.len() as f64 / total;
         if level == max_depth || pts.len() <= cap {
-            nodes.push(QNode { bbox, children: Vec::new(), mass, level });
+            nodes.push(QNode {
+                bbox,
+                children: Vec::new(),
+                mass,
+                level,
+            });
             return nodes.len() - 1;
         }
         let c = bbox.center();
@@ -90,9 +103,22 @@ impl AdaptiveQuadtree {
         let quads: [&mut [Point]; 4] = [sw, se, nw, ne];
         let mut children = Vec::with_capacity(4);
         for (b, q) in boxes.into_iter().zip(quads) {
-            children.push(Self::build_rec(b, q, level + 1, cap, max_depth, total, nodes));
+            children.push(Self::build_rec(
+                b,
+                q,
+                level + 1,
+                cap,
+                max_depth,
+                total,
+                nodes,
+            ));
         }
-        nodes.push(QNode { bbox, children, mass, level });
+        nodes.push(QNode {
+            bbox,
+            children,
+            mass,
+            level,
+        });
         nodes.len() - 1
     }
 
@@ -108,12 +134,18 @@ impl AdaptiveQuadtree {
 
     /// All leaf ids.
     pub fn leaves(&self) -> Vec<usize> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].children.is_empty()).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].children.is_empty())
+            .collect()
     }
 
     /// The deepest leaf level actually present.
     pub fn deepest_leaf(&self) -> u32 {
-        self.leaves().iter().map(|&l| self.nodes[l].level).max().unwrap_or(0)
+        self.leaves()
+            .iter()
+            .map(|&l| self.nodes[l].level)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -161,11 +193,10 @@ impl SpacePartition for AdaptiveQuadtree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use geoind_rng::{Rng, SeededRng};
 
     fn clustered(n: usize, seed: u64) -> Vec<Point> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeededRng::from_seed(seed);
         (0..n)
             .map(|i| {
                 if i % 10 == 0 {
@@ -185,7 +216,10 @@ mod tests {
         let leaves = qt.leaves();
         let deepest_cluster = leaves
             .iter()
-            .filter(|&&l| qt.bbox(l).contains(Point::new(3.0, 3.0)) || qt.bbox(l).min.dist(Point::new(2.0, 2.0)) < 3.0)
+            .filter(|&&l| {
+                qt.bbox(l).contains(Point::new(3.0, 3.0))
+                    || qt.bbox(l).min.dist(Point::new(2.0, 2.0)) < 3.0
+            })
             .map(|&l| qt.level(l))
             .max()
             .unwrap();
@@ -208,10 +242,13 @@ mod tests {
                 continue;
             }
             assert_eq!(kids.len(), 4);
-            let area: f64 = kids.iter().map(|&c| {
-                let b = qt.bbox(c);
-                b.width() * b.height()
-            }).sum();
+            let area: f64 = kids
+                .iter()
+                .map(|&c| {
+                    let b = qt.bbox(c);
+                    b.width() * b.height()
+                })
+                .sum();
             let pb = qt.bbox(id);
             assert!((area - pb.width() * pb.height()).abs() < 1e-9);
             let mass: f64 = kids.iter().map(|&c| qt.mass(c)).sum();
@@ -223,7 +260,7 @@ mod tests {
     fn every_point_reaches_a_leaf() {
         let pts = clustered(500, 3);
         let qt = AdaptiveQuadtree::build(BBox::square(16.0), &pts, 20, 4);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = SeededRng::from_seed(4);
         for _ in 0..500 {
             let p = Point::new(rng.gen_range(0.0..16.0), rng.gen_range(0.0..16.0));
             let leaf = qt.leaf_containing(p).expect("descent must succeed");

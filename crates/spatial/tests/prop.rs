@@ -1,90 +1,116 @@
-//! Property tests for the spatial substrate.
+//! Property tests for the spatial substrate (on the deterministic
+//! `geoind-testkit` harness; failures print a per-case seed).
 
 use geoind_spatial::geom::{BBox, Point};
 use geoind_spatial::grid::Grid;
 use geoind_spatial::hier::HierGrid;
 use geoind_spatial::kdpart::KdPartition;
 use geoind_spatial::kdtree::KdTree;
-use proptest::prelude::*;
+use geoind_testkit::gens::{f64_range, u32_range, vec_of, F64Range};
+use geoind_testkit::{check, ensure, ensure_eq, Config};
 
-fn in_domain_point(side: f64) -> impl Strategy<Value = Point> {
-    (0.0..side, 0.0..side).prop_map(|(x, y)| Point::new(x, y))
+/// Coordinates of an in-domain point; build `Point` inside the property so
+/// shrinking stays active.
+fn coord(side: f64) -> (F64Range, F64Range) {
+    (f64_range(0.0, side), f64_range(0.0, side))
 }
 
-proptest! {
-    /// Every in-domain point belongs to exactly the cell whose extent
-    /// contains it, and snapping is idempotent.
-    #[test]
-    fn grid_cell_of_is_consistent(
-        p in in_domain_point(20.0),
-        g in 1u32..20,
-    ) {
-        let grid = Grid::new(BBox::square(20.0), g);
-        let id = grid.cell_of(p);
-        prop_assert!(grid.extent_of(id).contains(p));
-        let snapped = grid.snap(p);
-        prop_assert_eq!(grid.cell_of(snapped), id);
-        prop_assert_eq!(grid.snap(snapped), snapped);
-        // Snapping moves at most half a cell diagonal.
-        prop_assert!(p.dist(snapped) <= grid.cell_side() * std::f64::consts::SQRT_2 / 2.0 + 1e-12);
-    }
+/// Every in-domain point belongs to exactly the cell whose extent
+/// contains it, and snapping is idempotent.
+#[test]
+fn grid_cell_of_is_consistent() {
+    check(
+        "grid_cell_of_is_consistent",
+        Config::cases(256),
+        &(coord(20.0), u32_range(1, 20)),
+        |&((x, y), g)| {
+            let p = Point::new(x, y);
+            let grid = Grid::new(BBox::square(20.0), g);
+            let id = grid.cell_of(p);
+            ensure!(grid.extent_of(id).contains(p));
+            let snapped = grid.snap(p);
+            ensure_eq!(grid.cell_of(snapped), id);
+            ensure_eq!(grid.snap(snapped), snapped);
+            // Snapping moves at most half a cell diagonal.
+            ensure!(p.dist(snapped) <= grid.cell_side() * std::f64::consts::SQRT_2 / 2.0 + 1e-12);
+            Ok(())
+        },
+    );
+}
 
-    /// The hierarchical path to a point is an ancestor chain whose extents
-    /// all contain the point, and each local index round-trips.
-    #[test]
-    fn hier_path_is_an_ancestor_chain(
-        p in in_domain_point(16.0),
-        g in 2u32..5,
-        h in 1u32..4,
-    ) {
-        let hier = HierGrid::new(BBox::square(16.0), g, h);
-        let path = hier.path_to(p);
-        prop_assert_eq!(path.len(), h as usize);
-        for (i, cell) in path.iter().enumerate() {
-            prop_assert!(hier.extent(*cell).contains(p));
-            prop_assert!(hier.local_index(*cell) < (g * g) as usize);
-            if i > 0 {
-                prop_assert_eq!(hier.parent(*cell), path[i - 1]);
-                // The cell appears among its parent's children at its
-                // local index.
-                let kids = hier.children(path[i - 1]);
-                prop_assert_eq!(kids[hier.local_index(*cell)], *cell);
+/// The hierarchical path to a point is an ancestor chain whose extents
+/// all contain the point, and each local index round-trips.
+#[test]
+fn hier_path_is_an_ancestor_chain() {
+    check(
+        "hier_path_is_an_ancestor_chain",
+        Config::cases(256),
+        &(coord(16.0), u32_range(2, 5), u32_range(1, 4)),
+        |&((x, y), g, h)| {
+            let p = Point::new(x, y);
+            let hier = HierGrid::new(BBox::square(16.0), g, h);
+            let path = hier.path_to(p);
+            ensure_eq!(path.len(), h as usize);
+            for (i, cell) in path.iter().enumerate() {
+                ensure!(hier.extent(*cell).contains(p));
+                ensure!(hier.local_index(*cell) < (g * g) as usize);
+                if i > 0 {
+                    ensure_eq!(hier.parent(*cell), path[i - 1]);
+                    // The cell appears among its parent's children at its
+                    // local index.
+                    let kids = hier.children(path[i - 1]);
+                    ensure_eq!(kids[hier.local_index(*cell)], *cell);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// k-d tree nearest neighbour equals brute force on arbitrary inputs.
-    #[test]
-    fn kdtree_nearest_equals_brute_force(
-        pts in prop::collection::vec(in_domain_point(20.0), 1..80),
-        q in in_domain_point(20.0),
-    ) {
-        let tree = KdTree::build(pts.iter().copied().enumerate().map(|(i, p)| (p, i)));
-        let (_, _, d) = tree.nearest(q).unwrap();
-        let brute = pts.iter().map(|p| p.dist(q)).fold(f64::INFINITY, f64::min);
-        prop_assert!((d - brute).abs() < 1e-9);
-    }
+/// k-d tree nearest neighbour equals brute force on arbitrary inputs.
+#[test]
+fn kdtree_nearest_equals_brute_force() {
+    check(
+        "kdtree_nearest_equals_brute_force",
+        Config::cases(128),
+        &(vec_of(coord(20.0), 1, 80), coord(20.0)),
+        |&(ref coords, (qx, qy))| {
+            let pts: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let q = Point::new(qx, qy);
+            let tree = KdTree::build(pts.iter().copied().enumerate().map(|(i, p)| (p, i)));
+            let (_, _, d) = tree.nearest(q).unwrap();
+            let brute = pts.iter().map(|p| p.dist(q)).fold(f64::INFINITY, f64::min);
+            ensure!((d - brute).abs() < 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// k-d partition: every point descends to exactly one leaf whose box
-    /// contains it, and leaf masses sum to the root mass.
-    #[test]
-    fn kdpart_descent_and_mass_conservation(
-        pts in prop::collection::vec(in_domain_point(20.0), 0..200),
-        q in in_domain_point(20.0),
-        h in 1u32..4,
-    ) {
-        let part = KdPartition::build(BBox::square(20.0), &pts, 4, h);
-        // Descent terminates at a leaf containing q.
-        let mut node = part.root();
-        for _ in 0..h {
-            let child = part.child_containing(node, q);
-            prop_assert!(child.is_some(), "point lost at node {node}");
-            node = child.unwrap();
-        }
-        prop_assert!(part.node(node).children.is_empty());
-        prop_assert!(part.node(node).bbox.contains_closed(q));
-        // Mass conservation.
-        let leaf_mass: f64 = part.leaves().iter().map(|&l| part.node(l).mass).sum();
-        prop_assert!((leaf_mass - part.node(part.root()).mass).abs() < 1e-9);
-    }
+/// k-d partition: every point descends to exactly one leaf whose box
+/// contains it, and leaf masses sum to the root mass.
+#[test]
+fn kdpart_descent_and_mass_conservation() {
+    check(
+        "kdpart_descent_and_mass_conservation",
+        Config::cases(128),
+        &(vec_of(coord(20.0), 0, 200), coord(20.0), u32_range(1, 4)),
+        |&(ref coords, (qx, qy), h)| {
+            let pts: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let q = Point::new(qx, qy);
+            let part = KdPartition::build(BBox::square(20.0), &pts, 4, h);
+            // Descent terminates at a leaf containing q.
+            let mut node = part.root();
+            for _ in 0..h {
+                let child = part.child_containing(node, q);
+                ensure!(child.is_some(), "point lost at node {node}");
+                node = child.unwrap();
+            }
+            ensure!(part.node(node).children.is_empty());
+            ensure!(part.node(node).bbox.contains_closed(q));
+            // Mass conservation.
+            let leaf_mass: f64 = part.leaves().iter().map(|&l| part.node(l).mass).sum();
+            ensure!((leaf_mass - part.node(part.root()).mass).abs() < 1e-9);
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,139 @@
+//! A minimal wall-clock bench runner (the workspace's `criterion`
+//! replacement). No statistics beyond a trimmed mean: the experiment
+//! binary regenerates the paper's tables; these micro-benchmarks exist to
+//! spot order-of-magnitude regressions in hot paths.
+//!
+//! Usage in a `[[bench]]` target with `harness = false`:
+//!
+//! ```no_run
+//! use geoind_testkit::bench::Bench;
+//!
+//! fn main() {
+//!     let mut b = Bench::new("numerics");
+//!     b.iter("alias_sample", || 1 + 1);
+//!     b.finish();
+//! }
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Warm-up time per benchmark.
+const WARMUP: Duration = Duration::from_millis(60);
+
+/// A named suite of wall-clock micro-benchmarks.
+pub struct Bench {
+    suite: String,
+    results: Vec<(String, f64, u64)>,
+}
+
+impl Bench {
+    /// Start a suite; results print as they are measured and again as a
+    /// summary in [`finish`](Bench::finish).
+    pub fn new(suite: &str) -> Self {
+        eprintln!("== bench suite: {suite}");
+        Self {
+            suite: suite.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Measure `f`, reporting mean ns/iter. The return value is passed
+    /// through [`std::hint::black_box`] so the computation is not elided.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+        // Warm up and estimate a batch size that keeps clock overhead
+        // negligible.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch = ((25_000.0 / per_iter.max(1.0)) as u64).clamp(1, 10_000);
+
+        let mut total_iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < TARGET {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            total_iters += batch;
+        }
+        let ns = start.elapsed().as_nanos() as f64 / total_iters as f64;
+        eprintln!(
+            "{:<40} {:>14} ns/iter  ({total_iters} iters)",
+            name,
+            fmt3(ns)
+        );
+        self.results.push((name.to_string(), ns, total_iters));
+    }
+
+    /// Measure `f` over fresh inputs from `setup` (setup time excluded
+    /// from the estimate by measuring each call individually) — the
+    /// analogue of criterion's `iter_batched` for non-reusable inputs.
+    pub fn iter_batched<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> T,
+    ) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            std::hint::black_box(f(input));
+        }
+        let mut measured = Duration::ZERO;
+        let mut total_iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < TARGET {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(f(input));
+            measured += t0.elapsed();
+            total_iters += 1;
+        }
+        let ns = measured.as_nanos() as f64 / total_iters.max(1) as f64;
+        eprintln!(
+            "{:<40} {:>14} ns/iter  ({total_iters} iters)",
+            name,
+            fmt3(ns)
+        );
+        self.results.push((name.to_string(), ns, total_iters));
+    }
+
+    /// Print the summary table.
+    pub fn finish(self) {
+        eprintln!("-- {} results --", self.suite);
+        for (name, ns, iters) in &self.results {
+            eprintln!("{:<40} {:>14} ns/iter  ({iters} iters)", name, fmt3(*ns));
+        }
+    }
+}
+
+/// Format with 3 significant-ish decimals and thousands separators.
+fn fmt3(ns: f64) -> String {
+    let whole = ns as u64;
+    let frac = ((ns - whole as f64) * 100.0).round() as u64;
+    let mut s = String::new();
+    let digits = whole.to_string();
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            s.push('_');
+        }
+        s.push(c);
+    }
+    format!("{s}.{frac:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt3_groups_thousands() {
+        assert_eq!(fmt3(1234567.89), "1_234_567.89");
+        assert_eq!(fmt3(12.5), "12.50");
+    }
+}

@@ -1,0 +1,334 @@
+//! Structured generators with in-domain halving shrink.
+//!
+//! A [`Gen`] couples *generation* with *shrinking*: because the generator
+//! carries its own bounds, every shrink candidate stays inside the domain
+//! the property was written for. Composite inputs are built from tuples
+//! (shrunk component-wise) and [`vec_of`] (shrunk by halving length, then
+//! element-wise).
+
+use geoind_rng::{Rng, SeededRng};
+use std::fmt::Debug;
+
+/// A deterministic generator of test inputs with optional shrinking.
+pub trait Gen {
+    /// The generated input type.
+    type Value: Debug + Clone;
+
+    /// Draw one value from `rng`.
+    fn generate(&self, rng: &mut SeededRng) -> Self::Value;
+
+    /// Strictly-simpler candidates for `v` (empty = fully shrunk). All
+    /// candidates must lie in the generator's domain.
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let _ = v;
+        Vec::new()
+    }
+}
+
+/// Uniform `f64` in `[lo, hi)`, shrinking by halving toward `lo`.
+pub fn f64_range(lo: f64, hi: f64) -> F64Range {
+    assert!(lo < hi, "f64_range: empty range [{lo}, {hi})");
+    F64Range { lo, hi }
+}
+
+/// See [`f64_range`].
+#[derive(Debug, Clone, Copy)]
+pub struct F64Range {
+    lo: f64,
+    hi: f64,
+}
+
+impl Gen for F64Range {
+    type Value = f64;
+    fn generate(&self, rng: &mut SeededRng) -> f64 {
+        rng.gen_range(self.lo..self.hi)
+    }
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        // Geometric ladder lo, lo+(v-lo)/2, v-(v-lo)/4, ... ascending
+        // toward v: the first still-failing rung brackets the failure
+        // boundary, and greedy descent halves the gap each round.
+        let mut out = Vec::new();
+        let mut gap = v - self.lo;
+        for _ in 0..32 {
+            let c = v - gap;
+            if c != *v && out.last() != Some(&c) {
+                out.push(c);
+            }
+            gap /= 2.0;
+            if gap == 0.0 {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Uniform `usize` in `[lo, hi)`, shrinking by halving toward `lo`.
+pub fn usize_range(lo: usize, hi: usize) -> UsizeRange {
+    assert!(lo < hi, "usize_range: empty range [{lo}, {hi})");
+    UsizeRange { lo, hi }
+}
+
+/// See [`usize_range`].
+#[derive(Debug, Clone, Copy)]
+pub struct UsizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl Gen for UsizeRange {
+    type Value = usize;
+    fn generate(&self, rng: &mut SeededRng) -> usize {
+        rng.gen_range(self.lo..self.hi)
+    }
+    fn shrink(&self, v: &usize) -> Vec<usize> {
+        // Ascending ladder toward v; see F64Range::shrink.
+        let mut out = Vec::new();
+        let mut gap = v - self.lo;
+        while gap > 0 {
+            let c = v - gap;
+            if out.last() != Some(&c) {
+                out.push(c);
+            }
+            gap /= 2;
+        }
+        out
+    }
+}
+
+/// Uniform `u32` in `[lo, hi)`, shrinking by halving toward `lo`.
+pub fn u32_range(lo: u32, hi: u32) -> U32Range {
+    assert!(lo < hi, "u32_range: empty range [{lo}, {hi})");
+    U32Range { lo, hi }
+}
+
+/// See [`u32_range`].
+#[derive(Debug, Clone, Copy)]
+pub struct U32Range {
+    lo: u32,
+    hi: u32,
+}
+
+impl Gen for U32Range {
+    type Value = u32;
+    fn generate(&self, rng: &mut SeededRng) -> u32 {
+        rng.gen_range(self.lo..self.hi)
+    }
+    fn shrink(&self, v: &u32) -> Vec<u32> {
+        // Ascending ladder toward v; see F64Range::shrink.
+        let mut out = Vec::new();
+        let mut gap = v - self.lo;
+        while gap > 0 {
+            let c = v - gap;
+            if out.last() != Some(&c) {
+                out.push(c);
+            }
+            gap /= 2;
+        }
+        out
+    }
+}
+
+/// Any `u64` (shrinks by halving toward 0) — e.g. for derived seeds.
+pub fn u64_any() -> U64Any {
+    U64Any
+}
+
+/// See [`u64_any`].
+#[derive(Debug, Clone, Copy)]
+pub struct U64Any;
+
+impl Gen for U64Any {
+    type Value = u64;
+    fn generate(&self, rng: &mut SeededRng) -> u64 {
+        rng.next_u64()
+    }
+    fn shrink(&self, v: &u64) -> Vec<u64> {
+        if *v == 0 {
+            Vec::new()
+        } else {
+            vec![0, v / 2]
+        }
+    }
+}
+
+/// A fair coin (shrinks toward `false`).
+pub fn bool_any() -> BoolAny {
+    BoolAny
+}
+
+/// See [`bool_any`].
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Gen for BoolAny {
+    type Value = bool;
+    fn generate(&self, rng: &mut SeededRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+    fn shrink(&self, v: &bool) -> Vec<bool> {
+        if *v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A uniform pick from a fixed list (shrinks toward the first entry) —
+/// the analogue of `prop_oneof![Just(..), ..]` for enum-like inputs.
+pub fn choice<T: Debug + Clone + PartialEq>(options: Vec<T>) -> Choice<T> {
+    assert!(!options.is_empty(), "choice: no options");
+    Choice { options }
+}
+
+/// See [`choice`].
+#[derive(Debug, Clone)]
+pub struct Choice<T> {
+    options: Vec<T>,
+}
+
+impl<T: Debug + Clone + PartialEq> Gen for Choice<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SeededRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+    fn shrink(&self, v: &T) -> Vec<T> {
+        if self.options.first() == Some(v) {
+            Vec::new()
+        } else {
+            vec![self.options[0].clone()]
+        }
+    }
+}
+
+/// A vector of `min_len..=max_len` elements from `elem`. Shrinks by
+/// halving the length toward `min_len` (dropping the tail), then by
+/// shrinking individual elements left to right.
+pub fn vec_of<G: Gen>(elem: G, min_len: usize, max_len: usize) -> VecOf<G> {
+    assert!(min_len <= max_len, "vec_of: min_len > max_len");
+    VecOf {
+        elem,
+        min_len,
+        max_len,
+    }
+}
+
+/// See [`vec_of`].
+#[derive(Debug, Clone)]
+pub struct VecOf<G> {
+    elem: G,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<G: Gen> Gen for VecOf<G> {
+    type Value = Vec<G::Value>;
+    fn generate(&self, rng: &mut SeededRng) -> Vec<G::Value> {
+        let len = rng.gen_range(self.min_len..=self.max_len);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+    fn shrink(&self, v: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        // Halve the length (keep the prefix), never below min_len.
+        if v.len() > self.min_len {
+            let target = self.min_len + (v.len() - self.min_len) / 2;
+            out.push(v[..target].to_vec());
+            if v.len() > self.min_len + 1 {
+                out.push(v[..v.len() - 1].to_vec());
+            }
+        }
+        // Shrink one element at a time (first candidate each).
+        for (i, x) in v.iter().enumerate() {
+            if let Some(sx) = self.elem.shrink(x).into_iter().next() {
+                let mut w = v.clone();
+                w[i] = sx;
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+/// Map a generator's output through `f`. Mapping is one-way (the pre-image
+/// is not retained), so mapped values do not shrink; prefer generating
+/// tuples and constructing inside the property when shrinking matters.
+pub fn map<G: Gen, U: Debug + Clone, F: Fn(G::Value) -> U>(gen: G, f: F) -> Mapped<G, F> {
+    Mapped { gen, f }
+}
+
+/// See [`map`].
+pub struct Mapped<G, F> {
+    gen: G,
+    f: F,
+}
+
+impl<G: Gen, U: Debug + Clone, F: Fn(G::Value) -> U> Gen for Mapped<G, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut SeededRng) -> U {
+        (self.f)(self.gen.generate(rng))
+    }
+}
+
+/// Retry `gen` until `pred` holds (the analogue of `prop_assume!` /
+/// `prop_filter`). Panics after 1000 consecutive rejections — a predicate
+/// that sparse is a bug in the test, not bad luck.
+pub fn filter<G: Gen, F: Fn(&G::Value) -> bool>(gen: G, pred: F) -> Filter<G, F> {
+    Filter { gen, pred }
+}
+
+/// See [`filter`].
+pub struct Filter<G, F> {
+    gen: G,
+    pred: F,
+}
+
+impl<G: Gen, F: Fn(&G::Value) -> bool> Gen for Filter<G, F> {
+    type Value = G::Value;
+    fn generate(&self, rng: &mut SeededRng) -> G::Value {
+        for _ in 0..1000 {
+            let v = self.gen.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("filter: predicate rejected 1000 consecutive generated values");
+    }
+    fn shrink(&self, v: &G::Value) -> Vec<G::Value> {
+        self.gen
+            .shrink(v)
+            .into_iter()
+            .filter(|c| (self.pred)(c))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple_gen {
+    ($($g:ident / $idx:tt),+) => {
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+            fn generate(&self, rng: &mut SeededRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for c in self.$idx.shrink(&v.$idx) {
+                        let mut w = v.clone();
+                        w.$idx = c;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_tuple_gen!(A / 0);
+impl_tuple_gen!(A / 0, B / 1);
+impl_tuple_gen!(A / 0, B / 1, C / 2);
+impl_tuple_gen!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_gen!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_gen!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_tuple_gen!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);

@@ -1,0 +1,288 @@
+//! # geoind-testkit — deterministic property testing without dependencies
+//!
+//! A small, fully deterministic property-testing harness plus a wall-clock
+//! bench runner, replacing `proptest` and `criterion` so the workspace
+//! builds and tests offline with zero external crates.
+//!
+//! Design points:
+//!
+//! * **Determinism.** Every case's input is a pure function of the suite
+//!   seed and the case index (derived through SplitMix64). A failure report
+//!   prints the per-case seed; re-running the suite reproduces it exactly —
+//!   there is no persisted regression file to keep in sync.
+//! * **Structured generators.** [`Gen`] implementors know their own bounds,
+//!   so shrinking never leaves the generator's domain (the classic
+//!   prop-test pitfall of shrinking an `0.05..3.0` epsilon to `0.0`).
+//! * **Halving shrink.** Numeric values shrink by repeatedly halving the
+//!   distance to the range minimum; vectors shrink by halving their length,
+//!   then shrinking elements. Greedy first-failure descent, bounded by
+//!   [`Config::max_shrink_steps`].
+//!
+//! ```
+//! use geoind_testkit::{check, Config, ensure};
+//! use geoind_testkit::gens::{f64_range, usize_range};
+//!
+//! check(
+//!     "sum is monotone in each addend",
+//!     Config::default(),
+//!     &(f64_range(0.0, 10.0), usize_range(1, 100)),
+//!     |&(x, n)| {
+//!         ensure!(x + n as f64 >= x, "adding {n} moved the sum backwards");
+//!         Ok(())
+//!     },
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+use geoind_rng::{splitmix64, SeededRng};
+use std::fmt::Debug;
+
+pub mod bench;
+pub mod gens;
+
+pub use gens::Gen;
+
+/// Suite configuration: number of cases, base seed, shrink budget.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: usize,
+    /// Base seed; per-case seeds derive from it deterministically.
+    pub seed: u64,
+    /// Upper bound on shrink candidate evaluations after a failure.
+    pub max_shrink_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            seed: 0x6E0_1D5_EED,
+            max_shrink_steps: 512,
+        }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases (other fields default).
+    pub fn cases(cases: usize) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+
+    /// Replace the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Outcome of one property evaluation: `Ok(())` passes, `Err(msg)` fails.
+pub type PropResult = Result<(), String>;
+
+/// Run `prop` against `cfg.cases` inputs drawn from `gen`.
+///
+/// On failure the input is shrunk greedily (first shrink candidate that
+/// still fails, repeated), then the harness panics with the property name,
+/// case index, per-case seed, and the minimal counterexample — everything
+/// needed to reproduce: `SeededRng::from_seed(case_seed)` regenerates the
+/// original input.
+///
+/// # Panics
+/// Panics if any case fails (this is the test-failure mechanism).
+pub fn check<G, P>(name: &str, cfg: Config, gen: &G, prop: P)
+where
+    G: Gen,
+    P: Fn(&G::Value) -> PropResult,
+{
+    for case in 0..cfg.cases {
+        // Derive the case seed from (suite seed, index) so inserting cases
+        // never reshuffles later ones.
+        let mut sm = cfg.seed ^ (case as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        let case_seed = splitmix64(&mut sm);
+        let mut rng = SeededRng::from_seed(case_seed);
+        let value = gen.generate(&mut rng);
+        if let Err(msg) = prop(&value) {
+            let (minimal, min_msg, steps) =
+                shrink_failure(gen, value, msg, &prop, cfg.max_shrink_steps);
+            panic!(
+                "property '{name}' failed at case {case}/{total} (case seed {case_seed:#018x})\n\
+                 error: {min_msg}\n\
+                 minimal counterexample (after {steps} shrink steps): {minimal:?}",
+                total = cfg.cases,
+            );
+        }
+    }
+}
+
+/// Greedy halving shrink: walk to the first shrink candidate that still
+/// fails, repeat until no candidate fails or the budget runs out.
+fn shrink_failure<G, P>(
+    gen: &G,
+    mut value: G::Value,
+    mut msg: String,
+    prop: &P,
+    budget: usize,
+) -> (G::Value, String, usize)
+where
+    G: Gen,
+    P: Fn(&G::Value) -> PropResult,
+{
+    let mut spent = 0usize;
+    'outer: while spent < budget {
+        for candidate in gen.shrink(&value) {
+            spent += 1;
+            if let Err(m) = prop(&candidate) {
+                value = candidate;
+                msg = m;
+                continue 'outer;
+            }
+            if spent >= budget {
+                break;
+            }
+        }
+        break;
+    }
+    (value, msg, spent)
+}
+
+/// Fail the enclosing property unless `cond` holds.
+///
+/// `ensure!(cond)` or `ensure!(cond, "context {x}")` — expands to an early
+/// `return Err(..)`, mirroring `prop_assert!`.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "{} [{} at {}:{}]",
+                format!($($fmt)+),
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Fail the enclosing property unless `a == b`.
+#[macro_export]
+macro_rules! ensure_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err(format!(
+                "equality failed: {} = {:?}, {} = {:?} ({}:{})",
+                stringify!($a),
+                lhs,
+                stringify!($b),
+                rhs,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gens::*;
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0usize);
+        check(
+            "always true",
+            Config::cases(100),
+            &f64_range(0.0, 1.0),
+            |_| {
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        assert_eq!(counter.get(), 100);
+    }
+
+    #[test]
+    fn failure_shrinks_toward_range_min() {
+        // Property "x < 5" fails for x in [5, 10); the halving shrink must
+        // land near the boundary while never leaving [0, 10).
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "x below 5",
+                Config::default(),
+                &f64_range(0.0, 10.0),
+                |&x| {
+                    ensure!(x < 5.0, "x = {x}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("case seed"), "missing seed in: {msg}");
+        // The minimal counterexample is printed and lies in [5, 5.1).
+        let tail = msg.split("shrink steps): ").nth(1).unwrap();
+        let x: f64 = tail.trim().parse().unwrap();
+        assert!((5.0..5.1).contains(&x), "poorly shrunk: {x}");
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len_and_bounds() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "vectors shorter than 3",
+                Config::default(),
+                &vec_of(f64_range(1.0, 2.0), 1, 10),
+                |v: &Vec<f64>| {
+                    ensure!(v.len() < 3, "len = {}", v.len());
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        let tail = msg.split("shrink steps): ").nth(1).unwrap();
+        // Minimal failing length is exactly 3, all elements at the range
+        // minimum after shrinking.
+        let v: Vec<f64> = tail
+            .trim()
+            .trim_start_matches('[')
+            .trim_end_matches(']')
+            .split(',')
+            .map(|s| s.trim().parse().unwrap())
+            .collect();
+        assert_eq!(v.len(), 3, "poorly shrunk: {v:?}");
+        assert!(v.iter().all(|&x| (1.0..2.0).contains(&x)));
+    }
+
+    #[test]
+    fn cases_are_reproducible_from_reported_seed() {
+        // Generate with a known case seed and confirm regeneration matches.
+        let gen = (f64_range(0.0, 1.0), usize_range(0, 100));
+        let mut a = SeededRng::from_seed(123);
+        let mut b = SeededRng::from_seed(123);
+        assert_eq!(gen.generate(&mut a), gen.generate(&mut b));
+    }
+
+    #[test]
+    fn filter_retries_until_predicate_holds() {
+        let gen = filter(f64_range(0.0, 1.0), |&x| x > 0.5);
+        let mut rng = SeededRng::from_seed(7);
+        for _ in 0..100 {
+            assert!(gen.generate(&mut rng) > 0.5);
+        }
+    }
+}

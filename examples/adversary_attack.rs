@@ -23,16 +23,21 @@ fn main() {
     let metric = QualityMetric::Euclidean;
 
     println!("Bayes-optimal remapping attack vs OPT on a {g}x{g} grid\n");
-    println!("{:>6}  {:>14}  {:>14}  {:>9}", "eps", "prior_err(km)", "attack_err(km)", "leak");
+    println!(
+        "{:>6}  {:>14}  {:>14}  {:>9}",
+        "eps", "prior_err(km)", "attack_err(km)", "leak"
+    );
     for eps in [0.05, 0.1, 0.3, 0.5, 1.0, 2.0] {
-        let opt = OptimalMechanism::on_grid(eps, &grid, &prior, metric)
-            .expect("OPT is feasible");
+        let opt = OptimalMechanism::on_grid(eps, &grid, &prior, metric).expect("OPT is feasible");
         let adversary = BayesianAdversary::new(prior.probs().to_vec());
         let before = adversary.prior_error(opt.channel(), metric);
         let after = adversary.expected_error(opt.channel(), metric);
         // "leak" = fraction of the adversary's prior uncertainty removed.
         let leak = 1.0 - after / before;
-        println!("{eps:>6}  {before:>14.3}  {after:>14.3}  {:>8.1}%", leak * 100.0);
+        println!(
+            "{eps:>6}  {before:>14.3}  {after:>14.3}  {:>8.1}%",
+            leak * 100.0
+        );
     }
 
     println!(

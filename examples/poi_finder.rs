@@ -15,13 +15,12 @@
 use geoind::mechanisms::Mechanism;
 use geoind::prelude::*;
 use geoind::spatial::kdtree::KdTree;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use geoind_rng::{Rng, SeededRng};
 
 fn main() {
     let dataset = SyntheticCity::vegas_like().generate_with_size(40_000, 4_000);
     let domain = dataset.domain();
-    let mut rng = StdRng::seed_from_u64(2024);
+    let mut rng = SeededRng::from_seed(2024);
 
     // The service's POI directory: 400 venues sampled from the check-in
     // distribution (restaurants cluster where people go).
@@ -40,9 +39,13 @@ fn main() {
         .expect("valid configuration");
     let pl = PlanarLaplace::new(eps);
 
-    println!("nearest-POI retrieval with {} venues, eps = {eps}\n", pois.len());
-    let queries: Vec<Point> =
-        (0..2_000).map(|_| dataset.checkins()[rng.gen_range(0..dataset.len())].location).collect();
+    println!(
+        "nearest-POI retrieval with {} venues, eps = {eps}\n",
+        pois.len()
+    );
+    let queries: Vec<Point> = (0..2_000)
+        .map(|_| dataset.checkins()[rng.gen_range(0..dataset.len())].location)
+        .collect();
 
     report("planar Laplace", &pl, &queries, &directory, &mut rng);
     report("multi-step mechanism", &msm, &queries, &directory, &mut rng);
@@ -53,7 +56,7 @@ fn report<M: Mechanism>(
     mechanism: &M,
     queries: &[Point],
     directory: &KdTree,
-    rng: &mut StdRng,
+    rng: &mut SeededRng,
 ) {
     let mut detour = 0.0;
     let mut hits = 0usize;

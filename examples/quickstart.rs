@@ -5,7 +5,7 @@
 //! ```
 
 use geoind::prelude::*;
-use rand::SeedableRng;
+use geoind_rng::SeededRng;
 
 fn main() {
     // 1. A city: 20×20 km with a synthetic check-in history standing in for
@@ -41,7 +41,7 @@ fn main() {
 
     // 4. Sanitize a location. The same mechanism object serves any number
     //    of queries; per-node channels are solved once and cached.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = SeededRng::from_seed(42);
     let user = dataset.checkins()[17].location;
     let reported = msm.report(user, &mut rng);
     println!(
@@ -56,8 +56,8 @@ fn main() {
     // 5. Compare against the planar-Laplace baseline over 1,000 queries.
     let metric = QualityMetric::Euclidean;
     let evaluator = Evaluator::sample_from(&dataset, 1_000, 7);
-    let pl = PlanarLaplace::new(0.5)
-        .with_grid_remap(Grid::new(domain, msm.effective_granularity()));
+    let pl =
+        PlanarLaplace::new(0.5).with_grid_remap(Grid::new(domain, msm.effective_granularity()));
     println!("\n{}", evaluator.measure(&pl, metric, 1).summary());
     println!("{}", evaluator.measure(&msm, metric, 1).summary());
 }

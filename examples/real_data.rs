@@ -13,7 +13,7 @@
 
 use geoind::data::loader::{load_gowalla, AUSTIN};
 use geoind::prelude::*;
-use rand::SeedableRng;
+use geoind_rng::SeededRng;
 use std::io::Write;
 
 fn main() {
@@ -42,7 +42,10 @@ fn main() {
         dataset.num_users()
     );
     for c in dataset.checkins().iter().take(3) {
-        println!("  user {} at ({:.3}, {:.3}) km", c.user, c.location.x, c.location.y);
+        println!(
+            "  user {} at ({:.3}, {:.3}) km",
+            c.user, c.location.x, c.location.y
+        );
     }
 
     // The rest of the pipeline is dataset-agnostic.
@@ -52,7 +55,7 @@ fn main() {
         .granularity(2)
         .build()
         .expect("valid configuration");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = SeededRng::from_seed(1);
     let x = dataset.checkins()[0].location;
     let z = msm.report(x, &mut rng);
     println!(

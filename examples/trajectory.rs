@@ -12,8 +12,7 @@
 
 use geoind::mechanisms::trajectory::{StepOutcome, TrajectoryProtector};
 use geoind::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use geoind_rng::SeededRng;
 
 fn main() {
     let dataset = SyntheticCity::austin_like().generate_with_size(40_000, 4_000);
@@ -29,8 +28,8 @@ fn main() {
         .expect("valid configuration");
 
     // Session: at most eps = 1.5 total; don't re-report within 250 m.
-    let mut protector = TrajectoryProtector::new(msm, per_report_eps, 1.5, 0.25)
-        .expect("valid session parameters");
+    let mut protector =
+        TrajectoryProtector::new(msm, per_report_eps, 1.5, 0.25).expect("valid session parameters");
 
     // A trace: drive east, park for four ticks, drive north.
     let mut trace = Vec::new();
@@ -53,7 +52,7 @@ fn main() {
         "{:>4}  {:>16}  {:>16}  {:>9}  {:>9}  event",
         "t", "true (km)", "reported (km)", "loss km", "spent"
     );
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SeededRng::from_seed(99);
     for (t, &x) in trace.iter().enumerate() {
         let outcome = protector.step(x, &mut rng);
         let (z, event) = match outcome {

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 verification: everything a clean checkout must pass, fully offline.
+#
+# The workspace is hermetic by policy (see DESIGN.md §6): every dependency is
+# a path crate inside this repository, so `--offline` must always succeed.
+# If a build here reaches for the network, a forbidden external dependency
+# slipped into a Cargo.toml.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo build --workspace --release --offline"
+cargo build --workspace --release --offline
+
+echo "== cargo test --workspace -q --offline"
+cargo test --workspace -q --offline
+
+echo "== ci: all checks passed"

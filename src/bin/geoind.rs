@@ -15,8 +15,7 @@ use geoind::data::loader::{load_gowalla, AUSTIN, LAS_VEGAS};
 use geoind::mechanisms::audit::{audit_geoind, AuditConfig};
 use geoind::mechanisms::Mechanism;
 use geoind::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use geoind_rng::SeededRng;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -62,22 +61,25 @@ fn parse_flags(args: impl Iterator<Item = String>) -> Result<Flags, String> {
         let Some(name) = a.strip_prefix("--") else {
             return Err(format!("expected a --flag, got '{a}'"));
         };
-        let value = args.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        let value = args
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
         flags.insert(name.to_string(), value);
     }
     Ok(flags)
 }
 
 fn get_f64(flags: &Flags, name: &str, default: f64) -> Result<f64, String> {
-    flags
-        .get(name)
-        .map_or(Ok(default), |v| v.parse().map_err(|_| format!("--{name}: bad number '{v}'")))
+    flags.get(name).map_or(Ok(default), |v| {
+        v.parse().map_err(|_| format!("--{name}: bad number '{v}'"))
+    })
 }
 
 fn get_u64(flags: &Flags, name: &str, default: u64) -> Result<u64, String> {
-    flags
-        .get(name)
-        .map_or(Ok(default), |v| v.parse().map_err(|_| format!("--{name}: bad integer '{v}'")))
+    flags.get(name).map_or(Ok(default), |v| {
+        v.parse()
+            .map_err(|_| format!("--{name}: bad integer '{v}'"))
+    })
 }
 
 /// Resolve the dataset: real Gowalla file or the synthetic default.
@@ -131,11 +133,9 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
     } else {
         Point::new(get_f64(flags, "x", 10.0)?, get_f64(flags, "y", 10.0)?)
     };
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::from_seed(seed);
     let z = match flags.get("mechanism").map(String::as_str) {
-        Some("pl") => {
-            PlanarLaplace::new(eps).report(x, &mut rng)
-        }
+        Some("pl") => PlanarLaplace::new(eps).report(x, &mut rng),
         None | Some("msm") => {
             let msm = build_msm(flags, &data)?;
             println!(
@@ -185,14 +185,17 @@ fn cmd_audit(flags: &Flags) -> Result<(), String> {
         (Point::new(c, c * 0.5), Point::new(c * 1.2, c * 0.5)),
     ];
     let grid = Grid::new(data.domain(), 8);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::from_seed(seed);
     let report = match flags.get("mechanism").map(String::as_str) {
         Some("pl") | None => audit_geoind(
             &PlanarLaplace::new(eps),
             eps,
             &pairs,
             &grid,
-            AuditConfig { samples, min_cell_count: 50 },
+            AuditConfig {
+                samples,
+                min_cell_count: 50,
+            },
             &mut rng,
         ),
         Some("msm") => {
@@ -203,13 +206,27 @@ fn cmd_audit(flags: &Flags) -> Result<(), String> {
                 .iter()
                 .map(|(a, b)| msm.composition_bound(*a, *b) / a.dist(*b))
                 .fold(0.0f64, f64::max);
+            if eff <= 0.0 {
+                // Every audit pair snapped to the same cell at every level:
+                // the mechanism treats the pair identically (bound 0), so a
+                // positive-eps audit is meaningless at this granularity.
+                return Err(
+                    "audit pairs are indistinguishable under this MSM configuration \
+                     (composition bound 0); raise --eps or --g so the hierarchy \
+                     separates them"
+                        .into(),
+                );
+            }
             println!("# auditing MSM against its composition bound (eff eps {eff:.3})");
             audit_geoind(
                 &msm,
                 eff,
                 &pairs,
                 &grid,
-                AuditConfig { samples, min_cell_count: 50 },
+                AuditConfig {
+                    samples,
+                    min_cell_count: 50,
+                },
                 &mut rng,
             )
         }
@@ -218,15 +235,27 @@ fn cmd_audit(flags: &Flags) -> Result<(), String> {
     for f in &report.findings {
         println!(
             "pair ({:.1},{:.1})~({:.1},{:.1}): log-ratio {:.3}, allowance {:.3}, excess {:+.3}",
-            f.a.x, f.a.y, f.b.x, f.b.y, f.log_ratio, f.allowance, f.excess()
+            f.a.x,
+            f.a.y,
+            f.b.x,
+            f.b.y,
+            f.log_ratio,
+            f.allowance,
+            f.excess()
         );
     }
     let slack = 0.45;
     if report.passes(slack) {
-        println!("PASS (worst excess {:+.3} <= slack {slack})", report.worst_excess());
+        println!(
+            "PASS (worst excess {:+.3} <= slack {slack})",
+            report.worst_excess()
+        );
         Ok(())
     } else {
-        Err(format!("AUDIT FAILED: worst excess {:+.3} > slack {slack}", report.worst_excess()))
+        Err(format!(
+            "AUDIT FAILED: worst excess {:+.3} > slack {slack}",
+            report.worst_excess()
+        ))
     }
 }
 

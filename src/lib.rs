@@ -14,7 +14,6 @@
 //!
 //! ```
 //! use geoind::prelude::*;
-//! use rand::SeedableRng;
 //!
 //! // A 20x20 km city with a synthetic check-in history.
 //! let dataset = SyntheticCity::austin_like().generate_with_size(5_000, 500);
@@ -28,7 +27,7 @@
 //!     .rho(0.8)
 //!     .build()
 //!     .unwrap();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = SeededRng::from_seed(7);
 //! let reported = msm.report(dataset.checkins()[0].location, &mut rng);
 //! assert!(domain.contains(reported));
 //! ```
@@ -39,6 +38,7 @@ pub use geoind_core as mechanisms;
 pub use geoind_data as data;
 pub use geoind_lp as lp;
 pub use geoind_math as math;
+pub use geoind_rng as rng;
 pub use geoind_spatial as spatial;
 
 /// One-stop imports for typical use of the library.
@@ -55,6 +55,7 @@ pub mod prelude {
     pub use geoind_data::checkin::{CheckIn, Dataset};
     pub use geoind_data::prior::GridPrior;
     pub use geoind_data::synth::SyntheticCity;
+    pub use geoind_rng::{Rng, SeededRng};
     pub use geoind_spatial::geom::{BBox, Point};
     pub use geoind_spatial::grid::Grid;
 }

@@ -49,7 +49,11 @@ fn protect_km_plane_roundtrip() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("reported (km):"));
     assert!(text.contains("loss     (km):"));
@@ -58,7 +62,15 @@ fn protect_km_plane_roundtrip() {
 #[test]
 fn protect_rejects_out_of_window_coordinates() {
     let out = geoind()
-        .args(["protect", "--lat", "48.85", "--lon", "2.35", "--synthetic-size", "2000"])
+        .args([
+            "protect",
+            "--lat",
+            "48.85",
+            "--lon",
+            "2.35",
+            "--synthetic-size",
+            "2000",
+        ])
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(1));
@@ -92,7 +104,11 @@ fn precompute_writes_a_loadable_bundle() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let blob = std::fs::read(&path).expect("bundle written");
     assert!(blob.starts_with(b"GEOIND01"));
     std::fs::remove_file(&path).ok();

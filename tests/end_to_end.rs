@@ -2,8 +2,7 @@
 
 use geoind::mechanisms::Mechanism;
 use geoind::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use geoind_rng::SeededRng;
 
 fn small_city() -> Dataset {
     SyntheticCity::austin_like().generate_with_size(20_000, 2_000)
@@ -19,7 +18,7 @@ fn full_pipeline_produces_in_domain_reports() {
         .granularity(2)
         .build()
         .expect("valid configuration");
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = SeededRng::from_seed(5);
     for c in dataset.checkins().iter().take(500) {
         let z = msm.report(c.location, &mut rng);
         assert!(domain.contains_closed(z), "{z:?} escaped the domain");
@@ -40,8 +39,8 @@ fn msm_beats_planar_laplace_at_tight_budget() {
         .granularity(4)
         .build()
         .expect("valid configuration");
-    let pl = PlanarLaplace::new(0.1)
-        .with_grid_remap(Grid::new(domain, msm.effective_granularity()));
+    let pl =
+        PlanarLaplace::new(0.1).with_grid_remap(Grid::new(domain, msm.effective_granularity()));
 
     let msm_loss = evaluator.measure(&msm, metric, 1).mean_loss;
     let pl_loss = evaluator.measure(&pl, metric, 1).mean_loss;
@@ -108,7 +107,7 @@ fn mechanisms_are_shareable_across_threads() {
         .map(|t| {
             let msm = std::sync::Arc::clone(&msm);
             std::thread::spawn(move || {
-                let mut rng = StdRng::seed_from_u64(t);
+                let mut rng = SeededRng::from_seed(t);
                 for i in 0..100 {
                     let x = Point::new((i % 19) as f64 + 0.5, (i % 17) as f64 + 0.5);
                     let z = msm.report(x, &mut rng);

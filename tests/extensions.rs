@@ -7,8 +7,7 @@ use geoind::mechanisms::remap::{empirical_channel, RemappedMechanism};
 use geoind::mechanisms::trajectory::TrajectoryProtector;
 use geoind::mechanisms::Mechanism;
 use geoind::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use geoind_rng::SeededRng;
 
 fn city() -> Dataset {
     SyntheticCity::austin_like().generate_with_size(15_000, 1_500)
@@ -32,12 +31,16 @@ fn offline_provisioning_flow_end_to_end() {
     let mut blob = Vec::new();
     provisioner.export_cache(&mut blob).unwrap();
     // "Tens of megabytes" in the paper; kilobytes at this configuration.
-    assert!(blob.len() < 1_000_000, "blob unexpectedly large: {} bytes", blob.len());
+    assert!(
+        blob.len() < 1_000_000,
+        "blob unexpectedly large: {} bytes",
+        blob.len()
+    );
 
     let device = build();
     device.import_cache(&mut blob.as_slice()).unwrap();
     assert_eq!(device.cached_channels(), nodes);
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = SeededRng::from_seed(3);
     let z = device.report(dataset.checkins()[0].location, &mut rng);
     assert!(dataset.domain().contains_closed(z));
     // No new channels were solved to answer the query.
@@ -55,7 +58,7 @@ fn trajectory_protection_with_msm_mechanism() {
         .unwrap();
     let mut protector = TrajectoryProtector::new(msm, per_eps, 0.9, 0.2).unwrap();
     let trace: Vec<Point> = (0..6).map(|i| Point::new(5.0 + i as f64, 10.0)).collect();
-    let mut rng = StdRng::seed_from_u64(4);
+    let mut rng = SeededRng::from_seed(4);
     let out = protector.protect_trace(&trace, &mut rng);
     // 0.9 / 0.3 = 3 fresh releases affordable; 1-km steps defeat the
     // 200 m suppression radius, so exactly 3 succeed.
@@ -74,7 +77,7 @@ fn remapped_pl_beats_raw_pl_on_skewed_prior() {
     let metric = QualityMetric::SqEuclidean;
 
     let pl = PlanarLaplace::new(eps).with_grid_remap(grid.clone());
-    let mut rng = StdRng::seed_from_u64(10);
+    let mut rng = SeededRng::from_seed(10);
     let channel = empirical_channel(&pl, &grid.centers(), &grid.centers(), 3_000, &mut rng);
     let remapped = RemappedMechanism::new(
         PlanarLaplace::new(eps).with_grid_remap(grid.clone()),
@@ -104,21 +107,28 @@ fn auditor_clears_msm_and_flags_a_leak() {
     let bound = msm.composition_bound(a, b);
     let effective_eps = bound / a.dist(b);
     let grid = Grid::new(dataset.domain(), 8);
-    let mut rng = StdRng::seed_from_u64(12);
+    let mut rng = SeededRng::from_seed(12);
     let report = audit_geoind(
         &msm,
         effective_eps,
         &[(a, b)],
         &grid,
-        AuditConfig { samples: 15_000, min_cell_count: 40 },
+        AuditConfig {
+            samples: 15_000,
+            min_cell_count: 40,
+        },
         &mut rng,
     );
-    assert!(report.passes(0.5), "MSM flagged: excess {}", report.worst_excess());
+    assert!(
+        report.passes(0.5),
+        "MSM flagged: excess {}",
+        report.worst_excess()
+    );
 
     // A deliberately broken deployment (claims eps, runs 5*eps) is caught.
     struct Mislabeled(PlanarLaplace);
     impl Mechanism for Mislabeled {
-        fn report<R: rand::Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
+        fn report<R: geoind_rng::Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
             self.0.report(x, rng)
         }
         fn name(&self) -> String {
@@ -131,8 +141,14 @@ fn auditor_clears_msm_and_flags_a_leak() {
         eps,
         &[(Point::new(7.0, 10.0), Point::new(13.0, 10.0))],
         &grid,
-        AuditConfig { samples: 15_000, min_cell_count: 40 },
+        AuditConfig {
+            samples: 15_000,
+            min_cell_count: 40,
+        },
         &mut rng,
     );
-    assert!(!report.passes(0.5), "broken deployment slipped through the audit");
+    assert!(
+        !report.passes(0.5),
+        "broken deployment slipped through the audit"
+    );
 }

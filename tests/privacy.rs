@@ -6,7 +6,8 @@
 use geoind::mechanisms::adversary::BayesianAdversary;
 use geoind::mechanisms::alloc::AllocationStrategy;
 use geoind::prelude::*;
-use proptest::prelude::*;
+use geoind_testkit::gens::{f64_range, filter, vec_of};
+use geoind_testkit::{check, ensure, Config};
 
 fn city() -> Dataset {
     SyntheticCity::vegas_like().generate_with_size(15_000, 1_500)
@@ -38,8 +39,10 @@ fn msm_end_to_end_respects_the_composition_bound() {
         .expect("valid configuration");
     let leaf = msm.leaf_grid();
     let points = leaf.centers();
-    let dists: Vec<Vec<f64>> =
-        points.iter().map(|x| msm.exact_output_distribution(*x)).collect();
+    let dists: Vec<Vec<f64>> = points
+        .iter()
+        .map(|x| msm.exact_output_distribution(*x))
+        .collect();
     for (i, x) in points.iter().enumerate() {
         for (j, xp) in points.iter().enumerate() {
             if i == j {
@@ -74,7 +77,9 @@ fn adversary_gain_is_capped_by_the_geoind_factor() {
     let adv = BayesianAdversary::new(prior.probs().to_vec());
     let channel = opt.channel();
     for z in 0..channel.num_outputs() {
-        let Some(post) = adv.posterior(channel, z) else { continue };
+        let Some(post) = adv.posterior(channel, z) else {
+            continue;
+        };
         for x in 0..channel.num_inputs() {
             for xp in 0..channel.num_inputs() {
                 if x == xp || adv.prior()[x] == 0.0 || adv.prior()[xp] == 0.0 {
@@ -96,35 +101,49 @@ fn adversary_gain_is_capped_by_the_geoind_factor() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// OPT channels satisfy the GeoInd constraints for randomized priors
+/// and budgets (small grids to keep the LP tiny).
+#[test]
+fn opt_geoind_under_random_priors() {
+    check(
+        "opt_geoind_under_random_priors",
+        Config::cases(16),
+        &(
+            filter(vec_of(f64_range(0.0, 10.0), 9, 9), |w: &Vec<f64>| {
+                w.iter().sum::<f64>() > 0.0
+            }),
+            f64_range(0.1, 1.5),
+        ),
+        |(weights, eps)| {
+            let eps = *eps;
+            let domain = BBox::square(12.0);
+            let grid = Grid::new(domain, 3);
+            let prior = GridPrior::from_weights(grid.clone(), weights.clone());
+            let opt = OptimalMechanism::on_grid(eps, &grid, &prior, QualityMetric::Euclidean)
+                .expect("feasible");
+            ensure!(opt.channel().geoind_violation(eps) <= 1e-6);
+            // Rows are distributions.
+            for x in 0..9 {
+                let s: f64 = opt.channel().row(x).iter().sum();
+                ensure!((s - 1.0).abs() < 1e-9);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// OPT channels satisfy the GeoInd constraints for randomized priors
-    /// and budgets (small grids to keep the LP tiny).
-    #[test]
-    fn opt_geoind_under_random_priors(
-        weights in prop::collection::vec(0.0..10.0f64, 9),
-        eps in 0.1..1.5f64,
-    ) {
-        prop_assume!(weights.iter().sum::<f64>() > 0.0);
-        let domain = BBox::square(12.0);
-        let grid = Grid::new(domain, 3);
-        let prior = GridPrior::from_weights(grid.clone(), weights);
-        let opt = OptimalMechanism::on_grid(eps, &grid, &prior, QualityMetric::Euclidean)
-            .expect("feasible");
-        prop_assert!(opt.channel().geoind_violation(eps) <= 1e-6);
-        // Rows are distributions.
-        for x in 0..9 {
-            let s: f64 = opt.channel().row(x).iter().sum();
-            prop_assert!((s - 1.0).abs() < 1e-9);
-        }
-    }
-
-    /// The planar-Laplace sampled radius follows the analytic CDF.
-    #[test]
-    fn planar_laplace_radius_matches_cdf(eps in 0.2..2.0f64, p in 0.01..0.99f64) {
-        let r = geoind::math::sampling::planar_laplace_inverse_cdf(eps, p);
-        let cdf = 1.0 - (1.0 + eps * r) * (-eps * r).exp();
-        prop_assert!((cdf - p).abs() < 1e-9);
-    }
+/// The planar-Laplace sampled radius follows the analytic CDF.
+#[test]
+fn planar_laplace_radius_matches_cdf() {
+    check(
+        "planar_laplace_radius_matches_cdf",
+        Config::cases(256),
+        &(f64_range(0.2, 2.0), f64_range(0.01, 0.99)),
+        |&(eps, p)| {
+            let r = geoind::math::sampling::planar_laplace_inverse_cdf(eps, p);
+            let cdf = 1.0 - (1.0 + eps * r) * (-eps * r).exp();
+            ensure!((cdf - p).abs() < 1e-9);
+            Ok(())
+        },
+    );
 }
