@@ -13,8 +13,10 @@
 //! match OPT's effective granularity in Table 2) and
 //! [`AllocationStrategy::Uniform`] (an ablation baseline).
 
+use crate::MechanismError;
 use geoind_math::lattice::self_map_probability;
 use geoind_math::roots::bisect_increasing;
+use geoind_testkit::failpoint;
 
 /// How the total budget is split across levels.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,7 +114,21 @@ impl BudgetAllocator {
     /// geometrically (`×g`) with the level, since the cell side shrinks by
     /// `g` per level.
     pub fn min_budget_for_level(&self, level: u32) -> f64 {
-        assert!(level >= 1, "levels are 1-based");
+        self.try_min_budget_for_level(level)
+            .expect("Phi approaches 1, so a solution always exists")
+    }
+
+    /// Fallible form of [`Self::min_budget_for_level`]: reports root-finding
+    /// failure as [`MechanismError::AllocationFailed`] instead of panicking.
+    ///
+    /// # Errors
+    /// [`MechanismError::BadParameter`] on `level == 0`;
+    /// [`MechanismError::AllocationFailed`] when the Problem-1 root search
+    /// cannot bracket a solution.
+    pub fn try_min_budget_for_level(&self, level: u32) -> Result<f64, MechanismError> {
+        if level < 1 {
+            return Err(MechanismError::BadParameter("levels are 1-based".into()));
+        }
         // Cell side at this level: L / g^level.
         let side = self.region_side / (self.g as f64).powi(level as i32 - 1);
         bisect_increasing(
@@ -122,7 +138,12 @@ impl BudgetAllocator {
             1e9,
             1e-10,
         )
-        .expect("Phi approaches 1, so a solution always exists")
+        .ok_or_else(|| {
+            MechanismError::AllocationFailed(format!(
+                "no budget reaches rho={} at level {level} (cell side {side})",
+                self.rho
+            ))
+        })
     }
 
     /// Split `eps` across levels according to `strategy`.
@@ -133,23 +154,45 @@ impl BudgetAllocator {
     ///
     /// // 20 km region, 3x3 per-level grid, 80% self-map target.
     /// let alloc = BudgetAllocator::new(20.0, 3, 0.8);
-    /// let budgets = alloc.allocate(0.5, AllocationStrategy::Auto { max_height: 5 });
+    /// let budgets = alloc
+    ///     .allocate(0.5, AllocationStrategy::Auto { max_height: 5 })
+    ///     .unwrap();
     /// assert_eq!(budgets.height(), 2);                 // the paper's Table-2 regime
     /// assert!((budgets.total() - 0.5).abs() < 1e-9);   // composability: sums to eps
     /// ```
     ///
-    /// # Panics
-    /// Panics if `eps <= 0` or the strategy requests a zero height.
-    pub fn allocate(&self, eps: f64, strategy: AllocationStrategy) -> LevelBudgets {
-        assert!(eps > 0.0, "total budget must be positive");
+    /// # Errors
+    /// [`MechanismError::BadParameter`] if `eps <= 0` or the strategy
+    /// requests a zero height; [`MechanismError::AllocationFailed`] when a
+    /// level's Problem-1 minimum cannot be computed.
+    pub fn allocate(
+        &self,
+        eps: f64,
+        strategy: AllocationStrategy,
+    ) -> Result<LevelBudgets, MechanismError> {
+        if failpoint::hit("alloc.budget.infeasible") {
+            return Err(MechanismError::AllocationFailed(format!(
+                "injected: no feasible split of eps={eps} (failpoint \
+                 alloc.budget.infeasible)"
+            )));
+        }
+        if eps <= 0.0 || !eps.is_finite() {
+            return Err(MechanismError::BadParameter(format!(
+                "total budget must be positive, got {eps}"
+            )));
+        }
         match strategy {
             AllocationStrategy::Auto { max_height } => {
-                assert!(max_height >= 1, "max_height must be >= 1");
+                if max_height < 1 {
+                    return Err(MechanismError::BadParameter(
+                        "max_height must be >= 1".into(),
+                    ));
+                }
                 let mut budgets = Vec::new();
                 let mut needed = Vec::new();
                 let mut remaining = eps;
                 for level in 1..=max_height {
-                    let need = self.min_budget_for_level(level);
+                    let need = self.try_min_budget_for_level(level)?;
                     needed.push(need);
                     if need >= remaining || level == max_height {
                         budgets.push(remaining);
@@ -158,11 +201,15 @@ impl BudgetAllocator {
                     budgets.push(need);
                     remaining -= need;
                 }
-                LevelBudgets { budgets, needed }
+                Ok(LevelBudgets { budgets, needed })
             }
             AllocationStrategy::FixedHeight(h) => {
-                assert!(h >= 1, "height must be >= 1");
-                let needed: Vec<f64> = (1..=h).map(|l| self.min_budget_for_level(l)).collect();
+                if h < 1 {
+                    return Err(MechanismError::BadParameter("height must be >= 1".into()));
+                }
+                let needed = (1..=h)
+                    .map(|l| self.try_min_budget_for_level(l))
+                    .collect::<Result<Vec<f64>, _>>()?;
                 // Greedy pass, leaf absorbs the remainder.
                 let mut budgets = Vec::with_capacity(h as usize);
                 let mut remaining = eps;
@@ -189,15 +236,19 @@ impl BudgetAllocator {
                     let total: f64 = weights.iter().sum();
                     budgets = weights.iter().map(|w| eps * w / total).collect();
                 }
-                LevelBudgets { budgets, needed }
+                Ok(LevelBudgets { budgets, needed })
             }
             AllocationStrategy::Uniform(h) => {
-                assert!(h >= 1, "height must be >= 1");
-                let needed = (1..=h).map(|l| self.min_budget_for_level(l)).collect();
-                LevelBudgets {
+                if h < 1 {
+                    return Err(MechanismError::BadParameter("height must be >= 1".into()));
+                }
+                let needed = (1..=h)
+                    .map(|l| self.try_min_budget_for_level(l))
+                    .collect::<Result<Vec<f64>, _>>()?;
+                Ok(LevelBudgets {
                     budgets: vec![eps / h as f64; h as usize],
                     needed,
-                }
+                })
             }
         }
     }
@@ -241,7 +292,9 @@ mod tests {
         // g=3, L=20, rho=0.8: level 1 needs ~0.46; at eps=0.5 the index has
         // two levels with the leftover on level 2 (the Table-2 regime).
         let a = alloc();
-        let lb = a.allocate(0.5, AllocationStrategy::Auto { max_height: 5 });
+        let lb = a
+            .allocate(0.5, AllocationStrategy::Auto { max_height: 5 })
+            .unwrap();
         assert_eq!(lb.height(), 2);
         assert!((lb.total() - 0.5).abs() < 1e-12);
         assert!(lb.level(1) > 0.4 && lb.level(1) < 0.5);
@@ -251,7 +304,9 @@ mod tests {
     #[test]
     fn auto_consumes_whole_budget() {
         for eps in [0.1, 0.5, 2.0, 10.0] {
-            let lb = alloc().allocate(eps, AllocationStrategy::Auto { max_height: 6 });
+            let lb = alloc()
+                .allocate(eps, AllocationStrategy::Auto { max_height: 6 })
+                .unwrap();
             assert!((lb.total() - eps).abs() < 1e-9, "eps={eps}");
             for &b in lb.budgets() {
                 assert!(b > 0.0);
@@ -264,16 +319,20 @@ mod tests {
         let a = alloc();
         let h_small = a
             .allocate(0.2, AllocationStrategy::Auto { max_height: 8 })
+            .unwrap()
             .height();
         let h_big = a
             .allocate(5.0, AllocationStrategy::Auto { max_height: 8 })
+            .unwrap()
             .height();
         assert!(h_big > h_small, "{h_big} vs {h_small}");
     }
 
     #[test]
     fn auto_respects_height_cap() {
-        let lb = alloc().allocate(100.0, AllocationStrategy::Auto { max_height: 3 });
+        let lb = alloc()
+            .allocate(100.0, AllocationStrategy::Auto { max_height: 3 })
+            .unwrap();
         assert_eq!(lb.height(), 3);
         assert!((lb.total() - 100.0).abs() < 1e-9);
     }
@@ -282,7 +341,9 @@ mod tests {
     fn fixed_height_greedy_when_affordable() {
         let a = alloc();
         let need1 = a.min_budget_for_level(1);
-        let lb = a.allocate(need1 * 2.0, AllocationStrategy::FixedHeight(2));
+        let lb = a
+            .allocate(need1 * 2.0, AllocationStrategy::FixedHeight(2))
+            .unwrap();
         assert_eq!(lb.height(), 2);
         assert!((lb.level(1) - need1).abs() < 1e-9);
         assert!((lb.level(2) - need1).abs() < 1e-9); // remainder
@@ -292,7 +353,7 @@ mod tests {
     fn fixed_height_impact_weighted_when_starved() {
         let a = alloc();
         // Budget below even level 1's need: greedy would starve level 2+.
-        let lb = a.allocate(0.1, AllocationStrategy::FixedHeight(3));
+        let lb = a.allocate(0.1, AllocationStrategy::FixedHeight(3)).unwrap();
         assert_eq!(lb.height(), 3);
         assert!((lb.total() - 0.1).abs() < 1e-12);
         for &b in lb.budgets() {
@@ -307,7 +368,9 @@ mod tests {
 
     #[test]
     fn uniform_splits_evenly() {
-        let lb = alloc().allocate(0.9, AllocationStrategy::Uniform(3));
+        let lb = alloc()
+            .allocate(0.9, AllocationStrategy::Uniform(3))
+            .unwrap();
         for &b in lb.budgets() {
             assert!((b - 0.3).abs() < 1e-12);
         }

@@ -24,6 +24,10 @@
 #![allow(clippy::needless_range_loop)]
 // Test reference constants keep full printed precision from their sources.
 #![allow(clippy::excessive_precision)]
+// Library code reports failures as typed `MechanismError`s; panicking
+// unwraps are confined to tests. (`expect` with an invariant message
+// remains allowed.)
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod adversary;
 pub mod alloc;
@@ -37,6 +41,7 @@ pub mod opt;
 pub mod planar_laplace;
 pub mod pmsm;
 pub mod remap;
+pub mod resilient;
 pub mod spanner;
 pub mod trajectory;
 
@@ -51,6 +56,7 @@ pub use opt::OptimalMechanism;
 pub use planar_laplace::PlanarLaplace;
 pub use pmsm::{KdMsmMechanism, PartitionMsm, QuadMsmMechanism};
 pub use remap::RemappedMechanism;
+pub use resilient::{DegradationReport, ResilientMechanism, Tier};
 pub use trajectory::{BudgetLedger, StepOutcome, TrajectoryProtector};
 
 use geoind_rng::Rng;
@@ -66,25 +72,70 @@ pub trait Mechanism {
     fn name(&self) -> String;
 }
 
-/// Errors produced while constructing mechanisms.
+/// Errors produced while constructing or running mechanisms.
+///
+/// Every variant carries enough structure for a caller (notably
+/// [`ResilientMechanism`]) to decide how to degrade; inner errors are
+/// reachable through [`std::error::Error::source`], not flattened into
+/// the `Display` text.
 #[derive(Debug)]
 pub enum MechanismError {
     /// A parameter is out of its valid range.
     BadParameter(String),
-    /// The underlying linear program failed.
+    /// The underlying linear program failed (see `source()` for which way).
     Lp(geoind_lp::LpError),
+    /// Budget allocation across index levels has no feasible solution.
+    AllocationFailed(String),
+    /// An offline channel-cache blob failed structural validation.
+    CacheCorrupt {
+        /// Which part of the blob failed (`header`, `entry 3`, …).
+        section: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A lock guarding shared mechanism state was poisoned by a panic on
+    /// another thread; the guarded data can no longer be trusted.
+    LockPoisoned(&'static str),
+    /// A request was served by a lower tier of the degradation ladder;
+    /// `source` is the error that forced the fallback.
+    Degraded {
+        /// The tier that actually served the request.
+        tier: Tier,
+        /// The failure that made the higher tier unavailable.
+        source: Box<MechanismError>,
+    },
 }
 
 impl std::fmt::Display for MechanismError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MechanismError::BadParameter(m) => write!(f, "bad parameter: {m}"),
-            MechanismError::Lp(e) => write!(f, "lp solver: {e}"),
+            MechanismError::Lp(_) => write!(f, "lp solver failed"),
+            MechanismError::AllocationFailed(m) => {
+                write!(f, "budget allocation failed: {m}")
+            }
+            MechanismError::CacheCorrupt { section, detail } => {
+                write!(f, "channel cache corrupt at {section}: {detail}")
+            }
+            MechanismError::LockPoisoned(what) => {
+                write!(f, "lock poisoned: {what}")
+            }
+            MechanismError::Degraded { tier, .. } => {
+                write!(f, "request served by degraded tier {tier}")
+            }
         }
     }
 }
 
-impl std::error::Error for MechanismError {}
+impl std::error::Error for MechanismError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MechanismError::Lp(e) => Some(e),
+            MechanismError::Degraded { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<geoind_lp::LpError> for MechanismError {
     fn from(e: geoind_lp::LpError) -> Self {

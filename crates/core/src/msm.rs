@@ -27,6 +27,7 @@ use geoind_rng::Rng;
 use geoind_spatial::geom::{BBox, Point};
 use geoind_spatial::grid::Grid;
 use geoind_spatial::hier::{HierGrid, LevelCell};
+use geoind_testkit::failpoint;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::sync::{PoisonError, RwLock};
@@ -117,7 +118,7 @@ impl MsmBuilder {
             ));
         }
         let allocator = BudgetAllocator::new(self.domain.side(), self.g, self.rho);
-        let budgets = allocator.allocate(eps, self.strategy);
+        let budgets = allocator.allocate(eps, self.strategy)?;
         let hier = HierGrid::new(self.domain, self.g, budgets.height());
         Ok(MsmMechanism {
             hier,
@@ -221,8 +222,11 @@ impl MsmMechanism {
     }
 
     /// Internal accessors for the offline precompute/persistence module.
-    pub(crate) fn channel_for_offline(&self, parent: LevelCell) -> Arc<Channel> {
-        self.channel_for(parent)
+    pub(crate) fn channel_for_offline(
+        &self,
+        parent: LevelCell,
+    ) -> Result<Arc<Channel>, MechanismError> {
+        self.try_channel_for(parent)
     }
 
     pub(crate) fn children_of(&self, parent: LevelCell) -> Vec<LevelCell> {
@@ -253,32 +257,64 @@ impl MsmMechanism {
     }
 
     /// The optimal channel over the children of `parent` (level
-    /// `parent.level + 1`), memoized when caching is enabled.
+    /// `parent.level + 1`), memoized when caching is enabled. Panicking
+    /// convenience wrapper around [`Self::try_channel_for`].
     fn channel_for(&self, parent: LevelCell) -> Arc<Channel> {
+        self.try_channel_for(parent).expect(
+            "per-node channel construction failed; use try_report / \
+                     ResilientMechanism for graceful degradation",
+        )
+    }
+
+    /// The optimal channel over the children of `parent`, memoized when
+    /// caching is enabled.
+    ///
+    /// # Errors
+    /// [`MechanismError::LockPoisoned`] when the channel cache's lock was
+    /// poisoned by a panic on another thread (the memoized channels can no
+    /// longer be trusted); any [`MechanismError`] from the per-node OPT
+    /// solve.
+    pub fn try_channel_for(&self, parent: LevelCell) -> Result<Arc<Channel>, MechanismError> {
         if self.caching {
-            if let Some(c) = self
-                .cache
-                .read()
-                .unwrap_or_else(PoisonError::into_inner)
-                .get(&parent)
-            {
-                return Arc::clone(c);
+            if let Some(c) = self.lock_read()?.get(&parent) {
+                return Ok(Arc::clone(c));
             }
         }
-        let built = Arc::new(self.build_channel(parent));
+        let built = Arc::new(self.build_channel(parent)?);
         if self.caching {
-            self.cache
-                .write()
-                .unwrap_or_else(PoisonError::into_inner)
-                .insert(parent, Arc::clone(&built));
+            self.lock_write()?.insert(parent, Arc::clone(&built));
         }
-        built
+        Ok(built)
+    }
+
+    fn lock_read(
+        &self,
+    ) -> Result<std::sync::RwLockReadGuard<'_, HashMap<LevelCell, Arc<Channel>>>, MechanismError>
+    {
+        if failpoint::hit("cache.lock.poisoned") {
+            return Err(MechanismError::LockPoisoned("msm channel cache"));
+        }
+        self.cache
+            .read()
+            .map_err(|_| MechanismError::LockPoisoned("msm channel cache"))
+    }
+
+    fn lock_write(
+        &self,
+    ) -> Result<std::sync::RwLockWriteGuard<'_, HashMap<LevelCell, Arc<Channel>>>, MechanismError>
+    {
+        if failpoint::hit("cache.lock.poisoned") {
+            return Err(MechanismError::LockPoisoned("msm channel cache"));
+        }
+        self.cache
+            .write()
+            .map_err(|_| MechanismError::LockPoisoned("msm channel cache"))
     }
 
     /// Solve the per-node OPT: `g²` child-cell centers, the global prior
     /// restricted to the node and renormalized (uniform when the node has
     /// zero mass), and the level budget.
-    fn build_channel(&self, parent: LevelCell) -> Channel {
+    fn build_channel(&self, parent: LevelCell) -> Result<Channel, MechanismError> {
         let children = self.hier.children(parent);
         let centers: Vec<Point> = children.iter().map(|c| self.hier.center(*c)).collect();
         let extents: Vec<BBox> = children.iter().map(|c| self.hier.extent(*c)).collect();
@@ -290,9 +326,39 @@ impl MsmMechanism {
         let level = parent.level + 1;
         let eps_i = self.budgets.level(level);
         let opt =
-            OptimalMechanism::solve_with(eps_i, &centers, &masses, self.metric, self.opt_options)
-                .expect("per-node OPT is feasible by construction");
-        opt.channel().clone()
+            OptimalMechanism::solve_with(eps_i, &centers, &masses, self.metric, self.opt_options)?;
+        Ok(opt.channel().clone())
+    }
+
+    /// Fallible form of [`Mechanism::report`]: the full hierarchical
+    /// descent, surfacing any per-node construction or cache failure as a
+    /// typed error instead of panicking. [`crate::ResilientMechanism`]
+    /// builds its degradation ladder on this.
+    ///
+    /// # Errors
+    /// Any [`MechanismError`] raised while fetching or building a
+    /// per-level channel.
+    pub fn try_report<R: Rng + ?Sized>(
+        &self,
+        x: Point,
+        rng: &mut R,
+    ) -> Result<Point, MechanismError> {
+        let x = clamp_into(self.hier.domain(), x);
+        let mut current = LevelCell::ROOT;
+        for _level in 1..=self.hier.height() {
+            let children = self.hier.children(current);
+            let channel = self.try_channel_for(current)?;
+            let ext = self.hier.extent(current);
+            let input_idx = if ext.contains(x) {
+                self.hier
+                    .local_index(self.hier.enclosing_cell(x, current.level + 1))
+            } else {
+                rng.gen_range(0..children.len())
+            };
+            let z = channel.sample(input_idx, rng);
+            current = children[z];
+        }
+        Ok(self.hier.center(current))
     }
 
     /// The exact distribution over leaf cells produced for input `x`
@@ -367,22 +433,10 @@ fn clamp_into(domain: BBox, p: Point) -> Point {
 
 impl Mechanism for MsmMechanism {
     fn report<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
-        let x = clamp_into(self.hier.domain(), x);
-        let mut current = LevelCell::ROOT;
-        for _level in 1..=self.hier.height() {
-            let children = self.hier.children(current);
-            let channel = self.channel_for(current);
-            let ext = self.hier.extent(current);
-            let input_idx = if ext.contains(x) {
-                self.hier
-                    .local_index(self.hier.enclosing_cell(x, current.level + 1))
-            } else {
-                rng.gen_range(0..children.len())
-            };
-            let z = channel.sample(input_idx, rng);
-            current = children[z];
-        }
-        self.hier.center(current)
+        self.try_report(x, rng).expect(
+            "MSM report failed; use try_report / ResilientMechanism \
+                     for graceful degradation",
+        )
     }
 
     fn name(&self) -> String {

@@ -12,23 +12,72 @@
 //!    (a small self-describing little-endian binary format),
 //! 3. the device calls [`MsmMechanism::import_cache`] and answers every
 //!    query without ever touching the LP solver.
+//!
+//! ## Cache format (version 2)
+//!
+//! Everything little-endian:
+//!
+//! ```text
+//! magic        8 bytes  "GEOINDCH"
+//! version      u32      2
+//! count        u64      number of entries
+//! header_sum   u64      FNV-1a 64 over the version+count bytes
+//! entry × count:
+//!   payload_len  u64
+//!   payload      payload_len bytes (level, id, n, m, points, probs)
+//!   payload_sum  u64    FNV-1a 64 over the payload bytes
+//! ```
+//!
+//! The per-section checksums mean a truncated, bit-flipped, or
+//! version-bumped blob is rejected with a clean
+//! [`MechanismError::CacheCorrupt`] naming the failing section — it can
+//! never be admitted as a garbage channel. Version-1 blobs (magic
+//! `GEOIND01`, no checksums) are detected and refused explicitly.
 
 use crate::channel::Channel;
 use crate::msm::MsmMechanism;
+use crate::MechanismError;
 use geoind_spatial::geom::Point;
 use geoind_spatial::hier::LevelCell;
+use geoind_testkit::failpoint;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
-/// Format magic + version.
-const MAGIC: &[u8; 8] = b"GEOIND01";
+/// Format magic (version 2 onward).
+const MAGIC: &[u8; 8] = b"GEOINDCH";
+/// Magic of the retired checksum-less version-1 format.
+const MAGIC_V1: &[u8; 8] = b"GEOIND01";
+/// Current format version.
+const FORMAT_VERSION: u32 = 2;
+
+/// FNV-1a 64-bit — tiny, dependency-free, and plenty for corruption
+/// detection (this is an integrity check, not an authenticity check).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn corrupt(section: impl Into<String>, detail: impl Into<String>) -> MechanismError {
+    MechanismError::CacheCorrupt {
+        section: section.into(),
+        detail: detail.into(),
+    }
+}
 
 impl MsmMechanism {
     /// Eagerly solve the channels of every internal index node, breadth
     /// first, up to `max_nodes` (the full tree has
     /// `(g^{2h} − 1)/(g² − 1)` internal nodes). Returns how many channels
     /// the cache now holds.
-    pub fn precompute(&self, max_nodes: usize) -> usize {
+    ///
+    /// # Errors
+    /// Any [`MechanismError`] raised while building a per-node channel;
+    /// channels built before the failure stay cached.
+    pub fn precompute(&self, max_nodes: usize) -> Result<usize, MechanismError> {
         let mut frontier = vec![LevelCell::ROOT];
         let mut visited = 0usize;
         while let Some(cell) = frontier.pop() {
@@ -36,13 +85,13 @@ impl MsmMechanism {
                 break;
             }
             // channel_for caches internally.
-            let _ = self.channel_for_offline(cell);
+            let _ = self.channel_for_offline(cell)?;
             visited += 1;
             if cell.level + 1 < self.height() {
                 frontier.extend(self.children_of(cell));
             }
         }
-        self.cached_channels()
+        Ok(self.cached_channels())
     }
 
     /// Serialize the current channel cache. Returns the number of channels
@@ -53,21 +102,29 @@ impl MsmMechanism {
     pub fn export_cache(&self, w: &mut impl Write) -> io::Result<usize> {
         let entries = self.cache_snapshot();
         w.write_all(MAGIC)?;
-        write_u64(w, entries.len() as u64)?;
+        let mut header = Vec::with_capacity(12);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        w.write_all(&header)?;
+        w.write_all(&fnv1a64(&header).to_le_bytes())?;
         for (cell, channel) in &entries {
-            write_u64(w, cell.level as u64)?;
-            write_u64(w, cell.id as u64)?;
-            write_u64(w, channel.num_inputs() as u64)?;
-            write_u64(w, channel.num_outputs() as u64)?;
+            let mut payload = Vec::new();
+            write_u64(&mut payload, cell.level as u64)?;
+            write_u64(&mut payload, cell.id as u64)?;
+            write_u64(&mut payload, channel.num_inputs() as u64)?;
+            write_u64(&mut payload, channel.num_outputs() as u64)?;
             for p in channel.inputs().iter().chain(channel.outputs()) {
-                write_f64(w, p.x)?;
-                write_f64(w, p.y)?;
+                write_f64(&mut payload, p.x)?;
+                write_f64(&mut payload, p.y)?;
             }
             for x in 0..channel.num_inputs() {
                 for &v in channel.row(x) {
-                    write_f64(w, v)?;
+                    write_f64(&mut payload, v)?;
                 }
             }
+            write_u64(w, payload.len() as u64)?;
+            w.write_all(&payload)?;
+            write_u64(w, fnv1a64(&payload))?;
         }
         Ok(entries.len())
     }
@@ -75,77 +132,139 @@ impl MsmMechanism {
     /// Load channels exported by [`MsmMechanism::export_cache`] into this
     /// mechanism's cache. Returns the number of channels loaded.
     ///
-    /// The file must come from a mechanism with the same structure: each
-    /// entry is validated against this index's geometry (child count and
-    /// centers) before being admitted.
+    /// The blob is validated in layers: magic, format version, header
+    /// checksum, per-entry checksum, and finally each entry against this
+    /// index's geometry (child count and centers). Import is
+    /// transactional: entries are staged and committed to the cache only
+    /// after the whole blob validates, so a failure part-way through
+    /// admits nothing.
     ///
     /// # Errors
-    /// `InvalidData` on bad magic, malformed entries, or geometry mismatch.
-    pub fn import_cache(&self, r: &mut impl Read) -> io::Result<usize> {
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
-        }
-        let count = read_u64(r)? as usize;
-        if count > 4_000_000 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "implausible entry count",
+    /// [`MechanismError::CacheCorrupt`] naming the failing section on any
+    /// validation failure (including truncation and I/O errors).
+    pub fn import_cache(&self, r: &mut impl Read) -> Result<usize, MechanismError> {
+        if failpoint::hit("cache.import.corrupt") {
+            return Err(corrupt(
+                "header",
+                "injected corruption (failpoint cache.import.corrupt)",
             ));
         }
-        let mut loaded = 0usize;
-        for _ in 0..count {
-            let level = read_u64(r)? as u32;
-            let id = read_u64(r)? as usize;
-            let n = read_u64(r)? as usize;
-            let m = read_u64(r)? as usize;
-            if n == 0 || m == 0 || n > 65_536 || m > 65_536 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "bad channel shape",
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)
+            .map_err(|e| corrupt("header", format!("magic unreadable: {e}")))?;
+        if &magic == MAGIC_V1 {
+            return Err(corrupt(
+                "header",
+                "legacy version-1 cache (no checksums); re-export with this build",
+            ));
+        }
+        if &magic != MAGIC {
+            return Err(corrupt("header", "bad magic"));
+        }
+        let mut header = [0u8; 12];
+        r.read_exact(&mut header)
+            .map_err(|e| corrupt("header", format!("truncated: {e}")))?;
+        let version = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        if version != FORMAT_VERSION {
+            return Err(corrupt(
+                "header",
+                format!("unsupported format version {version} (expected {FORMAT_VERSION})"),
+            ));
+        }
+        let count = u64::from_le_bytes(
+            header[4..12]
+                .try_into()
+                .map_err(|_| corrupt("header", "count unreadable"))?,
+        ) as usize;
+        let declared_sum = read_u64(r).map_err(|e| corrupt("header", format!("checksum: {e}")))?;
+        if declared_sum != fnv1a64(&header) {
+            return Err(corrupt("header", "header checksum mismatch"));
+        }
+        if count > 4_000_000 {
+            return Err(corrupt("header", "implausible entry count"));
+        }
+        let mut staged = Vec::with_capacity(count.min(4096));
+        for i in 0..count {
+            let section = format!("entry {i}");
+            let len = read_u64(r).map_err(|e| corrupt(&section, format!("length: {e}")))? as usize;
+            // 4 u64 fields + 2*(n+m) coords + n*m probs; 65_536² channels
+            // of f64 stay far below this cap.
+            if !(32..=1 << 30).contains(&len) {
+                return Err(corrupt(
+                    &section,
+                    format!("implausible payload length {len}"),
                 ));
             }
-            let mut pts = Vec::with_capacity(n + m);
-            for _ in 0..(n + m) {
-                pts.push(Point::new(read_f64(r)?, read_f64(r)?));
+            let mut payload = vec![0u8; len];
+            r.read_exact(&mut payload)
+                .map_err(|e| corrupt(&section, format!("truncated payload: {e}")))?;
+            let declared = read_u64(r).map_err(|e| corrupt(&section, format!("checksum: {e}")))?;
+            if declared != fnv1a64(&payload) {
+                return Err(corrupt(&section, "payload checksum mismatch"));
             }
-            let mut probs = Vec::with_capacity(n * m);
-            for _ in 0..n * m {
-                probs.push(read_f64(r)?);
-            }
-            let cell = LevelCell { level, id };
-            // Geometry validation against this index.
-            if level + 1 > self.height() {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "entry beyond index height",
-                ));
-            }
-            let expect: Vec<Point> = self
-                .children_of(cell)
-                .iter()
-                .map(|c| self.center_of(*c))
-                .collect();
-            if expect.len() != n || n != m {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "child count mismatch",
-                ));
-            }
-            for (a, b) in expect.iter().zip(&pts[..n]) {
-                if a.dist(*b) > 1e-9 {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        "channel geometry does not match this index",
-                    ));
-                }
-            }
-            let channel = Channel::new(pts[..n].to_vec(), pts[n..].to_vec(), probs);
-            self.cache_insert(cell, Arc::new(channel));
-            loaded += 1;
+            let (cell, channel) = self.parse_entry(&payload, &section)?;
+            staged.push((cell, Arc::new(channel)));
+        }
+        let loaded = staged.len();
+        for (cell, channel) in staged {
+            self.cache_insert(cell, channel);
         }
         Ok(loaded)
+    }
+
+    /// Decode and geometry-validate one checksum-verified entry payload.
+    fn parse_entry(
+        &self,
+        payload: &[u8],
+        section: &str,
+    ) -> Result<(LevelCell, Channel), MechanismError> {
+        let mut r: &[u8] = payload;
+        let fail = |detail: String| corrupt(section, detail);
+        let level = read_u64(&mut r).map_err(|e| fail(format!("level field: {e}")))? as u32;
+        let id = read_u64(&mut r).map_err(|e| fail(format!("id field: {e}")))? as usize;
+        let n = read_u64(&mut r).map_err(|e| fail(format!("shape field: {e}")))? as usize;
+        let m = read_u64(&mut r).map_err(|e| fail(format!("shape field: {e}")))? as usize;
+        if n == 0 || m == 0 || n > 65_536 || m > 65_536 {
+            return Err(fail("bad channel shape".into()));
+        }
+        let mut pts = Vec::with_capacity(n + m);
+        for _ in 0..(n + m) {
+            let x = read_f64(&mut r).map_err(|e| fail(format!("point data: {e}")))?;
+            let y = read_f64(&mut r).map_err(|e| fail(format!("point data: {e}")))?;
+            pts.push(Point::new(x, y));
+        }
+        let mut probs = Vec::with_capacity(n * m);
+        for _ in 0..n * m {
+            probs.push(read_f64(&mut r).map_err(|e| fail(format!("probability data: {e}")))?);
+        }
+        if !r.is_empty() {
+            return Err(fail(format!("{} trailing bytes", r.len())));
+        }
+        if probs.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err(fail("non-finite or negative probability".into()));
+        }
+        let cell = LevelCell { level, id };
+        // Geometry validation against this index.
+        if level + 1 > self.height() {
+            return Err(fail("entry beyond index height".into()));
+        }
+        let expect: Vec<Point> = self
+            .children_of(cell)
+            .iter()
+            .map(|c| self.center_of(*c))
+            .collect();
+        if expect.len() != n || n != m {
+            return Err(fail("child count mismatch".into()));
+        }
+        for (a, b) in expect.iter().zip(&pts[..n]) {
+            if a.dist(*b) > 1e-9 {
+                return Err(fail("channel geometry does not match this index".into()));
+            }
+        }
+        Ok((
+            cell,
+            Channel::new(pts[..n].to_vec(), pts[n..].to_vec(), probs),
+        ))
     }
 }
 
@@ -187,18 +306,33 @@ mod tests {
             .unwrap()
     }
 
+    fn exported_blob() -> Vec<u8> {
+        let provisioner = mechanism();
+        provisioner.precompute(usize::MAX).unwrap();
+        let mut blob = Vec::new();
+        provisioner.export_cache(&mut blob).unwrap();
+        blob
+    }
+
+    fn assert_corrupt(err: MechanismError) {
+        assert!(
+            matches!(err, MechanismError::CacheCorrupt { .. }),
+            "expected CacheCorrupt, got {err:?}"
+        );
+    }
+
     #[test]
     fn precompute_fills_the_whole_tree() {
         let msm = mechanism();
         // g=2, h=2: internal nodes = root + 4 level-1 cells.
-        let n = msm.precompute(usize::MAX);
+        let n = msm.precompute(usize::MAX).unwrap();
         assert_eq!(n, 5);
     }
 
     #[test]
     fn export_import_roundtrip_preserves_distributions() {
         let provisioner = mechanism();
-        provisioner.precompute(usize::MAX);
+        provisioner.precompute(usize::MAX).unwrap();
         let mut blob = Vec::new();
         let written = provisioner.export_cache(&mut blob).unwrap();
         assert_eq!(written, 5);
@@ -223,27 +357,73 @@ mod tests {
     fn bad_magic_rejected() {
         let device = mechanism();
         let mut blob: &[u8] = b"NOTMAGIC\x00\x00\x00\x00\x00\x00\x00\x00";
-        let err = device.import_cache(&mut blob).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_corrupt(device.import_cache(&mut blob).unwrap_err());
     }
 
     #[test]
-    fn truncated_stream_rejected() {
-        let provisioner = mechanism();
-        provisioner.precompute(usize::MAX);
-        let mut blob = Vec::new();
-        provisioner.export_cache(&mut blob).unwrap();
-        blob.truncate(blob.len() / 2);
+    fn legacy_v1_magic_rejected_explicitly() {
         let device = mechanism();
-        assert!(device.import_cache(&mut blob.as_slice()).is_err());
+        let mut blob: &[u8] = b"GEOIND01\x00\x00\x00\x00\x00\x00\x00\x00";
+        let err = device.import_cache(&mut blob).unwrap_err();
+        match err {
+            MechanismError::CacheCorrupt { detail, .. } => {
+                assert!(detail.contains("version-1"), "unhelpful detail: {detail}")
+            }
+            other => panic!("expected CacheCorrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_stream_rejected_at_every_cut() {
+        // Regression for the round-trip fragility: cut the blob at several
+        // depths (header, mid-entry, mid-checksum) — every cut must yield a
+        // clean CacheCorrupt, never a panic or a garbage channel.
+        let blob = exported_blob();
+        for keep in [4, 10, 19, blob.len() / 2, blob.len() - 3] {
+            let device = mechanism();
+            let cut = blob[..keep].to_vec();
+            assert_corrupt(device.import_cache(&mut cut.as_slice()).unwrap_err());
+            assert_eq!(
+                device.cached_channels(),
+                0,
+                "cut at {keep} leaked a channel"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_rejected_everywhere() {
+        // Flip one bit at a sweep of positions across the blob; import must
+        // reject every time (header sum, entry sum, or field validation).
+        let blob = exported_blob();
+        for pos in (0..blob.len()).step_by(37) {
+            let mut bad = blob.clone();
+            bad[pos] ^= 0x10;
+            let device = mechanism();
+            let res = device.import_cache(&mut bad.as_slice());
+            assert!(res.is_err(), "bit flip at byte {pos} was accepted");
+        }
+    }
+
+    #[test]
+    fn version_bump_rejected() {
+        let mut blob = exported_blob();
+        // Version field sits right after the 8-byte magic.
+        blob[8] = 3;
+        let device = mechanism();
+        let err = device.import_cache(&mut blob.as_slice()).unwrap_err();
+        match err {
+            MechanismError::CacheCorrupt { detail, .. } => assert!(
+                detail.contains("version"),
+                "version bump misreported: {detail}"
+            ),
+            other => panic!("expected CacheCorrupt, got {other:?}"),
+        }
     }
 
     #[test]
     fn geometry_mismatch_rejected() {
-        let provisioner = mechanism();
-        provisioner.precompute(usize::MAX);
-        let mut blob = Vec::new();
-        provisioner.export_cache(&mut blob).unwrap();
+        let blob = exported_blob();
         // A device with a different domain scale must refuse the blob.
         let domain = BBox::square(16.0);
         let other = MsmMechanism::builder(domain, GridPrior::uniform(domain, 8))
@@ -252,13 +432,13 @@ mod tests {
             .strategy(AllocationStrategy::FixedHeight(2))
             .build()
             .unwrap();
-        assert!(other.import_cache(&mut blob.as_slice()).is_err());
+        assert_corrupt(other.import_cache(&mut blob.as_slice()).unwrap_err());
     }
 
     #[test]
     fn precompute_respects_node_cap() {
         let msm = mechanism();
-        let n = msm.precompute(2);
+        let n = msm.precompute(2).unwrap();
         assert!(n <= 2, "cache holds {n}");
     }
 }

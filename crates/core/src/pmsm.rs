@@ -103,14 +103,18 @@ impl<P: SpacePartition> PartitionMsm<P> {
     }
 
     /// Memoized per-node channel over the children of `node`.
-    fn channel_for(&self, node: usize) -> Arc<Channel> {
+    ///
+    /// # Errors
+    /// [`MechanismError::LockPoisoned`] on a poisoned cache lock; any
+    /// [`MechanismError`] from the per-node OPT solve.
+    fn try_channel_for(&self, node: usize) -> Result<Arc<Channel>, MechanismError> {
         if let Some(c) = self
             .cache
             .read()
-            .unwrap_or_else(PoisonError::into_inner)
+            .map_err(|_| MechanismError::LockPoisoned("partition channel cache"))?
             .get(&node)
         {
-            return Arc::clone(c);
+            return Ok(Arc::clone(c));
         }
         let part = &self.partition;
         let children = part.children(node);
@@ -121,24 +125,31 @@ impl<P: SpacePartition> PartitionMsm<P> {
         }
         let eps_i = self.budgets[part.level(node) as usize];
         let opt =
-            OptimalMechanism::solve_with(eps_i, &centers, &masses, self.metric, self.opt_options)
-                .expect("per-node OPT is feasible by construction");
+            OptimalMechanism::solve_with(eps_i, &centers, &masses, self.metric, self.opt_options)?;
         let built = Arc::new(opt.channel().clone());
         self.cache
             .write()
-            .unwrap_or_else(PoisonError::into_inner)
+            .map_err(|_| MechanismError::LockPoisoned("partition channel cache"))?
             .insert(node, Arc::clone(&built));
-        built
+        Ok(built)
     }
-}
 
-impl<P: SpacePartition> Mechanism for PartitionMsm<P> {
-    fn report<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
+    /// Fallible form of [`Mechanism::report`]: surfaces per-node
+    /// construction and cache failures as typed errors.
+    ///
+    /// # Errors
+    /// Any [`MechanismError`] raised while fetching or building a
+    /// per-level channel.
+    pub fn try_report<R: Rng + ?Sized>(
+        &self,
+        x: Point,
+        rng: &mut R,
+    ) -> Result<Point, MechanismError> {
         let part = &self.partition;
         let mut node = part.root();
         while !part.is_leaf(node) {
             let children = part.children(node);
-            let channel = self.channel_for(node);
+            let channel = self.try_channel_for(node)?;
             // Input index: the child enclosing x, or uniform when x fell
             // outside the node selected at the previous level.
             let input = children
@@ -148,7 +159,14 @@ impl<P: SpacePartition> Mechanism for PartitionMsm<P> {
             let z = channel.sample(input, rng);
             node = children[z];
         }
-        part.bbox(node).center()
+        Ok(part.bbox(node).center())
+    }
+}
+
+impl<P: SpacePartition> Mechanism for PartitionMsm<P> {
+    fn report<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
+        self.try_report(x, rng)
+            .expect("partition MSM report failed; use try_report for typed errors")
     }
 
     fn name(&self) -> String {

@@ -1,0 +1,350 @@
+//! GeoInd-safe degradation ladder: never drop a request, never serve a
+//! channel whose privacy we cannot certify.
+//!
+//! A production sanitization service must answer every request, but the
+//! optimal path can fail at runtime: an LP hits its iteration budget or a
+//! singular basis, the offline channel cache is corrupt, a cache lock is
+//! poisoned. [`ResilientMechanism`] wraps [`MsmMechanism`] with a
+//! three-tier ladder:
+//!
+//! | tier | mechanism | per-query guarantee |
+//! |------|-----------|---------------------|
+//! | 0 `Optimal` | MSM with per-node OPT channels | composition bound, `Σ ε_i = ε` |
+//! | 1 `PerLevelLaplace` | planar Laplace per level at the same `ε_i` | `ε_i`-GeoInd per level ⇒ `ε`-GeoInd composed |
+//! | 2 `FlatLaplace` | one planar Laplace at the composed `ε` | `ε`-GeoInd |
+//!
+//! Planar Laplace is the GeoInd-safe floor because it satisfies ε-GeoInd
+//! for **any** prior (Andrés et al.) — unlike OPT, whose guarantee rests
+//! on an LP solve we may not be able to certify. Tier 1 preserves the
+//! hierarchical output structure (reports are leaf-cell centers) by
+//! sampling a continuous planar Laplace with the level budget, clamping
+//! into the current cell, and descending into the enclosing child —
+//! clamping and discretization are post-processing of an `ε_i`-GeoInd
+//! mechanism, so the per-level guarantee is exact. Tier 2 drops structure
+//! entirely and reports a continuous planar Laplace point at the full
+//! composed budget.
+//!
+//! Degradation is *per report* and triggered only by typed
+//! [`MechanismError`]s — panics are bugs, not control flow. Which tier
+//! served each request is counted in cheap atomic counters
+//! ([`ResilientMechanism::served_by_tier`]) and summarized by
+//! [`DegradationReport`], so operators can see when and why the optimal
+//! path was bypassed.
+
+use crate::msm::{MsmBuilder, MsmMechanism};
+use crate::planar_laplace::PlanarLaplace;
+use crate::{Mechanism, MechanismError};
+use geoind_rng::Rng;
+use geoind_spatial::geom::{BBox, Point};
+use geoind_spatial::hier::{HierGrid, LevelCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Which rung of the degradation ladder served a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// MSM with per-node OPT channels (full utility).
+    Optimal,
+    /// Per-level planar Laplace at the same per-level budgets
+    /// (hierarchical structure kept, OPT utility lost).
+    PerLevelLaplace,
+    /// One flat planar Laplace at the composed ε (structure lost too).
+    FlatLaplace,
+}
+
+impl Tier {
+    /// All tiers, best first.
+    pub const ALL: [Tier; 3] = [Tier::Optimal, Tier::PerLevelLaplace, Tier::FlatLaplace];
+
+    /// Ladder position: 0 is the optimal tier.
+    pub fn index(self) -> usize {
+        match self {
+            Tier::Optimal => 0,
+            Tier::PerLevelLaplace => 1,
+            Tier::FlatLaplace => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tier::Optimal => write!(f, "optimal"),
+            Tier::PerLevelLaplace => write!(f, "per-level-laplace"),
+            Tier::FlatLaplace => write!(f, "flat-laplace"),
+        }
+    }
+}
+
+/// Tier-1 fallback: the MSM descent with every per-node OPT channel
+/// replaced by a continuous planar Laplace at that level's budget.
+///
+/// At each level the true location is clamped into the current cell,
+/// perturbed by a planar Laplace with budget `ε_i`, clamped back into the
+/// cell, and the enclosing child becomes the next cell. Clamping and
+/// child-snapping are deterministic post-processing of an `ε_i`-GeoInd
+/// mechanism, so each step is `ε_i`-GeoInd and the walk composes to
+/// `Σ ε_i = ε` exactly like the optimal descent.
+#[derive(Debug)]
+struct PerLevelLaplace {
+    hier: HierGrid,
+    /// One sampler per level, index 0 = level 1.
+    levels: Vec<PlanarLaplace>,
+}
+
+impl PerLevelLaplace {
+    fn new(hier: HierGrid, budgets: &[f64]) -> Self {
+        let levels = budgets.iter().map(|&e| PlanarLaplace::new(e)).collect();
+        Self { hier, levels }
+    }
+
+    fn report<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
+        let x = clamp_into(self.hier.domain(), x);
+        let mut current = LevelCell::ROOT;
+        for (i, pl) in self.levels.iter().enumerate() {
+            let ext = self.hier.extent(current);
+            // Out-of-cell inputs are clamped to the cell border (a pure
+            // function of x, so still post-processing of the PL sample).
+            let centered = clamp_into(ext, x);
+            let z = clamp_into(ext, pl.report_continuous(centered, rng));
+            current = self.hier.enclosing_cell(z, (i + 1) as u32);
+        }
+        self.hier.center(current)
+    }
+}
+
+fn clamp_into(domain: BBox, p: Point) -> Point {
+    // Clamp into the half-open box so `enclosing_cell` is total.
+    let q = domain.clamp(p);
+    Point::new(q.x.min(domain.max.x - 1e-12), q.y.min(domain.max.y - 1e-12))
+}
+
+/// Per-tier service counts plus the most recent degradation cause.
+#[derive(Debug, Clone)]
+pub struct DegradationReport {
+    /// Reports served by each tier, indexed by [`Tier::index`].
+    pub served_by_tier: [u64; 3],
+    /// Human-readable cause of the most recent degradation, if any.
+    pub last_fault: Option<String>,
+}
+
+impl DegradationReport {
+    /// Total reports issued (the counters always account for 100% of them).
+    pub fn total(&self) -> u64 {
+        self.served_by_tier.iter().sum()
+    }
+
+    /// Reports *not* served by the optimal tier.
+    pub fn degraded(&self) -> u64 {
+        self.served_by_tier[1] + self.served_by_tier[2]
+    }
+}
+
+impl std::fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "# degradation report")?;
+        for tier in Tier::ALL {
+            writeln!(
+                f,
+                "#   served by {tier:<17}: {}",
+                self.served_by_tier[tier.index()]
+            )?;
+        }
+        write!(f, "#   total: {}", self.total())?;
+        if let Some(fault) = &self.last_fault {
+            write!(f, "\n#   last fault: {fault}")?;
+        }
+        Ok(())
+    }
+}
+
+/// [`Mechanism`] wrapper that guarantees `report()` is **total**: it
+/// always returns a point, never panics on a mechanism fault, and never
+/// exceeds the configured ε at the tier that actually served the request.
+/// See the module docs for the ladder.
+#[derive(Debug)]
+pub struct ResilientMechanism {
+    msm: MsmMechanism,
+    fallback: PerLevelLaplace,
+    flat: PlanarLaplace,
+    served: [AtomicU64; 3],
+    last_fault: Mutex<Option<String>>,
+}
+
+impl ResilientMechanism {
+    /// Wrap a configured [`MsmBuilder`]; the fallback tiers reuse the
+    /// budgets the builder's allocator chose.
+    ///
+    /// # Errors
+    /// Any [`MechanismError`] from [`MsmBuilder::build`] — construction is
+    /// not degradable because the ladder's budgets come from it. (Build
+    /// the builder with a known-good configuration; per-report faults are
+    /// what the ladder absorbs.)
+    pub fn from_builder(builder: MsmBuilder) -> Result<Self, MechanismError> {
+        Ok(Self::new(builder.build()?))
+    }
+
+    /// Wrap an already-built [`MsmMechanism`].
+    pub fn new(msm: MsmMechanism) -> Self {
+        let hier = HierGrid::new(msm.leaf_grid().domain(), msm.granularity(), msm.height());
+        let fallback = PerLevelLaplace::new(hier, msm.budgets().budgets());
+        let flat = PlanarLaplace::new(msm.epsilon());
+        Self {
+            msm,
+            fallback,
+            flat,
+            served: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            last_fault: Mutex::new(None),
+        }
+    }
+
+    /// The wrapped optimal-path mechanism.
+    pub fn msm(&self) -> &MsmMechanism {
+        &self.msm
+    }
+
+    /// Reports served by each tier so far, indexed by [`Tier::index`].
+    pub fn served_by_tier(&self) -> [u64; 3] {
+        [
+            self.served[0].load(Ordering::Relaxed),
+            self.served[1].load(Ordering::Relaxed),
+            self.served[2].load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Snapshot the counters and the most recent degradation cause.
+    pub fn degradation_report(&self) -> DegradationReport {
+        DegradationReport {
+            served_by_tier: self.served_by_tier(),
+            last_fault: self
+                .last_fault
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+        }
+    }
+
+    fn record(&self, tier: Tier, fault: Option<&MechanismError>) {
+        self.served[tier.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(e) = fault {
+            let mut chain = e.to_string();
+            let mut src = std::error::Error::source(e);
+            while let Some(s) = src {
+                chain.push_str(": ");
+                chain.push_str(&s.to_string());
+                src = s.source();
+            }
+            *self
+                .last_fault
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(format!("{chain} -> {tier}"));
+        }
+    }
+
+    /// Sanitize `x`, degrading through the ladder on typed faults. Returns
+    /// the reported point and the tier that produced it.
+    ///
+    /// The same `rng` drives whichever tier serves, consuming randomness
+    /// only for the sampling that actually happens — with a fixed seed and
+    /// a fixed (count-based) fault schedule the output stream is
+    /// bit-deterministic.
+    pub fn report_with_tier<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> (Point, Tier) {
+        match self.msm.try_report(x, rng) {
+            Ok(z) => {
+                self.record(Tier::Optimal, None);
+                (z, Tier::Optimal)
+            }
+            Err(e0) => {
+                // Tier 1 cannot fail: it is pure sampling plus geometry.
+                let z = self.fallback.report(x, rng);
+                self.record(
+                    Tier::PerLevelLaplace,
+                    Some(&MechanismError::Degraded {
+                        tier: Tier::PerLevelLaplace,
+                        source: Box::new(e0),
+                    }),
+                );
+                (z, Tier::PerLevelLaplace)
+            }
+        }
+    }
+
+    /// Serve from the flat tier directly — used when even the hierarchy's
+    /// geometry is suspect (and by tests pinning tier-2 behaviour).
+    pub fn report_flat<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
+        let z = self.flat.report_continuous(x, rng);
+        self.record(Tier::FlatLaplace, None);
+        z
+    }
+}
+
+impl Mechanism for ResilientMechanism {
+    fn report<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
+        // A panic below this point would be a bug in the *fallback* path;
+        // the ladder itself never converts errors into panics.
+        self.report_with_tier(x, rng).0
+    }
+
+    fn name(&self) -> String {
+        format!("Resilient({})", self.msm.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocationStrategy;
+    use geoind_data::prior::GridPrior;
+    use geoind_rng::SeededRng;
+
+    fn resilient() -> ResilientMechanism {
+        let domain = BBox::square(8.0);
+        let prior = GridPrior::uniform(domain, 8);
+        ResilientMechanism::from_builder(
+            MsmMechanism::builder(domain, prior)
+                .epsilon(0.8)
+                .granularity(2)
+                .strategy(AllocationStrategy::FixedHeight(2)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn healthy_path_serves_tier0_only() {
+        let r = resilient();
+        let mut rng = SeededRng::from_seed(1);
+        for i in 0..40 {
+            let (_, tier) = r.report_with_tier(Point::new((i % 8) as f64, 3.0), &mut rng);
+            assert_eq!(tier, Tier::Optimal);
+        }
+        assert_eq!(r.served_by_tier(), [40, 0, 0]);
+        assert!(r.degradation_report().last_fault.is_none());
+    }
+
+    #[test]
+    fn per_level_fallback_lands_on_leaf_centers() {
+        let r = resilient();
+        let centers = r.msm().leaf_grid().centers();
+        let mut rng = SeededRng::from_seed(2);
+        for i in 0..200 {
+            let x = Point::new((i % 8) as f64 + 0.3, (i % 7) as f64 + 0.6);
+            let z = r.fallback.report(x, &mut rng);
+            assert!(
+                centers.iter().any(|c| c.dist(z) < 1e-12),
+                "{z:?} not a leaf center"
+            );
+        }
+    }
+
+    #[test]
+    fn report_counts_account_for_all_queries() {
+        let r = resilient();
+        let mut rng = SeededRng::from_seed(3);
+        for _ in 0..25 {
+            r.report(Point::new(4.0, 4.0), &mut rng);
+        }
+        r.report_flat(Point::new(4.0, 4.0), &mut rng);
+        let report = r.degradation_report();
+        assert_eq!(report.total(), 26);
+    }
+}

@@ -48,7 +48,9 @@ fn allocation_conserves_budget() {
                 AllocationStrategy::FixedHeight(h),
                 AllocationStrategy::Uniform(h),
             ] {
-                let lb = alloc.allocate(eps, strategy);
+                let Ok(lb) = alloc.allocate(eps, strategy) else {
+                    return Err(format!("{strategy:?} rejected valid parameters"));
+                };
                 ensure!(
                     (lb.total() - eps).abs() < 1e-9,
                     "{strategy:?} leaked budget"

@@ -1,0 +1,261 @@
+//! Fault-injection property suite for the degradation ladder.
+//!
+//! For every named failpoint site ([`failpoint::SITES`]) armed one at a
+//! time, the ladder must stay **total** (every `report()` returns a point,
+//! no panic), the right tier counter must move, the counters must account
+//! for 100% of the reports, and the tier that actually serves must pass an
+//! empirical GeoInd audit at that tier's budget.
+//!
+//! All arming here is thread-scoped ([`failpoint::Session`]) so the tests
+//! in this binary can run concurrently. Global/environment arming is
+//! exercised in `resilience_env.rs` (a separate binary).
+
+use geoind_core::alloc::AllocationStrategy;
+use geoind_core::audit::{audit_geoind, AuditConfig};
+use geoind_core::msm::MsmMechanism;
+use geoind_core::{Mechanism, MechanismError, ResilientMechanism, Tier};
+use geoind_data::loader::{load_gowalla, LoadError, AUSTIN};
+use geoind_data::prior::GridPrior;
+use geoind_rng::SeededRng;
+use geoind_spatial::geom::{BBox, Point};
+use geoind_spatial::grid::Grid;
+use geoind_testkit::failpoint::{self, FailSpec, Session};
+
+const EPS: f64 = 0.8;
+
+fn resilient() -> ResilientMechanism {
+    let domain = BBox::square(8.0);
+    let prior = GridPrior::uniform(domain, 8);
+    ResilientMechanism::from_builder(
+        MsmMechanism::builder(domain, prior)
+            .epsilon(EPS)
+            .granularity(2)
+            .strategy(AllocationStrategy::FixedHeight(2)),
+    )
+    .unwrap()
+}
+
+/// The sites that fault the *report* path of the wrapped MSM (LP solves
+/// and the channel-cache lock) and therefore trigger tier-1 service.
+const REPORT_PATH_SITES: &[&str] = &[
+    "lp.refactor.singular",
+    "lp.iterations.exhausted",
+    "cache.lock.poisoned",
+];
+
+#[test]
+fn every_site_keeps_report_total_and_counters_exact() {
+    // One-at-a-time sweep over the full canonical site list: whatever is
+    // armed, report() must return an in-domain point without panicking and
+    // the counters must account for every report.
+    for &site in failpoint::SITES {
+        let mut fp = Session::new();
+        fp.arm(site, FailSpec::always());
+        match site {
+            "alloc.budget.infeasible" => {
+                // Fires at build time: construction reports a typed error
+                // instead of panicking (the ladder needs the budgets, so
+                // construction itself is not degradable).
+                let domain = BBox::square(8.0);
+                let err = ResilientMechanism::from_builder(
+                    MsmMechanism::builder(domain, GridPrior::uniform(domain, 8))
+                        .epsilon(EPS)
+                        .granularity(2)
+                        .strategy(AllocationStrategy::FixedHeight(2)),
+                )
+                .unwrap_err();
+                assert!(
+                    matches!(err, MechanismError::AllocationFailed(_)),
+                    "{site}: expected AllocationFailed, got {err:?}"
+                );
+                assert!(fp.fired(site) >= 1);
+            }
+            "cache.import.corrupt" => {
+                // Fires on cache import only: the import is rejected with a
+                // typed error and tier-0 service is untouched.
+                let r = resilient();
+                let err = r.msm().import_cache(&mut (&[] as &[u8])).unwrap_err();
+                assert!(
+                    matches!(err, MechanismError::CacheCorrupt { .. }),
+                    "{site}: expected CacheCorrupt, got {err:?}"
+                );
+                let mut rng = SeededRng::from_seed(11);
+                let (z, tier) = r.report_with_tier(Point::new(3.0, 3.0), &mut rng);
+                assert!(r.msm().leaf_grid().domain().contains_closed(z));
+                assert_eq!(tier, Tier::Optimal, "{site} must not affect reports");
+                assert_eq!(r.degradation_report().total(), 1);
+            }
+            "data.loader.truncated" => {
+                // Fires in the dataset loaders: a typed LoadError, never a
+                // panic or a silently short dataset.
+                let path = std::env::temp_dir()
+                    .join(format!("geoind-resilience-{}.txt", std::process::id()));
+                std::fs::write(&path, "0\t2010-01-01\t30.23\t-97.79\t1\n").unwrap();
+                let err = load_gowalla(&path, AUSTIN).unwrap_err();
+                std::fs::remove_file(&path).ok();
+                assert!(
+                    matches!(err, LoadError::Truncated(_)),
+                    "{site}: expected Truncated, got {err:?}"
+                );
+            }
+            _ => {
+                // Report-path faults: every report degrades to tier 1 and
+                // still lands on a leaf center inside the domain.
+                assert!(
+                    REPORT_PATH_SITES.contains(&site),
+                    "unclassified failpoint site {site}; extend this sweep"
+                );
+                let r = resilient();
+                let centers = r.msm().leaf_grid().centers();
+                let mut rng = SeededRng::from_seed(7);
+                let n = 12u64;
+                for i in 0..n {
+                    let x = Point::new((i % 8) as f64, (i % 5) as f64 + 0.4);
+                    let (z, tier) = r.report_with_tier(x, &mut rng);
+                    assert_eq!(tier, Tier::PerLevelLaplace, "site {site}");
+                    assert!(
+                        centers.iter().any(|c| c.dist(z) < 1e-12),
+                        "{site}: {z:?} is not a leaf center"
+                    );
+                }
+                let report = r.degradation_report();
+                assert_eq!(report.served_by_tier, [0, n, 0], "site {site}");
+                assert_eq!(report.total(), n, "site {site}");
+                assert_eq!(report.degraded(), n, "site {site}");
+                assert!(fp.fired(site) >= n, "site {site} under-fired");
+                let fault = report.last_fault.expect("degradation recorded no fault");
+                assert!(
+                    fault.contains("per-level-laplace"),
+                    "unhelpful fault: {fault}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn partial_fault_degrades_exactly_k_reports() {
+    // A count-based spec injects exactly k faults; the ladder degrades
+    // exactly k reports and then returns to the optimal tier.
+    let k = 3u64;
+    let mut fp = Session::new();
+    fp.arm("lp.refactor.singular", FailSpec::times(k));
+    let r = resilient();
+    let mut rng = SeededRng::from_seed(21);
+    let n = 20u64;
+    let x = Point::new(4.2, 4.2); // fixed input: one descent path
+    let mut tiers = Vec::new();
+    for _ in 0..n {
+        tiers.push(r.report_with_tier(x, &mut rng).1);
+    }
+    // Each degraded report consumes one fire (the failed solve aborts the
+    // descent before any other LP work), so the first k degrade.
+    assert!(tiers[..k as usize]
+        .iter()
+        .all(|&t| t == Tier::PerLevelLaplace));
+    assert!(tiers[k as usize..].iter().all(|&t| t == Tier::Optimal));
+    assert_eq!(fp.fired("lp.refactor.singular"), k);
+    let report = r.degradation_report();
+    assert_eq!(report.served_by_tier, [n - k, k, 0]);
+    assert_eq!(report.total(), n);
+}
+
+#[test]
+fn degraded_tier_passes_geoind_audit_at_full_budget() {
+    // With the optimal path permanently broken, every report is served by
+    // tier 1 — whose guarantee is the full composed ε. The empirical
+    // channel must clear an ε-GeoInd audit.
+    let mut fp = Session::new();
+    fp.arm("lp.iterations.exhausted", FailSpec::always());
+    let r = resilient();
+    let domain = r.msm().leaf_grid().domain();
+    let grid = Grid::new(domain, 4);
+    let mut rng = SeededRng::from_seed(31);
+    let report = audit_geoind(
+        &r,
+        EPS,
+        &[(Point::new(2.0, 2.0), Point::new(6.0, 6.0))],
+        &grid,
+        AuditConfig {
+            samples: 15_000,
+            min_cell_count: 40,
+        },
+        &mut rng,
+    );
+    assert!(
+        report.passes(0.5),
+        "tier-1 channel flagged: excess {}",
+        report.worst_excess()
+    );
+    let served = r.served_by_tier();
+    assert_eq!(served[0], 0, "optimal tier served despite armed fault");
+    assert_eq!(served[2], 0);
+    assert_eq!(served[1], 2 * 15_000);
+    assert!(fp.fired("lp.iterations.exhausted") >= served[1]);
+}
+
+#[test]
+fn flat_tier_passes_geoind_audit_at_full_budget() {
+    // Tier 2 is a plain planar Laplace at the composed ε — audit it
+    // through the ladder's flat entry point.
+    struct FlatOnly(ResilientMechanism);
+    impl Mechanism for FlatOnly {
+        fn report<R: geoind_rng::Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
+            self.0.report_flat(x, rng)
+        }
+        fn name(&self) -> String {
+            "flat-tier".into()
+        }
+    }
+    let flat = FlatOnly(resilient());
+    let domain = flat.0.msm().leaf_grid().domain();
+    let grid = Grid::new(domain, 4);
+    let mut rng = SeededRng::from_seed(41);
+    let report = audit_geoind(
+        &flat,
+        EPS,
+        &[(Point::new(2.0, 2.0), Point::new(6.0, 6.0))],
+        &grid,
+        AuditConfig {
+            samples: 15_000,
+            min_cell_count: 40,
+        },
+        &mut rng,
+    );
+    assert!(
+        report.passes(0.5),
+        "tier-2 channel flagged: excess {}",
+        report.worst_excess()
+    );
+    assert_eq!(flat.0.served_by_tier()[2], 2 * 15_000);
+}
+
+#[test]
+fn healthy_ladder_passes_audit_at_composition_bound() {
+    // With nothing armed the ladder is exactly MSM; audit it against its
+    // actual guarantee (the composition bound for the probe pair).
+    let r = resilient();
+    let a = Point::new(2.0, 2.0);
+    let b = Point::new(6.0, 6.0);
+    let effective_eps = r.msm().composition_bound(a, b) / a.dist(b);
+    let domain = r.msm().leaf_grid().domain();
+    let grid = Grid::new(domain, 4);
+    let mut rng = SeededRng::from_seed(51);
+    let report = audit_geoind(
+        &r,
+        effective_eps,
+        &[(a, b)],
+        &grid,
+        AuditConfig {
+            samples: 15_000,
+            min_cell_count: 40,
+        },
+        &mut rng,
+    );
+    assert!(
+        report.passes(0.5),
+        "healthy ladder flagged: excess {}",
+        report.worst_excess()
+    );
+    assert_eq!(r.served_by_tier(), [2 * 15_000, 0, 0]);
+}

@@ -13,6 +13,7 @@
 
 use crate::checkin::{CheckIn, Dataset};
 use geoind_spatial::geom::{BBox, Point, Projection};
+use geoind_testkit::failpoint;
 use std::io::{BufRead, BufReader};
 use std::path::Path;
 
@@ -84,18 +85,30 @@ pub enum LoadError {
     Io(std::io::Error),
     /// A malformed line (1-based line number and description).
     Parse(usize, String),
+    /// The file ended mid-record (1-based line count read so far).
+    Truncated(usize),
 }
 
 impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Io(_) => write!(f, "i/o failure"),
             LoadError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            LoadError::Truncated(line) => {
+                write!(f, "file ends mid-record after line {line}")
+            }
         }
     }
 }
 
-impl std::error::Error for LoadError {}
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for LoadError {
     fn from(e: std::io::Error) -> Self {
@@ -111,6 +124,7 @@ pub fn load_gowalla(path: impl AsRef<Path>, bounds: GeoBounds) -> Result<Dataset
     let file = std::fs::File::open(path.as_ref())?;
     let reader = BufReader::new(file);
     let mut checkins = Vec::new();
+    let mut lines_read = 0usize;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
@@ -133,6 +147,10 @@ pub fn load_gowalla(path: impl AsRef<Path>, bounds: GeoBounds) -> Result<Dataset
                 location: bounds.to_plane(lat, lon),
             });
         }
+        lines_read = lineno + 1;
+    }
+    if failpoint::hit("data.loader.truncated") {
+        return Err(LoadError::Truncated(lines_read));
     }
     Ok(Dataset::new("gowalla", bounds.domain(), checkins))
 }
@@ -147,6 +165,7 @@ pub fn load_checkin_csv(
     let file = std::fs::File::open(path.as_ref())?;
     let reader = BufReader::new(file);
     let mut checkins = Vec::new();
+    let mut lines_read = 0usize;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         if lineno == 0 || line.trim().is_empty() {
@@ -171,6 +190,10 @@ pub fn load_checkin_csv(
                 location: bounds.to_plane(lat, lon),
             });
         }
+        lines_read = lineno + 1;
+    }
+    if failpoint::hit("data.loader.truncated") {
+        return Err(LoadError::Truncated(lines_read));
     }
     Ok(Dataset::new(name, bounds.domain(), checkins))
 }
@@ -252,6 +275,27 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.name(), "yelp");
+    }
+
+    #[test]
+    fn armed_truncation_failpoint_surfaces_as_truncated() {
+        let content = "\
+0\t2010-10-19T23:55:27Z\t30.2357\t-97.7947\t22847
+2\t2010-10-17T19:26:05Z\t30.2557\t-97.7633\t16516
+";
+        let path = temp_file("trunc.txt", content);
+        let mut session = failpoint::Session::new();
+        session.arm("data.loader.truncated", failpoint::FailSpec::times(1));
+        let err = load_gowalla(&path, AUSTIN).unwrap_err();
+        match err {
+            LoadError::Truncated(lines) => assert_eq!(lines, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The spec is consumed: the next load succeeds.
+        let ds = load_gowalla(&path, AUSTIN).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(session.fired("data.loader.truncated"), 1);
     }
 
     #[test]

@@ -47,6 +47,9 @@
 #![allow(clippy::needless_range_loop)]
 // Test reference constants keep full printed precision from their sources.
 #![allow(clippy::excessive_precision)]
+// Library code reports failures as typed `LpError`s; panicking unwraps are
+// confined to tests. (`expect` with an invariant message remains allowed.)
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod dense;
 pub mod dual;
@@ -70,6 +73,9 @@ pub enum LpError {
     Unbounded,
     /// The iteration limit was hit before convergence.
     IterationLimit,
+    /// The basis became numerically singular, or a nominally optimal
+    /// solution failed the primal-residual quality check.
+    SingularBasis,
     /// The model is malformed (e.g. a row references a missing variable).
     BadModel(String),
 }
@@ -80,6 +86,9 @@ impl std::fmt::Display for LpError {
             LpError::Infeasible => write!(f, "infeasible"),
             LpError::Unbounded => write!(f, "unbounded"),
             LpError::IterationLimit => write!(f, "iteration limit reached"),
+            LpError::SingularBasis => {
+                write!(f, "numerically singular basis (solution not certified)")
+            }
             LpError::BadModel(m) => write!(f, "bad model: {m}"),
         }
     }

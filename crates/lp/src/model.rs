@@ -201,6 +201,7 @@ impl Model {
             SimplexStatus::Infeasible => return Err(LpError::Infeasible),
             SimplexStatus::Unbounded => return Err(LpError::Unbounded),
             SimplexStatus::IterationLimit => return Err(LpError::IterationLimit),
+            SimplexStatus::SingularBasis => return Err(LpError::SingularBasis),
         }
         // Map core solution back to user variables.
         let mut values = vec![0.0; self.num_vars()];

@@ -23,6 +23,7 @@
 
 use crate::dense::{DenseMatrix, LuFactors};
 use crate::sparse::CscMatrix;
+use geoind_testkit::failpoint;
 
 /// A linear program in computational standard form.
 #[derive(Debug, Clone)]
@@ -63,6 +64,11 @@ pub struct SimplexOptions {
     pub stall_limit: usize,
     /// Entering-variable selection rule.
     pub pricing: Pricing,
+    /// Largest `‖Ax − b‖∞` accepted at an optimal exit; a nominally
+    /// optimal basis with a larger residual is demoted to
+    /// [`SimplexStatus::SingularBasis`] instead of being reported as a
+    /// trustworthy optimum.
+    pub residual_tol: f64,
 }
 
 impl Default for SimplexOptions {
@@ -74,6 +80,7 @@ impl Default for SimplexOptions {
             refactor_every: 600,
             stall_limit: 2_000,
             pricing: Pricing::Dantzig,
+            residual_tol: 1e-6,
         }
     }
 }
@@ -89,6 +96,10 @@ pub enum SimplexStatus {
     Unbounded,
     /// `max_iterations` exhausted.
     IterationLimit,
+    /// The basis became numerically singular (LU refactorization failed,
+    /// or a nominally optimal exit violated the residual tolerance). The
+    /// reported solution cannot be certified.
+    SingularBasis,
 }
 
 /// Result of a simplex run.
@@ -128,6 +139,9 @@ struct Engine<'a> {
     xb: Vec<f64>,
     iterations: usize,
     pivots_since_refactor: usize,
+    /// Set when an LU refactorization fails: the explicit inverse can no
+    /// longer be trusted, so the run must stop at the next loop head.
+    singular: bool,
     /// Devex reference weights, one per real column (unused under Dantzig).
     devex: Vec<f64>,
 }
@@ -175,6 +189,7 @@ impl<'a> Engine<'a> {
             xb: lp.rhs.clone(),
             iterations: 0,
             pivots_since_refactor: 0,
+            singular: false,
             devex: if opts.pricing == Pricing::Devex {
                 vec![1.0; lp.cols.ncols()]
             } else {
@@ -390,9 +405,12 @@ impl<'a> Engine<'a> {
                 }
             }
             Err(_) => {
-                // Numerically singular refactorization: keep the updated
-                // inverse (it got us here) and carry on; the final residual
-                // check reports any real damage.
+                // Numerically singular refactorization: the rank-1-updated
+                // inverse we still hold is the very thing that drifted into
+                // an uninvertible basis, so continuing would pivot on
+                // garbage. Flag the run; the phase loop aborts with
+                // `SingularBasis` at its next head.
+                self.singular = true;
             }
         }
         self.pivots_since_refactor = 0;
@@ -414,7 +432,15 @@ impl<'a> Engine<'a> {
         let mut stall = 0usize;
         let mut last_obj = self.objective(phase1);
         loop {
-            if self.iterations >= self.opts.max_iterations {
+            // `lp.refactor.singular` simulates an LU refactorization
+            // collapsing at the point where the run would detect it.
+            if self.singular || failpoint::hit("lp.refactor.singular") {
+                self.singular = true;
+                return Some(SimplexStatus::SingularBasis);
+            }
+            if self.iterations >= self.opts.max_iterations
+                || failpoint::hit("lp.iterations.exhausted")
+            {
                 return Some(SimplexStatus::IterationLimit);
             }
             let y = self.duals(phase1);
@@ -525,7 +551,16 @@ pub fn solve_standard(lp: &StandardLp, opts: SimplexOptions) -> SimplexResult {
     }
     match eng.run_phase(false) {
         Some(bad) => eng.result(bad),
-        None => eng.result(SimplexStatus::Optimal),
+        None => {
+            let mut r = eng.result(SimplexStatus::Optimal);
+            // Quality gate: a basis that claims optimality but cannot
+            // reproduce the right-hand side is numerically suspect —
+            // demote it so callers never consume an uncertified optimum.
+            if r.residual > opts.residual_tol {
+                r.status = SimplexStatus::SingularBasis;
+            }
+            r
+        }
     }
 }
 

@@ -67,11 +67,11 @@ impl CscBuilder {
             self.row_idx.truncate(start);
             self.values.truncate(start);
             for (r, v) in pairs {
-                if let Some(last) = self.row_idx.last() {
-                    if *last == r && self.row_idx.len() > start {
-                        *self.values.last_mut().unwrap() += v;
-                        continue;
+                if self.row_idx.len() > start && self.row_idx.last() == Some(&r) {
+                    if let Some(last_v) = self.values.last_mut() {
+                        *last_v += v;
                     }
+                    continue;
                 }
                 self.row_idx.push(r);
                 self.values.push(v);

@@ -113,6 +113,8 @@ impl Bench {
 }
 
 /// Format with 3 significant-ish decimals and thousands separators.
+// `is_multiple_of` would read better but postdates the declared MSRV.
+#[allow(clippy::manual_is_multiple_of)]
 fn fmt3(ns: f64) -> String {
     let whole = ns as u64;
     let frac = ((ns - whole as f64) * 100.0).round() as u64;

@@ -1,0 +1,404 @@
+//! # Deterministic failpoints — seeded, count-based fault injection
+//!
+//! A registry of **named injection sites** compiled into library code.
+//! Each site is a single line at a hot failure seam:
+//!
+//! ```ignore
+//! if failpoint::hit("cache.import.corrupt") {
+//!     return Err(MechanismError::CacheCorrupt { /* injected */ });
+//! }
+//! ```
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Zero-cost when disabled.** The fast path is one relaxed atomic
+//!    load of a global "anything armed?" flag. No lock, no string hash,
+//!    no allocation until at least one site is armed.
+//! 2. **Deterministic.** Arming is *count-based*, never random: a
+//!    [`FailSpec`] says "skip the first `skip` hits, then fire `times`
+//!    times". The same program with the same armed specs fires the same
+//!    faults at the same call sites in the same order — which is what
+//!    makes fault-injected runs bit-reproducible (see
+//!    `tests/determinism.rs`).
+//! 3. **Test-isolated.** Tests in one binary run on concurrent threads;
+//!    a globally armed fault in one test would trip unrelated tests.
+//!    [`Session`] therefore arms sites *for the current thread only* and
+//!    disarms them on drop. Global arming (used by the CLI / CI via the
+//!    `GEOIND_FAILPOINTS` environment variable) affects every thread.
+//!
+//! ## Environment grammar
+//!
+//! `GEOIND_FAILPOINTS` is a comma-separated list of `site=spec` pairs:
+//!
+//! ```text
+//! GEOIND_FAILPOINTS="cache.import.corrupt=1,lp.iterations.exhausted=*"
+//! ```
+//!
+//! * `site=N`   — fire the first `N` hits, then pass.
+//! * `site=*`   — fire on every hit.
+//! * `site=K:N` — skip the first `K` hits, then fire `N` times.
+//!
+//! The environment is read once, lazily, on the first [`hit`] call.
+//!
+//! ## Naming convention
+//!
+//! Site names are `<area>.<component>.<event>`, e.g.
+//! `lp.refactor.singular` — the area is the crate or subsystem, the
+//! component is the specific module/structure, the event is what goes
+//! wrong. The canonical list lives in [`SITES`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock, PoisonError};
+use std::thread::ThreadId;
+
+/// The named injection sites wired into the workspace, with the failure
+/// each one simulates. Kept in one place so tests can sweep all of them.
+pub const SITES: &[&str] = &[
+    "lp.refactor.singular",    // LU refactorization produces a singular basis
+    "lp.iterations.exhausted", // simplex hits its iteration budget
+    "cache.import.corrupt",    // offline channel-cache blob fails validation
+    "cache.lock.poisoned",     // in-memory channel-cache lock is poisoned
+    "alloc.budget.infeasible", // per-level budget allocation has no solution
+    "data.loader.truncated",   // check-in file ends mid-record
+];
+
+/// When an armed site fires: skip the first `skip` hits, then fire
+/// `times` times (`u64::MAX` ⇒ forever), then pass again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailSpec {
+    /// Number of initial hits that pass through unfired.
+    pub skip: u64,
+    /// Number of hits (after `skip`) that fire. `u64::MAX` means always.
+    pub times: u64,
+}
+
+impl FailSpec {
+    /// Fire the first `n` hits.
+    pub fn times(n: u64) -> Self {
+        Self { skip: 0, times: n }
+    }
+
+    /// Fire on every hit.
+    pub fn always() -> Self {
+        Self {
+            skip: 0,
+            times: u64::MAX,
+        }
+    }
+
+    /// Skip the first `skip` hits, then fire `times` times.
+    pub fn after(skip: u64, times: u64) -> Self {
+        Self { skip, times }
+    }
+
+    /// Parse the env grammar: `N`, `*`, or `K:N`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        if s == "*" {
+            return Ok(Self::always());
+        }
+        if let Some((skip, times)) = s.split_once(':') {
+            let skip = skip
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad skip count '{skip}'"))?;
+            let times = if times.trim() == "*" {
+                u64::MAX
+            } else {
+                times
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad fire count '{times}'"))?
+            };
+            return Ok(Self { skip, times });
+        }
+        s.parse()
+            .map(Self::times)
+            .map_err(|_| format!("bad failpoint spec '{s}'"))
+    }
+}
+
+/// Mutable per-site state: the spec plus how many hits have occurred.
+#[derive(Debug, Clone, Copy)]
+struct SiteState {
+    spec: FailSpec,
+    hits: u64,
+    fired: u64,
+}
+
+impl SiteState {
+    fn new(spec: FailSpec) -> Self {
+        Self {
+            spec,
+            hits: 0,
+            fired: 0,
+        }
+    }
+
+    /// Record one hit and decide whether it fires.
+    fn on_hit(&mut self) -> bool {
+        let n = self.hits;
+        self.hits += 1;
+        let fires = n >= self.spec.skip
+            && (self.spec.times == u64::MAX || n < self.spec.skip.saturating_add(self.spec.times));
+        if fires {
+            self.fired += 1;
+        }
+        fires
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    /// Sites armed process-wide (environment / explicit [`arm_global`]).
+    global: HashMap<String, SiteState>,
+    /// Sites armed for one thread only (test isolation via [`Session`]).
+    scoped: HashMap<(ThreadId, String), SiteState>,
+}
+
+/// Fast path: is *anything* armed anywhere? Checked with one relaxed
+/// load before touching the registry lock.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, Registry> {
+    // A panic while holding this lock (e.g. a test assertion inside a
+    // session) must not wedge every later failpoint check.
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn refresh_any_armed(reg: &Registry) {
+    ANY_ARMED.store(
+        !reg.global.is_empty() || !reg.scoped.is_empty(),
+        Ordering::Release,
+    );
+}
+
+/// Check an injection site. Returns `true` when the armed spec says this
+/// hit fires. Unarmed sites (the production case) cost one atomic load.
+pub fn hit(site: &str) -> bool {
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("GEOIND_FAILPOINTS") {
+            // Ignore parse errors here: library code must not panic on a
+            // malformed operator-supplied variable. `arm_from_env` gives
+            // callers the checked version.
+            let _ = arm_from_spec_list(&spec);
+        }
+    });
+    if !ANY_ARMED.load(Ordering::Acquire) {
+        return false;
+    }
+    let tid = std::thread::current().id();
+    let mut reg = lock_registry();
+    if let Some(state) = reg.scoped.get_mut(&(tid, site.to_string())) {
+        return state.on_hit();
+    }
+    match reg.global.get_mut(site) {
+        Some(state) => state.on_hit(),
+        None => false,
+    }
+}
+
+/// Arm `site` process-wide. Prefer [`Session`] in tests.
+pub fn arm_global(site: &str, spec: FailSpec) {
+    let mut reg = lock_registry();
+    reg.global.insert(site.to_string(), SiteState::new(spec));
+    refresh_any_armed(&reg);
+}
+
+/// Disarm one globally armed site.
+pub fn disarm_global(site: &str) {
+    let mut reg = lock_registry();
+    reg.global.remove(site);
+    refresh_any_armed(&reg);
+}
+
+/// Disarm every globally armed site and reset its counters.
+pub fn reset_global() {
+    let mut reg = lock_registry();
+    reg.global.clear();
+    refresh_any_armed(&reg);
+}
+
+/// Disarm everything — global and every thread's scoped sites.
+pub fn reset_all() {
+    let mut reg = lock_registry();
+    reg.global.clear();
+    reg.scoped.clear();
+    refresh_any_armed(&reg);
+}
+
+/// How many times `site` has fired (scoped state for this thread if
+/// present, else global). Unarmed sites report 0.
+pub fn fired(site: &str) -> u64 {
+    let tid = std::thread::current().id();
+    let reg = lock_registry();
+    if let Some(state) = reg.scoped.get(&(tid, site.to_string())) {
+        return state.fired;
+    }
+    reg.global.get(site).map_or(0, |s| s.fired)
+}
+
+/// Parse a `site=spec,site=spec` list and arm each site globally.
+/// Returns the number of sites armed.
+pub fn arm_from_spec_list(list: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for pair in list.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (site, spec) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint '{pair}' is missing '=spec'"))?;
+        arm_global(site.trim(), FailSpec::parse(spec)?);
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Arm sites globally from `GEOIND_FAILPOINTS`, reporting parse errors.
+/// Returns the number of sites armed (0 when the variable is unset).
+pub fn arm_from_env() -> Result<usize, String> {
+    match std::env::var("GEOIND_FAILPOINTS") {
+        Ok(spec) => arm_from_spec_list(&spec),
+        Err(_) => Ok(0),
+    }
+}
+
+/// Thread-scoped arming with RAII disarm — the test-friendly interface.
+///
+/// Sites armed through a `Session` fire only on the creating thread and
+/// are disarmed (counters discarded) when the session drops, so parallel
+/// tests cannot see each other's faults. Scoped arming shadows a global
+/// arming of the same site on this thread.
+///
+/// ```
+/// use geoind_testkit::failpoint::{self, FailSpec, Session};
+///
+/// let mut fp = Session::new();
+/// fp.arm("cache.import.corrupt", FailSpec::times(1));
+/// assert!(failpoint::hit("cache.import.corrupt"));   // fires once
+/// assert!(!failpoint::hit("cache.import.corrupt"));  // then passes
+/// drop(fp);
+/// assert!(!failpoint::hit("cache.import.corrupt"));  // disarmed
+/// ```
+#[derive(Debug, Default)]
+pub struct Session {
+    armed: Vec<String>,
+}
+
+impl Session {
+    /// Start an empty session for the current thread.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm `site` for the current thread (re-arming resets its counters).
+    pub fn arm(&mut self, site: &str, spec: FailSpec) -> &mut Self {
+        let tid = std::thread::current().id();
+        let mut reg = lock_registry();
+        reg.scoped
+            .insert((tid, site.to_string()), SiteState::new(spec));
+        refresh_any_armed(&reg);
+        if !self.armed.iter().any(|s| s == site) {
+            self.armed.push(site.to_string());
+        }
+        self
+    }
+
+    /// How many times a site armed in this session has fired.
+    pub fn fired(&self, site: &str) -> u64 {
+        let tid = std::thread::current().id();
+        let reg = lock_registry();
+        reg.scoped
+            .get(&(tid, site.to_string()))
+            .map_or(0, |s| s.fired)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        let tid = std::thread::current().id();
+        let mut reg = lock_registry();
+        for site in self.armed.drain(..) {
+            reg.scoped.remove(&(tid, site));
+        }
+        refresh_any_armed(&reg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_site_never_fires() {
+        assert!(!hit("tests.nothing.armed"));
+        assert_eq!(fired("tests.nothing.armed"), 0);
+    }
+
+    #[test]
+    fn spec_parser_accepts_the_grammar() {
+        assert_eq!(FailSpec::parse("3").unwrap(), FailSpec::times(3));
+        assert_eq!(FailSpec::parse("*").unwrap(), FailSpec::always());
+        assert_eq!(FailSpec::parse("2:5").unwrap(), FailSpec::after(2, 5));
+        assert_eq!(
+            FailSpec::parse(" 1 : * ").unwrap(),
+            FailSpec::after(1, u64::MAX)
+        );
+        assert!(FailSpec::parse("x").is_err());
+        assert!(FailSpec::parse("1:y").is_err());
+    }
+
+    #[test]
+    fn count_based_firing_is_deterministic() {
+        let mut fp = Session::new();
+        fp.arm("tests.count.site", FailSpec::after(2, 2));
+        let pattern: Vec<bool> = (0..6).map(|_| hit("tests.count.site")).collect();
+        assert_eq!(pattern, [false, false, true, true, false, false]);
+        assert_eq!(fp.fired("tests.count.site"), 2);
+    }
+
+    #[test]
+    fn session_is_thread_scoped() {
+        let mut fp = Session::new();
+        fp.arm("tests.scoped.site", FailSpec::always());
+        assert!(hit("tests.scoped.site"));
+        // Another thread does not see the scoped arming.
+        let other = std::thread::spawn(|| hit("tests.scoped.site"))
+            .join()
+            .unwrap();
+        assert!(!other);
+    }
+
+    #[test]
+    fn drop_disarms() {
+        {
+            let mut fp = Session::new();
+            fp.arm("tests.drop.site", FailSpec::always());
+            assert!(hit("tests.drop.site"));
+        }
+        assert!(!hit("tests.drop.site"));
+    }
+
+    #[test]
+    fn spec_list_arms_multiple_sites() {
+        assert_eq!(
+            arm_from_spec_list("tests.list.a=1, tests.list.b=*").unwrap(),
+            2
+        );
+        // Global arming is visible across threads.
+        let seen = std::thread::spawn(|| hit("tests.list.b")).join().unwrap();
+        assert!(seen);
+        disarm_global("tests.list.a");
+        disarm_global("tests.list.b");
+        assert!(arm_from_spec_list("nospec").is_err());
+    }
+}

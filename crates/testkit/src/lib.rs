@@ -39,6 +39,7 @@ use geoind_rng::{splitmix64, SeededRng};
 use std::fmt::Debug;
 
 pub mod bench;
+pub mod failpoint;
 pub mod gens;
 
 pub use gens::Gen;
@@ -156,7 +157,11 @@ where
 #[macro_export]
 macro_rules! ensure {
     ($cond:expr) => {
-        if !$cond {
+        // `if c {} else` rather than `if !c`: conditions are arbitrary
+        // caller expressions, often float comparisons, where a negated
+        // operator trips clippy::neg_cmp_op_on_partial_ord.
+        if $cond {
+        } else {
             return Err(format!(
                 "assertion failed: {} ({}:{})",
                 stringify!($cond),
@@ -166,7 +171,8 @@ macro_rules! ensure {
         }
     };
     ($cond:expr, $($fmt:tt)+) => {
-        if !$cond {
+        if $cond {
+        } else {
             return Err(format!(
                 "{} [{} at {}:{}]",
                 format!($($fmt)+),

@@ -12,10 +12,27 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --check
 
+echo "== cargo clippy (library code panic-free: unwrap_used denied in lp/core)"
+# The lints are declared in the crates themselves
+# (`#![cfg_attr(not(test), warn(clippy::unwrap_used))]`); -D warnings
+# promotes them (and everything else) to errors here.
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== cargo build --workspace --release --offline"
 cargo build --workspace --release --offline
 
 echo "== cargo test --workspace -q --offline"
 cargo test --workspace -q --offline
+
+echo "== fault injection sweep (degradation ladder stays total per armed site)"
+# Arm each failpoint site in rotation (see geoind_testkit::failpoint) and
+# drive the env-facing resilience binary. Global arming is process-wide,
+# hence the dedicated single-test binary and --test-threads=1.
+for fp in lp.refactor.singular lp.iterations.exhausted cache.import.corrupt \
+          cache.lock.poisoned alloc.budget.infeasible data.loader.truncated; do
+    echo "   -- GEOIND_FAILPOINTS=$fp=*"
+    GEOIND_FAILPOINTS="$fp=*" cargo test -q -p geoind-core --offline \
+        --test resilience_env -- --test-threads=1
+done
 
 echo "== ci: all checks passed"

@@ -13,6 +13,7 @@
 
 use geoind::data::loader::{load_gowalla, AUSTIN, LAS_VEGAS};
 use geoind::mechanisms::audit::{audit_geoind, AuditConfig};
+use geoind::mechanisms::resilient::ResilientMechanism;
 use geoind::mechanisms::Mechanism;
 use geoind::prelude::*;
 use geoind_rng::SeededRng;
@@ -82,6 +83,29 @@ fn get_u64(flags: &Flags, name: &str, default: u64) -> Result<u64, String> {
     })
 }
 
+/// `--resilience on|off` (default off).
+fn resilience_on(flags: &Flags) -> Result<bool, String> {
+    match flags.get("resilience").map(String::as_str) {
+        None | Some("off") => Ok(false),
+        Some("on") => Ok(true),
+        Some(other) => Err(format!("--resilience: expected on|off, got '{other}'")),
+    }
+}
+
+/// Resolve the dataset; with `--resilience on`, a failing real-data load
+/// degrades to the synthetic city (with a warning) instead of aborting.
+fn dataset_resilient(flags: &Flags, resilient: bool) -> Result<Dataset, String> {
+    match dataset(flags) {
+        Ok(d) => Ok(d),
+        Err(e) if resilient => {
+            eprintln!("warning: {e}; degrading to the synthetic city");
+            let size = get_u64(flags, "synthetic-size", 80_000)? as usize;
+            Ok(SyntheticCity::austin_like().generate_with_size(size, size / 10))
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// Resolve the dataset: real Gowalla file or the synthetic default.
 fn dataset(flags: &Flags) -> Result<Dataset, String> {
     match flags.get("gowalla") {
@@ -114,7 +138,8 @@ fn build_msm(flags: &Flags, data: &Dataset) -> Result<MsmMechanism, String> {
 }
 
 fn cmd_protect(flags: &Flags) -> Result<(), String> {
-    let data = dataset(flags)?;
+    let resilient = resilience_on(flags)?;
+    let data = dataset_resilient(flags, resilient)?;
     let eps = get_f64(flags, "eps", 0.5)?;
     let seed = get_u64(flags, "seed", 42)?;
     // Location: either --x/--y (km-plane) or --lat/--lon with a window.
@@ -146,7 +171,15 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
                 msm.effective_granularity(),
                 msm.budgets().budgets()
             );
-            msm.report(x, &mut rng)
+            if resilient {
+                let ladder = ResilientMechanism::new(msm);
+                let (z, tier) = ladder.report_with_tier(x, &mut rng);
+                println!("# served by tier: {tier}");
+                println!("{}", ladder.degradation_report());
+                z
+            } else {
+                msm.report(x, &mut rng)
+            }
         }
         Some(other) => return Err(format!("--mechanism: unknown '{other}'")),
     };
@@ -157,7 +190,8 @@ fn cmd_protect(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_eval(flags: &Flags) -> Result<(), String> {
-    let data = dataset(flags)?;
+    let resilient = resilience_on(flags)?;
+    let data = dataset_resilient(flags, resilient)?;
     let eps = get_f64(flags, "eps", 0.5)?;
     let queries = get_u64(flags, "queries", 1_000)? as usize;
     let seed = get_u64(flags, "seed", 42)?;
@@ -165,9 +199,18 @@ fn cmd_eval(flags: &Flags) -> Result<(), String> {
     let msm = build_msm(flags, &data)?;
     let pl = PlanarLaplace::new(eps)
         .with_grid_remap(Grid::new(data.domain(), msm.effective_granularity()));
-    for metric in [QualityMetric::Euclidean, QualityMetric::SqEuclidean] {
-        println!("{}", evaluator.measure(&pl, metric, seed + 1).summary());
-        println!("{}", evaluator.measure(&msm, metric, seed + 1).summary());
+    if resilient {
+        let ladder = ResilientMechanism::new(msm);
+        for metric in [QualityMetric::Euclidean, QualityMetric::SqEuclidean] {
+            println!("{}", evaluator.measure(&pl, metric, seed + 1).summary());
+            println!("{}", evaluator.measure(&ladder, metric, seed + 1).summary());
+        }
+        println!("{}", ladder.degradation_report());
+    } else {
+        for metric in [QualityMetric::Euclidean, QualityMetric::SqEuclidean] {
+            println!("{}", evaluator.measure(&pl, metric, seed + 1).summary());
+            println!("{}", evaluator.measure(&msm, metric, seed + 1).summary());
+        }
     }
     Ok(())
 }
@@ -263,7 +306,9 @@ fn cmd_precompute(flags: &Flags) -> Result<(), String> {
     let data = dataset(flags)?;
     let out = flags.get("out").ok_or("--out <file> is required")?;
     let msm = build_msm(flags, &data)?;
-    let nodes = msm.precompute(get_u64(flags, "max-nodes", 100_000)? as usize);
+    let nodes = msm
+        .precompute(get_u64(flags, "max-nodes", 100_000)? as usize)
+        .map_err(|e| e.to_string())?;
     let mut blob = Vec::new();
     msm.export_cache(&mut blob).map_err(|e| e.to_string())?;
     std::fs::write(out, &blob).map_err(|e| format!("writing {out}: {e}"))?;
@@ -294,6 +339,9 @@ COMMON FLAGS
   --mechanism M      msm (default) or pl
   --gowalla FILE     real SNAP-format check-ins (else synthetic city)
   --window W         austin (default) or vegas, for --gowalla and --lat/--lon
-  --seed S           RNG seed (default 42)"
+  --seed S           RNG seed (default 42)
+  --resilience R     on|off (default off): serve through the degradation
+                     ladder (MSM/OPT -> per-level Laplace -> flat Laplace)
+                     and print a served_by_tier degradation report"
     );
 }

@@ -51,6 +51,7 @@ pub mod prelude {
     pub use geoind_core::msm::MsmMechanism;
     pub use geoind_core::opt::OptimalMechanism;
     pub use geoind_core::planar_laplace::PlanarLaplace;
+    pub use geoind_core::resilient::{DegradationReport, ResilientMechanism, Tier};
     pub use geoind_core::Mechanism;
     pub use geoind_data::checkin::{CheckIn, Dataset};
     pub use geoind_data::prior::GridPrior;

@@ -110,6 +110,7 @@ fn precompute_writes_a_loadable_bundle() {
         String::from_utf8_lossy(&out.stderr)
     );
     let blob = std::fs::read(&path).expect("bundle written");
-    assert!(blob.starts_with(b"GEOIND01"));
+    // v2 checksummed container format (see geoind_core::offline).
+    assert!(blob.starts_with(b"GEOINDCH"));
     std::fs::remove_file(&path).ok();
 }

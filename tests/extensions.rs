@@ -26,7 +26,7 @@ fn offline_provisioning_flow_end_to_end() {
             .unwrap()
     };
     let provisioner = build();
-    let nodes = provisioner.precompute(usize::MAX);
+    let nodes = provisioner.precompute(usize::MAX).unwrap();
     assert!(nodes >= 2);
     let mut blob = Vec::new();
     provisioner.export_cache(&mut blob).unwrap();
