@@ -51,7 +51,7 @@ pub use audit::{audit_geoind, AuditConfig, AuditReport};
 pub use channel::Channel;
 pub use eval::{EvalReport, Evaluator};
 pub use metrics::QualityMetric;
-pub use msm::MsmMechanism;
+pub use msm::{DescentInterrupted, MsmMechanism};
 pub use opt::OptimalMechanism;
 pub use planar_laplace::PlanarLaplace;
 pub use pmsm::{KdMsmMechanism, PartitionMsm, QuadMsmMechanism};

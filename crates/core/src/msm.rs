@@ -134,6 +134,23 @@ impl MsmBuilder {
     }
 }
 
+/// A failed MSM descent: the typed fault plus the cell the completed
+/// levels had already selected.
+///
+/// `resume.level` levels of the per-level budget (`ε_1..ε_k`) were spent
+/// on input-dependent sampling before the fault; a privacy-sound fallback
+/// must continue from `resume` using only the remaining level budgets.
+/// Faults at the root (`resume == LevelCell::ROOT`) happened before any
+/// sampling, so the full budget is still available.
+#[derive(Debug)]
+pub struct DescentInterrupted {
+    /// The cell selected by the levels that completed (`ROOT` when none
+    /// did).
+    pub resume: LevelCell,
+    /// The fault that stopped the descent.
+    pub error: MechanismError,
+}
+
 /// The multi-step mechanism over a hierarchical grid index.
 #[derive(Debug)]
 pub struct MsmMechanism {
@@ -332,8 +349,7 @@ impl MsmMechanism {
 
     /// Fallible form of [`Mechanism::report`]: the full hierarchical
     /// descent, surfacing any per-node construction or cache failure as a
-    /// typed error instead of panicking. [`crate::ResilientMechanism`]
-    /// builds its degradation ladder on this.
+    /// typed error instead of panicking.
     ///
     /// # Errors
     /// Any [`MechanismError`] raised while fetching or building a
@@ -343,11 +359,41 @@ impl MsmMechanism {
         x: Point,
         rng: &mut R,
     ) -> Result<Point, MechanismError> {
+        self.try_report_resumable(x, rng).map_err(|i| i.error)
+    }
+
+    /// Like [`Self::try_report`], but a failure also carries *where the
+    /// walk stopped*, so a fallback can resume the descent from the cell
+    /// already selected instead of restarting — restarting would spend
+    /// fresh budget on an input whose completed levels already consumed
+    /// `ε_1..ε_k`. [`crate::ResilientMechanism`] builds its degradation
+    /// ladder on this.
+    ///
+    /// A level's channel is fetched *before* any of that level's
+    /// randomness is drawn, so on failure the levels up to
+    /// `resume.level` are exactly the levels whose budget was spent.
+    ///
+    /// # Errors
+    /// [`DescentInterrupted`] wrapping any [`MechanismError`] raised
+    /// while fetching or building a per-level channel.
+    pub fn try_report_resumable<R: Rng + ?Sized>(
+        &self,
+        x: Point,
+        rng: &mut R,
+    ) -> Result<Point, DescentInterrupted> {
         let x = clamp_into(self.hier.domain(), x);
         let mut current = LevelCell::ROOT;
         for _level in 1..=self.hier.height() {
             let children = self.hier.children(current);
-            let channel = self.try_channel_for(current)?;
+            let channel = match self.try_channel_for(current) {
+                Ok(c) => c,
+                Err(error) => {
+                    return Err(DescentInterrupted {
+                        resume: current,
+                        error,
+                    })
+                }
+            };
             let ext = self.hier.extent(current);
             let input_idx = if ext.contains(x) {
                 self.hier

@@ -23,15 +23,22 @@
 //! count        u64      number of entries
 //! header_sum   u64      FNV-1a 64 over the version+count bytes
 //! entry × count:
-//!   payload_len  u64
-//!   payload      payload_len bytes (level, id, n, m, points, probs)
+//!   payload_len  u64    length of the payload in bytes
+//!   n, m         u64×2  channel shape (inputs × outputs)
 //!   payload_sum  u64    FNV-1a 64 over the payload bytes
+//!   entry_sum    u64    FNV-1a 64 over the 32 entry-header bytes above
+//!   payload      payload_len bytes (level, id, n, m, points, probs)
 //! ```
 //!
 //! The per-section checksums mean a truncated, bit-flipped, or
 //! version-bumped blob is rejected with a clean
 //! [`MechanismError::CacheCorrupt`] naming the failing section — it can
-//! never be admitted as a garbage channel. Version-1 blobs (magic
+//! never be admitted as a garbage channel. The entry header (including
+//! `payload_len`) is checksum-verified and cross-checked **before any
+//! allocation**: `n` and `m` must equal this index's fan-out `g²` and
+//! `payload_len` must equal the exact size those shapes imply, so a
+//! corrupted or malicious length can neither trigger a huge allocation
+//! nor mis-frame the rest of the stream. Version-1 blobs (magic
 //! `GEOIND01`, no checksums) are detected and refused explicitly.
 
 use crate::channel::Channel;
@@ -122,19 +129,33 @@ impl MsmMechanism {
                     write_f64(&mut payload, v)?;
                 }
             }
-            write_u64(w, payload.len() as u64)?;
+            let mut entry_header = Vec::with_capacity(32);
+            entry_header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            entry_header.extend_from_slice(&(channel.num_inputs() as u64).to_le_bytes());
+            entry_header.extend_from_slice(&(channel.num_outputs() as u64).to_le_bytes());
+            entry_header.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+            w.write_all(&entry_header)?;
+            write_u64(w, fnv1a64(&entry_header))?;
             w.write_all(&payload)?;
-            write_u64(w, fnv1a64(&payload))?;
         }
         Ok(entries.len())
+    }
+
+    /// The exact payload size implied by an `n × m` entry: 4 `u64` fields
+    /// plus `2(n+m)` coordinate `f64`s plus `n·m` probability `f64`s.
+    fn expected_payload_len(n: u64, m: u64) -> u64 {
+        32 + 16 * (n + m) + 8 * n * m
     }
 
     /// Load channels exported by [`MsmMechanism::export_cache`] into this
     /// mechanism's cache. Returns the number of channels loaded.
     ///
     /// The blob is validated in layers: magic, format version, header
-    /// checksum, per-entry checksum, and finally each entry against this
-    /// index's geometry (child count and centers). Import is
+    /// checksum, per-entry header checksum (which covers the payload
+    /// length and shape, checked against this index's fan-out *before*
+    /// the payload is allocated), per-entry payload checksum, and finally
+    /// each entry against this index's geometry (child count and
+    /// centers). Import is
     /// transactional: entries are staged and committed to the cache only
     /// after the whole blob validates, so a failure part-way through
     /// admits nothing.
@@ -183,26 +204,54 @@ impl MsmMechanism {
         if count > 4_000_000 {
             return Err(corrupt("header", "implausible entry count"));
         }
+        // Every per-node channel of this index is g² × g²; anything else
+        // cannot belong here, and rejecting it up front bounds the
+        // allocation below to the exact entry size this index implies.
+        let fan_out = u64::from(self.granularity()) * u64::from(self.granularity());
         let mut staged = Vec::with_capacity(count.min(4096));
         for i in 0..count {
             let section = format!("entry {i}");
-            let len = read_u64(r).map_err(|e| corrupt(&section, format!("length: {e}")))? as usize;
-            // 4 u64 fields + 2*(n+m) coords + n*m probs; 65_536² channels
-            // of f64 stay far below this cap.
-            if !(32..=1 << 30).contains(&len) {
+            let mut entry_header = [0u8; 32];
+            r.read_exact(&mut entry_header)
+                .map_err(|e| corrupt(&section, format!("truncated entry header: {e}")))?;
+            let declared_entry_sum =
+                read_u64(r).map_err(|e| corrupt(&section, format!("header checksum: {e}")))?;
+            // The header checksum covers the payload length, so a flipped
+            // length bit is caught here, before it can size an allocation
+            // or mis-frame the rest of the stream.
+            if declared_entry_sum != fnv1a64(&entry_header) {
+                return Err(corrupt(&section, "entry header checksum mismatch"));
+            }
+            let word = |j: usize| {
+                u64::from_le_bytes(
+                    entry_header[8 * j..8 * (j + 1)]
+                        .try_into()
+                        .expect("8-byte slice of a 32-byte array"),
+                )
+            };
+            let (len, n, m, payload_sum) = (word(0), word(1), word(2), word(3));
+            if n != fan_out || m != fan_out {
                 return Err(corrupt(
                     &section,
-                    format!("implausible payload length {len}"),
+                    format!("channel shape {n}x{m} does not match this index's {fan_out}x{fan_out} fan-out"),
                 ));
             }
-            let mut payload = vec![0u8; len];
+            if len != Self::expected_payload_len(n, m) {
+                return Err(corrupt(
+                    &section,
+                    format!(
+                        "payload length {len} inconsistent with shape {n}x{m} (expected {})",
+                        Self::expected_payload_len(n, m)
+                    ),
+                ));
+            }
+            let mut payload = vec![0u8; len as usize];
             r.read_exact(&mut payload)
                 .map_err(|e| corrupt(&section, format!("truncated payload: {e}")))?;
-            let declared = read_u64(r).map_err(|e| corrupt(&section, format!("checksum: {e}")))?;
-            if declared != fnv1a64(&payload) {
+            if payload_sum != fnv1a64(&payload) {
                 return Err(corrupt(&section, "payload checksum mismatch"));
             }
-            let (cell, channel) = self.parse_entry(&payload, &section)?;
+            let (cell, channel) = self.parse_entry(&payload, (n, m), &section)?;
             staged.push((cell, Arc::new(channel)));
         }
         let loaded = staged.len();
@@ -213,17 +262,24 @@ impl MsmMechanism {
     }
 
     /// Decode and geometry-validate one checksum-verified entry payload.
+    /// `declared` is the `(n, m)` shape from the entry header — the
+    /// payload's embedded shape must agree with it.
     fn parse_entry(
         &self,
         payload: &[u8],
+        declared: (u64, u64),
         section: &str,
     ) -> Result<(LevelCell, Channel), MechanismError> {
         let mut r: &[u8] = payload;
         let fail = |detail: String| corrupt(section, detail);
         let level = read_u64(&mut r).map_err(|e| fail(format!("level field: {e}")))? as u32;
         let id = read_u64(&mut r).map_err(|e| fail(format!("id field: {e}")))? as usize;
-        let n = read_u64(&mut r).map_err(|e| fail(format!("shape field: {e}")))? as usize;
-        let m = read_u64(&mut r).map_err(|e| fail(format!("shape field: {e}")))? as usize;
+        let n_raw = read_u64(&mut r).map_err(|e| fail(format!("shape field: {e}")))?;
+        let m_raw = read_u64(&mut r).map_err(|e| fail(format!("shape field: {e}")))?;
+        if (n_raw, m_raw) != declared {
+            return Err(fail("payload shape disagrees with entry header".into()));
+        }
+        let (n, m) = (n_raw as usize, m_raw as usize);
         if n == 0 || m == 0 || n > 65_536 || m > 65_536 {
             return Err(fail("bad channel shape".into()));
         }
@@ -419,6 +475,56 @@ mod tests {
             ),
             other => panic!("expected CacheCorrupt, got {other:?}"),
         }
+    }
+
+    // Blob offsets: magic 8 + version/count header 12 + header sum 8 = 28,
+    // then the first entry header [28..60] (len, n, m, payload_sum) and its
+    // checksum [60..68].
+    const ENTRY: usize = 28;
+
+    #[test]
+    fn forged_huge_length_rejected_before_allocation() {
+        // Corruption that rewrites payload_len AND fixes up the entry
+        // header checksum still cannot force an allocation: the length
+        // must equal the exact size implied by the g²×g² shape. (If this
+        // guard regressed, the import would attempt a 1 TiB allocation
+        // and the test would die rather than fail.)
+        let mut blob = exported_blob();
+        blob[ENTRY..ENTRY + 8].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        let fixed = fnv1a64(&blob[ENTRY..ENTRY + 32]).to_le_bytes();
+        blob[ENTRY + 32..ENTRY + 40].copy_from_slice(&fixed);
+        let device = mechanism();
+        let err = device.import_cache(&mut blob.as_slice()).unwrap_err();
+        match err {
+            MechanismError::CacheCorrupt { detail, .. } => assert!(
+                detail.contains("length"),
+                "forged length misreported: {detail}"
+            ),
+            other => panic!("expected CacheCorrupt, got {other:?}"),
+        }
+        assert_eq!(device.cached_channels(), 0);
+    }
+
+    #[test]
+    fn forged_shape_rejected_before_allocation() {
+        // Shape words that disagree with this index's fan-out are refused
+        // even with a fixed-up entry header checksum — the maximal 65 536²
+        // shape would otherwise license a ~34 GiB payload.
+        let mut blob = exported_blob();
+        blob[ENTRY + 8..ENTRY + 16].copy_from_slice(&65_536u64.to_le_bytes());
+        blob[ENTRY + 16..ENTRY + 24].copy_from_slice(&65_536u64.to_le_bytes());
+        let fixed = fnv1a64(&blob[ENTRY..ENTRY + 32]).to_le_bytes();
+        blob[ENTRY + 32..ENTRY + 40].copy_from_slice(&fixed);
+        let device = mechanism();
+        let err = device.import_cache(&mut blob.as_slice()).unwrap_err();
+        match err {
+            MechanismError::CacheCorrupt { detail, .. } => assert!(
+                detail.contains("fan-out"),
+                "forged shape misreported: {detail}"
+            ),
+            other => panic!("expected CacheCorrupt, got {other:?}"),
+        }
+        assert_eq!(device.cached_channels(), 0);
     }
 
     #[test]

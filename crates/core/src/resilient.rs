@@ -11,7 +11,7 @@
 //! |------|-----------|---------------------|
 //! | 0 `Optimal` | MSM with per-node OPT channels | composition bound, `Σ ε_i = ε` |
 //! | 1 `PerLevelLaplace` | planar Laplace per level at the same `ε_i` | `ε_i`-GeoInd per level ⇒ `ε`-GeoInd composed |
-//! | 2 `FlatLaplace` | one planar Laplace at the composed `ε` | `ε`-GeoInd |
+//! | 2 `FlatLaplace` | one planar Laplace at the *remaining* budget | `ε`-GeoInd |
 //!
 //! Planar Laplace is the GeoInd-safe floor because it satisfies ε-GeoInd
 //! for **any** prior (Andrés et al.) — unlike OPT, whose guarantee rests
@@ -21,17 +21,45 @@
 //! into the current cell, and descending into the enclosing child —
 //! clamping and discretization are post-processing of an `ε_i`-GeoInd
 //! mechanism, so the per-level guarantee is exact. Tier 2 drops structure
-//! entirely and reports a continuous planar Laplace point at the full
-//! composed budget.
+//! entirely and reports a continuous planar Laplace point.
+//!
+//! ## Budget accounting under mid-descent faults
+//!
+//! A fault can strike *after* the optimal walk has completed `k` levels —
+//! and the fault event itself may be correlated with the walk's path
+//! (e.g. one specific cell's cached channel is corrupt). Those `k` levels
+//! already spent `ε_1..ε_k` on input-dependent sampling, so a fallback
+//! that restarted from the root at the full budget would let the
+//! observable (output, serving tier) leak up to `ε_1..ε_k` *plus* `ε` —
+//! more than the configured budget. The ladder therefore never restarts:
+//! [`MsmMechanism::try_report_resumable`] reports the cell the completed
+//! levels selected, tier 1 **continues the descent from that cell** using
+//! only the remaining level budgets `ε_{k+1}..ε_h`, and tier 2 serves a
+//! flat planar Laplace at their sum. Whatever the fault pattern — even an
+//! adversarially path-correlated one — the total spend on any input is at
+//! most `Σ ε_i = ε`, so the per-request tier can be exposed safely.
+//! Root-level faults (`k = 0`) occur before any sampling and naturally
+//! get the whole budget.
+//!
+//! ## When each rung serves
 //!
 //! Degradation is *per report* and triggered only by typed
-//! [`MechanismError`]s — panics are bugs, not control flow. Which tier
-//! served each request is counted in cheap atomic counters
+//! [`MechanismError`]s — panics are bugs, not control flow. Tier 1 is the
+//! automatic fallback whenever its samplers exist; it is pure sampling
+//! plus grid geometry and cannot itself fail at report time. Tier 2
+//! serves automatically only when tier 1 was ruled out **before any
+//! request** — the hierarchy geometry or per-level budgets failed
+//! validation at construction, or the operator opted down with
+//! [`ResilientMechanism::without_per_level_fallback`] — a decision that
+//! is input-independent by construction. [`ResilientMechanism::report_flat`]
+//! remains as the explicit floor entry point.
+//!
+//! Which tier served each request is counted in cheap atomic counters
 //! ([`ResilientMechanism::served_by_tier`]) and summarized by
 //! [`DegradationReport`], so operators can see when and why the optimal
 //! path was bypassed.
 
-use crate::msm::{MsmBuilder, MsmMechanism};
+use crate::msm::{DescentInterrupted, MsmBuilder, MsmMechanism};
 use crate::planar_laplace::PlanarLaplace;
 use crate::{Mechanism, MechanismError};
 use geoind_rng::Rng;
@@ -48,7 +76,7 @@ pub enum Tier {
     /// Per-level planar Laplace at the same per-level budgets
     /// (hierarchical structure kept, OPT utility lost).
     PerLevelLaplace,
-    /// One flat planar Laplace at the composed ε (structure lost too).
+    /// One flat planar Laplace at the remaining budget (structure lost too).
     FlatLaplace,
 }
 
@@ -84,7 +112,9 @@ impl std::fmt::Display for Tier {
 /// cell, and the enclosing child becomes the next cell. Clamping and
 /// child-snapping are deterministic post-processing of an `ε_i`-GeoInd
 /// mechanism, so each step is `ε_i`-GeoInd and the walk composes to
-/// `Σ ε_i = ε` exactly like the optimal descent.
+/// `Σ ε_i = ε` exactly like the optimal descent. The walk can start at
+/// any cell — [`Self::report_from`] continues a partially completed
+/// optimal descent spending only the remaining levels' budgets.
 #[derive(Debug)]
 struct PerLevelLaplace {
     hier: HierGrid,
@@ -93,21 +123,33 @@ struct PerLevelLaplace {
 }
 
 impl PerLevelLaplace {
-    fn new(hier: HierGrid, budgets: &[f64]) -> Self {
+    /// Validate the geometry and budgets; `None` means tier 1 cannot be
+    /// offered and the ladder's automatic floor is the flat tier.
+    fn new(hier: HierGrid, budgets: &[f64]) -> Option<Self> {
+        let side = hier.domain().side();
+        let geometry_ok = side.is_finite() && side > 0.0 && hier.height() >= 1;
+        let budgets_ok = budgets.len() == hier.height() as usize
+            && budgets.iter().all(|b| b.is_finite() && *b > 0.0);
+        if !geometry_ok || !budgets_ok {
+            return None;
+        }
         let levels = budgets.iter().map(|&e| PlanarLaplace::new(e)).collect();
-        Self { hier, levels }
+        Some(Self { hier, levels })
     }
 
-    fn report<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
+    /// Continue the descent from `start` down to a leaf, spending only
+    /// the budgets of levels `start.level + 1 ..= height`.
+    fn report_from<R: Rng + ?Sized>(&self, start: LevelCell, x: Point, rng: &mut R) -> Point {
         let x = clamp_into(self.hier.domain(), x);
-        let mut current = LevelCell::ROOT;
-        for (i, pl) in self.levels.iter().enumerate() {
+        let mut current = start;
+        while current.level < self.hier.height() {
+            let pl = &self.levels[current.level as usize];
             let ext = self.hier.extent(current);
             // Out-of-cell inputs are clamped to the cell border (a pure
             // function of x, so still post-processing of the PL sample).
             let centered = clamp_into(ext, x);
             let z = clamp_into(ext, pl.report_continuous(centered, rng));
-            current = self.hier.enclosing_cell(z, (i + 1) as u32);
+            current = self.hier.enclosing_cell(z, current.level + 1);
         }
         self.hier.center(current)
     }
@@ -160,13 +202,23 @@ impl std::fmt::Display for DegradationReport {
 
 /// [`Mechanism`] wrapper that guarantees `report()` is **total**: it
 /// always returns a point, never panics on a mechanism fault, and never
-/// exceeds the configured ε at the tier that actually served the request.
-/// See the module docs for the ladder.
+/// exceeds the configured ε across the levels that actually sampled —
+/// including when a fault strikes mid-descent (see the module docs on
+/// budget accounting). See the module docs for the ladder.
 #[derive(Debug)]
 pub struct ResilientMechanism {
     msm: MsmMechanism,
-    fallback: PerLevelLaplace,
+    /// `None` when the hierarchy geometry or budgets failed validation
+    /// (or the operator opted down): degraded requests then go flat.
+    fallback: Option<PerLevelLaplace>,
+    /// Flat sampler at the full composed ε, for the explicit
+    /// [`Self::report_flat`] floor.
     flat: PlanarLaplace,
+    /// Flat samplers for serving after a partial descent: index `k` holds
+    /// a planar Laplace at `Σ_{i>k} ε_i`, the budget still unspent after
+    /// `k` completed levels (index 0 = the full ε). Empty when the
+    /// budgets failed validation.
+    flat_by_resume: Vec<PlanarLaplace>,
     served: [AtomicU64; 3],
     last_fault: Mutex<Option<String>>,
 }
@@ -184,18 +236,41 @@ impl ResilientMechanism {
         Ok(Self::new(builder.build()?))
     }
 
-    /// Wrap an already-built [`MsmMechanism`].
+    /// Wrap an already-built [`MsmMechanism`]. If the hierarchy geometry
+    /// or per-level budgets fail validation here, tier 1 is unavailable
+    /// and every degraded request is served by the flat floor — the
+    /// decision is made once, before any request, so it is
+    /// input-independent.
     pub fn new(msm: MsmMechanism) -> Self {
         let hier = HierGrid::new(msm.leaf_grid().domain(), msm.granularity(), msm.height());
-        let fallback = PerLevelLaplace::new(hier, msm.budgets().budgets());
+        let budgets = msm.budgets().budgets();
+        let fallback = PerLevelLaplace::new(hier, budgets);
         let flat = PlanarLaplace::new(msm.epsilon());
+        let flat_by_resume = if budgets.iter().all(|b| b.is_finite() && *b > 0.0) {
+            (0..budgets.len())
+                .map(|k| PlanarLaplace::new(budgets[k..].iter().sum()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Self {
             msm,
             fallback,
             flat,
+            flat_by_resume,
             served: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             last_fault: Mutex::new(None),
         }
+    }
+
+    /// Drop tier 1 from the ladder: every degraded request is served by
+    /// the flat planar-Laplace floor. An operator opt-down (e.g. when the
+    /// hierarchical fallback itself is under suspicion); the same state
+    /// is entered automatically when [`Self::new`] finds the fallback
+    /// geometry or budgets invalid.
+    pub fn without_per_level_fallback(mut self) -> Self {
+        self.fallback = None;
+        self
     }
 
     /// The wrapped optimal-path mechanism.
@@ -244,33 +319,55 @@ impl ResilientMechanism {
     /// Sanitize `x`, degrading through the ladder on typed faults. Returns
     /// the reported point and the tier that produced it.
     ///
+    /// On a mid-descent fault the fallback *continues* from the cell the
+    /// completed levels selected, spending only the remaining level
+    /// budgets — never restarting — so the total spend stays within ε
+    /// even when the fault is correlated with the descent path (module
+    /// docs, "Budget accounting under mid-descent faults").
+    ///
     /// The same `rng` drives whichever tier serves, consuming randomness
     /// only for the sampling that actually happens — with a fixed seed and
     /// a fixed (count-based) fault schedule the output stream is
     /// bit-deterministic.
     pub fn report_with_tier<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> (Point, Tier) {
-        match self.msm.try_report(x, rng) {
+        match self.msm.try_report_resumable(x, rng) {
             Ok(z) => {
                 self.record(Tier::Optimal, None);
                 (z, Tier::Optimal)
             }
-            Err(e0) => {
-                // Tier 1 cannot fail: it is pure sampling plus geometry.
-                let z = self.fallback.report(x, rng);
+            Err(DescentInterrupted { resume, error }) => {
+                let (z, tier) = match &self.fallback {
+                    // Tier 1 cannot fail: it is pure sampling plus
+                    // geometry. It resumes at `resume`, so only the
+                    // budgets of the unfinished levels are spent.
+                    Some(fb) => (fb.report_from(resume, x, rng), Tier::PerLevelLaplace),
+                    // Tier 1 was ruled out before any request: serve flat
+                    // at the budget still unspent after the partial
+                    // descent (the full ε for root faults). The unindexed
+                    // arm is only reachable when the budgets themselves
+                    // failed validation, where no spend is accountable.
+                    None => {
+                        let pl = self
+                            .flat_by_resume
+                            .get(resume.level as usize)
+                            .unwrap_or(&self.flat);
+                        (pl.report_continuous(x, rng), Tier::FlatLaplace)
+                    }
+                };
                 self.record(
-                    Tier::PerLevelLaplace,
+                    tier,
                     Some(&MechanismError::Degraded {
-                        tier: Tier::PerLevelLaplace,
-                        source: Box::new(e0),
+                        tier,
+                        source: Box::new(error),
                     }),
                 );
-                (z, Tier::PerLevelLaplace)
+                (z, tier)
             }
         }
     }
 
-    /// Serve from the flat tier directly — used when even the hierarchy's
-    /// geometry is suspect (and by tests pinning tier-2 behaviour).
+    /// Serve from the flat tier directly, at the full composed ε — the
+    /// explicit floor for operators and tests pinning tier-2 behaviour.
     pub fn report_flat<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
         let z = self.flat.report_continuous(x, rng);
         self.record(Tier::FlatLaplace, None);
@@ -322,18 +419,56 @@ mod tests {
     }
 
     #[test]
+    fn valid_configuration_offers_tier1() {
+        assert!(resilient().fallback.is_some());
+    }
+
+    #[test]
     fn per_level_fallback_lands_on_leaf_centers() {
         let r = resilient();
+        let fb = r.fallback.as_ref().unwrap();
         let centers = r.msm().leaf_grid().centers();
         let mut rng = SeededRng::from_seed(2);
         for i in 0..200 {
             let x = Point::new((i % 8) as f64 + 0.3, (i % 7) as f64 + 0.6);
-            let z = r.fallback.report(x, &mut rng);
+            let z = fb.report_from(LevelCell::ROOT, x, &mut rng);
             assert!(
                 centers.iter().any(|c| c.dist(z) < 1e-12),
                 "{z:?} not a leaf center"
             );
         }
+    }
+
+    #[test]
+    fn resumed_fallback_stays_inside_the_resume_cell() {
+        let r = resilient();
+        let fb = r.fallback.as_ref().unwrap();
+        let mut rng = SeededRng::from_seed(3);
+        // Resume from each level-1 cell: the continuation must never
+        // leave it, whatever the input — that is what caps its spend at
+        // the remaining budget.
+        for id in 0..4usize {
+            let start = LevelCell { level: 1, id };
+            let ext = fb.hier.extent(start);
+            for i in 0..50 {
+                let x = Point::new((i % 8) as f64 + 0.1, (i % 7) as f64 + 0.5);
+                let z = fb.report_from(start, x, &mut rng);
+                assert!(
+                    ext.contains_closed(z),
+                    "resumed walk escaped cell {id}: {z:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_budgets_disable_tier1() {
+        let r = resilient();
+        let hier = HierGrid::new(r.msm().leaf_grid().domain(), 2, 2);
+        assert!(PerLevelLaplace::new(hier.clone(), &[0.4]).is_none()); // wrong count
+        assert!(PerLevelLaplace::new(hier.clone(), &[0.4, f64::NAN]).is_none());
+        assert!(PerLevelLaplace::new(hier.clone(), &[0.4, 0.0]).is_none());
+        assert!(PerLevelLaplace::new(hier, &[0.4, 0.4]).is_some());
     }
 
     #[test]

@@ -13,12 +13,13 @@
 use geoind_core::alloc::AllocationStrategy;
 use geoind_core::audit::{audit_geoind, AuditConfig};
 use geoind_core::msm::MsmMechanism;
-use geoind_core::{Mechanism, MechanismError, ResilientMechanism, Tier};
+use geoind_core::{MechanismError, ResilientMechanism, Tier};
 use geoind_data::loader::{load_gowalla, LoadError, AUSTIN};
 use geoind_data::prior::GridPrior;
 use geoind_rng::SeededRng;
 use geoind_spatial::geom::{BBox, Point};
 use geoind_spatial::grid::Grid;
+use geoind_spatial::hier::HierGrid;
 use geoind_testkit::failpoint::{self, FailSpec, Session};
 
 const EPS: f64 = 0.8;
@@ -161,6 +162,80 @@ fn partial_fault_degrades_exactly_k_reports() {
 }
 
 #[test]
+fn mid_descent_fault_resumes_from_the_reached_cell() {
+    // The privacy-critical property behind the ladder's budget
+    // accounting: when the optimal walk fails AFTER completing level 1,
+    // the fallback must continue inside the level-1 cell that walk chose
+    // (spending only the remaining level budgets) — never restart from
+    // the root, which would re-spend the full ε on an input whose prefix
+    // already consumed ε₁.
+    let healthy = resilient();
+    let faulty = resilient();
+    // Warm both channel caches so a descent costs exactly one
+    // cache.lock.poisoned hit per level (the lock_read of the fetch).
+    healthy.msm().precompute(usize::MAX).unwrap();
+    faulty.msm().precompute(usize::MAX).unwrap();
+    let domain = healthy.msm().leaf_grid().domain();
+    let hier = HierGrid::new(domain, 2, 2);
+    let centers = healthy.msm().leaf_grid().centers();
+    // A corner input: if a buggy fallback restarted at the root with the
+    // full budget, its level-1 planar Laplace would frequently land
+    // outside this corner's quadrant, so 25 rounds would catch it.
+    let x = Point::new(0.6, 0.6);
+    for round in 0..25u64 {
+        // Identical fresh rng streams: the two walks sample the same
+        // level-1 cell from the same cached channel before the armed
+        // fault diverges them at level 2.
+        let mut rng_h = SeededRng::from_seed(1_000 + round);
+        let mut rng_f = SeededRng::from_seed(1_000 + round);
+        let (zh, th) = healthy.report_with_tier(x, &mut rng_h);
+        assert_eq!(th, Tier::Optimal);
+        let mut fp = Session::new();
+        fp.arm("cache.lock.poisoned", FailSpec::after(1, 1));
+        let (zf, tf) = faulty.report_with_tier(x, &mut rng_f);
+        assert_eq!(tf, Tier::PerLevelLaplace, "round {round}");
+        assert_eq!(fp.fired("cache.lock.poisoned"), 1, "round {round}");
+        drop(fp);
+        assert!(
+            centers.iter().any(|c| c.dist(zf) < 1e-12),
+            "round {round}: degraded report {zf:?} is not a leaf center"
+        );
+        assert_eq!(
+            hier.enclosing_cell(zh, 1),
+            hier.enclosing_cell(zf, 1),
+            "round {round}: fallback left the cell the optimal prefix \
+             selected — it restarted instead of resuming"
+        );
+    }
+    assert_eq!(faulty.served_by_tier(), [0, 25, 0]);
+}
+
+#[test]
+fn ladder_without_tier1_serves_flat_automatically() {
+    // Tier 2 is a real automatic rung: with the per-level fallback ruled
+    // out (operator opt-down, or failed construction-time validation),
+    // report-path faults degrade straight to the flat floor — through
+    // report(), not the explicit report_flat() entry point.
+    let mut fp = Session::new();
+    fp.arm("lp.iterations.exhausted", FailSpec::always());
+    let r = resilient().without_per_level_fallback();
+    let mut rng = SeededRng::from_seed(71);
+    let n = 8u64;
+    for i in 0..n {
+        let x = Point::new((i % 8) as f64, 2.0);
+        let (z, tier) = r.report_with_tier(x, &mut rng);
+        assert_eq!(tier, Tier::FlatLaplace);
+        assert!(z.x.is_finite() && z.y.is_finite());
+    }
+    assert!(fp.fired("lp.iterations.exhausted") >= n);
+    let report = r.degradation_report();
+    assert_eq!(report.served_by_tier, [0, 0, n]);
+    assert_eq!(report.degraded(), n);
+    let fault = report.last_fault.expect("degradation recorded no fault");
+    assert!(fault.contains("flat-laplace"), "unhelpful fault: {fault}");
+}
+
+#[test]
 fn degraded_tier_passes_geoind_audit_at_full_budget() {
     // With the optimal path permanently broken, every report is served by
     // tier 1 — whose guarantee is the full composed ε. The empirical
@@ -196,19 +271,14 @@ fn degraded_tier_passes_geoind_audit_at_full_budget() {
 
 #[test]
 fn flat_tier_passes_geoind_audit_at_full_budget() {
-    // Tier 2 is a plain planar Laplace at the composed ε — audit it
-    // through the ladder's flat entry point.
-    struct FlatOnly(ResilientMechanism);
-    impl Mechanism for FlatOnly {
-        fn report<R: geoind_rng::Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
-            self.0.report_flat(x, rng)
-        }
-        fn name(&self) -> String {
-            "flat-tier".into()
-        }
-    }
-    let flat = FlatOnly(resilient());
-    let domain = flat.0.msm().leaf_grid().domain();
+    // Tier 2 through its *automatic* rung: tier 1 ruled out, every
+    // optimal descent faulted at the root (before any sampling), so the
+    // flat floor serves each request at the full composed ε. Audit it
+    // through the ladder's normal report() path.
+    let mut fp = Session::new();
+    fp.arm("cache.lock.poisoned", FailSpec::always());
+    let flat = resilient().without_per_level_fallback();
+    let domain = flat.msm().leaf_grid().domain();
     let grid = Grid::new(domain, 4);
     let mut rng = SeededRng::from_seed(41);
     let report = audit_geoind(
@@ -227,7 +297,8 @@ fn flat_tier_passes_geoind_audit_at_full_budget() {
         "tier-2 channel flagged: excess {}",
         report.worst_excess()
     );
-    assert_eq!(flat.0.served_by_tier()[2], 2 * 15_000);
+    assert!(fp.fired("cache.lock.poisoned") >= 2 * 15_000);
+    assert_eq!(flat.served_by_tier(), [0, 0, 2 * 15_000]);
 }
 
 #[test]

@@ -11,19 +11,28 @@
 //!
 //! Design constraints, in priority order:
 //!
-//! 1. **Zero-cost when disabled.** The fast path is one relaxed atomic
-//!    load of a global "anything armed?" flag. No lock, no string hash,
-//!    no allocation until at least one site is armed.
-//! 2. **Deterministic.** Arming is *count-based*, never random: a
+//! 1. **Absent from production builds.** The whole registry is gated
+//!    behind the `failpoints` cargo feature (off by default). Without it
+//!    [`hit`] compiles to a constant `false` — the sites vanish from the
+//!    object code and the `GEOIND_FAILPOINTS` environment variable is
+//!    ignored, so a deployment can never have faults forced on it by an
+//!    inherited or injected variable. Test targets get the feature
+//!    through dev-dependencies; see the workspace `Cargo.toml`s.
+//! 2. **Cheap when compiled in but disarmed.** The fast path is two
+//!    relaxed atomic loads. No lock, no string hash, no allocation until
+//!    at least one site is armed — and even then, thread-scoped arming
+//!    ([`Session`]) is kept in thread-local storage, so a session on one
+//!    thread never makes another thread touch a lock.
+//! 3. **Deterministic.** Arming is *count-based*, never random: a
 //!    [`FailSpec`] says "skip the first `skip` hits, then fire `times`
 //!    times". The same program with the same armed specs fires the same
 //!    faults at the same call sites in the same order — which is what
 //!    makes fault-injected runs bit-reproducible (see
 //!    `tests/determinism.rs`).
-//! 3. **Test-isolated.** Tests in one binary run on concurrent threads;
+//! 4. **Test-isolated.** Tests in one binary run on concurrent threads;
 //!    a globally armed fault in one test would trip unrelated tests.
 //!    [`Session`] therefore arms sites *for the current thread only* and
-//!    disarms them on drop. Global arming (used by the CLI / CI via the
+//!    disarms them on drop. Global arming (used by CI via the
 //!    `GEOIND_FAILPOINTS` environment variable) affects every thread.
 //!
 //! ## Environment grammar
@@ -38,7 +47,8 @@
 //! * `site=*`   — fire on every hit.
 //! * `site=K:N` — skip the first `K` hits, then fire `N` times.
 //!
-//! The environment is read once, lazily, on the first [`hit`] call.
+//! The environment is read once, lazily, on the first [`hit`] call (and
+//! only in `failpoints` builds).
 //!
 //! ## Naming convention
 //!
@@ -46,11 +56,6 @@
 //! `lp.refactor.singular` — the area is the crate or subsystem, the
 //! component is the specific module/structure, the event is what goes
 //! wrong. The canonical list lives in [`SITES`].
-
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, Once, OnceLock, PoisonError};
-use std::thread::ThreadId;
 
 /// The named injection sites wired into the workspace, with the failure
 /// each one simulates. Kept in one place so tests can sweep all of them.
@@ -119,222 +124,250 @@ impl FailSpec {
     }
 }
 
-/// Mutable per-site state: the spec plus how many hits have occurred.
-#[derive(Debug, Clone, Copy)]
-struct SiteState {
-    spec: FailSpec,
-    hits: u64,
-    fired: u64,
+/// Check an injection site. In a build without the `failpoints` feature
+/// this is a constant `false`: sites cost nothing and cannot be armed.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn hit(_site: &str) -> bool {
+    false
 }
 
-impl SiteState {
-    fn new(spec: FailSpec) -> Self {
-        Self {
-            spec,
-            hits: 0,
-            fired: 0,
+#[cfg(feature = "failpoints")]
+pub use enabled::{
+    arm_from_env, arm_from_spec_list, arm_global, disarm_global, fired, hit, reset_all,
+    reset_global, Session,
+};
+
+#[cfg(feature = "failpoints")]
+mod enabled {
+    use super::FailSpec;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Mutex, Once, OnceLock, PoisonError};
+
+    /// Mutable per-site state: the spec plus how many hits have occurred.
+    #[derive(Debug, Clone, Copy)]
+    struct SiteState {
+        spec: FailSpec,
+        hits: u64,
+        fired: u64,
+    }
+
+    impl SiteState {
+        fn new(spec: FailSpec) -> Self {
+            Self {
+                spec,
+                hits: 0,
+                fired: 0,
+            }
+        }
+
+        /// Record one hit and decide whether it fires.
+        fn on_hit(&mut self) -> bool {
+            let n = self.hits;
+            self.hits += 1;
+            let fires = n >= self.spec.skip
+                && (self.spec.times == u64::MAX
+                    || n < self.spec.skip.saturating_add(self.spec.times));
+            if fires {
+                self.fired += 1;
+            }
+            fires
         }
     }
 
-    /// Record one hit and decide whether it fires.
-    fn on_hit(&mut self) -> bool {
-        let n = self.hits;
-        self.hits += 1;
-        let fires = n >= self.spec.skip
-            && (self.spec.times == u64::MAX || n < self.spec.skip.saturating_add(self.spec.times));
-        if fires {
-            self.fired += 1;
-        }
-        fires
-    }
-}
+    /// Fast-path flags, checked before any lock or map: is the global map
+    /// non-empty, and how many scoped sites are armed across all threads?
+    static GLOBAL_ARMED: AtomicBool = AtomicBool::new(false);
+    static SCOPED_SITES: AtomicUsize = AtomicUsize::new(0);
+    static ENV_INIT: Once = Once::new();
 
-#[derive(Default)]
-struct Registry {
+    thread_local! {
+        /// Sites armed for this thread only (test isolation via [`Session`]).
+        /// Thread-local, so scoped lookups never allocate and never touch
+        /// the global mutex — a session on one thread cannot serialize
+        /// unrelated threads (e.g. concurrent LP solves in a test binary).
+        static SCOPED: RefCell<HashMap<String, SiteState>> = RefCell::new(HashMap::new());
+    }
+
     /// Sites armed process-wide (environment / explicit [`arm_global`]).
-    global: HashMap<String, SiteState>,
-    /// Sites armed for one thread only (test isolation via [`Session`]).
-    scoped: HashMap<(ThreadId, String), SiteState>,
-}
+    fn global() -> &'static Mutex<HashMap<String, SiteState>> {
+        static GLOBAL: OnceLock<Mutex<HashMap<String, SiteState>>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Mutex::new(HashMap::new()))
+    }
 
-/// Fast path: is *anything* armed anywhere? Checked with one relaxed
-/// load before touching the registry lock.
-static ANY_ARMED: AtomicBool = AtomicBool::new(false);
-static ENV_INIT: Once = Once::new();
+    fn lock_global() -> std::sync::MutexGuard<'static, HashMap<String, SiteState>> {
+        // A panic while holding this lock (e.g. a test assertion) must not
+        // wedge every later failpoint check.
+        global().lock().unwrap_or_else(PoisonError::into_inner)
+    }
 
-fn registry() -> &'static Mutex<Registry> {
-    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
-}
-
-fn lock_registry() -> std::sync::MutexGuard<'static, Registry> {
-    // A panic while holding this lock (e.g. a test assertion inside a
-    // session) must not wedge every later failpoint check.
-    registry().lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-fn refresh_any_armed(reg: &Registry) {
-    ANY_ARMED.store(
-        !reg.global.is_empty() || !reg.scoped.is_empty(),
-        Ordering::Release,
-    );
-}
-
-/// Check an injection site. Returns `true` when the armed spec says this
-/// hit fires. Unarmed sites (the production case) cost one atomic load.
-pub fn hit(site: &str) -> bool {
-    ENV_INIT.call_once(|| {
-        if let Ok(spec) = std::env::var("GEOIND_FAILPOINTS") {
-            // Ignore parse errors here: library code must not panic on a
-            // malformed operator-supplied variable. `arm_from_env` gives
-            // callers the checked version.
-            let _ = arm_from_spec_list(&spec);
+    /// Check an injection site. Returns `true` when the armed spec says
+    /// this hit fires. Disarmed sites cost two relaxed atomic loads; a
+    /// site armed only in another thread's [`Session`] costs one
+    /// thread-local map miss, never the global lock.
+    pub fn hit(site: &str) -> bool {
+        ENV_INIT.call_once(|| {
+            if let Ok(spec) = std::env::var("GEOIND_FAILPOINTS") {
+                // Ignore parse errors here: library code must not panic on a
+                // malformed operator-supplied variable. `arm_from_env` gives
+                // callers the checked version.
+                let _ = arm_from_spec_list(&spec);
+            }
+        });
+        let scoped_somewhere = SCOPED_SITES.load(Ordering::Relaxed) > 0;
+        let global_armed = GLOBAL_ARMED.load(Ordering::Acquire);
+        if !scoped_somewhere && !global_armed {
+            return false;
         }
-    });
-    if !ANY_ARMED.load(Ordering::Acquire) {
-        return false;
-    }
-    let tid = std::thread::current().id();
-    let mut reg = lock_registry();
-    if let Some(state) = reg.scoped.get_mut(&(tid, site.to_string())) {
-        return state.on_hit();
-    }
-    match reg.global.get_mut(site) {
-        Some(state) => state.on_hit(),
-        None => false,
-    }
-}
-
-/// Arm `site` process-wide. Prefer [`Session`] in tests.
-pub fn arm_global(site: &str, spec: FailSpec) {
-    let mut reg = lock_registry();
-    reg.global.insert(site.to_string(), SiteState::new(spec));
-    refresh_any_armed(&reg);
-}
-
-/// Disarm one globally armed site.
-pub fn disarm_global(site: &str) {
-    let mut reg = lock_registry();
-    reg.global.remove(site);
-    refresh_any_armed(&reg);
-}
-
-/// Disarm every globally armed site and reset its counters.
-pub fn reset_global() {
-    let mut reg = lock_registry();
-    reg.global.clear();
-    refresh_any_armed(&reg);
-}
-
-/// Disarm everything — global and every thread's scoped sites.
-pub fn reset_all() {
-    let mut reg = lock_registry();
-    reg.global.clear();
-    reg.scoped.clear();
-    refresh_any_armed(&reg);
-}
-
-/// How many times `site` has fired (scoped state for this thread if
-/// present, else global). Unarmed sites report 0.
-pub fn fired(site: &str) -> u64 {
-    let tid = std::thread::current().id();
-    let reg = lock_registry();
-    if let Some(state) = reg.scoped.get(&(tid, site.to_string())) {
-        return state.fired;
-    }
-    reg.global.get(site).map_or(0, |s| s.fired)
-}
-
-/// Parse a `site=spec,site=spec` list and arm each site globally.
-/// Returns the number of sites armed.
-pub fn arm_from_spec_list(list: &str) -> Result<usize, String> {
-    let mut n = 0;
-    for pair in list.split(',') {
-        let pair = pair.trim();
-        if pair.is_empty() {
-            continue;
+        if scoped_somewhere {
+            // Scoped arming shadows a global arming of the same site on
+            // this thread. Borrows `site` directly — no allocation.
+            let scoped = SCOPED.with(|m| m.borrow_mut().get_mut(site).map(SiteState::on_hit));
+            if let Some(fires) = scoped {
+                return fires;
+            }
         }
-        let (site, spec) = pair
-            .split_once('=')
-            .ok_or_else(|| format!("failpoint '{pair}' is missing '=spec'"))?;
-        arm_global(site.trim(), FailSpec::parse(spec)?);
-        n += 1;
-    }
-    Ok(n)
-}
-
-/// Arm sites globally from `GEOIND_FAILPOINTS`, reporting parse errors.
-/// Returns the number of sites armed (0 when the variable is unset).
-pub fn arm_from_env() -> Result<usize, String> {
-    match std::env::var("GEOIND_FAILPOINTS") {
-        Ok(spec) => arm_from_spec_list(&spec),
-        Err(_) => Ok(0),
-    }
-}
-
-/// Thread-scoped arming with RAII disarm — the test-friendly interface.
-///
-/// Sites armed through a `Session` fire only on the creating thread and
-/// are disarmed (counters discarded) when the session drops, so parallel
-/// tests cannot see each other's faults. Scoped arming shadows a global
-/// arming of the same site on this thread.
-///
-/// ```
-/// use geoind_testkit::failpoint::{self, FailSpec, Session};
-///
-/// let mut fp = Session::new();
-/// fp.arm("cache.import.corrupt", FailSpec::times(1));
-/// assert!(failpoint::hit("cache.import.corrupt"));   // fires once
-/// assert!(!failpoint::hit("cache.import.corrupt"));  // then passes
-/// drop(fp);
-/// assert!(!failpoint::hit("cache.import.corrupt"));  // disarmed
-/// ```
-#[derive(Debug, Default)]
-pub struct Session {
-    armed: Vec<String>,
-}
-
-impl Session {
-    /// Start an empty session for the current thread.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Arm `site` for the current thread (re-arming resets its counters).
-    pub fn arm(&mut self, site: &str, spec: FailSpec) -> &mut Self {
-        let tid = std::thread::current().id();
-        let mut reg = lock_registry();
-        reg.scoped
-            .insert((tid, site.to_string()), SiteState::new(spec));
-        refresh_any_armed(&reg);
-        if !self.armed.iter().any(|s| s == site) {
-            self.armed.push(site.to_string());
+        if global_armed {
+            return lock_global().get_mut(site).is_some_and(SiteState::on_hit);
         }
-        self
+        false
     }
 
-    /// How many times a site armed in this session has fired.
-    pub fn fired(&self, site: &str) -> u64 {
-        let tid = std::thread::current().id();
-        let reg = lock_registry();
-        reg.scoped
-            .get(&(tid, site.to_string()))
-            .map_or(0, |s| s.fired)
+    /// Arm `site` process-wide. Prefer [`Session`] in tests.
+    pub fn arm_global(site: &str, spec: FailSpec) {
+        let mut map = lock_global();
+        map.insert(site.to_string(), SiteState::new(spec));
+        GLOBAL_ARMED.store(true, Ordering::Release);
     }
-}
 
-impl Drop for Session {
-    fn drop(&mut self) {
-        let tid = std::thread::current().id();
-        let mut reg = lock_registry();
-        for site in self.armed.drain(..) {
-            reg.scoped.remove(&(tid, site));
+    /// Disarm one globally armed site.
+    pub fn disarm_global(site: &str) {
+        let mut map = lock_global();
+        map.remove(site);
+        GLOBAL_ARMED.store(!map.is_empty(), Ordering::Release);
+    }
+
+    /// Disarm every globally armed site and reset its counters.
+    pub fn reset_global() {
+        lock_global().clear();
+        GLOBAL_ARMED.store(false, Ordering::Release);
+    }
+
+    /// Disarm every globally armed site plus the *current thread's*
+    /// scoped sites. Other threads' [`Session`]s are unaffected (they
+    /// disarm themselves on drop).
+    pub fn reset_all() {
+        reset_global();
+        let removed = SCOPED.with(|m| {
+            let mut map = m.borrow_mut();
+            let n = map.len();
+            map.clear();
+            n
+        });
+        SCOPED_SITES.fetch_sub(removed, Ordering::Relaxed);
+    }
+
+    /// How many times `site` has fired (scoped state for this thread if
+    /// present, else global). Unarmed sites report 0.
+    pub fn fired(site: &str) -> u64 {
+        if let Some(n) = SCOPED.with(|m| m.borrow().get(site).map(|s| s.fired)) {
+            return n;
         }
-        refresh_any_armed(&reg);
+        lock_global().get(site).map_or(0, |s| s.fired)
+    }
+
+    /// Parse a `site=spec,site=spec` list and arm each site globally.
+    /// Returns the number of sites armed.
+    pub fn arm_from_spec_list(list: &str) -> Result<usize, String> {
+        let mut n = 0;
+        for pair in list.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (site, spec) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("failpoint '{pair}' is missing '=spec'"))?;
+            arm_global(site.trim(), FailSpec::parse(spec)?);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Arm sites globally from `GEOIND_FAILPOINTS`, reporting parse errors.
+    /// Returns the number of sites armed (0 when the variable is unset).
+    pub fn arm_from_env() -> Result<usize, String> {
+        match std::env::var("GEOIND_FAILPOINTS") {
+            Ok(spec) => arm_from_spec_list(&spec),
+            Err(_) => Ok(0),
+        }
+    }
+
+    /// Thread-scoped arming with RAII disarm — the test-friendly interface.
+    ///
+    /// Sites armed through a `Session` fire only on the creating thread and
+    /// are disarmed (counters discarded) when the session drops, so parallel
+    /// tests cannot see each other's faults. Scoped arming shadows a global
+    /// arming of the same site on this thread.
+    ///
+    /// ```
+    /// use geoind_testkit::failpoint::{self, FailSpec, Session};
+    ///
+    /// let mut fp = Session::new();
+    /// fp.arm("cache.import.corrupt", FailSpec::times(1));
+    /// assert!(failpoint::hit("cache.import.corrupt"));   // fires once
+    /// assert!(!failpoint::hit("cache.import.corrupt"));  // then passes
+    /// drop(fp);
+    /// assert!(!failpoint::hit("cache.import.corrupt"));  // disarmed
+    /// ```
+    #[derive(Debug, Default)]
+    pub struct Session {
+        armed: Vec<String>,
+    }
+
+    impl Session {
+        /// Start an empty session for the current thread.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Arm `site` for the current thread (re-arming resets its counters).
+        pub fn arm(&mut self, site: &str, spec: FailSpec) -> &mut Self {
+            let fresh = SCOPED.with(|m| {
+                m.borrow_mut()
+                    .insert(site.to_string(), SiteState::new(spec))
+                    .is_none()
+            });
+            if fresh {
+                SCOPED_SITES.fetch_add(1, Ordering::Relaxed);
+            }
+            if !self.armed.iter().any(|s| s == site) {
+                self.armed.push(site.to_string());
+            }
+            self
+        }
+
+        /// How many times a site armed in this session has fired.
+        pub fn fired(&self, site: &str) -> u64 {
+            SCOPED.with(|m| m.borrow().get(site).map_or(0, |s| s.fired))
+        }
+    }
+
+    impl Drop for Session {
+        fn drop(&mut self) {
+            for site in self.armed.drain(..) {
+                let removed = SCOPED.with(|m| m.borrow_mut().remove(&site).is_some());
+                if removed {
+                    SCOPED_SITES.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "failpoints"))]
 mod tests {
     use super::*;
 
@@ -400,5 +433,21 @@ mod tests {
         disarm_global("tests.list.a");
         disarm_global("tests.list.b");
         assert!(arm_from_spec_list("nospec").is_err());
+    }
+
+    #[test]
+    fn scoped_arming_never_locks_other_threads_registry() {
+        // A session on this thread must not force another thread through
+        // the global path at all: the other thread sees only its (empty)
+        // thread-local map and the un-armed global flag.
+        let mut fp = Session::new();
+        fp.arm("tests.tls.site", FailSpec::always());
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| (0..1000).filter(|_| hit("tests.tls.site")).count()))
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 0);
+        }
+        assert!(hit("tests.tls.site"));
     }
 }

@@ -18,6 +18,12 @@ echo "== cargo clippy (library code panic-free: unwrap_used denied in lp/core)"
 # promotes them (and everything else) to errors here.
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== cargo clippy (production configuration: failpoints compiled out)"
+# Without --all-targets no dev-dependency activates the testkit's
+# `failpoints` feature, so this lints the exact code a deployment ships:
+# failpoint::hit() is a constant false and GEOIND_FAILPOINTS is inert.
+cargo clippy --workspace --offline -- -D warnings
+
 echo "== cargo build --workspace --release --offline"
 cargo build --workspace --release --offline
 
