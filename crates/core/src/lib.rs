@@ -57,7 +57,7 @@ pub use planar_laplace::PlanarLaplace;
 pub use pmsm::{KdMsmMechanism, PartitionMsm, QuadMsmMechanism};
 pub use remap::RemappedMechanism;
 pub use resilient::{DegradationReport, ResilientMechanism, Tier};
-pub use trajectory::{BudgetLedger, StepOutcome, TrajectoryProtector};
+pub use trajectory::{BudgetError, BudgetLedger, StepOutcome, TrajectoryProtector};
 
 use geoind_rng::Rng;
 use geoind_spatial::geom::Point;

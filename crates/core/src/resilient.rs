@@ -180,6 +180,20 @@ impl DegradationReport {
     pub fn degraded(&self) -> u64 {
         self.served_by_tier[1] + self.served_by_tier[2]
     }
+
+    /// Stable single-line log form, `key=value` separated by single
+    /// spaces. The format is pinned by a test — operators grep and parse
+    /// these lines, so changing it is a breaking change.
+    pub fn log_line(&self) -> String {
+        format!(
+            "degradation optimal={} per-level={} flat={} total={} degraded={}",
+            self.served_by_tier[0],
+            self.served_by_tier[1],
+            self.served_by_tier[2],
+            self.total(),
+            self.degraded(),
+        )
+    }
 }
 
 impl std::fmt::Display for DegradationReport {
@@ -469,6 +483,24 @@ mod tests {
         assert!(PerLevelLaplace::new(hier.clone(), &[0.4, f64::NAN]).is_none());
         assert!(PerLevelLaplace::new(hier.clone(), &[0.4, 0.0]).is_none());
         assert!(PerLevelLaplace::new(hier, &[0.4, 0.4]).is_some());
+    }
+
+    #[test]
+    fn degradation_log_line_format_is_pinned() {
+        // Operators parse this line; the format is a contract. Update the
+        // expected string ONLY together with every downstream consumer.
+        let report = DegradationReport {
+            served_by_tier: [40, 2, 1],
+            last_fault: Some("irrelevant to the log line".into()),
+        };
+        assert_eq!(
+            report.log_line(),
+            "degradation optimal=40 per-level=2 flat=1 total=43 degraded=3"
+        );
+        assert!(
+            !report.log_line().contains('\n'),
+            "log form must stay single-line"
+        );
     }
 
     #[test]

@@ -18,6 +18,38 @@ use crate::{Mechanism, MechanismError};
 use geoind_rng::Rng;
 use geoind_spatial::geom::Point;
 
+/// Why a [`BudgetLedger`] refused a charge. Nothing is spent on refusal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetError {
+    /// The charge would overdraw the budget; serving it would void the
+    /// composed-ε guarantee, so the caller must refuse the request.
+    Exhausted {
+        /// The ε the caller tried to spend.
+        requested: f64,
+        /// The ε still available (possibly 0).
+        remaining: f64,
+    },
+    /// The charge amount itself is invalid (non-positive or non-finite).
+    BadCharge(f64),
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetError::Exhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "budget exhausted: requested {requested}, remaining {remaining}"
+            ),
+            BudgetError::BadCharge(eps) => write!(f, "invalid budget charge {eps}"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
 /// A privacy-budget account for a reporting session.
 #[derive(Debug, Clone)]
 pub struct BudgetLedger {
@@ -33,6 +65,22 @@ impl BudgetLedger {
     pub fn new(total: f64) -> Self {
         assert!(total > 0.0, "session budget must be positive");
         Self { total, spent: 0.0 }
+    }
+
+    /// Reconstruct a ledger from persisted state. `spent` may exceed
+    /// `total`: a fail-closed recovery is allowed to over-count spend
+    /// (the account then refuses every further charge), never to
+    /// under-count it.
+    ///
+    /// # Panics
+    /// Panics if `total <= 0` or `spent` is negative or non-finite.
+    pub fn with_spent(total: f64, spent: f64) -> Self {
+        assert!(total > 0.0, "session budget must be positive");
+        assert!(
+            spent >= 0.0 && spent.is_finite(),
+            "recovered spend must be finite and non-negative"
+        );
+        Self { total, spent }
     }
 
     /// Total session budget.
@@ -51,13 +99,48 @@ impl BudgetLedger {
     }
 
     /// Try to charge `eps`; returns whether the charge fit the budget.
+    ///
+    /// # Panics
+    /// Panics if `eps <= 0` (see [`Self::try_charge`] for the non-panicking
+    /// form).
     pub fn charge(&mut self, eps: f64) -> bool {
         assert!(eps > 0.0, "charges must be positive");
+        self.try_charge(eps).is_ok()
+    }
+
+    /// Fallible charge: spends `eps` atomically or refuses with a typed
+    /// [`BudgetError`] and spends nothing. This is the serving-layer API —
+    /// a refusal must be distinguishable from an invalid charge so the
+    /// caller can count each outcome separately.
+    ///
+    /// # Errors
+    /// [`BudgetError::BadCharge`] on non-positive/non-finite `eps`,
+    /// [`BudgetError::Exhausted`] when the charge would overdraw.
+    pub fn try_charge(&mut self, eps: f64) -> Result<(), BudgetError> {
+        if !(eps > 0.0 && eps.is_finite()) {
+            return Err(BudgetError::BadCharge(eps));
+        }
         if self.spent + eps > self.total + 1e-12 {
-            return false;
+            return Err(BudgetError::Exhausted {
+                requested: eps,
+                remaining: self.remaining(),
+            });
         }
         self.spent += eps;
-        true
+        Ok(())
+    }
+
+    /// Unconditionally record spend, even past the total — the recovery
+    /// primitive. A write-ahead journal replaying after a crash must count
+    /// every durable record whether or not the corresponding request was
+    /// ever served; over-counting only causes refusals (safe), while
+    /// under-counting would over-serve ε (never allowed).
+    pub fn force_spend(&mut self, eps: f64) {
+        assert!(
+            eps >= 0.0 && eps.is_finite(),
+            "recovered spend must be finite and non-negative"
+        );
+        self.spent += eps;
     }
 }
 
@@ -200,6 +283,40 @@ mod tests {
         assert!(!l.charge(0.01));
         assert!((l.spent() - 1.0).abs() < 1e-12);
         assert_eq!(l.remaining(), 0.0);
+    }
+
+    #[test]
+    fn try_charge_types_each_refusal() {
+        let mut l = BudgetLedger::new(1.0);
+        assert!(l.try_charge(0.9).is_ok());
+        assert_eq!(
+            l.try_charge(0.2),
+            Err(BudgetError::Exhausted {
+                requested: 0.2,
+                remaining: l.remaining(),
+            })
+        );
+        // A refusal spends nothing.
+        assert!((l.spent() - 0.9).abs() < 1e-12);
+        assert_eq!(l.try_charge(0.0), Err(BudgetError::BadCharge(0.0)));
+        assert_eq!(
+            l.try_charge(f64::INFINITY),
+            Err(BudgetError::BadCharge(f64::INFINITY))
+        );
+    }
+
+    #[test]
+    fn recovery_primitives_allow_overdraft_but_never_overserve() {
+        // force_spend past the total is legal (fail-closed recovery may
+        // over-count); the account must then refuse every charge.
+        let mut l = BudgetLedger::with_spent(1.0, 0.8);
+        l.force_spend(0.5);
+        assert!(l.spent() > l.total());
+        assert_eq!(l.remaining(), 0.0);
+        assert!(matches!(
+            l.try_charge(0.1),
+            Err(BudgetError::Exhausted { .. })
+        ));
     }
 
     #[test]

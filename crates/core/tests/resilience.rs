@@ -99,6 +99,17 @@ fn every_site_keeps_report_total_and_counters_exact() {
                     "{site}: expected Truncated, got {err:?}"
                 );
             }
+            _ if site.starts_with("serve.") => {
+                // Serving-layer journal sites (geoind-serve's WAL). They
+                // are not wired into the core ladder: arming one must
+                // leave tier-0 service completely untouched. Their own
+                // crash-replay suite lives in crates/serve.
+                let r = resilient();
+                let mut rng = SeededRng::from_seed(13);
+                let (z, tier) = r.report_with_tier(Point::new(3.0, 3.0), &mut rng);
+                assert!(r.msm().leaf_grid().domain().contains_closed(z));
+                assert_eq!(tier, Tier::Optimal, "{site} must not affect core reports");
+            }
             _ => {
                 // Report-path faults: every report degrades to tier 1 and
                 // still lands on a leaf center inside the domain.
@@ -132,6 +143,63 @@ fn every_site_keeps_report_total_and_counters_exact() {
             }
         }
     }
+}
+
+#[test]
+fn concurrent_hammering_keeps_counters_exact() {
+    // N threads hammer report_with_tier concurrently — half of them with
+    // a thread-scoped always-on fault, half healthy. The atomic tier
+    // counters must account for every single report with no loss or
+    // double-count, and per-thread tallies must agree with the shared
+    // counters (Session arming is thread-scoped, so the faulty threads
+    // degrade every report while the healthy threads never do).
+    use std::sync::Arc;
+    let r = Arc::new(resilient());
+    let threads = 8u64;
+    let per_thread = 150u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let faulty = t % 2 == 0;
+                // cache.lock.poisoned faults every cache *read*, so a
+                // faulty thread degrades even after healthy threads have
+                // warmed the shared channel cache (an LP-solve site would
+                // stop firing once the channels are cached).
+                let _fp = faulty.then(|| {
+                    let mut fp = Session::new();
+                    fp.arm("cache.lock.poisoned", FailSpec::always());
+                    fp
+                });
+                let mut rng = SeededRng::from_seed(500 + t);
+                let mut tally = [0u64; 3];
+                for i in 0..per_thread {
+                    let x = Point::new(((t + i) % 8) as f64, (i % 5) as f64 + 0.4);
+                    let (_, tier) = r.report_with_tier(x, &mut rng);
+                    tally[tier.index()] += 1;
+                }
+                (faulty, tally)
+            })
+        })
+        .collect();
+    let mut expected = [0u64; 3];
+    for h in handles {
+        let (faulty, tally) = h.join().expect("worker panicked");
+        let want_tier = if faulty { 1 } else { 0 };
+        assert_eq!(
+            tally[want_tier], per_thread,
+            "a thread's reports leaked across tiers: {tally:?}"
+        );
+        for (acc, n) in expected.iter_mut().zip(tally) {
+            *acc += n;
+        }
+    }
+    let served = r.served_by_tier();
+    assert_eq!(served, expected);
+    assert_eq!(served.iter().sum::<u64>(), threads * per_thread);
+    let report = r.degradation_report();
+    assert_eq!(report.total(), threads * per_thread);
+    assert_eq!(report.degraded(), (threads / 2) * per_thread);
 }
 
 #[test]

@@ -1,0 +1,371 @@
+//! The per-user ε-budget ledger: epoch-scoped composed-ε accounting
+//! backed by the write-ahead [`Journal`].
+//!
+//! By the composability property of GeoInd, `k` reports through an
+//! ε-GeoInd mechanism are jointly `k·ε`-GeoInd at worst — without
+//! explicit accounting, repeated releases silently exhaust the effective
+//! guarantee (Oya et al.). [`SpendLedger`] makes the accounting explicit
+//! and crash-safe:
+//!
+//! * every user holds a [`BudgetLedger`] account capped at
+//!   `cap_per_user` composed ε per epoch;
+//! * a spend is **journaled before it is acknowledged** — the caller may
+//!   serve the request only after [`SpendLedger::try_spend`] returns
+//!   `Ok`, which implies a durable WAL record exists;
+//! * a request whose spend would exceed the cap is refused with a typed
+//!   [`SpendError::Exhausted`] and *nothing* is journaled or spent — the
+//!   request is never served at reduced privacy;
+//! * after a crash, recovery replays the journal; recovered spend is
+//!   always ≥ the spend of requests actually served (see the journal
+//!   module docs), so an exhausted user stays exhausted across restarts.
+
+use crate::journal::{Journal, JournalError};
+use geoind_core::{BudgetError, BudgetLedger};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Configuration of a [`SpendLedger`].
+#[derive(Debug, Clone, Copy)]
+pub struct LedgerConfig {
+    /// Maximum composed ε any single user may spend per epoch.
+    pub cap_per_user: f64,
+    /// The current epoch. Budgets renew when the epoch advances; opening
+    /// a journal persisted at a newer epoch is refused.
+    pub epoch: u64,
+    /// Fold the WAL into a snapshot after this many records (`0` disables
+    /// automatic compaction; [`SpendLedger::checkpoint`] stays available).
+    pub compact_after: u64,
+}
+
+impl Default for LedgerConfig {
+    fn default() -> Self {
+        Self {
+            cap_per_user: 2.0,
+            epoch: 0,
+            compact_after: 4096,
+        }
+    }
+}
+
+/// Why a spend was refused. Nothing is spent or journaled on refusal.
+#[derive(Debug)]
+pub enum SpendError {
+    /// The user's epoch budget cannot cover this request. Serving anyway
+    /// would exceed the composed-ε cap, so the request must be refused —
+    /// never served at reduced privacy.
+    Exhausted {
+        /// The refused user.
+        user: u64,
+        /// The ε the request would have spent.
+        requested: f64,
+        /// The ε the user has left this epoch (possibly 0).
+        remaining: f64,
+    },
+    /// The spend could not be made durable; fail-closed refusal.
+    Journal(JournalError),
+    /// The requested charge is invalid (non-positive or non-finite).
+    BadCharge(f64),
+}
+
+impl std::fmt::Display for SpendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpendError::Exhausted {
+                user,
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "user {user} budget exhausted: requested {requested}, remaining {remaining}"
+            ),
+            SpendError::Journal(_) => write!(f, "spend could not be journaled"),
+            SpendError::BadCharge(eps) => write!(f, "invalid spend {eps}"),
+        }
+    }
+}
+
+impl std::error::Error for SpendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpendError::Journal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Crash-safe per-user spend accounting for one epoch. See the module
+/// docs for the protocol.
+#[derive(Debug)]
+pub struct SpendLedger {
+    config: LedgerConfig,
+    journal: Journal,
+    accounts: BTreeMap<u64, BudgetLedger>,
+    /// The most recent non-fatal journal fault (a failed automatic
+    /// compaction — the spend itself was already durable).
+    last_compaction_fault: Option<String>,
+}
+
+impl SpendLedger {
+    /// Open (or create) the ledger journaled in `dir`, recovering any
+    /// prior state for `config.epoch`.
+    ///
+    /// # Errors
+    /// Any [`JournalError`] from recovery (I/O, corruption of a committed
+    /// region, epoch regression).
+    ///
+    /// # Panics
+    /// Panics if `config.cap_per_user` is not a positive finite number —
+    /// a programming error, not a runtime condition.
+    pub fn open(dir: &Path, config: LedgerConfig) -> Result<Self, JournalError> {
+        assert!(
+            config.cap_per_user > 0.0 && config.cap_per_user.is_finite(),
+            "cap_per_user must be positive and finite"
+        );
+        let (journal, recovered) = Journal::open(dir, config.epoch)?;
+        let accounts = recovered
+            .spent
+            .into_iter()
+            .map(|(user, spent)| (user, BudgetLedger::with_spent(config.cap_per_user, spent)))
+            .collect();
+        Ok(Self {
+            config,
+            journal,
+            accounts,
+            last_compaction_fault: None,
+        })
+    }
+
+    /// Spend `eps` from `user`'s epoch budget, durably. `Ok` means the
+    /// spend is journaled and fsynced — the caller may now serve the
+    /// request. Any `Err` means nothing was spent and the request must be
+    /// refused.
+    ///
+    /// # Errors
+    /// [`SpendError::Exhausted`] when the cap cannot cover the request,
+    /// [`SpendError::Journal`] when the spend could not be made durable,
+    /// [`SpendError::BadCharge`] on an invalid `eps`.
+    pub fn try_spend(&mut self, user: u64, eps: f64) -> Result<(), SpendError> {
+        let cap = self.config.cap_per_user;
+        let account = self
+            .accounts
+            .entry(user)
+            .or_insert_with(|| BudgetLedger::new(cap));
+        // Probe the charge before journaling: a refused request must not
+        // leave a record (it spends nothing).
+        let mut probe = account.clone();
+        probe.try_charge(eps).map_err(|e| match e {
+            BudgetError::Exhausted {
+                requested,
+                remaining,
+            } => SpendError::Exhausted {
+                user,
+                requested,
+                remaining,
+            },
+            BudgetError::BadCharge(v) => SpendError::BadCharge(v),
+        })?;
+        // Write-ahead: durable record first, in-memory spend second. A
+        // crash between the two recovers the spend from the journal —
+        // over-counting relative to what was served, never under.
+        self.journal
+            .append(user, eps)
+            .map_err(SpendError::Journal)?;
+        // The probe proved the charge fits; record it for real.
+        account.force_spend(eps);
+        if self.config.compact_after > 0
+            && self.journal.records_since_snapshot() >= self.config.compact_after
+        {
+            // The spend is already durable; a failed compaction is
+            // recorded but must not fail the request.
+            if let Err(e) = self.checkpoint() {
+                self.last_compaction_fault = Some(e.to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold the current state into a committed snapshot and restart the
+    /// WAL. Called automatically every `compact_after` records and by
+    /// [`Self::close`].
+    ///
+    /// # Errors
+    /// Any [`JournalError`]; the ledger remains consistent and appendable
+    /// (appends self-heal) whether or not the fold succeeded.
+    pub fn checkpoint(&mut self) -> Result<(), JournalError> {
+        let state: BTreeMap<u64, f64> = self
+            .accounts
+            .iter()
+            .map(|(&user, acct)| (user, acct.spent()))
+            .collect();
+        self.journal.snapshot(&state)
+    }
+
+    /// Checkpoint and close cleanly. (Dropping without `close` is always
+    /// safe — that is the crash path the journal exists for.)
+    ///
+    /// # Errors
+    /// Any [`JournalError`] from the final checkpoint.
+    pub fn close(mut self) -> Result<(), JournalError> {
+        self.checkpoint()
+    }
+
+    /// The ε `user` has spent this epoch (0 for unknown users).
+    pub fn spent(&self, user: u64) -> f64 {
+        self.accounts.get(&user).map_or(0.0, BudgetLedger::spent)
+    }
+
+    /// The ε `user` may still spend this epoch.
+    pub fn remaining(&self, user: u64) -> f64 {
+        self.accounts
+            .get(&user)
+            .map_or(self.config.cap_per_user, BudgetLedger::remaining)
+    }
+
+    /// Number of users with any recorded spend this epoch.
+    pub fn users(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Total ε spent across all users this epoch.
+    pub fn total_spent(&self) -> f64 {
+        self.accounts.values().map(BudgetLedger::spent).sum()
+    }
+
+    /// The ledger's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.journal.epoch()
+    }
+
+    /// Per-user cap.
+    pub fn cap_per_user(&self) -> f64 {
+        self.config.cap_per_user
+    }
+
+    /// The most recent automatic-compaction fault, if any (the associated
+    /// spends were already durable; this is operational telemetry).
+    pub fn last_compaction_fault(&self) -> Option<&str> {
+        self.last_compaction_fault.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "geoind-ledger-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(cap: f64) -> LedgerConfig {
+        LedgerConfig {
+            cap_per_user: cap,
+            epoch: 0,
+            compact_after: 0,
+        }
+    }
+
+    #[test]
+    fn cap_is_enforced_and_refusals_spend_nothing() {
+        let dir = temp_dir("cap");
+        let mut ledger = SpendLedger::open(&dir, config(1.0)).expect("open");
+        assert!(ledger.try_spend(1, 0.4).is_ok());
+        assert!(ledger.try_spend(1, 0.4).is_ok());
+        let err = ledger.try_spend(1, 0.4).expect_err("over cap");
+        assert!(
+            matches!(err, SpendError::Exhausted { user: 1, .. }),
+            "{err:?}"
+        );
+        assert!((ledger.spent(1) - 0.8).abs() < 1e-12);
+        // A smaller request still fits.
+        assert!(ledger.try_spend(1, 0.2).is_ok());
+        assert!(matches!(
+            ledger.try_spend(1, 0.01),
+            Err(SpendError::Exhausted { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spend_survives_crash_and_exhausted_user_stays_refused() {
+        let dir = temp_dir("crash");
+        let mut ledger = SpendLedger::open(&dir, config(1.0)).expect("open");
+        for _ in 0..4 {
+            ledger.try_spend(9, 0.25).expect("spend");
+        }
+        assert!(matches!(
+            ledger.try_spend(9, 0.25),
+            Err(SpendError::Exhausted { .. })
+        ));
+        drop(ledger); // crash: no close()
+        let mut recovered = SpendLedger::open(&dir, config(1.0)).expect("reopen");
+        assert!((recovered.spent(9) - 1.0).abs() < 1e-12);
+        assert!(matches!(
+            recovered.try_spend(9, 0.25),
+            Err(SpendError::Exhausted { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn automatic_compaction_preserves_state() {
+        let dir = temp_dir("compact");
+        let mut cfg = config(10.0);
+        cfg.compact_after = 3;
+        let mut ledger = SpendLedger::open(&dir, cfg).expect("open");
+        for i in 0..10u64 {
+            ledger.try_spend(i % 2, 0.5).expect("spend");
+        }
+        assert!(ledger.last_compaction_fault().is_none());
+        drop(ledger);
+        let recovered = SpendLedger::open(&dir, cfg).expect("reopen");
+        assert!((recovered.spent(0) - 2.5).abs() < 1e-12);
+        assert!((recovered.spent(1) - 2.5).abs() < 1e-12);
+        assert!((recovered.total_spent() - 5.0).abs() < 1e-12);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn epoch_advance_renews_budgets() {
+        let dir = temp_dir("epoch");
+        let mut cfg = config(0.5);
+        let mut ledger = SpendLedger::open(&dir, cfg).expect("open");
+        ledger.try_spend(3, 0.5).expect("spend");
+        assert!(matches!(
+            ledger.try_spend(3, 0.5),
+            Err(SpendError::Exhausted { .. })
+        ));
+        ledger.close().expect("close");
+        cfg.epoch = 1;
+        let mut renewed = SpendLedger::open(&dir, cfg).expect("open new epoch");
+        assert_eq!(renewed.users(), 0);
+        assert!(renewed.try_spend(3, 0.5).is_ok());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_charges_are_typed() {
+        let dir = temp_dir("badcharge");
+        let mut ledger = SpendLedger::open(&dir, config(1.0)).expect("open");
+        assert!(matches!(
+            ledger.try_spend(1, 0.0),
+            Err(SpendError::BadCharge(_))
+        ));
+        assert!(matches!(
+            ledger.try_spend(1, f64::NAN),
+            Err(SpendError::BadCharge(_))
+        ));
+        assert_eq!(ledger.users(), 1); // account exists, nothing spent
+        assert_eq!(ledger.spent(1), 0.0);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

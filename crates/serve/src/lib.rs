@@ -1,0 +1,39 @@
+//! Crash-safe serving front-end for geo-indistinguishable location
+//! reporting.
+//!
+//! The paper's mechanism ([`geoind_core::MsmMechanism`], wrapped by the
+//! [`geoind_core::ResilientMechanism`] degradation ladder) answers a
+//! single report. A real deployment answers millions, concurrently, from
+//! users whose privacy guarantee *composes* across reports — and it
+//! crashes. This crate adds the serving layer that makes repeated,
+//! concurrent use safe:
+//!
+//! * [`journal`] — a write-ahead journal with checksummed records,
+//!   snapshot compaction via atomic rename, and recovery that tolerates
+//!   truncated tails and torn records. Its invariant: **recovered spend
+//!   is never less than the spend of requests actually served.**
+//! * [`ledger`] — per-user, epoch-scoped ε-budget accounting on top of
+//!   the journal. A request that would exceed the cap gets a typed
+//!   refusal; it is never served at reduced privacy.
+//! * [`server`] — a bounded-queue worker pool with load shedding,
+//!   per-request deadlines checked before any sampling, graceful drain
+//!   on shutdown, and per-tier/per-outcome counters.
+//!
+//! Everything is std-only and deterministic under test: time comes from
+//! [`geoind_testkit::clock::Clock`], randomness from seeded
+//! [`geoind_rng::SeededRng`], and every fallible journal step carries a
+//! named failpoint site for crash-replay testing.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod journal;
+pub mod ledger;
+pub mod server;
+
+pub use geoind_testkit::clock;
+pub use journal::{atomic_write, Journal, JournalError, RecoveredState};
+pub use ledger::{LedgerConfig, SpendError, SpendLedger};
+pub use server::{
+    Request, Response, ServeConfig, ServeReport, Server, ShutdownOutcome, SubmitError,
+};

@@ -1,0 +1,118 @@
+//! Deterministic time for deadline logic.
+//!
+//! Serving-layer code that sheds expired requests must never read the
+//! wall clock directly: a test that wants to prove "an expired request is
+//! shed before any sampling" needs to *place* the clock exactly where the
+//! scenario requires. [`Clock`] abstracts a monotonic nanosecond counter;
+//! production code uses [`SystemClock`] (a process-wide monotonic origin),
+//! tests use [`ManualClock`] and advance it by hand.
+//!
+//! Nanosecond `u64` ticks rather than `std::time::Instant` because an
+//! `Instant` cannot be fabricated — a deterministic test clock must be
+//! able to return arbitrary values, including ones *before* "now".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A monotonic nanosecond clock. Implementations must be cheap and
+/// thread-safe: deadline checks sit on the serving hot path.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds elapsed since this clock's origin. Monotone
+    /// non-decreasing across calls (per clock instance).
+    fn now_nanos(&self) -> u64;
+}
+
+/// Wall-clock time as nanoseconds since the first use in this process.
+///
+/// All `SystemClock` values share one process-wide origin, so nanosecond
+/// deadlines computed on one instance compare correctly against another.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+fn process_origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+impl Clock for SystemClock {
+    fn now_nanos(&self) -> u64 {
+        // ~584 years of range; saturate rather than wrap if exceeded.
+        u64::try_from(process_origin().elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A clock that only moves when told to — the deterministic test double.
+///
+/// ```
+/// use geoind_testkit::clock::{Clock, ManualClock};
+///
+/// let clock = ManualClock::new(100);
+/// assert_eq!(clock.now_nanos(), 100);
+/// clock.advance(50);
+/// assert_eq!(clock.now_nanos(), 150);
+/// ```
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `start` nanoseconds.
+    pub fn new(start: u64) -> Self {
+        Self {
+            nanos: AtomicU64::new(start),
+        }
+    }
+
+    /// Move the clock forward by `delta` nanoseconds.
+    pub fn advance(&self, delta: u64) {
+        self.nanos.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    /// Jump the clock to an absolute value. Panics if that would move the
+    /// clock backwards — [`Clock`] promises monotonicity.
+    pub fn set(&self, nanos: u64) {
+        let prev = self.nanos.swap(nanos, Ordering::SeqCst);
+        assert!(prev <= nanos, "ManualClock::set moved time backwards");
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_explicitly_driven() {
+        let c = ManualClock::new(7);
+        assert_eq!(c.now_nanos(), 7);
+        c.advance(3);
+        assert_eq!(c.now_nanos(), 10);
+        c.set(10); // equal is allowed
+        c.set(25);
+        assert_eq!(c.now_nanos(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn manual_clock_refuses_to_rewind() {
+        let c = ManualClock::new(10);
+        c.set(5);
+    }
+
+    #[test]
+    fn system_clock_is_monotone_and_shared_origin() {
+        let a = SystemClock;
+        let b = SystemClock;
+        let t0 = a.now_nanos();
+        let t1 = b.now_nanos();
+        let t2 = a.now_nanos();
+        assert!(t0 <= t1 && t1 <= t2);
+    }
+}

@@ -66,6 +66,12 @@ pub const SITES: &[&str] = &[
     "cache.lock.poisoned",     // in-memory channel-cache lock is poisoned
     "alloc.budget.infeasible", // per-level budget allocation has no solution
     "data.loader.truncated",   // check-in file ends mid-record
+    "serve.journal.append",    // ledger WAL record write fails before any byte lands
+    "serve.journal.torn",      // ledger WAL record write is cut mid-record (torn tail)
+    "serve.journal.flush",     // ledger WAL flush fails after a complete record write
+    "serve.snapshot.write",    // ledger snapshot temp-file write fails
+    "serve.snapshot.commit",   // ledger snapshot rename commit fails
+    "serve.wal.reset",         // post-snapshot fresh-WAL swap fails
 ];
 
 /// When an armed site fires: skip the first `skip` hits, then fire

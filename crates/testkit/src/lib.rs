@@ -39,6 +39,7 @@ use geoind_rng::{splitmix64, SeededRng};
 use std::fmt::Debug;
 
 pub mod bench;
+pub mod clock;
 pub mod failpoint;
 pub mod gens;
 

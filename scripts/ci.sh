@@ -41,4 +41,22 @@ for fp in lp.refactor.singular lp.iterations.exhausted cache.import.corrupt \
         --test resilience_env -- --test-threads=1
 done
 
+echo "== journal crash sweep (ledger recovers >= served spend per armed site)"
+# Same rotation for the serving layer's write-ahead journal: fault each
+# journal step mid-workload (skip 3 hits, then fire once), crash without a
+# checkpoint, and recover — the fail-closed budget invariant must hold.
+for fp in serve.journal.append serve.journal.torn serve.journal.flush \
+          serve.snapshot.write serve.snapshot.commit serve.wal.reset; do
+    echo "   -- GEOIND_FAILPOINTS=$fp=3:1"
+    GEOIND_FAILPOINTS="$fp=3:1" cargo test -q -p geoind-serve --offline \
+        --test journal_env -- --test-threads=1
+done
+
+echo "== closed-loop serve run (seeded workload, books must balance exactly)"
+# The release binary drives itself: a bounded-queue worker pool serves a
+# seeded workload with per-user budgets, pre-expired deadlines, and a
+# graceful drain; any client/server count mismatch exits nonzero.
+target/release/geoind serve --self-drive 400 --users 24 --cap 1.6 \
+    --eps 0.4 --g 2 --synthetic-size 5000 --workers 4 --queue 32 --seed 7
+
 echo "== ci: all checks passed"

@@ -5,6 +5,7 @@
 //! geoind eval       --eps 0.3 --queries 2000                      # PL vs MSM utility
 //! geoind audit      --eps 0.5 --samples 20000                     # black-box GeoInd check
 //! geoind precompute --out cache.bin --eps 0.5 --g 4               # offline channel bundle
+//! geoind serve      --self-drive 400 --users 24 --cap 1.6         # crash-safe serving loop
 //! ```
 //!
 //! All commands run on a synthetic city by default; pass
@@ -16,9 +17,14 @@ use geoind::mechanisms::audit::{audit_geoind, AuditConfig};
 use geoind::mechanisms::resilient::ResilientMechanism;
 use geoind::mechanisms::Mechanism;
 use geoind::prelude::*;
+use geoind::serve::clock::{Clock, SystemClock};
+use geoind::serve::{
+    LedgerConfig, Request, Response, ServeConfig, Server, SpendLedger, SubmitError,
+};
 use geoind_rng::SeededRng;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -38,6 +44,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&flags),
         "audit" => cmd_audit(&flags),
         "precompute" => cmd_precompute(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -311,13 +318,194 @@ fn cmd_precompute(flags: &Flags) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let mut blob = Vec::new();
     msm.export_cache(&mut blob).map_err(|e| e.to_string())?;
-    std::fs::write(out, &blob).map_err(|e| format!("writing {out}: {e}"))?;
+    // Crash-safe export: temp file + fsync + atomic rename, so a killed
+    // precompute can never leave a truncated bundle at --out.
+    geoind::serve::atomic_write(std::path::Path::new(out), &blob)
+        .map_err(|e| format!("writing {out}: {e}"))?;
     println!(
         "precomputed {nodes} channels ({} bytes) -> {out}",
         blob.len()
     );
     println!("# load on-device with MsmMechanism::import_cache");
     Ok(())
+}
+
+/// `geoind serve --self-drive N`: run the crash-safe serving front-end
+/// against a seeded closed-loop workload and verify the books balance.
+///
+/// The closed loop is the CI contract: every submitted request is tracked
+/// client-side, every terminal response is tallied, and the client tallies
+/// must match the server's own counters exactly — any drift (a lost
+/// request, a double count, a served-but-refused mixup) exits nonzero.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let data = dataset_resilient(flags, true)?;
+    let n = get_u64(flags, "self-drive", 200)?;
+    let users = get_u64(flags, "users", 16)?.max(1);
+    let cap = get_f64(flags, "cap", 1.6)?;
+    let epoch = get_u64(flags, "epoch", 0)?;
+    let seed = get_u64(flags, "seed", 42)?;
+    let msm = build_msm(flags, &data)?;
+    let eps = msm.epsilon();
+    let ladder = ResilientMechanism::new(msm);
+
+    // The ledger journal persists across runs when --ledger-dir is given
+    // (budgets carry over within an epoch); otherwise a throwaway dir.
+    let (dir, ephemeral) = match flags.get("ledger-dir") {
+        Some(d) => (std::path::PathBuf::from(d), false),
+        None => (
+            std::env::temp_dir().join(format!("geoind-serve-{}", std::process::id())),
+            true,
+        ),
+    };
+    let ledger = SpendLedger::open(
+        &dir,
+        LedgerConfig {
+            cap_per_user: cap,
+            epoch,
+            compact_after: 64,
+        },
+    )
+    .map_err(|e| format!("opening ledger at {}: {e}", dir.display()))?;
+    println!(
+        "# ledger: {} (epoch {epoch}, cap {cap} eps/user, {} eps/request)",
+        dir.display(),
+        eps
+    );
+
+    let clock: Arc<dyn Clock> = Arc::new(SystemClock);
+    // Deadline 0 is "already expired" only once the clock has ticked past
+    // its origin; make sure it has.
+    while clock.now_nanos() == 0 {
+        std::thread::yield_now();
+    }
+    let server = Server::start(
+        ladder,
+        ledger,
+        Arc::clone(&clock),
+        ServeConfig {
+            workers: get_u64(flags, "workers", 4)? as usize,
+            queue_capacity: get_u64(flags, "queue", 64)? as usize,
+            seed,
+        },
+    );
+
+    // Seeded closed-loop workload: users drawn round-robin, locations from
+    // the dataset, every 10th request pre-expired to exercise the deadline
+    // gate deterministically. The client self-paces: once its in-flight
+    // window fills, it blocks on the oldest response before submitting
+    // more, so shedding only happens on genuine bursts.
+    let checkins = data.checkins();
+    let queue_capacity = get_u64(flags, "queue", 64)? as usize;
+    let mut pending = std::collections::VecDeque::new();
+    let (mut served, mut refused, mut expired, mut faulted) = (0u64, 0u64, 0u64, 0u64);
+    let mut sent_expired = 0u64;
+    let mut shed = 0u64;
+    fn tally(
+        response: Response,
+        served: &mut u64,
+        refused: &mut u64,
+        expired: &mut u64,
+        faulted: &mut u64,
+    ) {
+        match response {
+            Response::Served { .. } => *served += 1,
+            Response::BudgetExhausted { .. } => *refused += 1,
+            Response::Expired => *expired += 1,
+            Response::JournalFault(e) => {
+                eprintln!("warning: request refused fail-closed: {e}");
+                *faulted += 1;
+            }
+        }
+    }
+    for i in 0..n {
+        let pre_expired = i % 10 == 9;
+        let request = Request {
+            user: i % users,
+            point: checkins[i as usize % checkins.len()].location,
+            deadline_nanos: pre_expired.then_some(0),
+        };
+        match server.submit(request) {
+            Ok(rx) => {
+                if pre_expired {
+                    sent_expired += 1;
+                }
+                pending.push_back(rx);
+            }
+            Err(SubmitError::QueueFull) => shed += 1,
+            Err(SubmitError::Closed) => return Err("server closed mid-workload".into()),
+        }
+        while pending.len() >= queue_capacity {
+            let rx: std::sync::mpsc::Receiver<Response> =
+                pending.pop_front().expect("window is non-empty");
+            let response = rx
+                .recv()
+                .map_err(|_| "an accepted request never got a response")?;
+            tally(
+                response,
+                &mut served,
+                &mut refused,
+                &mut expired,
+                &mut faulted,
+            );
+        }
+    }
+
+    // Graceful drain: shutdown stops admission, workers finish the
+    // backlog, and every accepted request still gets its response below.
+    let outcome = server.shutdown();
+    outcome
+        .checkpoint
+        .map_err(|e| format!("final ledger checkpoint: {e}"))?;
+    let report = outcome.report;
+    for rx in pending {
+        let response = rx
+            .recv()
+            .map_err(|_| "a drained request never got a response")?;
+        tally(
+            response,
+            &mut served,
+            &mut refused,
+            &mut expired,
+            &mut faulted,
+        );
+    }
+
+    println!("{report}");
+    println!("{}", report.log_line());
+    println!("{}", outcome.degradation);
+    println!("{}", outcome.degradation.log_line());
+
+    // The books must balance exactly.
+    let mut errors = Vec::new();
+    let mut check = |what: &str, got: u64, want: u64| {
+        if got != want {
+            errors.push(format!("{what}: client saw {want}, server counted {got}"));
+        }
+    };
+    check("served", report.served(), served);
+    check("refused (budget)", report.refused_budget, refused);
+    check("expired", report.expired, expired);
+    check("journal faults", report.journal_faults, faulted);
+    check("shed", report.shed, shed);
+    check("expired vs pre-expired sent", report.expired, sent_expired);
+    check(
+        "ladder reports vs served",
+        outcome.degradation.total(),
+        served,
+    );
+    check("total vs submitted", report.total(), n);
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if errors.is_empty() {
+        println!("# closed loop balanced: all {n} requests accounted for");
+        Ok(())
+    } else {
+        Err(format!(
+            "closed-loop count mismatch:\n  {}",
+            errors.join("\n  ")
+        ))
+    }
 }
 
 fn print_help() {
@@ -330,7 +518,10 @@ COMMANDS
   protect     sanitize one location        (--lat/--lon + --window, or --x/--y km)
   eval        compare PL vs MSM utility    (--queries N)
   audit       empirical GeoInd check       (--mechanism pl|msm, --samples N)
-  precompute  build offline channel bundle (--out FILE)
+  precompute  build offline channel bundle (--out FILE; atomic temp+rename write)
+  serve       crash-safe serving front-end, closed-loop self-driving workload
+              (--self-drive N, --users U, --cap EPS_PER_USER, --workers W,
+               --queue DEPTH, --epoch E, --ledger-dir DIR to persist budgets)
 
 COMMON FLAGS
   --eps E            privacy budget per km (default 0.5)

@@ -8,7 +8,10 @@
 //! GeoInd-preserving hierarchical index — lives in [`mechanisms`], together
 //! with the two baselines it is evaluated against (planar Laplace and the
 //! LP-based optimal mechanism). The substrates it depends on are re-exported
-//! under [`lp`], [`math`], [`spatial`] and [`data`].
+//! under [`lp`], [`math`], [`spatial`] and [`data`]. The production-facing
+//! serving layer — per-user ε-budget ledger with write-ahead-journal crash
+//! recovery, deadlines, and admission control — is re-exported under
+//! [`serve`].
 //!
 //! ## Quickstart
 //!
@@ -39,6 +42,7 @@ pub use geoind_data as data;
 pub use geoind_lp as lp;
 pub use geoind_math as math;
 pub use geoind_rng as rng;
+pub use geoind_serve as serve;
 pub use geoind_spatial as spatial;
 
 /// One-stop imports for typical use of the library.

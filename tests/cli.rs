@@ -11,7 +11,7 @@ fn help_lists_commands() {
     let out = geoind().arg("help").output().expect("binary runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["protect", "eval", "audit", "precompute"] {
+    for cmd in ["protect", "eval", "audit", "precompute", "serve"] {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
 }
@@ -112,5 +112,87 @@ fn precompute_writes_a_loadable_bundle() {
     let blob = std::fs::read(&path).expect("bundle written");
     // v2 checksummed container format (see geoind_core::offline).
     assert!(blob.starts_with(b"GEOINDCH"));
+    // The write is atomic (temp + rename): no temp sibling may linger.
+    let tmp = format!("{}.tmp", path.display());
+    assert!(
+        !std::path::Path::new(&tmp).exists(),
+        "export left its temp file behind"
+    );
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn serve_closed_loop_balances_and_persists_budgets() {
+    let dir = std::env::temp_dir().join(format!("geoind-cli-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let args = [
+        "serve",
+        "--self-drive",
+        "60",
+        "--users",
+        "4",
+        "--cap",
+        "0.8",
+        "--eps",
+        "0.4",
+        "--g",
+        "2",
+        "--synthetic-size",
+        "3000",
+        "--workers",
+        "2",
+        "--queue",
+        "8",
+        "--seed",
+        "7",
+        "--ledger-dir",
+    ];
+    let out = geoind().args(args).arg(&dir).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Cap 0.8 at eps 0.4 = 2 requests per user; 4 users => 8 served, the
+    // rest split between budget refusals and the forced pre-expired tenth.
+    assert!(
+        text.contains("serve total=60 served=8"),
+        "log line drifted:\n{text}"
+    );
+    assert!(text.contains("expired=6"), "deadline gate missed:\n{text}");
+    assert!(text.contains("closed loop balanced"), "{text}");
+
+    // Same epoch, same ledger dir: budgets persist, so every in-budget
+    // request is now refused — nothing is served twice.
+    let out = geoind().args(args).arg(&dir).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("serve total=60 served=0"),
+        "spent budgets were resurrected across a restart:\n{text}"
+    );
+
+    // Epoch advance renews the budgets.
+    let out = geoind()
+        .args(args)
+        .arg(&dir)
+        .args(["--epoch", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("serve total=60 served=8"),
+        "epoch renewal failed:\n{text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
