@@ -6,6 +6,7 @@
 //! multi-step mechanism (one channel per visited index node, sampled once
 //! per query).
 
+use crate::certify::Certificate;
 use crate::metrics::QualityMetric;
 use geoind_math::sampling::AliasTable;
 use geoind_rng::Rng;
@@ -21,6 +22,9 @@ pub struct Channel {
     probs: Vec<f64>,
     /// One alias table per row for O(1) sampling.
     samplers: Vec<AliasTable>,
+    /// Proof of ε·d compliance attached by an admission gate
+    /// ([`crate::certify::admit`]); `None` for channels built directly.
+    certificate: Option<Certificate>,
 }
 
 impl Channel {
@@ -71,7 +75,21 @@ impl Channel {
             outputs,
             probs,
             samplers,
+            certificate: None,
         }
+    }
+
+    /// The certification proof attached at admission, if any. Channels
+    /// built directly (or transformed by [`Channel::then`] /
+    /// [`Channel::geoind_repair`]) carry none until re-admitted.
+    pub fn certificate(&self) -> Option<Certificate> {
+        self.certificate
+    }
+
+    /// Attach a certification proof (admission gates only).
+    pub(crate) fn with_certificate(mut self, cert: Certificate) -> Self {
+        self.certificate = Some(cert);
+        self
     }
 
     /// Input locations (logical locations `X`).

@@ -32,6 +32,7 @@
 pub mod adversary;
 pub mod alloc;
 pub mod audit;
+pub mod certify;
 pub mod channel;
 pub mod eval;
 pub mod metrics;
@@ -48,10 +49,12 @@ pub mod trajectory;
 pub use adversary::BayesianAdversary;
 pub use alloc::{AllocationStrategy, BudgetAllocator, LevelBudgets};
 pub use audit::{audit_geoind, AuditConfig, AuditReport};
+pub use certify::{Certificate, CertifySpec, Verdict};
 pub use channel::Channel;
 pub use eval::{EvalReport, Evaluator};
 pub use metrics::QualityMetric;
-pub use msm::{DescentInterrupted, MsmMechanism};
+pub use msm::{DescentInterrupted, DescentOutcome, MsmMechanism};
+pub use offline::CacheImportReport;
 pub use opt::OptimalMechanism;
 pub use planar_laplace::PlanarLaplace;
 pub use pmsm::{KdMsmMechanism, PartitionMsm, QuadMsmMechanism};
@@ -96,6 +99,15 @@ pub enum MechanismError {
     /// A lock guarding shared mechanism state was poisoned by a panic on
     /// another thread; the guarded data can no longer be trusted.
     LockPoisoned(&'static str),
+    /// A channel failed post-repair re-certification at an admission gate
+    /// and was refused: sampling from it could violate the ε·d guarantee
+    /// (see [`certify`]).
+    ChannelQuarantined {
+        /// The admission gate that refused it (`opt.solve`, `cache.import`, …).
+        gate: &'static str,
+        /// The scaled constraint violation measured after repair.
+        max_violation: f64,
+    },
     /// A request was served by a lower tier of the degradation ladder;
     /// `source` is the error that forced the fallback.
     Degraded {
@@ -119,6 +131,16 @@ impl std::fmt::Display for MechanismError {
             }
             MechanismError::LockPoisoned(what) => {
                 write!(f, "lock poisoned: {what}")
+            }
+            MechanismError::ChannelQuarantined {
+                gate,
+                max_violation,
+            } => {
+                write!(
+                    f,
+                    "channel quarantined at {gate}: post-repair violation \
+                     {max_violation:.3e} exceeds certification tolerance"
+                )
             }
             MechanismError::Degraded { tier, .. } => {
                 write!(f, "request served by degraded tier {tier}")

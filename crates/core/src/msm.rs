@@ -18,6 +18,7 @@
 //! pays each LP once.
 
 use crate::alloc::{AllocationStrategy, BudgetAllocator, LevelBudgets};
+use crate::certify::{Certificate, Verdict};
 use crate::channel::Channel;
 use crate::metrics::QualityMetric;
 use crate::opt::{OptOptions, OptimalMechanism};
@@ -30,7 +31,7 @@ use geoind_spatial::hier::{HierGrid, LevelCell};
 use geoind_testkit::failpoint;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::sync::{PoisonError, RwLock};
+use std::sync::{Mutex, PoisonError, RwLock};
 
 /// Builder for [`MsmMechanism`].
 #[derive(Debug, Clone)]
@@ -130,8 +131,20 @@ impl MsmBuilder {
             opt_options: self.opt_options,
             caching: self.caching,
             cache: RwLock::new(HashMap::new()),
+            residual_watermark: Mutex::new((0.0, 0.0)),
         })
     }
+}
+
+/// A completed MSM descent: the reported point plus whether any channel
+/// sampled along the way was admitted via the certify→repair path rather
+/// than certifying outright (the serving layer counts repaired service).
+#[derive(Debug, Clone, Copy)]
+pub struct DescentOutcome {
+    /// The reported (sanitized) location.
+    pub point: Point,
+    /// True when at least one sampled channel carries a `Repaired` verdict.
+    pub repaired: bool,
 }
 
 /// A failed MSM descent: the typed fault plus the cell the completed
@@ -163,6 +176,9 @@ pub struct MsmMechanism {
     opt_options: OptOptions,
     caching: bool,
     cache: RwLock<HashMap<LevelCell, Arc<Channel>>>,
+    /// Worst (primal, dual) LP residual seen across per-node solves —
+    /// surfaced by `geoind precompute` and `geoind doctor`.
+    residual_watermark: Mutex<(f64, f64)>,
 }
 
 impl MsmMechanism {
@@ -344,7 +360,41 @@ impl MsmMechanism {
         let eps_i = self.budgets.level(level);
         let opt =
             OptimalMechanism::solve_with(eps_i, &centers, &masses, self.metric, self.opt_options)?;
+        let stats = opt.stats();
+        {
+            let mut w = self
+                .residual_watermark
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            w.0 = w.0.max(stats.primal_residual);
+            w.1 = w.1.max(stats.dual_residual);
+        }
         Ok(opt.channel().clone())
+    }
+
+    /// Worst `(primal, dual)` LP residual observed across all per-node
+    /// solves so far (both 0 before any solve ran).
+    pub fn lp_residual_watermark(&self) -> (f64, f64) {
+        *self
+            .residual_watermark
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Re-certify every memoized channel against its level budget at the
+    /// strict (post-repair) tolerance, without repairing anything. Returns
+    /// one `(parent cell, certificate)` per cached channel; a `Quarantined`
+    /// verdict means the cached channel must not be served — `geoind
+    /// doctor` exits nonzero on any such entry.
+    pub fn recertify_cache(&self) -> Vec<(LevelCell, Certificate)> {
+        self.cache_snapshot()
+            .into_iter()
+            .map(|(cell, ch)| {
+                let eps_i = self.budgets.level(cell.level + 1);
+                let tol = crate::certify::strict_tolerance(ch.num_inputs(), ch.num_outputs());
+                (cell, crate::certify::certify(&ch, eps_i, tol))
+            })
+            .collect()
     }
 
     /// Fallible form of [`Mechanism::report`]: the full hierarchical
@@ -359,7 +409,9 @@ impl MsmMechanism {
         x: Point,
         rng: &mut R,
     ) -> Result<Point, MechanismError> {
-        self.try_report_resumable(x, rng).map_err(|i| i.error)
+        self.try_report_resumable(x, rng)
+            .map(|o| o.point)
+            .map_err(|i| i.error)
     }
 
     /// Like [`Self::try_report`], but a failure also carries *where the
@@ -380,9 +432,10 @@ impl MsmMechanism {
         &self,
         x: Point,
         rng: &mut R,
-    ) -> Result<Point, DescentInterrupted> {
+    ) -> Result<DescentOutcome, DescentInterrupted> {
         let x = clamp_into(self.hier.domain(), x);
         let mut current = LevelCell::ROOT;
+        let mut repaired = false;
         for _level in 1..=self.hier.height() {
             let children = self.hier.children(current);
             let channel = match self.try_channel_for(current) {
@@ -394,6 +447,9 @@ impl MsmMechanism {
                     })
                 }
             };
+            repaired |= channel
+                .certificate()
+                .is_some_and(|c| c.verdict == Verdict::Repaired);
             let ext = self.hier.extent(current);
             let input_idx = if ext.contains(x) {
                 self.hier
@@ -404,7 +460,10 @@ impl MsmMechanism {
             let z = channel.sample(input_idx, rng);
             current = children[z];
         }
-        Ok(self.hier.center(current))
+        Ok(DescentOutcome {
+            point: self.hier.center(current),
+            repaired,
+        })
     }
 
     /// The exact distribution over leaf cells produced for input `x`

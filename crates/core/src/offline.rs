@@ -40,7 +40,18 @@
 //! corrupted or malicious length can neither trigger a huge allocation
 //! nor mis-frame the rest of the stream. Version-1 blobs (magic
 //! `GEOIND01`, no checksums) are detected and refused explicitly.
+//!
+//! Checksums only detect *corruption*. A payload forged with valid
+//! FNV-1a sums — or produced by a buggy provisioner — could still encode
+//! an ε-violating channel, so every structurally valid entry is also
+//! **certified on load** against its level budget ([`crate::certify`]).
+//! Entries that fail are *quarantined individually*: the rest of the
+//! blob imports, the quarantined node falls back to a fresh (gated)
+//! solve on demand, and the quarantine list is surfaced in the returned
+//! [`CacheImportReport`]. Repair is deliberately not attempted here —
+//! repairing a forged payload would launder it into service.
 
+use crate::certify::{self, Certificate, Verdict};
 use crate::channel::Channel;
 use crate::msm::MsmMechanism;
 use crate::MechanismError;
@@ -73,6 +84,17 @@ fn corrupt(section: impl Into<String>, detail: impl Into<String>) -> MechanismEr
         section: section.into(),
         detail: detail.into(),
     }
+}
+
+/// Outcome of a structurally valid [`MsmMechanism::import_cache`] run.
+#[derive(Debug, Clone)]
+pub struct CacheImportReport {
+    /// Channels certified and committed to the cache.
+    pub loaded: usize,
+    /// Entries that parsed and checksummed cleanly but failed
+    /// certification against their level budget — dropped, not served;
+    /// the failing certificate explains how badly each violated.
+    pub quarantined: Vec<(LevelCell, Certificate)>,
 }
 
 impl MsmMechanism {
@@ -148,22 +170,28 @@ impl MsmMechanism {
     }
 
     /// Load channels exported by [`MsmMechanism::export_cache`] into this
-    /// mechanism's cache. Returns the number of channels loaded.
+    /// mechanism's cache. Returns how many channels were committed plus
+    /// any per-entry quarantines.
     ///
     /// The blob is validated in layers: magic, format version, header
     /// checksum, per-entry header checksum (which covers the payload
     /// length and shape, checked against this index's fan-out *before*
-    /// the payload is allocated), per-entry payload checksum, and finally
-    /// each entry against this index's geometry (child count and
-    /// centers). Import is
-    /// transactional: entries are staged and committed to the cache only
-    /// after the whole blob validates, so a failure part-way through
-    /// admits nothing.
+    /// the payload is allocated), per-entry payload checksum, each entry
+    /// against this index's geometry (child count and centers), and
+    /// finally **certification** of each entry's channel against its
+    /// level budget. Structural failures are transactional — entries are
+    /// staged and committed only after the whole blob validates, so a
+    /// corrupt blob admits nothing. Certification failures quarantine
+    /// only the offending entry (checksums passed, so the bytes arrived
+    /// as written — the *content* is what is wrong): the rest of the blob
+    /// still imports and the quarantined node is re-solved on demand
+    /// through the regular admission gate.
     ///
     /// # Errors
     /// [`MechanismError::CacheCorrupt`] naming the failing section on any
-    /// validation failure (including truncation and I/O errors).
-    pub fn import_cache(&self, r: &mut impl Read) -> Result<usize, MechanismError> {
+    /// structural validation failure (including truncation and I/O
+    /// errors).
+    pub fn import_cache(&self, r: &mut impl Read) -> Result<CacheImportReport, MechanismError> {
         if failpoint::hit("cache.import.corrupt") {
             return Err(corrupt(
                 "header",
@@ -254,11 +282,32 @@ impl MsmMechanism {
             let (cell, channel) = self.parse_entry(&payload, (n, m), &section)?;
             staged.push((cell, Arc::new(channel)));
         }
-        let loaded = staged.len();
+        // Certify-on-load: checksums prove the bytes, not the channel.
+        // Certify each staged channel against its level budget; violators
+        // are quarantined individually and never committed.
+        let mut quarantined = Vec::new();
+        let mut admitted = Vec::with_capacity(staged.len());
         for (cell, channel) in staged {
-            self.cache_insert(cell, channel);
+            let eps_entry = self.budgets().level(cell.level + 1);
+            let tol = certify::strict_tolerance(channel.num_inputs(), channel.num_outputs());
+            let cert = certify::certify(&channel, eps_entry, tol);
+            if cert.verdict == Verdict::Quarantined {
+                quarantined.push((cell, cert));
+            } else {
+                admitted.push((cell, channel, cert));
+            }
         }
-        Ok(loaded)
+        let loaded = admitted.len();
+        for (cell, channel, cert) in admitted {
+            // Attach the fresh certificate so descents can trust (and
+            // count) imported channels exactly like solver-admitted ones.
+            let certified = Arc::new(Channel::clone(&channel).with_certificate(cert));
+            self.cache_insert(cell, certified);
+        }
+        Ok(CacheImportReport {
+            loaded,
+            quarantined,
+        })
     }
 
     /// Decode and geometry-validate one checksum-verified entry payload.
@@ -396,8 +445,9 @@ mod tests {
 
         let device = mechanism();
         assert_eq!(device.cached_channels(), 0);
-        let loaded = device.import_cache(&mut blob.as_slice()).unwrap();
-        assert_eq!(loaded, 5);
+        let report = device.import_cache(&mut blob.as_slice()).unwrap();
+        assert_eq!(report.loaded, 5);
+        assert!(report.quarantined.is_empty(), "{:?}", report.quarantined);
         assert_eq!(device.cached_channels(), 5);
 
         // Identical exact output distributions without any further solving.
@@ -546,5 +596,63 @@ mod tests {
         let msm = mechanism();
         let n = msm.precompute(2).unwrap();
         assert!(n <= 2, "cache holds {n}");
+    }
+
+    #[test]
+    fn forged_epsilon_violating_entry_is_quarantined_not_served() {
+        // The adversarial case certification exists for: an entry whose
+        // bytes are intact (every FNV-1a checksum valid) but whose channel
+        // violates the ε·d constraints. Rewrite the first entry's row 0 to
+        // the deterministic distribution [1, 0, 0, 0] — rows still sum to
+        // 1, the payload parses, and all checksums are fixed up — then
+        // confirm import quarantines exactly that entry and serves nothing
+        // from it.
+        let mut blob = exported_blob();
+        // First entry payload starts after its 40-byte header block at 68:
+        // level@68, id@76, n@84, m@92, then 2(n+m)=16 coordinate f64s at
+        // 100, then the 4×4 probability matrix at 228.
+        const PROBS: usize = 228;
+        let forged: [f64; 4] = [1.0, 0.0, 0.0, 0.0];
+        for (k, v) in forged.iter().enumerate() {
+            blob[PROBS + 8 * k..PROBS + 8 * (k + 1)].copy_from_slice(&v.to_le_bytes());
+        }
+        // Fix up the payload checksum (entry-header word 3) and then the
+        // entry-header checksum over the rewritten header.
+        let payload_len = u64::from_le_bytes(blob[ENTRY..ENTRY + 8].try_into().unwrap()) as usize;
+        let payload_sum = fnv1a64(&blob[68..68 + payload_len]).to_le_bytes();
+        blob[ENTRY + 24..ENTRY + 32].copy_from_slice(&payload_sum);
+        let entry_sum = fnv1a64(&blob[ENTRY..ENTRY + 32]).to_le_bytes();
+        blob[ENTRY + 32..ENTRY + 40].copy_from_slice(&entry_sum);
+
+        let device = mechanism();
+        let report = device.import_cache(&mut blob.as_slice()).unwrap();
+        assert_eq!(report.loaded, 4, "the healthy entries still import");
+        assert_eq!(report.quarantined.len(), 1);
+        let (cell, cert) = &report.quarantined[0];
+        assert_eq!(cert.verdict, Verdict::Quarantined);
+        assert!(
+            cert.max_violation > 1e-3,
+            "a support mismatch is a gross violation, got {}",
+            cert.max_violation
+        );
+        assert_eq!(device.cached_channels(), 4);
+        // The quarantined node is absent from the cache; a query through it
+        // triggers a fresh gated solve rather than serving the forgery.
+        let rebuilt = device.try_channel_for(*cell).unwrap();
+        assert!(rebuilt
+            .certificate()
+            .is_some_and(|c| c.verdict != Verdict::Quarantined));
+        let eps_entry = device.budgets().level(cell.level + 1);
+        assert!(rebuilt.satisfies_geoind(eps_entry, 1e-6));
+    }
+
+    #[test]
+    fn imported_channels_carry_certificates() {
+        let blob = exported_blob();
+        let device = mechanism();
+        device.import_cache(&mut blob.as_slice()).unwrap();
+        for (_, cert) in device.recertify_cache() {
+            assert_eq!(cert.verdict, Verdict::Certified);
+        }
     }
 }

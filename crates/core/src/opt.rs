@@ -66,6 +66,11 @@ pub struct SolveStats {
     pub cols: usize,
     /// Simplex pivots performed.
     pub iterations: usize,
+    /// `‖Ax − b‖∞` of the solution after one iterative-refinement pass on
+    /// the final basis (primal feasibility).
+    pub primal_residual: f64,
+    /// Worst reduced-cost violation at the exit basis (dual feasibility).
+    pub dual_residual: f64,
 }
 
 /// The optimal mechanism: a precomputed channel plus a nearest-location
@@ -207,10 +212,22 @@ impl OptimalMechanism {
         let stats_rows = model.num_rows();
         let stats_cols = model.num_vars();
         let sol = model.solve_with(opts.via, opts.simplex)?;
-        // The LP enforces row-scaled constraints; un-scale solver tolerance
-        // back into an honest GeoInd guarantee (see Channel::geoind_repair).
-        let channel =
-            Channel::new(locations.to_vec(), locations.to_vec(), sol.values).geoind_repair(eps);
+        // Mandatory admission gate: certify the raw simplex optimum against
+        // the solve-time constraint set, lift it back onto the exact GeoInd
+        // surface (the LP enforces row-scaled constraints, so the solver
+        // tolerance must be un-scaled into an honest guarantee — see
+        // Channel::geoind_repair), and re-certify strictly. A channel that
+        // still violates is quarantined, never sampled.
+        let spec = crate::certify::CertifySpec {
+            eps,
+            constraints: opts.constraints,
+            solver_slack: opts.simplex.opt_tol,
+        };
+        let channel = crate::certify::admit(
+            Channel::new(locations.to_vec(), locations.to_vec(), sol.values),
+            &spec,
+            "opt.solve",
+        )?;
         let snapper = KdTree::build(locations.iter().copied().enumerate().map(|(i, p)| (p, i)));
         Ok(Self {
             eps,
@@ -221,6 +238,8 @@ impl OptimalMechanism {
                 rows: stats_rows,
                 cols: stats_cols,
                 iterations: sol.iterations,
+                primal_residual: sol.residual,
+                dual_residual: sol.dual_residual,
             },
         })
     }

@@ -59,7 +59,7 @@
 //! [`DegradationReport`], so operators can see when and why the optimal
 //! path was bypassed.
 
-use crate::msm::{DescentInterrupted, MsmBuilder, MsmMechanism};
+use crate::msm::{DescentInterrupted, DescentOutcome, MsmBuilder, MsmMechanism};
 use crate::planar_laplace::PlanarLaplace;
 use crate::{Mechanism, MechanismError};
 use geoind_rng::Rng;
@@ -166,6 +166,16 @@ fn clamp_into(domain: BBox, p: Point) -> Point {
 pub struct DegradationReport {
     /// Reports served by each tier, indexed by [`Tier::index`].
     pub served_by_tier: [u64; 3],
+    /// Tier-0 reports whose descent sampled at least one channel that the
+    /// admission gate had to repair before certifying (see [`crate::certify`]).
+    /// A subset of `served_by_tier[0]` — these requests were still served
+    /// with a passing certificate.
+    pub served_repaired: u64,
+    /// Reports whose optimal descent was refused because a channel failed
+    /// post-repair re-certification ([`MechanismError::ChannelQuarantined`]).
+    /// Each such request was served by a closed-form lower tier instead —
+    /// a subset of `degraded()`.
+    pub quarantined: u64,
     /// Human-readable cause of the most recent degradation, if any.
     pub last_fault: Option<String>,
 }
@@ -186,12 +196,15 @@ impl DegradationReport {
     /// these lines, so changing it is a breaking change.
     pub fn log_line(&self) -> String {
         format!(
-            "degradation optimal={} per-level={} flat={} total={} degraded={}",
+            "degradation optimal={} per-level={} flat={} total={} degraded={} \
+             repaired={} quarantined={}",
             self.served_by_tier[0],
             self.served_by_tier[1],
             self.served_by_tier[2],
             self.total(),
             self.degraded(),
+            self.served_repaired,
+            self.quarantined,
         )
     }
 }
@@ -207,6 +220,11 @@ impl std::fmt::Display for DegradationReport {
             )?;
         }
         write!(f, "#   total: {}", self.total())?;
+        write!(
+            f,
+            "\n#   served via repaired channels: {}\n#   quarantined: {}",
+            self.served_repaired, self.quarantined
+        )?;
         if let Some(fault) = &self.last_fault {
             write!(f, "\n#   last fault: {fault}")?;
         }
@@ -234,7 +252,22 @@ pub struct ResilientMechanism {
     /// budgets failed validation.
     flat_by_resume: Vec<PlanarLaplace>,
     served: [AtomicU64; 3],
+    /// Tier-0 serves whose descent used at least one gate-repaired channel.
+    served_repaired: AtomicU64,
+    /// Requests refused the optimal path by a quarantine verdict.
+    quarantined: AtomicU64,
     last_fault: Mutex<Option<String>>,
+}
+
+/// Does the error chain contain a quarantine verdict? The ladder counts
+/// these separately: they mean a channel actively failed re-certification,
+/// not that infrastructure (LP budget, cache lock) merely hiccuped.
+fn is_quarantine(e: &MechanismError) -> bool {
+    match e {
+        MechanismError::ChannelQuarantined { .. } => true,
+        MechanismError::Degraded { source, .. } => is_quarantine(source),
+        _ => false,
+    }
 }
 
 impl ResilientMechanism {
@@ -273,6 +306,8 @@ impl ResilientMechanism {
             flat,
             flat_by_resume,
             served: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            served_repaired: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
             last_fault: Mutex::new(None),
         }
     }
@@ -301,10 +336,22 @@ impl ResilientMechanism {
         ]
     }
 
+    /// Tier-0 reports served through at least one gate-repaired channel.
+    pub fn served_repaired(&self) -> u64 {
+        self.served_repaired.load(Ordering::Relaxed)
+    }
+
+    /// Reports refused the optimal path by a quarantine verdict.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
     /// Snapshot the counters and the most recent degradation cause.
     pub fn degradation_report(&self) -> DegradationReport {
         DegradationReport {
             served_by_tier: self.served_by_tier(),
+            served_repaired: self.served_repaired(),
+            quarantined: self.quarantined(),
             last_fault: self
                 .last_fault
                 .lock()
@@ -345,11 +392,17 @@ impl ResilientMechanism {
     /// bit-deterministic.
     pub fn report_with_tier<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> (Point, Tier) {
         match self.msm.try_report_resumable(x, rng) {
-            Ok(z) => {
+            Ok(DescentOutcome { point, repaired }) => {
+                if repaired {
+                    self.served_repaired.fetch_add(1, Ordering::Relaxed);
+                }
                 self.record(Tier::Optimal, None);
-                (z, Tier::Optimal)
+                (point, Tier::Optimal)
             }
             Err(DescentInterrupted { resume, error }) => {
+                if is_quarantine(&error) {
+                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                }
                 let (z, tier) = match &self.fallback {
                     // Tier 1 cannot fail: it is pure sampling plus
                     // geometry. It resumes at `resume`, so only the
@@ -430,6 +483,10 @@ mod tests {
         }
         assert_eq!(r.served_by_tier(), [40, 0, 0]);
         assert!(r.degradation_report().last_fault.is_none());
+        // Healthy LP solves certify outright: nothing repaired, nothing
+        // quarantined.
+        assert_eq!(r.served_repaired(), 0);
+        assert_eq!(r.quarantined(), 0);
     }
 
     #[test]
@@ -491,11 +548,14 @@ mod tests {
         // expected string ONLY together with every downstream consumer.
         let report = DegradationReport {
             served_by_tier: [40, 2, 1],
+            served_repaired: 5,
+            quarantined: 1,
             last_fault: Some("irrelevant to the log line".into()),
         };
         assert_eq!(
             report.log_line(),
-            "degradation optimal=40 per-level=2 flat=1 total=43 degraded=3"
+            "degradation optimal=40 per-level=2 flat=1 total=43 degraded=3 \
+             repaired=5 quarantined=1"
         );
         assert!(
             !report.log_line().contains('\n'),

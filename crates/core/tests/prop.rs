@@ -2,9 +2,10 @@
 //! `geoind-testkit` harness; failures print a per-case seed).
 
 use geoind_core::alloc::{AllocationStrategy, BudgetAllocator};
+use geoind_core::certify::{self, CertifySpec, Verdict};
 use geoind_core::channel::Channel;
 use geoind_core::metrics::QualityMetric;
-use geoind_core::opt::OptimalMechanism;
+use geoind_core::opt::{ConstraintSet, OptimalMechanism};
 use geoind_rng::{Rng, SeededRng};
 use geoind_spatial::geom::Point;
 use geoind_testkit::gens::{f64_range, u32_range, Gen};
@@ -96,6 +97,67 @@ fn repair_establishes_geoind_and_is_idempotent() {
             for x in 0..fixed.num_inputs() {
                 ensure!((fixed.row(x).iter().sum::<f64>() - 1.0).abs() < 1e-9);
             }
+            Ok(())
+        },
+    );
+}
+
+/// The admission gate's contract, on arbitrary random channels:
+/// admission always yields a passing certificate (post-repair violation 0
+/// within the strict tolerance), the reported per-row L1 delta bounds the
+/// pointwise change the repair made, and re-admitting an already-admitted
+/// channel is a fixed point with verdict `Certified`.
+#[test]
+fn admission_gate_repairs_within_reported_loss_bound() {
+    check(
+        "admission_gate_repairs_within_reported_loss_bound",
+        Config::cases(64),
+        &(RandomChannel(4), f64_range(0.2, 2.0)),
+        |(channel, eps)| {
+            let eps = *eps;
+            let spec = CertifySpec {
+                eps,
+                constraints: ConstraintSet::Full,
+                solver_slack: 1e-9,
+            };
+            let admitted =
+                certify::admit(channel.clone(), &spec, "prop.admit").map_err(|e| e.to_string())?;
+            let cert = admitted
+                .certificate()
+                .expect("admitted channel lost its certificate");
+            ensure!(cert.passes(), "certificate does not pass: {cert:?}");
+            let (violation, pairs, row_err) = certify::measure(&admitted, eps);
+            ensure!(
+                violation <= certify::strict_tolerance(4, 4),
+                "post-repair violation {violation}"
+            );
+            ensure_eq!(pairs, 4 * 3);
+            ensure!(row_err <= certify::row_tolerance(4), "row error {row_err}");
+            // The certificate's loss report bounds what the repair changed.
+            for x in 0..4 {
+                let mut row_delta = 0.0;
+                for z in 0..4 {
+                    row_delta += (admitted.prob(x, z) - channel.prob(x, z)).abs();
+                }
+                ensure!(
+                    row_delta <= cert.repair_l1_delta + 1e-12,
+                    "row {x} moved {row_delta} > reported bound {}",
+                    cert.repair_l1_delta
+                );
+            }
+            // Idempotence: an admitted channel re-admits as a fixed point.
+            let again =
+                certify::admit(admitted.clone(), &spec, "prop.admit").map_err(|e| e.to_string())?;
+            for x in 0..4 {
+                for z in 0..4 {
+                    ensure!((again.prob(x, z) - admitted.prob(x, z)).abs() < 1e-9);
+                }
+            }
+            let cert2 = again
+                .certificate()
+                .expect("re-admitted channel lost its certificate");
+            ensure_eq!(cert2.verdict, Verdict::Certified);
+            ensure!(cert2.repair_l1_delta < 1e-9, "second repair moved mass");
             Ok(())
         },
     );

@@ -36,12 +36,14 @@ fn resilient() -> ResilientMechanism {
     .unwrap()
 }
 
-/// The sites that fault the *report* path of the wrapped MSM (LP solves
-/// and the channel-cache lock) and therefore trigger tier-1 service.
+/// The sites that fault the *report* path of the wrapped MSM (LP solves,
+/// the channel-cache lock, and post-repair re-certification) and therefore
+/// trigger tier-1 service.
 const REPORT_PATH_SITES: &[&str] = &[
     "lp.refactor.singular",
     "lp.iterations.exhausted",
     "cache.lock.poisoned",
+    "certify.repair.fail",
 ];
 
 #[test]
@@ -99,6 +101,37 @@ fn every_site_keeps_report_total_and_counters_exact() {
                     "{site}: expected Truncated, got {err:?}"
                 );
             }
+            "certify.channel.violation" => {
+                // A forced raw-certification failure is NOT a serve
+                // refusal: the admission gate repairs the channel, the
+                // repaired copy re-certifies, and tier 0 serves normally —
+                // only the certificate verdict (and the repaired counter)
+                // records that the gate had to intervene.
+                let r = resilient();
+                let centers = r.msm().leaf_grid().centers();
+                let mut rng = SeededRng::from_seed(17);
+                let n = 12u64;
+                for i in 0..n {
+                    let x = Point::new((i % 8) as f64, (i % 5) as f64 + 0.4);
+                    let (z, tier) = r.report_with_tier(x, &mut rng);
+                    assert_eq!(tier, Tier::Optimal, "site {site}");
+                    assert!(
+                        centers.iter().any(|c| c.dist(z) < 1e-12),
+                        "{site}: {z:?} is not a leaf center"
+                    );
+                }
+                let report = r.degradation_report();
+                assert_eq!(report.served_by_tier, [n, 0, 0], "site {site}");
+                assert_eq!(
+                    report.served_repaired, n,
+                    "every serve used repaired channels"
+                );
+                assert_eq!(
+                    report.quarantined, 0,
+                    "repair succeeded; nothing quarantined"
+                );
+                assert!(fp.fired(site) >= 1, "site {site} never fired");
+            }
             _ if site.starts_with("serve.") => {
                 // Serving-layer journal sites (geoind-serve's WAL). They
                 // are not wired into the core ladder: arming one must
@@ -134,6 +167,11 @@ fn every_site_keeps_report_total_and_counters_exact() {
                 assert_eq!(report.served_by_tier, [0, n, 0], "site {site}");
                 assert_eq!(report.total(), n, "site {site}");
                 assert_eq!(report.degraded(), n, "site {site}");
+                // Only a failed re-certification is a quarantine; LP and
+                // lock faults are infrastructure hiccups.
+                let want_quarantined = if site == "certify.repair.fail" { n } else { 0 };
+                assert_eq!(report.quarantined, want_quarantined, "site {site}");
+                assert_eq!(report.served_repaired, 0, "site {site}");
                 assert!(fp.fired(site) >= n, "site {site} under-fired");
                 let fault = report.last_fault.expect("degradation recorded no fault");
                 assert!(
@@ -143,6 +181,41 @@ fn every_site_keeps_report_total_and_counters_exact() {
             }
         }
     }
+}
+
+#[test]
+fn quarantined_channel_forces_descent_and_is_counted() {
+    // The fail-closed invariant end to end: when a channel fails even
+    // post-repair re-certification (both certify failpoints armed), no
+    // request is ever served from it — every report descends to the
+    // GeoInd-safe tier-1 floor, the quarantine counter accounts for each,
+    // and the fault chain names the quarantine.
+    let mut fp = Session::new();
+    fp.arm("certify.channel.violation", FailSpec::always());
+    fp.arm("certify.repair.fail", FailSpec::always());
+    let r = resilient();
+    let centers = r.msm().leaf_grid().centers();
+    let mut rng = SeededRng::from_seed(23);
+    let n = 12u64;
+    for i in 0..n {
+        let x = Point::new((i % 8) as f64, (i % 5) as f64 + 0.4);
+        let (z, tier) = r.report_with_tier(x, &mut rng);
+        assert_eq!(tier, Tier::PerLevelLaplace);
+        assert!(centers.iter().any(|c| c.dist(z) < 1e-12));
+    }
+    let report = r.degradation_report();
+    assert_eq!(report.served_by_tier, [0, n, 0]);
+    assert_eq!(report.quarantined, n, "each refusal must be counted");
+    assert_eq!(report.served_repaired, 0, "nothing was served from tier 0");
+    assert_eq!(
+        report.log_line(),
+        format!("degradation optimal=0 per-level={n} flat=0 total={n} degraded={n} repaired=0 quarantined={n}")
+    );
+    let fault = report.last_fault.expect("no fault recorded");
+    assert!(fault.contains("quarantined"), "fault must name it: {fault}");
+    // No channel with a failing certificate is left behind for later
+    // requests: a quarantined solve is never cached.
+    assert_eq!(r.msm().cached_channels(), 0);
 }
 
 #[test]

@@ -98,6 +98,7 @@ pub fn solve_via_dual(primal: &Model, opts: SimplexOptions) -> Result<Solution, 
             duals: sol.duals.iter().map(|&d| -d).collect(),
             iterations: sol.iterations,
             residual: sol.residual,
+            dual_residual: sol.dual_residual,
         });
     }
     let dualized = dualize_min(primal);
@@ -120,12 +121,16 @@ pub fn solve_via_dual(primal: &Model, opts: SimplexOptions) -> Result<Solution, 
         .zip(&dualized.row_var_signs)
         .map(|(&v, &s)| v * s)
         .collect();
+    // The recovered primal values are the dual solve's row duals, so their
+    // feasibility is governed by the dual solve's *dual* residual (and vice
+    // versa): swap the two so the caller reads them in primal terms.
     Ok(Solution {
         objective: dual_sol.objective,
         values,
         duals,
         iterations: dual_sol.iterations,
-        residual: dual_sol.residual,
+        residual: dual_sol.dual_residual,
+        dual_residual: dual_sol.residual,
     })
 }
 

@@ -82,8 +82,13 @@ pub struct Solution {
     pub duals: Vec<f64>,
     /// Simplex pivots used.
     pub iterations: usize,
-    /// `‖Ax − b‖∞` self-check from the engine.
+    /// `‖Ax − b‖∞` self-check from the engine (primal feasibility).
     pub residual: f64,
+    /// Worst reduced-cost violation at the exit basis (dual feasibility),
+    /// as a non-negative magnitude. On the dual solve path the two
+    /// residuals are swapped so both always describe *this* model's
+    /// primal/dual feasibility.
+    pub dual_residual: f64,
 }
 
 impl Model {
@@ -229,6 +234,7 @@ impl Model {
             duals,
             iterations: res.iterations,
             residual: res.residual,
+            dual_residual: res.dual_residual,
         })
     }
 

@@ -208,6 +208,7 @@ pub fn presolve_and_solve(
             duals: vec![0.0; model.num_rows()],
             iterations: 0,
             residual: 0.0,
+            dual_residual: 0.0,
         }),
         Presolved::Reduced(red) => {
             let inner = red.model.solve_with(via, opts)?;
@@ -231,6 +232,7 @@ pub fn presolve_and_solve(
                 duals,
                 iterations: inner.iterations,
                 residual: inner.residual,
+                dual_residual: inner.dual_residual,
             })
         }
     }

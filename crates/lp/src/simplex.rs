@@ -25,6 +25,13 @@ use crate::dense::{DenseMatrix, LuFactors};
 use crate::sparse::CscMatrix;
 use geoind_testkit::failpoint;
 
+/// Magnitude below which drift-induced negative variable values are
+/// clipped to exact zero when a solution is extracted. Consumers deriving
+/// feasibility tolerances from solver output (e.g. channel certification)
+/// must budget for truncation of this size on top of
+/// [`SimplexOptions::opt_tol`].
+pub const VALUE_CLIP: f64 = 1e-7;
+
 /// A linear program in computational standard form.
 #[derive(Debug, Clone)]
 pub struct StandardLp {
@@ -117,6 +124,10 @@ pub struct SimplexResult {
     pub iterations: usize,
     /// `‖Ax − b‖∞` at exit — a self-check on accumulated drift.
     pub residual: f64,
+    /// Worst dual-feasibility violation at exit: the most negative reduced
+    /// cost over nonbasic columns, reported as a non-negative magnitude
+    /// (0 when the exit basis prices out cleanly).
+    pub dual_residual: f64,
 }
 
 /// Identifier for a basic variable: a real column or an artificial for a row.
@@ -399,7 +410,7 @@ impl<'a> Engine<'a> {
                 self.xb = self.binv.mul_vec(&self.lp.rhs);
                 // Numerical guard: clip small negatives introduced by drift.
                 for v in &mut self.xb {
-                    if *v < 0.0 && *v > -1e-7 {
+                    if *v < 0.0 && *v > -VALUE_CLIP {
                         *v = 0.0;
                     }
                 }
@@ -502,6 +513,32 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// One iterative-refinement pass on the final basis: correct the basic
+    /// values by `xb += B⁻¹·(b − B·xb)`, shedding the drift the rank-1
+    /// inverse updates accumulated since the last refactorization. A single
+    /// pass is the standard accuracy/cost point — the correction is already
+    /// quadratically small in the drift.
+    fn refine(&mut self) {
+        let mut r = self.lp.rhs.clone();
+        for (i, &var) in self.basis.iter().enumerate() {
+            match var {
+                Basic::Col(j) => {
+                    for (row, v) in self.lp.cols.col(j) {
+                        r[row] -= v * self.xb[i];
+                    }
+                }
+                Basic::Artificial(row) => r[row] -= self.xb[i],
+            }
+        }
+        let dx = self.binv.mul_vec(&r);
+        for i in 0..self.m {
+            self.xb[i] += dx[i];
+            if self.xb[i] < 0.0 && self.xb[i] > -VALUE_CLIP {
+                self.xb[i] = 0.0;
+            }
+        }
+    }
+
     fn result(&self, status: SimplexStatus) -> SimplexResult {
         let mut x = vec![0.0; self.lp.cols.ncols()];
         for (i, &b) in self.basis.iter().enumerate() {
@@ -511,7 +548,7 @@ impl<'a> Engine<'a> {
         }
         // Clip drift-induced tiny negatives.
         for v in &mut x {
-            if *v < 0.0 && *v > -1e-7 {
+            if *v < 0.0 && *v > -VALUE_CLIP {
                 *v = 0.0;
             }
         }
@@ -525,13 +562,27 @@ impl<'a> Engine<'a> {
             residual = residual.max((lhs - self.lp.rhs[i]).abs());
         }
         let objective = x.iter().zip(&self.lp.costs).map(|(v, c)| v * c).sum();
+        let duals = self.duals(false);
+        // Worst dual-feasibility violation over nonbasic columns — one
+        // pricing-style sweep against the exit duals.
+        let mut dual_residual = 0.0f64;
+        for j in 0..self.lp.cols.ncols() {
+            if self.in_basis[j] {
+                continue;
+            }
+            let d = self.lp.costs[j] - self.lp.cols.col_dot(j, &duals);
+            if -d > dual_residual {
+                dual_residual = -d;
+            }
+        }
         SimplexResult {
             status,
             x,
-            duals: self.duals(false),
+            duals,
             objective,
             iterations: self.iterations,
             residual,
+            dual_residual,
         }
     }
 }
@@ -552,6 +603,7 @@ pub fn solve_standard(lp: &StandardLp, opts: SimplexOptions) -> SimplexResult {
     match eng.run_phase(false) {
         Some(bad) => eng.result(bad),
         None => {
+            eng.refine();
             let mut r = eng.result(SimplexStatus::Optimal);
             // Quality gate: a basis that claims optimality but cannot
             // reproduce the right-hand side is numerically suspect —

@@ -116,7 +116,9 @@ struct ServeCounters {
 }
 
 impl ServeCounters {
-    fn snapshot(&self) -> ServeReport {
+    /// Snapshot, folding in the ladder's channel-certification counters
+    /// so one report line carries the whole serving story.
+    fn snapshot(&self, ladder: &geoind_core::DegradationReport) -> ServeReport {
         ServeReport {
             served_by_tier: [
                 self.served_by_tier[0].load(Ordering::Relaxed),
@@ -127,6 +129,8 @@ impl ServeCounters {
             expired: self.expired.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             journal_faults: self.journal_faults.load(Ordering::Relaxed),
+            repaired: ladder.served_repaired,
+            quarantined: ladder.quarantined,
         }
     }
 }
@@ -144,6 +148,14 @@ pub struct ServeReport {
     pub shed: u64,
     /// Requests refused because the spend could not be journaled.
     pub journal_faults: u64,
+    /// Tier-0 serves that used at least one gate-repaired channel (a
+    /// subset of `served_by_tier[0]`, not an extra outcome — excluded
+    /// from [`Self::total`]).
+    pub repaired: u64,
+    /// Requests whose optimal descent was refused by a channel quarantine
+    /// and served by a lower tier (a subset of the degraded serves —
+    /// excluded from [`Self::total`]).
+    pub quarantined: u64,
 }
 
 impl ServeReport {
@@ -162,7 +174,7 @@ impl ServeReport {
     /// fields.
     pub fn log_line(&self) -> String {
         format!(
-            "serve total={} served={} optimal={} per-level={} flat={} refused={} expired={} shed={} journal-fault={}",
+            "serve total={} served={} optimal={} per-level={} flat={} refused={} expired={} shed={} journal-fault={} repaired={} quarantined={}",
             self.total(),
             self.served(),
             self.served_by_tier[0],
@@ -172,6 +184,8 @@ impl ServeReport {
             self.expired,
             self.shed,
             self.journal_faults,
+            self.repaired,
+            self.quarantined,
         )
     }
 }
@@ -189,10 +203,15 @@ impl std::fmt::Display for ServeReport {
             "  tiers: optimal={} per-level-laplace={} flat-laplace={}",
             self.served_by_tier[0], self.served_by_tier[1], self.served_by_tier[2]
         )?;
-        write!(
+        writeln!(
             f,
             "  refused: budget={} expired={} shed={} journal-fault={}",
             self.refused_budget, self.expired, self.shed, self.journal_faults
+        )?;
+        write!(
+            f,
+            "  certification: repaired={} quarantined={}",
+            self.repaired, self.quarantined
         )
     }
 }
@@ -296,7 +315,9 @@ impl Server {
 
     /// Counters so far.
     pub fn report(&self) -> ServeReport {
-        self.shared.counters.snapshot()
+        self.shared
+            .counters
+            .snapshot(&self.shared.mechanism.degradation_report())
     }
 
     /// Degradation counters of the underlying ladder.
@@ -345,9 +366,10 @@ impl Server {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .checkpoint();
+        let degradation = self.shared.mechanism.degradation_report();
         ShutdownOutcome {
-            report: self.shared.counters.snapshot(),
-            degradation: self.shared.mechanism.degradation_report(),
+            report: self.shared.counters.snapshot(&degradation),
+            degradation,
             checkpoint,
         }
     }
@@ -658,10 +680,12 @@ mod tests {
             expired: 3,
             shed: 2,
             journal_faults: 1,
+            repaired: 4,
+            quarantined: 1,
         };
         assert_eq!(
             report.log_line(),
-            "serve total=54 served=43 optimal=40 per-level=2 flat=1 refused=5 expired=3 shed=2 journal-fault=1"
+            "serve total=54 served=43 optimal=40 per-level=2 flat=1 refused=5 expired=3 shed=2 journal-fault=1 repaired=4 quarantined=1"
         );
         let display = report.to_string();
         assert!(display.contains("54 total"), "{display}");

@@ -60,18 +60,20 @@
 /// The named injection sites wired into the workspace, with the failure
 /// each one simulates. Kept in one place so tests can sweep all of them.
 pub const SITES: &[&str] = &[
-    "lp.refactor.singular",    // LU refactorization produces a singular basis
-    "lp.iterations.exhausted", // simplex hits its iteration budget
-    "cache.import.corrupt",    // offline channel-cache blob fails validation
-    "cache.lock.poisoned",     // in-memory channel-cache lock is poisoned
-    "alloc.budget.infeasible", // per-level budget allocation has no solution
-    "data.loader.truncated",   // check-in file ends mid-record
-    "serve.journal.append",    // ledger WAL record write fails before any byte lands
-    "serve.journal.torn",      // ledger WAL record write is cut mid-record (torn tail)
-    "serve.journal.flush",     // ledger WAL flush fails after a complete record write
-    "serve.snapshot.write",    // ledger snapshot temp-file write fails
-    "serve.snapshot.commit",   // ledger snapshot rename commit fails
-    "serve.wal.reset",         // post-snapshot fresh-WAL swap fails
+    "lp.refactor.singular",      // LU refactorization produces a singular basis
+    "lp.iterations.exhausted",   // simplex hits its iteration budget
+    "cache.import.corrupt",      // offline channel-cache blob fails validation
+    "cache.lock.poisoned",       // in-memory channel-cache lock is poisoned
+    "alloc.budget.infeasible",   // per-level budget allocation has no solution
+    "data.loader.truncated",     // check-in file ends mid-record
+    "serve.journal.append",      // ledger WAL record write fails before any byte lands
+    "serve.journal.torn",        // ledger WAL record write is cut mid-record (torn tail)
+    "serve.journal.flush",       // ledger WAL flush fails after a complete record write
+    "serve.snapshot.write",      // ledger snapshot temp-file write fails
+    "serve.snapshot.commit",     // ledger snapshot rename commit fails
+    "serve.wal.reset",           // post-snapshot fresh-WAL swap fails
+    "certify.channel.violation", // channel certification finds an ε·d constraint violation
+    "certify.repair.fail",       // post-repair re-certification still fails (quarantine)
 ];
 
 /// When an armed site fires: skip the first `skip` hits, then fire

@@ -35,7 +35,8 @@ echo "== fault injection sweep (degradation ladder stays total per armed site)"
 # drive the env-facing resilience binary. Global arming is process-wide,
 # hence the dedicated single-test binary and --test-threads=1.
 for fp in lp.refactor.singular lp.iterations.exhausted cache.import.corrupt \
-          cache.lock.poisoned alloc.budget.infeasible data.loader.truncated; do
+          cache.lock.poisoned alloc.budget.infeasible data.loader.truncated \
+          certify.channel.violation certify.repair.fail; do
     echo "   -- GEOIND_FAILPOINTS=$fp=*"
     GEOIND_FAILPOINTS="$fp=*" cargo test -q -p geoind-core --offline \
         --test resilience_env -- --test-threads=1
@@ -58,5 +59,17 @@ echo "== closed-loop serve run (seeded workload, books must balance exactly)"
 # graceful drain; any client/server count mismatch exits nonzero.
 target/release/geoind serve --self-drive 400 --users 24 --cap 1.6 \
     --eps 0.4 --g 2 --synthetic-size 5000 --workers 4 --queue 32 --seed 7
+
+echo "== doctor run (precompute a bundle, then re-certify every channel)"
+# The certification invariant end to end on the release binary: precompute
+# a fresh channel bundle, import it through the certify-on-load gate, and
+# re-certify every cached channel at the strict tolerance. Any quarantine
+# or out-of-bounds LP residual exits nonzero.
+DOCTOR_CACHE="$(mktemp /tmp/geoind-ci-cache.XXXXXX)"
+trap 'rm -f "$DOCTOR_CACHE"' EXIT
+target/release/geoind precompute --out "$DOCTOR_CACHE" \
+    --eps 0.4 --g 2 --synthetic-size 5000
+target/release/geoind doctor --cache "$DOCTOR_CACHE" \
+    --eps 0.4 --g 2 --synthetic-size 5000 --requests 64 --seed 7
 
 echo "== ci: all checks passed"

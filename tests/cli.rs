@@ -11,7 +11,7 @@ fn help_lists_commands() {
     let out = geoind().arg("help").output().expect("binary runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["protect", "eval", "audit", "precompute", "serve"] {
+    for cmd in ["protect", "eval", "audit", "precompute", "serve", "doctor"] {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
 }
@@ -117,6 +117,69 @@ fn precompute_writes_a_loadable_bundle() {
     assert!(
         !std::path::Path::new(&tmp).exists(),
         "export left its temp file behind"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn doctor_passes_on_a_healthy_cache_and_fails_on_a_corrupt_one() {
+    let path = std::env::temp_dir().join(format!("geoind-cli-doctor-{}.bin", std::process::id()));
+    let common = [
+        "--eps",
+        "0.6",
+        "--g",
+        "2",
+        "--synthetic-size",
+        "5000",
+        "--seed",
+        "7",
+    ];
+    let out = geoind()
+        .args(["precompute", "--out", path.to_str().unwrap()])
+        .args(common)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("lp residual watermark"),
+        "precompute must surface the solver residuals"
+    );
+
+    // Healthy bundle, same flags: every channel re-certifies, exit 0.
+    let out = geoind()
+        .args(["doctor", "--cache", path.to_str().unwrap()])
+        .args(common)
+        .output()
+        .expect("binary runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "doctor failed on a healthy cache:\nstdout: {text}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("# doctor: healthy"), "{text}");
+    assert!(text.contains("quarantined=0"), "{text}");
+
+    // Flip one payload byte: the import gate must refuse the bundle and
+    // doctor must exit nonzero.
+    let mut blob = std::fs::read(&path).expect("bundle written");
+    let mid = blob.len() / 2;
+    blob[mid] ^= 0x40;
+    std::fs::write(&path, &blob).expect("rewrite bundle");
+    let out = geoind()
+        .args(["doctor", "--cache", path.to_str().unwrap()])
+        .args(common)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "doctor must exit nonzero on a corrupt cache\nstdout: {}",
+        String::from_utf8_lossy(&out.stdout)
     );
     std::fs::remove_file(&path).ok();
 }
