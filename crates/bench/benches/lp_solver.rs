@@ -46,7 +46,7 @@ fn bench_paths(b: &mut Bench) {
                 ..SimplexOptions::default()
             };
             b.iter(&format!("opt_shaped_n{n}/dual_path_devex"), || {
-                black_box(model.solve_with(SolveVia::Dual, opts).unwrap())
+                black_box(model.solve_with(SolveVia::Dual, opts.clone()).unwrap())
             });
         }
         if n <= 6 {

@@ -1,0 +1,171 @@
+//! Benchmarks for the parallel precompute path and the simplex pricing
+//! rule — the two knobs behind `geoind precompute --jobs`.
+//!
+//! ```text
+//! bench_precompute precompute --g 4 --height 3 --eps 0.5 --jobs-max 4
+//! bench_precompute pricing --grids 6,8,10 --eps 0.5
+//! ```
+//!
+//! `precompute` runs the four-cell grid {jobs 1, jobs max} × {cold, warm}
+//! over a fresh mechanism each time (cold channel cache) and emits one
+//! JSON object on stdout — `scripts/bench.sh` redirects it into
+//! `BENCH_precompute.json`. The headline `speedup` compares the old
+//! sequential cold implementation (jobs=1, cold) against the full new
+//! path (jobs=max, warm-started), so it reflects what a user upgrading
+//! actually gets; `pivot_reduction` isolates the warm-start effect at
+//! jobs=1, where scheduling cannot contribute.
+//!
+//! `pricing` solves a single OPT dual per grid size with Dantzig and
+//! with Devex pricing and prints a markdown table of pivot counts — the
+//! evidence behind `SimplexOptions::default().pricing`.
+
+use geoind_core::alloc::AllocationStrategy;
+use geoind_core::metrics::QualityMetric;
+use geoind_core::msm::MsmMechanism;
+use geoind_core::opt::{OptOptions, OptimalMechanism};
+use geoind_data::prior::GridPrior;
+use geoind_lp::simplex::Pricing;
+use geoind_spatial::geom::BBox;
+use geoind_spatial::grid::Grid;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("precompute");
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    match mode {
+        "precompute" => {
+            let g: u32 = flag("--g").and_then(|v| v.parse().ok()).unwrap_or(4);
+            let height: u32 = flag("--height").and_then(|v| v.parse().ok()).unwrap_or(3);
+            let eps: f64 = flag("--eps").and_then(|v| v.parse().ok()).unwrap_or(0.5);
+            let jobs_max: usize = flag("--jobs-max")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+                .max(1);
+            let max_nodes: usize = flag("--max-nodes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(usize::MAX);
+            bench_precompute(g, height, eps, jobs_max, max_nodes);
+        }
+        "pricing" => {
+            let grids: Vec<u32> = flag("--grids")
+                .unwrap_or_else(|| "6,8".into())
+                .split(',')
+                .filter_map(|v| v.trim().parse().ok())
+                .collect();
+            let eps: f64 = flag("--eps").and_then(|v| v.parse().ok()).unwrap_or(0.5);
+            bench_pricing(&grids, eps);
+        }
+        other => {
+            eprintln!("unknown mode '{other}' (expected precompute|pricing)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// A deterministic, mildly non-uniform, strictly positive prior on a
+/// `g × g` grid: siblings get distinct LPs (a uniform prior would make
+/// every sibling channel identical and the warm start trivially
+/// perfect), while positive mass everywhere keeps the LPs well-posed.
+fn skewed_prior(domain: BBox, g: u32) -> GridPrior {
+    let cells = (g as usize) * (g as usize);
+    let weights: Vec<f64> = (0..cells)
+        .map(|i| 1.0 + ((i * 37) % 101) as f64 / 25.0)
+        .collect();
+    GridPrior::from_weights(Grid::new(domain, g), weights)
+}
+
+fn build(g: u32, height: u32, eps: f64) -> MsmMechanism {
+    let domain = BBox::square(16.0);
+    // Prior at leaf resolution (g^height per side): strictly positive in
+    // every cell the tree can condition on, so no node LP degenerates.
+    MsmMechanism::builder(domain, skewed_prior(domain, g.pow(height)))
+        .epsilon(eps)
+        .granularity(g)
+        .strategy(AllocationStrategy::FixedHeight(height))
+        .build()
+        .expect("benchmark configuration must build")
+}
+
+fn bench_precompute(g: u32, height: u32, eps: f64, jobs_max: usize, max_nodes: usize) {
+    let mut cells = Vec::new();
+    let mut lookup = |jobs: usize, warm: bool| -> (f64, u64) {
+        let msm = build(g, height, eps);
+        let start = Instant::now();
+        let nodes = msm
+            .precompute_opts(max_nodes, jobs, warm)
+            .expect("benchmark precompute must succeed");
+        let wall = start.elapsed().as_secs_f64();
+        let pivots = msm.lp_pivot_count();
+        eprintln!("# jobs={jobs} warm={warm}: {nodes} nodes, {wall:.3}s, {pivots} pivots");
+        cells.push(format!(
+            "    {{\"jobs\": {jobs}, \"warm\": {warm}, \"nodes\": {nodes}, \
+             \"wall_s\": {wall:.6}, \"pivots\": {pivots}}}"
+        ));
+        (wall, pivots)
+    };
+    let (wall_seq_cold, pivots_cold) = lookup(1, false);
+    let (_, pivots_warm) = lookup(1, true);
+    let (_, _) = lookup(jobs_max, false);
+    let (wall_par_warm, _) = lookup(jobs_max, true);
+
+    let speedup = wall_seq_cold / wall_par_warm.max(1e-12);
+    let pivot_reduction = if pivots_cold > 0 {
+        1.0 - pivots_warm as f64 / pivots_cold as f64
+    } else {
+        0.0
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "{{\n  \"bench\": \"precompute\",\n  \"g\": {g},\n  \"height\": {height},\n  \
+         \"eps\": {eps},\n  \"cores\": {cores},\n  \"jobs_max\": {jobs_max},\n  \
+         \"cells\": [\n{}\n  ],\n  \
+         \"speedup\": {speedup:.4},\n  \"pivot_reduction\": {pivot_reduction:.4}\n}}",
+        cells.join(",\n")
+    );
+}
+
+fn bench_pricing(grids: &[u32], eps: f64) {
+    println!(
+        "| grid | locations | dual rows | Dantzig pivots | Devex pivots | Dantzig s | Devex s |"
+    );
+    println!(
+        "|------|-----------|-----------|----------------|--------------|-----------|---------|"
+    );
+    for &g in grids {
+        let domain = BBox::square(16.0);
+        let grid = Grid::new(domain, g);
+        let prior = skewed_prior(domain, g);
+        let mut row = vec![
+            format!("{g}x{g}"),
+            format!("{}", g * g),
+            format!("{}", (g as usize * g as usize).pow(2)),
+        ];
+        let mut cells = Vec::new();
+        for pricing in [Pricing::Dantzig, Pricing::Devex] {
+            let mut opts = OptOptions::default();
+            opts.simplex.pricing = pricing;
+            let start = Instant::now();
+            let opt = OptimalMechanism::solve_with(
+                eps,
+                &grid.centers(),
+                prior.probs(),
+                QualityMetric::Euclidean,
+                opts,
+            )
+            .expect("pricing benchmark solve must succeed");
+            let wall = start.elapsed().as_secs_f64();
+            cells.push((opt.stats().iterations, wall));
+        }
+        row.push(format!("{}", cells[0].0));
+        row.push(format!("{}", cells[1].0));
+        row.push(format!("{:.2}", cells[0].1));
+        row.push(format!("{:.2}", cells[1].1));
+        println!("| {} |", row.join(" | "));
+    }
+}

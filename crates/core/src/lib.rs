@@ -32,6 +32,7 @@
 pub mod adversary;
 pub mod alloc;
 pub mod audit;
+pub(crate) mod cache;
 pub mod certify;
 pub mod channel;
 pub mod eval;

@@ -18,20 +18,21 @@
 //! pays each LP once.
 
 use crate::alloc::{AllocationStrategy, BudgetAllocator, LevelBudgets};
+use crate::cache::ShardedCache;
 use crate::certify::{Certificate, Verdict};
 use crate::channel::Channel;
 use crate::metrics::QualityMetric;
 use crate::opt::{OptOptions, OptimalMechanism};
 use crate::{Mechanism, MechanismError};
 use geoind_data::prior::GridPrior;
+use geoind_lp::simplex::Basis;
 use geoind_rng::Rng;
 use geoind_spatial::geom::{BBox, Point};
 use geoind_spatial::grid::Grid;
 use geoind_spatial::hier::{HierGrid, LevelCell};
-use geoind_testkit::failpoint;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::sync::{Mutex, PoisonError, RwLock};
+use std::sync::{Mutex, PoisonError};
 
 /// Builder for [`MsmMechanism`].
 #[derive(Debug, Clone)]
@@ -130,8 +131,9 @@ impl MsmBuilder {
             rho: self.rho,
             opt_options: self.opt_options,
             caching: self.caching,
-            cache: RwLock::new(HashMap::new()),
+            cache: ShardedCache::new("msm channel cache"),
             residual_watermark: Mutex::new((0.0, 0.0)),
+            pivot_count: AtomicU64::new(0),
         })
     }
 }
@@ -175,10 +177,16 @@ pub struct MsmMechanism {
     rho: f64,
     opt_options: OptOptions,
     caching: bool,
-    cache: RwLock<HashMap<LevelCell, Arc<Channel>>>,
+    /// Per-node channel memo: sharded by FNV over the cell key, with
+    /// single-flight fills so concurrent misses of the same node run one
+    /// LP solve (and one admission gate) between them.
+    cache: ShardedCache<LevelCell, Channel>,
     /// Worst (primal, dual) LP residual seen across per-node solves —
     /// surfaced by `geoind precompute` and `geoind doctor`.
     residual_watermark: Mutex<(f64, f64)>,
+    /// Total simplex pivots across per-node solves — the benchmark
+    /// harness reads this to quantify what warm starts save.
+    pivot_count: AtomicU64,
 }
 
 impl MsmMechanism {
@@ -240,26 +248,44 @@ impl MsmMechanism {
 
     /// Number of per-node channels currently memoized.
     pub fn cached_channels(&self) -> usize {
-        self.cache
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
+        self.cache.len()
     }
 
     /// Drop all memoized channels.
     pub fn clear_cache(&self) {
-        self.cache
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clear();
+        self.cache.clear();
+    }
+
+    /// Duplicate channel fills suppressed by the cache's single-flight
+    /// discipline: each count is a concurrent fetch that would have paid a
+    /// redundant LP solve under a plain read/solve/insert cache and was
+    /// instead handed the winner's admitted channel.
+    pub fn dedup_suppressed(&self) -> u64 {
+        self.cache.dedup_suppressed()
     }
 
     /// Internal accessors for the offline precompute/persistence module.
-    pub(crate) fn channel_for_offline(
+    ///
+    /// One gated, cached, optionally warm-started per-node solve through
+    /// the regular single-flight path. The `basis_out` side channel
+    /// captures the solve's exit basis only when this call actually ran
+    /// the fill (a cache hit or a racing filler leaves it `None`).
+    pub(crate) fn cache_fill_warm(
         &self,
-        parent: LevelCell,
+        cell: LevelCell,
+        warm: Option<&Basis>,
+        basis_out: &mut Option<Basis>,
     ) -> Result<Arc<Channel>, MechanismError> {
-        self.try_channel_for(parent)
+        if !self.caching {
+            let (ch, basis) = self.build_channel_warm(cell, warm)?;
+            *basis_out = Some(basis);
+            return Ok(Arc::new(ch));
+        }
+        self.cache.get_or_fill(cell, || {
+            let (ch, basis) = self.build_channel_warm(cell, warm)?;
+            *basis_out = Some(basis);
+            Ok(ch)
+        })
     }
 
     pub(crate) fn children_of(&self, parent: LevelCell) -> Vec<LevelCell> {
@@ -271,22 +297,17 @@ impl MsmMechanism {
     }
 
     pub(crate) fn cache_snapshot(&self) -> Vec<(LevelCell, Arc<Channel>)> {
-        let mut v: Vec<(LevelCell, Arc<Channel>)> = self
-            .cache
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .iter()
-            .map(|(k, c)| (*k, Arc::clone(c)))
-            .collect();
+        let mut v = self.cache.entries();
         v.sort_by_key(|(c, _)| (c.level, c.id));
         v
     }
 
     pub(crate) fn cache_insert(&self, cell: LevelCell, channel: Arc<Channel>) {
-        self.cache
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(cell, channel);
+        self.cache.insert(cell, channel);
+    }
+
+    pub(crate) fn cache_get(&self, cell: LevelCell) -> Option<Arc<Channel>> {
+        self.cache.get(&cell)
     }
 
     /// The optimal channel over the children of `parent` (level
@@ -308,46 +329,34 @@ impl MsmMechanism {
     /// longer be trusted); any [`MechanismError`] from the per-node OPT
     /// solve.
     pub fn try_channel_for(&self, parent: LevelCell) -> Result<Arc<Channel>, MechanismError> {
-        if self.caching {
-            if let Some(c) = self.lock_read()?.get(&parent) {
-                return Ok(Arc::clone(c));
-            }
-        }
-        let built = Arc::new(self.build_channel(parent)?);
-        if self.caching {
-            self.lock_write()?.insert(parent, Arc::clone(&built));
-        }
-        Ok(built)
-    }
-
-    fn lock_read(
-        &self,
-    ) -> Result<std::sync::RwLockReadGuard<'_, HashMap<LevelCell, Arc<Channel>>>, MechanismError>
-    {
-        if failpoint::hit("cache.lock.poisoned") {
-            return Err(MechanismError::LockPoisoned("msm channel cache"));
+        if !self.caching {
+            // Ablation path: no cache, no single-flight, a fresh gated
+            // solve per fetch — and no `cache.lock.poisoned` exposure,
+            // since no shared cache state is touched.
+            return Ok(Arc::new(self.build_channel(parent)?));
         }
         self.cache
-            .read()
-            .map_err(|_| MechanismError::LockPoisoned("msm channel cache"))
-    }
-
-    fn lock_write(
-        &self,
-    ) -> Result<std::sync::RwLockWriteGuard<'_, HashMap<LevelCell, Arc<Channel>>>, MechanismError>
-    {
-        if failpoint::hit("cache.lock.poisoned") {
-            return Err(MechanismError::LockPoisoned("msm channel cache"));
-        }
-        self.cache
-            .write()
-            .map_err(|_| MechanismError::LockPoisoned("msm channel cache"))
+            .get_or_fill(parent, || self.build_channel(parent))
     }
 
     /// Solve the per-node OPT: `g²` child-cell centers, the global prior
     /// restricted to the node and renormalized (uniform when the node has
     /// zero mass), and the level budget.
     fn build_channel(&self, parent: LevelCell) -> Result<Channel, MechanismError> {
+        self.build_channel_warm(parent, None).map(|(ch, _)| ch)
+    }
+
+    /// [`Self::build_channel`] with an optional warm-start basis from a
+    /// sibling node's solve; also returns the exit basis so the parallel
+    /// precompute can seed the rest of the level. Warm starting changes
+    /// pivot counts, never the admitted channel: the engine falls back to
+    /// a cold start on any mismatch and both paths exit at the same
+    /// (deterministic) optimum, behind the same admission gate.
+    pub(crate) fn build_channel_warm(
+        &self,
+        parent: LevelCell,
+        warm: Option<&Basis>,
+    ) -> Result<(Channel, Basis), MechanismError> {
         let children = self.hier.children(parent);
         let centers: Vec<Point> = children.iter().map(|c| self.hier.center(*c)).collect();
         let extents: Vec<BBox> = children.iter().map(|c| self.hier.extent(*c)).collect();
@@ -358,9 +367,12 @@ impl MsmMechanism {
         }
         let level = parent.level + 1;
         let eps_i = self.budgets.level(level);
-        let opt =
-            OptimalMechanism::solve_with(eps_i, &centers, &masses, self.metric, self.opt_options)?;
+        let mut opts = self.opt_options.clone();
+        opts.simplex.start_basis = warm.cloned();
+        let opt = OptimalMechanism::solve_with(eps_i, &centers, &masses, self.metric, opts)?;
         let stats = opt.stats();
+        self.pivot_count
+            .fetch_add(stats.iterations as u64, Ordering::Relaxed);
         {
             let mut w = self
                 .residual_watermark
@@ -369,7 +381,15 @@ impl MsmMechanism {
             w.0 = w.0.max(stats.primal_residual);
             w.1 = w.1.max(stats.dual_residual);
         }
-        Ok(opt.channel().clone())
+        Ok((opt.channel().clone(), opt.basis().clone()))
+    }
+
+    /// Total simplex pivots performed across all per-node LP solves so
+    /// far. The benchmark harness compares this between cold and
+    /// warm-started precompute runs; warm starts change this number,
+    /// never the admitted channels.
+    pub fn lp_pivot_count(&self) -> u64 {
+        self.pivot_count.load(Ordering::Relaxed)
     }
 
     /// Worst `(primal, dual)` LP residual observed across all per-node
@@ -716,6 +736,54 @@ mod tests {
                 .build(),
             Err(MechanismError::BadParameter(_))
         ));
+    }
+
+    #[test]
+    fn warm_started_channel_matches_cold_within_strict_tolerance() {
+        // The donor-first schedule seeds every sibling solve with the
+        // donor's exit basis. Warm starting may change the pivot path,
+        // but the admitted channel must agree with a cold solve of the
+        // same node within certify's strict tolerance, and must carry a
+        // passing certificate — warm starts save work, never guarantees.
+        let domain = BBox::square(8.0);
+        let pts = (0..40).map(|i| {
+            Point::new(
+                0.3 + 7.4 * ((i * 13 % 40) as f64 / 40.0),
+                0.3 + 7.4 * ((i * 29 % 40) as f64 / 40.0),
+            )
+        });
+        let prior = GridPrior::from_points(domain, 8, pts);
+        let msm = MsmMechanism::builder(domain, prior)
+            .epsilon(0.8)
+            .granularity(2)
+            .strategy(AllocationStrategy::FixedHeight(3))
+            .build()
+            .unwrap();
+        // Siblings live one level down from the root; the donor is the
+        // lowest cell index, exactly as the precompute schedule picks it.
+        let level1 = msm.children_of(LevelCell::ROOT);
+        assert!(level1.len() >= 2, "need siblings at level 1");
+        let donor = level1[0];
+        let (_, donor_basis) = msm.build_channel_warm(donor, None).unwrap();
+        for &sibling in &level1[1..] {
+            let (cold, _) = msm.build_channel_warm(sibling, None).unwrap();
+            let (warm, _) = msm.build_channel_warm(sibling, Some(&donor_basis)).unwrap();
+            let cert = warm.certificate().expect("admitted channels are certified");
+            assert!(
+                cert.passes(),
+                "warm-started channel failed admission: {cert:?}"
+            );
+            let tol = crate::certify::strict_tolerance(cold.num_inputs(), cold.num_outputs());
+            for x in 0..cold.num_inputs() {
+                for z in 0..cold.num_outputs() {
+                    let (c, w) = (cold.prob(x, z), warm.prob(x, z));
+                    assert!(
+                        (c - w).abs() <= tol,
+                        "warm vs cold diverged at ({x},{z}): {c} vs {w} (tol {tol:.3e})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

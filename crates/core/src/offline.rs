@@ -55,9 +55,11 @@ use crate::certify::{self, Certificate, Verdict};
 use crate::channel::Channel;
 use crate::msm::MsmMechanism;
 use crate::MechanismError;
+use geoind_lp::simplex::Basis;
 use geoind_spatial::geom::Point;
 use geoind_spatial::hier::LevelCell;
 use geoind_testkit::failpoint;
+use geoind_testkit::pool::Pool;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
@@ -101,24 +103,91 @@ impl MsmMechanism {
     /// Eagerly solve the channels of every internal index node, breadth
     /// first, up to `max_nodes` (the full tree has
     /// `(g^{2h} − 1)/(g² − 1)` internal nodes). Returns how many channels
-    /// the cache now holds.
+    /// the cache now holds. Equivalent to [`Self::precompute_jobs`] with
+    /// one worker.
     ///
     /// # Errors
     /// Any [`MechanismError`] raised while building a per-node channel;
     /// channels built before the failure stay cached.
     pub fn precompute(&self, max_nodes: usize) -> Result<usize, MechanismError> {
-        let mut frontier = vec![LevelCell::ROOT];
-        let mut visited = 0usize;
-        while let Some(cell) = frontier.pop() {
-            if visited >= max_nodes {
-                break;
+        self.precompute_jobs(max_nodes, 1)
+    }
+
+    /// [`Self::precompute`] with the per-node LP solves of each level
+    /// fanned out over `jobs` scoped worker threads.
+    ///
+    /// The schedule is deterministic and *jobs-independent*: the node set
+    /// is the breadth-first prefix of the tree (each level in ascending
+    /// cell order) capped at `max_nodes`, and within each level one
+    /// canonical **donor** node — the missing node with the lowest cell
+    /// index, never "whichever thread finished first" — is solved first.
+    /// Its exit basis warm-starts every sibling solve on that level: the
+    /// siblings' LPs share the donor's constraint matrix and costs (the
+    /// prior only moves the right-hand side), so the dual simplex
+    /// typically restores feasibility in a fraction of a cold solve's
+    /// pivots. Each sibling's result is a pure function of its LP and the
+    /// donor basis, so the cache contents — and the bytes
+    /// [`Self::export_cache`] writes — are bit-identical at any `jobs`.
+    ///
+    /// Every fill runs through the same single-flight cache path as
+    /// on-demand descents: the certify→repair→admit gate runs exactly
+    /// once per channel, and failed solves are never cached.
+    ///
+    /// # Errors
+    /// Any [`MechanismError`] raised while building a per-node channel
+    /// (the first in breadth-first order when several workers fail);
+    /// channels built before the failure stay cached.
+    pub fn precompute_jobs(&self, max_nodes: usize, jobs: usize) -> Result<usize, MechanismError> {
+        self.precompute_opts(max_nodes, jobs, true)
+    }
+
+    /// [`Self::precompute_jobs`] with warm starts optionally disabled
+    /// (`warm_start: false` solves every node cold). The cold mode exists
+    /// for the benchmark harness — it quantifies exactly what the donor
+    /// basis saves — and for diagnosing a suspected warm-start miss;
+    /// production callers want `precompute_jobs`.
+    ///
+    /// # Errors
+    /// As [`Self::precompute_jobs`].
+    pub fn precompute_opts(
+        &self,
+        max_nodes: usize,
+        jobs: usize,
+        warm_start: bool,
+    ) -> Result<usize, MechanismError> {
+        let pool = Pool::new(jobs);
+        let mut budget = max_nodes;
+        let mut level_nodes = vec![LevelCell::ROOT];
+        while !level_nodes.is_empty() && budget > 0 {
+            let take: Vec<LevelCell> = level_nodes.iter().copied().take(budget).collect();
+            budget -= take.len();
+            let missing: Vec<LevelCell> = take
+                .iter()
+                .copied()
+                .filter(|c| self.cache_get(*c).is_none())
+                .collect();
+            if let Some(&donor) = missing.first() {
+                // Canonical donor: the lowest-index missing node. Solved
+                // cold (levels differ in ε and scale, so cross-level
+                // bases rarely transfer), capturing its exit basis.
+                let mut donor_basis: Option<Basis> = None;
+                let _ = self.cache_fill_warm(donor, None, &mut donor_basis)?;
+                let siblings: Vec<LevelCell> = missing[1..].to_vec();
+                let seed = if warm_start {
+                    donor_basis.as_ref()
+                } else {
+                    None
+                };
+                let results = pool.map(siblings, |cell| {
+                    self.cache_fill_warm(cell, seed, &mut None).map(|_| ())
+                });
+                // Surface the first failure in canonical node order;
+                // successes published through the cache stay cached.
+                if let Some(err) = results.into_iter().find_map(Result::err) {
+                    return Err(err);
+                }
             }
-            // channel_for caches internally.
-            let _ = self.channel_for_offline(cell)?;
-            visited += 1;
-            if cell.level + 1 < self.height() {
-                frontier.extend(self.children_of(cell));
-            }
+            level_nodes = next_internal_level(self, &level_nodes);
         }
         Ok(self.cached_channels())
     }
@@ -371,6 +440,19 @@ impl MsmMechanism {
             Channel::new(pts[..n].to_vec(), pts[n..].to_vec(), probs),
         ))
     }
+}
+
+/// The internal nodes one level below `nodes`, in ascending cell order
+/// (the canonical within-level schedule for the parallel precompute).
+fn next_internal_level(msm: &MsmMechanism, nodes: &[LevelCell]) -> Vec<LevelCell> {
+    let mut next = Vec::new();
+    for &cell in nodes {
+        if cell.level + 1 < msm.height() {
+            next.extend(msm.children_of(cell));
+        }
+    }
+    next.sort_by_key(|c| c.id);
+    next
 }
 
 fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {

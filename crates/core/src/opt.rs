@@ -16,7 +16,7 @@ use crate::spanner::Spanner;
 use crate::{Mechanism, MechanismError};
 use geoind_data::prior::GridPrior;
 use geoind_lp::model::{Model, Op, Sense, SolveVia};
-use geoind_lp::simplex::SimplexOptions;
+use geoind_lp::simplex::{Basis, SimplexOptions};
 use geoind_rng::Rng;
 use geoind_spatial::geom::Point;
 use geoind_spatial::grid::Grid;
@@ -37,7 +37,7 @@ pub enum ConstraintSet {
 }
 
 /// Options for [`OptimalMechanism::solve_with`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct OptOptions {
     /// LP path; `Dual` is right for every non-trivial size.
     pub via: SolveVia,
@@ -82,6 +82,7 @@ pub struct OptimalMechanism {
     channel: Channel,
     snapper: KdTree,
     stats: SolveStats,
+    basis: Basis,
 }
 
 impl OptimalMechanism {
@@ -211,6 +212,7 @@ impl OptimalMechanism {
 
         let stats_rows = model.num_rows();
         let stats_cols = model.num_vars();
+        let solver_slack = opts.simplex.opt_tol;
         let sol = model.solve_with(opts.via, opts.simplex)?;
         // Mandatory admission gate: certify the raw simplex optimum against
         // the solve-time constraint set, lift it back onto the exact GeoInd
@@ -221,7 +223,7 @@ impl OptimalMechanism {
         let spec = crate::certify::CertifySpec {
             eps,
             constraints: opts.constraints,
-            solver_slack: opts.simplex.opt_tol,
+            solver_slack,
         };
         let channel = crate::certify::admit(
             Channel::new(locations.to_vec(), locations.to_vec(), sol.values),
@@ -241,6 +243,7 @@ impl OptimalMechanism {
                 primal_residual: sol.residual,
                 dual_residual: sol.dual_residual,
             },
+            basis: sol.basis,
         })
     }
 
@@ -262,6 +265,17 @@ impl OptimalMechanism {
     /// LP size/effort statistics.
     pub fn stats(&self) -> SolveStats {
         self.stats
+    }
+
+    /// The optimal basis the solve exited with, in the standard-form
+    /// column space of the formulation that actually ran (the dual, for
+    /// the default [`SolveVia::Dual`] path). Feed it to a later solve via
+    /// [`SimplexOptions::start_basis`] to warm-start a structurally
+    /// identical LP — e.g. the sibling node of a hierarchical index, whose
+    /// constraint matrix is the same and only the prior-dependent
+    /// right-hand side differs.
+    pub fn basis(&self) -> &Basis {
+        &self.basis
     }
 
     /// Expected loss under a prior (defaults to the training objective when

@@ -176,6 +176,11 @@ pub struct DegradationReport {
     /// Each such request was served by a closed-form lower tier instead —
     /// a subset of `degraded()`.
     pub quarantined: u64,
+    /// Duplicate channel fills suppressed by the cache's single-flight
+    /// discipline: concurrent misses of one node that were handed the
+    /// winning solve's channel instead of each paying a redundant LP
+    /// solve (see [`crate::MsmMechanism::dedup_suppressed`]).
+    pub dedup_suppressed: u64,
     /// Human-readable cause of the most recent degradation, if any.
     pub last_fault: Option<String>,
 }
@@ -197,7 +202,7 @@ impl DegradationReport {
     pub fn log_line(&self) -> String {
         format!(
             "degradation optimal={} per-level={} flat={} total={} degraded={} \
-             repaired={} quarantined={}",
+             repaired={} quarantined={} dedup={}",
             self.served_by_tier[0],
             self.served_by_tier[1],
             self.served_by_tier[2],
@@ -205,6 +210,7 @@ impl DegradationReport {
             self.degraded(),
             self.served_repaired,
             self.quarantined,
+            self.dedup_suppressed,
         )
     }
 }
@@ -222,8 +228,9 @@ impl std::fmt::Display for DegradationReport {
         write!(f, "#   total: {}", self.total())?;
         write!(
             f,
-            "\n#   served via repaired channels: {}\n#   quarantined: {}",
-            self.served_repaired, self.quarantined
+            "\n#   served via repaired channels: {}\n#   quarantined: {}\
+             \n#   duplicate fills suppressed: {}",
+            self.served_repaired, self.quarantined, self.dedup_suppressed
         )?;
         if let Some(fault) = &self.last_fault {
             write!(f, "\n#   last fault: {fault}")?;
@@ -352,6 +359,7 @@ impl ResilientMechanism {
             served_by_tier: self.served_by_tier(),
             served_repaired: self.served_repaired(),
             quarantined: self.quarantined(),
+            dedup_suppressed: self.msm.dedup_suppressed(),
             last_fault: self
                 .last_fault
                 .lock()
@@ -550,12 +558,13 @@ mod tests {
             served_by_tier: [40, 2, 1],
             served_repaired: 5,
             quarantined: 1,
+            dedup_suppressed: 2,
             last_fault: Some("irrelevant to the log line".into()),
         };
         assert_eq!(
             report.log_line(),
             "degradation optimal=40 per-level=2 flat=1 total=43 degraded=3 \
-             repaired=5 quarantined=1"
+             repaired=5 quarantined=1 dedup=2"
         );
         assert!(
             !report.log_line().contains('\n'),

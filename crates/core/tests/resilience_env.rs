@@ -65,6 +65,39 @@ fn env_armed_faults_never_break_totality() {
         }
     }
 
+    // Parallel precompute under the same fault, at the worker count the
+    // sweep requests (GEOIND_JOBS, default 1). The fan-out must stay as
+    // total as the serving path: construction and precompute either
+    // succeed or return a typed error — never a panic, never a poisoned
+    // cache. Re-arm so the earlier section's consumed counts don't make
+    // this a no-op for count-based specs.
+    let jobs = std::env::var("GEOIND_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+    let re_armed = failpoint::arm_from_env().expect("GEOIND_FAILPOINTS must parse");
+    if re_armed == 0 {
+        failpoint::arm_global("lp.refactor.singular", failpoint::FailSpec::times(1));
+    }
+    match try_resilient() {
+        Err(e) => assert!(
+            matches!(e, MechanismError::AllocationFailed(_)),
+            "unexpected construction failure: {e:?}"
+        ),
+        Ok(r) => match r.msm().precompute_jobs(16, jobs) {
+            Ok(n) => assert_eq!(
+                n,
+                r.msm().cached_channels(),
+                "precompute must cache every node it reports"
+            ),
+            // Any typed error is acceptable under an armed fault; the
+            // successes that landed before it must still be cached (the
+            // cache never holds a failed solve).
+            Err(_) => assert!(r.msm().cached_channels() <= 16),
+        },
+    }
+
     // Disarming restores exclusive tier-0 service.
     failpoint::reset_global();
     let healthy = try_resilient().expect("construction must succeed once disarmed");

@@ -99,6 +99,7 @@ pub fn solve_via_dual(primal: &Model, opts: SimplexOptions) -> Result<Solution, 
             iterations: sol.iterations,
             residual: sol.residual,
             dual_residual: sol.dual_residual,
+            basis: sol.basis,
         });
     }
     let dualized = dualize_min(primal);
@@ -124,6 +125,8 @@ pub fn solve_via_dual(primal: &Model, opts: SimplexOptions) -> Result<Solution, 
     // The recovered primal values are the dual solve's row duals, so their
     // feasibility is governed by the dual solve's *dual* residual (and vice
     // versa): swap the two so the caller reads them in primal terms.
+    // The basis travels in the dual's standard-form space: a sibling model
+    // dualized the same way produces the same shape, so it round-trips.
     Ok(Solution {
         objective: dual_sol.objective,
         values,
@@ -131,6 +134,7 @@ pub fn solve_via_dual(primal: &Model, opts: SimplexOptions) -> Result<Solution, 
         iterations: dual_sol.iterations,
         residual: dual_sol.dual_residual,
         dual_residual: dual_sol.residual,
+        basis: dual_sol.basis,
     })
 }
 

@@ -61,7 +61,7 @@ pub mod sparse;
 pub mod tableau;
 
 pub use model::{Model, Op, Sense, Solution, SolveVia, VarDomain};
-pub use simplex::{Pricing, SimplexOptions, SimplexStatus};
+pub use simplex::{Basis, Pricing, SimplexOptions, SimplexStatus};
 pub use sparse::CscMatrix;
 
 /// Errors surfaced by the solvers.

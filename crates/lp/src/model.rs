@@ -6,7 +6,7 @@
 //! [`SolveVia`]), and maps the answer back.
 
 use crate::dual::solve_via_dual;
-use crate::simplex::{solve_standard, SimplexOptions, SimplexStatus, StandardLp};
+use crate::simplex::{solve_standard, Basis, SimplexOptions, SimplexStatus, StandardLp};
 use crate::sparse::CscBuilder;
 use crate::LpError;
 
@@ -89,6 +89,12 @@ pub struct Solution {
     /// residuals are swapped so both always describe *this* model's
     /// primal/dual feasibility.
     pub dual_residual: f64,
+    /// The engine's final basis, in the standard-form space of whatever
+    /// formulation actually ran (the dual's on the [`SolveVia::Dual`]
+    /// path). Feed it back through [`SimplexOptions::start_basis`] to
+    /// warm-start a solve of a structurally identical model taken through
+    /// the same path; on any mismatch the engine cold-starts.
+    pub basis: Basis,
 }
 
 impl Model {
@@ -235,6 +241,7 @@ impl Model {
             iterations: res.iterations,
             residual: res.residual,
             dual_residual: res.dual_residual,
+            basis: res.basis,
         })
     }
 

@@ -209,6 +209,7 @@ pub fn presolve_and_solve(
             iterations: 0,
             residual: 0.0,
             dual_residual: 0.0,
+            basis: crate::simplex::Basis::empty(),
         }),
         Presolved::Reduced(red) => {
             let inner = red.model.solve_with(via, opts)?;
@@ -226,6 +227,9 @@ pub fn presolve_and_solve(
                     duals[orig] = inner.duals[*mi];
                 }
             }
+            // The basis lives in the *reduced* model's standard-form space;
+            // structurally identical models presolve identically, so it
+            // still round-trips between siblings.
             Ok(Solution {
                 objective: inner.objective + red.fixed_objective,
                 values,
@@ -233,6 +237,7 @@ pub fn presolve_and_solve(
                 iterations: inner.iterations,
                 residual: inner.residual,
                 dual_residual: inner.dual_residual,
+                basis: inner.basis,
             })
         }
     }

@@ -56,8 +56,40 @@ pub enum Pricing {
     Devex,
 }
 
+/// An optimal basis exported from a finished solve, reusable to warm-start
+/// a later solve of a structurally identical LP (same constraint matrix and
+/// costs, different right-hand side — the classic dual-simplex restart).
+///
+/// The representation is positional in the *standard-form* column space the
+/// engine actually pivoted in: entry `i` names the column basic in row `i`,
+/// or `None` where an artificial variable stayed basic (redundant rows).
+/// A basis only round-trips between solves whose standard forms share the
+/// same shape; the engine validates this and silently falls back to a cold
+/// start on any mismatch, so a stale basis can never corrupt a solve.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Basis {
+    rows: Vec<Option<usize>>,
+}
+
+impl Basis {
+    /// An empty basis: never matches any LP, so it always cold-starts.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows this basis was exported from (0 for an empty basis).
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the basis carries no row assignments.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
 /// Tuning knobs for the simplex engine.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimplexOptions {
     /// Hard cap on pivots across both phases.
     pub max_iterations: usize,
@@ -76,6 +108,13 @@ pub struct SimplexOptions {
     /// [`SimplexStatus::SingularBasis`] instead of being reported as a
     /// trustworthy optimum.
     pub residual_tol: f64,
+    /// Optional warm-start basis from a previous solve of a structurally
+    /// identical LP. When it is shape-compatible, factorizable, and
+    /// dual-feasible for this LP's costs, the engine restores primal
+    /// feasibility with dual-simplex pivots instead of solving from
+    /// scratch; on any mismatch it falls back to a cold start, so the
+    /// result is identical in status and always a true optimum.
+    pub start_basis: Option<Basis>,
 }
 
 impl Default for SimplexOptions {
@@ -88,6 +127,7 @@ impl Default for SimplexOptions {
             stall_limit: 2_000,
             pricing: Pricing::Dantzig,
             residual_tol: 1e-6,
+            start_basis: None,
         }
     }
 }
@@ -128,6 +168,10 @@ pub struct SimplexResult {
     /// cost over nonbasic columns, reported as a non-negative magnitude
     /// (0 when the exit basis prices out cleanly).
     pub dual_residual: f64,
+    /// The final basis, exportable as [`SimplexOptions::start_basis`] for a
+    /// warm-started solve of a structurally identical LP. Only meaningful
+    /// when the run ended [`SimplexStatus::Optimal`].
+    pub basis: Basis,
 }
 
 /// Identifier for a basic variable: a real column or an artificial for a row.
@@ -190,6 +234,11 @@ impl<'a> Engine<'a> {
                 None => Basic::Artificial(r),
             })
             .collect();
+        let devex = if opts.pricing == Pricing::Devex {
+            vec![1.0; lp.cols.ncols()]
+        } else {
+            Vec::new()
+        };
         Self {
             lp,
             opts,
@@ -201,11 +250,7 @@ impl<'a> Engine<'a> {
             iterations: 0,
             pivots_since_refactor: 0,
             singular: false,
-            devex: if opts.pricing == Pricing::Devex {
-                vec![1.0; lp.cols.ncols()]
-            } else {
-                Vec::new()
-            },
+            devex,
         }
     }
 
@@ -480,6 +525,136 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Install a donor basis exported from an earlier solve, replacing the
+    /// crash basis. Returns `false` when the basis does not fit this LP
+    /// (row-count mismatch, out-of-range or repeated columns, or a
+    /// numerically singular factorization) — the caller then cold-starts.
+    fn install_basis(&mut self, warm: &Basis) -> bool {
+        if warm.rows.len() != self.m {
+            return false;
+        }
+        let ncols = self.lp.cols.ncols();
+        let mut in_basis = vec![false; ncols];
+        for assigned in warm.rows.iter().flatten() {
+            if *assigned >= ncols || in_basis[*assigned] {
+                return false;
+            }
+            in_basis[*assigned] = true;
+        }
+        self.basis = warm
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(r, a)| match a {
+                Some(j) => Basic::Col(*j),
+                None => Basic::Artificial(r),
+            })
+            .collect();
+        self.in_basis = in_basis;
+        // A fresh LU of the donor basis against *this* LP's rhs: basic
+        // values may come out negative (the whole point of the dual-simplex
+        // restart), but the factorization itself must succeed.
+        self.refactorize();
+        !self.singular
+    }
+
+    /// Phase-2 dual feasibility of the current basis: every nonbasic
+    /// reduced cost within `-opt_tol`. A donor basis from a sibling LP with
+    /// identical matrix and costs passes exactly; anything else (e.g. a
+    /// basis reused across genuinely different LPs) fails here and triggers
+    /// the cold fallback.
+    fn dual_feasible(&self) -> bool {
+        let y = self.duals(false);
+        for j in 0..self.lp.cols.ncols() {
+            if self.in_basis[j] {
+                continue;
+            }
+            let d = self.lp.costs[j] - self.lp.cols.col_dot(j, &y);
+            if d < -self.opts.opt_tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Dual simplex from a dual-feasible basis whose basic values may be
+    /// negative under this LP's rhs: repeatedly drop the most negative
+    /// basic variable and enter the column preserving dual feasibility
+    /// (textbook dual ratio test), until `xb ≥ 0`. Every selection is a
+    /// pure function of (LP, basis) — lowest index breaks ties — so the
+    /// pivot sequence is independent of threads or timing. Returns `false`
+    /// when the restart should be abandoned for a cold solve (numerical
+    /// trouble, apparent infeasibility, or a blown pivot budget).
+    fn restore_primal_feasibility(&mut self) -> bool {
+        // The restart only pays off while it is much cheaper than a cold
+        // solve; past this budget, give up and let the cold path decide.
+        let cap = self.opts.max_iterations.min(4 * self.m + 128);
+        loop {
+            if self.singular {
+                return false;
+            }
+            let mut leave: Option<usize> = None;
+            let mut worst = -1e-9;
+            for i in 0..self.m {
+                if self.xb[i] < worst {
+                    worst = self.xb[i];
+                    leave = Some(i);
+                }
+            }
+            let Some(r) = leave else {
+                return true; // primal-feasible
+            };
+            if self.iterations >= cap {
+                return false;
+            }
+            let y = self.duals(false);
+            // Row r of B⁻¹, gathered once.
+            let rho: Vec<f64> = (0..self.m).map(|k| self.binv.col(k)[r]).collect();
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..self.lp.cols.ncols() {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let alpha = self.lp.cols.col_dot(j, &rho);
+                if alpha < -self.opts.pivot_tol {
+                    let d = self.lp.costs[j] - self.lp.cols.col_dot(j, &y);
+                    let ratio = d.max(0.0) / -alpha;
+                    let better = match best {
+                        None => true,
+                        Some((bj, br)) => ratio < br - 1e-12 || (ratio < br + 1e-12 && j < bj),
+                    };
+                    if better {
+                        best = Some((j, ratio));
+                    }
+                }
+            }
+            // No eligible column: the row certifies primal infeasibility
+            // (or the basis has drifted); the cold path is authoritative.
+            let Some((q, _)) = best else {
+                return false;
+            };
+            let w = self.ftran(q);
+            if w[r] >= -self.opts.pivot_tol {
+                return false; // rho-gathered alpha disagrees with FTRAN
+            }
+            self.update_devex(q, r, &w);
+            self.pivot(r, q, &w);
+        }
+    }
+
+    /// Sum of basic-artificial values — the phase-1 objective. A warm
+    /// start that leaves an artificial basic at a real value has silently
+    /// produced an infeasible point (cold starts catch this in phase 1),
+    /// so the warm path must reject it.
+    fn artificial_mass(&self) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.xb)
+            .filter(|(b, _)| matches!(b, Basic::Artificial(_)))
+            .map(|(_, &v)| v.abs())
+            .sum()
+    }
+
     /// After phase 1: pivot basic artificials out wherever possible.
     fn purge_artificials(&mut self) {
         for row in 0..self.m {
@@ -575,6 +750,16 @@ impl<'a> Engine<'a> {
                 dual_residual = -d;
             }
         }
+        let basis = Basis {
+            rows: self
+                .basis
+                .iter()
+                .map(|&b| match b {
+                    Basic::Col(j) => Some(j),
+                    Basic::Artificial(_) => None,
+                })
+                .collect(),
+        };
         SimplexResult {
             status,
             x,
@@ -583,12 +768,50 @@ impl<'a> Engine<'a> {
             iterations: self.iterations,
             residual,
             dual_residual,
+            basis,
+        }
+    }
+}
+
+/// Phase 2 to optimality from a primal-feasible engine state, plus the
+/// refinement pass and the residual quality gate shared by cold and warm
+/// starts.
+fn finish_phase2(mut eng: Engine) -> SimplexResult {
+    match eng.run_phase(false) {
+        Some(bad) => eng.result(bad),
+        None => {
+            eng.refine();
+            let residual_tol = eng.opts.residual_tol;
+            let mut r = eng.result(SimplexStatus::Optimal);
+            // Quality gate: a basis that claims optimality but cannot
+            // reproduce the right-hand side is numerically suspect —
+            // demote it so callers never consume an uncertified optimum.
+            if r.residual > residual_tol {
+                r.status = SimplexStatus::SingularBasis;
+            }
+            r
         }
     }
 }
 
 /// Solve a [`StandardLp`] (minimization) with the revised simplex.
+///
+/// With [`SimplexOptions::start_basis`] set, the engine first attempts a
+/// dual-simplex warm start from the donor basis; if the basis does not fit
+/// this LP, is not dual-feasible for its costs, or the restart stalls, the
+/// solve silently falls back to the ordinary cold start — warm starting can
+/// change the pivot count, never the correctness of the result.
 pub fn solve_standard(lp: &StandardLp, opts: SimplexOptions) -> SimplexResult {
+    if let Some(warm) = opts.start_basis.clone() {
+        let mut eng = Engine::new(lp, opts.clone());
+        if eng.install_basis(&warm)
+            && eng.dual_feasible()
+            && eng.restore_primal_feasibility()
+            && eng.artificial_mass() <= 1e-7
+        {
+            return finish_phase2(eng);
+        }
+    }
     let mut eng = Engine::new(lp, opts);
     if eng.has_artificials() {
         if let Some(bad) = eng.run_phase(true) {
@@ -600,20 +823,7 @@ pub fn solve_standard(lp: &StandardLp, opts: SimplexOptions) -> SimplexResult {
         }
         eng.purge_artificials();
     }
-    match eng.run_phase(false) {
-        Some(bad) => eng.result(bad),
-        None => {
-            eng.refine();
-            let mut r = eng.result(SimplexStatus::Optimal);
-            // Quality gate: a basis that claims optimality but cannot
-            // reproduce the right-hand side is numerically suspect —
-            // demote it so callers never consume an uncertified optimum.
-            if r.residual > opts.residual_tol {
-                r.status = SimplexStatus::SingularBasis;
-            }
-            r
-        }
-    }
+    finish_phase2(eng)
 }
 
 #[cfg(test)]
@@ -724,6 +934,110 @@ mod tests {
         for j in 0..lp.cols.ncols() {
             let red = lp.costs[j] - lp.cols.col_dot(j, &r.duals);
             assert!(red > -1e-7, "reduced cost {red} negative at optimum");
+        }
+    }
+
+    /// A banded `min c·x, Ax + s = b` family sharing matrix and costs;
+    /// members differ only in `b` — the MSM sibling pattern.
+    fn banded_lp(rhs: &[f64]) -> StandardLp {
+        let n = rhs.len();
+        let mut bld = CscBuilder::new(n);
+        for j in 0..n {
+            let mut col = vec![(j, 1.0)];
+            if j + 1 < n {
+                col.push((j + 1, 0.4));
+            }
+            bld.push_col(&col);
+        }
+        for j in 0..n {
+            bld.push_col(&[(j, 1.0)]);
+        }
+        let costs: Vec<f64> = (0..n)
+            .map(|i| -((i % 5) as f64) - 0.5)
+            .chain((0..n).map(|_| 0.0))
+            .collect();
+        StandardLp {
+            cols: bld.finish(),
+            costs,
+            rhs: rhs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn warm_start_on_identical_rhs_needs_no_pivots() {
+        let rhs: Vec<f64> = (0..24).map(|i| 1.0 + (i % 4) as f64).collect();
+        let lp = banded_lp(&rhs);
+        let donor = solve_standard(&lp, SimplexOptions::default());
+        assert_eq!(donor.status, SimplexStatus::Optimal);
+        assert!(donor.iterations > 0, "donor solved without pivoting");
+        let warm = solve_standard(
+            &lp,
+            SimplexOptions {
+                start_basis: Some(donor.basis.clone()),
+                ..SimplexOptions::default()
+            },
+        );
+        assert_eq!(warm.status, SimplexStatus::Optimal);
+        assert_eq!(warm.iterations, 0, "optimal basis re-priced from scratch");
+        assert!((warm.objective - donor.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_optimum_on_sibling_rhs() {
+        let rhs_a: Vec<f64> = (0..24).map(|i| 1.0 + (i % 4) as f64).collect();
+        let rhs_b: Vec<f64> = (0..24).map(|i| 1.3 + (i % 3) as f64).collect();
+        let donor = solve_standard(&banded_lp(&rhs_a), SimplexOptions::default());
+        assert_eq!(donor.status, SimplexStatus::Optimal);
+        let sibling = banded_lp(&rhs_b);
+        let cold = solve_standard(&sibling, SimplexOptions::default());
+        let warm = solve_standard(
+            &sibling,
+            SimplexOptions {
+                start_basis: Some(donor.basis.clone()),
+                ..SimplexOptions::default()
+            },
+        );
+        assert_eq!(cold.status, SimplexStatus::Optimal);
+        assert_eq!(warm.status, SimplexStatus::Optimal);
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-8,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm start pivoted more ({} > {})",
+            warm.iterations,
+            cold.iterations
+        );
+        for (a, b) in warm.x.iter().zip(&cold.x) {
+            assert!((a - b).abs() < 1e-7, "solutions diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mismatched_warm_basis_falls_back_to_cold() {
+        // A basis from a differently-shaped LP must be ignored; the result
+        // is bit-identical to the cold solve.
+        let rhs: Vec<f64> = (0..12).map(|i| 1.0 + (i % 4) as f64).collect();
+        let foreign = solve_standard(
+            &banded_lp(&(0..30).map(|i| 1.0 + (i % 2) as f64).collect::<Vec<_>>()),
+            SimplexOptions::default(),
+        );
+        let lp = banded_lp(&rhs);
+        let cold = solve_standard(&lp, SimplexOptions::default());
+        let warm = solve_standard(
+            &lp,
+            SimplexOptions {
+                start_basis: Some(foreign.basis.clone()),
+                ..SimplexOptions::default()
+            },
+        );
+        assert_eq!(warm.status, cold.status);
+        assert_eq!(warm.iterations, cold.iterations);
+        for (a, b) in warm.x.iter().zip(&cold.x) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

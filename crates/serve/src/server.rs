@@ -131,6 +131,7 @@ impl ServeCounters {
             journal_faults: self.journal_faults.load(Ordering::Relaxed),
             repaired: ladder.served_repaired,
             quarantined: ladder.quarantined,
+            dedup: ladder.dedup_suppressed,
         }
     }
 }
@@ -156,6 +157,10 @@ pub struct ServeReport {
     /// and served by a lower tier (a subset of the degraded serves —
     /// excluded from [`Self::total`]).
     pub quarantined: u64,
+    /// Duplicate channel fills suppressed by the mechanism cache's
+    /// single-flight discipline (concurrent misses of one node coalesced
+    /// into a single LP solve — excluded from [`Self::total`]).
+    pub dedup: u64,
 }
 
 impl ServeReport {
@@ -174,7 +179,7 @@ impl ServeReport {
     /// fields.
     pub fn log_line(&self) -> String {
         format!(
-            "serve total={} served={} optimal={} per-level={} flat={} refused={} expired={} shed={} journal-fault={} repaired={} quarantined={}",
+            "serve total={} served={} optimal={} per-level={} flat={} refused={} expired={} shed={} journal-fault={} repaired={} quarantined={} dedup={}",
             self.total(),
             self.served(),
             self.served_by_tier[0],
@@ -186,6 +191,7 @@ impl ServeReport {
             self.journal_faults,
             self.repaired,
             self.quarantined,
+            self.dedup,
         )
     }
 }
@@ -210,8 +216,8 @@ impl std::fmt::Display for ServeReport {
         )?;
         write!(
             f,
-            "  certification: repaired={} quarantined={}",
-            self.repaired, self.quarantined
+            "  certification: repaired={} quarantined={} dedup={}",
+            self.repaired, self.quarantined, self.dedup
         )
     }
 }
@@ -682,10 +688,11 @@ mod tests {
             journal_faults: 1,
             repaired: 4,
             quarantined: 1,
+            dedup: 6,
         };
         assert_eq!(
             report.log_line(),
-            "serve total=54 served=43 optimal=40 per-level=2 flat=1 refused=5 expired=3 shed=2 journal-fault=1 repaired=4 quarantined=1"
+            "serve total=54 served=43 optimal=40 per-level=2 flat=1 refused=5 expired=3 shed=2 journal-fault=1 repaired=4 quarantined=1 dedup=6"
         );
         let display = report.to_string();
         assert!(display.contains("54 total"), "{display}");

@@ -42,6 +42,7 @@ pub mod bench;
 pub mod clock;
 pub mod failpoint;
 pub mod gens;
+pub mod pool;
 
 pub use gens::Gen;
 

@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_precompute.json: wall-clock and simplex pivot counts for
+# the parallel precompute path, over the four-cell grid
+# {--jobs 1, --jobs max} x {cold, warm-started}.
+#
+# The headline `speedup` compares the old sequential cold implementation
+# (jobs=1, cold) against the full new path (jobs=max, warm) — the upgrade a
+# user actually experiences. On a single-core box the thread fan-out
+# contributes nothing, so the speedup there is the warm-start pivot saving
+# alone; the JSON records `cores` so readers can tell which regime produced
+# it. `pivot_reduction` isolates the warm-start effect at jobs=1.
+#
+# Knobs (env): BENCH_G (granularity, default 5), BENCH_H (height, 2),
+# BENCH_EPS (0.5), BENCH_JOBS (all cores). The defaults keep a full run in
+# the order of a couple of minutes on one core: height 2 gives 1 + g^2
+# internal nodes (each level fans g^2 warm-started siblings off one donor),
+# while height 3 multiplies the node count by g^2 again and larger grids
+# scale the per-node LP as ~g^6 per pivot — raise either only on real
+# hardware.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+G="${BENCH_G:-5}"
+H="${BENCH_H:-2}"
+EPS="${BENCH_EPS:-0.5}"
+JOBS="${BENCH_JOBS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)}"
+
+echo "== build bench harness (release, offline)"
+cargo build -p geoind-bench --release --offline
+
+echo "== precompute grid: g=$G height=$H eps=$EPS jobs-max=$JOBS"
+target/release/bench_precompute precompute \
+    --g "$G" --height "$H" --eps "$EPS" --jobs-max "$JOBS" \
+    > BENCH_precompute.json
+cat BENCH_precompute.json
+
+echo "== smoke-check the artifact"
+sh scripts/check_bench.sh BENCH_precompute.json

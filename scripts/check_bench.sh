@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# CI smoke for BENCH_precompute.json: the file must parse as JSON and its
+# headline speedup must not regress below break-even. Deliberately nothing
+# else — wall-clock numbers depend on machine load, so any threshold
+# tighter than ">= 1.0 vs the old sequential implementation" would flake.
+set -eu
+
+FILE="${1:-BENCH_precompute.json}"
+
+python3 - "$FILE" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+
+cells = data["cells"]
+assert isinstance(cells, list) and cells, "bench artifact has no cells"
+for cell in cells:
+    assert cell["wall_s"] > 0, f"non-positive wall clock: {cell}"
+    assert cell["pivots"] >= 0, f"negative pivot count: {cell}"
+speedup = float(data["speedup"])
+assert speedup >= 1.0, f"speedup regressed below break-even: {speedup}"
+print(
+    f"bench ok ({path}): speedup {speedup:.2f}x over sequential cold, "
+    f"pivot reduction {float(data['pivot_reduction']) * 100:.1f}% "
+    f"warm vs cold, {int(data['cores'])} core(s)"
+)
+EOF

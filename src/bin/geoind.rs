@@ -326,12 +326,24 @@ fn cmd_audit(flags: &Flags) -> Result<(), String> {
     }
 }
 
+/// `--jobs N` (default: available parallelism). The worker count never
+/// changes the output bytes — only how many sibling LP solves run at once.
+fn get_jobs(flags: &Flags) -> Result<usize, String> {
+    let default = std::thread::available_parallelism().map_or(1, |n| n.get()) as u64;
+    let jobs = get_u64(flags, "jobs", default)?;
+    if jobs == 0 {
+        return Err("--jobs: must be at least 1".into());
+    }
+    Ok(jobs as usize)
+}
+
 fn cmd_precompute(flags: &Flags) -> Result<(), String> {
     let data = dataset(flags)?;
     let out = flags.get("out").ok_or("--out <file> is required")?;
+    let jobs = get_jobs(flags)?;
     let msm = build_msm(flags, &data)?;
     let nodes = msm
-        .precompute(get_u64(flags, "max-nodes", 100_000)? as usize)
+        .precompute_jobs(get_u64(flags, "max-nodes", 100_000)? as usize, jobs)
         .map_err(|e| e.to_string())?;
     let mut blob = Vec::new();
     msm.export_cache(&mut blob).map_err(|e| e.to_string())?;
@@ -385,7 +397,10 @@ fn cmd_doctor(flags: &Flags) -> Result<(), String> {
         }
         None => {
             let nodes = msm
-                .precompute(get_u64(flags, "max-nodes", 100_000)? as usize)
+                .precompute_jobs(
+                    get_u64(flags, "max-nodes", 100_000)? as usize,
+                    get_jobs(flags)?,
+                )
                 .map_err(|e| e.to_string())?;
             println!("# precomputed {nodes} channels for inspection");
         }
@@ -630,7 +645,9 @@ COMMANDS
   protect     sanitize one location        (--lat/--lon + --window, or --x/--y km)
   eval        compare PL vs MSM utility    (--queries N)
   audit       empirical GeoInd check       (--mechanism pl|msm, --samples N)
-  precompute  build offline channel bundle (--out FILE; atomic temp+rename write)
+  precompute  build offline channel bundle (--out FILE; atomic temp+rename
+              write; --jobs N parallel LP solves, default all cores — the
+              output bytes are identical at any --jobs)
   serve       crash-safe serving front-end, closed-loop self-driving workload
               (--self-drive N, --users U, --cap EPS_PER_USER, --workers W,
                --queue DEPTH, --epoch E, --ledger-dir DIR to persist budgets)

@@ -138,6 +138,36 @@ fn degraded_ladder_is_bit_deterministic_under_armed_faults() {
     }
 }
 
+/// The parallel precompute fan-out must be invisible in the exported
+/// bundle: `--jobs 1` and `--jobs 4` walk the same donor-first warm-start
+/// schedule (the donor of each level is the lowest cell index, never
+/// "whichever worker finished first"), so the exported cache bytes are
+/// identical at any worker count. This is the contract that lets CI cmp
+/// two bundles and lets operators precompute on any machine.
+#[test]
+fn precompute_bundle_bytes_are_independent_of_jobs() {
+    let dataset = city();
+    let export = |jobs: usize| {
+        let prior = GridPrior::from_dataset(&dataset, 8);
+        let msm = MsmMechanism::builder(dataset.domain(), prior)
+            .epsilon(0.8)
+            .granularity(2)
+            .build()
+            .expect("valid configuration");
+        let nodes = msm.precompute_jobs(100_000, jobs).expect("precompute");
+        assert!(nodes >= 1, "precompute solved nothing at jobs={jobs}");
+        let mut blob = Vec::new();
+        msm.export_cache(&mut blob).expect("export");
+        blob
+    };
+    let sequential = export(1);
+    let parallel = export(4);
+    assert_eq!(
+        sequential, parallel,
+        "exported cache bytes depend on the worker count"
+    );
+}
+
 /// Cross-mechanism: interleaving two mechanisms on one RNG stream is still
 /// reproducible (the stream position, not the mechanism, owns determinism).
 #[test]
