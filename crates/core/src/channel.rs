@@ -7,8 +7,8 @@
 //! per query).
 
 use crate::certify::Certificate;
+use crate::flat::FlatChannel;
 use crate::metrics::QualityMetric;
-use geoind_math::sampling::AliasTable;
 use geoind_rng::Rng;
 use geoind_spatial::geom::Point;
 
@@ -20,8 +20,11 @@ pub struct Channel {
     outputs: Vec<Point>,
     /// Row-major `n × m`: `probs[x * m + z] = K(x)(z)`.
     probs: Vec<f64>,
-    /// One alias table per row for O(1) sampling.
-    samplers: Vec<AliasTable>,
+    /// Contiguous row-major alias tables for O(1) sampling, built at the
+    /// admission gate (with the certificate) so only certified rows are
+    /// ever flattened; `None` until admitted, or when the build degraded
+    /// (`sample.alias.build`) — sampling then scans the inverse CDF.
+    flat: Option<FlatChannel>,
     /// Proof of ε·d compliance attached by an admission gate
     /// ([`crate::certify::admit`]); `None` for channels built directly.
     certificate: Option<Certificate>,
@@ -67,14 +70,11 @@ impl Channel {
                 *v /= sum;
             }
         }
-        let samplers = (0..n)
-            .map(|row| AliasTable::new(&probs[row * m..(row + 1) * m]))
-            .collect();
         Self {
             inputs,
             outputs,
             probs,
-            samplers,
+            flat: None,
             certificate: None,
         }
     }
@@ -86,10 +86,22 @@ impl Channel {
         self.certificate
     }
 
-    /// Attach a certification proof (admission gates only).
+    /// Attach a certification proof (admission gates only) and flatten
+    /// the now-certified rows into the contiguous alias layout the serving
+    /// path samples from. Flattening sits *behind* the gate on purpose: a
+    /// table can only ever be built from rows a certificate vouches for.
+    /// A degraded build (`sample.alias.build`) leaves `flat` unset and the
+    /// channel serving through the inverse-CDF scan.
     pub(crate) fn with_certificate(mut self, cert: Certificate) -> Self {
+        let (n, m) = (self.inputs.len(), self.outputs.len());
+        self.flat = FlatChannel::build(&self.probs, n, m);
         self.certificate = Some(cert);
         self
+    }
+
+    /// The admission-built flattened alias tables, when present.
+    pub fn flat(&self) -> Option<&FlatChannel> {
+        self.flat.as_ref()
     }
 
     /// Input locations (logical locations `X`).
@@ -124,9 +136,32 @@ impl Channel {
         &self.probs[x * m..(x + 1) * m]
     }
 
-    /// Sample an output index for input index `x`.
+    /// Sample an output index for input index `x`: the admission-built
+    /// alias tables when present (two draws: slot + coin), otherwise the
+    /// inverse-CDF scan (one draw).
     pub fn sample<R: Rng + ?Sized>(&self, x: usize, rng: &mut R) -> usize {
-        self.samplers[x].sample(rng)
+        match &self.flat {
+            Some(flat) => flat.sample_row(x, rng),
+            None => self.sample_cdf(x, rng),
+        }
+    }
+
+    /// Reference sampling path: one uniform inverted through the row's
+    /// CDF by linear scan. This is the pre-flattening distribution the
+    /// equivalence suite compares the alias tables against, and the
+    /// fallback when an alias build degraded.
+    pub fn sample_cdf<R: Rng + ?Sized>(&self, x: usize, rng: &mut R) -> usize {
+        let m = self.outputs.len();
+        let row = &self.probs[x * m..(x + 1) * m];
+        let u = rng.gen_f64();
+        let mut acc = 0.0;
+        for (z, &p) in row.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return z;
+            }
+        }
+        m - 1
     }
 
     /// Sample an output *location* for input index `x`.

@@ -36,6 +36,7 @@ pub(crate) mod cache;
 pub mod certify;
 pub mod channel;
 pub mod eval;
+pub mod flat;
 pub mod metrics;
 pub mod msm;
 pub mod offline;
@@ -53,6 +54,7 @@ pub use audit::{audit_geoind, AuditConfig, AuditReport};
 pub use certify::{Certificate, CertifySpec, Verdict};
 pub use channel::Channel;
 pub use eval::{EvalReport, Evaluator};
+pub use flat::FlatChannel;
 pub use metrics::QualityMetric;
 pub use msm::{DescentInterrupted, DescentOutcome, MsmMechanism};
 pub use offline::CacheImportReport;

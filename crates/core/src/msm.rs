@@ -32,7 +32,7 @@ use geoind_spatial::grid::Grid;
 use geoind_spatial::hier::{HierGrid, LevelCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Mutex, PoisonError, RwLock};
 
 /// Builder for [`MsmMechanism`].
 #[derive(Debug, Clone)]
@@ -134,6 +134,7 @@ impl MsmBuilder {
             cache: ShardedCache::new("msm channel cache"),
             residual_watermark: Mutex::new((0.0, 0.0)),
             pivot_count: AtomicU64::new(0),
+            flat_tree: RwLock::new(None),
         })
     }
 }
@@ -147,6 +148,157 @@ pub struct DescentOutcome {
     pub point: Point,
     /// True when at least one sampled channel carries a `Repaired` verdict.
     pub repaired: bool,
+}
+
+/// The whole hierarchy's admission-built alias tables fused into one
+/// contiguous structure, so a healthy descent is `h` array walks with no
+/// cache fetch, no per-level channel `Arc`, and no child-`Vec` allocation.
+///
+/// Built by [`MsmMechanism::flatten`] strictly from channels that passed
+/// the admission gate (each per-node table is the one
+/// [`crate::channel::Channel::with_certificate`] attached post-certify);
+/// any cache mutation drops the tree, so it can never serve stale rows.
+/// `descend` replicates [`MsmMechanism::try_report_resumable`]'s healthy
+/// path draw-for-draw: the same grid geometry decides the input row, the
+/// same slot-then-coin alias draws pick the child, so a fixed seed yields
+/// bit-identical outputs on both paths (pinned by the determinism suite).
+#[derive(Debug)]
+pub(crate) struct FlatTree {
+    /// Per-level granularity `g`.
+    g: usize,
+    /// Fan-out `g²` — rows and columns of every per-node table.
+    gg: usize,
+    height: u32,
+    domain: BBox,
+    /// `node_base[l]` = number of internal nodes on levels `< l`.
+    node_base: Vec<usize>,
+    /// Acceptance probability of node `n`, row `r`, slot `i` at
+    /// `(n·g² + r)·g² + i`. Split from `alias` (rather than interleaved
+    /// as one slot struct) because the coin *accepts* most draws: the
+    /// alias category is only read on rejection, so keeping it out of
+    /// line halves the walk's hot footprint.
+    prob: Vec<f64>,
+    /// Alias category at the same index — read only when the acceptance
+    /// coin at that slot fails.
+    alias: Vec<u32>,
+    /// Per-node flag: the admitted channel carries a `Repaired` verdict.
+    repaired: Vec<bool>,
+    /// Rejection zone of `Rng::gen_u64_below(g²)` — the largest multiple
+    /// of `g²`, precomputed so each slot draw skips the modulo that
+    /// derives it.
+    zone: u64,
+    /// `g² - 1` when `g²` is a power of two (reduce by mask, same result
+    /// as `% g²`), else `u64::MAX` as the "divide" sentinel.
+    gg_mask: u64,
+    /// `z / g` and `z % g` for `z ∈ 0..g²` — the child-id arithmetic
+    /// without per-level hardware division.
+    zdiv: Vec<u32>,
+    zmod: Vec<u32>,
+    /// `r % g` for every global row/col index up to the leaf granularity.
+    mod_g: Vec<u32>,
+    /// `grids[l].cell_side()`, hoisted out of the walk.
+    cell_side: Vec<f64>,
+    /// `grids[l].granularity()`, hoisted out of the walk.
+    gran: Vec<usize>,
+}
+
+/// Stack bound on hoisted per-level scratch in [`FlatTree::descend`].
+/// Unreachable in practice: a height-17 hierarchy would need a leaf grid
+/// of g³⁴ cells.
+const MAX_FLAT_HEIGHT: usize = 16;
+
+impl FlatTree {
+    /// One fused root-to-leaf walk. Infallible: every internal node's
+    /// table was copied in at [`MsmMechanism::flatten`] time.
+    ///
+    /// Draw-for-draw and bit-for-bit identical to the unfused loop in
+    /// [`MsmMechanism::descend_with`]: the geometry below inlines exactly
+    /// the float operations of `Grid::extent_of` + `BBox::contains` and
+    /// `Grid::cell_of`, and [`Self::draw_index`] replicates
+    /// `rng.gen_range(0..g²)` — the walk only *removes* redundant integer
+    /// div/mod round-trips (row/col are tracked incrementally instead of
+    /// recovered from the cell id each level).
+    pub(crate) fn descend<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> DescentOutcome {
+        let x = clamp_into(self.domain, x);
+        let g = self.g;
+        let min = self.domain.min;
+        let height = self.height as usize;
+        // Hoisted per-level geometry: the input row x selects at each
+        // level depends only on (x, level), never on the walk state, so
+        // the float divisions of `Grid::cell_of` run up front instead of
+        // on the serial draw→load→draw chain of the walk itself.
+        let mut in_row = [0usize; MAX_FLAT_HEIGHT];
+        for (level, slot) in in_row.iter_mut().enumerate().take(height) {
+            // `grids[level + 1].cell_of(x)`, keeping row/col instead of
+            // packing them into an id and dividing them back out.
+            let csn = self.cell_side[level + 1];
+            let gn = self.gran[level + 1] as i64;
+            let cn = (((x.x - min.x) / csn).floor() as i64).clamp(0, gn - 1) as usize;
+            let rn = (((x.y - min.y) / csn).floor() as i64).clamp(0, gn - 1) as usize;
+            *slot = self.mod_g[rn] as usize * g + self.mod_g[cn] as usize;
+        }
+        // Walk state: the current cell id in grids[level] plus its
+        // (row, col), maintained incrementally.
+        let (mut id, mut row, mut col) = (0usize, 0usize, 0usize);
+        let mut repaired = false;
+        for level in 0..height {
+            let node = self.node_base[level] + id;
+            repaired |= self.repaired[node];
+            // Same float ops as `grids[level].extent_of(id).contains(x)`.
+            let cs = self.cell_side[level];
+            let min_x = min.x + col as f64 * cs;
+            let min_y = min.y + row as f64 * cs;
+            let inside = x.x >= min_x && x.x < min_x + cs && x.y >= min_y && x.y < min_y + cs;
+            // Input row: the enclosing child when x is inside this cell,
+            // else a uniform row (Algorithm 1, lines 9-10) — the same
+            // draw the unfused walk makes.
+            let input_idx = if inside {
+                in_row[level]
+            } else {
+                self.draw_index(rng)
+            };
+            // Fused alias draw: slot uniform, then the acceptance coin.
+            let base = (node * self.gg + input_idx) * self.gg;
+            let slot = self.draw_index(rng);
+            let z = if rng.gen_f64() < self.prob[base + slot] {
+                slot
+            } else {
+                self.alias[base + slot] as usize
+            };
+            // Child id, exactly as `HierGrid::children(cell)[z]` lays
+            // them out (local row-major order):
+            // id = (row·g + z/g)·gⁿ + col·g + z%g for the next level's
+            // granularity gⁿ — the same integers, via the lookup tables.
+            row = row * g + self.zdiv[z] as usize;
+            col = col * g + self.zmod[z] as usize;
+            id = row * self.gran[level + 1] + col;
+        }
+        // Same float ops as `grids[height].center_of(id)`.
+        let cs = self.cell_side[height];
+        DescentOutcome {
+            point: Point::new(
+                min.x + (col as f64 + 0.5) * cs,
+                min.y + (row as f64 + 0.5) * cs,
+            ),
+            repaired,
+        }
+    }
+
+    /// `rng.gen_range(0..g²)` with the rejection zone precomputed: the
+    /// same accept/reject sequence, the same result, one less division.
+    #[inline]
+    fn draw_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        loop {
+            let v = rng.next_u64();
+            if v < self.zone {
+                return if self.gg_mask != u64::MAX {
+                    (v & self.gg_mask) as usize
+                } else {
+                    (v % self.gg as u64) as usize
+                };
+            }
+        }
+    }
 }
 
 /// A failed MSM descent: the typed fault plus the cell the completed
@@ -187,6 +339,9 @@ pub struct MsmMechanism {
     /// Total simplex pivots across per-node solves — the benchmark
     /// harness reads this to quantify what warm starts save.
     pivot_count: AtomicU64,
+    /// The fused serving structure, when [`Self::flatten`] has run and no
+    /// cache mutation has dropped it since.
+    flat_tree: RwLock<Option<Arc<FlatTree>>>,
 }
 
 impl MsmMechanism {
@@ -251,9 +406,11 @@ impl MsmMechanism {
         self.cache.len()
     }
 
-    /// Drop all memoized channels.
+    /// Drop all memoized channels (and the fused tree assembled from
+    /// them — it must never outlive the rows it was copied from).
     pub fn clear_cache(&self) {
         self.cache.clear();
+        self.drop_flat_tree();
     }
 
     /// Duplicate channel fills suppressed by the cache's single-flight
@@ -304,6 +461,9 @@ impl MsmMechanism {
 
     pub(crate) fn cache_insert(&self, cell: LevelCell, channel: Arc<Channel>) {
         self.cache.insert(cell, channel);
+        // The fused tree is a copy of the cached tables; any replacement
+        // (e.g. an offline-bundle import) invalidates it.
+        self.drop_flat_tree();
     }
 
     pub(crate) fn cache_get(&self, cell: LevelCell) -> Option<Arc<Channel>> {
@@ -453,6 +613,39 @@ impl MsmMechanism {
         x: Point,
         rng: &mut R,
     ) -> Result<DescentOutcome, DescentInterrupted> {
+        {
+            // Fused fast path: descend while *holding* the read guard —
+            // the walk touches no lock and no cache, so this only makes a
+            // concurrent `flatten`/`clear_cache` wait out one descent,
+            // and it spares every request an `Arc` clone + drop.
+            let guard = self
+                .flat_tree
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(tree) = guard.as_deref() {
+                return Ok(tree.descend(x, rng));
+            }
+        }
+        // Unfused path solves/caches channels, whose admission drops the
+        // tree (write lock) — the guard above must already be released.
+        self.descend_with(None, x, rng)
+    }
+
+    /// [`Self::try_report_resumable`] with the fused-tree lookup hoisted
+    /// out, so batch serving resolves the tree once per batch instead of
+    /// once per request.
+    pub(crate) fn descend_with<R: Rng + ?Sized>(
+        &self,
+        tree: Option<&FlatTree>,
+        x: Point,
+        rng: &mut R,
+    ) -> Result<DescentOutcome, DescentInterrupted> {
+        if let Some(tree) = tree {
+            // Fused fast path: bit-identical to the loop below on a
+            // healthy descent, and a flattened hierarchy has every
+            // channel already admitted, so no fault can interrupt it.
+            return Ok(tree.descend(x, rng));
+        }
         let x = clamp_into(self.hier.domain(), x);
         let mut current = LevelCell::ROOT;
         let mut repaired = false;
@@ -484,6 +677,150 @@ impl MsmMechanism {
             point: self.hier.center(current),
             repaired,
         })
+    }
+
+    /// Flatten every internal node's admission-built alias table into one
+    /// fused [`FlatTree`] and switch serving onto it. Solves (through the
+    /// regular gated, cached path) any node not yet memoized, so this
+    /// doubles as a full precompute; tables are only ever copied from
+    /// channels carrying a certificate. Returns the number of internal
+    /// nodes fused.
+    ///
+    /// # Errors
+    /// Any [`MechanismError`] from a per-node solve, or
+    /// [`MechanismError::BadParameter`] when an admitted channel has no
+    /// flattened table (its admission-time build degraded through the
+    /// `sample.alias.build` failpoint) — serving then simply stays on the
+    /// unfused per-level path, which falls back to the inverse-CDF scan
+    /// for the affected node.
+    pub fn flatten(&self) -> Result<usize, MechanismError> {
+        let g = self.hier.granularity() as usize;
+        let gg = g * g;
+        let height = self.hier.height();
+        let grids: Vec<Grid> = (0..=height).map(|l| self.hier.level_grid(l)).collect();
+        let mut node_base = Vec::with_capacity(height as usize);
+        let mut total = 0usize;
+        for level in 0..height {
+            node_base.push(total);
+            total += grids[level as usize].num_cells();
+        }
+        if height as usize > MAX_FLAT_HEIGHT {
+            return Err(MechanismError::BadParameter(format!(
+                "cannot flatten a height-{height} hierarchy (max {MAX_FLAT_HEIGHT})"
+            )));
+        }
+        let mut prob = Vec::with_capacity(total * gg * gg);
+        let mut alias = Vec::with_capacity(total * gg * gg);
+        let mut repaired = Vec::with_capacity(total);
+        for level in 0..height {
+            for id in 0..grids[level as usize].num_cells() {
+                let cell = LevelCell { level, id };
+                let channel = self.try_channel_for(cell)?;
+                let flat = channel.flat().ok_or_else(|| {
+                    MechanismError::BadParameter(format!(
+                        "channel for level-{level} node {id} has no flattened alias \
+                         tables (admission-time build degraded)"
+                    ))
+                })?;
+                if flat.rows() != gg || flat.outputs() != gg {
+                    return Err(MechanismError::BadParameter(format!(
+                        "channel for level-{level} node {id} is {}x{}, expected {gg}x{gg}",
+                        flat.rows(),
+                        flat.outputs()
+                    )));
+                }
+                repaired.push(
+                    channel
+                        .certificate()
+                        .is_some_and(|c| c.verdict == Verdict::Repaired),
+                );
+                for row in 0..gg {
+                    let (p, a) = flat.row_slots(row);
+                    prob.extend_from_slice(p);
+                    alias.extend_from_slice(a);
+                }
+            }
+        }
+        let gg64 = gg as u64;
+        let leaf_gran = grids[height as usize].granularity() as usize;
+        let tree = FlatTree {
+            g,
+            gg,
+            height,
+            domain: self.hier.domain(),
+            node_base,
+            prob,
+            alias,
+            repaired,
+            zone: u64::MAX - (u64::MAX % gg64),
+            gg_mask: if gg64.is_power_of_two() {
+                gg64 - 1
+            } else {
+                u64::MAX
+            },
+            zdiv: (0..gg as u32).map(|z| z / g as u32).collect(),
+            zmod: (0..gg as u32).map(|z| z % g as u32).collect(),
+            mod_g: (0..leaf_gran as u32).map(|r| r % g as u32).collect(),
+            cell_side: grids.iter().map(Grid::cell_side).collect(),
+            gran: grids.iter().map(|gr| gr.granularity() as usize).collect(),
+        };
+        *self
+            .flat_tree
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Some(Arc::new(tree));
+        Ok(total)
+    }
+
+    /// True when a fused tree is installed and serving the fast path.
+    pub fn is_flattened(&self) -> bool {
+        self.flat_tree
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
+
+    /// The installed fused tree, if any (an `Arc` so a batch can hold it
+    /// across draws while a concurrent cache mutation swaps it out).
+    pub(crate) fn flat_tree(&self) -> Option<Arc<FlatTree>> {
+        self.flat_tree
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn drop_flat_tree(&self) {
+        *self
+            .flat_tree
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+    }
+
+    /// Batched [`Self::try_report`]: sanitize every point in `xs` in
+    /// order, drawing from `rng` exactly as the equivalent sequence of
+    /// single calls would — a batch of size 1 is bit-identical to one
+    /// `try_report` (pinned by the determinism suite). The fused tree (or
+    /// its absence) is resolved once for the whole batch, which is where
+    /// the per-request lock and bounds overhead goes.
+    ///
+    /// # Errors
+    /// The first per-node fault, if any; points before it were sampled
+    /// but are not returned. Degradation-aware callers should use
+    /// [`crate::ResilientMechanism::report_many`] instead.
+    pub fn report_many<R: Rng + ?Sized>(
+        &self,
+        xs: &[Point],
+        rng: &mut R,
+    ) -> Result<Vec<Point>, MechanismError> {
+        let tree = self.flat_tree();
+        let mut out = Vec::with_capacity(xs.len());
+        for &x in xs {
+            out.push(
+                self.descend_with(tree.as_deref(), x, rng)
+                    .map(|o| o.point)
+                    .map_err(|i| i.error)?,
+            );
+        }
+        Ok(out)
     }
 
     /// The exact distribution over leaf cells produced for input `x`
@@ -591,6 +928,68 @@ mod tests {
             .strategy(AllocationStrategy::FixedHeight(2))
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn flatten_installs_fused_tree_with_identical_bits() {
+        // The fused flattened walk must consume the same randomness and
+        // return the same leaf as the per-level cache path, draw for draw.
+        let unfused = tiny_msm(0.8);
+        let fused = tiny_msm(0.8);
+        let nodes = fused.flatten().expect("flatten");
+        assert_eq!(nodes, 5, "1 root + 4 level-1 nodes");
+        assert!(fused.is_flattened());
+        assert!(!unfused.is_flattened());
+        let mut rng_u = SeededRng::from_seed(0xF05E);
+        let mut rng_f = SeededRng::from_seed(0xF05E);
+        for i in 0..500 {
+            let x = Point::new((i % 11) as f64 * 0.73, (i % 7) as f64 + 0.6);
+            let a = unfused.report(x, &mut rng_u);
+            let b = fused.report(x, &mut rng_f);
+            assert_eq!(a.x.to_bits(), b.x.to_bits(), "request {i}");
+            assert_eq!(a.y.to_bits(), b.y.to_bits(), "request {i}");
+        }
+    }
+
+    #[test]
+    fn report_many_matches_sequential_reports() {
+        let msm = tiny_msm(0.9);
+        msm.flatten().expect("flatten");
+        let xs: Vec<Point> = (0..64)
+            .map(|i| Point::new((i % 8) as f64 + 0.2, (i % 5) as f64 + 0.7))
+            .collect();
+        let mut rng_batch = SeededRng::from_seed(0xBA7C);
+        let batch = msm.report_many(&xs, &mut rng_batch).expect("batch");
+        let mut rng_seq = SeededRng::from_seed(0xBA7C);
+        for (i, &x) in xs.iter().enumerate() {
+            let z = msm.report(x, &mut rng_seq);
+            assert_eq!(z.x.to_bits(), batch[i].x.to_bits(), "request {i}");
+            assert_eq!(z.y.to_bits(), batch[i].y.to_bits(), "request {i}");
+        }
+    }
+
+    #[test]
+    fn cache_invalidation_drops_fused_tree() {
+        // The fused tree is a projection of the admitted channels: any
+        // cache mutation (clear, or an offline import replacing entries)
+        // must drop it so it can never serve stale tables.
+        let msm = tiny_msm(0.8);
+        msm.flatten().expect("flatten");
+        assert!(msm.is_flattened());
+        let mut blob = Vec::new();
+        msm.export_cache(&mut blob).expect("export");
+        msm.clear_cache();
+        assert!(!msm.is_flattened(), "clear_cache must drop the tree");
+        msm.flatten().expect("re-flatten");
+        assert!(msm.is_flattened());
+        msm.import_cache(&mut blob.as_slice()).expect("import");
+        assert!(!msm.is_flattened(), "import must drop the tree");
+        // Still serves (unfused), and flattening works again.
+        let mut rng = SeededRng::from_seed(3);
+        let z = msm.report(Point::new(4.2, 4.2), &mut rng);
+        assert!(msm.leaf_grid().domain().contains_closed(z));
+        msm.flatten().expect("flatten after import");
+        assert!(msm.is_flattened());
     }
 
     #[test]

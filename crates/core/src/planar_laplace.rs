@@ -9,7 +9,7 @@
 //! to its PL baseline (remap to the grid).
 
 use crate::Mechanism;
-use geoind_math::sampling::planar_laplace_radius;
+use geoind_math::sampling::RadialSampler;
 use geoind_rng::Rng;
 use geoind_spatial::geom::Point;
 use geoind_spatial::grid::Grid;
@@ -31,6 +31,11 @@ enum Remap {
 #[derive(Debug, Clone)]
 pub struct PlanarLaplace {
     eps: f64,
+    /// Radius sampler with its Lambert-W guess table precomputed at
+    /// construction — the radial distribution is derived once here, not
+    /// re-derived on every request (the serving layer builds its tier
+    /// samplers at admission, so the table rides along).
+    radial: RadialSampler,
     remap: Remap,
 }
 
@@ -56,6 +61,7 @@ impl PlanarLaplace {
         assert!(eps > 0.0, "privacy budget must be positive");
         Self {
             eps,
+            radial: RadialSampler::new(eps),
             remap: Remap::None,
         }
     }
@@ -83,10 +89,12 @@ impl PlanarLaplace {
         self.eps
     }
 
-    /// Raw continuous noisy location (before any remap).
+    /// Raw continuous noisy location (before any remap). Angle uniform,
+    /// radius from the precomputed [`RadialSampler`] — the same two draws
+    /// in the same order as deriving the radius per request.
     pub fn report_continuous<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> Point {
         let theta = rng.gen_range(0.0..(2.0 * std::f64::consts::PI));
-        let r = planar_laplace_radius(self.eps, rng);
+        let r = self.radial.sample(rng);
         Point::new(x.x + r * theta.cos(), x.y + r * theta.sin())
     }
 }

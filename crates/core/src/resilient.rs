@@ -59,7 +59,7 @@
 //! [`DegradationReport`], so operators can see when and why the optimal
 //! path was bypassed.
 
-use crate::msm::{DescentInterrupted, DescentOutcome, MsmBuilder, MsmMechanism};
+use crate::msm::{DescentInterrupted, DescentOutcome, FlatTree, MsmBuilder, MsmMechanism};
 use crate::planar_laplace::PlanarLaplace;
 use crate::{Mechanism, MechanismError};
 use geoind_rng::Rng;
@@ -181,6 +181,11 @@ pub struct DegradationReport {
     /// winning solve's channel instead of each paying a redundant LP
     /// solve (see [`crate::MsmMechanism::dedup_suppressed`]).
     pub dedup_suppressed: u64,
+    /// Tier-0 reports served by the fused flattened-tree walk (the alias
+    /// tables built at admission, see [`crate::MsmMechanism::flatten`])
+    /// rather than the per-level channel-cache path. A subset of
+    /// `served_by_tier[0]`.
+    pub sampled_flat: u64,
     /// Human-readable cause of the most recent degradation, if any.
     pub last_fault: Option<String>,
 }
@@ -202,7 +207,7 @@ impl DegradationReport {
     pub fn log_line(&self) -> String {
         format!(
             "degradation optimal={} per-level={} flat={} total={} degraded={} \
-             repaired={} quarantined={} dedup={}",
+             repaired={} quarantined={} dedup={} sampled_flat={}",
             self.served_by_tier[0],
             self.served_by_tier[1],
             self.served_by_tier[2],
@@ -211,6 +216,7 @@ impl DegradationReport {
             self.served_repaired,
             self.quarantined,
             self.dedup_suppressed,
+            self.sampled_flat,
         )
     }
 }
@@ -229,8 +235,9 @@ impl std::fmt::Display for DegradationReport {
         write!(
             f,
             "\n#   served via repaired channels: {}\n#   quarantined: {}\
-             \n#   duplicate fills suppressed: {}",
-            self.served_repaired, self.quarantined, self.dedup_suppressed
+             \n#   duplicate fills suppressed: {}\
+             \n#   served by the fused flattened walk: {}",
+            self.served_repaired, self.quarantined, self.dedup_suppressed, self.sampled_flat
         )?;
         if let Some(fault) = &self.last_fault {
             write!(f, "\n#   last fault: {fault}")?;
@@ -261,6 +268,8 @@ pub struct ResilientMechanism {
     served: [AtomicU64; 3],
     /// Tier-0 serves whose descent used at least one gate-repaired channel.
     served_repaired: AtomicU64,
+    /// Tier-0 serves answered by the fused flattened-tree walk.
+    sampled_flat: AtomicU64,
     /// Requests refused the optimal path by a quarantine verdict.
     quarantined: AtomicU64,
     last_fault: Mutex<Option<String>>,
@@ -314,6 +323,7 @@ impl ResilientMechanism {
             flat_by_resume,
             served: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             served_repaired: AtomicU64::new(0),
+            sampled_flat: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
             last_fault: Mutex::new(None),
         }
@@ -353,6 +363,25 @@ impl ResilientMechanism {
         self.quarantined.load(Ordering::Relaxed)
     }
 
+    /// Tier-0 reports served by the fused flattened-tree walk.
+    pub fn sampled_flat(&self) -> u64 {
+        self.sampled_flat.load(Ordering::Relaxed)
+    }
+
+    /// Flatten the wrapped MSM's admitted channels into the fused serving
+    /// tree (see [`MsmMechanism::flatten`]). Until this succeeds — or if
+    /// the cache is later invalidated — tier 0 serves through the
+    /// per-level channel-cache path instead; both paths consume identical
+    /// randomness, so the outputs are bit-identical either way.
+    ///
+    /// # Errors
+    /// Propagates the wrapped mechanism's flattening failure (a channel
+    /// solve failed, or the admission-time alias build degraded); the
+    /// ladder keeps serving on the unfused path.
+    pub fn flatten(&self) -> Result<usize, MechanismError> {
+        self.msm.flatten()
+    }
+
     /// Snapshot the counters and the most recent degradation cause.
     pub fn degradation_report(&self) -> DegradationReport {
         DegradationReport {
@@ -360,6 +389,7 @@ impl ResilientMechanism {
             served_repaired: self.served_repaired(),
             quarantined: self.quarantined(),
             dedup_suppressed: self.msm.dedup_suppressed(),
+            sampled_flat: self.sampled_flat(),
             last_fault: self
                 .last_fault
                 .lock()
@@ -399,10 +429,38 @@ impl ResilientMechanism {
     /// a fixed (count-based) fault schedule the output stream is
     /// bit-deterministic.
     pub fn report_with_tier<R: Rng + ?Sized>(&self, x: Point, rng: &mut R) -> (Point, Tier) {
-        match self.msm.try_report_resumable(x, rng) {
+        let tree = self.msm.flat_tree();
+        self.serve_one(tree.as_deref(), x, rng)
+    }
+
+    /// Sanitize a batch with one fused-tree resolution for the whole
+    /// slice: each point is served exactly as [`Self::report_with_tier`]
+    /// would, in order, from the same `rng` — a batch of one is
+    /// bit-identical to a single call, and the counters account for every
+    /// element.
+    pub fn report_many<R: Rng + ?Sized>(&self, xs: &[Point], rng: &mut R) -> Vec<(Point, Tier)> {
+        let tree = self.msm.flat_tree();
+        xs.iter()
+            .map(|&x| self.serve_one(tree.as_deref(), x, rng))
+            .collect()
+    }
+
+    /// Serve one request against an already-resolved fused tree (or the
+    /// unfused cache path when `None`). The single body behind both
+    /// [`Self::report_with_tier`] and [`Self::report_many`].
+    fn serve_one<R: Rng + ?Sized>(
+        &self,
+        tree: Option<&FlatTree>,
+        x: Point,
+        rng: &mut R,
+    ) -> (Point, Tier) {
+        match self.msm.descend_with(tree, x, rng) {
             Ok(DescentOutcome { point, repaired }) => {
                 if repaired {
                     self.served_repaired.fetch_add(1, Ordering::Relaxed);
+                }
+                if tree.is_some() {
+                    self.sampled_flat.fetch_add(1, Ordering::Relaxed);
                 }
                 self.record(Tier::Optimal, None);
                 (point, Tier::Optimal)
@@ -559,12 +617,13 @@ mod tests {
             served_repaired: 5,
             quarantined: 1,
             dedup_suppressed: 2,
+            sampled_flat: 9,
             last_fault: Some("irrelevant to the log line".into()),
         };
         assert_eq!(
             report.log_line(),
             "degradation optimal=40 per-level=2 flat=1 total=43 degraded=3 \
-             repaired=5 quarantined=1 dedup=2"
+             repaired=5 quarantined=1 dedup=2 sampled_flat=9"
         );
         assert!(
             !report.log_line().contains('\n'),

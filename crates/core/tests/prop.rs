@@ -4,6 +4,7 @@
 use geoind_core::alloc::{AllocationStrategy, BudgetAllocator};
 use geoind_core::certify::{self, CertifySpec, Verdict};
 use geoind_core::channel::Channel;
+use geoind_core::flat::FlatChannel;
 use geoind_core::metrics::QualityMetric;
 use geoind_core::opt::{ConstraintSet, OptimalMechanism};
 use geoind_rng::{Rng, SeededRng};
@@ -231,4 +232,119 @@ fn opt_two_point_closed_form() {
             Ok(())
         },
     );
+}
+
+/// Vose alias construction reconstructs every random row: the implied
+/// marginal (slot mass + alias complement) matches the input within
+/// `m` ulps — pure floating-point bookkeeping, no statistical slack.
+#[test]
+fn alias_tables_reconstruct_random_rows_within_ulps() {
+    check(
+        "alias_tables_reconstruct_random_rows_within_ulps",
+        Config::cases(64),
+        &(RandomChannel(6), RandomChannel(2)),
+        |(big, small)| {
+            for channel in [big, small] {
+                let (n, m) = (channel.num_inputs(), channel.num_outputs());
+                let mut probs = Vec::with_capacity(n * m);
+                for x in 0..n {
+                    probs.extend_from_slice(channel.row(x));
+                }
+                let flat =
+                    FlatChannel::build(&probs, n, m).ok_or("valid stochastic matrix refused")?;
+                let tol = m as f64 * f64::EPSILON;
+                for r in 0..n {
+                    for (z, (&got, &want)) in
+                        flat.row_marginal(r).iter().zip(channel.row(r)).enumerate()
+                    {
+                        ensure!(
+                            (got - want).abs() <= tol,
+                            "row {r} cat {z}: |{got} - {want}| > {tol}"
+                        );
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Degenerate rows must build without panicking and still reconstruct:
+/// a single point mass, an exactly uniform row, and rows mixing
+/// denormal-adjacent mass with near-unit mass.
+#[test]
+fn alias_tables_handle_degenerate_rows() {
+    let m = 4;
+    let tiny = 1e-308; // denormal-adjacent; still positive and finite
+    let rows: Vec<Vec<f64>> = vec![
+        vec![0.0, 0.0, 1.0, 0.0],                 // point mass
+        vec![0.25; 4],                            // exactly uniform
+        vec![tiny, 1.0 - 3.0 * tiny, tiny, tiny], // denormal-adjacent
+        vec![tiny, tiny, tiny, tiny],             // all tiny (renormalizes)
+        vec![1.0, f64::MIN_POSITIVE, 0.0, 0.0],   // mixed extremes
+    ];
+    let probs: Vec<f64> = rows.iter().flatten().copied().collect();
+    let flat = FlatChannel::build(&probs, rows.len(), m).expect("degenerate rows must build");
+    for (r, row) in rows.iter().enumerate() {
+        let total: f64 = row.iter().sum();
+        let marginal = flat.row_marginal(r);
+        let sum: f64 = marginal.iter().sum();
+        assert!(
+            (sum - 1.0).abs() <= 16.0 * f64::EPSILON,
+            "row {r} sum {sum}"
+        );
+        for (z, (&got, &want)) in marginal.iter().zip(row).enumerate() {
+            // The table samples the *normalized* row.
+            assert!(
+                (got - want / total).abs() <= 1e-12,
+                "row {r} cat {z}: {got} vs {}",
+                want / total
+            );
+        }
+    }
+    // Point-mass rows must sample their single category, always.
+    let mut rng = SeededRng::from_seed(9);
+    for _ in 0..2_000 {
+        assert_eq!(flat.sample_row(0, &mut rng), 2);
+    }
+}
+
+/// Alias construction is a pure function of the row bits: concurrent
+/// builds of the same matrix (as parallel precompute workers would do)
+/// yield bit-identical tables — pinned by comparing marginal bit patterns
+/// and seeded draw streams across threads.
+#[test]
+fn alias_construction_is_deterministic_across_threads() {
+    let mut rng = SeededRng::from_seed(0xDE_7E_55);
+    let (n, m) = (8, 8);
+    let mut probs = Vec::with_capacity(n * m);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..m).map(|_| rng.gen_range(0.001..1.0)).collect();
+        let s: f64 = row.iter().sum();
+        probs.extend(row.into_iter().map(|v| v / s));
+    }
+    let reference = FlatChannel::build(&probs, n, m).expect("valid matrix");
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let probs = probs.clone();
+            std::thread::spawn(move || FlatChannel::build(&probs, n, m).expect("valid matrix"))
+        })
+        .collect();
+    for handle in handles {
+        let built = handle.join().expect("builder thread panicked");
+        for r in 0..n {
+            let (a, b) = (reference.row_marginal(r), built.row_marginal(r));
+            for z in 0..m {
+                assert_eq!(a[z].to_bits(), b[z].to_bits(), "row {r} cat {z}");
+            }
+        }
+        let mut rng_a = SeededRng::from_seed(0x51DE);
+        let mut rng_b = SeededRng::from_seed(0x51DE);
+        for i in 0..2_000 {
+            assert_eq!(
+                reference.sample_row(i % n, &mut rng_a),
+                built.sample_row(i % n, &mut rng_b)
+            );
+        }
+    }
 }

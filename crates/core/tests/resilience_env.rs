@@ -98,6 +98,45 @@ fn env_armed_faults_never_break_totality() {
         },
     }
 
+    // Flattening under the same armed fault: either a fused tree installs
+    // (and serving stays total through it) or a typed error is returned
+    // and serving stays total through the unfused path — never a panic,
+    // never a partially installed tree.
+    let re_armed = failpoint::arm_from_env().expect("GEOIND_FAILPOINTS must parse");
+    if re_armed == 0 {
+        failpoint::arm_global("sample.alias.build", failpoint::FailSpec::times(1));
+    }
+    match try_resilient() {
+        Err(e) => assert!(
+            matches!(e, MechanismError::AllocationFailed(_)),
+            "unexpected construction failure: {e:?}"
+        ),
+        Ok(r) => {
+            let flattened = match r.flatten() {
+                Ok(nodes) => {
+                    assert!(nodes >= 1, "flatten reported an empty tree");
+                    true
+                }
+                // Any typed error is acceptable; no tree may be left.
+                Err(_) => {
+                    assert!(!r.msm().is_flattened(), "failed flatten left a tree");
+                    false
+                }
+            };
+            let mut rng = SeededRng::from_seed(63);
+            let domain = r.msm().leaf_grid().domain();
+            for _ in 0..5 {
+                let (z, _) = r.report_with_tier(Point::new(4.2, 4.2), &mut rng);
+                assert!(domain.contains_closed(z), "report left the domain");
+            }
+            let report = r.degradation_report();
+            assert_eq!(report.total(), 5, "a report went unaccounted: {report}");
+            if !flattened {
+                assert_eq!(report.sampled_flat, 0, "unfused serving counted as fused");
+            }
+        }
+    }
+
     // Disarming restores exclusive tier-0 service.
     failpoint::reset_global();
     let healthy = try_resilient().expect("construction must succeed once disarmed");

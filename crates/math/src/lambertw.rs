@@ -107,6 +107,27 @@ pub fn lambert_wm1(x: f64) -> f64 {
     halley(x, w0)
 }
 
+/// Lower branch `W₋₁(x)` refined from a caller-supplied starting guess
+/// `w0` instead of the analytic one — the hot-path entry point for
+/// samplers that precompute a table of guesses over their input range
+/// (e.g. the planar-Laplace radial sampler, which buckets `p ∈ (0, 1)`
+/// once at construction and re-enters Halley's method per draw).
+///
+/// Domain handling matches [`lambert_wm1`]; the guess only changes how
+/// many Halley iterations the refinement needs, never which root it
+/// converges to, provided `w0 ≤ -1` (anywhere on the lower branch).
+///
+/// Returns `NaN` outside `[-1/e, 0)`.
+pub fn lambert_wm1_with_guess(x: f64, w0: f64) -> f64 {
+    if x.is_nan() || !(-INV_E - 1e-12..0.0).contains(&x) {
+        return f64::NAN;
+    }
+    if x <= -INV_E {
+        return -1.0;
+    }
+    halley(x, w0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +201,26 @@ mod tests {
         assert!(lambert_wm1(-1.0).is_nan());
         assert!(lambert_wm1(0.0).is_nan());
         assert!(lambert_w0(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn wm1_with_guess_agrees_with_analytic_guess() {
+        // Any lower-branch starting point converges to the same root; a
+        // tabulated guess is a speed lever, never an accuracy one.
+        let mut x = -INV_E * 0.999;
+        while x < -1e-12 {
+            let reference = lambert_wm1(x);
+            for w0 in [reference, reference - 0.4, -1.5, -6.0] {
+                let w = lambert_wm1_with_guess(x, w0);
+                assert!(
+                    (w - reference).abs() <= 1e-12 * (1.0 + reference.abs()),
+                    "W-1({x}) from guess {w0}: {w} vs {reference}"
+                );
+            }
+            x *= 0.5;
+        }
+        assert!(lambert_wm1_with_guess(0.5, -2.0).is_nan());
+        assert_eq!(lambert_wm1_with_guess(-INV_E - 1e-13, -2.0), -1.0);
     }
 
     #[test]

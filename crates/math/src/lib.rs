@@ -33,8 +33,8 @@ pub mod sampling;
 pub mod zeta;
 
 pub use beta::dirichlet_beta;
-pub use lambertw::{lambert_w0, lambert_wm1};
+pub use lambertw::{lambert_w0, lambert_wm1, lambert_wm1_with_guess};
 pub use lattice::{lattice_sum, lattice_sum_direct, lattice_sum_expansion, self_map_probability};
 pub use roots::bisect_increasing;
-pub use sampling::{planar_laplace_radius, AliasTable};
+pub use sampling::{planar_laplace_radius, AliasTable, RadialSampler};
 pub use zeta::riemann_zeta;

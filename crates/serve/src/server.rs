@@ -41,6 +41,13 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Base seed for the per-worker RNGs (worker `i` uses `seed + i`).
     pub seed: u64,
+    /// How many queued requests a worker drains per queue-lock
+    /// acquisition (clamped to at least 1). The batch is gated first
+    /// (deadline, budget — neither consumes randomness) and the admitted
+    /// points are sampled through one
+    /// [`ResilientMechanism::report_many`] call, so any batch size
+    /// produces the same bits as serving the jobs one at a time.
+    pub batch: usize,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +56,7 @@ impl Default for ServeConfig {
             workers: 4,
             queue_capacity: 64,
             seed: 0,
+            batch: 1,
         }
     }
 }
@@ -132,6 +140,7 @@ impl ServeCounters {
             repaired: ladder.served_repaired,
             quarantined: ladder.quarantined,
             dedup: ladder.dedup_suppressed,
+            sampled_flat: ladder.sampled_flat,
         }
     }
 }
@@ -161,6 +170,10 @@ pub struct ServeReport {
     /// single-flight discipline (concurrent misses of one node coalesced
     /// into a single LP solve — excluded from [`Self::total`]).
     pub dedup: u64,
+    /// Tier-0 serves answered by the fused flattened-tree walk built at
+    /// admission (a subset of `served_by_tier[0]` — excluded from
+    /// [`Self::total`]).
+    pub sampled_flat: u64,
 }
 
 impl ServeReport {
@@ -179,7 +192,7 @@ impl ServeReport {
     /// fields.
     pub fn log_line(&self) -> String {
         format!(
-            "serve total={} served={} optimal={} per-level={} flat={} refused={} expired={} shed={} journal-fault={} repaired={} quarantined={} dedup={}",
+            "serve total={} served={} optimal={} per-level={} flat={} refused={} expired={} shed={} journal-fault={} repaired={} quarantined={} dedup={} sampled_flat={}",
             self.total(),
             self.served(),
             self.served_by_tier[0],
@@ -192,6 +205,7 @@ impl ServeReport {
             self.repaired,
             self.quarantined,
             self.dedup,
+            self.sampled_flat,
         )
     }
 }
@@ -216,8 +230,8 @@ impl std::fmt::Display for ServeReport {
         )?;
         write!(
             f,
-            "  certification: repaired={} quarantined={} dedup={}",
-            self.repaired, self.quarantined, self.dedup
+            "  certification: repaired={} quarantined={} dedup={} sampled_flat={}",
+            self.repaired, self.quarantined, self.dedup, self.sampled_flat
         )
     }
 }
@@ -268,6 +282,11 @@ impl Server {
         config: ServeConfig,
     ) -> Self {
         let eps_per_request = mechanism.msm().epsilon();
+        // Flatten the admitted channels into the fused serving tree up
+        // front (this also warms the channel cache). A failed build is
+        // tolerated: workers then serve through the per-level cache path,
+        // which produces the same bits at a higher per-request cost.
+        let _ = mechanism.flatten();
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -281,11 +300,12 @@ impl Server {
             clock,
             counters: ServeCounters::default(),
         });
+        let batch = config.batch.max(1);
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let seed = config.seed.wrapping_add(i as u64);
-                std::thread::spawn(move || worker_loop(&shared, seed))
+                std::thread::spawn(move || worker_loop(&shared, seed, batch))
             })
             .collect();
         Self { shared, workers }
@@ -392,14 +412,15 @@ pub struct ShutdownOutcome {
     pub checkpoint: Result<(), crate::journal::JournalError>,
 }
 
-fn worker_loop(shared: &Shared, seed: u64) {
+fn worker_loop(shared: &Shared, seed: u64, batch: usize) {
     let mut rng = SeededRng::from_seed(seed);
     loop {
-        let job = {
+        let jobs: Vec<Job> = {
             let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
-                if let Some(job) = queue.jobs.pop_front() {
-                    break job;
+                if !queue.jobs.is_empty() {
+                    let take = batch.min(queue.jobs.len());
+                    break queue.jobs.drain(..take).collect();
                 }
                 if !queue.accepting {
                     return;
@@ -410,20 +431,21 @@ fn worker_loop(shared: &Shared, seed: u64) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let response = handle(shared, &job.request, &mut rng);
-        // The submitter may have dropped the receiver; the outcome is
-        // still counted above.
-        let _ = job.reply.send(response);
+        handle_batch(shared, jobs, &mut rng);
     }
 }
 
-fn handle(shared: &Shared, request: &Request, rng: &mut SeededRng) -> Response {
+/// Run the non-sampling gates for one request: `Some` is a terminal
+/// refusal, `None` admits the request to sampling. Neither gate consumes
+/// randomness, which is what lets a batch gate everything up front and
+/// still produce the same RNG stream as strictly sequential handling.
+fn gate(shared: &Shared, request: &Request) -> Option<Response> {
     // Deadline gate before anything else: an expired request must not
     // consume budget or sample noise.
     if let Some(deadline) = request.deadline_nanos {
         if shared.clock.now_nanos() > deadline {
             shared.counters.expired.fetch_add(1, Ordering::Relaxed);
-            return Response::Expired;
+            return Some(Response::Expired);
         }
     }
     // Budget gate: durable spend before sampling.
@@ -432,25 +454,52 @@ fn handle(shared: &Shared, request: &Request, rng: &mut SeededRng) -> Response {
         ledger.try_spend(request.user, shared.eps_per_request)
     };
     match spend {
-        Ok(()) => {}
+        Ok(()) => None,
         Err(SpendError::Exhausted { remaining, .. }) => {
             shared
                 .counters
                 .refused_budget
                 .fetch_add(1, Ordering::Relaxed);
-            return Response::BudgetExhausted { remaining };
+            Some(Response::BudgetExhausted { remaining })
         }
         Err(err @ (SpendError::Journal(_) | SpendError::BadCharge(_))) => {
             shared
                 .counters
                 .journal_faults
                 .fetch_add(1, Ordering::Relaxed);
-            return Response::JournalFault(err.to_string());
+            Some(Response::JournalFault(err.to_string()))
         }
     }
-    let (point, tier) = shared.mechanism.report_with_tier(request.point, rng);
-    shared.counters.served_by_tier[tier.index()].fetch_add(1, Ordering::Relaxed);
-    Response::Served { point, tier }
+}
+
+/// Serve a drained batch: gate every job in pop order, then sample all
+/// admitted points through one [`ResilientMechanism::report_many`] call
+/// (one fused-tree resolution for the whole batch). A batch of one is
+/// bit-identical to the pre-batching single-request path.
+fn handle_batch(shared: &Shared, jobs: Vec<Job>, rng: &mut SeededRng) {
+    let gated: Vec<(Job, Option<Response>)> = jobs
+        .into_iter()
+        .map(|job| {
+            let outcome = gate(shared, &job.request);
+            (job, outcome)
+        })
+        .collect();
+    let points: Vec<Point> = gated
+        .iter()
+        .filter(|(_, outcome)| outcome.is_none())
+        .map(|(job, _)| job.request.point)
+        .collect();
+    let mut served = shared.mechanism.report_many(&points, rng).into_iter();
+    for (job, outcome) in gated {
+        let response = outcome.unwrap_or_else(|| {
+            let (point, tier) = served.next().expect("one sample per admitted request");
+            shared.counters.served_by_tier[tier.index()].fetch_add(1, Ordering::Relaxed);
+            Response::Served { point, tier }
+        });
+        // The submitter may have dropped the receiver; the outcome is
+        // still counted above.
+        let _ = job.reply.send(response);
+    }
 }
 
 #[cfg(test)]
@@ -524,6 +573,7 @@ mod tests {
                 workers: 2,
                 queue_capacity: 16,
                 seed: 42,
+                batch: 1,
             },
         );
         let receivers: Vec<_> = (0..3)
@@ -563,6 +613,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 16,
                 seed: 1,
+                batch: 1,
             },
         );
         let rx = server
@@ -602,6 +653,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 1,
                 seed: 3,
+                batch: 1,
             },
         );
         // Stall the single worker by holding the ledger lock, so queued
@@ -652,6 +704,7 @@ mod tests {
                 workers: 3,
                 queue_capacity: 64,
                 seed: 9,
+                batch: 1,
             },
         );
         let receivers: Vec<_> = (0..40)
@@ -679,6 +732,119 @@ mod tests {
     }
 
     #[test]
+    fn batched_draining_is_bit_identical_to_single_request_serving() {
+        // One worker, same seed: whatever batch size the worker drains
+        // with, the gates consume no randomness and report_many walks the
+        // admitted points in pop order, so the served points must match
+        // bit for bit.
+        let serve = |batch: usize| -> Vec<Point> {
+            let dir = temp_dir(&format!("batch-bits-{batch}"));
+            let server = Server::start(
+                mechanism(),
+                ledger(&dir, 1000.0),
+                Arc::new(ManualClock::new(0)),
+                ServeConfig {
+                    workers: 1,
+                    queue_capacity: 64,
+                    seed: 77,
+                    batch,
+                },
+            );
+            let receivers: Vec<_> = (0..24)
+                .map(|i| {
+                    server
+                        .submit(Request {
+                            user: i % 5,
+                            point: Point::new((i % 8) as f64 + 0.3, (i % 7) as f64 + 0.6),
+                            deadline_nanos: None,
+                        })
+                        .expect("submit")
+                })
+                .collect();
+            let points = receivers
+                .into_iter()
+                .map(|rx| match rx.recv().expect("response") {
+                    Response::Served { point, tier } => {
+                        assert_eq!(tier, Tier::Optimal);
+                        point
+                    }
+                    other => panic!("unexpected response {other:?}"),
+                })
+                .collect();
+            server.shutdown().checkpoint.expect("checkpoint");
+            fs::remove_dir_all(&dir).ok();
+            points
+        };
+        let single = serve(1);
+        for batch in [2, 8, 64] {
+            let batched = serve(batch);
+            assert_eq!(single.len(), batched.len());
+            for (a, b) in single.iter().zip(&batched) {
+                assert_eq!(a.x.to_bits(), b.x.to_bits(), "batch={batch}");
+                assert_eq!(a.y.to_bits(), b.y.to_bits(), "batch={batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_counters_account_for_mixed_outcomes() {
+        // A batch that mixes served, budget-refused, and expired requests
+        // must account for every element exactly once, and every tier-0
+        // serve must have come from the fused flattened walk installed at
+        // Server::start.
+        let dir = temp_dir("batch-mixed");
+        // Cap fits exactly three requests per user at EPS each.
+        let server = Server::start(
+            mechanism(),
+            ledger(&dir, 3.0 * EPS),
+            Arc::new(ManualClock::new(1_000)),
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 64,
+                seed: 5,
+                batch: 16,
+            },
+        );
+        let mut receivers = Vec::new();
+        for i in 0..5u64 {
+            receivers.push(
+                server
+                    .submit(Request {
+                        user: 1,
+                        point: Point::new((i % 8) as f64, 2.0),
+                        // Every third request is already expired.
+                        deadline_nanos: if i % 3 == 2 { Some(999) } else { None },
+                    })
+                    .expect("submit"),
+            );
+        }
+        let mut served = 0;
+        let mut refused = 0;
+        let mut expired = 0;
+        for rx in receivers {
+            match rx.recv().expect("response") {
+                Response::Served { .. } => served += 1,
+                Response::BudgetExhausted { .. } => refused += 1,
+                Response::Expired => expired += 1,
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert_eq!((served, refused, expired), (3, 1, 1));
+        let outcome = server.shutdown();
+        outcome.checkpoint.expect("checkpoint");
+        let report = outcome.report;
+        assert_eq!(report.served_by_tier, [3, 0, 0]);
+        assert_eq!(report.refused_budget, 1);
+        assert_eq!(report.expired, 1);
+        assert_eq!(report.total(), 5);
+        assert_eq!(
+            report.sampled_flat, 3,
+            "every tier-0 serve must use the fused walk"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn serve_report_log_line_format_is_pinned() {
         let report = ServeReport {
             served_by_tier: [40, 2, 1],
@@ -689,10 +855,11 @@ mod tests {
             repaired: 4,
             quarantined: 1,
             dedup: 6,
+            sampled_flat: 40,
         };
         assert_eq!(
             report.log_line(),
-            "serve total=54 served=43 optimal=40 per-level=2 flat=1 refused=5 expired=3 shed=2 journal-fault=1 repaired=4 quarantined=1 dedup=6"
+            "serve total=54 served=43 optimal=40 per-level=2 flat=1 refused=5 expired=3 shed=2 journal-fault=1 repaired=4 quarantined=1 dedup=6 sampled_flat=40"
         );
         let display = report.to_string();
         assert!(display.contains("54 total"), "{display}");

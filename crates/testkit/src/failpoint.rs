@@ -74,6 +74,7 @@ pub const SITES: &[&str] = &[
     "serve.wal.reset",           // post-snapshot fresh-WAL swap fails
     "certify.channel.violation", // channel certification finds an ε·d constraint violation
     "certify.repair.fail",       // post-repair re-certification still fails (quarantine)
+    "sample.alias.build",        // flattened alias-table build fails (serve via the CDF path)
 ];
 
 /// When an armed site fires: skip the first `skip` hits, then fire

@@ -1,7 +1,12 @@
 #!/usr/bin/env sh
-# Regenerate BENCH_precompute.json: wall-clock and simplex pivot counts for
-# the parallel precompute path, over the four-cell grid
-# {--jobs 1, --jobs max} x {cold, warm-started}.
+# Regenerate the committed bench artifacts:
+#
+#   BENCH_precompute.json — wall-clock and simplex pivot counts for the
+#   parallel precompute path, over the four-cell grid
+#   {--jobs 1, --jobs max} x {cold, warm-started}.
+#   BENCH_sample.json — ns/op for the served sampling hot path: the
+#   pre-flattening seed walk vs the fused flattened-tree walk, single
+#   and batched.
 #
 # The headline `speedup` compares the old sequential cold implementation
 # (jobs=1, cold) against the full new path (jobs=max, warm) — the upgrade a
@@ -37,3 +42,26 @@ cat BENCH_precompute.json
 
 echo "== smoke-check the artifact"
 sh scripts/check_bench.sh BENCH_precompute.json
+
+# The sampling bench wants the failpoints feature so it can reconstruct
+# the pre-flattening seed path as its baseline cell (arming
+# sample.alias.build during admission); rebuilding here is cheap and the
+# precompute artifact above is already captured.
+SG="${BENCH_SAMPLE_G:-4}"
+SH="${BENCH_SAMPLE_H:-3}"
+SEPS="${BENCH_SAMPLE_EPS:-0.5}"
+SREQ="${BENCH_SAMPLE_REQUESTS:-400000}"
+SBATCH="${BENCH_SAMPLE_BATCH:-256}"
+
+echo "== build sampling bench (release, offline, failpoints)"
+cargo build -p geoind-bench --release --offline --features failpoints
+
+echo "== sampling hot path: g=$SG height=$SH eps=$SEPS requests=$SREQ batch=$SBATCH"
+target/release/bench_sample \
+    --g "$SG" --height "$SH" --eps "$SEPS" \
+    --requests "$SREQ" --batch "$SBATCH" \
+    > BENCH_sample.json
+cat BENCH_sample.json
+
+echo "== smoke-check the artifact"
+sh scripts/check_bench.sh BENCH_sample.json

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# CI smoke for BENCH_precompute.json: the file must parse as JSON and its
-# headline speedup must not regress below break-even. Deliberately nothing
-# else — wall-clock numbers depend on machine load, so any threshold
-# tighter than ">= 1.0 vs the old sequential implementation" would flake.
+# CI smoke for committed bench artifacts (BENCH_precompute.json,
+# BENCH_sample.json): the file must parse as JSON and its headline speedup
+# must not regress below break-even. Deliberately nothing else —
+# wall-clock numbers depend on machine load, so any threshold tighter
+# than ">= 1.0 vs the pre-optimization path" would flake.
 set -eu
 
 FILE="${1:-BENCH_precompute.json}"
@@ -16,14 +17,37 @@ with open(path) as f:
 
 cells = data["cells"]
 assert isinstance(cells, list) and cells, "bench artifact has no cells"
-for cell in cells:
-    assert cell["wall_s"] > 0, f"non-positive wall clock: {cell}"
-    assert cell["pivots"] >= 0, f"negative pivot count: {cell}"
-speedup = float(data["speedup"])
-assert speedup >= 1.0, f"speedup regressed below break-even: {speedup}"
-print(
-    f"bench ok ({path}): speedup {speedup:.2f}x over sequential cold, "
-    f"pivot reduction {float(data['pivot_reduction']) * 100:.1f}% "
-    f"warm vs cold, {int(data['cores'])} core(s)"
-)
+
+if data.get("bench") == "sample":
+    # bench_sample: ns/op cells over the serving hot path.
+    paths = [cell["path"] for cell in cells]
+    for cell in cells:
+        assert cell["wall_s"] > 0, f"non-positive wall clock: {cell}"
+        assert cell["ns_per_op"] > 0, f"non-positive ns/op: {cell}"
+        assert cell["requests"] > 0, f"no requests timed: {cell}"
+    for required in ("unfused_alias", "fused", "fused_batched"):
+        assert required in paths, f"missing bench cell: {required}"
+    baseline = data["baseline"]
+    assert baseline in paths, f"baseline {baseline!r} has no cell"
+    speedup = float(data["speedup"])
+    batched = float(data["batched_speedup"])
+    assert speedup >= 1.0, f"fused speedup regressed below break-even: {speedup}"
+    assert batched >= 1.0, f"batched speedup regressed below break-even: {batched}"
+    by_path = {cell["path"]: cell for cell in cells}
+    print(
+        f"bench ok ({path}): fused {by_path['fused']['ns_per_op']:.0f} ns/op, "
+        f"{speedup:.2f}x over {baseline}, batched {batched:.2f}x, "
+        f"{int(data['cores'])} core(s)"
+    )
+else:
+    for cell in cells:
+        assert cell["wall_s"] > 0, f"non-positive wall clock: {cell}"
+        assert cell["pivots"] >= 0, f"negative pivot count: {cell}"
+    speedup = float(data["speedup"])
+    assert speedup >= 1.0, f"speedup regressed below break-even: {speedup}"
+    print(
+        f"bench ok ({path}): speedup {speedup:.2f}x over sequential cold, "
+        f"pivot reduction {float(data['pivot_reduction']) * 100:.1f}% "
+        f"warm vs cold, {int(data['cores'])} core(s)"
+    )
 EOF

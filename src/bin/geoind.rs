@@ -513,6 +513,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             workers: get_u64(flags, "workers", 4)? as usize,
             queue_capacity: get_u64(flags, "queue", 64)? as usize,
             seed,
+            batch: get_u64(flags, "batch", 8)? as usize,
         },
     );
 
@@ -650,7 +651,8 @@ COMMANDS
               output bytes are identical at any --jobs)
   serve       crash-safe serving front-end, closed-loop self-driving workload
               (--self-drive N, --users U, --cap EPS_PER_USER, --workers W,
-               --queue DEPTH, --epoch E, --ledger-dir DIR to persist budgets)
+               --queue DEPTH, --batch B requests drained per worker pass,
+               --epoch E, --ledger-dir DIR to persist budgets)
   doctor      re-certify every channel, check LP residuals, exercise the
               ladder; exits nonzero on any quarantine (--cache FILE to
               inspect a precomputed bundle, --requests N ladder probes)

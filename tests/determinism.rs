@@ -193,3 +193,161 @@ fn interleaved_mechanisms_share_a_deterministic_stream() {
         assert!(p.x.to_bits() == q.x.to_bits() && p.y.to_bits() == q.y.to_bits());
     }
 }
+
+/// Golden outputs recorded from the seed (pre-flattening) sampling path,
+/// before admission-built alias tables and the fused descent existed.
+/// Bit patterns of `Point { x, y }` per query; the flattening must
+/// reproduce them exactly, fused or not.
+mod goldens {
+    /// uniform8 prior, g=2, FixedHeight(2), eps 0.8, seed 0xD00D,
+    /// inputs ((i%8)+0.3, (i%7)+0.6).
+    pub const A: [(u64, u64); 8] = [
+        (0x4008000000000000, 0x3FF0000000000000),
+        (0x401C000000000000, 0x3FF0000000000000),
+        (0x401C000000000000, 0x3FF0000000000000),
+        (0x3FF0000000000000, 0x3FF0000000000000),
+        (0x401C000000000000, 0x4014000000000000),
+        (0x4014000000000000, 0x4014000000000000),
+        (0x4014000000000000, 0x4014000000000000),
+        (0x4014000000000000, 0x3FF0000000000000),
+    ];
+    /// uniform8 prior, g=2, FixedHeight(3), eps 0.9, seed 0xBEEF,
+    /// inputs ((i%5)+1.2, (i%3)+2.4).
+    pub const B: [(u64, u64); 8] = [
+        (0x401A000000000000, 0x3FF8000000000000),
+        (0x4012000000000000, 0x3FE0000000000000),
+        (0x401A000000000000, 0x4004000000000000),
+        (0x401E000000000000, 0x4004000000000000),
+        (0x4012000000000000, 0x3FF8000000000000),
+        (0x4004000000000000, 0x4012000000000000),
+        (0x4004000000000000, 0x400C000000000000),
+        (0x4004000000000000, 0x401E000000000000),
+    ];
+    /// vegas_like(5000, 500) ladder, eps 0.8 g 2, lp.refactor.singular
+    /// armed times(4), seed 0xFA17_5EED, first 8 checkins. The third
+    /// element is the serving tier index (mid-descent resumption: the
+    /// first four queries degrade to tier 1, then tier 0 recovers).
+    pub const C: [(u64, u64, usize); 8] = [
+        (0x4029000000000000, 0x401E000000000000, 1),
+        (0x4029000000000000, 0x4029000000000000, 1),
+        (0x401E000000000000, 0x4029000000000000, 1),
+        (0x4029000000000000, 0x401E000000000000, 1),
+        (0x4029000000000000, 0x401E000000000000, 0),
+        (0x401E000000000000, 0x401E000000000000, 0),
+        (0x4029000000000000, 0x401E000000000000, 0),
+        (0x4029000000000000, 0x401E000000000000, 0),
+    ];
+}
+
+/// The flattened alias path reproduces the pre-flattening golden stream
+/// bit for bit — through the per-level cache path (tables per channel)
+/// AND the fused single-walk tree, at heights 2 and 3.
+#[test]
+fn flattened_sampling_matches_pre_flattening_goldens() {
+    let build = |eps: f64, h: u32| {
+        let domain = BBox::square(8.0);
+        let prior = GridPrior::uniform(domain, 8);
+        MsmMechanism::builder(domain, prior)
+            .epsilon(eps)
+            .granularity(2)
+            .strategy(AllocationStrategy::FixedHeight(h))
+            .build()
+            .expect("valid configuration")
+    };
+    for fused in [false, true] {
+        let msm_a = build(0.8, 2);
+        let msm_b = build(0.9, 3);
+        if fused {
+            msm_a.flatten().expect("flatten A");
+            msm_b.flatten().expect("flatten B");
+        }
+        let mut rng = SeededRng::from_seed(0xD00D);
+        for (i, &(gx, gy)) in goldens::A.iter().enumerate() {
+            let x = Point::new((i % 8) as f64 + 0.3, (i % 7) as f64 + 0.6);
+            let z = msm_a.report(x, &mut rng);
+            assert_eq!(z.x.to_bits(), gx, "A[{i}].x fused={fused}");
+            assert_eq!(z.y.to_bits(), gy, "A[{i}].y fused={fused}");
+        }
+        let mut rng = SeededRng::from_seed(0xBEEF);
+        for (i, &(gx, gy)) in goldens::B.iter().enumerate() {
+            let x = Point::new((i % 5) as f64 + 1.2, (i % 3) as f64 + 2.4);
+            let z = msm_b.report(x, &mut rng);
+            assert_eq!(z.x.to_bits(), gx, "B[{i}].x fused={fused}");
+            assert_eq!(z.y.to_bits(), gy, "B[{i}].y fused={fused}");
+        }
+    }
+}
+
+/// Mid-descent resumption under an armed count-based failpoint still
+/// reproduces the pre-flattening goldens: the degraded ladder resumes
+/// from the reached cell and serves the exact recorded points and tiers.
+#[test]
+fn degraded_ladder_matches_pre_flattening_goldens() {
+    use geoind_testkit::failpoint::{FailSpec, Session};
+    let dataset = city();
+    let prior = GridPrior::from_dataset(&dataset, 8);
+    let ladder = ResilientMechanism::from_builder(
+        MsmMechanism::builder(dataset.domain(), prior)
+            .epsilon(0.8)
+            .granularity(2),
+    )
+    .expect("valid configuration");
+    let mut fp = Session::new();
+    fp.arm("lp.refactor.singular", FailSpec::times(4));
+    let mut rng = SeededRng::from_seed(0xFA17_5EED);
+    let xs: Vec<Point> = dataset
+        .checkins()
+        .iter()
+        .take(8)
+        .map(|c| c.location)
+        .collect();
+    for (i, (&x, &(gx, gy, gt))) in xs.iter().zip(goldens::C.iter()).enumerate() {
+        let (z, tier) = ladder.report_with_tier(x, &mut rng);
+        assert_eq!(tier.index(), gt, "C[{i}] tier");
+        assert_eq!(z.x.to_bits(), gx, "C[{i}].x");
+        assert_eq!(z.y.to_bits(), gy, "C[{i}].y");
+    }
+}
+
+/// `report_many` is sequential serving with the fused tree resolved once:
+/// a batch of one is bit-identical to a single `report_with_tier` call,
+/// and a longer batch is bit-identical to the same calls in a loop.
+#[test]
+fn report_many_batch_of_one_matches_single_call() {
+    let dataset = city();
+    let prior = GridPrior::from_dataset(&dataset, 8);
+    let ladder = ResilientMechanism::from_builder(
+        MsmMechanism::builder(dataset.domain(), prior)
+            .epsilon(0.8)
+            .granularity(2),
+    )
+    .expect("valid configuration");
+    ladder.flatten().expect("flatten");
+    let xs: Vec<Point> = dataset
+        .checkins()
+        .iter()
+        .take(40)
+        .map(|c| c.location)
+        .collect();
+    // Batch of one per call vs single calls.
+    let mut rng_batch = SeededRng::from_seed(0xB1_0F_01);
+    let mut rng_single = SeededRng::from_seed(0xB1_0F_01);
+    for (i, &x) in xs.iter().enumerate() {
+        let batch = ladder.report_many(std::slice::from_ref(&x), &mut rng_batch);
+        let (z, tier) = ladder.report_with_tier(x, &mut rng_single);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].1, tier, "query {i}");
+        assert_eq!(batch[0].0.x.to_bits(), z.x.to_bits(), "query {i}");
+        assert_eq!(batch[0].0.y.to_bits(), z.y.to_bits(), "query {i}");
+    }
+    // One big batch vs the same stream sequentially.
+    let mut rng_batch = SeededRng::from_seed(0xB1_0F_40);
+    let mut rng_single = SeededRng::from_seed(0xB1_0F_40);
+    let batch = ladder.report_many(&xs, &mut rng_batch);
+    for (i, &x) in xs.iter().enumerate() {
+        let (z, tier) = ladder.report_with_tier(x, &mut rng_single);
+        assert_eq!(batch[i].1, tier, "query {i}");
+        assert_eq!(batch[i].0.x.to_bits(), z.x.to_bits(), "query {i}");
+        assert_eq!(batch[i].0.y.to_bits(), z.y.to_bits(), "query {i}");
+    }
+}

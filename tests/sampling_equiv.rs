@@ -1,0 +1,214 @@
+//! Statistical equivalence of the flattened sampling hot path.
+//!
+//! The admission gate flattens every certified channel into contiguous
+//! alias tables (`FlatChannel`), and the MSM serving path fuses them into
+//! a single table walk. This suite proves the flattening changed the
+//! *speed* of sampling and nothing else, two ways:
+//!
+//! * **exactly** — the alias table's implied per-row marginal must
+//!   reconstruct the certified channel row within the same strict
+//!   tolerance the certifier itself applies, with no sampling at all; and
+//! * **statistically** — large seeded draws through the alias path, the
+//!   inverse-CDF path, the fused MSM walk, and the planar-Laplace tiers
+//!   must all pass a chi-square goodness-of-fit test against the exact
+//!   distributions. Every test is seeded, so the chi-square statistics
+//!   are deterministic: the pinned critical values can never flake.
+
+use geoind::mechanisms::alloc::AllocationStrategy;
+use geoind::mechanisms::certify::{strict_tolerance, Verdict};
+use geoind::prelude::*;
+
+const N: usize = 200_000;
+
+/// Upper 0.999 chi-square quantile via the Wilson–Hilferty cube
+/// approximation — accurate to a few percent for the dfs used here, and
+/// only a *bound* anyway: the statistics are deterministic (seeded), so
+/// the margin absorbs the approximation error permanently.
+fn chi2_crit(df: usize) -> f64 {
+    let d = df as f64;
+    let z = 3.090_232; // Φ⁻¹(0.999)
+    d * (1.0 - 2.0 / (9.0 * d) + z * (2.0 / (9.0 * d)).sqrt()).powi(3)
+}
+
+/// Chi-square statistic of observed counts against expected probabilities,
+/// pooling categories with tiny expectation into one cell (the classic
+/// validity rule). Returns `(statistic, degrees_of_freedom)`.
+fn chi_square(counts: &[u64], probs: &[f64], n: usize) -> (f64, usize) {
+    assert_eq!(counts.len(), probs.len());
+    let mut stat = 0.0;
+    let mut cells = 0usize;
+    let (mut pooled_obs, mut pooled_exp) = (0.0f64, 0.0f64);
+    for (&c, &p) in counts.iter().zip(probs) {
+        let expected = p * n as f64;
+        if expected < 5.0 {
+            pooled_obs += c as f64;
+            pooled_exp += expected;
+        } else {
+            let d = c as f64 - expected;
+            stat += d * d / expected;
+            cells += 1;
+        }
+    }
+    if pooled_exp >= 5.0 {
+        let d = pooled_obs - pooled_exp;
+        stat += d * d / pooled_exp;
+        cells += 1;
+    }
+    assert!(cells >= 2, "distribution too degenerate to test");
+    (stat, cells - 1)
+}
+
+/// The (ε, grid, prior) matrix the suite sweeps. Both a flat prior and a
+/// heavily skewed dataset prior, across grid sizes and budgets.
+fn configs() -> Vec<(f64, u32, GridPrior)> {
+    let domain = BBox::square(16.0);
+    let dataset = SyntheticCity::vegas_like().generate_with_size(8_000, 800);
+    vec![
+        (0.5, 3, GridPrior::uniform(domain, 3)),
+        (1.0, 4, GridPrior::uniform(domain, 4)),
+        (0.8, 4, GridPrior::from_dataset(&dataset, 4)),
+        (1.4, 5, GridPrior::from_dataset(&dataset, 5)),
+    ]
+}
+
+#[test]
+fn alias_row_marginals_reconstruct_certified_rows_exactly() {
+    // No sampling at all: the flattened table's implied marginal must
+    // match the certified row within the certifier's own strict
+    // tolerance. This is the "exact" half of the equivalence claim.
+    for (eps, g, prior) in configs() {
+        let grid = Grid::new(BBox::square(16.0), g);
+        let opt = OptimalMechanism::on_grid(eps, &grid, &prior, QualityMetric::Euclidean)
+            .expect("feasible");
+        let channel = opt.channel();
+        let (n, m) = (channel.num_inputs(), channel.num_outputs());
+        let cert = channel
+            .certificate()
+            .expect("admitted channels carry a certificate");
+        assert!(
+            matches!(cert.verdict, Verdict::Certified | Verdict::Repaired),
+            "eps={eps} g={g}: certificate verdict {:?}",
+            cert.verdict
+        );
+        let flat = channel
+            .flat()
+            .expect("admitted channels carry flattened alias tables");
+        let tol = strict_tolerance(n, m);
+        for r in 0..n {
+            let marginal = flat.row_marginal(r);
+            for (z, (&got, &want)) in marginal.iter().zip(channel.row(r)).enumerate() {
+                assert!(
+                    (got - want).abs() <= tol,
+                    "eps={eps} g={g} row {r} cat {z}: |{got} - {want}| > {tol}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn alias_and_cdf_draws_both_fit_the_certified_rows() {
+    // The statistical half, on the channel itself: N seeded draws through
+    // the flattened alias path AND through the inverse-CDF fallback must
+    // both pass a chi-square test against the certified row.
+    for (cfg, (eps, g, prior)) in configs().into_iter().enumerate() {
+        let grid = Grid::new(BBox::square(16.0), g);
+        let opt = OptimalMechanism::on_grid(eps, &grid, &prior, QualityMetric::Euclidean)
+            .expect("feasible");
+        let channel = opt.channel();
+        let m = channel.num_outputs();
+        // One interior row and one corner row per config.
+        for (which, row) in [(0usize, 0usize), (1, m / 2 + 1)] {
+            let mut rng = SeededRng::from_seed(0x5A_17 + 1_000 * cfg as u64 + which as u64);
+            let mut alias_counts = vec![0u64; m];
+            let mut cdf_counts = vec![0u64; m];
+            for _ in 0..N {
+                alias_counts[channel.sample(row, &mut rng)] += 1;
+                cdf_counts[channel.sample_cdf(row, &mut rng)] += 1;
+            }
+            for (path, counts) in [("alias", &alias_counts), ("cdf", &cdf_counts)] {
+                let (stat, df) = chi_square(counts, channel.row(row), N);
+                let crit = chi2_crit(df);
+                assert!(
+                    stat < crit,
+                    "cfg {cfg} row {row} {path} path: chi2 {stat:.2} >= {crit:.2} (df {df})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_msm_walk_fits_the_exact_output_distribution() {
+    // End to end through the tentpole: the fused single-table walk over
+    // the whole hierarchy must reproduce the mechanism's exact output
+    // distribution (the product of its per-level certified channels).
+    let dataset = SyntheticCity::vegas_like().generate_with_size(8_000, 800);
+    let flat_domain = BBox::square(16.0);
+    for (seed, domain, prior) in [
+        (
+            0xF05E_0001u64,
+            flat_domain,
+            GridPrior::uniform(flat_domain, 16),
+        ),
+        (
+            0xF05E_0002,
+            dataset.domain(),
+            GridPrior::from_dataset(&dataset, 16),
+        ),
+    ] {
+        let msm = MsmMechanism::builder(domain, prior)
+            .epsilon(0.9)
+            .granularity(4)
+            .strategy(AllocationStrategy::FixedHeight(2))
+            .build()
+            .expect("valid configuration");
+        msm.flatten().expect("flatten");
+        let leaf = msm.leaf_grid();
+        let centers = leaf.centers();
+        let side = domain.side();
+        let x = Point::new(domain.min.x + 0.33 * side, domain.min.y + 0.57 * side);
+        let exact = msm.exact_output_distribution(x);
+        let mut rng = SeededRng::from_seed(seed);
+        let mut counts = vec![0u64; centers.len()];
+        for _ in 0..N {
+            let z = msm.report(x, &mut rng);
+            let cell = leaf.cell_of(z);
+            counts[cell] += 1;
+        }
+        let (stat, df) = chi_square(&counts, &exact, N);
+        let crit = chi2_crit(df);
+        assert!(
+            stat < crit,
+            "seed {seed:#x}: chi2 {stat:.2} >= {crit:.2} (df {df})"
+        );
+    }
+}
+
+#[test]
+fn laplace_tiers_radius_distribution_fits_the_analytic_cdf() {
+    // The degraded tiers sample their radius through the precomputed
+    // RadialSampler (guess-table Lambert-W). Push each sampled radius
+    // through the analytic CDF C(r) = 1 − (1 + εr)e^{−εr}: the result
+    // must be uniform, checked by an equal-mass chi-square.
+    for (tier_seed, eps) in [(0x7E51u64, 0.4), (0x7E52, 0.8), (0x7E53, 1.6)] {
+        let pl = PlanarLaplace::new(eps);
+        let x = Point::new(0.0, 0.0);
+        let mut rng = SeededRng::from_seed(tier_seed);
+        const K: usize = 64;
+        let mut counts = vec![0u64; K];
+        for _ in 0..N {
+            let z = pl.report_continuous(x, &mut rng);
+            let r = x.dist(z);
+            let u = 1.0 - (1.0 + eps * r) * (-eps * r).exp();
+            counts[((u * K as f64) as usize).min(K - 1)] += 1;
+        }
+        let probs = vec![1.0 / K as f64; K];
+        let (stat, df) = chi_square(&counts, &probs, N);
+        let crit = chi2_crit(df);
+        assert!(
+            stat < crit,
+            "eps={eps}: chi2 {stat:.2} >= {crit:.2} (df {df})"
+        );
+    }
+}
