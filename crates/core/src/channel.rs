@@ -104,6 +104,34 @@ impl Channel {
         self.flat.as_ref()
     }
 
+    /// Worst absolute deviation, over every `(row, output)` entry, between
+    /// the distribution the flattened alias tables actually sample from
+    /// (reconstructed exactly via [`FlatChannel::row_marginal`]) and the
+    /// certified matrix entries. `None` when the channel carries no flat
+    /// table (it serves through the inverse-CDF scan over `probs` itself,
+    /// which cannot drift). A corrupted or stale table shows up here even
+    /// though the certificate — which vouches for `probs`, not the derived
+    /// slots — still validates.
+    pub fn flat_marginal_error(&self) -> Option<f64> {
+        let flat = self.flat.as_ref()?;
+        let m = self.outputs.len();
+        let mut worst = 0.0f64;
+        for r in 0..self.inputs.len() {
+            for (z, reconstructed) in flat.row_marginal(r).iter().enumerate() {
+                worst = worst.max((reconstructed - self.probs[r * m + z]).abs());
+            }
+        }
+        Some(worst)
+    }
+
+    /// Test-only: override the flat table to simulate corruption between
+    /// admission and serving (the audit in `MsmMechanism` must catch it).
+    #[cfg(test)]
+    pub(crate) fn with_flat_override(mut self, flat: Option<FlatChannel>) -> Self {
+        self.flat = flat;
+        self
+    }
+
     /// Input locations (logical locations `X`).
     pub fn inputs(&self) -> &[Point] {
         &self.inputs
@@ -537,5 +565,29 @@ mod tests {
         let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
         let c = Channel::new(pts.clone(), pts, vec![1.0 + 1e-10, -1e-10, 0.0, 1.0]);
         assert!(c.prob(0, 1) >= 0.0);
+    }
+
+    #[test]
+    fn flat_marginal_error_is_tiny_when_honest_and_catches_a_swapped_table() {
+        use crate::certify::{certify, Certificate};
+        let c = two_point_channel(0.7);
+        // No flat table yet: nothing to audit.
+        assert!(c.flat_marginal_error().is_none());
+        let cert: Certificate = certify(&c, 1.0, 1e-6);
+        let admitted = c.with_certificate(cert);
+        let honest = admitted.flat_marginal_error().expect("table built");
+        assert!(
+            honest <= 8.0 * f64::EPSILON,
+            "honest table drifted {honest}"
+        );
+        // A flat table built from *different* rows behind the same
+        // certificate must be flagged with an error of the row gap.
+        let wrong = FlatChannel::build(&[0.9, 0.1, 0.1, 0.9], 2, 2).expect("build");
+        let tampered = admitted.with_flat_override(Some(wrong));
+        let err = tampered.flat_marginal_error().expect("table present");
+        assert!(
+            (err - 0.2).abs() < 1e-9,
+            "tampered table not detected: {err}"
+        );
     }
 }

@@ -56,7 +56,7 @@ pub use channel::Channel;
 pub use eval::{EvalReport, Evaluator};
 pub use flat::FlatChannel;
 pub use metrics::QualityMetric;
-pub use msm::{DescentInterrupted, DescentOutcome, MsmMechanism};
+pub use msm::{DescentInterrupted, DescentOutcome, FlatAudit, MsmMechanism};
 pub use offline::CacheImportReport;
 pub use opt::OptimalMechanism;
 pub use planar_laplace::PlanarLaplace;

@@ -318,6 +318,22 @@ pub struct DescentInterrupted {
     pub error: MechanismError,
 }
 
+/// Result of [`MsmMechanism::audit_flat_tables`]: the alias-table
+/// marginals of every cached channel, checked against the certified
+/// matrix entries.
+#[derive(Debug, Clone)]
+pub struct FlatAudit {
+    /// Cached channels inspected.
+    pub channels: usize,
+    /// How many of them carry an admission-built flat table.
+    pub flattened: usize,
+    /// Worst `|reconstructed - certified|` entry across all tables.
+    pub worst_error: f64,
+    /// Channels whose table exceeds the strict certification tolerance —
+    /// a corrupted table serving behind a valid certificate.
+    pub failures: Vec<(LevelCell, f64)>,
+}
+
 /// The multi-step mechanism over a hierarchical grid index.
 #[derive(Debug)]
 pub struct MsmMechanism {
@@ -575,6 +591,40 @@ impl MsmMechanism {
                 (cell, crate::certify::certify(&ch, eps_i, tol))
             })
             .collect()
+    }
+
+    /// Re-derive every cached channel's alias-table row marginals (the
+    /// distribution the serving path actually samples from) and compare
+    /// them against the certified matrix at the strict tolerance.
+    ///
+    /// Certification vouches for the matrix `probs`; the flattened tables
+    /// are a *derived* artifact built at admission. If the two ever
+    /// disagree — a corrupted table, a stale rebuild — the channel would
+    /// serve a distribution its certificate never checked. This audit
+    /// closes that gap: `geoind doctor` runs it and exits nonzero on any
+    /// entry in [`FlatAudit::failures`].
+    pub fn audit_flat_tables(&self) -> FlatAudit {
+        let mut audit = FlatAudit {
+            channels: 0,
+            flattened: 0,
+            worst_error: 0.0,
+            failures: Vec::new(),
+        };
+        for (cell, ch) in self.cache_snapshot() {
+            audit.channels += 1;
+            let Some(err) = ch.flat_marginal_error() else {
+                // No table: the channel serves through the inverse-CDF scan
+                // over the certified matrix itself, which cannot drift.
+                continue;
+            };
+            audit.flattened += 1;
+            audit.worst_error = audit.worst_error.max(err);
+            let tol = crate::certify::strict_tolerance(ch.num_inputs(), ch.num_outputs());
+            if err > tol {
+                audit.failures.push((cell, err));
+            }
+        }
+        audit
     }
 
     /// Fallible form of [`Mechanism::report`]: the full hierarchical
@@ -928,6 +978,44 @@ mod tests {
             .strategy(AllocationStrategy::FixedHeight(2))
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn flat_table_audit_catches_a_corrupted_table_behind_a_valid_certificate() {
+        use crate::flat::FlatChannel;
+        let msm = tiny_msm(0.8);
+        msm.try_channel_for(LevelCell::ROOT).expect("warm cache");
+        let healthy = msm.audit_flat_tables();
+        assert!(healthy.channels >= 1 && healthy.flattened >= 1);
+        assert!(
+            healthy.failures.is_empty() && healthy.worst_error <= 1e-9,
+            "honest tables flagged: {healthy:?}"
+        );
+        // Swap in a flat table built from the wrong distribution (all mass
+        // on output 0) behind the untouched matrix + certificate.
+        let (cell, ch) = msm
+            .cache_snapshot()
+            .into_iter()
+            .next()
+            .expect("cached channel");
+        let (n, m) = (ch.num_inputs(), ch.num_outputs());
+        let mut wrong = vec![0.0; n * m];
+        for r in 0..n {
+            wrong[r * m] = 1.0;
+        }
+        let tampered = (*ch)
+            .clone()
+            .with_flat_override(FlatChannel::build(&wrong, n, m));
+        msm.cache_insert(cell, Arc::new(tampered));
+        // Re-certification still passes — the certificate vouches for the
+        // matrix, which is untouched. Only the marginal audit can see it.
+        assert!(msm.recertify_cache().iter().all(|(_, c)| c.passes()));
+        let audit = msm.audit_flat_tables();
+        assert!(
+            audit.failures.len() == 1 && audit.failures[0].0 == cell,
+            "corrupted table not flagged: {audit:?}"
+        );
+        assert!(audit.worst_error > 0.05, "error too small: {audit:?}");
     }
 
     #[test]

@@ -1,0 +1,585 @@
+//! Closed-loop load generator for the wire server (`geoind loadgen`).
+//!
+//! Each connection thread owns a slice of the request ids and drives
+//! them to a **terminal** outcome: retryable refusals (`overloaded`,
+//! `draining`, `in_flight`), torn responses, resets and timeouts are
+//! retried with seeded exponential backoff + jitter under the same
+//! idempotency id, so a retry after a torn response replays the
+//! journaled outcome instead of spending again.
+//!
+//! At the end the client fetches `GET /report` and reconciles its own
+//! terminal tallies against the server's gate counters **exactly** —
+//! every logical request must appear in exactly one terminal bucket on
+//! both sides. `geoind loadgen` exits nonzero on any mismatch, which is
+//! what lets CI drive the failpoint-armed server and still demand
+//! perfect accounting.
+
+use crate::json::Json;
+use geoind_rng::{Rng, SeededRng};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`run_load`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, e.g. `127.0.0.1:4770`.
+    pub addr: String,
+    /// Concurrent connection threads (clamped to at least 1).
+    pub connections: usize,
+    /// Total logical requests to drive to a terminal outcome.
+    pub requests: u64,
+    /// Requests cycle over users `0..users` (clamped to at least 1).
+    pub users: u64,
+    /// Per-attempt socket timeout (connect, read, write).
+    pub timeout_ms: u64,
+    /// Attempts per logical request before giving up (clamped to ≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff; attempt `k` waits `base·2^min(k,6)` plus seeded
+    /// jitter in `[0, base)`.
+    pub backoff_base_ms: u64,
+    /// Seed for the per-thread jitter RNGs.
+    pub seed: u64,
+    /// Post `/shutdown` after a successful reconciliation.
+    pub shutdown_after: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:4770".into(),
+            connections: 4,
+            requests: 100,
+            users: 10,
+            timeout_ms: 2_000,
+            max_attempts: 12,
+            backoff_base_ms: 10,
+            seed: 1,
+            shutdown_after: false,
+        }
+    }
+}
+
+/// Client-side terminal tallies plus throughput/latency, produced by
+/// [`run_load`] after a successful reconciliation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadReport {
+    /// Requests that ended `served`.
+    pub served: u64,
+    /// Requests that ended `budget_exhausted`.
+    pub refused_budget: u64,
+    /// Requests that ended `expired`.
+    pub expired: u64,
+    /// Requests that ended `journal_fault`.
+    pub journal_faults: u64,
+    /// Retry attempts beyond each request's first (all causes).
+    pub retries: u64,
+    /// `503 overloaded` refusals observed (queue-full sheds).
+    pub shed_seen: u64,
+    /// Exchanges the client had to abandon mid-flight: timeouts, resets,
+    /// torn/unparseable responses.
+    pub torn_seen: u64,
+    /// Idempotent replays the server reported at the end.
+    pub server_retried: u64,
+    /// Wall-clock for the whole run, seconds.
+    pub wall_s: f64,
+    /// Terminal outcomes per wall-clock second.
+    pub req_per_s: f64,
+    /// Median latency (first send → terminal outcome), milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+impl LoadReport {
+    /// Terminal outcomes the client accounted for.
+    pub fn total(&self) -> u64 {
+        self.served + self.refused_budget + self.expired + self.journal_faults
+    }
+
+    /// Stable single-line form, mirroring the server's log-line
+    /// discipline (append-only `key=value`).
+    pub fn log_line(&self) -> String {
+        format!(
+            "loadgen total={} served={} refused={} expired={} journal-fault={} retries={} shed_seen={} torn_seen={} server_retried={} wall_s={:.3} req_per_s={:.1} p50_ms={:.2} p99_ms={:.2}",
+            self.total(),
+            self.served,
+            self.refused_budget,
+            self.expired,
+            self.journal_faults,
+            self.retries,
+            self.shed_seen,
+            self.torn_seen,
+            self.server_retried,
+            self.wall_s,
+            self.req_per_s,
+            self.p50_ms,
+            self.p99_ms,
+        )
+    }
+}
+
+/// Why a load run failed. Any of these makes `geoind loadgen` exit
+/// nonzero.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not resolve or reach the server at all.
+    Io(String),
+    /// The server answered something the protocol does not allow.
+    Protocol(String),
+    /// A logical request exhausted its retry budget.
+    RetriesExhausted {
+        /// The request id that gave up.
+        id: u64,
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// The client's terminal tallies do not match the server's gate
+    /// counters.
+    Mismatch {
+        /// What disagreed.
+        detail: String,
+        /// The client-side tallies for the post-mortem.
+        report: Box<LoadReport>,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(detail) => write!(f, "i/o: {detail}"),
+            ClientError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+            ClientError::RetriesExhausted { id, attempts } => {
+                write!(f, "request {id} gave up after {attempts} attempts")
+            }
+            ClientError::Mismatch { detail, .. } => {
+                write!(f, "reconciliation failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+#[derive(Debug, Default, Clone)]
+struct Tally {
+    served: u64,
+    refused_budget: u64,
+    expired: u64,
+    journal_faults: u64,
+    retries: u64,
+    shed_seen: u64,
+    torn_seen: u64,
+}
+
+/// Drive `config.requests` logical requests to terminal outcomes over
+/// `config.connections` threads, then reconcile against the server's
+/// own counters.
+///
+/// # Errors
+/// [`ClientError::Mismatch`] when any gate counter disagrees with the
+/// client tally; the other variants for connectivity, protocol, or
+/// retry-budget failures.
+pub fn run_load(config: &ClientConfig) -> Result<LoadReport, ClientError> {
+    let addr = resolve(&config.addr)?;
+    let connections = config.connections.max(1);
+    let users = config.users.max(1);
+    let started = Instant::now();
+    let results: Vec<Result<(Tally, Vec<f64>), ClientError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|t| {
+                let config = config.clone();
+                s.spawn(move || connection_thread(t, connections, users, addr, &config))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(ClientError::Io("client thread panicked".into())))
+            })
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut tally = Tally::default();
+    let mut latencies = Vec::new();
+    for result in results {
+        let (t, mut lat) = result?;
+        tally.served += t.served;
+        tally.refused_budget += t.refused_budget;
+        tally.expired += t.expired;
+        tally.journal_faults += t.journal_faults;
+        tally.retries += t.retries;
+        tally.shed_seen += t.shed_seen;
+        tally.torn_seen += t.torn_seen;
+        latencies.append(&mut lat);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let percentile = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    let mut report = LoadReport {
+        served: tally.served,
+        refused_budget: tally.refused_budget,
+        expired: tally.expired,
+        journal_faults: tally.journal_faults,
+        retries: tally.retries,
+        shed_seen: tally.shed_seen,
+        torn_seen: tally.torn_seen,
+        server_retried: 0,
+        wall_s,
+        req_per_s: if wall_s > 0.0 {
+            tally.served as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_ms: percentile(0.50),
+        p99_ms: percentile(0.99),
+    };
+    // req_per_s counts all terminal outcomes, not just serves.
+    if wall_s > 0.0 {
+        report.req_per_s = report.total() as f64 / wall_s;
+    }
+
+    reconcile(addr, config, &mut report)?;
+
+    if config.shutdown_after {
+        let (status, _body) = control_exchange(addr, config, "POST", "/shutdown", "{}")?;
+        if status != 200 {
+            return Err(ClientError::Protocol(format!("shutdown answered {status}")));
+        }
+    }
+    Ok(report)
+}
+
+/// Control-plane exchange with its own retry loop: an armed
+/// `serve.net.*` failpoint may drop or tear the `/report` or
+/// `/shutdown` connection too, and the run must not fail on that.
+fn control_exchange(
+    addr: SocketAddr,
+    config: &ClientConfig,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), ClientError> {
+    let mut last = String::new();
+    for attempt in 0..8u64 {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(50 * attempt));
+        }
+        let mut stream = match connect(addr, config.timeout_ms) {
+            Ok(s) => s,
+            Err(e) => {
+                last = e.to_string();
+                continue;
+            }
+        };
+        match exchange(&mut stream, method, path, body, config.timeout_ms) {
+            Ok(answer) => return Ok(answer),
+            Err(e) => last = e.to_string(),
+        }
+    }
+    Err(ClientError::Io(format!("{method} {path} failed: {last}")))
+}
+
+/// Fetch `GET /report` and demand exact agreement on every gate
+/// counter. Wire-only telemetry (`shed_net`, `torn`) is deliberately
+/// not matched: a stalled handler may count a tear *after* this
+/// snapshot, and those exchanges never reached the gate.
+fn reconcile(
+    addr: SocketAddr,
+    config: &ClientConfig,
+    report: &mut LoadReport,
+) -> Result<(), ClientError> {
+    let (status, body) = control_exchange(addr, config, "GET", "/report", "")?;
+    if status != 200 {
+        return Err(ClientError::Protocol(format!("/report answered {status}")));
+    }
+    let parsed = Json::parse(&body)
+        .map_err(|e| ClientError::Protocol(format!("unparseable /report body: {e}")))?;
+    let field = |name: &str| -> Result<u64, ClientError> {
+        parsed
+            .get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol(format!("/report missing {name}")))
+    };
+    report.server_retried = field("retried")?;
+    let pairs = [
+        ("served", field("served")?, report.served),
+        (
+            "refused_budget",
+            field("refused_budget")?,
+            report.refused_budget,
+        ),
+        ("expired", field("expired")?, report.expired),
+        (
+            "journal_faults",
+            field("journal_faults")?,
+            report.journal_faults,
+        ),
+    ];
+    let mut mismatches = Vec::new();
+    for (name, server, client) in pairs {
+        if server != client {
+            mismatches.push(format!("{name}: server={server} client={client}"));
+        }
+    }
+    if !mismatches.is_empty() {
+        return Err(ClientError::Mismatch {
+            detail: mismatches.join(", "),
+            report: Box::new(report.clone()),
+        });
+    }
+    Ok(())
+}
+
+fn connection_thread(
+    thread_index: usize,
+    connections: usize,
+    users: u64,
+    addr: SocketAddr,
+    config: &ClientConfig,
+) -> Result<(Tally, Vec<f64>), ClientError> {
+    let mut rng = SeededRng::from_seed(config.seed.wrapping_add(thread_index as u64));
+    let mut tally = Tally::default();
+    let mut latencies = Vec::new();
+    let mut stream: Option<TcpStream> = None;
+    let max_attempts = config.max_attempts.max(1);
+    for id in (thread_index as u64..config.requests).step_by(connections) {
+        let user = id % users;
+        // The point is deterministic in the id so reruns are comparable.
+        let x = (id % 7) as f64 * 0.9 - 3.0;
+        let y = (id % 5) as f64 * 1.1 - 2.0;
+        let body = format!(r#"{{"user":{user},"id":{id},"x":{x},"y":{y}}}"#);
+        let first_send = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            if attempt >= max_attempts {
+                return Err(ClientError::RetriesExhausted {
+                    id,
+                    attempts: attempt,
+                });
+            }
+            if attempt > 0 {
+                tally.retries += 1;
+                backoff(&mut rng, config.backoff_base_ms, attempt);
+            }
+            attempt += 1;
+            let conn = match stream.take() {
+                Some(conn) => conn,
+                None => match connect(addr, config.timeout_ms) {
+                    Ok(conn) => conn,
+                    Err(_) => continue, // server mid-restart or accept-dropped
+                },
+            };
+            let mut conn = conn;
+            match exchange(&mut conn, "POST", "/protect", &body, config.timeout_ms) {
+                Err(_) => {
+                    // Timeout, reset, torn response: abandon the
+                    // connection and retry the same id — the server's
+                    // idempotency table makes this at-most-once.
+                    tally.torn_seen += 1;
+                    continue;
+                }
+                Ok((status, response_body)) => {
+                    let outcome = Json::parse(&response_body)
+                        .ok()
+                        .and_then(|v| v.get("status").and_then(Json::as_str).map(String::from));
+                    let Some(outcome) = outcome else {
+                        tally.torn_seen += 1;
+                        continue;
+                    };
+                    match (status, outcome.as_str()) {
+                        (200, "served") => {
+                            tally.served += 1;
+                        }
+                        (200, "budget_exhausted") => {
+                            tally.refused_budget += 1;
+                        }
+                        (200, "expired") => {
+                            tally.expired += 1;
+                        }
+                        (200, "journal_fault") => {
+                            tally.journal_faults += 1;
+                        }
+                        (503, "overloaded") => {
+                            tally.shed_seen += 1;
+                            stream = Some(conn);
+                            continue;
+                        }
+                        (503, "draining" | "in_flight" | "too_many_connections") => {
+                            stream = Some(conn);
+                            continue;
+                        }
+                        (s, o) => {
+                            return Err(ClientError::Protocol(format!(
+                                "request {id}: unexpected {s} {o:?}"
+                            )));
+                        }
+                    }
+                    latencies.push(first_send.elapsed().as_secs_f64() * 1_000.0);
+                    stream = Some(conn);
+                    break;
+                }
+            }
+        }
+    }
+    Ok((tally, latencies))
+}
+
+/// Exponential backoff with seeded jitter: `base·2^min(attempt,6)` plus
+/// a uniform draw in `[0, base)` milliseconds.
+fn backoff(rng: &mut SeededRng, base_ms: u64, attempt: u32) {
+    let base = base_ms.max(1);
+    let exp = base.saturating_mul(1u64 << attempt.min(6));
+    let jitter = (rng.gen_f64() * base as f64) as u64;
+    std::thread::sleep(Duration::from_millis(exp + jitter));
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, ClientError> {
+    addr.to_socket_addrs()
+        .map_err(|e| ClientError::Io(format!("cannot resolve {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| ClientError::Io(format!("{addr} resolves to nothing")))
+}
+
+fn connect(addr: SocketAddr, timeout_ms: u64) -> Result<TcpStream, ClientError> {
+    let timeout = Duration::from_millis(timeout_ms.max(1));
+    let stream = TcpStream::connect_timeout(&addr, timeout)
+        .map_err(|e| ClientError::Io(format!("connect {addr}: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| ClientError::Io(e.to_string()))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| ClientError::Io(e.to_string()))?;
+    Ok(stream)
+}
+
+/// One HTTP exchange: write the request, read exactly one response
+/// frame. Any I/O failure or short/unparseable response is an `Err`.
+fn exchange(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout_ms: u64,
+) -> std::io::Result<(u16, String)> {
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: geoind\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    read_response(stream, timeout_ms)
+}
+
+fn read_response(stream: &mut TcpStream, timeout_ms: u64) -> std::io::Result<(u16, String)> {
+    use std::io::{Error, ErrorKind};
+    let deadline = Instant::now() + Duration::from_millis(timeout_ms.max(1));
+    let mut pending: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some((status, body_text)) = try_parse_response(&pending)? {
+            return Ok((status, body_text));
+        }
+        if Instant::now() >= deadline {
+            return Err(Error::new(ErrorKind::TimedOut, "response deadline"));
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Err(Error::new(ErrorKind::UnexpectedEof, "torn response")),
+            Ok(n) => pending.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn try_parse_response(pending: &[u8]) -> std::io::Result<Option<(u16, String)>> {
+    use std::io::{Error, ErrorKind};
+    let Some(head_end) = pending.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&pending[..head_end])
+        .map_err(|_| Error::new(ErrorKind::InvalidData, "non-utf8 head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| Error::new(ErrorKind::InvalidData, "empty head"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::new(ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| Error::new(ErrorKind::InvalidData, "bad content-length"))?;
+            }
+        }
+    }
+    let total = head_end + 4 + content_length;
+    if pending.len() < total {
+        return Ok(None);
+    }
+    let body = std::str::from_utf8(&pending[head_end + 4..total])
+        .map_err(|_| Error::new(ErrorKind::InvalidData, "non-utf8 body"))?;
+    Ok(Some((status, body.to_string())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_parser_handles_split_and_exact_frames() {
+        let full = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nabcd";
+        // Incomplete prefixes parse to None, the full frame parses once.
+        for cut in 0..full.len() {
+            let parsed = try_parse_response(&full[..cut]).unwrap();
+            assert!(parsed.is_none(), "cut={cut}");
+        }
+        let (status, body) = try_parse_response(full).unwrap().unwrap();
+        assert_eq!((status, body.as_str()), (200, "abcd"));
+    }
+
+    #[test]
+    fn load_report_log_line_format_is_pinned() {
+        let report = LoadReport {
+            served: 10,
+            refused_budget: 2,
+            expired: 1,
+            journal_faults: 1,
+            retries: 3,
+            shed_seen: 2,
+            torn_seen: 1,
+            server_retried: 1,
+            wall_s: 0.5,
+            req_per_s: 28.0,
+            p50_ms: 1.25,
+            p99_ms: 9.5,
+        };
+        assert_eq!(
+            report.log_line(),
+            "loadgen total=14 served=10 refused=2 expired=1 journal-fault=1 retries=3 shed_seen=2 torn_seen=1 server_retried=1 wall_s=0.500 req_per_s=28.0 p50_ms=1.25 p99_ms=9.50"
+        );
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_jittered() {
+        // Attempt 60 must not overflow the shift.
+        let mut rng = SeededRng::from_seed(9);
+        let start = Instant::now();
+        backoff(&mut rng, 1, 60);
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
+}

@@ -81,8 +81,11 @@ const SNAP_HEADER_LEN: u64 = 44;
 const MAX_SNAP_ENTRIES: u64 = 50_000_000;
 
 /// FNV-1a 64-bit — the workspace's standard corruption check (integrity,
-/// not authenticity), matching the offline channel-cache format.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// not authenticity), matching the offline channel-cache format. Also the
+/// shard router's hash ([`crate::shard::shard_of`]): user-to-shard
+/// placement must be stable across restarts, so it reuses the journal's
+/// pinned hash rather than anything process-seeded.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

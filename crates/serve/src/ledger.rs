@@ -65,6 +65,16 @@ pub enum SpendError {
     Journal(JournalError),
     /// The requested charge is invalid (non-positive or non-finite).
     BadCharge(f64),
+    /// The ledger shard holding this user's account failed recovery (see
+    /// [`crate::shard::ShardedLedger`]). Without the shard's durable spend
+    /// record the user's composed-ε position is unknown, so every request
+    /// routed to it is refused — fail-closed, never served blind.
+    ShardUnavailable {
+        /// Index of the unavailable shard.
+        shard: u64,
+        /// Why the shard failed to recover.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SpendError {
@@ -80,6 +90,12 @@ impl std::fmt::Display for SpendError {
             ),
             SpendError::Journal(_) => write!(f, "spend could not be journaled"),
             SpendError::BadCharge(eps) => write!(f, "invalid spend {eps}"),
+            SpendError::ShardUnavailable { shard, detail } => {
+                write!(
+                    f,
+                    "ledger shard {shard} unavailable ({detail}); refusing fail-closed"
+                )
+            }
         }
     }
 }
@@ -163,6 +179,12 @@ impl SpendLedger {
                 remaining,
             },
             BudgetError::BadCharge(v) => SpendError::BadCharge(v),
+            // An in-memory account never routes through a shard; the
+            // variant exists for the sharded ledger layered on top.
+            BudgetError::ShardUnavailable { shard } => SpendError::ShardUnavailable {
+                shard,
+                detail: "unexpected shard refusal from an in-memory account".into(),
+            },
         })?;
         // Write-ahead: durable record first, in-memory spend second. A
         // crash between the two recovers the spend from the journal —

@@ -18,6 +18,18 @@
 //! * [`server`] — a bounded-queue worker pool with load shedding,
 //!   per-request deadlines checked before any sampling, graceful drain
 //!   on shutdown, and per-tier/per-outcome counters.
+//! * [`shard`] — the ledger split by user hash into N independent
+//!   journals (`shard-<k>/`) so fsync and compaction never serialize;
+//!   a shard that fails recovery refuses its users fail-closed while
+//!   the rest keep serving.
+//! * [`wire`] — a std-only HTTP/1.1 front door over the worker pool:
+//!   bounded accept backlog, per-connection deadlines, pipelined
+//!   batches, idempotent retry keys, socket-level failpoints, and a
+//!   graceful drain that reconciles exactly with what clients saw.
+//! * [`client`] — the closed-loop load generator used by `geoind
+//!   loadgen`: seeded exponential backoff with jitter, per-request
+//!   timeouts, and end-of-run reconciliation against the server's own
+//!   counters.
 //!
 //! Everything is std-only and deterministic under test: time comes from
 //! [`geoind_testkit::clock::Clock`], randomness from seeded
@@ -27,13 +39,20 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod client;
 pub mod journal;
+pub(crate) mod json;
 pub mod ledger;
 pub mod server;
+pub mod shard;
+pub mod wire;
 
+pub use client::{run_load, ClientConfig, ClientError, LoadReport};
 pub use geoind_testkit::clock;
 pub use journal::{atomic_write, Journal, JournalError, RecoveredState};
 pub use ledger::{LedgerConfig, SpendError, SpendLedger};
 pub use server::{
     Request, Response, ServeConfig, ServeReport, Server, ShutdownOutcome, SubmitError,
 };
+pub use shard::{shard_of, ShardedLedger};
+pub use wire::{WireConfig, WireServer};

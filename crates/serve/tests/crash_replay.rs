@@ -238,3 +238,101 @@ fn fault_during_epoch_advance_open_never_leaks_old_spend() {
     assert!(matches!(err, JournalError::EpochRegression { .. }));
     fs::remove_dir_all(&dir).ok();
 }
+
+/// Sharded variant of the crash sweep: one shard's journal is damaged
+/// beyond recovery while an append fault is also in play. The damaged
+/// shard must refuse its users fail-closed; every *healthy* shard must
+/// recover exactly what it served — and only what **it** served, never a
+/// record that belongs to another shard (no cross-shard double-count).
+#[test]
+fn sharded_crash_refuses_damaged_shard_and_recovers_the_rest_exactly() {
+    use geoind_serve::shard::{shard_of, ShardedLedger};
+
+    const SHARDS: usize = 4;
+    const DAMAGED: usize = 1;
+    // Crash one shard mid-append at three fault positions: first hit,
+    // mid-workload, and a repeating burst.
+    for spec in [
+        FailSpec::after(0, 1),
+        FailSpec::after(7, 1),
+        FailSpec::times(3),
+    ] {
+        let dir = temp_dir("sharded");
+        // Phase 1 (clean): put committed, snapshotted spend on every
+        // shard so the damage in phase 3 hits a checksummed region.
+        let mut served: BTreeMap<u64, f64> = BTreeMap::new();
+        {
+            let ledger = ShardedLedger::open(&dir, config(100.0, 0), SHARDS);
+            for k in 0..SHARDS {
+                let user = (0..64)
+                    .find(|&u| shard_of(u, SHARDS) == k)
+                    .expect("a user per shard");
+                ledger.try_spend(user, EPS).expect("clean spend");
+                *served.entry(user).or_insert(0.0) += EPS;
+            }
+            ledger.checkpoint_all().expect("checkpoint");
+        }
+        // Phase 2 (faulted): more spends with the append site armed;
+        // the session is thread-scoped and try_spend runs right here,
+        // so the fault lands inside whichever shard the user routes to.
+        let mut refused = 0u64;
+        {
+            let ledger = ShardedLedger::open(&dir, config(100.0, 0), SHARDS);
+            let mut fp = Session::new();
+            fp.arm("serve.journal.append", spec);
+            for i in 0..REQUESTS {
+                let user = i % USERS;
+                match ledger.try_spend(user, EPS) {
+                    Ok(()) => *served.entry(user).or_insert(0.0) += EPS,
+                    Err(SpendError::Journal(_)) => refused += 1,
+                    Err(other) => panic!("unexpected refusal: {other:?}"),
+                }
+            }
+            drop(fp);
+            // Crash: dropped without checkpoint.
+        }
+        assert!(refused > 0, "{spec:?}: append fault never refused");
+
+        // Phase 3: damage the snapshot of one shard (a committed,
+        // checksummed region — not a recoverable torn tail).
+        let snap = dir.join(format!("shard-{DAMAGED}")).join("ledger.snap");
+        let mut bytes = fs::read(&snap).expect("read snap");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&snap, &bytes).expect("write damaged snap");
+
+        let recovered = ShardedLedger::open(&dir, config(100.0, 0), SHARDS);
+        let failed = recovered.failed_shards();
+        assert_eq!(failed.len(), 1, "{spec:?}: exactly one shard damaged");
+        assert_eq!(failed[0].0, DAMAGED);
+
+        let mut healthy_expected = 0.0;
+        for (&user, &spend) in &served {
+            if shard_of(user, SHARDS) == DAMAGED {
+                // Fail-closed: without the shard's record the user's
+                // position is unknown — refuse, never serve.
+                match recovered.try_spend(user, EPS) {
+                    Err(SpendError::ShardUnavailable { shard, .. }) => {
+                        assert_eq!(shard, DAMAGED as u64);
+                    }
+                    other => panic!("{spec:?}: damaged shard answered {other:?}"),
+                }
+            } else {
+                // Healthy shards recover exactly what they served: the
+                // in-process fault repairs the tail before the crash, and
+                // no record from another shard can leak in.
+                let r = recovered.spent(user);
+                assert!(
+                    (r - spend).abs() < 1e-9,
+                    "{spec:?}: user {user} recovered {r}, served {spend}"
+                );
+                healthy_expected += spend;
+            }
+        }
+        assert!(
+            (recovered.total_spent() - healthy_expected).abs() < 1e-9,
+            "{spec:?}: cross-shard double-count"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+}

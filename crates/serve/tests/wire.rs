@@ -1,0 +1,472 @@
+//! Real-socket suite for the wire layer: loopback TCP, the actual
+//! loadgen client, and the `serve.net.*` failpoints.
+//!
+//! Wire failpoints fire on the server's handler threads, so arming is
+//! **process-global** (`arm_global`) rather than thread-scoped — every
+//! test that arms a site serializes on [`NET_FAULTS`] and disarms on
+//! the way out. The invariant under every injected fault is the same:
+//! the client's terminal tallies reconcile *exactly* with the server's
+//! gate counters, a torn request burns no budget, and a torn response
+//! is replayed (never re-spent) on retry.
+
+use geoind_core::alloc::AllocationStrategy;
+use geoind_core::msm::MsmMechanism;
+use geoind_core::ResilientMechanism;
+use geoind_data::prior::GridPrior;
+use geoind_serve::client::{run_load, ClientConfig};
+use geoind_serve::ledger::LedgerConfig;
+use geoind_serve::shard::{shard_of, ShardedLedger};
+use geoind_serve::wire::{WireConfig, WireServer};
+use geoind_serve::{ServeConfig, SpendLedger};
+use geoind_spatial::geom::BBox;
+use geoind_testkit::clock::SystemClock;
+use geoind_testkit::failpoint::{self, FailSpec};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const EPS: f64 = 0.8;
+
+/// Serializes every test in this file: arming is process-wide, so a
+/// fault armed by one test would fire inside a concurrently running
+/// server of another and corrupt its exact counts.
+static NET_FAULTS: Mutex<()> = Mutex::new(());
+
+fn mechanism() -> ResilientMechanism {
+    let domain = BBox::square(8.0);
+    let prior = GridPrior::uniform(domain, 8);
+    ResilientMechanism::from_builder(
+        MsmMechanism::builder(domain, prior)
+            .epsilon(EPS)
+            .granularity(2)
+            .strategy(AllocationStrategy::FixedHeight(2)),
+    )
+    .expect("build mechanism")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "geoind-wire-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sharded(dir: &std::path::Path, cap: f64, shards: usize) -> ShardedLedger {
+    ShardedLedger::open(
+        dir,
+        LedgerConfig {
+            cap_per_user: cap,
+            epoch: 0,
+            compact_after: 0,
+        },
+        shards,
+    )
+}
+
+fn wire_config() -> WireConfig {
+    WireConfig {
+        serve: ServeConfig {
+            workers: 2,
+            queue_capacity: 32,
+            seed: 42,
+            batch: 4,
+        },
+        max_connections: 32,
+        read_timeout_ms: 250,
+        write_timeout_ms: 1_000,
+        max_body_bytes: 64 * 1024,
+        deadline_ms: None,
+    }
+}
+
+fn start_server(dir: &std::path::Path, cap: f64) -> WireServer {
+    WireServer::start(
+        mechanism(),
+        sharded(dir, cap, 4),
+        Arc::new(SystemClock),
+        wire_config(),
+        "127.0.0.1:0",
+    )
+    .expect("bind wire server")
+}
+
+fn client_config(addr: std::net::SocketAddr, requests: u64) -> ClientConfig {
+    ClientConfig {
+        addr: addr.to_string(),
+        connections: 4,
+        requests,
+        users: 5,
+        timeout_ms: 2_000,
+        max_attempts: 16,
+        backoff_base_ms: 5,
+        seed: 7,
+        shutdown_after: false,
+    }
+}
+
+/// Raw-socket exchange helper for the tests that need byte-level control.
+fn raw_exchange(addr: std::net::SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(2_000)))
+        .expect("read timeout");
+    stream.write_all(request.as_bytes()).expect("write");
+    // One response frame: read until the declared body is complete.
+    let mut pending = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(end) = frame_end(&pending) {
+            return String::from_utf8_lossy(&pending[..end]).into_owned();
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return String::from_utf8_lossy(&pending).into_owned(),
+            Ok(n) => pending.extend_from_slice(&buf[..n]),
+            Err(e) => panic!("raw read failed with {pending:?} buffered: {e}"),
+        }
+    }
+}
+
+fn frame_end(pending: &[u8]) -> Option<usize> {
+    let head_end = pending.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&pending[..head_end]).ok()?;
+    let mut content_length = 0usize;
+    for line in head.split("\r\n").skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    let total = head_end + 4 + content_length;
+    (pending.len() >= total).then_some(total)
+}
+
+fn protect_request(user: u64, id: u64) -> String {
+    let body = format!(r#"{{"user":{user},"id":{id},"x":1.0,"y":2.0}}"#);
+    format!(
+        "POST /protect HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[test]
+fn closed_loop_over_loopback_reconciles_exactly() {
+    let _guard = NET_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_dir("plain");
+    // Cap fits 4 requests per user: 40 requests over 5 users → 20
+    // served, 20 budget-refused, every one accounted on both sides.
+    let server = start_server(&dir, 4.0 * EPS);
+    let report = run_load(&client_config(server.local_addr(), 40)).expect("load reconciles");
+    assert_eq!(report.served, 20);
+    assert_eq!(report.refused_budget, 20);
+    assert_eq!(report.total(), 40);
+    let outcome = server.shutdown();
+    outcome.checkpoint.expect("checkpoint");
+    assert_eq!(outcome.report.served(), 20);
+    assert_eq!(outcome.report.refused_budget, 20);
+    // Budget actually burned exactly once per serve.
+    let reopened = sharded(&dir, 4.0 * EPS, 4);
+    assert!((reopened.total_spent() - 20.0 * EPS).abs() < 1e-9);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_net_failpoint_preserves_exact_reconciliation() {
+    let _guard = NET_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    for site in [
+        "serve.net.accept",
+        "serve.net.read_torn",
+        "serve.net.write_short",
+        "serve.net.stall",
+    ] {
+        failpoint::reset_global();
+        let dir = temp_dir(&format!("sweep-{}", site.replace('.', "-")));
+        let server = start_server(&dir, 100.0);
+        // Fault a few exchanges mid-run; the retrying client must still
+        // drive every request to a terminal outcome that reconciles.
+        failpoint::arm_global(site, FailSpec::after(3, 3));
+        let result = run_load(&client_config(server.local_addr(), 30));
+        // Read the fire count before disarming: disarm drops the state.
+        let fired = failpoint::fired(site);
+        failpoint::disarm_global(site);
+        let report = result.unwrap_or_else(|e| panic!("{site}: {e}"));
+        assert_eq!(report.total(), 30, "{site}");
+        assert_eq!(report.served, 30, "{site}: cap is generous, all serve");
+        assert!(fired > 0, "{site} never fired");
+        let outcome = server.shutdown();
+        outcome.checkpoint.expect("checkpoint");
+        assert_eq!(outcome.report.served(), 30, "{site}");
+        match site {
+            "serve.net.accept" => assert!(outcome.report.shed_net >= fired, "{site}"),
+            _ => assert!(outcome.report.torn >= fired, "{site}"),
+        }
+        // At-most-once: the ledger burned exactly one ε per logical
+        // serve, no matter how many wire attempts it took.
+        assert!(
+            (server_spent(&dir) - 30.0 * EPS).abs() < 1e-9,
+            "{site}: spend drifted"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    failpoint::reset_global();
+}
+
+fn server_spent(dir: &std::path::Path) -> f64 {
+    sharded(dir, 100.0, 4).total_spent()
+}
+
+#[test]
+fn torn_request_burns_no_budget() {
+    let _guard = NET_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::reset_global();
+    let dir = temp_dir("torn-req");
+    let server = start_server(&dir, 100.0);
+    // A frame that declares more body than it ever sends, then a dead
+    // socket: the server must count it torn and never reach the gate.
+    {
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .write_all(b"POST /protect HTTP/1.1\r\nContent-Length: 60\r\n\r\n{\"user\":1,")
+            .expect("write partial");
+        // Dropping the stream closes it mid-frame.
+    }
+    // The handler notices on its next read (bounded by the read timeout).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let report = server.report();
+        if report.torn >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "torn counter never moved: {report:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(server.ledger_total_spent(), 0.0, "torn request spent ε");
+    let outcome = server.shutdown();
+    assert_eq!(outcome.report.served(), 0);
+    assert!(outcome.report.torn >= 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_response_is_replayed_not_respent() {
+    let _guard = NET_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::reset_global();
+    let dir = temp_dir("torn-resp");
+    let server = start_server(&dir, 100.0);
+    let addr = server.local_addr();
+
+    // First attempt: the spend journals, then the response write is cut.
+    failpoint::arm_global("serve.net.write_short", FailSpec::times(1));
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(2_000)))
+            .expect("timeout");
+        stream
+            .write_all(protect_request(3, 17).as_bytes())
+            .expect("write");
+        let mut tail = Vec::new();
+        let _ = stream.read_to_end(&mut tail);
+        // The cut must be observable: fewer bytes than a full frame.
+        assert!(
+            frame_end(&tail).is_none(),
+            "expected a torn response, got {:?}",
+            String::from_utf8_lossy(&tail)
+        );
+    }
+    assert_eq!(failpoint::fired("serve.net.write_short"), 1);
+    failpoint::disarm_global("serve.net.write_short");
+    assert!(
+        (server.ledger_total_spent() - EPS).abs() < 1e-12,
+        "the spend was journaled before the tear"
+    );
+
+    // Retry with the same (user, id): the journaled outcome replays
+    // verbatim; no second spend.
+    let replay = raw_exchange(addr, &protect_request(3, 17));
+    assert!(replay.contains("200 OK"), "{replay}");
+    assert!(replay.contains(r#""status":"served""#), "{replay}");
+    assert!(
+        (server.ledger_total_spent() - EPS).abs() < 1e-12,
+        "replay must not spend again"
+    );
+    let outcome = server.shutdown();
+    assert_eq!(outcome.report.served(), 1, "one logical serve");
+    assert_eq!(outcome.retried, 1, "one idempotent replay");
+    assert!(outcome.report.torn >= 1);
+    failpoint::reset_global();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pipelined_array_is_answered_in_order() {
+    let _guard = NET_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_dir("pipeline");
+    let server = start_server(&dir, 100.0);
+    let items: Vec<String> = (0..8)
+        .map(|i| format!(r#"{{"user":{},"id":{i},"x":{}.5,"y":1.0}}"#, i % 3, i % 4))
+        .collect();
+    let body = format!("[{}]", items.join(","));
+    let request = format!(
+        "POST /protect HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let response = raw_exchange(server.local_addr(), &request);
+    assert!(response.contains("200 OK"), "{response}");
+    assert_eq!(
+        response.matches(r#""status":"served""#).count(),
+        8,
+        "{response}"
+    );
+    let outcome = server.shutdown();
+    assert_eq!(outcome.report.served(), 8);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn connections_beyond_the_cap_are_shed_with_an_explicit_503() {
+    let _guard = NET_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_dir("conn-cap");
+    let config = WireConfig {
+        max_connections: 1,
+        ..wire_config()
+    };
+    let server = WireServer::start(
+        mechanism(),
+        sharded(&dir, 100.0, 2),
+        Arc::new(SystemClock),
+        config,
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    // First connection occupies the only slot (prove it works end to
+    // end), then further connections must get the explicit refusal.
+    let mut held = TcpStream::connect(addr).expect("first connect");
+    held.set_read_timeout(Some(Duration::from_millis(2_000)))
+        .expect("timeout");
+    held.write_all(protect_request(1, 1).as_bytes())
+        .expect("write");
+    let mut buf = [0u8; 4096];
+    let n = held.read(&mut buf).expect("first connection serves");
+    assert!(String::from_utf8_lossy(&buf[..n]).contains("served"));
+
+    let mut refused = 0u64;
+    for _ in 0..3 {
+        let response = raw_exchange(addr, ""); // refusal arrives unprompted
+        if response.contains("too_many_connections") {
+            refused += 1;
+        }
+    }
+    assert!(refused >= 1, "no connection saw the 503 refusal");
+    drop(held);
+    let outcome = server.shutdown();
+    assert!(outcome.report.shed_net >= refused);
+    assert_eq!(outcome.report.served(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_shard_refuses_over_the_wire_while_healthy_shards_serve() {
+    let _guard = NET_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_dir("shard-refuse");
+    // Populate all four shards, then corrupt one on disk.
+    {
+        let ledger = sharded(&dir, 100.0, 4);
+        for k in 0..4usize {
+            let user = (0..64u64)
+                .find(|&u| shard_of(u, 4) == k)
+                .expect("user for shard");
+            ledger.try_spend(user, EPS).expect("seed spend");
+        }
+        ledger.checkpoint_all().expect("checkpoint");
+    }
+    let bad = 2usize;
+    let snap = dir.join(format!("shard-{bad}")).join("ledger.snap");
+    let mut bytes = std::fs::read(&snap).expect("read snap");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&snap, &bytes).expect("corrupt snap");
+
+    let server = WireServer::start(
+        mechanism(),
+        sharded(&dir, 100.0, 4),
+        Arc::new(SystemClock),
+        wire_config(),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    assert_eq!(server.failed_shards().len(), 1);
+    let addr = server.local_addr();
+
+    let unlucky = (0..64)
+        .find(|&u| shard_of(u, 4) == bad)
+        .expect("user on bad shard");
+    let lucky = (0..64)
+        .find(|&u| shard_of(u, 4) != bad)
+        .expect("user off bad shard");
+
+    let refusal = raw_exchange(addr, &protect_request(unlucky, 1));
+    assert!(refusal.contains(r#""status":"journal_fault""#), "{refusal}");
+    assert!(refusal.contains("unavailable"), "{refusal}");
+
+    let served = raw_exchange(addr, &protect_request(lucky, 2));
+    assert!(served.contains(r#""status":"served""#), "{served}");
+
+    // /report exposes the failed shard for operators.
+    let report = raw_exchange(addr, "GET /report HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    assert!(
+        report.contains(r#""failed_shards":[{"shard":2,"#),
+        "{report}"
+    );
+
+    let outcome = server.shutdown();
+    assert_eq!(outcome.report.served(), 1);
+    assert_eq!(outcome.report.journal_faults, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn single_spend_ledger_still_drives_the_wire() {
+    let _guard = NET_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    // The pre-shard construction keeps working through the façade.
+    let dir = temp_dir("single-ledger");
+    let inner = SpendLedger::open(
+        &dir,
+        LedgerConfig {
+            cap_per_user: 2.0 * EPS,
+            epoch: 0,
+            compact_after: 0,
+        },
+    )
+    .expect("open ledger");
+    let server = WireServer::start(
+        mechanism(),
+        ShardedLedger::single(inner),
+        Arc::new(SystemClock),
+        wire_config(),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    for id in 0..2 {
+        let response = raw_exchange(addr, &protect_request(9, id));
+        assert!(response.contains("served"), "{response}");
+    }
+    let refused = raw_exchange(addr, &protect_request(9, 2));
+    assert!(refused.contains("budget_exhausted"), "{refused}");
+    let outcome = server.shutdown();
+    assert_eq!(outcome.report.served(), 2);
+    assert_eq!(outcome.report.refused_budget, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

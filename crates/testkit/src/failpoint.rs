@@ -75,6 +75,10 @@ pub const SITES: &[&str] = &[
     "certify.channel.violation", // channel certification finds an ε·d constraint violation
     "certify.repair.fail",       // post-repair re-certification still fails (quarantine)
     "sample.alias.build",        // flattened alias-table build fails (serve via the CDF path)
+    "serve.net.accept",          // accepted connection is dropped before any byte is read
+    "serve.net.read_torn",       // request frame arrives torn (cut mid-read); no budget burns
+    "serve.net.write_short",     // response write is cut short after the spend is journaled
+    "serve.net.stall",           // peer stalls mid-exchange until the read deadline fires
 ];
 
 /// When an armed site fires: skip the first `skip` hits, then fire

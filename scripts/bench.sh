@@ -7,6 +7,9 @@
 #   BENCH_sample.json — ns/op for the served sampling hot path: the
 #   pre-flattening seed walk vs the fused flattened-tree walk, single
 #   and batched.
+#   BENCH_serve.json — throughput and latency percentiles for the
+#   networked wire (serve --listen + loadgen over loopback), one steady
+#   phase and one deliberate-overload phase; both must reconcile exactly.
 #
 # The headline `speedup` compares the old sequential cold implementation
 # (jobs=1, cold) against the full new path (jobs=max, warm) — the upgrade a
@@ -65,3 +68,65 @@ cat BENCH_sample.json
 
 echo "== smoke-check the artifact"
 sh scripts/check_bench.sh BENCH_sample.json
+
+# BENCH_serve.json — the networked wire under a steady closed loop and
+# under deliberate overload (tiny admission queue, more connections than
+# workers). Each phase is a full serve --listen + loadgen exchange whose
+# tallies must reconcile exactly, so the artifact is only ever produced
+# from a balanced run. Failpoints stay compiled out here: this measures
+# the deployment configuration.
+WREQ="${BENCH_SERVE_REQUESTS:-2000}"
+
+echo "== build CLI (release, offline, production configuration)"
+cargo build --release --offline
+
+run_serve_phase() {
+    # $1 label  $2 queue  $3 workers  $4 batch  $5 connections  $6 out.json
+    _log="$(mktemp /tmp/geoind-bench-serve.XXXXXX)"
+    _dir="$(mktemp -d /tmp/geoind-bench-ledger.XXXXXX)"
+    rm -rf "$_dir"
+    target/release/geoind serve --listen 127.0.0.1:0 \
+        --shards 4 --cap 1000000 --eps 0.4 --g 2 --synthetic-size 3000 \
+        --queue "$2" --workers "$3" --batch "$4" --seed 7 \
+        --ledger-dir "$_dir" > "$_log" &
+    _pid=$!
+    _addr=""
+    _i=0
+    while [ "$_i" -lt 200 ]; do
+        _addr="$(sed -n 's/^# listening on //p' "$_log")"
+        [ -n "$_addr" ] && break
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    [ -n "$_addr" ] || { echo "serve --listen never announced its port"; cat "$_log"; exit 1; }
+    target/release/geoind loadgen --connect "$_addr" \
+        --requests "$WREQ" --connections "$5" --users 64 --seed 9 \
+        --max-attempts 40 --backoff-ms 2 --shutdown on \
+        --json-out "$6" --label "$1"
+    wait "$_pid"
+    rm -f "$_log"
+    rm -rf "$_dir"
+}
+
+echo "== serve wire: steady phase ($WREQ requests, roomy queue)"
+run_serve_phase steady 64 4 8 4 /tmp/geoind-bench-steady.json
+
+echo "== serve wire: overload phase ($WREQ requests, queue=2, 8 connections)"
+run_serve_phase overload 2 1 1 8 /tmp/geoind-bench-overload.json
+
+python3 - /tmp/geoind-bench-steady.json /tmp/geoind-bench-overload.json <<'EOF' > BENCH_serve.json
+import json, sys
+cells = [json.load(open(p)) for p in sys.argv[1:3]]
+overload = next(c for c in cells if c["label"] == "overload")
+# Shed responses per terminal request under overload; a request can be
+# shed more than once before landing, so this is a rate, not a fraction.
+shed_rate = overload["shed_seen"] / overload["requests"]
+json.dump({"bench": "serve", "overload_shed_rate": shed_rate, "cells": cells},
+          sys.stdout, indent=1)
+print()
+EOF
+rm -f /tmp/geoind-bench-steady.json /tmp/geoind-bench-overload.json
+cat BENCH_serve.json
+
+echo "== smoke-check the artifact"
+sh scripts/check_bench.sh BENCH_serve.json

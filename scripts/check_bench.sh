@@ -39,6 +39,36 @@ if data.get("bench") == "sample":
         f"{speedup:.2f}x over {baseline}, batched {batched:.2f}x, "
         f"{int(data['cores'])} core(s)"
     )
+elif data.get("bench") == "serve":
+    # bench.sh serve phases: loadgen artifacts over the networked wire.
+    # Only invariants that cannot flake on machine load: a reconciled
+    # loadgen run accounts for every request exactly once, latency
+    # percentiles are ordered, and the steady phase actually serves.
+    by_label = {cell["label"]: cell for cell in cells}
+    for required in ("steady", "overload"):
+        assert required in by_label, f"missing serve phase: {required}"
+    for cell in cells:
+        assert cell["wall_s"] > 0, f"non-positive wall clock: {cell}"
+        assert cell["requests"] > 0, f"no requests driven: {cell}"
+        assert cell["req_per_s"] > 0, f"non-positive throughput: {cell}"
+        assert 0 <= cell["p50_ms"] <= cell["p99_ms"], f"latency percentiles out of order: {cell}"
+        terminal = (
+            cell["served"] + cell["refused"] + cell["expired"] + cell["journal_faults"]
+        )
+        assert terminal == cell["requests"], (
+            f"reconciled run must account for every request exactly once: {cell}"
+        )
+        for key in ("retries", "shed_seen", "torn_seen", "server_retried"):
+            assert cell[key] >= 0, f"negative counter {key}: {cell}"
+    assert by_label["steady"]["served"] > 0, "steady phase served nothing"
+    shed_rate = float(data["overload_shed_rate"])
+    assert shed_rate >= 0, f"negative shed rate: {shed_rate}"
+    print(
+        f"bench ok ({path}): steady {by_label['steady']['req_per_s']:.0f} req/s "
+        f"p99 {by_label['steady']['p99_ms']:.1f} ms, overload "
+        f"{by_label['overload']['req_per_s']:.0f} req/s shedding "
+        f"{shed_rate:.2f} refusals/request, all retried to terminal"
+    )
 else:
     for cell in cells:
         assert cell["wall_s"] > 0, f"non-positive wall clock: {cell}"

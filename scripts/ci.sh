@@ -91,11 +91,52 @@ echo "== statistical equivalence suite (seeded chi-square, cannot flake)"
 # real distribution change, never sampling noise.
 cargo test -q --offline --test sampling_equiv -- --test-threads=1
 
+echo "== socket smoke (serve --listen + loadgen over loopback, wire faults armed)"
+# The networked wire end to end on the release binary: a server with live
+# failpoint sites serves a retrying loadgen client while each socket fault
+# fires in rotation (skip 2 hits, then fire twice). GEOIND_FAILPOINTS is
+# set on the server process only; the client retries through every fault
+# and still must reconcile exactly with the server's gate counters.
+# NOTE: this rebuild clobbers target/release/geoind with a failpoints
+# build, so it must stay after every plain-release gate above.
+cargo build --release --offline --features failpoints
+WIRE_LOG="$(mktemp /tmp/geoind-ci-wire.XXXXXX)"
+WIRE_DIR="/tmp/geoind-ci-wire-ledger.$$"
+trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE" "$WIRE_LOG"; rm -rf "$WIRE_DIR"' EXIT
+for fp in serve.net.accept serve.net.read_torn serve.net.write_short serve.net.stall; do
+    echo "   -- GEOIND_FAILPOINTS=$fp=2:2 (server side only)"
+    rm -rf "$WIRE_DIR"
+    : > "$WIRE_LOG"
+    GEOIND_FAILPOINTS="$fp=2:2" target/release/geoind serve \
+        --listen 127.0.0.1:0 --shards 4 --cap 100.0 \
+        --eps 0.4 --g 2 --synthetic-size 3000 \
+        --workers 2 --queue 16 --read-timeout-ms 300 --seed 7 \
+        --ledger-dir "$WIRE_DIR" > "$WIRE_LOG" &
+    WIRE_PID=$!
+    ADDR=""
+    i=0
+    while [ "$i" -lt 100 ]; do
+        ADDR="$(sed -n 's/^# listening on //p' "$WIRE_LOG")"
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -n "$ADDR" ] || { echo "server never announced its port"; cat "$WIRE_LOG"; exit 1; }
+    target/release/geoind loadgen --connect "$ADDR" \
+        --requests 60 --connections 3 --users 6 --seed 9 \
+        --max-attempts 20 --backoff-ms 5 --shutdown on
+    wait "$WIRE_PID"
+    grep -q "shed_net=" "$WIRE_LOG" || {
+        echo "server report missing wire counters"; cat "$WIRE_LOG"; exit 1;
+    }
+done
+
 echo "== bench smoke (bench.sh artifacts parse and report speedup >= 1.0)"
 # The full benchmarks are generated by scripts/bench.sh; here we only
 # check the committed artifacts still parse and their headlines never
 # regress below break-even, so this gate cannot flake on machine load.
 sh scripts/check_bench.sh BENCH_precompute.json
 sh scripts/check_bench.sh BENCH_sample.json
+sh scripts/check_bench.sh BENCH_serve.json
 
 echo "== ci: all checks passed"

@@ -6,6 +6,8 @@
 //! geoind audit      --eps 0.5 --samples 20000                     # black-box GeoInd check
 //! geoind precompute --out cache.bin --eps 0.5 --g 4               # offline channel bundle
 //! geoind serve      --self-drive 400 --users 24 --cap 1.6         # crash-safe serving loop
+//! geoind serve      --listen 127.0.0.1:0 --shards 4               # networked serving over TCP
+//! geoind loadgen    --connect 127.0.0.1:4770 --requests 500       # retrying closed-loop client
 //! geoind doctor     --cache cache.bin --eps 0.5 --g 4             # certify every channel
 //! ```
 //!
@@ -20,7 +22,8 @@ use geoind::mechanisms::Mechanism;
 use geoind::prelude::*;
 use geoind::serve::clock::{Clock, SystemClock};
 use geoind::serve::{
-    LedgerConfig, Request, Response, ServeConfig, Server, SpendLedger, SubmitError,
+    run_load, ClientConfig, ClientError, LedgerConfig, Request, Response, ServeConfig, Server,
+    ShardedLedger, SpendLedger, SubmitError, WireConfig, WireServer,
 };
 use geoind_rng::SeededRng;
 use std::collections::HashMap;
@@ -46,6 +49,7 @@ fn main() -> ExitCode {
         "audit" => cmd_audit(&flags),
         "precompute" => cmd_precompute(&flags),
         "serve" => cmd_serve(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         "doctor" => cmd_doctor(&flags),
         "help" | "--help" | "-h" => {
             print_help();
@@ -406,6 +410,23 @@ fn cmd_doctor(flags: &Flags) -> Result<(), String> {
         }
     }
 
+    // Alias tables are derived data: re-derive each table's row marginals
+    // and compare against the certified matrix at the strict admission
+    // tolerance. A drifted table would sample from a distribution the
+    // certificate never vouched for.
+    let audit = msm.audit_flat_tables();
+    for (cell, err) in &audit.failures {
+        println!(
+            "#   FLAT TABLE DRIFT level {} cell {}: marginal error {:.3e}",
+            cell.level, cell.id, err
+        );
+        quarantines += 1;
+    }
+    println!(
+        "# flat tables: {} of {} cached channels flattened, worst marginal error {:.3e}",
+        audit.flattened, audit.channels, audit.worst_error
+    );
+
     let certs = msm.recertify_cache();
     let mut worst = 0.0f64;
     for (cell, cert) in &certs {
@@ -465,6 +486,9 @@ fn cmd_doctor(flags: &Flags) -> Result<(), String> {
 /// must match the server's own counters exactly — any drift (a lost
 /// request, a double count, a served-but-refused mixup) exits nonzero.
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    if let Some(listen) = flags.get("listen") {
+        return cmd_serve_listen(flags, listen);
+    }
     let data = dataset_resilient(flags, true)?;
     let n = get_u64(flags, "self-drive", 200)?;
     let users = get_u64(flags, "users", 16)?.max(1);
@@ -507,7 +531,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     }
     let server = Server::start(
         ladder,
-        ledger,
+        ShardedLedger::single(ledger),
         Arc::clone(&clock),
         ServeConfig {
             workers: get_u64(flags, "workers", 4)? as usize,
@@ -636,6 +660,159 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     }
 }
 
+/// `geoind serve --listen ADDR`: the networked front-end. Binds a TCP
+/// listener, serves JSON protect queries over HTTP/1.1 through the same
+/// admission-controlled worker pool as the self-driving loop, and drains
+/// gracefully when a client posts `/shutdown`.
+///
+/// The budget ledger is sharded by user hash (`--shards`, default 4);
+/// a shard whose journal fails recovery refuses exactly its own users
+/// fail-closed while the rest keep serving.
+fn cmd_serve_listen(flags: &Flags, listen: &str) -> Result<(), String> {
+    let data = dataset_resilient(flags, true)?;
+    let cap = get_f64(flags, "cap", 1.6)?;
+    let epoch = get_u64(flags, "epoch", 0)?;
+    let seed = get_u64(flags, "seed", 42)?;
+    let shards = get_u64(flags, "shards", 4)?.max(1) as usize;
+    let msm = build_msm(flags, &data)?;
+    let eps = msm.epsilon();
+    let ladder = ResilientMechanism::new(msm);
+
+    let (dir, ephemeral) = match flags.get("ledger-dir") {
+        Some(d) => (std::path::PathBuf::from(d), false),
+        None => (
+            std::env::temp_dir().join(format!("geoind-wire-{}", std::process::id())),
+            true,
+        ),
+    };
+    let ledger = ShardedLedger::open(
+        &dir,
+        LedgerConfig {
+            cap_per_user: cap,
+            epoch,
+            compact_after: 64,
+        },
+        shards,
+    );
+    for (shard, detail) in ledger.failed_shards() {
+        eprintln!("warning: ledger shard {shard} failed recovery, refusing its users: {detail}");
+    }
+    println!(
+        "# ledger: {} ({shards} shards, epoch {epoch}, cap {cap} eps/user, {eps} eps/request)",
+        dir.display()
+    );
+
+    let clock: Arc<dyn Clock> = Arc::new(SystemClock);
+    while clock.now_nanos() == 0 {
+        std::thread::yield_now();
+    }
+    let config = WireConfig {
+        serve: ServeConfig {
+            workers: get_u64(flags, "workers", 4)? as usize,
+            queue_capacity: get_u64(flags, "queue", 64)? as usize,
+            seed,
+            batch: get_u64(flags, "batch", 8)? as usize,
+        },
+        max_connections: get_u64(flags, "max-conns", 64)? as usize,
+        read_timeout_ms: get_u64(flags, "read-timeout-ms", 2_000)?,
+        write_timeout_ms: get_u64(flags, "write-timeout-ms", 2_000)?,
+        max_body_bytes: get_u64(flags, "max-body", 64 * 1024)? as usize,
+        deadline_ms: flags
+            .get("deadline-ms")
+            .map(|_| get_u64(flags, "deadline-ms", 0))
+            .transpose()?,
+    };
+    let server = WireServer::start(ladder, ledger, clock, config, listen)
+        .map_err(|e| format!("binding {listen}: {e}"))?;
+    // CI and scripts poll this line to learn the bound port; the pipe to
+    // them is block-buffered, so flush explicitly.
+    println!("# listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // Serve until a client posts /shutdown; handlers never tear the
+    // server down from inside a connection, the owner does it here.
+    while !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let outcome = server.shutdown();
+    outcome
+        .checkpoint
+        .map_err(|e| format!("final ledger checkpoint: {e}"))?;
+    println!("{}", outcome.report);
+    println!("{}", outcome.report.log_line());
+    println!("{}", outcome.degradation);
+    println!("{}", outcome.degradation.log_line());
+    println!("# idempotent replays served: {}", outcome.retried);
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    Ok(())
+}
+
+/// `geoind loadgen`: closed-loop multi-connection load generator with
+/// seeded backoff, per-request timeouts and idempotent retries. Exits
+/// nonzero unless its terminal tallies reconcile exactly with the
+/// server's own gate counters.
+fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
+    let config = ClientConfig {
+        addr: flags
+            .get("connect")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:4770".into()),
+        connections: get_u64(flags, "connections", 4)?.max(1) as usize,
+        requests: get_u64(flags, "requests", 200)?,
+        users: get_u64(flags, "users", 16)?.max(1),
+        timeout_ms: get_u64(flags, "timeout-ms", 2_000)?,
+        max_attempts: get_u64(flags, "max-attempts", 12)?.max(1) as u32,
+        backoff_base_ms: get_u64(flags, "backoff-ms", 10)?,
+        seed: get_u64(flags, "seed", 1)?,
+        shutdown_after: flags.get("shutdown").map(String::as_str) == Some("on"),
+    };
+    let report = match run_load(&config) {
+        Ok(report) => report,
+        Err(ClientError::Mismatch { detail, report }) => {
+            // Print the client's books before failing: the mismatch
+            // post-mortem needs both sides.
+            println!("{}", report.log_line());
+            return Err(format!("reconciliation failed: {detail}"));
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    println!("{}", report.log_line());
+    println!(
+        "# reconciled: {} terminal outcomes match the server's gate counters exactly",
+        report.total()
+    );
+    if let Some(path) = flags.get("json-out") {
+        let label = flags.get("label").map(String::as_str).unwrap_or("loadgen");
+        let json = format!(
+            concat!(
+                "{{\"label\":\"{}\",\"requests\":{},\"served\":{},\"refused\":{},",
+                "\"expired\":{},\"journal_faults\":{},\"retries\":{},\"shed_seen\":{},",
+                "\"torn_seen\":{},\"server_retried\":{},\"wall_s\":{},\"req_per_s\":{},",
+                "\"p50_ms\":{},\"p99_ms\":{}}}\n"
+            ),
+            label,
+            config.requests,
+            report.served,
+            report.refused_budget,
+            report.expired,
+            report.journal_faults,
+            report.retries,
+            report.shed_seen,
+            report.torn_seen,
+            report.server_retried,
+            report.wall_s,
+            report.req_per_s,
+            report.p50_ms,
+            report.p99_ms,
+        );
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn print_help() {
     println!(
         "geoind — utility-preserving geo-indistinguishability (EDBT 2019)
@@ -652,8 +829,19 @@ COMMANDS
   serve       crash-safe serving front-end, closed-loop self-driving workload
               (--self-drive N, --users U, --cap EPS_PER_USER, --workers W,
                --queue DEPTH, --batch B requests drained per worker pass,
-               --epoch E, --ledger-dir DIR to persist budgets)
-  doctor      re-certify every channel, check LP residuals, exercise the
+               --epoch E, --ledger-dir DIR to persist budgets); with
+              --listen ADDR it serves JSON protect queries over HTTP/1.1
+              instead (--shards K user-hash ledger shards, --max-conns C,
+               --read-timeout-ms/--write-timeout-ms, --deadline-ms D,
+               --max-body BYTES; POST /shutdown drains gracefully)
+  loadgen     closed-loop load generator against `serve --listen`
+              (--connect ADDR, --requests N, --connections C, --users U,
+               --timeout-ms T, --max-attempts A, --backoff-ms B, --seed S,
+               --shutdown on to drain the server after reconciling,
+               --json-out FILE --label L for benchmark artifacts); exits
+              nonzero unless client tallies match the server's counters
+  doctor      re-certify every channel, audit alias-table marginals against
+              the certified matrices, check LP residuals, exercise the
               ladder; exits nonzero on any quarantine (--cache FILE to
               inspect a precomputed bundle, --requests N ladder probes)
 

@@ -11,7 +11,15 @@ fn help_lists_commands() {
     let out = geoind().arg("help").output().expect("binary runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["protect", "eval", "audit", "precompute", "serve", "doctor"] {
+    for cmd in [
+        "protect",
+        "eval",
+        "audit",
+        "precompute",
+        "serve",
+        "loadgen",
+        "doctor",
+    ] {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
 }
@@ -163,6 +171,10 @@ fn doctor_passes_on_a_healthy_cache_and_fails_on_a_corrupt_one() {
     );
     assert!(text.contains("# doctor: healthy"), "{text}");
     assert!(text.contains("quarantined=0"), "{text}");
+    assert!(
+        text.contains("# flat tables:"),
+        "doctor must audit the alias tables against the certified matrices:\n{text}"
+    );
 
     // Flip one payload byte: the import gate must refuse the bundle and
     // doctor must exit nonzero.
@@ -182,6 +194,96 @@ fn doctor_passes_on_a_healthy_cache_and_fails_on_a_corrupt_one() {
         String::from_utf8_lossy(&out.stdout)
     );
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn networked_serve_reconciles_with_loadgen_over_loopback() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let dir = std::env::temp_dir().join(format!("geoind-cli-wire-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let common = ["--eps", "0.4", "--g", "2", "--synthetic-size", "3000"];
+    let mut server = geoind()
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--shards",
+            "4",
+            "--cap",
+            "10.0",
+            "--workers",
+            "2",
+            "--queue",
+            "16",
+            "--seed",
+            "7",
+            "--ledger-dir",
+        ])
+        .arg(&dir)
+        .args(common)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+
+    // The server prints "# listening on IP:PORT" once bound; everything
+    // before it is startup chatter.
+    let mut reader = BufReader::new(server.stdout.take().expect("stdout piped"));
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            reader.read_line(&mut line).expect("server stdout readable"),
+            0,
+            "server exited before announcing its port"
+        );
+        if let Some(rest) = line.trim().strip_prefix("# listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    let out = geoind()
+        .args([
+            "loadgen",
+            "--connect",
+            &addr,
+            "--requests",
+            "24",
+            "--connections",
+            "3",
+            "--users",
+            "4",
+            "--seed",
+            "9",
+            "--shutdown",
+            "on",
+        ])
+        .output()
+        .expect("loadgen runs");
+    let client_text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "loadgen failed:\nstdout: {client_text}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        client_text.contains("loadgen total=24 served=24"),
+        "every request must be served under a generous cap:\n{client_text}"
+    );
+    assert!(client_text.contains("# reconciled: 24"), "{client_text}");
+
+    // --shutdown on posted /shutdown: the server drains and exits 0, and
+    // its final report carries the wire counters.
+    let mut rest = String::new();
+    reader
+        .read_to_string(&mut rest)
+        .expect("server stdout drains");
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "server exited nonzero:\n{rest}");
+    assert!(
+        rest.contains("served=24") && rest.contains("shed_net="),
+        "final server report missing or missing wire counters:\n{rest}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
