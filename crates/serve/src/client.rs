@@ -2,17 +2,21 @@
 //!
 //! Each connection thread owns a slice of the request ids and drives
 //! them to a **terminal** outcome: retryable refusals (`overloaded`,
-//! `draining`, `in_flight`), torn responses, resets and timeouts are
-//! retried with seeded exponential backoff + jitter under the same
-//! idempotency id, so a retry after a torn response replays the
-//! journaled outcome instead of spending again.
+//! `draining`, `in_flight`, `shard_unavailable`, `disk_full`), torn
+//! responses, resets and timeouts are retried with seeded exponential
+//! backoff + jitter under the same idempotency id, so a retry after a
+//! torn response replays the journaled outcome instead of spending
+//! again. Shard-repair refusals are tallied separately from overload
+//! sheds, so the report distinguishes "the queue was full" from "my
+//! shard was down".
 //!
 //! At the end the client fetches `GET /report` and reconciles its own
 //! terminal tallies against the server's gate counters **exactly** —
 //! every logical request must appear in exactly one terminal bucket on
-//! both sides. `geoind loadgen` exits nonzero on any mismatch, which is
-//! what lets CI drive the failpoint-armed server and still demand
-//! perfect accounting.
+//! both sides — then polls `GET /healthz` and reports shard
+//! availability (ready/total, repair round trips). `geoind loadgen`
+//! exits nonzero on any mismatch, which is what lets CI drive the
+//! failpoint-armed server and still demand perfect accounting.
 
 use crate::json::Json;
 use geoind_rng::{Rng, SeededRng};
@@ -81,6 +85,17 @@ pub struct LoadReport {
     pub torn_seen: u64,
     /// Idempotent replays the server reported at the end.
     pub server_retried: u64,
+    /// `503 shard_unavailable` refusals observed (the user's shard was
+    /// quarantined/scavenging/failed; retried, not terminal).
+    pub shard_unavailable_seen: u64,
+    /// `503 disk_full` refusals observed (retried, not terminal).
+    pub disk_full_seen: u64,
+    /// Shards serving (ready or probation) at the final `/healthz` poll.
+    pub shards_ready: u64,
+    /// Total ledger shards at the final `/healthz` poll.
+    pub shards_total: u64,
+    /// Quarantine→repair→serving round trips the server completed.
+    pub repaired_shards: u64,
     /// Wall-clock for the whole run, seconds.
     pub wall_s: f64,
     /// Terminal outcomes per wall-clock second.
@@ -101,7 +116,7 @@ impl LoadReport {
     /// discipline (append-only `key=value`).
     pub fn log_line(&self) -> String {
         format!(
-            "loadgen total={} served={} refused={} expired={} journal-fault={} retries={} shed_seen={} torn_seen={} server_retried={} wall_s={:.3} req_per_s={:.1} p50_ms={:.2} p99_ms={:.2}",
+            "loadgen total={} served={} refused={} expired={} journal-fault={} retries={} shed_seen={} torn_seen={} server_retried={} wall_s={:.3} req_per_s={:.1} p50_ms={:.2} p99_ms={:.2} shard_unavailable_seen={} disk_full_seen={} shards_ready={} shards_total={} repaired_shards={}",
             self.total(),
             self.served,
             self.refused_budget,
@@ -115,6 +130,11 @@ impl LoadReport {
             self.req_per_s,
             self.p50_ms,
             self.p99_ms,
+            self.shard_unavailable_seen,
+            self.disk_full_seen,
+            self.shards_ready,
+            self.shards_total,
+            self.repaired_shards,
         )
     }
 }
@@ -170,6 +190,8 @@ struct Tally {
     retries: u64,
     shed_seen: u64,
     torn_seen: u64,
+    shard_unavailable_seen: u64,
+    disk_full_seen: u64,
 }
 
 /// Drive `config.requests` logical requests to terminal outcomes over
@@ -213,6 +235,8 @@ pub fn run_load(config: &ClientConfig) -> Result<LoadReport, ClientError> {
         tally.retries += t.retries;
         tally.shed_seen += t.shed_seen;
         tally.torn_seen += t.torn_seen;
+        tally.shard_unavailable_seen += t.shard_unavailable_seen;
+        tally.disk_full_seen += t.disk_full_seen;
         latencies.append(&mut lat);
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -232,6 +256,11 @@ pub fn run_load(config: &ClientConfig) -> Result<LoadReport, ClientError> {
         shed_seen: tally.shed_seen,
         torn_seen: tally.torn_seen,
         server_retried: 0,
+        shard_unavailable_seen: tally.shard_unavailable_seen,
+        disk_full_seen: tally.disk_full_seen,
+        shards_ready: 0,
+        shards_total: 0,
+        repaired_shards: 0,
         wall_s,
         req_per_s: if wall_s > 0.0 {
             tally.served as f64 / wall_s
@@ -247,6 +276,7 @@ pub fn run_load(config: &ClientConfig) -> Result<LoadReport, ClientError> {
     }
 
     reconcile(addr, config, &mut report)?;
+    poll_health(addr, config, &mut report)?;
 
     if config.shutdown_after {
         let (status, _body) = control_exchange(addr, config, "POST", "/shutdown", "{}")?;
@@ -338,6 +368,32 @@ fn reconcile(
     Ok(())
 }
 
+/// Poll `GET /healthz` once after reconciliation and fold shard
+/// availability into the report. A `503` here is *degraded*, not an
+/// error: the body still carries the per-state counts.
+fn poll_health(
+    addr: SocketAddr,
+    config: &ClientConfig,
+    report: &mut LoadReport,
+) -> Result<(), ClientError> {
+    let (status, body) = control_exchange(addr, config, "GET", "/healthz", "")?;
+    if status != 200 && status != 503 {
+        return Err(ClientError::Protocol(format!("/healthz answered {status}")));
+    }
+    let parsed = Json::parse(&body)
+        .map_err(|e| ClientError::Protocol(format!("unparseable /healthz body: {e}")))?;
+    let field = |name: &str| -> Result<u64, ClientError> {
+        parsed
+            .get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol(format!("/healthz missing {name}")))
+    };
+    report.shards_total = field("shards")?;
+    report.shards_ready = field("ready")? + field("probation")?;
+    report.repaired_shards = field("repaired_shards")?;
+    Ok(())
+}
+
 fn connection_thread(
     thread_index: usize,
     connections: usize,
@@ -409,6 +465,19 @@ fn connection_thread(
                         }
                         (503, "overloaded") => {
                             tally.shed_seen += 1;
+                            stream = Some(conn);
+                            continue;
+                        }
+                        (503, "shard_unavailable") => {
+                            // The user's shard is down for repair: retry
+                            // (the idempotency key was released server-side)
+                            // and tally separately from overload sheds.
+                            tally.shard_unavailable_seen += 1;
+                            stream = Some(conn);
+                            continue;
+                        }
+                        (503, "disk_full") => {
+                            tally.disk_full_seen += 1;
                             stream = Some(conn);
                             continue;
                         }
@@ -563,6 +632,11 @@ mod tests {
             shed_seen: 2,
             torn_seen: 1,
             server_retried: 1,
+            shard_unavailable_seen: 4,
+            disk_full_seen: 2,
+            shards_ready: 3,
+            shards_total: 4,
+            repaired_shards: 1,
             wall_s: 0.5,
             req_per_s: 28.0,
             p50_ms: 1.25,
@@ -570,7 +644,7 @@ mod tests {
         };
         assert_eq!(
             report.log_line(),
-            "loadgen total=14 served=10 refused=2 expired=1 journal-fault=1 retries=3 shed_seen=2 torn_seen=1 server_retried=1 wall_s=0.500 req_per_s=28.0 p50_ms=1.25 p99_ms=9.50"
+            "loadgen total=14 served=10 refused=2 expired=1 journal-fault=1 retries=3 shed_seen=2 torn_seen=1 server_retried=1 wall_s=0.500 req_per_s=28.0 p50_ms=1.25 p99_ms=9.50 shard_unavailable_seen=4 disk_full_seen=2 shards_ready=3 shards_total=4 repaired_shards=1"
         );
     }
 

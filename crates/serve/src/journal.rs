@@ -126,6 +126,43 @@ pub enum JournalError {
         /// The (older) epoch the caller asked to open.
         requested: u64,
     },
+    /// The device refused the write with `ENOSPC`: the disk is full, so
+    /// no spend can be made durable. The request must be refused (never
+    /// served unjournaled) — a full disk is a capacity outage, not a
+    /// privacy leak.
+    DiskFull {
+        /// The journal step that hit the full disk.
+        step: &'static str,
+    },
+}
+
+impl Clone for JournalError {
+    fn clone(&self) -> Self {
+        match self {
+            // io::Error is not Clone; rebuild from the OS code when there
+            // is one, else carry kind + message.
+            JournalError::Io { step, source } => JournalError::Io {
+                step,
+                source: match source.raw_os_error() {
+                    Some(code) => io::Error::from_raw_os_error(code),
+                    None => io::Error::new(source.kind(), source.to_string()),
+                },
+            },
+            JournalError::Corrupt { section, detail } => JournalError::Corrupt {
+                section: section.clone(),
+                detail: detail.clone(),
+            },
+            JournalError::Injected(site) => JournalError::Injected(site),
+            JournalError::EpochRegression {
+                persisted,
+                requested,
+            } => JournalError::EpochRegression {
+                persisted: *persisted,
+                requested: *requested,
+            },
+            JournalError::DiskFull { step } => JournalError::DiskFull { step },
+        }
+    }
 }
 
 impl std::fmt::Display for JournalError {
@@ -143,6 +180,9 @@ impl std::fmt::Display for JournalError {
                 f,
                 "epoch regression: journal is at epoch {persisted}, caller requested {requested}"
             ),
+            JournalError::DiskFull { step } => {
+                write!(f, "journal disk full at {step}; refusing unjournaled spend")
+            }
         }
     }
 }
@@ -156,8 +196,27 @@ impl std::error::Error for JournalError {
     }
 }
 
+/// `ENOSPC` as the kernel reports it (errno 28 on every unix this
+/// workspace targets) — detected without a libc dependency.
+const ENOSPC: i32 = 28;
+/// `EIO`: a transient device-level read/write error worth retrying.
+const EIO: i32 = 5;
+
 fn io_err(step: &'static str) -> impl FnOnce(io::Error) -> JournalError {
-    move |source| JournalError::Io { step, source }
+    move |source| {
+        if source.raw_os_error() == Some(ENOSPC) {
+            JournalError::DiskFull { step }
+        } else {
+            JournalError::Io { step, source }
+        }
+    }
+}
+
+/// Whether this error is a transient device fault (`EIO`) that a bounded
+/// retry may clear — as opposed to a full disk or corruption, which it
+/// cannot.
+pub fn is_transient_io(err: &JournalError) -> bool {
+    matches!(err, JournalError::Io { source, .. } if source.raw_os_error() == Some(EIO))
 }
 
 fn corrupt(section: impl Into<String>, detail: impl Into<String>) -> JournalError {
@@ -363,6 +422,23 @@ impl Journal {
         if failpoint::hit("serve.journal.append") {
             return Err(JournalError::Injected("serve.journal.append"));
         }
+        if failpoint::hit("serve.journal.enospc") {
+            // Injected full disk: the write is refused before any byte
+            // lands, exactly as a real ENOSPC from write_all would be
+            // classified. Nothing to repair, nothing acknowledged.
+            return Err(JournalError::DiskFull { step: "wal append" });
+        }
+        if failpoint::hit("serve.journal.eio") {
+            // Injected transient device error: bytes may or may not have
+            // landed, so the tail is repaired like any failed write. The
+            // typed error carries the real EIO code so the shard layer's
+            // bounded retry recognizes it as transient.
+            self.repair_tail();
+            return Err(JournalError::Io {
+                step: "wal append",
+                source: io::Error::from_raw_os_error(EIO),
+            });
+        }
         let mut record = [0u8; RECORD_LEN as usize];
         record[0..8].copy_from_slice(&user.to_le_bytes());
         record[8..16].copy_from_slice(&eps.to_bits().to_le_bytes());
@@ -437,6 +513,15 @@ impl Journal {
         let tmp = tmp_sibling(&snap_path);
         {
             let mut f = File::create(&tmp).map_err(io_err("snapshot temp create"))?;
+            if failpoint::hit("serve.snapshot.enospc") {
+                // Injected full disk at the temp-file write boundary: the
+                // old committed snapshot is untouched, only the fold is
+                // refused — spends stay durable in the WAL.
+                let _ = fs::remove_file(&tmp);
+                return Err(JournalError::DiskFull {
+                    step: "snapshot temp write",
+                });
+            }
             f.write_all(&bytes).map_err(io_err("snapshot temp write"))?;
             f.sync_all().map_err(io_err("snapshot temp sync"))?;
         }
@@ -740,6 +825,180 @@ fn recover_wal(
     wal.seek(SeekFrom::Start(committed_len))
         .map_err(io_err("wal reopen seek"))?;
     Ok((wal, records, committed_len))
+}
+
+/// What a successful [`scavenge`] salvaged and committed.
+#[derive(Debug, Clone)]
+pub struct ScavengeReport {
+    /// Per-user salvaged spend, now folded into the fresh snapshot.
+    pub salvaged: BTreeMap<u64, f64>,
+    /// WAL records whose checksum verified and were folded in.
+    pub wal_records: u64,
+    /// Checksum-valid records applied despite an unverifiable context
+    /// (corrupt WAL header, out-of-sequence position, or a gap left by a
+    /// checksum-failed neighbour). Each may already be folded into the
+    /// snapshot — applying it anyway over-counts, which is the safe
+    /// direction: recovered spend ≥ served spend stays provable.
+    pub ambiguous_records: u64,
+    /// True when a provably stale (already-folded) WAL was discarded —
+    /// the one case where *not* applying records is provably safe.
+    pub stale_wal_discarded: bool,
+}
+
+/// Parse a WAL header if — and only if — every one of its integrity
+/// checks passes. `None` means the header cannot be trusted, not that
+/// the file holds no records.
+fn parse_wal_header(bytes: &[u8]) -> Option<(u64, u64)> {
+    if bytes.len() < WAL_HEADER_LEN as usize || &bytes[0..8] != WAL_MAGIC {
+        return None;
+    }
+    let word = |at: usize| -> u64 {
+        u64::from_le_bytes(
+            bytes[at..at + 8]
+                .try_into()
+                .expect("8-byte slice of a checked buffer"),
+        )
+    };
+    let version = u32::from_le_bytes(
+        bytes[8..12]
+            .try_into()
+            .expect("4-byte slice of a checked buffer"),
+    );
+    if version != FORMAT_VERSION || word(28) != fnv1a64(&bytes[8..28]) {
+        return None;
+    }
+    Some((word(12), word(20)))
+}
+
+/// Salvage a damaged journal directory into a fresh committed snapshot,
+/// resolving every ambiguity **upward** so the fail-closed invariant
+/// (recovered spend ≥ served spend, per user) stays provable:
+///
+/// * the committed snapshot is the base — if it is missing-with-a-WAL or
+///   fails its checksums, the served base is unknowable and the scavenge
+///   **abandons** (typed error; the shard stays refused);
+/// * a WAL whose header verifies at a generation *behind* the snapshot
+///   is provably already folded in and is discarded (the only downward
+///   resolution, because it is proven);
+/// * otherwise every checksum-valid record is applied — even when the
+///   WAL header is corrupt or a record is out of sequence. An applied
+///   record can at worst double-count spend that the snapshot already
+///   folded; skipping it could forget an acknowledged serve;
+/// * torn tails and checksum-failed records are skipped (they were never
+///   acknowledged, or their content cannot be trusted at all);
+/// * the salvaged state is committed via the standard atomic temp+rename
+///   snapshot, with a fresh empty WAL — ready for a normal
+///   [`Journal::open`] to verify.
+///
+/// An epoch ahead of `epoch` abandons ([`JournalError::EpochRegression`]);
+/// an epoch behind it salvages to an empty state (budgets renewed).
+///
+/// # Errors
+/// Any [`JournalError`] that makes the salvage unprovable or the commit
+/// impossible; the directory is left no worse than it was found.
+pub fn scavenge(dir: &Path, epoch: u64) -> Result<ScavengeReport, JournalError> {
+    let snap_path = dir.join("ledger.snap");
+    let wal_path = dir.join("ledger.wal");
+    // Leftover temp files are uncommitted by definition.
+    let _ = fs::remove_file(tmp_sibling(&snap_path));
+    let _ = fs::remove_file(tmp_sibling(&wal_path));
+
+    let (snap_gen, snap_epoch, mut salvaged) = if snap_path.exists() {
+        // Abandons on any committed-region corruption: without a trusted
+        // base the salvage cannot bound what was served.
+        read_snapshot_file(&snap_path)?
+    } else if wal_path.exists() {
+        return Err(corrupt(
+            "journal dir",
+            "WAL present without a snapshot; the committed base is unknowable",
+        ));
+    } else {
+        (0, epoch, BTreeMap::new())
+    };
+    if snap_epoch > epoch {
+        return Err(JournalError::EpochRegression {
+            persisted: snap_epoch,
+            requested: epoch,
+        });
+    }
+
+    let mut wal_records = 0u64;
+    let mut ambiguous_records = 0u64;
+    let mut stale_wal_discarded = false;
+    if snap_epoch < epoch {
+        // Budgets renew across epochs: the old spends (snapshot and WAL
+        // alike) are intentionally dropped.
+        salvaged = BTreeMap::new();
+    } else {
+        match fs::read(&wal_path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err("scavenge wal read")(e)),
+            Ok(bytes) => {
+                let header = parse_wal_header(&bytes);
+                if matches!(header, Some((gen, ep)) if gen < snap_gen && ep == snap_epoch) {
+                    // Provably stale: the snapshot at a later generation
+                    // already folded these records in.
+                    stale_wal_discarded = true;
+                } else {
+                    let trusted =
+                        matches!(header, Some((gen, ep)) if gen == snap_gen && ep == snap_epoch);
+                    // Acknowledged records always sit at fixed 32-byte
+                    // strides (the tail-repair discipline guarantees it),
+                    // so scan every slot and apply whatever verifies.
+                    let mut offset = WAL_HEADER_LEN as usize;
+                    let mut slot = 0u64;
+                    while bytes.len() >= offset + RECORD_LEN as usize {
+                        let rec = &bytes[offset..offset + RECORD_LEN as usize];
+                        offset += RECORD_LEN as usize;
+                        slot += 1;
+                        let sum = u64::from_le_bytes(
+                            rec[24..32]
+                                .try_into()
+                                .expect("8-byte slice of a checked buffer"),
+                        );
+                        if sum != fnv1a64(&rec[0..24]) {
+                            continue; // never acknowledged, or untrustable
+                        }
+                        let user = u64::from_le_bytes(
+                            rec[0..8]
+                                .try_into()
+                                .expect("8-byte slice of a checked buffer"),
+                        );
+                        let eps = f64::from_bits(u64::from_le_bytes(
+                            rec[8..16]
+                                .try_into()
+                                .expect("8-byte slice of a checked buffer"),
+                        ));
+                        let seq = u64::from_le_bytes(
+                            rec[16..24]
+                                .try_into()
+                                .expect("8-byte slice of a checked buffer"),
+                        );
+                        if !eps.is_finite() || eps < 0.0 {
+                            continue; // checksum collision artifact
+                        }
+                        if !trusted || seq != slot {
+                            ambiguous_records += 1;
+                        }
+                        *salvaged.entry(user).or_insert(0.0) += eps;
+                        wal_records += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Commit the salvage: fresh snapshot one generation past the base,
+    // fresh empty WAL — exactly the state a standard open verifies.
+    let next_gen = snap_gen.saturating_add(1);
+    write_snapshot_file(&snap_path, next_gen, epoch, &salvaged)?;
+    drop(create_wal_file(&wal_path, next_gen, epoch)?);
+    Ok(ScavengeReport {
+        salvaged,
+        wal_records,
+        ambiguous_records,
+        stale_wal_discarded,
+    })
 }
 
 #[cfg(test)]

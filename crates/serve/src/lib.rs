@@ -21,7 +21,12 @@
 //! * [`shard`] — the ledger split by user hash into N independent
 //!   journals (`shard-<k>/`) so fsync and compaction never serialize;
 //!   a shard that fails recovery refuses its users fail-closed while
-//!   the rest keep serving.
+//!   the rest keep serving, and (with repair enabled) walks a
+//!   `Quarantined → Scavenging → Probation → Ready` state machine that
+//!   salvages the journal and re-admits the shard only after the
+//!   standard open verifies the salvage.
+//! * [`signal`] — a libc-crate-free `SIGTERM`/`SIGINT` flag so
+//!   `kill -TERM` runs the same graceful drain as `POST /shutdown`.
 //! * [`wire`] — a std-only HTTP/1.1 front door over the worker pool:
 //!   bounded accept backlog, per-connection deadlines, pipelined
 //!   batches, idempotent retry keys, socket-level failpoints, and a
@@ -45,14 +50,18 @@ pub(crate) mod json;
 pub mod ledger;
 pub mod server;
 pub mod shard;
+pub mod signal;
 pub mod wire;
 
 pub use client::{run_load, ClientConfig, ClientError, LoadReport};
 pub use geoind_testkit::clock;
-pub use journal::{atomic_write, Journal, JournalError, RecoveredState};
+pub use journal::{
+    atomic_write, is_transient_io, scavenge, Journal, JournalError, RecoveredState, ScavengeReport,
+};
 pub use ledger::{LedgerConfig, SpendError, SpendLedger};
 pub use server::{
     Request, Response, ServeConfig, ServeReport, Server, ShutdownOutcome, SubmitError,
 };
-pub use shard::{shard_of, ShardedLedger};
+pub use shard::{shard_of, RepairMode, ShardHealth, ShardHealthCounts, ShardedLedger};
+pub use signal::{install_termination_handler, termination_requested};
 pub use wire::{WireConfig, WireServer};

@@ -93,6 +93,16 @@ pub enum Response {
     Expired,
     /// The spend could not be made durable; fail-closed refusal.
     JournalFault(String),
+    /// The shard owning the user's account is quarantined, scavenging,
+    /// or failed; fail-closed refusal, retryable once repair completes.
+    /// The budget is untouched.
+    ShardUnavailable {
+        /// The unavailable shard's index.
+        shard: u64,
+    },
+    /// The journal device is out of space; fail-closed refusal,
+    /// retryable. The budget is untouched.
+    DiskFull,
 }
 
 /// Why a submission was not accepted.
@@ -122,13 +132,20 @@ struct ServeCounters {
     expired: AtomicU64,
     shed: AtomicU64,
     journal_faults: AtomicU64,
+    refused_shard: AtomicU64,
+    disk_full: AtomicU64,
     drained: AtomicU64,
 }
 
 impl ServeCounters {
     /// Snapshot, folding in the ladder's channel-certification counters
-    /// so one report line carries the whole serving story.
-    fn snapshot(&self, ladder: &geoind_core::DegradationReport) -> ServeReport {
+    /// and the sharded ledger's repair accounting so one report line
+    /// carries the whole serving story.
+    fn snapshot(
+        &self,
+        ladder: &geoind_core::DegradationReport,
+        ledger: &ShardedLedger,
+    ) -> ServeReport {
         ServeReport {
             served_by_tier: [
                 self.served_by_tier[0].load(Ordering::Relaxed),
@@ -139,6 +156,8 @@ impl ServeCounters {
             expired: self.expired.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             journal_faults: self.journal_faults.load(Ordering::Relaxed),
+            refused_shard: self.refused_shard.load(Ordering::Relaxed),
+            disk_full: self.disk_full.load(Ordering::Relaxed),
             // Wire-layer telemetry: the in-process server never sees a
             // socket, so these stay 0 until a WireServer folds in its own
             // accept/read accounting.
@@ -149,6 +168,10 @@ impl ServeCounters {
             quarantined: ladder.quarantined,
             dedup: ladder.dedup_suppressed,
             sampled_flat: ladder.sampled_flat,
+            repaired_shards: ledger.repaired_shards(),
+            scavenged: ledger.scavenged_records(),
+            abandoned: ledger.abandoned_repairs(),
+            unaccounted_shards: ledger.unaccounted_shards(),
         }
     }
 }
@@ -166,6 +189,12 @@ pub struct ServeReport {
     pub shed: u64,
     /// Requests refused because the spend could not be journaled.
     pub journal_faults: u64,
+    /// Requests refused because the shard owning the user's account is
+    /// quarantined, scavenging, or failed (retryable once repaired).
+    pub refused_shard: u64,
+    /// Requests refused because the journal device is out of space
+    /// (retryable; the budget is never charged).
+    pub disk_full: u64,
     /// Connections shed at the wire layer before reaching the admission
     /// queue (accept-cap refusals, dropped accepts, malformed frames).
     /// Always 0 for an in-process [`Server`]; filled by the wire layer.
@@ -195,6 +224,20 @@ pub struct ServeReport {
     /// admission (a subset of `served_by_tier[0]` — excluded from
     /// [`Self::total`]).
     pub sampled_flat: u64,
+    /// Ledger shards that completed a quarantine→repair→serving round
+    /// trip (repair accounting, not an outcome — excluded from
+    /// [`Self::total`]).
+    pub repaired_shards: u64,
+    /// Journal records (snapshot accounts + WAL records) salvaged by
+    /// completed repairs (excluded from [`Self::total`]).
+    pub scavenged: u64,
+    /// Repair attempts that ended with the shard still refused
+    /// (excluded from [`Self::total`]).
+    pub abandoned: u64,
+    /// Shards whose accounts are missing from the fleet-wide spend sums
+    /// right now (quarantined/scavenging/failed — excluded from
+    /// [`Self::total`]).
+    pub unaccounted_shards: u64,
 }
 
 impl ServeReport {
@@ -212,6 +255,8 @@ impl ServeReport {
             + self.expired
             + self.shed
             + self.journal_faults
+            + self.refused_shard
+            + self.disk_full
             + self.shed_net
             + self.torn
     }
@@ -221,7 +266,7 @@ impl ServeReport {
     /// fields.
     pub fn log_line(&self) -> String {
         format!(
-            "serve total={} served={} optimal={} per-level={} flat={} refused={} expired={} shed={} journal-fault={} repaired={} quarantined={} dedup={} sampled_flat={} shed_net={} torn={} drained={}",
+            "serve total={} served={} optimal={} per-level={} flat={} refused={} expired={} shed={} journal-fault={} repaired={} quarantined={} dedup={} sampled_flat={} shed_net={} torn={} drained={} refused_shard={} disk_full={} repaired_shards={} scavenged={} abandoned={} unaccounted_shards={}",
             self.total(),
             self.served(),
             self.served_by_tier[0],
@@ -238,6 +283,12 @@ impl ServeReport {
             self.shed_net,
             self.torn,
             self.drained,
+            self.refused_shard,
+            self.disk_full,
+            self.repaired_shards,
+            self.scavenged,
+            self.abandoned,
+            self.unaccounted_shards,
         )
     }
 }
@@ -265,10 +316,20 @@ impl std::fmt::Display for ServeReport {
             "  certification: repaired={} quarantined={} dedup={} sampled_flat={}",
             self.repaired, self.quarantined, self.dedup, self.sampled_flat
         )?;
-        write!(
+        writeln!(
             f,
             "  wire: shed_net={} torn={} drained={}",
             self.shed_net, self.torn, self.drained
+        )?;
+        write!(
+            f,
+            "  shards: refused_shard={} disk_full={} repaired_shards={} scavenged={} abandoned={} unaccounted={}",
+            self.refused_shard,
+            self.disk_full,
+            self.repaired_shards,
+            self.scavenged,
+            self.abandoned,
+            self.unaccounted_shards
         )
     }
 }
@@ -381,9 +442,10 @@ impl Server {
 
     /// Counters so far.
     pub fn report(&self) -> ServeReport {
-        self.shared
-            .counters
-            .snapshot(&self.shared.mechanism.degradation_report())
+        self.shared.counters.snapshot(
+            &self.shared.mechanism.degradation_report(),
+            &self.shared.ledger,
+        )
     }
 
     /// Degradation counters of the underlying ladder.
@@ -407,6 +469,12 @@ impl Server {
         self.shared.ledger.failed_shards()
     }
 
+    /// The sharded ledger behind this server — health, repair triggers,
+    /// and counters for the wire layer's `/healthz` and `/repair`.
+    pub fn ledger(&self) -> &ShardedLedger {
+        &self.shared.ledger
+    }
+
     /// Stop accepting requests, drain the backlog, checkpoint the ledger,
     /// and return the final accounting. (A checkpoint failure is reported,
     /// not fatal: every served spend is already durable in the WAL.)
@@ -424,10 +492,16 @@ impl Server {
             // A panicked worker must not hide the remaining drain.
             let _ = handle.join();
         }
+        // Settle in-flight shard repairs before the final checkpoint so
+        // the report reflects resolved slots, not a mid-scavenge state.
+        self.shared.ledger.await_repairs();
         let checkpoint = self.shared.ledger.checkpoint_all();
         let degradation = self.shared.mechanism.degradation_report();
         ShutdownOutcome {
-            report: self.shared.counters.snapshot(&degradation),
+            report: self
+                .shared
+                .counters
+                .snapshot(&degradation, &self.shared.ledger),
             degradation,
             checkpoint,
         }
@@ -505,13 +579,25 @@ fn gate(shared: &Shared, request: &Request) -> Option<Response> {
                 .fetch_add(1, Ordering::Relaxed);
             Some(Response::BudgetExhausted { remaining })
         }
-        Err(
-            err @ (SpendError::Journal(_)
-            | SpendError::BadCharge(_)
-            | SpendError::ShardUnavailable { .. }),
-        ) => {
-            // ShardUnavailable is fail-closed exactly like a journal
-            // fault: no durable spend record, so no serve.
+        Err(SpendError::ShardUnavailable { shard, .. }) => {
+            // Fail-closed like a journal fault, but typed and retryable:
+            // the shard may be mid-repair, and its users should retry,
+            // not give up.
+            shared
+                .counters
+                .refused_shard
+                .fetch_add(1, Ordering::Relaxed);
+            Some(Response::ShardUnavailable { shard })
+        }
+        Err(SpendError::Journal(crate::journal::JournalError::DiskFull { .. })) => {
+            // Full disk: the spend was never journaled, so nothing was
+            // charged; the caller may retry once space frees up.
+            shared.counters.disk_full.fetch_add(1, Ordering::Relaxed);
+            Some(Response::DiskFull)
+        }
+        Err(err @ (SpendError::Journal(_) | SpendError::BadCharge(_))) => {
+            // Any other journal fault is fail-closed: no durable spend
+            // record, so no serve.
             shared
                 .counters
                 .journal_faults
@@ -899,6 +985,8 @@ mod tests {
             expired: 3,
             shed: 2,
             journal_faults: 1,
+            refused_shard: 7,
+            disk_full: 2,
             shed_net: 2,
             torn: 1,
             drained: 3,
@@ -906,15 +994,23 @@ mod tests {
             quarantined: 1,
             dedup: 6,
             sampled_flat: 40,
+            repaired_shards: 1,
+            scavenged: 9,
+            abandoned: 1,
+            unaccounted_shards: 1,
         };
         assert_eq!(
             report.log_line(),
-            "serve total=57 served=43 optimal=40 per-level=2 flat=1 refused=5 expired=3 shed=2 journal-fault=1 repaired=4 quarantined=1 dedup=6 sampled_flat=40 shed_net=2 torn=1 drained=3"
+            "serve total=66 served=43 optimal=40 per-level=2 flat=1 refused=5 expired=3 shed=2 journal-fault=1 repaired=4 quarantined=1 dedup=6 sampled_flat=40 shed_net=2 torn=1 drained=3 refused_shard=7 disk_full=2 repaired_shards=1 scavenged=9 abandoned=1 unaccounted_shards=1"
         );
         let display = report.to_string();
-        assert!(display.contains("57 total"), "{display}");
+        assert!(display.contains("66 total"), "{display}");
         assert!(display.contains("journal-fault=1"), "{display}");
         assert!(display.contains("shed_net=2 torn=1 drained=3"), "{display}");
+        assert!(
+            display.contains("refused_shard=7 disk_full=2 repaired_shards=1"),
+            "{display}"
+        );
     }
 
     #[test]

@@ -11,31 +11,154 @@
 //! the shard count of an existing directory is a migration, not a
 //! reconfiguration; [`ShardedLedger::open`] refuses a mismatch.
 //!
-//! ## Fail-closed recovery
+//! ## Fail-closed recovery and self-healing repair
 //!
 //! [`ShardedLedger::open`] recovers every shard independently. A shard
 //! whose journal fails recovery (I/O error, corruption of a committed
-//! region, epoch regression) is held as *failed* rather than aborting
-//! the whole server: healthy shards serve normally, while every spend
-//! routed to the failed shard is refused with
-//! [`SpendError::ShardUnavailable`]. The per-shard invariant is the
-//! single-ledger one — recovered spend is never less than the spend of
-//! requests actually served — and refusing the failed shard's users is
-//! what keeps it: without the durable record their composed-ε position
-//! is unknown, so serving them would risk silent over-spend.
+//! region, epoch regression) refuses its users with
+//! [`SpendError::ShardUnavailable`] rather than aborting the whole
+//! server. With repair enabled ([`RepairMode::Auto`] or
+//! [`RepairMode::Manual`]) the shard is not terminal: it walks a typed
+//! state machine
+//!
+//! ```text
+//! Quarantined → Scavenging → Open{probation} → Open (Ready)
+//!       ↘ (salvage unprovable) → Failed
+//! ```
+//!
+//! A background repair task [`crate::journal::scavenge`]s the damaged
+//! directory — salvaging every record whose checksum and generation
+//! chain verify, resolving ambiguity *upward* so recovered spend ≥
+//! served spend stays provable — commits a fresh snapshot atomically,
+//! re-runs the standard [`SpendLedger::open`] against it, verifies the
+//! recovered totals cover the salvage, and only then swaps the slot
+//! back in. A freshly repaired shard serves on *probation* until its
+//! first durable append proves the device writes again; a shard whose
+//! salvage cannot be proven stays refused with the real typed
+//! [`JournalError`] (never a stringified copy).
+//!
+//! A live shard that hits a persistent write fault (three consecutive
+//! journal refusals, e.g. a full disk) self-quarantines and enters the
+//! same repair loop rather than serving unjournaled spends; transient
+//! `EIO` appends are retried in place with seeded exponential backoff
+//! first. The per-shard invariant is always the single-ledger one —
+//! recovered spend is never less than the spend of requests actually
+//! served — and refusing an unhealthy shard's users is what keeps it.
 
-use crate::journal::{fnv1a64, JournalError};
+use crate::journal::{self, fnv1a64, JournalError};
 use crate::ledger::{LedgerConfig, SpendError, SpendLedger};
-use std::path::Path;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use geoind_rng::{Rng, SeededRng};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
-/// One shard: either a recovered ledger or the reason it refused to open.
+/// Consecutive journal refusals after which a shard self-quarantines
+/// (repair enabled) instead of refusing request-by-request forever.
+const QUARANTINE_STRIKES: u32 = 3;
+/// In-place retries of a transient-`EIO` append before the refusal is
+/// surfaced (each retry backs off exponentially with seeded jitter).
+const EIO_RETRY_LIMIT: u32 = 3;
+/// Scavenge attempts per repair task before the shard is abandoned to
+/// `Failed` (corruption abandons immediately; only transient refusals —
+/// full disk, device errors, injected faults — are retried).
+const REPAIR_ATTEMPTS: u32 = 5;
+/// Base backoff between repair attempts / EIO retries, milliseconds.
+const BACKOFF_BASE_MS: u64 = 1;
+
+/// One shard's slot in the repair state machine.
 #[derive(Debug)]
 pub(crate) enum Slot {
-    /// The shard recovered; spends routed here are served normally.
-    Open(SpendLedger),
-    /// Recovery failed; every spend routed here is refused fail-closed.
-    Failed(String),
+    /// The shard serves. `probation` is true after a repair until the
+    /// first durable append proves the device writes again; `strikes`
+    /// counts consecutive journal refusals toward self-quarantine.
+    Open {
+        /// The recovered (or repaired) ledger.
+        ledger: SpendLedger,
+        /// Repaired but not yet re-proven by a durable append.
+        probation: bool,
+        /// Consecutive journal refusals (reset by any success).
+        strikes: u32,
+    },
+    /// Refusing fail-closed, waiting for a repair task to pick it up.
+    Quarantined {
+        /// The typed error that took the shard down.
+        error: JournalError,
+    },
+    /// A repair task owns the shard's files right now.
+    Scavenging {
+        /// The typed error that took the shard down.
+        error: JournalError,
+    },
+    /// Salvage could not prove the fail-closed invariant (or repair is
+    /// disabled); refusing with the real typed reason.
+    Failed {
+        /// The typed error that refused recovery or repair.
+        error: JournalError,
+    },
+}
+
+/// Externally visible health of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving normally.
+    Ready,
+    /// Repaired and serving, not yet re-proven by a durable append.
+    Probation,
+    /// Refusing, waiting for repair.
+    Quarantined,
+    /// Refusing, repair in progress.
+    Scavenging,
+    /// Refusing terminally (salvage unprovable or repair disabled).
+    Failed,
+}
+
+/// Per-state shard counts, the `GET /healthz` payload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardHealthCounts {
+    /// Shards serving normally.
+    pub ready: u64,
+    /// Shards serving on post-repair probation.
+    pub probation: u64,
+    /// Shards quarantined awaiting repair.
+    pub quarantined: u64,
+    /// Shards being scavenged right now.
+    pub scavenging: u64,
+    /// Shards refused terminally.
+    pub failed: u64,
+}
+
+impl ShardHealthCounts {
+    /// True when every shard is serving (ready or probation).
+    pub fn all_serving(&self) -> bool {
+        self.quarantined == 0 && self.scavenging == 0 && self.failed == 0
+    }
+}
+
+/// When damaged shards are repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairMode {
+    /// Quarantined shards (at open or live) spawn a repair task
+    /// immediately.
+    Auto,
+    /// Damaged shards quarantine and wait for
+    /// [`ShardedLedger::repair_now`] (`POST /repair` on the wire).
+    Manual,
+    /// Legacy terminal behavior: a damaged shard is `Failed` forever.
+    Off,
+}
+
+impl RepairMode {
+    /// Parse the CLI grammar `auto|manual|off`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(Self::Auto),
+            "manual" => Ok(Self::Manual),
+            "off" => Ok(Self::Off),
+            other => Err(format!("unknown repair mode {other:?} (auto|manual|off)")),
+        }
+    }
 }
 
 /// The shard index `user` routes to among `shards` shards.
@@ -53,61 +176,134 @@ pub fn shard_of(user: u64, shards: usize) -> usize {
     (fnv1a64(&user.to_le_bytes()) % shards as u64) as usize
 }
 
+/// Shared state behind the façade: the slots plus everything a
+/// background repair task needs to swap one back in.
+#[derive(Debug)]
+struct ShardSet {
+    slots: Vec<Mutex<Slot>>,
+    /// `shard-<k>/` directory per slot (empty for [`ShardedLedger::single`],
+    /// which cannot be repaired).
+    dirs: Vec<PathBuf>,
+    config: LedgerConfig,
+    repair_mode: RepairMode,
+    /// Completed quarantine→repair→serving round trips.
+    repaired_shards: AtomicU64,
+    /// WAL records + snapshot accounts salvaged by completed repairs.
+    scavenged: AtomicU64,
+    /// Repair tasks that ended with the shard still refused (`Failed`).
+    abandoned: AtomicU64,
+    /// Repair tasks currently running.
+    repairs_running: AtomicU64,
+    repair_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
 /// N independent spend ledgers routed by user hash. See the module docs
-/// for layout, routing, and the fail-closed recovery contract.
+/// for layout, routing, and the fail-closed repair contract.
 #[derive(Debug)]
 pub struct ShardedLedger {
-    slots: Vec<Mutex<Slot>>,
-    cap_per_user: f64,
-    epoch: u64,
+    inner: Arc<ShardSet>,
 }
 
 impl ShardedLedger {
-    /// Open (or create) `shards` ledgers under `dir/shard-<k>/`.
-    ///
-    /// Never fails as a whole: a shard whose recovery errors is recorded
-    /// as failed (visible via [`failed_shards`](Self::failed_shards))
-    /// and its users are refused fail-closed, while the healthy shards
-    /// serve. Callers that want recovery to be all-or-nothing can check
-    /// `failed_shards().is_empty()` after opening.
+    /// Open (or create) `shards` ledgers under `dir/shard-<k>/` with
+    /// repair disabled ([`RepairMode::Off`]): a shard whose recovery
+    /// errors is held `Failed` and its users are refused fail-closed,
+    /// while the healthy shards serve. Callers that want recovery to be
+    /// all-or-nothing can check `failed_shards().is_empty()` after
+    /// opening; callers that want self-healing use
+    /// [`Self::open_with_repair`].
     ///
     /// # Panics
     /// Panics if `shards` is zero or `config.cap_per_user` is invalid
     /// (the latter via [`SpendLedger::open`]).
     pub fn open(dir: &Path, config: LedgerConfig, shards: usize) -> Self {
+        Self::open_with_repair(dir, config, shards, RepairMode::Off)
+    }
+
+    /// [`Self::open`] with an explicit [`RepairMode`]. Under `Auto` a
+    /// shard that fails recovery is quarantined and a repair task starts
+    /// immediately; under `Manual` it quarantines and waits for
+    /// [`Self::repair_now`].
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero or `config.cap_per_user` is invalid.
+    pub fn open_with_repair(
+        dir: &Path,
+        config: LedgerConfig,
+        shards: usize,
+        repair_mode: RepairMode,
+    ) -> Self {
         assert!(shards > 0, "shard count must be positive");
-        let slots = (0..shards)
-            .map(|k| {
-                let shard_dir = dir.join(format!("shard-{k}"));
-                Mutex::new(match SpendLedger::open(&shard_dir, config) {
-                    Ok(ledger) => Slot::Open(ledger),
-                    Err(e) => Slot::Failed(e.to_string()),
+        let dirs: Vec<PathBuf> = (0..shards)
+            .map(|k| dir.join(format!("shard-{k}")))
+            .collect();
+        let slots = dirs
+            .iter()
+            .map(|shard_dir| {
+                Mutex::new(match SpendLedger::open(shard_dir, config) {
+                    Ok(ledger) => Slot::Open {
+                        ledger,
+                        probation: false,
+                        strikes: 0,
+                    },
+                    Err(error) => match repair_mode {
+                        RepairMode::Off => Slot::Failed { error },
+                        _ => Slot::Quarantined { error },
+                    },
                 })
             })
             .collect();
-        Self {
-            slots,
-            cap_per_user: config.cap_per_user,
-            epoch: config.epoch,
+        let this = Self {
+            inner: Arc::new(ShardSet {
+                slots,
+                dirs,
+                config,
+                repair_mode,
+                repaired_shards: AtomicU64::new(0),
+                scavenged: AtomicU64::new(0),
+                abandoned: AtomicU64::new(0),
+                repairs_running: AtomicU64::new(0),
+                repair_handles: Mutex::new(Vec::new()),
+            }),
+        };
+        if repair_mode == RepairMode::Auto {
+            this.repair_now();
         }
+        this
     }
 
     /// Wrap one pre-opened ledger as a single-shard instance. Keeps
     /// callers that don't need sharding (unit tests, small deployments)
-    /// on the same code path as the sharded server.
+    /// on the same code path as the sharded server. Repair is disabled:
+    /// the wrapped ledger's directory is not known here.
     pub fn single(ledger: SpendLedger) -> Self {
-        let cap_per_user = ledger.cap_per_user();
-        let epoch = ledger.epoch();
+        let config = LedgerConfig {
+            cap_per_user: ledger.cap_per_user(),
+            epoch: ledger.epoch(),
+            compact_after: 0,
+        };
         Self {
-            slots: vec![Mutex::new(Slot::Open(ledger))],
-            cap_per_user,
-            epoch,
+            inner: Arc::new(ShardSet {
+                slots: vec![Mutex::new(Slot::Open {
+                    ledger,
+                    probation: false,
+                    strikes: 0,
+                })],
+                dirs: vec![PathBuf::new()],
+                config,
+                repair_mode: RepairMode::Off,
+                repaired_shards: AtomicU64::new(0),
+                scavenged: AtomicU64::new(0),
+                abandoned: AtomicU64::new(0),
+                repairs_running: AtomicU64::new(0),
+                repair_handles: Mutex::new(Vec::new()),
+            }),
         }
     }
 
     fn slot_for(&self, user: u64) -> (u64, MutexGuard<'_, Slot>) {
-        let shard = shard_of(user, self.slots.len());
-        let guard = self.slots[shard]
+        let shard = shard_of(user, self.inner.slots.len());
+        let guard = self.inner.slots[shard]
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         (shard as u64, guard)
@@ -117,22 +313,120 @@ impl ShardedLedger {
     /// of the shard that owns the account — spends on other shards
     /// proceed concurrently, including through their fsyncs.
     ///
+    /// A transient-`EIO` append is retried in place (bounded, seeded
+    /// exponential backoff) before the refusal is surfaced. With repair
+    /// enabled, [`QUARANTINE_STRIKES`] consecutive journal refusals
+    /// self-quarantine the shard — it stops serving unjournaled spends
+    /// and enters the repair loop.
+    ///
     /// # Errors
     /// Everything [`SpendLedger::try_spend`] returns, plus
-    /// [`SpendError::ShardUnavailable`] when the owning shard failed
-    /// recovery. Any `Err` means nothing was spent.
+    /// [`SpendError::ShardUnavailable`] while the owning shard is
+    /// quarantined, scavenging, or failed. Any `Err` means nothing was
+    /// spent.
     pub fn try_spend(&self, user: u64, eps: f64) -> Result<(), SpendError> {
         let (shard, mut guard) = self.slot_for(user);
         match &mut *guard {
-            Slot::Open(ledger) => ledger.try_spend(user, eps),
-            Slot::Failed(detail) => Err(SpendError::ShardUnavailable {
+            Slot::Open {
+                ledger,
+                probation,
+                strikes,
+            } => {
+                let mut rng = SeededRng::from_seed(0x5eed ^ user ^ (shard << 32));
+                let mut attempt = 0u32;
+                let result = loop {
+                    match ledger.try_spend(user, eps) {
+                        Err(SpendError::Journal(e))
+                            if journal::is_transient_io(&e) && attempt < EIO_RETRY_LIMIT =>
+                        {
+                            attempt += 1;
+                            backoff_sleep(&mut rng, attempt);
+                        }
+                        other => break other,
+                    }
+                };
+                match result {
+                    Ok(()) => {
+                        *strikes = 0;
+                        // First durable append after a repair: probation
+                        // is over, the device provably writes again.
+                        *probation = false;
+                        Ok(())
+                    }
+                    Err(SpendError::Journal(error)) => {
+                        *strikes += 1;
+                        if self.inner.repair_mode != RepairMode::Off
+                            && *strikes >= QUARANTINE_STRIKES
+                        {
+                            // Persistent write fault: stop fielding (and
+                            // refusing) requests one by one and hand the
+                            // shard to the repair loop.
+                            *guard = Slot::Quarantined {
+                                error: error.clone(),
+                            };
+                            drop(guard);
+                            if self.inner.repair_mode == RepairMode::Auto {
+                                spawn_repair(&self.inner, shard as usize);
+                            }
+                        }
+                        Err(SpendError::Journal(error))
+                    }
+                    other => other,
+                }
+            }
+            Slot::Quarantined { error } => Err(SpendError::ShardUnavailable {
                 shard,
-                detail: detail.clone(),
+                detail: format!("quarantined for repair: {error}"),
+            }),
+            Slot::Scavenging { error } => Err(SpendError::ShardUnavailable {
+                shard,
+                detail: format!("repair in progress: {error}"),
+            }),
+            Slot::Failed { error } => Err(SpendError::ShardUnavailable {
+                shard,
+                detail: error.to_string(),
             }),
         }
     }
 
-    /// Checkpoint every healthy shard (fold WAL into snapshot). All
+    /// Spawn repair tasks for every quarantined or failed shard and
+    /// return how many were started. Under [`RepairMode::Off`] this is a
+    /// no-op (returns 0) — terminal means terminal.
+    pub fn repair_now(&self) -> usize {
+        if self.inner.repair_mode == RepairMode::Off {
+            return 0;
+        }
+        let mut started = 0;
+        for shard in 0..self.inner.slots.len() {
+            if spawn_repair(&self.inner, shard) {
+                started += 1;
+            }
+        }
+        started
+    }
+
+    /// Block until every outstanding repair task finishes. Called during
+    /// shutdown so the final report reflects settled slots; tests use it
+    /// to await a deterministic post-repair state.
+    pub fn await_repairs(&self) {
+        loop {
+            let handles: Vec<JoinHandle<()>> = self
+                .inner
+                .repair_handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .drain(..)
+                .collect();
+            if handles.is_empty() {
+                return;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    /// Checkpoint every serving shard (fold WAL into snapshot). All
     /// shards are attempted even if an early one fails; the first error
     /// is returned.
     ///
@@ -140,9 +434,9 @@ impl ShardedLedger {
     /// The first [`JournalError`] any shard's checkpoint produced.
     pub fn checkpoint_all(&self) -> Result<(), JournalError> {
         let mut first_err = None;
-        for slot in &self.slots {
+        for slot in &self.inner.slots {
             let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
-            if let Slot::Open(ledger) = &mut *guard {
+            if let Slot::Open { ledger, .. } = &mut *guard {
                 if let Err(e) = ledger.checkpoint() {
                     first_err.get_or_insert(e);
                 }
@@ -154,72 +448,155 @@ impl ShardedLedger {
         }
     }
 
-    /// Composed ε already spent by `user` this epoch (0.0 if unknown or
-    /// the owning shard is failed — the *refusal* is what protects a
-    /// failed shard's users, not this read).
-    pub fn spent(&self, user: u64) -> f64 {
+    /// Composed ε already spent by `user` this epoch, or `None` when the
+    /// owning shard is not serving — an unavailable shard's accounts are
+    /// *unknown*, not zero (the refusal is what protects its users; this
+    /// read is what keeps fleet-wide sums honest).
+    pub fn spent(&self, user: u64) -> Option<f64> {
         match &*self.slot_for(user).1 {
-            Slot::Open(ledger) => ledger.spent(user),
-            Slot::Failed(_) => 0.0,
+            Slot::Open { ledger, .. } => Some(ledger.spent(user)),
+            _ => None,
         }
     }
 
-    /// ε remaining for `user` this epoch (0.0 when the owning shard is
-    /// failed: a refused user has nothing to spend).
-    pub fn remaining(&self, user: u64) -> f64 {
+    /// ε remaining for `user` this epoch, or `None` when the owning
+    /// shard is not serving.
+    pub fn remaining(&self, user: u64) -> Option<f64> {
         match &*self.slot_for(user).1 {
-            Slot::Open(ledger) => ledger.remaining(user),
-            Slot::Failed(_) => 0.0,
+            Slot::Open { ledger, .. } => Some(ledger.remaining(user)),
+            _ => None,
         }
     }
 
-    /// Number of distinct users with recorded spend across healthy
-    /// shards.
+    /// Number of distinct users with recorded spend across serving
+    /// shards — a partial sum when [`Self::unaccounted_shards`] is
+    /// nonzero.
     pub fn users(&self) -> usize {
         self.fold(0, |acc, l| acc + l.users())
     }
 
-    /// Sum of all spends across healthy shards this epoch.
+    /// Sum of all spends across serving shards this epoch — a partial
+    /// sum when [`Self::unaccounted_shards`] is nonzero.
     pub fn total_spent(&self) -> f64 {
         self.fold(0.0, |acc, l| acc + l.total_spent())
     }
 
+    /// Shards whose accounts are *not* included in [`Self::users`] /
+    /// [`Self::total_spent`] right now (quarantined, scavenging, or
+    /// failed). Surfaced in the serve report so a partial sum is never
+    /// mistaken for the fleet total.
+    pub fn unaccounted_shards(&self) -> u64 {
+        self.inner
+            .slots
+            .iter()
+            .filter(|slot| {
+                !matches!(
+                    &*slot.lock().unwrap_or_else(PoisonError::into_inner),
+                    Slot::Open { .. }
+                )
+            })
+            .count() as u64
+    }
+
     /// The shard count this instance was opened with.
     pub fn shards(&self) -> usize {
-        self.slots.len()
+        self.inner.slots.len()
     }
 
     /// The per-user ε cap all shards share.
     pub fn cap_per_user(&self) -> f64 {
-        self.cap_per_user
+        self.inner.config.cap_per_user
     }
 
     /// The epoch all shards were opened at.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.inner.config.epoch
     }
 
-    /// The shards that failed recovery, with the error that refused
-    /// each. Empty when every shard is healthy.
+    /// The repair mode this instance was opened with.
+    pub fn repair_mode(&self) -> RepairMode {
+        self.inner.repair_mode
+    }
+
+    /// Health of every shard, indexed by shard number.
+    pub fn shard_states(&self) -> Vec<ShardHealth> {
+        self.inner
+            .slots
+            .iter()
+            .map(
+                |slot| match &*slot.lock().unwrap_or_else(PoisonError::into_inner) {
+                    Slot::Open {
+                        probation: false, ..
+                    } => ShardHealth::Ready,
+                    Slot::Open {
+                        probation: true, ..
+                    } => ShardHealth::Probation,
+                    Slot::Quarantined { .. } => ShardHealth::Quarantined,
+                    Slot::Scavenging { .. } => ShardHealth::Scavenging,
+                    Slot::Failed { .. } => ShardHealth::Failed,
+                },
+            )
+            .collect()
+    }
+
+    /// Per-state shard counts (the `GET /healthz` payload).
+    pub fn health_counts(&self) -> ShardHealthCounts {
+        let mut counts = ShardHealthCounts::default();
+        for state in self.shard_states() {
+            match state {
+                ShardHealth::Ready => counts.ready += 1,
+                ShardHealth::Probation => counts.probation += 1,
+                ShardHealth::Quarantined => counts.quarantined += 1,
+                ShardHealth::Scavenging => counts.scavenging += 1,
+                ShardHealth::Failed => counts.failed += 1,
+            }
+        }
+        counts
+    }
+
+    /// The shards refused terminally, with the error that refused each
+    /// (rendered; the typed error lives in the slot). Empty when every
+    /// shard is serving or repairable.
     pub fn failed_shards(&self) -> Vec<(usize, String)> {
-        self.slots
+        self.inner
+            .slots
             .iter()
             .enumerate()
             .filter_map(|(k, slot)| {
                 let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
                 match &*guard {
-                    Slot::Open(_) => None,
-                    Slot::Failed(detail) => Some((k, detail.clone())),
+                    Slot::Failed { error } => Some((k, error.to_string())),
+                    _ => None,
                 }
             })
             .collect()
     }
 
+    /// Completed quarantine→repair→serving round trips.
+    pub fn repaired_shards(&self) -> u64 {
+        self.inner.repaired_shards.load(Ordering::Relaxed)
+    }
+
+    /// WAL records + snapshot accounts salvaged by completed repairs.
+    pub fn scavenged_records(&self) -> u64 {
+        self.inner.scavenged.load(Ordering::Relaxed)
+    }
+
+    /// Repair tasks that ended with the shard still refused.
+    pub fn abandoned_repairs(&self) -> u64 {
+        self.inner.abandoned.load(Ordering::Relaxed)
+    }
+
+    /// Repair tasks running right now.
+    pub fn repairs_running(&self) -> u64 {
+        self.inner.repairs_running.load(Ordering::Relaxed)
+    }
+
     fn fold<T>(&self, init: T, mut f: impl FnMut(T, &SpendLedger) -> T) -> T {
         let mut acc = init;
-        for slot in &self.slots {
+        for slot in &self.inner.slots {
             let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
-            if let Slot::Open(ledger) = &*guard {
+            if let Slot::Open { ledger, .. } = &*guard {
                 acc = f(acc, ledger);
             }
         }
@@ -231,6 +608,122 @@ impl ShardedLedger {
     #[cfg(test)]
     pub(crate) fn lock_shard(&self, user: u64) -> MutexGuard<'_, Slot> {
         self.slot_for(user).1
+    }
+}
+
+/// Seeded exponential backoff: `base·2^min(attempt,6)` plus jitter in
+/// `[0, base)` milliseconds — deterministic per (user, shard) seed.
+fn backoff_sleep(rng: &mut SeededRng, attempt: u32) {
+    let exp = BACKOFF_BASE_MS.saturating_mul(1u64 << attempt.min(6));
+    let jitter = (rng.gen_f64() * BACKOFF_BASE_MS as f64) as u64;
+    std::thread::sleep(Duration::from_millis(exp + jitter));
+}
+
+/// Claim `shard` for repair (Quarantined/Failed → Scavenging) and spawn
+/// the background task. Returns false when the slot is not claimable
+/// (already serving, already being scavenged, or a single-ledger wrap
+/// with no directory).
+fn spawn_repair(inner: &Arc<ShardSet>, shard: usize) -> bool {
+    if inner.dirs[shard].as_os_str().is_empty() {
+        return false;
+    }
+    {
+        let mut guard = inner.slots[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Two-step move: the placeholder below is overwritten before the
+        // lock drops, whichever way the match goes.
+        let prev = std::mem::replace(
+            &mut *guard,
+            Slot::Scavenging {
+                error: JournalError::Injected("repair claim in progress"),
+            },
+        );
+        match prev {
+            Slot::Quarantined { error } | Slot::Failed { error } => {
+                *guard = Slot::Scavenging { error };
+            }
+            serving => {
+                *guard = serving;
+                return false;
+            }
+        }
+    }
+    inner.repairs_running.fetch_add(1, Ordering::SeqCst);
+    let set = Arc::clone(inner);
+    let handle = std::thread::spawn(move || {
+        repair_shard(&set, shard);
+        set.repairs_running.fetch_sub(1, Ordering::SeqCst);
+    });
+    inner
+        .repair_handles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(handle);
+    true
+}
+
+/// The repair task: scavenge the shard's directory (retrying transient
+/// refusals with seeded backoff), re-run the standard open against the
+/// salvage, verify recovered ≥ salvaged per user, and swap the slot back
+/// to serving-on-probation. The slot is `Scavenging` for the duration,
+/// so no other thread touches the files; the lock is only held for the
+/// final swap.
+fn repair_shard(set: &ShardSet, shard: usize) {
+    let dir = &set.dirs[shard];
+    let mut rng = SeededRng::from_seed(0x4efa_15ed ^ shard as u64);
+    let mut outcome: Result<(journal::ScavengeReport, SpendLedger), JournalError> =
+        Err(JournalError::Injected("repair never attempted"));
+    for attempt in 0..REPAIR_ATTEMPTS {
+        if attempt > 0 {
+            backoff_sleep(&mut rng, attempt);
+        }
+        outcome = journal::scavenge(dir, set.config.epoch).and_then(|report| {
+            // Verified re-admission: the standard open (full checksum +
+            // generation validation) must accept the salvage and recover
+            // at least what was salvaged, per user.
+            let ledger = SpendLedger::open(dir, set.config)?;
+            for (&user, &spend) in &report.salvaged {
+                if ledger.spent(user) < spend - 1e-9 {
+                    return Err(JournalError::Corrupt {
+                        section: format!("repair verification (shard {shard})"),
+                        detail: format!(
+                            "re-open recovered {} for user {user}, salvage proved {spend}",
+                            ledger.spent(user)
+                        ),
+                    });
+                }
+            }
+            Ok((report, ledger))
+        });
+        match &outcome {
+            Ok(_) => break,
+            // Corruption and epoch regression are not transient: no
+            // retry budget will make the salvage provable.
+            Err(JournalError::Corrupt { .. } | JournalError::EpochRegression { .. }) => break,
+            Err(_) => {}
+        }
+    }
+    let mut guard = set.slots[shard]
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    match outcome {
+        Ok((report, ledger)) => {
+            set.scavenged.fetch_add(
+                report.wal_records + report.salvaged.len() as u64,
+                Ordering::Relaxed,
+            );
+            set.repaired_shards.fetch_add(1, Ordering::Relaxed);
+            *guard = Slot::Open {
+                ledger,
+                probation: true,
+                strikes: 0,
+            };
+        }
+        Err(error) => {
+            set.abandoned.fetch_add(1, Ordering::Relaxed);
+            *guard = Slot::Failed { error };
+        }
     }
 }
 
@@ -256,6 +749,14 @@ mod tests {
             epoch: 0,
             compact_after: 0,
         }
+    }
+
+    fn corrupt_snapshot(dir: &Path, shard: usize) {
+        let snap = dir.join(format!("shard-{shard}")).join("ledger.snap");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&snap, &bytes).unwrap();
     }
 
     #[test]
@@ -295,8 +796,10 @@ mod tests {
 
         let reopened = ShardedLedger::open(&dir, config(1.0), 4);
         assert!(reopened.failed_shards().is_empty());
+        assert_eq!(reopened.unaccounted_shards(), 0);
         for user in 0..20u64 {
-            assert!((reopened.spent(user) - 0.25).abs() < 1e-12, "user {user}");
+            let spent = reopened.spent(user).expect("serving shard");
+            assert!((spent - 0.25).abs() < 1e-12, "user {user}");
         }
     }
 
@@ -312,16 +815,13 @@ mod tests {
 
         // Corrupt one shard's snapshot so its recovery fails.
         let bad = 1usize;
-        let snap = dir.join(format!("shard-{bad}")).join("ledger.snap");
-        let mut bytes = std::fs::read(&snap).unwrap();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0xff;
-        std::fs::write(&snap, &bytes).unwrap();
+        corrupt_snapshot(&dir, bad);
 
         let reopened = ShardedLedger::open(&dir, config(1.0), 4);
         let failed = reopened.failed_shards();
         assert_eq!(failed.len(), 1);
         assert_eq!(failed[0].0, bad);
+        assert_eq!(reopened.unaccounted_shards(), 1);
 
         for user in 0..20u64 {
             let on_bad = shard_of(user, 4) == bad;
@@ -333,6 +833,8 @@ mod tests {
                 }
                 Err(e) => panic!("unexpected refusal for user {user}: {e}"),
             }
+            // The accounting read is typed, not silently zero.
+            assert_eq!(reopened.spent(user).is_none(), on_bad, "user {user}");
         }
     }
 
@@ -348,12 +850,121 @@ mod tests {
             ledger.try_spend(7, 0.5),
             Err(SpendError::Exhausted { user: 7, .. })
         ));
-        assert!((ledger.remaining(7)).abs() < 1e-12);
+        assert!(ledger.remaining(7).expect("serving").abs() < 1e-12);
+        // A single-ledger wrap has no directory to repair.
+        assert_eq!(ledger.repair_now(), 0);
     }
 
     #[test]
     fn open_refuses_a_zero_shard_count() {
         let result = std::panic::catch_unwind(|| shard_of(3, 0));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn auto_repair_heals_a_wal_header_corruption_at_open() {
+        let dir = temp_dir("autorepair");
+        // Serve, checkpoint, then spend more so the WAL holds records.
+        {
+            let ledger = ShardedLedger::open(&dir, config(10.0), 2);
+            for user in 0..8u64 {
+                ledger.try_spend(user, 0.5).unwrap();
+            }
+            ledger.checkpoint_all().unwrap();
+            for user in 0..8u64 {
+                ledger.try_spend(user, 0.25).unwrap();
+            }
+            // Crash: no checkpoint — the 0.25 spends live only in WALs.
+        }
+        // Corrupt shard 0's WAL *header* (a committed region): the
+        // standard open refuses, but every record checksum still
+        // verifies, so a scavenge salvages them (resolved upward).
+        let wal = dir.join("shard-0").join("ledger.wal");
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes[9] ^= 0x20;
+        std::fs::write(&wal, &bytes).unwrap();
+        assert!(
+            SpendLedger::open(&dir.join("shard-0"), config(10.0)).is_err(),
+            "corrupt WAL header must refuse the standard open"
+        );
+
+        let ledger = ShardedLedger::open_with_repair(&dir, config(10.0), 2, RepairMode::Auto);
+        ledger.await_repairs();
+        assert_eq!(ledger.repaired_shards(), 1);
+        assert_eq!(ledger.abandoned_repairs(), 0);
+        assert_eq!(ledger.unaccounted_shards(), 0);
+        let states = ledger.shard_states();
+        assert_eq!(states[0], ShardHealth::Probation);
+        // Every user recovered at least what was served — nothing was
+        // forgotten by the repair.
+        for user in 0..8u64 {
+            let spent = ledger.spent(user).expect("repaired shard serves");
+            assert!(spent >= 0.75 - 1e-9, "user {user} lost spend: {spent}");
+        }
+        // Probation ends at the first durable append.
+        let probed = (0..64)
+            .find(|&u| shard_of(u, 2) == 0)
+            .expect("a user on shard 0");
+        ledger.try_spend(probed, 0.25).unwrap();
+        assert_eq!(ledger.shard_states()[0], ShardHealth::Ready);
+    }
+
+    #[test]
+    fn unprovable_salvage_is_abandoned_with_the_typed_reason() {
+        let dir = temp_dir("abandon");
+        {
+            let ledger = ShardedLedger::open(&dir, config(1.0), 2);
+            for user in 0..8u64 {
+                ledger.try_spend(user, 0.25).unwrap();
+            }
+            ledger.checkpoint_all().unwrap();
+        }
+        // Corrupt shard 1's *snapshot* (the committed base): a scavenge
+        // cannot bound what was served, so repair must abandon.
+        corrupt_snapshot(&dir, 1);
+        let ledger = ShardedLedger::open_with_repair(&dir, config(1.0), 2, RepairMode::Auto);
+        ledger.await_repairs();
+        assert_eq!(ledger.repaired_shards(), 0);
+        assert_eq!(ledger.abandoned_repairs(), 1);
+        assert_eq!(ledger.shard_states()[1], ShardHealth::Failed);
+        let failed = ledger.failed_shards();
+        assert_eq!(failed.len(), 1);
+        assert!(
+            failed[0].1.contains("corrupt"),
+            "typed reason lost: {}",
+            failed[0].1
+        );
+    }
+
+    #[test]
+    fn manual_mode_waits_for_repair_now() {
+        let dir = temp_dir("manual");
+        {
+            let ledger = ShardedLedger::open(&dir, config(10.0), 2);
+            for user in 0..8u64 {
+                ledger.try_spend(user, 0.5).unwrap();
+            }
+            ledger.checkpoint_all().unwrap();
+        }
+        let wal = dir.join("shard-1").join("ledger.wal");
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes[9] ^= 0x20;
+        std::fs::write(&wal, &bytes).unwrap();
+
+        let ledger = ShardedLedger::open_with_repair(&dir, config(10.0), 2, RepairMode::Manual);
+        assert_eq!(ledger.shard_states()[1], ShardHealth::Quarantined);
+        // Quarantined users are refused with a typed ShardUnavailable.
+        let user = (0..64)
+            .find(|&u| shard_of(u, 2) == 1)
+            .expect("a user on shard 1");
+        assert!(matches!(
+            ledger.try_spend(user, 0.5),
+            Err(SpendError::ShardUnavailable { shard: 1, .. })
+        ));
+        assert_eq!(ledger.repair_now(), 1);
+        ledger.await_repairs();
+        assert_eq!(ledger.repaired_shards(), 1);
+        assert_eq!(ledger.shard_states()[1], ShardHealth::Probation);
+        ledger.try_spend(user, 0.5).expect("repaired shard serves");
     }
 }

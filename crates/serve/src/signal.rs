@@ -1,0 +1,86 @@
+//! Signal-driven drain: a libc-crate-free `SIGTERM`/`SIGINT` handler
+//! that does nothing but raise an atomic flag.
+//!
+//! An async-signal-safe handler may not lock, allocate, or touch the
+//! server — so the handler here only stores into a `static AtomicBool`.
+//! The serving loops poll the flag at their own pace: the wire accept
+//! loop stops accepting ([`crate::wire`]), and the process owner (the
+//! `geoind serve --listen` command) observes it and runs the same
+//! graceful drain ordering `POST /shutdown` triggers — accept-stop →
+//! handler-join → queue-drain → shard flush → final report. A
+//! `kill -TERM` therefore loses nothing a client was promised: every
+//! acknowledged spend is journaled and every in-flight exchange
+//! finishes before the process exits.
+//!
+//! The registration goes through the C runtime's `signal(2)` directly
+//! (an `extern "C"` declaration against the libc every Rust binary
+//! already links) — no new dependency, per the workspace's std-only
+//! rule. On non-Unix targets installation is a no-op and the flag
+//! simply never rises.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Raised by the handler; never cleared (termination is one-way).
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, TERMINATE};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // `signal(2)` from the C runtime the binary already links.
+        // Returns the previous handler (unused).
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    // Async-signal-safe: a single relaxed store, nothing else.
+    extern "C" fn on_terminate(_signum: i32) {
+        TERMINATE.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal` is the C runtime's registration call and
+        // `on_terminate` is an `extern "C" fn(i32)` that only performs
+        // an atomic store — async-signal-safe by construction.
+        unsafe {
+            signal(SIGTERM, on_terminate as *const () as usize);
+            signal(SIGINT, on_terminate as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Install the `SIGTERM`/`SIGINT` handler. Idempotent; call once before
+/// serving. On non-Unix targets this is a no-op.
+pub fn install_termination_handler() {
+    imp::install();
+}
+
+/// True once `SIGTERM` or `SIGINT` has been delivered (never resets).
+pub fn termination_requested() -> bool {
+    TERMINATE.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_low_and_install_is_idempotent() {
+        // The handler must not fire spuriously, and installing twice
+        // must be harmless. (Actually delivering a signal to the test
+        // process would poison sibling tests; the end-to-end delivery
+        // path is exercised by the CLI SIGTERM test against a child
+        // process.)
+        install_termination_handler();
+        install_termination_handler();
+        assert!(!termination_requested());
+    }
+}

@@ -12,15 +12,25 @@
 //!   path). Terminal outcomes answer `200` with a `status` field
 //!   (`served`, `budget_exhausted`, `expired`, `journal_fault`);
 //!   retryable refusals answer `503` (`overloaded`, `draining`,
-//!   `in_flight`). `id` is the client's idempotency key, scoped per
-//!   user: retrying `(user, id)` after a torn response replays the
-//!   already-journaled outcome instead of spending again.
+//!   `in_flight`, `shard_unavailable`, `disk_full`). `id` is the
+//!   client's idempotency key, scoped per user: retrying `(user, id)`
+//!   after a torn response replays the already-journaled outcome
+//!   instead of spending again. A `shard_unavailable`/`disk_full`
+//!   refusal releases the key — the retry re-attempts against the
+//!   (possibly repaired) shard rather than replaying the refusal.
 //! * `GET /report` — counters snapshot plus the pinned
 //!   [`ServeReport::log_line`]; control traffic, not counted.
+//! * `GET /healthz` — readiness: `200` while every ledger shard serves
+//!   (ready or probation), `503` with per-state counts and repair
+//!   progress while any shard is quarantined, scavenging, or failed.
+//! * `POST /repair` — spawn repair tasks for every quarantined/failed
+//!   shard (a no-op under `RepairMode::Off`); answers how many started.
 //! * `POST /shutdown` — requests a graceful drain; the process that
 //!   owns the [`WireServer`] observes
 //!   [`WireServer::shutdown_requested`] and calls
-//!   [`WireServer::shutdown`].
+//!   [`WireServer::shutdown`]. The same drain runs when the process
+//!   catches `SIGTERM`/`SIGINT` (see [`crate::signal`]): the accept
+//!   loop observes the flag and stops accepting on its own.
 //!
 //! ## Overload and abuse
 //!
@@ -72,6 +82,14 @@ pub struct WireConfig {
     /// Request bodies beyond this answer `413` and close (bounds parse
     /// memory per connection).
     pub max_body_bytes: usize,
+    /// Keep-alive idle cap: a pipelined connection with no frame in
+    /// progress for this long is reaped. Responses are written before
+    /// the next read begins, so reaping never drops an in-flight
+    /// response. The default (5000 ms) sits three orders of magnitude
+    /// above the measured steady-state p99 request latency
+    /// (`BENCH_serve.json`: ~2.4 ms), so only genuinely abandoned
+    /// connections are reaped.
+    pub idle_timeout_ms: u64,
     /// When set, every protect request gets an absolute deadline this
     /// many milliseconds from its dispatch ([`Clock`] time), enforced by
     /// the worker's deadline gate.
@@ -86,6 +104,7 @@ impl Default for WireConfig {
             read_timeout_ms: 2_000,
             write_timeout_ms: 2_000,
             max_body_bytes: 64 * 1024,
+            idle_timeout_ms: 5_000,
             deadline_ms: None,
         }
     }
@@ -270,6 +289,13 @@ impl WireShared {
 fn accept_loop(shared: &Arc<WireShared>, listener: TcpListener) {
     loop {
         if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        if crate::signal::termination_requested() {
+            // SIGTERM/SIGINT landed: stop accepting immediately and let
+            // the owner (which polls the same flag) run the graceful
+            // drain — accept-stop is the first step of the ordering.
+            shared.shutdown_requested.store(true, Ordering::SeqCst);
             return;
         }
         match listener.accept() {
@@ -461,12 +487,22 @@ fn handle_connection(shared: &Arc<WireShared>, mut stream: TcpStream) {
         shared.config.write_timeout_ms.max(1),
     )));
     let mut pending = Vec::new();
+    let idle_cap = Duration::from_millis(shared.config.idle_timeout_ms.max(1));
+    let mut last_activity = std::time::Instant::now();
     loop {
         if shared.draining.load(Ordering::SeqCst) {
             break;
         }
         match read_frame(&mut stream, &mut pending, shared.config.max_body_bytes) {
-            ReadOutcome::Idle => continue,
+            ReadOutcome::Idle => {
+                // No frame in progress and nothing in flight (responses
+                // are written before the next read begins): reap the
+                // connection once it has idled past the cap.
+                if last_activity.elapsed() >= idle_cap {
+                    break;
+                }
+                continue;
+            }
             ReadOutcome::Closed => break,
             ReadOutcome::Torn => {
                 // Cut mid-frame: nothing was parsed, no budget burned.
@@ -485,6 +521,7 @@ fn handle_connection(shared: &Arc<WireShared>, mut stream: TcpStream) {
                 break;
             }
             ReadOutcome::Request(frame) => {
+                last_activity = std::time::Instant::now();
                 if failpoint::hit("serve.net.read_torn") {
                     // The frame arrived but is treated as torn before any
                     // parse or gate: a torn request burns no budget.
@@ -526,6 +563,11 @@ fn dispatch(shared: &Arc<WireShared>, frame: &Frame) -> (u16, String) {
     match (frame.method.as_str(), frame.path.as_str()) {
         ("POST", "/protect") => dispatch_protect(shared, &frame.body),
         ("GET", "/report") => (200, report_body(shared)),
+        ("GET", "/healthz") => healthz_body(shared),
+        ("POST", "/repair") => {
+            let started = shared.server.ledger().repair_now();
+            (200, format!(r#"{{"status":"repair","started":{started}}}"#))
+        }
         ("POST", "/shutdown") => {
             shared.shutdown_requested.store(true, Ordering::SeqCst);
             (200, r#"{"status":"draining"}"#.to_string())
@@ -662,14 +704,23 @@ fn settle_one(shared: &Arc<WireShared>, outcome: SubmitOutcome) -> (u16, String)
         SubmitOutcome::InFlight(rx, key) => match rx.recv() {
             Ok(response) => {
                 let body = render_outcome(&response);
+                let retryable = matches!(
+                    response,
+                    Response::ShardUnavailable { .. } | Response::DiskFull
+                );
                 if let Some(key) = key {
-                    shared
-                        .idem
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .insert(key, IdemState::Done(body.clone()));
+                    let mut idem = shared.idem.lock().unwrap_or_else(PoisonError::into_inner);
+                    if retryable {
+                        // Nothing was journaled and the condition may
+                        // clear (repair, freed space): release the key so
+                        // the retry re-attempts instead of replaying the
+                        // refusal forever.
+                        idem.remove(&key);
+                    } else {
+                        idem.insert(key, IdemState::Done(body.clone()));
+                    }
                 }
-                (200, body)
+                (if retryable { 503 } else { 200 }, body)
             }
             Err(_) => {
                 // The worker dropped the reply without answering (it
@@ -707,7 +758,49 @@ fn render_outcome(response: &Response) -> String {
             ("detail".into(), Json::Str(detail.clone())),
         ])
         .render(),
+        Response::ShardUnavailable { shard } => {
+            format!(r#"{{"status":"shard_unavailable","shard":{shard}}}"#)
+        }
+        Response::DiskFull => r#"{"status":"disk_full"}"#.to_string(),
     }
+}
+
+/// `GET /healthz`: `200` while every shard serves, `503` otherwise,
+/// with per-state counts and repair progress either way.
+fn healthz_body(shared: &Arc<WireShared>) -> (u16, String) {
+    let ledger = shared.server.ledger();
+    let counts = ledger.health_counts();
+    let serving = counts.all_serving();
+    let body = Json::Obj(vec![
+        (
+            "status".into(),
+            Json::Str(if serving { "ready" } else { "degraded" }.into()),
+        ),
+        ("shards".into(), Json::Num(ledger.shards() as f64)),
+        ("ready".into(), Json::Num(counts.ready as f64)),
+        ("probation".into(), Json::Num(counts.probation as f64)),
+        ("quarantined".into(), Json::Num(counts.quarantined as f64)),
+        ("scavenging".into(), Json::Num(counts.scavenging as f64)),
+        ("failed".into(), Json::Num(counts.failed as f64)),
+        (
+            "repairs_running".into(),
+            Json::Num(ledger.repairs_running() as f64),
+        ),
+        (
+            "repaired_shards".into(),
+            Json::Num(ledger.repaired_shards() as f64),
+        ),
+        (
+            "scavenged".into(),
+            Json::Num(ledger.scavenged_records() as f64),
+        ),
+        (
+            "abandoned".into(),
+            Json::Num(ledger.abandoned_repairs() as f64),
+        ),
+    ])
+    .render();
+    (if serving { 200 } else { 503 }, body)
 }
 
 fn report_body(shared: &Arc<WireShared>) -> String {
@@ -745,6 +838,21 @@ fn report_body(shared: &Arc<WireShared>) -> String {
         (
             "journal_faults".into(),
             Json::Num(report.journal_faults as f64),
+        ),
+        (
+            "refused_shard".into(),
+            Json::Num(report.refused_shard as f64),
+        ),
+        ("disk_full".into(), Json::Num(report.disk_full as f64)),
+        (
+            "repaired_shards".into(),
+            Json::Num(report.repaired_shards as f64),
+        ),
+        ("scavenged".into(), Json::Num(report.scavenged as f64)),
+        ("abandoned".into(), Json::Num(report.abandoned as f64)),
+        (
+            "unaccounted_shards".into(),
+            Json::Num(report.unaccounted_shards as f64),
         ),
         ("shed_net".into(), Json::Num(report.shed_net as f64)),
         ("torn".into(), Json::Num(report.torn as f64)),

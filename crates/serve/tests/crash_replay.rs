@@ -31,8 +31,11 @@ const JOURNAL_SITES: &[&str] = &[
     "serve.journal.append",
     "serve.journal.torn",
     "serve.journal.flush",
+    "serve.journal.enospc",
+    "serve.journal.eio",
     "serve.snapshot.write",
     "serve.snapshot.commit",
+    "serve.snapshot.enospc",
     "serve.wal.reset",
 ];
 
@@ -321,7 +324,7 @@ fn sharded_crash_refuses_damaged_shard_and_recovers_the_rest_exactly() {
                 // Healthy shards recover exactly what they served: the
                 // in-process fault repairs the tail before the crash, and
                 // no record from another shard can leak in.
-                let r = recovered.spent(user);
+                let r = recovered.spent(user).expect("healthy shard serves");
                 assert!(
                     (r - spend).abs() < 1e-9,
                     "{spec:?}: user {user} recovered {r}, served {spend}"
@@ -333,6 +336,262 @@ fn sharded_crash_refuses_damaged_shard_and_recovers_the_rest_exactly() {
             (recovered.total_spent() - healthy_expected).abs() < 1e-9,
             "{spec:?}: cross-shard double-count"
         );
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scavenge matrix: each damage class × whether salvage succeeds or abandons.
+// The invariant under test throughout: after quarantine → scavenge →
+// re-admission, recovered spend ≥ served spend, and nothing is charged twice.
+// ---------------------------------------------------------------------------
+
+mod scavenge_matrix {
+    use super::*;
+    use geoind_serve::journal::{scavenge, ScavengeReport};
+    use geoind_serve::shard::{RepairMode, ShardHealth, ShardedLedger};
+
+    /// A corrupt committed snapshot is *unsalvageable by design*: without
+    /// a trusted base the scavenge cannot bound what was served, so it
+    /// abandons with the typed corruption reason rather than guessing.
+    #[test]
+    fn corrupt_snapshot_abandons_with_typed_reason() {
+        let dir = temp_dir("sc-snapcorrupt");
+        let mut ledger = SpendLedger::open(&dir, config(100.0, 0)).expect("open");
+        for _ in 0..3 {
+            ledger.try_spend(4, EPS).expect("spend");
+        }
+        ledger.checkpoint().expect("checkpoint");
+        drop(ledger); // crash
+        let snap = dir.join("ledger.snap");
+        let mut bytes = fs::read(&snap).expect("read snap");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&snap, &bytes).expect("damage snap");
+        let err = scavenge(&dir, 0).expect_err("corrupt base must abandon");
+        assert!(
+            matches!(err, JournalError::Corrupt { .. }),
+            "want typed Corrupt, got {err:?}"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A torn WAL tail (write cut mid-record) salvages every complete
+    /// checksummed record and truncates the partial one away — then the
+    /// *standard* open verifies the committed salvage with no
+    /// double-count.
+    #[test]
+    fn torn_wal_tail_salvages_complete_records_exactly() {
+        let dir = temp_dir("sc-torntail");
+        let mut ledger = SpendLedger::open(&dir, config(100.0, 0)).expect("open");
+        for _ in 0..5 {
+            ledger.try_spend(9, EPS).expect("spend");
+        }
+        drop(ledger); // crash with 5 records in the WAL
+        let wal = dir.join("ledger.wal");
+        let len = fs::metadata(&wal).expect("stat wal").len();
+        // Cut the 5th record mid-write: 13 of its 32 bytes survive.
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&wal)
+            .and_then(|f| f.set_len(len - 19))
+            .expect("tear tail");
+        let report: ScavengeReport = scavenge(&dir, 0).expect("salvage");
+        assert_eq!(report.wal_records, 4, "complete records salvaged");
+        assert_eq!(report.ambiguous_records, 0, "trusted header, in-seq");
+        assert!((report.salvaged[&9] - 4.0 * EPS).abs() < 1e-9);
+        // Standard open over the committed salvage: exact, no replay of
+        // the salvaged records on top of their own fold.
+        let recovered = SpendLedger::open(&dir, config(100.0, 0)).expect("verify open");
+        assert!(
+            (recovered.spent(9) - 4.0 * EPS).abs() < 1e-9,
+            "double-charge or loss after salvage: {}",
+            recovered.spent(9)
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A stale-generation WAL (crash between snapshot rename and WAL
+    /// swap) is the one case where *discarding* records is provably safe:
+    /// the later-generation snapshot already folded them in. Applying
+    /// them anyway would double-charge.
+    #[test]
+    fn stale_generation_wal_is_discarded_not_replayed() {
+        let dir = temp_dir("sc-stalegen");
+        let (mut journal, _) = Journal::open(&dir, 0).expect("open");
+        journal.append(3, EPS).expect("append");
+        journal.append(3, EPS).expect("append");
+        let old_wal = fs::read(dir.join("ledger.wal")).expect("save old wal");
+        let state = BTreeMap::from([(3u64, 2.0 * EPS)]);
+        journal.snapshot(&state).expect("snapshot");
+        drop(journal);
+        // Re-plant the pre-snapshot WAL: its header generation now trails
+        // the snapshot's — exactly what a crash between the two atomic
+        // steps leaves behind.
+        fs::write(dir.join("ledger.wal"), &old_wal).expect("replant stale wal");
+        let report = scavenge(&dir, 0).expect("salvage");
+        assert!(report.stale_wal_discarded, "stale WAL must be recognized");
+        assert_eq!(report.wal_records, 0, "stale records must not be applied");
+        assert!(
+            (report.salvaged[&3] - 2.0 * EPS).abs() < 1e-9,
+            "snapshot base double-counted: {:?}",
+            report.salvaged
+        );
+        let recovered = SpendLedger::open(&dir, config(100.0, 0)).expect("verify open");
+        assert!((recovered.spent(3) - 2.0 * EPS).abs() < 1e-9);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A WAL whose header is corrupted but whose records verify is the
+    /// ambiguity case: the records *might* already be folded into the
+    /// snapshot, so scavenge applies them anyway — over-counting is the
+    /// safe direction (recovered ≥ served stays provable), under-counting
+    /// would void the privacy guarantee.
+    #[test]
+    fn untrusted_wal_header_resolves_ambiguity_upward() {
+        let dir = temp_dir("sc-ambiguous");
+        let mut ledger = SpendLedger::open(&dir, config(100.0, 0)).expect("open");
+        for _ in 0..3 {
+            ledger.try_spend(6, EPS).expect("spend");
+        }
+        drop(ledger); // crash
+        let wal = dir.join("ledger.wal");
+        let mut bytes = fs::read(&wal).expect("read wal");
+        bytes[9] ^= 0x20; // header version byte: checksum no longer verifies
+        fs::write(&wal, &bytes).expect("damage header");
+        let report = scavenge(&dir, 0).expect("salvage");
+        assert_eq!(report.wal_records, 3);
+        assert_eq!(
+            report.ambiguous_records, 3,
+            "records under an untrusted header must be counted ambiguous"
+        );
+        let recovered = SpendLedger::open(&dir, config(100.0, 0)).expect("verify open");
+        // Upward resolution: at least what was served; here the WAL was
+        // never folded, so it is also exact.
+        assert!(recovered.spent(6) >= 3.0 * EPS - 1e-9);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A fault during the salvage *commit* abandons that attempt typed —
+    /// and leaves the directory untouched, so a later retry (disk freed)
+    /// salvages the same records.
+    #[test]
+    fn faulted_salvage_commit_abandons_then_retries_clean() {
+        let dir = temp_dir("sc-commitfault");
+        let mut ledger = SpendLedger::open(&dir, config(100.0, 0)).expect("open");
+        for _ in 0..2 {
+            ledger.try_spend(7, EPS).expect("spend");
+        }
+        drop(ledger); // crash
+        let mut fp = Session::new();
+        fp.arm("serve.snapshot.write", FailSpec::after(0, 1));
+        let err = scavenge(&dir, 0).expect_err("salvage commit must fault");
+        assert!(matches!(
+            err,
+            JournalError::Injected("serve.snapshot.write")
+        ));
+        drop(fp);
+        // Nothing was committed, nothing was lost: the retry salvages.
+        let report = scavenge(&dir, 0).expect("retry salvage");
+        assert!((report.salvaged[&7] - 2.0 * EPS).abs() < 1e-9);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// ENOSPC mid-append, end to end through the sharded ledger (manual
+    /// repair so every transition is deterministic): three `DiskFull`
+    /// refusals quarantine the shard, its users get the typed
+    /// `ShardUnavailable` while the sibling shard keeps serving, the
+    /// aggregate read reports the shard unaccounted rather than zero, and
+    /// after `repair_now` the shard walks Probation → Ready with the
+    /// budget exactly as served — the refused spends were never charged.
+    #[test]
+    fn enospc_quarantine_repairs_to_ready_without_double_charge() {
+        use geoind_serve::shard::shard_of;
+        const SHARDS: usize = 2;
+        let dir = temp_dir("sc-enospc");
+        let ledger =
+            ShardedLedger::open_with_repair(&dir, config(100.0, 0), SHARDS, RepairMode::Manual);
+        let user_a = (0..64).find(|&u| shard_of(u, SHARDS) == 0).expect("user a");
+        let user_b = (0..64).find(|&u| shard_of(u, SHARDS) == 1).expect("user b");
+        for _ in 0..4 {
+            ledger.try_spend(user_a, EPS).expect("baseline a");
+            ledger.try_spend(user_b, EPS).expect("baseline b");
+        }
+
+        // Disk fills: three consecutive refused (never charged) appends
+        // strike the shard out.
+        let mut fp = Session::new();
+        fp.arm("serve.journal.enospc", FailSpec::times(3));
+        for _ in 0..3 {
+            match ledger.try_spend(user_a, EPS) {
+                Err(SpendError::Journal(JournalError::DiskFull { .. })) => {}
+                other => panic!("want typed DiskFull, got {other:?}"),
+            }
+        }
+        drop(fp);
+
+        // Quarantined: exactly this shard's users refuse typed; the
+        // sibling shard and the fleet-wide accounting stay honest.
+        match ledger.try_spend(user_a, EPS) {
+            Err(SpendError::ShardUnavailable { shard: 0, detail }) => {
+                assert!(detail.contains("quarantined"), "detail: {detail}");
+            }
+            other => panic!("quarantined shard answered {other:?}"),
+        }
+        ledger.try_spend(user_b, EPS).expect("sibling shard serves");
+        assert!(ledger.spent(user_a).is_none(), "unknown, not zero");
+        assert_eq!(ledger.unaccounted_shards(), 1);
+        assert_eq!(ledger.shard_states()[0], ShardHealth::Quarantined);
+
+        // Operator-triggered repair: scavenge re-reads snapshot + WAL,
+        // the standard open verifies the salvage, the shard re-admits on
+        // probation.
+        assert_eq!(ledger.repair_now(), 1);
+        ledger.await_repairs();
+        assert_eq!(ledger.repaired_shards(), 1);
+        assert_eq!(ledger.abandoned_repairs(), 0);
+        assert_eq!(ledger.shard_states()[0], ShardHealth::Probation);
+
+        // Exactly the served spend survived: 4 charged, 3 refused-free.
+        let back = ledger.spent(user_a).expect("repaired shard serves");
+        assert!(
+            (back - 4.0 * EPS).abs() < 1e-9,
+            "refused DiskFull spends were charged: {back}"
+        );
+        // First durable append clears probation: Ready.
+        ledger.try_spend(user_a, EPS).expect("probation spend");
+        assert_eq!(ledger.shard_states()[0], ShardHealth::Ready);
+        assert!((ledger.spent(user_a).expect("ready") - 5.0 * EPS).abs() < 1e-9);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The same ENOSPC outage under `RepairMode::Auto`: the third strike
+    /// both quarantines the shard *and* spawns the repair, which heals to
+    /// Ready with no operator involvement and no restart.
+    #[test]
+    fn enospc_auto_repair_heals_without_operator() {
+        let dir = temp_dir("sc-autoenospc");
+        let ledger = ShardedLedger::open_with_repair(&dir, config(100.0, 0), 1, RepairMode::Auto);
+        for _ in 0..2 {
+            ledger.try_spend(11, EPS).expect("baseline");
+        }
+        let mut fp = Session::new();
+        fp.arm("serve.journal.enospc", FailSpec::times(3));
+        for _ in 0..3 {
+            match ledger.try_spend(11, EPS) {
+                Err(SpendError::Journal(JournalError::DiskFull { .. })) => {}
+                other => panic!("want typed DiskFull, got {other:?}"),
+            }
+        }
+        drop(fp);
+        // The strike-out spawned the repair itself; joining it is the
+        // only synchronization the test needs.
+        ledger.await_repairs();
+        assert_eq!(ledger.repaired_shards(), 1);
+        let back = ledger.spent(11).expect("healed shard serves");
+        assert!((back - 2.0 * EPS).abs() < 1e-9, "charged a refusal: {back}");
+        ledger.try_spend(11, EPS).expect("serves after self-heal");
+        assert_eq!(ledger.shard_states()[0], ShardHealth::Ready);
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -83,6 +83,7 @@ fn wire_config() -> WireConfig {
         write_timeout_ms: 1_000,
         max_body_bytes: 64 * 1024,
         deadline_ms: None,
+        idle_timeout_ms: 5_000,
     }
 }
 
@@ -416,9 +417,15 @@ fn failed_shard_refuses_over_the_wire_while_healthy_shards_serve() {
         .find(|&u| shard_of(u, 4) != bad)
         .expect("user off bad shard");
 
+    // The outage is typed, retryable, and names the shard — distinct
+    // from a journal fault on a serving shard.
     let refusal = raw_exchange(addr, &protect_request(unlucky, 1));
-    assert!(refusal.contains(r#""status":"journal_fault""#), "{refusal}");
-    assert!(refusal.contains("unavailable"), "{refusal}");
+    assert!(refusal.contains("503"), "{refusal}");
+    assert!(
+        refusal.contains(r#""status":"shard_unavailable""#),
+        "{refusal}"
+    );
+    assert!(refusal.contains(r#""shard":2"#), "{refusal}");
 
     let served = raw_exchange(addr, &protect_request(lucky, 2));
     assert!(served.contains(r#""status":"served""#), "{served}");
@@ -429,10 +436,167 @@ fn failed_shard_refuses_over_the_wire_while_healthy_shards_serve() {
         report.contains(r#""failed_shards":[{"shard":2,"#),
         "{report}"
     );
+    // Readiness reflects the terminal failure (repair is off here).
+    let health = raw_exchange(addr, "GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    assert!(health.contains("503"), "{health}");
+    assert!(health.contains(r#""status":"degraded""#), "{health}");
+    assert!(health.contains(r#""failed":1"#), "{health}");
 
     let outcome = server.shutdown();
     assert_eq!(outcome.report.served(), 1);
-    assert_eq!(outcome.report.journal_faults, 1);
+    assert_eq!(outcome.report.refused_shard, 1, "typed shard refusal");
+    assert_eq!(outcome.report.journal_faults, 0);
+    assert_eq!(outcome.report.unaccounted_shards, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Full online round trip, no restart: a shard whose WAL header was
+/// corrupted opens quarantined, `GET /healthz` reports degraded,
+/// `POST /repair` scavenges it back, readiness returns to `ready`, and
+/// the very (user, id) that was refused during the outage is *served* on
+/// retry — the retryable refusal released its idempotency key instead of
+/// pinning the outage as that request's permanent answer.
+#[test]
+fn repair_over_the_wire_heals_a_quarantined_shard() {
+    use geoind_serve::shard::RepairMode;
+    let _guard = NET_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_dir("wire-repair");
+    let bad = 2usize;
+    let unlucky = (0..64)
+        .find(|&u| shard_of(u, 4) == bad)
+        .expect("user on bad shard");
+    {
+        let ledger = sharded(&dir, 100.0, 4);
+        // No checkpoint: the spend lives in the WAL the corruption hits.
+        ledger.try_spend(unlucky, EPS).expect("seed spend");
+    }
+    let wal = dir.join(format!("shard-{bad}")).join("ledger.wal");
+    let mut bytes = std::fs::read(&wal).expect("read wal");
+    bytes[9] ^= 0x20; // header integrity word: open refuses, scavenge salvages
+    std::fs::write(&wal, &bytes).expect("corrupt wal header");
+
+    let ledger = ShardedLedger::open_with_repair(
+        &dir,
+        LedgerConfig {
+            cap_per_user: 100.0,
+            epoch: 0,
+            compact_after: 0,
+        },
+        4,
+        RepairMode::Manual,
+    );
+    let server = WireServer::start(
+        mechanism(),
+        ledger,
+        Arc::new(SystemClock),
+        wire_config(),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let health = raw_exchange(addr, "GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    assert!(health.contains("503"), "{health}");
+    assert!(health.contains(r#""status":"degraded""#), "{health}");
+    assert!(health.contains(r#""quarantined":1"#), "{health}");
+
+    let refusal = raw_exchange(addr, &protect_request(unlucky, 7));
+    assert!(
+        refusal.contains(r#""status":"shard_unavailable""#),
+        "{refusal}"
+    );
+
+    let kicked = raw_exchange(addr, "POST /repair HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    assert!(kicked.contains(r#""started":1"#), "{kicked}");
+
+    // Readiness flips back once the scavenge commits and the standard
+    // open verifies it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let health = raw_exchange(addr, "GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        if health.contains(r#""status":"ready""#) {
+            assert!(health.contains("200"), "{health}");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "repair never completed: {health}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Same (user, id) as the refusal: served now, not replayed.
+    let served = raw_exchange(addr, &protect_request(unlucky, 7));
+    assert!(served.contains(r#""status":"served""#), "{served}");
+
+    let outcome = server.shutdown();
+    assert!(outcome.report.refused_shard >= 1);
+    assert_eq!(outcome.report.repaired_shards, 1);
+    assert_eq!(outcome.report.served(), 1);
+    // Fail-closed across the round trip: the pre-outage spend and the
+    // post-repair serve are both on the books, each exactly once.
+    let reopened = sharded(&dir, 100.0, 4);
+    let spent = reopened.spent(unlucky).expect("repaired shard serves");
+    assert!(
+        (spent - 2.0 * EPS).abs() < 1e-9,
+        "salvage lost or double-charged: {spent}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A keep-alive connection that goes quiet is reaped once it idles past
+/// `idle_timeout_ms`; the listener itself keeps serving new connections.
+#[test]
+fn idle_connections_are_reaped_after_the_timeout() {
+    let _guard = NET_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_dir("idle-reap");
+    let config = WireConfig {
+        read_timeout_ms: 25,
+        idle_timeout_ms: 100,
+        ..wire_config()
+    };
+    let server = WireServer::start(
+        mechanism(),
+        sharded(&dir, 100.0, 2),
+        Arc::new(SystemClock),
+        config,
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    stream
+        .write_all(protect_request(1, 1).as_bytes())
+        .expect("write");
+    let mut buf = [0u8; 4096];
+    let n = stream.read(&mut buf).expect("served before idling");
+    assert!(n > 0, "no response before idle");
+
+    // Go quiet: the reaper must close the socket (EOF) well before the
+    // client's own 5s timeout would fire.
+    let start = std::time::Instant::now();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break, // reaped
+            Ok(_) => {}     // tail of the response frame
+            Err(e) => panic!("expected EOF from the idle reaper, got {e}"),
+        }
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "idle reap took {:?}",
+        start.elapsed()
+    );
+
+    // Only the idle connection died; the server still serves.
+    let fresh = raw_exchange(addr, &protect_request(2, 2));
+    assert!(fresh.contains(r#""status":"served""#), "{fresh}");
+    let outcome = server.shutdown();
+    assert_eq!(outcome.report.served(), 2);
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -69,8 +69,11 @@ pub const SITES: &[&str] = &[
     "serve.journal.append",      // ledger WAL record write fails before any byte lands
     "serve.journal.torn",        // ledger WAL record write is cut mid-record (torn tail)
     "serve.journal.flush",       // ledger WAL flush fails after a complete record write
+    "serve.journal.enospc",      // ledger WAL append refused by a full disk (ENOSPC)
+    "serve.journal.eio",         // ledger WAL append hits a transient device error (EIO)
     "serve.snapshot.write",      // ledger snapshot temp-file write fails
     "serve.snapshot.commit",     // ledger snapshot rename commit fails
+    "serve.snapshot.enospc",     // ledger snapshot temp-file write refused by a full disk
     "serve.wal.reset",           // post-snapshot fresh-WAL swap fails
     "certify.channel.violation", // channel certification finds an ε·d constraint violation
     "certify.repair.fail",       // post-repair re-certification still fails (quarantine)

@@ -50,7 +50,9 @@ echo "== journal crash sweep (ledger recovers >= served spend per armed site)"
 # journal step mid-workload (skip 3 hits, then fire once), crash without a
 # checkpoint, and recover — the fail-closed budget invariant must hold.
 for fp in serve.journal.append serve.journal.torn serve.journal.flush \
-          serve.snapshot.write serve.snapshot.commit serve.wal.reset; do
+          serve.journal.enospc serve.journal.eio \
+          serve.snapshot.write serve.snapshot.commit serve.snapshot.enospc \
+          serve.wal.reset; do
     echo "   -- GEOIND_FAILPOINTS=$fp=3:1"
     GEOIND_FAILPOINTS="$fp=3:1" cargo test -q -p geoind-serve --offline \
         --test journal_env -- --test-threads=1
@@ -130,6 +132,67 @@ for fp in serve.net.accept serve.net.read_torn serve.net.write_short serve.net.s
         echo "server report missing wire counters"; cat "$WIRE_LOG"; exit 1;
     }
 done
+
+echo "== chaos soak (~60s of rotating disk faults; books balance, shards self-heal)"
+# Rotating randomized disk-fault specs against the auto-repair server: each
+# round arms a fresh combination of ENOSPC / transient-EIO sites, drives a
+# retrying load, and requires *exact* reconciliation (loadgen exits nonzero
+# on any mismatch). Across the soak at least one shard must prove the full
+# quarantine -> scavenge -> verified re-admission round trip, observable as
+# repaired_shards >= 1 in a server's final report. SOAK_SEED reproduces a
+# run exactly.
+SOAK_SEED="${SOAK_SEED:-$(date +%s)}"
+echo "   -- SOAK_SEED=$SOAK_SEED (export SOAK_SEED to reproduce)"
+SOAK_LOG="$(mktemp /tmp/geoind-ci-soak.XXXXXX)"
+SOAK_DIR="/tmp/geoind-ci-soak-ledger.$$"
+trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE" "$WIRE_LOG" "$SOAK_LOG"; rm -rf "$WIRE_DIR" "$SOAK_DIR"' EXIT
+SOAK_END=$(( $(date +%s) + 60 ))
+SOAK_STATE=$SOAK_SEED
+SOAK_ROUNDS=0
+SOAK_REPAIRED=0
+while [ "$(date +%s)" -lt "$SOAK_END" ]; do
+    SOAK_ROUNDS=$((SOAK_ROUNDS + 1))
+    SOAK_STATE=$(( (SOAK_STATE * 1103515245 + 12345) % 2147483648 ))
+    case $((SOAK_STATE % 3)) in
+        # A burst of consecutive ENOSPC appends: strikes out (quarantines)
+        # every shard it lands on three times in a row; auto-repair must
+        # scavenge it back while the load keeps retrying.
+        0) SOAK_FP="serve.journal.enospc=$((SOAK_STATE % 7 + 4)):40" ;;
+        # Transient EIO: absorbed by the bounded in-place retry, at most a
+        # bounded tail of typed refusals the client retries through.
+        1) SOAK_FP="serve.journal.eio=$((SOAK_STATE % 11)):6" ;;
+        # Transient EIO layered on an ENOSPC burst: the bounded in-place
+        # retry and the quarantine/repair path fire in the same run.
+        2) SOAK_FP="serve.journal.eio=$((SOAK_STATE % 5)):4,serve.journal.enospc=$((SOAK_STATE % 9 + 8)):40" ;;
+    esac
+    echo "   -- round $SOAK_ROUNDS: GEOIND_FAILPOINTS=$SOAK_FP"
+    rm -rf "$SOAK_DIR"
+    : > "$SOAK_LOG"
+    GEOIND_FAILPOINTS="$SOAK_FP" target/release/geoind serve \
+        --listen 127.0.0.1:0 --shards 4 --cap 100.0 --repair auto \
+        --eps 0.4 --g 2 --synthetic-size 3000 \
+        --workers 2 --queue 16 --read-timeout-ms 300 --seed 7 \
+        --ledger-dir "$SOAK_DIR" > "$SOAK_LOG" &
+    SOAK_PID=$!
+    ADDR=""
+    i=0
+    while [ "$i" -lt 100 ]; do
+        ADDR="$(sed -n 's/^# listening on //p' "$SOAK_LOG")"
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -n "$ADDR" ] || { echo "soak server never announced its port"; cat "$SOAK_LOG"; exit 1; }
+    target/release/geoind loadgen --connect "$ADDR" \
+        --requests 80 --connections 4 --users 8 --seed "$((SOAK_STATE % 1000))" \
+        --max-attempts 40 --backoff-ms 5 --shutdown on
+    wait "$SOAK_PID"
+    grep -Eq "repaired_shards=[1-9]" "$SOAK_LOG" && SOAK_REPAIRED=1
+done
+echo "   -- soak rounds: $SOAK_ROUNDS"
+[ "$SOAK_REPAIRED" -eq 1 ] || {
+    echo "chaos soak never round-tripped a shard repair"; cat "$SOAK_LOG"; exit 1;
+}
 
 echo "== bench smoke (bench.sh artifacts parse and report speedup >= 1.0)"
 # The full benchmarks are generated by scripts/bench.sh; here we only

@@ -286,6 +286,116 @@ fn networked_serve_reconciles_with_loadgen_over_loopback() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `kill -TERM` must run the same graceful drain as `POST /shutdown`:
+/// the server stops accepting, finishes what it owes, checkpoints the
+/// shards, prints the final report, and exits 0 — reconciling exactly
+/// with what the load generator observed.
+#[test]
+#[cfg(unix)]
+fn sigterm_drains_the_networked_server_gracefully() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let dir = std::env::temp_dir().join(format!("geoind-cli-sigterm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let common = ["--eps", "0.4", "--g", "2", "--synthetic-size", "3000"];
+    let mut server = geoind()
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--shards",
+            "4",
+            "--cap",
+            "10.0",
+            "--workers",
+            "2",
+            "--queue",
+            "16",
+            "--seed",
+            "7",
+            "--ledger-dir",
+        ])
+        .arg(&dir)
+        .args(common)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+
+    let mut reader = BufReader::new(server.stdout.take().expect("stdout piped"));
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            reader.read_line(&mut line).expect("server stdout readable"),
+            0,
+            "server exited before announcing its port"
+        );
+        if let Some(rest) = line.trim().strip_prefix("# listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    // Drive a load WITHOUT --shutdown: the server must stay up until the
+    // signal arrives.
+    let out = geoind()
+        .args([
+            "loadgen",
+            "--connect",
+            &addr,
+            "--requests",
+            "24",
+            "--connections",
+            "3",
+            "--users",
+            "4",
+            "--seed",
+            "9",
+        ])
+        .output()
+        .expect("loadgen runs");
+    let client_text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "loadgen failed:\nstdout: {client_text}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        client_text.contains("loadgen total=24 served=24"),
+        "{client_text}"
+    );
+    // The loadgen readiness probe saw the full healthy fleet.
+    assert!(
+        client_text.contains("shards_ready=4") && client_text.contains("shards_total=4"),
+        "loadgen must report shard availability from /healthz:\n{client_text}"
+    );
+
+    // SIGTERM instead of POST /shutdown.
+    let pid = server.id().to_string();
+    let killed = std::process::Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success(), "kill -TERM failed");
+
+    let mut rest = String::new();
+    reader
+        .read_to_string(&mut rest)
+        .expect("server stdout drains");
+    let status = server.wait().expect("server exits");
+    assert!(
+        status.success(),
+        "server exited nonzero after SIGTERM:\n{rest}"
+    );
+    assert!(
+        rest.contains("# termination signal received; draining"),
+        "signal path not taken:\n{rest}"
+    );
+    assert!(
+        rest.contains("served=24"),
+        "final report does not reconcile with the load:\n{rest}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn serve_closed_loop_balances_and_persists_budgets() {
     let dir = std::env::temp_dir().join(format!("geoind-cli-serve-{}", std::process::id()));
