@@ -17,6 +17,17 @@
 //! availability (ready/total, repair round trips). `geoind loadgen`
 //! exits nonzero on any mismatch, which is what lets CI drive the
 //! failpoint-armed server and still demand perfect accounting.
+//!
+//! With a `failover` address configured the client survives primary
+//! loss: connect failures, torn exchanges, and `fenced` refusals make
+//! one thread win a promotion race (`POST /promote` to the follower)
+//! and every thread re-point its load; the final reconciliation then
+//! sums gate counters across **both** servers, skipping whichever is
+//! unreachable. Retries draw from a global token budget
+//! (`retry_budget`) on top of the per-request attempt cap, so a dead
+//! primary with no failover fails fast with the typed
+//! [`ClientError::RetryBudgetExhausted`] instead of grinding through
+//! backoff forever.
 
 use crate::json::Json;
 use geoind_rng::{Rng, SeededRng};
@@ -46,6 +57,21 @@ pub struct ClientConfig {
     pub seed: u64,
     /// Post `/shutdown` after a successful reconciliation.
     pub shutdown_after: bool,
+    /// Warm-standby follower to fail over to. On primary loss (or a
+    /// `fenced` refusal) one thread wins a promotion race, posts
+    /// `/promote` here, and every thread re-points its load; the final
+    /// reconciliation then sums gate counters across **both** servers,
+    /// skipping whichever is unreachable.
+    pub failover: Option<String>,
+    /// Bearer token sent as `Authorization` on every request when set.
+    pub auth_token: Option<String>,
+    /// Global retry-token budget shared by all threads (`None` =
+    /// unbounded). Each retry attempt consumes one token; once dry,
+    /// requests that cannot terminate are abandoned and the run fails
+    /// with the typed [`ClientError::RetryBudgetExhausted`] — a dead,
+    /// un-promoted primary fails fast instead of grinding through
+    /// per-request backoff forever.
+    pub retry_budget: Option<u64>,
 }
 
 impl Default for ClientConfig {
@@ -60,6 +86,9 @@ impl Default for ClientConfig {
             backoff_base_ms: 10,
             seed: 1,
             shutdown_after: false,
+            failover: None,
+            auth_token: None,
+            retry_budget: None,
         }
     }
 }
@@ -96,6 +125,12 @@ pub struct LoadReport {
     pub shards_total: u64,
     /// Quarantine→repair→serving round trips the server completed.
     pub repaired_shards: u64,
+    /// Requests abandoned because the global retry-token budget ran
+    /// dry (zero on a healthy run; nonzero makes [`run_load`] return
+    /// the typed [`ClientError::RetryBudgetExhausted`]).
+    pub retry_budget_exhausted: u64,
+    /// Whether the run re-pointed its load at the failover address.
+    pub failed_over: bool,
     /// Wall-clock for the whole run, seconds.
     pub wall_s: f64,
     /// Terminal outcomes per wall-clock second.
@@ -116,7 +151,7 @@ impl LoadReport {
     /// discipline (append-only `key=value`).
     pub fn log_line(&self) -> String {
         format!(
-            "loadgen total={} served={} refused={} expired={} journal-fault={} retries={} shed_seen={} torn_seen={} server_retried={} wall_s={:.3} req_per_s={:.1} p50_ms={:.2} p99_ms={:.2} shard_unavailable_seen={} disk_full_seen={} shards_ready={} shards_total={} repaired_shards={}",
+            "loadgen total={} served={} refused={} expired={} journal-fault={} retries={} shed_seen={} torn_seen={} server_retried={} wall_s={:.3} req_per_s={:.1} p50_ms={:.2} p99_ms={:.2} shard_unavailable_seen={} disk_full_seen={} shards_ready={} shards_total={} repaired_shards={} retry_budget_exhausted={} failed_over={}",
             self.total(),
             self.served,
             self.refused_budget,
@@ -135,6 +170,8 @@ impl LoadReport {
             self.shards_ready,
             self.shards_total,
             self.repaired_shards,
+            self.retry_budget_exhausted,
+            self.failed_over,
         )
     }
 }
@@ -154,6 +191,15 @@ pub enum ClientError {
         /// Attempts made.
         attempts: u32,
     },
+    /// The global retry-token budget ran dry: requests that could not
+    /// terminate were abandoned — the fast, typed verdict for a dead
+    /// primary with no promoted failover.
+    RetryBudgetExhausted {
+        /// Logical requests abandoned without a terminal outcome.
+        abandoned: u64,
+        /// The partial client-side tallies for the post-mortem.
+        report: Box<LoadReport>,
+    },
     /// The client's terminal tallies do not match the server's gate
     /// counters.
     Mismatch {
@@ -171,6 +217,12 @@ impl std::fmt::Display for ClientError {
             ClientError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
             ClientError::RetriesExhausted { id, attempts } => {
                 write!(f, "request {id} gave up after {attempts} attempts")
+            }
+            ClientError::RetryBudgetExhausted { abandoned, .. } => {
+                write!(
+                    f,
+                    "retry budget exhausted: {abandoned} requests abandoned without a terminal outcome"
+                )
             }
             ClientError::Mismatch { detail, .. } => {
                 write!(f, "reconciliation failed: {detail}")
@@ -192,6 +244,110 @@ struct Tally {
     torn_seen: u64,
     shard_unavailable_seen: u64,
     disk_full_seen: u64,
+    retry_budget_exhausted: u64,
+}
+
+/// State every connection thread shares: which endpoint is live and
+/// the global retry-token pool.
+struct SharedRun {
+    /// `[primary]` or `[primary, failover]`.
+    targets: Vec<SocketAddr>,
+    /// Index into `targets` the load is currently pointed at.
+    active: std::sync::atomic::AtomicUsize,
+    /// Promotion race: 0 = nobody promoting, 1 = in flight, 2 = done.
+    /// One thread wins the CAS and posts `/promote`; losers keep
+    /// retrying and pick up the new `active` index.
+    promote_state: std::sync::atomic::AtomicUsize,
+    /// Remaining retry tokens (`u64::MAX` = unbounded).
+    retry_tokens: std::sync::atomic::AtomicU64,
+}
+
+impl SharedRun {
+    fn new(targets: Vec<SocketAddr>, retry_budget: Option<u64>) -> Self {
+        Self {
+            targets,
+            active: std::sync::atomic::AtomicUsize::new(0),
+            promote_state: std::sync::atomic::AtomicUsize::new(0),
+            retry_tokens: std::sync::atomic::AtomicU64::new(retry_budget.unwrap_or(u64::MAX)),
+        }
+    }
+
+    fn active_addr(&self) -> SocketAddr {
+        use std::sync::atomic::Ordering;
+        self.targets[self
+            .active
+            .load(Ordering::SeqCst)
+            .min(self.targets.len() - 1)]
+    }
+
+    fn failed_over(&self) -> bool {
+        self.active.load(std::sync::atomic::Ordering::SeqCst) > 0
+    }
+
+    /// Take one retry token; false when the pool is dry.
+    fn take_retry_token(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        self.retry_tokens
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                if n == u64::MAX {
+                    Some(n) // unbounded: never decrements
+                } else {
+                    n.checked_sub(1)
+                }
+            })
+            .is_ok()
+    }
+
+    /// The active endpoint looks dead (connect refused, timeout) or
+    /// answered `fenced`: fail over if a failover target exists. One
+    /// thread wins the right to post `/promote`; the rest re-point as
+    /// soon as `active` flips. `already_promoted` skips the promotion
+    /// (a `fenced` refusal proves someone else promoted the follower).
+    fn note_primary_trouble(&self, config: &ClientConfig, already_promoted: bool) {
+        use std::sync::atomic::Ordering;
+        if self.targets.len() < 2 || self.active.load(Ordering::SeqCst) != 0 {
+            return;
+        }
+        if already_promoted {
+            self.promote_state.store(2, Ordering::SeqCst);
+            self.active.store(1, Ordering::SeqCst);
+            return;
+        }
+        if self
+            .promote_state
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        let follower = self.targets[1];
+        if promote_follower(follower, config) {
+            self.promote_state.store(2, Ordering::SeqCst);
+            self.active.store(1, Ordering::SeqCst);
+        } else {
+            // Promotion did not land (follower slow to boot, transient
+            // fault): release the race so a later retry re-attempts.
+            self.promote_state.store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Post `/promote` to the follower; true on an acknowledged promotion.
+fn promote_follower(addr: SocketAddr, config: &ClientConfig) -> bool {
+    let Ok(mut stream) = connect(addr, config.timeout_ms) else {
+        return false;
+    };
+    matches!(
+        exchange(
+            &mut stream,
+            "POST",
+            "/promote",
+            "{}",
+            config.timeout_ms,
+            config.auth_token.as_deref(),
+        ),
+        Ok((200, _))
+    )
 }
 
 /// Drive `config.requests` logical requests to terminal outcomes over
@@ -203,7 +359,11 @@ struct Tally {
 /// client tally; the other variants for connectivity, protocol, or
 /// retry-budget failures.
 pub fn run_load(config: &ClientConfig) -> Result<LoadReport, ClientError> {
-    let addr = resolve(&config.addr)?;
+    let mut targets = vec![resolve(&config.addr)?];
+    if let Some(failover) = config.failover.as_deref() {
+        targets.push(resolve(failover)?);
+    }
+    let shared = SharedRun::new(targets, config.retry_budget);
     let connections = config.connections.max(1);
     let users = config.users.max(1);
     let started = Instant::now();
@@ -211,7 +371,8 @@ pub fn run_load(config: &ClientConfig) -> Result<LoadReport, ClientError> {
         let handles: Vec<_> = (0..connections)
             .map(|t| {
                 let config = config.clone();
-                s.spawn(move || connection_thread(t, connections, users, addr, &config))
+                let shared = &shared;
+                s.spawn(move || connection_thread(t, connections, users, shared, &config))
             })
             .collect();
         handles
@@ -237,6 +398,7 @@ pub fn run_load(config: &ClientConfig) -> Result<LoadReport, ClientError> {
         tally.torn_seen += t.torn_seen;
         tally.shard_unavailable_seen += t.shard_unavailable_seen;
         tally.disk_full_seen += t.disk_full_seen;
+        tally.retry_budget_exhausted += t.retry_budget_exhausted;
         latencies.append(&mut lat);
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -261,6 +423,8 @@ pub fn run_load(config: &ClientConfig) -> Result<LoadReport, ClientError> {
         shards_ready: 0,
         shards_total: 0,
         repaired_shards: 0,
+        retry_budget_exhausted: tally.retry_budget_exhausted,
+        failed_over: shared.failed_over(),
         wall_s,
         req_per_s: if wall_s > 0.0 {
             tally.served as f64 / wall_s
@@ -275,13 +439,36 @@ pub fn run_load(config: &ClientConfig) -> Result<LoadReport, ClientError> {
         report.req_per_s = report.total() as f64 / wall_s;
     }
 
-    reconcile(addr, config, &mut report)?;
-    poll_health(addr, config, &mut report)?;
+    if report.retry_budget_exhausted > 0 {
+        // Abandoned requests never reached a terminal outcome, so no
+        // reconciliation can balance: fail fast with the typed verdict.
+        return Err(ClientError::RetryBudgetExhausted {
+            abandoned: report.retry_budget_exhausted,
+            report: Box::new(report),
+        });
+    }
+
+    reconcile(&shared.targets, config, &mut report)?;
+    poll_health(shared.active_addr(), config, &mut report)?;
 
     if config.shutdown_after {
-        let (status, _body) = control_exchange(addr, config, "POST", "/shutdown", "{}")?;
-        if status != 200 {
-            return Err(ClientError::Protocol(format!("shutdown answered {status}")));
+        // Drain every endpoint still alive; a dead (killed) primary is
+        // skipped, but at least one server must acknowledge.
+        let mut acknowledged = false;
+        let mut last = String::new();
+        for &addr in &shared.targets {
+            match control_exchange(addr, config, "POST", "/shutdown", "{}") {
+                Ok((200, _)) => acknowledged = true,
+                Ok((status, _)) => {
+                    return Err(ClientError::Protocol(format!("shutdown answered {status}")));
+                }
+                Err(e) => last = e.to_string(),
+            }
+        }
+        if !acknowledged {
+            return Err(ClientError::Io(format!(
+                "no endpoint took /shutdown: {last}"
+            )));
         }
     }
     Ok(report)
@@ -309,7 +496,14 @@ fn control_exchange(
                 continue;
             }
         };
-        match exchange(&mut stream, method, path, body, config.timeout_ms) {
+        match exchange(
+            &mut stream,
+            method,
+            path,
+            body,
+            config.timeout_ms,
+            config.auth_token.as_deref(),
+        ) {
             Ok(answer) => return Ok(answer),
             Err(e) => last = e.to_string(),
         }
@@ -317,41 +511,100 @@ fn control_exchange(
     Err(ClientError::Io(format!("{method} {path} failed: {last}")))
 }
 
-/// Fetch `GET /report` and demand exact agreement on every gate
-/// counter. Wire-only telemetry (`shed_net`, `torn`) is deliberately
-/// not matched: a stalled handler may count a tear *after* this
-/// snapshot, and those exchanges never reached the gate.
+/// Fetch `GET /report` from every endpoint the run touched — after a
+/// failover that is **both** servers — and demand exact agreement
+/// between the client's terminal tallies and the *sum* of the gate
+/// counters (each logical request terminates on exactly one server).
+/// An unreachable endpoint (the killed primary) is skipped; at least
+/// one must answer. Wire-only telemetry (`shed_net`, `torn`) is
+/// deliberately not matched: a stalled handler may count a tear
+/// *after* this snapshot, and those exchanges never reached the gate.
+///
+/// When the run failed over **and** an endpoint died with its counters,
+/// exact equality is unobtainable — the dead primary's tallies are
+/// gone. What stays provable from the survivors is still checked hard:
+/// every serve the client saw either terminated on a reachable server
+/// or, by the ack-before-serve replication contract, was durably
+/// applied on the follower before the primary answered. So reachable
+/// serves bound the client's count from below and serves plus
+/// `replica_applied` bound it from above, and every reachable refusal
+/// counter must be covered by the client's tally.
 fn reconcile(
-    addr: SocketAddr,
+    targets: &[SocketAddr],
     config: &ClientConfig,
     report: &mut LoadReport,
 ) -> Result<(), ClientError> {
-    let (status, body) = control_exchange(addr, config, "GET", "/report", "")?;
-    if status != 200 {
-        return Err(ClientError::Protocol(format!("/report answered {status}")));
+    let mut sums: [u64; 5] = [0; 5];
+    let mut replica_applied = 0u64;
+    let mut reachable = 0usize;
+    let mut unreachable = 0usize;
+    let mut last_err = String::new();
+    for &addr in targets {
+        let (status, body) = match control_exchange(addr, config, "GET", "/report", "") {
+            Ok(answer) => answer,
+            Err(e) => {
+                last_err = e.to_string();
+                unreachable += 1;
+                continue;
+            }
+        };
+        if status != 200 {
+            return Err(ClientError::Protocol(format!("/report answered {status}")));
+        }
+        let parsed = Json::parse(&body)
+            .map_err(|e| ClientError::Protocol(format!("unparseable /report body: {e}")))?;
+        let field = |name: &str| -> Result<u64, ClientError> {
+            parsed
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ClientError::Protocol(format!("/report missing {name}")))
+        };
+        sums[0] += field("served")?;
+        sums[1] += field("refused_budget")?;
+        sums[2] += field("expired")?;
+        sums[3] += field("journal_faults")?;
+        sums[4] += field("retried")?;
+        replica_applied += field("replica_applied")?;
+        reachable += 1;
     }
-    let parsed = Json::parse(&body)
-        .map_err(|e| ClientError::Protocol(format!("unparseable /report body: {e}")))?;
-    let field = |name: &str| -> Result<u64, ClientError> {
-        parsed
-            .get(name)
-            .and_then(Json::as_u64)
-            .ok_or_else(|| ClientError::Protocol(format!("/report missing {name}")))
-    };
-    report.server_retried = field("retried")?;
+    if reachable == 0 {
+        return Err(ClientError::Io(format!(
+            "no endpoint answered /report: {last_err}"
+        )));
+    }
+    report.server_retried = sums[4];
+    if report.failed_over && unreachable > 0 {
+        let mut mismatches = Vec::new();
+        if sums[0] > report.served || report.served > sums[0] + replica_applied {
+            mismatches.push(format!(
+                "served: client={} outside [{}, {}]",
+                report.served,
+                sums[0],
+                sums[0] + replica_applied
+            ));
+        }
+        for (name, server, client) in [
+            ("refused_budget", sums[1], report.refused_budget),
+            ("expired", sums[2], report.expired),
+            ("journal_faults", sums[3], report.journal_faults),
+        ] {
+            if server > client {
+                mismatches.push(format!("{name}: server={server} > client={client}"));
+            }
+        }
+        if !mismatches.is_empty() {
+            return Err(ClientError::Mismatch {
+                detail: mismatches.join(", "),
+                report: Box::new(report.clone()),
+            });
+        }
+        return Ok(());
+    }
     let pairs = [
-        ("served", field("served")?, report.served),
-        (
-            "refused_budget",
-            field("refused_budget")?,
-            report.refused_budget,
-        ),
-        ("expired", field("expired")?, report.expired),
-        (
-            "journal_faults",
-            field("journal_faults")?,
-            report.journal_faults,
-        ),
+        ("served", sums[0], report.served),
+        ("refused_budget", sums[1], report.refused_budget),
+        ("expired", sums[2], report.expired),
+        ("journal_faults", sums[3], report.journal_faults),
     ];
     let mut mismatches = Vec::new();
     for (name, server, client) in pairs {
@@ -398,7 +651,7 @@ fn connection_thread(
     thread_index: usize,
     connections: usize,
     users: u64,
-    addr: SocketAddr,
+    shared: &SharedRun,
     config: &ClientConfig,
 ) -> Result<(Tally, Vec<f64>), ClientError> {
     let mut rng = SeededRng::from_seed(config.seed.wrapping_add(thread_index as u64));
@@ -406,7 +659,7 @@ fn connection_thread(
     let mut latencies = Vec::new();
     let mut stream: Option<TcpStream> = None;
     let max_attempts = config.max_attempts.max(1);
-    for id in (thread_index as u64..config.requests).step_by(connections) {
+    'requests: for id in (thread_index as u64..config.requests).step_by(connections) {
         let user = id % users;
         // The point is deterministic in the id so reruns are comparable.
         let x = (id % 7) as f64 * 0.9 - 3.0;
@@ -422,24 +675,45 @@ fn connection_thread(
                 });
             }
             if attempt > 0 {
+                if !shared.take_retry_token() {
+                    // The global pool is dry: abandon this request (it
+                    // has no terminal outcome) and move on — the run
+                    // fails with the typed verdict once threads join.
+                    tally.retry_budget_exhausted += 1;
+                    continue 'requests;
+                }
                 tally.retries += 1;
                 backoff(&mut rng, config.backoff_base_ms, attempt);
             }
             attempt += 1;
+            let addr = shared.active_addr();
             let conn = match stream.take() {
                 Some(conn) => conn,
                 None => match connect(addr, config.timeout_ms) {
                     Ok(conn) => conn,
-                    Err(_) => continue, // server mid-restart or accept-dropped
+                    Err(_) => {
+                        // Server mid-restart, accept-dropped, or dead:
+                        // a configured failover gets promoted here.
+                        shared.note_primary_trouble(config, false);
+                        continue;
+                    }
                 },
             };
             let mut conn = conn;
-            match exchange(&mut conn, "POST", "/protect", &body, config.timeout_ms) {
+            match exchange(
+                &mut conn,
+                "POST",
+                "/protect",
+                &body,
+                config.timeout_ms,
+                config.auth_token.as_deref(),
+            ) {
                 Err(_) => {
                     // Timeout, reset, torn response: abandon the
                     // connection and retry the same id — the server's
                     // idempotency table makes this at-most-once.
                     tally.torn_seen += 1;
+                    shared.note_primary_trouble(config, false);
                     continue;
                 }
                 Ok((status, response_body)) => {
@@ -479,6 +753,29 @@ fn connection_thread(
                         (503, "disk_full") => {
                             tally.disk_full_seen += 1;
                             stream = Some(conn);
+                            continue;
+                        }
+                        (503, "replica_lag") => {
+                            // The primary is ahead of its follower's
+                            // acks: backpressure, same family as a
+                            // queue-full shed. Retry on the same
+                            // connection once the follower catches up.
+                            tally.shed_seen += 1;
+                            stream = Some(conn);
+                            continue;
+                        }
+                        (503, "fenced") => {
+                            // A promoted follower fenced this server:
+                            // drop the connection and re-point — the
+                            // promotion already happened elsewhere.
+                            shared.note_primary_trouble(config, true);
+                            continue;
+                        }
+                        (503, "standby") => {
+                            // An un-promoted follower: win the
+                            // promotion race (or wait for the winner)
+                            // and retry against whoever is active.
+                            shared.note_primary_trouble(config, false);
                             continue;
                         }
                         (503, "draining" | "in_flight" | "too_many_connections") => {
@@ -539,9 +836,14 @@ fn exchange(
     path: &str,
     body: &str,
     timeout_ms: u64,
+    auth_token: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
+    let auth = match auth_token {
+        Some(token) => format!("Authorization: Bearer {token}\r\n"),
+        None => String::new(),
+    };
     let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: geoind\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: geoind\r\nContent-Type: application/json\r\n{auth}Content-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(request.as_bytes())?;
@@ -637,6 +939,8 @@ mod tests {
             shards_ready: 3,
             shards_total: 4,
             repaired_shards: 1,
+            retry_budget_exhausted: 7,
+            failed_over: true,
             wall_s: 0.5,
             req_per_s: 28.0,
             p50_ms: 1.25,
@@ -644,7 +948,7 @@ mod tests {
         };
         assert_eq!(
             report.log_line(),
-            "loadgen total=14 served=10 refused=2 expired=1 journal-fault=1 retries=3 shed_seen=2 torn_seen=1 server_retried=1 wall_s=0.500 req_per_s=28.0 p50_ms=1.25 p99_ms=9.50 shard_unavailable_seen=4 disk_full_seen=2 shards_ready=3 shards_total=4 repaired_shards=1"
+            "loadgen total=14 served=10 refused=2 expired=1 journal-fault=1 retries=3 shed_seen=2 torn_seen=1 server_retried=1 wall_s=0.500 req_per_s=28.0 p50_ms=1.25 p99_ms=9.50 shard_unavailable_seen=4 disk_full_seen=2 shards_ready=3 shards_total=4 repaired_shards=1 retry_budget_exhausted=7 failed_over=true"
         );
     }
 

@@ -390,6 +390,13 @@ impl Journal {
         self.epoch
     }
 
+    /// The generation of the committed snapshot (bumped by every
+    /// [`Self::snapshot`]). The WAL on disk carries the same number, which
+    /// is how recovery proves a stale WAL is already folded in.
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
     /// Records acknowledged since the last committed snapshot.
     pub fn records_since_snapshot(&self) -> u64 {
         self.records
@@ -439,12 +446,7 @@ impl Journal {
                 source: io::Error::from_raw_os_error(EIO),
             });
         }
-        let mut record = [0u8; RECORD_LEN as usize];
-        record[0..8].copy_from_slice(&user.to_le_bytes());
-        record[8..16].copy_from_slice(&eps.to_bits().to_le_bytes());
-        record[16..24].copy_from_slice(&(self.records + 1).to_le_bytes());
-        let sum = fnv1a64(&record[0..24]);
-        record[24..32].copy_from_slice(&sum.to_le_bytes());
+        let record = encode_record(user, eps, self.records + 1);
 
         if failpoint::hit("serve.journal.torn") {
             // Simulate a write cut mid-record: a prefix lands, the rest
@@ -568,6 +570,79 @@ impl Journal {
         self.tail_dirty = false;
         Ok(())
     }
+}
+
+/// Encode one 32-byte spend record — the WAL on-disk format *and* the
+/// replication wire format share these bytes, so a shipped record is
+/// checksummed end to end by the same FNV-1a the journal verifies.
+pub(crate) fn encode_record(user: u64, eps: f64, seq: u64) -> [u8; RECORD_LEN as usize] {
+    let mut record = [0u8; RECORD_LEN as usize];
+    record[0..8].copy_from_slice(&user.to_le_bytes());
+    record[8..16].copy_from_slice(&eps.to_bits().to_le_bytes());
+    record[16..24].copy_from_slice(&seq.to_le_bytes());
+    let sum = fnv1a64(&record[0..24]);
+    record[24..32].copy_from_slice(&sum.to_le_bytes());
+    record
+}
+
+/// Decode and verify one 32-byte spend record: checksum, finite
+/// non-negative ε. `None` means the record cannot be trusted.
+pub(crate) fn decode_record(rec: &[u8]) -> Option<(u64, f64, u64)> {
+    if rec.len() != RECORD_LEN as usize {
+        return None;
+    }
+    let word = |at: usize| -> u64 {
+        u64::from_le_bytes(
+            rec[at..at + 8]
+                .try_into()
+                .expect("8-byte slice of a checked buffer"),
+        )
+    };
+    if word(24) != fnv1a64(&rec[0..24]) {
+        return None;
+    }
+    let eps = f64::from_bits(word(8));
+    if !eps.is_finite() || eps < 0.0 {
+        return None;
+    }
+    Some((word(0), eps, word(16)))
+}
+
+/// Magic of the replication fence-generation file (`repl.gen`).
+const FENCE_MAGIC: &[u8; 8] = b"GIREPLGN";
+
+/// Read the replication fence generation persisted in `dir`, if a
+/// verifiable one exists. `None` (missing or unverifiable) is treated by
+/// callers as "no fence recorded", which is the safe direction on the
+/// primary side: a primary that lost its generation ships at the floor
+/// generation and gets fenced, never the other way around.
+pub fn read_fence_gen(dir: &Path) -> Option<u64> {
+    let bytes = fs::read(dir.join("repl.gen")).ok()?;
+    if bytes.len() != 24 || &bytes[0..8] != FENCE_MAGIC {
+        return None;
+    }
+    let word = |at: usize| -> u64 {
+        u64::from_le_bytes(
+            bytes[at..at + 8]
+                .try_into()
+                .expect("8-byte slice of a checked buffer"),
+        )
+    };
+    (word(16) == fnv1a64(&bytes[8..16])).then(|| word(8))
+}
+
+/// Durably persist the replication fence generation in `dir` (atomic
+/// temp + rename, same discipline as every other committed file here).
+///
+/// # Errors
+/// [`JournalError`] when the write cannot be made durable.
+pub fn write_fence_gen(dir: &Path, gen: u64) -> Result<(), JournalError> {
+    let mut bytes = Vec::with_capacity(24);
+    bytes.extend_from_slice(FENCE_MAGIC);
+    bytes.extend_from_slice(&gen.to_le_bytes());
+    let sum = fnv1a64(&bytes[8..16]);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    atomic_write(&dir.join("repl.gen"), &bytes).map_err(io_err("fence gen write"))
 }
 
 fn encode_wal_header(gen: u64, epoch: u64) -> Vec<u8> {

@@ -75,6 +75,21 @@ pub enum SpendError {
         /// Why the shard failed to recover.
         detail: String,
     },
+    /// The warm standby has not durably acked this spend and the
+    /// replication lag bound is reached (or no follower is registered
+    /// at all). The follower is the source of truth for failover, so
+    /// serving ahead of it would let a promoted follower re-grant
+    /// budget the primary already served — refused fail-closed. The
+    /// spend may already be journaled locally; refusing anyway
+    /// over-counts at worst, never under.
+    ReplicaLag {
+        /// Locally journaled records the follower has not acked.
+        lag: u64,
+    },
+    /// A follower with a newer fence generation refused this primary's
+    /// replication stream: this node has been superseded by a promoted
+    /// standby and must not serve spends under its stale generation.
+    Fenced,
 }
 
 impl std::fmt::Display for SpendError {
@@ -95,6 +110,15 @@ impl std::fmt::Display for SpendError {
                     f,
                     "ledger shard {shard} unavailable ({detail}); refusing fail-closed"
                 )
+            }
+            SpendError::ReplicaLag { lag } => {
+                write!(
+                    f,
+                    "replication lag bound reached ({lag} unacked); refusing fail-closed"
+                )
+            }
+            SpendError::Fenced => {
+                write!(f, "fenced by a promoted follower; refusing all spends")
             }
         }
     }
@@ -199,6 +223,41 @@ impl SpendLedger {
         {
             // The spend is already durable; a failed compaction is
             // recorded but must not fail the request.
+            if let Err(e) = self.checkpoint() {
+                self.last_compaction_fault = Some(e.to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply one replicated spend from the primary: journal it durably,
+    /// then fold it into the in-memory account — **without** the cap
+    /// probe. The primary already served the request, so the record
+    /// must land even if it pushes the account past the local cap
+    /// (recovery tolerates over-cap state the same way, via
+    /// `BudgetLedger::with_spent`); dropping it would let the user
+    /// re-spend after failover. `Ok` means the record is durable and
+    /// may be acked.
+    ///
+    /// # Errors
+    /// [`SpendError::BadCharge`] on an invalid `eps` (never journaled),
+    /// [`SpendError::Journal`] when the record could not be made
+    /// durable — the caller must not ack it.
+    pub fn apply_replicated(&mut self, user: u64, eps: f64) -> Result<(), SpendError> {
+        if !(eps > 0.0 && eps.is_finite()) {
+            return Err(SpendError::BadCharge(eps));
+        }
+        self.journal
+            .append(user, eps)
+            .map_err(SpendError::Journal)?;
+        let cap = self.config.cap_per_user;
+        self.accounts
+            .entry(user)
+            .or_insert_with(|| BudgetLedger::new(cap))
+            .force_spend(eps);
+        if self.config.compact_after > 0
+            && self.journal.records_since_snapshot() >= self.config.compact_after
+        {
             if let Err(e) = self.checkpoint() {
                 self.last_compaction_fault = Some(e.to_string());
             }

@@ -25,8 +25,14 @@
 //!   `Quarantined → Scavenging → Probation → Ready` state machine that
 //!   salvages the journal and re-admits the shard only after the
 //!   standard open verifies the salvage.
+//! * [`replica`] — warm-standby replication: each served spend ships
+//!   as a checksummed WAL record to a follower and is answered only
+//!   after the follower's durable ack; failover is fenced by a
+//!   persisted generation so a revived stale primary is refused and
+//!   split-brain cannot double-spend.
 //! * [`signal`] — a libc-crate-free `SIGTERM`/`SIGINT` flag so
-//!   `kill -TERM` runs the same graceful drain as `POST /shutdown`.
+//!   `kill -TERM` runs the same graceful drain as `POST /shutdown`
+//!   (plus `SIGUSR1` for follower promotion).
 //! * [`wire`] — a std-only HTTP/1.1 front door over the worker pool:
 //!   bounded accept backlog, per-connection deadlines, pipelined
 //!   batches, idempotent retry keys, socket-level failpoints, and a
@@ -48,6 +54,7 @@ pub mod client;
 pub mod journal;
 pub(crate) mod json;
 pub mod ledger;
+pub mod replica;
 pub mod server;
 pub mod shard;
 pub mod signal;
@@ -56,12 +63,17 @@ pub mod wire;
 pub use client::{run_load, ClientConfig, ClientError, LoadReport};
 pub use geoind_testkit::clock;
 pub use journal::{
-    atomic_write, is_transient_io, scavenge, Journal, JournalError, RecoveredState, ScavengeReport,
+    atomic_write, is_transient_io, read_fence_gen, scavenge, write_fence_gen, Journal,
+    JournalError, RecoveredState, ScavengeReport,
 };
 pub use ledger::{LedgerConfig, SpendError, SpendLedger};
+pub use replica::{register_with_primary, Applier, Shipper, ShipperConfig};
 pub use server::{
     Request, Response, ServeConfig, ServeReport, Server, ShutdownOutcome, SubmitError,
 };
 pub use shard::{shard_of, RepairMode, ShardHealth, ShardHealthCounts, ShardedLedger};
-pub use signal::{install_termination_handler, termination_requested};
+pub use signal::{
+    install_promote_handler, install_termination_handler, take_promote_requested,
+    termination_requested,
+};
 pub use wire::{WireConfig, WireServer};

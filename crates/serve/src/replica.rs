@@ -1,0 +1,825 @@
+//! Warm-standby replication: WAL-shipped ε-budget records with fenced
+//! failover.
+//!
+//! The primary attaches a [`Shipper`] to its [`ShardedLedger`]: every
+//! served spend is journaled locally, published to a per-shard pending
+//! queue, then shipped as a checksummed batch (`POST /replicate`) to
+//! the follower — and the request is answered **only after the
+//! follower acks the record as durable**. The follower applies each
+//! record through the standard verified `SpendLedger` path (journal
+//! append, then in-memory fold), so the fail-closed invariant
+//! (recovered-spend ≥ served-spend) holds across machines: a spend the
+//! primary served exists on the follower before the client hears
+//! `served`.
+//!
+//! **Lag bound.** The pending queue holds records journaled locally
+//! but not yet acked. `--max-replica-lag` bounds it: when the queue is
+//! full (or no follower has registered at all) the primary refuses the
+//! spend with `replica_lag` instead of serving ahead of the standby —
+//! fail-closed, because the follower is the source of truth for
+//! failover.
+//!
+//! **Fencing.** Replication runs under a *fence generation*, persisted
+//! as `repl.gen` next to the shard directories (see
+//! [`journal::read_fence_gen`]). The primary stamps every batch with
+//! its generation; promotion bumps the follower's fence generation
+//! past the highest generation it has ever seen and checkpoints, after
+//! which any batch from a revived stale primary carries
+//! `gen < fence_gen` and is refused (`fenced` nack). The refused
+//! primary hard-fences itself — [`Shipper::admit`] then refuses every
+//! spend — so a split brain cannot double-spend: the old primary
+//! cannot serve (no acks), and the new one owns the budget. This is
+//! the same stale-generation-discard principle the journal already
+//! uses to tie WALs to snapshots, applied one level up.
+//!
+//! A `fenced` nack is authoritative only when the follower's fence
+//! generation is *newer* than the shipper's own: a transient refusal
+//! at the same generation (e.g. the `serve.repl.stale_gen` failpoint)
+//! keeps the records pending and retries, because no promotion has
+//! actually happened.
+
+use crate::journal::{self, JournalError};
+use crate::json::Json;
+use crate::ledger::SpendError;
+use crate::shard::ShardedLedger;
+use geoind_testkit::failpoint;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Magic prefix of every replication batch (`POST /replicate` body).
+pub(crate) const BATCH_MAGIC: &[u8; 8] = b"GIREPL01";
+
+/// Fixed batch header: magic (8) + shard (4) + total shards (4) +
+/// generation (8) + epoch (8) + first sequence (8) + record count (4).
+const BATCH_HEADER_LEN: usize = 44;
+
+/// Each shipped record reuses the 32-byte checksummed WAL record
+/// layout (`journal::encode_record`).
+const BATCH_RECORD_LEN: usize = 32;
+
+/// Flush attempts per [`Shipper::wait_acked`] call before the spend is
+/// refused with `replica_lag`.
+const SHIP_ATTEMPTS: u32 = 3;
+
+/// File (next to the shard directories) remembering the registered
+/// follower, so a restarted primary resumes shipping — and, if the
+/// follower was promoted meanwhile, provably gets fenced instead of
+/// silently serving. No checksum: a corrupt address fails to connect,
+/// which degrades to `replica_lag` refusals (fail-closed).
+const PEER_FILE: &str = "replica.peer";
+
+/// One decoded replication batch.
+pub(crate) struct ReplBatch {
+    pub shard: u32,
+    pub total_shards: u32,
+    pub gen: u64,
+    pub epoch: u64,
+    pub first_seq: u64,
+    /// `(user, eps)` pairs; record `i` carries sequence `first_seq + i`
+    /// (enforced by [`decode_batch`]).
+    pub records: Vec<(u64, f64)>,
+}
+
+/// Render a batch from already-encoded 32-byte records starting at
+/// `first_seq`.
+pub(crate) fn encode_batch(
+    shard: u32,
+    total_shards: u32,
+    gen: u64,
+    epoch: u64,
+    first_seq: u64,
+    records: &[[u8; BATCH_RECORD_LEN]],
+) -> Vec<u8> {
+    let mut body = Vec::with_capacity(BATCH_HEADER_LEN + records.len() * BATCH_RECORD_LEN);
+    body.extend_from_slice(BATCH_MAGIC);
+    body.extend_from_slice(&shard.to_le_bytes());
+    body.extend_from_slice(&total_shards.to_le_bytes());
+    body.extend_from_slice(&gen.to_le_bytes());
+    body.extend_from_slice(&epoch.to_le_bytes());
+    body.extend_from_slice(&first_seq.to_le_bytes());
+    body.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for record in records {
+        body.extend_from_slice(record);
+    }
+    body
+}
+
+/// Decode and fully verify a batch: magic, exact length, per-record
+/// checksums, and gap-free sequence numbering from `first_seq`.
+pub(crate) fn decode_batch(body: &[u8]) -> Result<ReplBatch, String> {
+    if body.len() < BATCH_HEADER_LEN {
+        return Err("short batch header".into());
+    }
+    if &body[0..8] != BATCH_MAGIC {
+        return Err("bad batch magic".into());
+    }
+    let le32 = |at: usize| {
+        u32::from_le_bytes(
+            body[at..at + 4]
+                .try_into()
+                .expect("4-byte slice of a checked buffer"),
+        )
+    };
+    let le64 = |at: usize| {
+        u64::from_le_bytes(
+            body[at..at + 8]
+                .try_into()
+                .expect("8-byte slice of a checked buffer"),
+        )
+    };
+    let shard = le32(8);
+    let total_shards = le32(12);
+    let gen = le64(16);
+    let epoch = le64(24);
+    let first_seq = le64(32);
+    let count = le32(40) as usize;
+    if first_seq == 0 {
+        return Err("first_seq must be positive".into());
+    }
+    if body.len() != BATCH_HEADER_LEN + count * BATCH_RECORD_LEN {
+        return Err(format!(
+            "length {} does not match {count} records",
+            body.len()
+        ));
+    }
+    let mut records = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = BATCH_HEADER_LEN + i * BATCH_RECORD_LEN;
+        let (user, eps, seq) = journal::decode_record(&body[at..at + BATCH_RECORD_LEN])
+            .ok_or_else(|| format!("corrupt record {i}"))?;
+        if seq != first_seq + i as u64 {
+            return Err(format!("sequence gap at record {i}"));
+        }
+        records.push((user, eps));
+    }
+    Ok(ReplBatch {
+        shard,
+        total_shards,
+        gen,
+        epoch,
+        first_seq,
+        records,
+    })
+}
+
+/// Tuning for a primary-side [`Shipper`].
+#[derive(Debug, Clone)]
+pub struct ShipperConfig {
+    /// Ledger base directory (holds `repl.gen` and `replica.peer`);
+    /// `None` keeps both in memory only.
+    pub dir: Option<PathBuf>,
+    /// Shard count — must match the follower's.
+    pub shards: usize,
+    /// Budget epoch — must match the follower's.
+    pub epoch: u64,
+    /// Maximum locally-journaled-but-unacked records per shard before
+    /// spends are refused with `replica_lag` (clamped to ≥ 1).
+    pub max_lag: u64,
+    /// Per-attempt socket timeout for `/replicate` calls.
+    pub timeout_ms: u64,
+    /// Bearer token the follower requires, if any.
+    pub auth_token: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct ShipShard {
+    /// Highest sequence number assigned so far (sequences start at 1).
+    last_seq: u64,
+    /// Highest sequence the follower has durably acked.
+    acked_seq: u64,
+    /// Encoded records `acked_seq+1 ..= last_seq`, oldest first.
+    pending: VecDeque<[u8; BATCH_RECORD_LEN]>,
+}
+
+/// Primary-side replication state: per-shard pending queues, the fence
+/// generation batches are stamped with, and the registered follower.
+///
+/// Attached to a [`ShardedLedger`] via
+/// [`ShardedLedger::attach_shipper`]; `try_spend` then runs
+/// [`Shipper::admit`] before spending and [`Shipper::wait_acked`]
+/// after, on the calling thread.
+#[derive(Debug)]
+pub struct Shipper {
+    config: ShipperConfig,
+    /// Fence generation this primary ships under, fixed at startup.
+    gen: u64,
+    peer: Mutex<Option<String>>,
+    /// Set once a follower refuses us with a *newer* fence generation:
+    /// we have been superseded, and every further spend is refused.
+    fenced: AtomicBool,
+    shards: Vec<Mutex<ShipShard>>,
+}
+
+impl Shipper {
+    /// Build a shipper, loading (and persisting) the fence generation
+    /// and any previously registered follower from `config.dir`.
+    ///
+    /// # Errors
+    /// Propagates the fence-generation write failure — a primary that
+    /// cannot persist its generation must not ship under it.
+    pub fn new(config: ShipperConfig) -> Result<Self, JournalError> {
+        // A directory that never held a fence generation starts at 1;
+        // a directory whose `repl.gen` is unreadable also restarts at
+        // 1, which is the safe direction — shipping at the floor can
+        // only get us fenced, never accepted as too-new.
+        let gen = config
+            .dir
+            .as_deref()
+            .and_then(journal::read_fence_gen)
+            .unwrap_or(1);
+        let peer = config.dir.as_deref().and_then(|dir| {
+            let text = std::fs::read_to_string(dir.join(PEER_FILE)).ok()?;
+            let addr = text.trim();
+            (!addr.is_empty()).then(|| addr.to_string())
+        });
+        if let Some(dir) = config.dir.as_deref() {
+            journal::write_fence_gen(dir, gen)?;
+        }
+        let shards = (0..config.shards.max(1))
+            .map(|_| Mutex::new(ShipShard::default()))
+            .collect();
+        Ok(Self {
+            config,
+            gen,
+            peer: Mutex::new(peer),
+            fenced: AtomicBool::new(false),
+            shards,
+        })
+    }
+
+    /// The fence generation batches are stamped with.
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Whether a follower with a newer fence generation has refused us.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::SeqCst)
+    }
+
+    /// The registered follower address, if any.
+    pub fn peer(&self) -> Option<String> {
+        self.peer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Register (and persist) the follower to ship to.
+    ///
+    /// # Errors
+    /// Propagates the `replica.peer` persistence failure; the
+    /// in-memory registration still takes effect for this process.
+    pub fn set_peer(&self, addr: &str) -> Result<(), JournalError> {
+        *self.peer.lock().unwrap_or_else(PoisonError::into_inner) = Some(addr.to_string());
+        if let Some(dir) = self.config.dir.as_deref() {
+            journal::atomic_write(&dir.join(PEER_FILE), addr.as_bytes()).map_err(|source| {
+                JournalError::Io {
+                    step: "replica peer write",
+                    source,
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Records journaled locally but not yet acked by the follower.
+    pub fn lag(&self, shard: usize) -> u64 {
+        self.shards[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pending
+            .len() as u64
+    }
+
+    /// Pre-spend gate: refuse when fenced, when no follower has
+    /// registered, or when the shard's pending queue is at the lag
+    /// bound even after one flush attempt.
+    ///
+    /// # Errors
+    /// [`SpendError::Fenced`] / [`SpendError::ReplicaLag`] as above.
+    pub(crate) fn admit(&self, shard: usize) -> Result<(), SpendError> {
+        if self.is_fenced() {
+            return Err(SpendError::Fenced);
+        }
+        if self.peer().is_none() {
+            // Fail-closed: with a lag bound configured, serving with
+            // no standby at all would be unbounded lag.
+            return Err(SpendError::ReplicaLag { lag: 0 });
+        }
+        let max_lag = self.config.max_lag.max(1);
+        if self.lag(shard) >= max_lag {
+            let _ = self.flush(shard);
+            if self.is_fenced() {
+                return Err(SpendError::Fenced);
+            }
+            let lag = self.lag(shard);
+            if lag >= max_lag {
+                return Err(SpendError::ReplicaLag { lag });
+            }
+        }
+        Ok(())
+    }
+
+    /// Queue a just-journaled spend for shipping and return its
+    /// sequence number. Called under the shard's slot lock, so queue
+    /// order matches journal order.
+    pub(crate) fn publish(&self, shard: usize, user: u64, eps: f64) -> u64 {
+        let mut s = self.shards[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        s.last_seq += 1;
+        let seq = s.last_seq;
+        s.pending.push_back(journal::encode_record(user, eps, seq));
+        seq
+    }
+
+    /// Ship until the follower has durably acked `seq`, retrying a
+    /// bounded number of times. Called *after* the slot lock is
+    /// released.
+    ///
+    /// # Errors
+    /// [`SpendError::Fenced`] when a newer-generation follower refused
+    /// us; [`SpendError::ReplicaLag`] when the ack did not arrive in
+    /// budget (the spend stays journaled locally and queued — refusing
+    /// the request over-counts at worst, which is the safe direction).
+    pub(crate) fn wait_acked(&self, shard: usize, seq: u64) -> Result<(), SpendError> {
+        for attempt in 0..SHIP_ATTEMPTS {
+            if self.is_fenced() {
+                return Err(SpendError::Fenced);
+            }
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(2u64 << attempt));
+            }
+            if let Ok(acked) = self.flush(shard) {
+                if acked >= seq {
+                    return Ok(());
+                }
+            }
+        }
+        if self.is_fenced() {
+            return Err(SpendError::Fenced);
+        }
+        Err(SpendError::ReplicaLag {
+            lag: self.lag(shard),
+        })
+    }
+
+    /// Best-effort flush of every shard's pending queue (graceful
+    /// shutdown path).
+    pub fn flush_all(&self) {
+        for shard in 0..self.shards.len() {
+            let _ = self.flush(shard);
+        }
+    }
+
+    /// Ship the shard's whole pending queue and fold in the ack.
+    /// Returns the follower's durable sequence. The shard's ship lock
+    /// is held across the exchange, serializing replication per shard.
+    fn flush(&self, shard: usize) -> Result<u64, String> {
+        let Some(peer) = self.peer() else {
+            return Err("no follower registered".into());
+        };
+        let mut s = self.shards[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if s.pending.is_empty() {
+            return Ok(s.acked_seq);
+        }
+        let records: Vec<[u8; BATCH_RECORD_LEN]> = s.pending.iter().copied().collect();
+        let body = encode_batch(
+            shard as u32,
+            self.config.shards as u32,
+            self.gen,
+            self.config.epoch,
+            s.acked_seq + 1,
+            &records,
+        );
+        let answer = self.post_replicate(&peer, &body)?;
+        let parsed = Json::parse(&answer).map_err(|e| format!("unparseable ack: {e}"))?;
+        if parsed.get("ok") != Some(&Json::Bool(true)) {
+            if parsed.get("fenced") == Some(&Json::Bool(true)) {
+                let fence_gen = parsed
+                    .get("fence_gen")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(u64::MAX);
+                if fence_gen > self.gen {
+                    // The follower was promoted past us: we are the
+                    // stale primary. Hard-fence — every further spend
+                    // is refused until an operator restarts us in a
+                    // legitimate role.
+                    self.fenced.store(true, Ordering::SeqCst);
+                    return Err(format!("fenced by follower at generation {fence_gen}"));
+                }
+                // Same-or-older generation refusals are transient
+                // glitches, not a promotion; keep the records pending.
+                return Err("transient stale-generation refusal".into());
+            }
+            let detail = parsed
+                .get("detail")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified");
+            return Err(format!("follower refused batch: {detail}"));
+        }
+        let acked = parsed
+            .get("acked_seq")
+            .and_then(Json::as_u64)
+            .ok_or("ack missing acked_seq")?;
+        if acked > s.acked_seq {
+            let newly = (acked - s.acked_seq).min(s.pending.len() as u64);
+            for _ in 0..newly {
+                s.pending.pop_front();
+            }
+            s.acked_seq = acked;
+        }
+        Ok(s.acked_seq)
+    }
+
+    /// One `POST /replicate` exchange. The `serve.repl.ship_torn`
+    /// failpoint cuts the write mid-body (the follower sees a torn
+    /// frame and applies nothing); `serve.repl.ack_lost` sends the
+    /// full batch but drops the connection before reading the ack (the
+    /// follower applies, the retransmit dedups by sequence).
+    fn post_replicate(&self, peer: &str, body: &[u8]) -> Result<String, String> {
+        let mut stream = connect(peer, self.config.timeout_ms)?;
+        let auth = match self.config.auth_token.as_deref() {
+            Some(token) => format!("Authorization: Bearer {token}\r\n"),
+            None => String::new(),
+        };
+        let head = format!(
+            "POST /replicate HTTP/1.1\r\nHost: geoind\r\nContent-Type: application/octet-stream\r\n{auth}Content-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut request = head.into_bytes();
+        request.extend_from_slice(body);
+        if failpoint::hit("serve.repl.ship_torn") {
+            let torn = request.len() / 2;
+            let _ = stream.write_all(&request[..torn]);
+            return Err("ship torn (failpoint)".into());
+        }
+        stream
+            .write_all(&request)
+            .map_err(|e| format!("ship {peer}: {e}"))?;
+        if failpoint::hit("serve.repl.ack_lost") {
+            return Err("ack lost (failpoint)".into());
+        }
+        let (status, answer) = read_response(&mut stream, self.config.timeout_ms)
+            .map_err(|e| format!("ack from {peer}: {e}"))?;
+        if status != 200 {
+            return Err(format!("/replicate answered {status}"));
+        }
+        Ok(answer)
+    }
+}
+
+/// Follower-side replication state: the fence generation incoming
+/// batches are checked against, per-shard applied sequences, and the
+/// standby flag gating `/protect`.
+#[derive(Debug)]
+pub struct Applier {
+    dir: Option<PathBuf>,
+    fence_gen: AtomicU64,
+    /// Highest generation any accepted batch carried; promotion bumps
+    /// past `max(fence_gen, max_seen_gen)` so the promoted follower
+    /// outranks every primary it ever heard from.
+    max_seen_gen: AtomicU64,
+    /// Per-shard highest durably applied sequence.
+    applied: Vec<Mutex<u64>>,
+    standby: AtomicBool,
+    fenced: AtomicU64,
+    applied_records: AtomicU64,
+    deduped: AtomicU64,
+}
+
+impl Applier {
+    /// Build an applier for `ledger`, loading any persisted fence
+    /// generation; `standby` gates `/protect` until promotion.
+    pub fn new(ledger: &ShardedLedger, standby: bool) -> Self {
+        let dir = ledger.base_dir();
+        let fence_gen = dir
+            .as_deref()
+            .and_then(journal::read_fence_gen)
+            .unwrap_or(0);
+        Self {
+            dir,
+            fence_gen: AtomicU64::new(fence_gen),
+            max_seen_gen: AtomicU64::new(fence_gen),
+            applied: (0..ledger.shards().max(1)).map(|_| Mutex::new(0)).collect(),
+            standby: AtomicBool::new(standby),
+            fenced: AtomicU64::new(0),
+            applied_records: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether `/protect` is still refused pending promotion.
+    pub fn standby(&self) -> bool {
+        self.standby.load(Ordering::SeqCst)
+    }
+
+    /// The current fence generation.
+    pub fn fence_gen(&self) -> u64 {
+        self.fence_gen.load(Ordering::SeqCst)
+    }
+
+    /// Stale-generation batches refused so far.
+    pub fn fenced_total(&self) -> u64 {
+        self.fenced.load(Ordering::SeqCst)
+    }
+
+    /// Records durably applied through the replication path.
+    pub fn applied_total(&self) -> u64 {
+        self.applied_records.load(Ordering::SeqCst)
+    }
+
+    /// Retransmitted records skipped by sequence dedup.
+    pub fn deduped_total(&self) -> u64 {
+        self.deduped.load(Ordering::SeqCst)
+    }
+
+    /// Promote this node: bump the fence generation past everything
+    /// ever seen, persist it, checkpoint the ledger (folding all
+    /// replicated records into committed snapshots — the journal
+    /// generation bump that ties the WAL machinery in), and open
+    /// `/protect`. Returns the new fence generation. Idempotent in
+    /// effect: a second call bumps again, which is harmless.
+    ///
+    /// # Errors
+    /// Fence-generation persistence or checkpoint failures; the node
+    /// stays in standby so a failed promotion is visible.
+    pub fn promote(&self, ledger: &ShardedLedger) -> Result<u64, SpendError> {
+        let new_gen = self
+            .fence_gen
+            .load(Ordering::SeqCst)
+            .max(self.max_seen_gen.load(Ordering::SeqCst))
+            + 1;
+        if let Some(dir) = self.dir.as_deref() {
+            journal::write_fence_gen(dir, new_gen).map_err(SpendError::Journal)?;
+        }
+        self.fence_gen.store(new_gen, Ordering::SeqCst);
+        ledger.checkpoint_all().map_err(SpendError::Journal)?;
+        self.standby.store(false, Ordering::SeqCst);
+        Ok(new_gen)
+    }
+
+    /// Decode, verify, and apply one `/replicate` body against
+    /// `ledger`, returning the JSON ack to send back.
+    ///
+    /// Stale-generation batches are refused with a `fenced` nack
+    /// carrying our fence generation. Otherwise every record above the
+    /// shard's applied sequence is applied through the verified ledger
+    /// path; the ack reports the durable sequence, so a mid-batch
+    /// fault simply makes the primary retransmit the tail.
+    pub fn handle(&self, ledger: &ShardedLedger, body: &[u8]) -> String {
+        let batch = match decode_batch(body) {
+            Ok(batch) => batch,
+            Err(detail) => return nack(&detail),
+        };
+        let fence_gen = self.fence_gen.load(Ordering::SeqCst);
+        if failpoint::hit("serve.repl.stale_gen") || batch.gen < fence_gen {
+            self.fenced.fetch_add(1, Ordering::SeqCst);
+            return format!(r#"{{"ok":false,"fenced":true,"fence_gen":{fence_gen}}}"#);
+        }
+        if batch.epoch != ledger.epoch() {
+            return nack(&format!(
+                "epoch mismatch: batch {} vs ledger {}",
+                batch.epoch,
+                ledger.epoch()
+            ));
+        }
+        if batch.total_shards as usize != ledger.shards() {
+            return nack(&format!(
+                "shard count mismatch: batch {} vs ledger {}",
+                batch.total_shards,
+                ledger.shards()
+            ));
+        }
+        let Some(applied) = self.applied.get(batch.shard as usize) else {
+            return nack(&format!("shard {} out of range", batch.shard));
+        };
+        self.max_seen_gen.fetch_max(batch.gen, Ordering::SeqCst);
+        let mut applied = applied.lock().unwrap_or_else(PoisonError::into_inner);
+        if batch.first_seq > *applied + 1 {
+            // The primary ships strictly from its acked sequence, and
+            // acks only ever came from us (possibly a previous
+            // incarnation — our in-memory counter resets on restart,
+            // the journal does not). Everything below first_seq is
+            // therefore already durable here; adopt it.
+            *applied = batch.first_seq - 1;
+        }
+        for (i, (user, eps)) in batch.records.iter().enumerate() {
+            let seq = batch.first_seq + i as u64;
+            if seq <= *applied {
+                self.deduped.fetch_add(1, Ordering::SeqCst);
+                continue;
+            }
+            match ledger.apply_replicated(*user, *eps) {
+                Ok(()) => {
+                    *applied = seq;
+                    self.applied_records.fetch_add(1, Ordering::SeqCst);
+                }
+                // Ack what is durable; the primary retransmits the rest.
+                Err(_) => break,
+            }
+        }
+        format!(
+            r#"{{"ok":true,"acked_seq":{},"gen":{fence_gen}}}"#,
+            *applied
+        )
+    }
+}
+
+fn nack(detail: &str) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("detail".into(), Json::Str(detail.into())),
+    ])
+    .render()
+}
+
+/// Register `self_addr` as the follower of the primary at `primary`:
+/// one `POST /follow` exchange. The caller owns the retry loop.
+///
+/// # Errors
+/// Connectivity, non-200 answers, and unparseable bodies, as strings.
+pub fn register_with_primary(
+    primary: &str,
+    self_addr: &str,
+    auth_token: Option<&str>,
+    timeout_ms: u64,
+) -> Result<(), String> {
+    let body = Json::Obj(vec![("addr".into(), Json::Str(self_addr.into()))]).render();
+    let auth = match auth_token {
+        Some(token) => format!("Authorization: Bearer {token}\r\n"),
+        None => String::new(),
+    };
+    let request = format!(
+        "POST /follow HTTP/1.1\r\nHost: geoind\r\nContent-Type: application/json\r\n{auth}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut stream = connect(primary, timeout_ms)?;
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("follow {primary}: {e}"))?;
+    let (status, answer) = read_response(&mut stream, timeout_ms)?;
+    if status != 200 {
+        return Err(format!("/follow answered {status}: {answer}"));
+    }
+    Ok(())
+}
+
+fn connect(addr: &str, timeout_ms: u64) -> Result<TcpStream, String> {
+    let timeout = Duration::from_millis(timeout_ms.max(1));
+    let sock: SocketAddr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolves to nothing"))?;
+    let stream =
+        TcpStream::connect_timeout(&sock, timeout).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    Ok(stream)
+}
+
+/// Read exactly one HTTP response (status + body) within the timeout.
+fn read_response(stream: &mut TcpStream, timeout_ms: u64) -> Result<(u16, String), String> {
+    let deadline = Instant::now() + Duration::from_millis(timeout_ms.max(1));
+    let mut pending: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(parsed) = parse_response(&pending)? {
+            return Ok(parsed);
+        }
+        if Instant::now() >= deadline {
+            return Err("response deadline".into());
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Err("torn response".into()),
+            Ok(n) => pending.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+fn parse_response(pending: &[u8]) -> Result<Option<(u16, String)>, String> {
+    let Some(head_end) = pending.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let head =
+        std::str::from_utf8(&pending[..head_end]).map_err(|_| "non-utf8 head".to_string())?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "bad status line".to_string())?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad content-length".to_string())?;
+            }
+        }
+    }
+    let total = head_end + 4 + content_length;
+    if pending.len() < total {
+        return Ok(None);
+    }
+    let body = std::str::from_utf8(&pending[head_end + 4..total])
+        .map_err(|_| "non-utf8 body".to_string())?;
+    Ok(Some((status, body.to_string())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records(first_seq: u64, n: usize) -> Vec<[u8; BATCH_RECORD_LEN]> {
+        (0..n)
+            .map(|i| journal::encode_record(7 + i as u64, 0.25, first_seq + i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let records = sample_records(4, 3);
+        let body = encode_batch(2, 8, 5, 11, 4, &records);
+        let batch = decode_batch(&body).unwrap();
+        assert_eq!(
+            (
+                batch.shard,
+                batch.total_shards,
+                batch.gen,
+                batch.epoch,
+                batch.first_seq
+            ),
+            (2, 8, 5, 11, 4)
+        );
+        assert_eq!(batch.records, vec![(7, 0.25), (8, 0.25), (9, 0.25)]);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let body = encode_batch(0, 1, 1, 0, 1, &[]);
+        assert_eq!(decode_batch(&body).unwrap().records.len(), 0);
+    }
+
+    #[test]
+    fn torn_and_corrupt_batches_are_refused() {
+        let records = sample_records(1, 2);
+        let body = encode_batch(0, 4, 1, 0, 1, &records);
+        // Every strict prefix is refused.
+        for cut in 0..body.len() {
+            assert!(decode_batch(&body[..cut]).is_err(), "cut={cut}");
+        }
+        // A flipped record byte fails the per-record checksum.
+        let mut flipped = body.clone();
+        flipped[BATCH_HEADER_LEN + 3] ^= 0x40;
+        assert!(decode_batch(&flipped).is_err());
+        // A sequence gap inside the batch is refused.
+        let gap: Vec<[u8; BATCH_RECORD_LEN]> = vec![
+            journal::encode_record(1, 0.5, 1),
+            journal::encode_record(2, 0.5, 3),
+        ];
+        assert!(decode_batch(&encode_batch(0, 4, 1, 0, 1, &gap)).is_err());
+        // first_seq 0 is refused outright.
+        assert!(decode_batch(&encode_batch(0, 4, 1, 0, 0, &[])).is_err());
+    }
+
+    #[test]
+    fn shipper_without_peer_fails_closed() {
+        let shipper = Shipper::new(ShipperConfig {
+            dir: None,
+            shards: 2,
+            epoch: 0,
+            max_lag: 4,
+            timeout_ms: 50,
+            auth_token: None,
+        })
+        .unwrap();
+        assert!(matches!(
+            shipper.admit(0),
+            Err(SpendError::ReplicaLag { lag: 0 })
+        ));
+        // Sequences are per-shard and monotonic from 1.
+        assert_eq!(shipper.publish(0, 9, 0.5), 1);
+        assert_eq!(shipper.publish(0, 9, 0.5), 2);
+        assert_eq!(shipper.publish(1, 9, 0.5), 1);
+        assert_eq!(shipper.lag(0), 2);
+    }
+}

@@ -103,6 +103,18 @@ pub enum Response {
     /// The journal device is out of space; fail-closed refusal,
     /// retryable. The budget is untouched.
     DiskFull,
+    /// The warm standby has not acked this spend within the replication
+    /// lag bound (or no follower is registered); fail-closed refusal,
+    /// retryable. The spend may be journaled locally but was not
+    /// served — over-counted at worst, never under.
+    ReplicaLag {
+        /// Locally journaled records the follower has not acked.
+        lag: u64,
+    },
+    /// This node was superseded by a promoted follower and refuses all
+    /// spends under its stale generation. Not retryable here — clients
+    /// should fail over to the promoted follower.
+    Fenced,
 }
 
 /// Why a submission was not accepted.
@@ -134,6 +146,8 @@ struct ServeCounters {
     journal_faults: AtomicU64,
     refused_shard: AtomicU64,
     disk_full: AtomicU64,
+    replica_lag: AtomicU64,
+    fenced: AtomicU64,
     drained: AtomicU64,
 }
 
@@ -158,11 +172,15 @@ impl ServeCounters {
             journal_faults: self.journal_faults.load(Ordering::Relaxed),
             refused_shard: self.refused_shard.load(Ordering::Relaxed),
             disk_full: self.disk_full.load(Ordering::Relaxed),
+            replica_lag: self.replica_lag.load(Ordering::Relaxed),
+            fenced: self.fenced.load(Ordering::Relaxed),
             // Wire-layer telemetry: the in-process server never sees a
             // socket, so these stay 0 until a WireServer folds in its own
             // accept/read accounting.
             shed_net: 0,
             torn: 0,
+            idem_evicted: 0,
+            unauthorized: 0,
             drained: self.drained.load(Ordering::Relaxed),
             repaired: ladder.served_repaired,
             quarantined: ladder.quarantined,
@@ -195,6 +213,23 @@ pub struct ServeReport {
     /// Requests refused because the journal device is out of space
     /// (retryable; the budget is never charged).
     pub disk_full: u64,
+    /// Requests refused because the warm standby had not acked within
+    /// the replication lag bound, or no follower was registered
+    /// (retryable; the spend may be journaled locally — over-counted
+    /// at worst).
+    pub replica_lag: u64,
+    /// On a primary: requests refused because a promoted follower
+    /// superseded this node. On a follower: stale-generation
+    /// replication batches refused (folded in by the wire layer).
+    pub fenced: u64,
+    /// Idempotency-table entries evicted by the per-user cap or the TTL
+    /// sweep (telemetry, not an outcome — excluded from
+    /// [`Self::total`]; always 0 for an in-process [`Server`]).
+    pub idem_evicted: u64,
+    /// Wire exchanges refused `401 unauthorized` (bad or missing bearer
+    /// token; they never became logical requests). Always 0 for an
+    /// in-process [`Server`].
+    pub unauthorized: u64,
     /// Connections shed at the wire layer before reaching the admission
     /// queue (accept-cap refusals, dropped accepts, malformed frames).
     /// Always 0 for an in-process [`Server`]; filled by the wire layer.
@@ -257,8 +292,11 @@ impl ServeReport {
             + self.journal_faults
             + self.refused_shard
             + self.disk_full
+            + self.replica_lag
+            + self.fenced
             + self.shed_net
             + self.torn
+            + self.unauthorized
     }
 
     /// Stable single-line form for machine-scraped logs. The format is
@@ -266,7 +304,7 @@ impl ServeReport {
     /// fields.
     pub fn log_line(&self) -> String {
         format!(
-            "serve total={} served={} optimal={} per-level={} flat={} refused={} expired={} shed={} journal-fault={} repaired={} quarantined={} dedup={} sampled_flat={} shed_net={} torn={} drained={} refused_shard={} disk_full={} repaired_shards={} scavenged={} abandoned={} unaccounted_shards={}",
+            "serve total={} served={} optimal={} per-level={} flat={} refused={} expired={} shed={} journal-fault={} repaired={} quarantined={} dedup={} sampled_flat={} shed_net={} torn={} drained={} refused_shard={} disk_full={} repaired_shards={} scavenged={} abandoned={} unaccounted_shards={} replica_lag={} fenced={} idem_evicted={} unauthorized={}",
             self.total(),
             self.served(),
             self.served_by_tier[0],
@@ -289,6 +327,10 @@ impl ServeReport {
             self.scavenged,
             self.abandoned,
             self.unaccounted_shards,
+            self.replica_lag,
+            self.fenced,
+            self.idem_evicted,
+            self.unauthorized,
         )
     }
 }
@@ -321,7 +363,7 @@ impl std::fmt::Display for ServeReport {
             "  wire: shed_net={} torn={} drained={}",
             self.shed_net, self.torn, self.drained
         )?;
-        write!(
+        writeln!(
             f,
             "  shards: refused_shard={} disk_full={} repaired_shards={} scavenged={} abandoned={} unaccounted={}",
             self.refused_shard,
@@ -330,6 +372,11 @@ impl std::fmt::Display for ServeReport {
             self.scavenged,
             self.abandoned,
             self.unaccounted_shards
+        )?;
+        write!(
+            f,
+            "  replica: replica_lag={} fenced={} idem_evicted={} unauthorized={}",
+            self.replica_lag, self.fenced, self.idem_evicted, self.unauthorized
         )
     }
 }
@@ -594,6 +641,19 @@ fn gate(shared: &Shared, request: &Request) -> Option<Response> {
             // charged; the caller may retry once space frees up.
             shared.counters.disk_full.fetch_add(1, Ordering::Relaxed);
             Some(Response::DiskFull)
+        }
+        Err(SpendError::ReplicaLag { lag }) => {
+            // The standby is behind (or absent): fail-closed, retryable.
+            // The spend may be journaled locally but is NOT served —
+            // over-counted at worst, never under.
+            shared.counters.replica_lag.fetch_add(1, Ordering::Relaxed);
+            Some(Response::ReplicaLag { lag })
+        }
+        Err(SpendError::Fenced) => {
+            // Superseded by a promoted follower: refuse everything so
+            // the split brain cannot double-spend.
+            shared.counters.fenced.fetch_add(1, Ordering::Relaxed);
+            Some(Response::Fenced)
         }
         Err(err @ (SpendError::Journal(_) | SpendError::BadCharge(_))) => {
             // Any other journal fault is fail-closed: no durable spend
@@ -987,6 +1047,10 @@ mod tests {
             journal_faults: 1,
             refused_shard: 7,
             disk_full: 2,
+            replica_lag: 2,
+            fenced: 1,
+            idem_evicted: 5,
+            unauthorized: 3,
             shed_net: 2,
             torn: 1,
             drained: 3,
@@ -1001,14 +1065,18 @@ mod tests {
         };
         assert_eq!(
             report.log_line(),
-            "serve total=66 served=43 optimal=40 per-level=2 flat=1 refused=5 expired=3 shed=2 journal-fault=1 repaired=4 quarantined=1 dedup=6 sampled_flat=40 shed_net=2 torn=1 drained=3 refused_shard=7 disk_full=2 repaired_shards=1 scavenged=9 abandoned=1 unaccounted_shards=1"
+            "serve total=72 served=43 optimal=40 per-level=2 flat=1 refused=5 expired=3 shed=2 journal-fault=1 repaired=4 quarantined=1 dedup=6 sampled_flat=40 shed_net=2 torn=1 drained=3 refused_shard=7 disk_full=2 repaired_shards=1 scavenged=9 abandoned=1 unaccounted_shards=1 replica_lag=2 fenced=1 idem_evicted=5 unauthorized=3"
         );
         let display = report.to_string();
-        assert!(display.contains("66 total"), "{display}");
+        assert!(display.contains("72 total"), "{display}");
         assert!(display.contains("journal-fault=1"), "{display}");
         assert!(display.contains("shed_net=2 torn=1 drained=3"), "{display}");
         assert!(
             display.contains("refused_shard=7 disk_full=2 repaired_shards=1"),
+            "{display}"
+        );
+        assert!(
+            display.contains("replica_lag=2 fenced=1 idem_evicted=5 unauthorized=3"),
             "{display}"
         );
     }

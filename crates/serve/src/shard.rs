@@ -47,10 +47,11 @@
 
 use crate::journal::{self, fnv1a64, JournalError};
 use crate::ledger::{LedgerConfig, SpendError, SpendLedger};
+use crate::replica::Shipper;
 use geoind_rng::{Rng, SeededRng};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -195,6 +196,9 @@ struct ShardSet {
     /// Repair tasks currently running.
     repairs_running: AtomicU64,
     repair_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Warm-standby replication, when this node is a primary with a
+    /// lag bound (see [`crate::replica`]). Set once at startup.
+    shipper: OnceLock<Arc<Shipper>>,
 }
 
 /// N independent spend ledgers routed by user hash. See the module docs
@@ -264,6 +268,7 @@ impl ShardedLedger {
                 abandoned: AtomicU64::new(0),
                 repairs_running: AtomicU64::new(0),
                 repair_handles: Mutex::new(Vec::new()),
+                shipper: OnceLock::new(),
             }),
         };
         if repair_mode == RepairMode::Auto {
@@ -297,8 +302,32 @@ impl ShardedLedger {
                 abandoned: AtomicU64::new(0),
                 repairs_running: AtomicU64::new(0),
                 repair_handles: Mutex::new(Vec::new()),
+                shipper: OnceLock::new(),
             }),
         }
+    }
+
+    /// Attach warm-standby replication: every subsequent spend is
+    /// admitted against the shipper's lag bound and served only after
+    /// the follower acks it durably. Returns false (and changes
+    /// nothing) when a shipper was already attached.
+    pub fn attach_shipper(&self, shipper: Arc<Shipper>) -> bool {
+        self.inner.shipper.set(shipper).is_ok()
+    }
+
+    /// The attached shipper, if this node replicates to a standby.
+    pub fn shipper(&self) -> Option<Arc<Shipper>> {
+        self.inner.shipper.get().map(Arc::clone)
+    }
+
+    /// The directory the `shard-<k>/` subdirectories live under, or
+    /// `None` for a [`Self::single`] wrap (no directory known).
+    pub(crate) fn base_dir(&self) -> Option<PathBuf> {
+        let first = self.inner.dirs.first()?;
+        if first.as_os_str().is_empty() {
+            return None;
+        }
+        first.parent().map(Path::to_path_buf)
     }
 
     fn slot_for(&self, user: u64) -> (u64, MutexGuard<'_, Slot>) {
@@ -322,57 +351,113 @@ impl ShardedLedger {
     /// # Errors
     /// Everything [`SpendLedger::try_spend`] returns, plus
     /// [`SpendError::ShardUnavailable`] while the owning shard is
-    /// quarantined, scavenging, or failed. Any `Err` means nothing was
-    /// spent.
+    /// quarantined, scavenging, or failed; with a shipper attached,
+    /// also [`SpendError::ReplicaLag`] / [`SpendError::Fenced`]
+    /// (nothing was spent on the pre-spend refusals; a post-spend
+    /// replication refusal leaves the spend journaled and queued —
+    /// refusing anyway over-counts at worst, never under).
     pub fn try_spend(&self, user: u64, eps: f64) -> Result<(), SpendError> {
+        let shipper = self.shipper();
+        let shard_index = shard_of(user, self.inner.slots.len());
+        if let Some(shipper) = shipper.as_deref() {
+            shipper.admit(shard_index)?;
+        }
+        let published = {
+            let (shard, mut guard) = self.slot_for(user);
+            match &mut *guard {
+                Slot::Open {
+                    ledger,
+                    probation,
+                    strikes,
+                } => {
+                    let mut rng = SeededRng::from_seed(0x5eed ^ user ^ (shard << 32));
+                    let mut attempt = 0u32;
+                    let result = loop {
+                        match ledger.try_spend(user, eps) {
+                            Err(SpendError::Journal(e))
+                                if journal::is_transient_io(&e) && attempt < EIO_RETRY_LIMIT =>
+                            {
+                                attempt += 1;
+                                backoff_sleep(&mut rng, attempt);
+                            }
+                            other => break other,
+                        }
+                    };
+                    match result {
+                        Ok(()) => {
+                            *strikes = 0;
+                            // First durable append after a repair: probation
+                            // is over, the device provably writes again.
+                            *probation = false;
+                            // Publish under the slot lock so the pending
+                            // queue's order matches journal order.
+                            Ok(shipper
+                                .as_deref()
+                                .map(|s| s.publish(shard_index, user, eps)))
+                        }
+                        Err(SpendError::Journal(error)) => {
+                            *strikes += 1;
+                            if self.inner.repair_mode != RepairMode::Off
+                                && *strikes >= QUARANTINE_STRIKES
+                            {
+                                // Persistent write fault: stop fielding (and
+                                // refusing) requests one by one and hand the
+                                // shard to the repair loop.
+                                *guard = Slot::Quarantined {
+                                    error: error.clone(),
+                                };
+                                drop(guard);
+                                if self.inner.repair_mode == RepairMode::Auto {
+                                    spawn_repair(&self.inner, shard as usize);
+                                }
+                            }
+                            Err(SpendError::Journal(error))
+                        }
+                        Err(other) => Err(other),
+                    }
+                }
+                Slot::Quarantined { error } => Err(SpendError::ShardUnavailable {
+                    shard,
+                    detail: format!("quarantined for repair: {error}"),
+                }),
+                Slot::Scavenging { error } => Err(SpendError::ShardUnavailable {
+                    shard,
+                    detail: format!("repair in progress: {error}"),
+                }),
+                Slot::Failed { error } => Err(SpendError::ShardUnavailable {
+                    shard,
+                    detail: error.to_string(),
+                }),
+            }
+        };
+        // Ship outside the slot lock: the spend is durable locally;
+        // now it must be durable on the follower before it is served.
+        match (shipper.as_deref(), published?) {
+            (Some(shipper), Some(seq)) => shipper.wait_acked(shard_index, seq),
+            _ => Ok(()),
+        }
+    }
+
+    /// Apply one replicated spend from the primary through the owning
+    /// shard's verified ledger path (see
+    /// [`SpendLedger::apply_replicated`] — no cap probe, the primary
+    /// already served it).
+    ///
+    /// # Errors
+    /// [`SpendError::ShardUnavailable`] while the owning shard is not
+    /// serving, otherwise whatever the single-ledger apply returns.
+    /// Any `Err` means the record is not durable here and must not be
+    /// acked.
+    pub fn apply_replicated(&self, user: u64, eps: f64) -> Result<(), SpendError> {
         let (shard, mut guard) = self.slot_for(user);
         match &mut *guard {
             Slot::Open {
-                ledger,
-                probation,
-                strikes,
+                ledger, probation, ..
             } => {
-                let mut rng = SeededRng::from_seed(0x5eed ^ user ^ (shard << 32));
-                let mut attempt = 0u32;
-                let result = loop {
-                    match ledger.try_spend(user, eps) {
-                        Err(SpendError::Journal(e))
-                            if journal::is_transient_io(&e) && attempt < EIO_RETRY_LIMIT =>
-                        {
-                            attempt += 1;
-                            backoff_sleep(&mut rng, attempt);
-                        }
-                        other => break other,
-                    }
-                };
-                match result {
-                    Ok(()) => {
-                        *strikes = 0;
-                        // First durable append after a repair: probation
-                        // is over, the device provably writes again.
-                        *probation = false;
-                        Ok(())
-                    }
-                    Err(SpendError::Journal(error)) => {
-                        *strikes += 1;
-                        if self.inner.repair_mode != RepairMode::Off
-                            && *strikes >= QUARANTINE_STRIKES
-                        {
-                            // Persistent write fault: stop fielding (and
-                            // refusing) requests one by one and hand the
-                            // shard to the repair loop.
-                            *guard = Slot::Quarantined {
-                                error: error.clone(),
-                            };
-                            drop(guard);
-                            if self.inner.repair_mode == RepairMode::Auto {
-                                spawn_repair(&self.inner, shard as usize);
-                            }
-                        }
-                        Err(SpendError::Journal(error))
-                    }
-                    other => other,
-                }
+                ledger.apply_replicated(user, eps)?;
+                // A durable replicated append proves the device writes.
+                *probation = false;
+                Ok(())
             }
             Slot::Quarantined { error } => Err(SpendError::ShardUnavailable {
                 shard,

@@ -23,11 +23,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// Raised by the handler; never cleared (termination is one-way).
 static TERMINATE: AtomicBool = AtomicBool::new(false);
 
+/// Raised by `SIGUSR1`; consumed by [`take_promote_requested`] so a
+/// second delivery can request a second (harmless) promotion.
+static PROMOTE: AtomicBool = AtomicBool::new(false);
+
 #[cfg(unix)]
 mod imp {
-    use super::{Ordering, TERMINATE};
+    use super::{Ordering, PROMOTE, TERMINATE};
 
     const SIGINT: i32 = 2;
+    const SIGUSR1: i32 = 10;
     const SIGTERM: i32 = 15;
 
     extern "C" {
@@ -41,6 +46,10 @@ mod imp {
         TERMINATE.store(true, Ordering::Relaxed);
     }
 
+    extern "C" fn on_promote(_signum: i32) {
+        PROMOTE.store(true, Ordering::Relaxed);
+    }
+
     pub(super) fn install() {
         // SAFETY: `signal` is the C runtime's registration call and
         // `on_terminate` is an `extern "C" fn(i32)` that only performs
@@ -50,11 +59,20 @@ mod imp {
             signal(SIGINT, on_terminate as *const () as usize);
         }
     }
+
+    pub(super) fn install_promote() {
+        // SAFETY: same contract as `install` — `on_promote` only
+        // performs an atomic store.
+        unsafe {
+            signal(SIGUSR1, on_promote as *const () as usize);
+        }
+    }
 }
 
 #[cfg(not(unix))]
 mod imp {
     pub(super) fn install() {}
+    pub(super) fn install_promote() {}
 }
 
 /// Install the `SIGTERM`/`SIGINT` handler. Idempotent; call once before
@@ -66,6 +84,19 @@ pub fn install_termination_handler() {
 /// True once `SIGTERM` or `SIGINT` has been delivered (never resets).
 pub fn termination_requested() -> bool {
     TERMINATE.load(Ordering::Relaxed)
+}
+
+/// Install the `SIGUSR1` handler that requests follower promotion —
+/// the operator's out-of-band `POST /promote`, usable when the wire
+/// port is busy or firewalled. Idempotent; no-op off Unix.
+pub fn install_promote_handler() {
+    imp::install_promote();
+}
+
+/// Consume a pending `SIGUSR1` promotion request: true at most once
+/// per delivery. The serve poll loop calls this each tick.
+pub fn take_promote_requested() -> bool {
+    PROMOTE.swap(false, Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -82,5 +113,14 @@ mod tests {
         install_termination_handler();
         install_termination_handler();
         assert!(!termination_requested());
+    }
+
+    #[test]
+    fn promote_flag_is_consumed_once() {
+        install_promote_handler();
+        assert!(!take_promote_requested());
+        PROMOTE.store(true, Ordering::Relaxed);
+        assert!(take_promote_requested());
+        assert!(!take_promote_requested());
     }
 }

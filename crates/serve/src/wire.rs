@@ -25,6 +25,14 @@
 //!   progress while any shard is quarantined, scavenging, or failed.
 //! * `POST /repair` — spawn repair tasks for every quarantined/failed
 //!   shard (a no-op under `RepairMode::Off`); answers how many started.
+//! * `POST /replicate` — binary replication batch from the primary's
+//!   [`crate::replica::Shipper`]; applied by the [`crate::replica::Applier`]
+//!   and answered with a durable-seq ack or a fenced/shape nack.
+//! * `POST /promote` — fenced failover: bump and persist the fence
+//!   generation, checkpoint, and start serving (`SIGUSR1` does the
+//!   same out-of-band).
+//! * `POST /follow` — a follower registering `{"addr":...}` as this
+//!   primary's replication peer.
 //! * `POST /shutdown` — requests a graceful drain; the process that
 //!   owns the [`WireServer`] observes
 //!   [`WireServer::shutdown_requested`] and calls
@@ -43,6 +51,13 @@
 //! faults are injectable at the `serve.net.*` failpoint sites for
 //! deterministic abuse testing.
 //!
+//! With [`WireConfig::auth_token`] set, every endpoint but `/healthz`
+//! requires `Authorization: Bearer <token>` (compared in constant
+//! time); failures answer `401` and count `unauthorized`. The retry
+//! table is bounded per user ([`WireConfig::idem_max_per_user`]) and
+//! by TTL ([`WireConfig::idem_ttl_ms`]); evictions count
+//! `idem_evicted`.
+//!
 //! ## Drain ordering
 //!
 //! [`WireServer::shutdown`] stops accepting, joins the connection
@@ -57,7 +72,7 @@ use crate::shard::ShardedLedger;
 use geoind_core::ResilientMechanism;
 use geoind_testkit::clock::Clock;
 use geoind_testkit::failpoint;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -66,7 +81,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Tuning knobs for [`WireServer`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct WireConfig {
     /// The inner worker pool's configuration.
     pub serve: ServeConfig,
@@ -94,6 +109,23 @@ pub struct WireConfig {
     /// many milliseconds from its dispatch ([`Clock`] time), enforced by
     /// the worker's deadline gate.
     pub deadline_ms: Option<u64>,
+    /// Start as a warm standby: `/protect` answers `503 standby` until
+    /// a promotion (`POST /promote` or `SIGUSR1`) clears the flag;
+    /// `/replicate` applies the primary's shipped records meanwhile.
+    pub standby: bool,
+    /// When set, every endpoint except `GET /healthz` requires
+    /// `Authorization: Bearer <token>` (constant-time compare);
+    /// failures answer `401` and count `unauthorized`.
+    pub auth_token: Option<String>,
+    /// Settled idempotency outcomes retained per user; the oldest
+    /// settled entry is evicted (counted `idem_evicted`) when a new
+    /// outcome would exceed the cap. In-flight entries are never
+    /// evicted. Clamped to at least 1.
+    pub idem_max_per_user: usize,
+    /// Settled idempotency outcomes older than this are reaped by the
+    /// idle-connection sweep (counted `idem_evicted`). `0` disables
+    /// the TTL (the per-user cap still bounds the table).
+    pub idem_ttl_ms: u64,
 }
 
 impl Default for WireConfig {
@@ -106,6 +138,10 @@ impl Default for WireConfig {
             max_body_bytes: 64 * 1024,
             idle_timeout_ms: 5_000,
             deadline_ms: None,
+            standby: false,
+            auth_token: None,
+            idem_max_per_user: 256,
+            idem_ttl_ms: 60_000,
         }
     }
 }
@@ -116,20 +152,134 @@ enum IdemState {
     /// gets `503 in_flight` rather than a double submit.
     Pending,
     /// Terminal outcome already produced (and any spend journaled); a
-    /// retry replays this body verbatim without touching the gate.
-    Done(String),
+    /// retry replays this body verbatim without touching the gate. The
+    /// second field is the [`Clock`] time the outcome settled, for the
+    /// TTL sweep.
+    Done(String, u64),
+}
+
+/// The retry table, bounded two ways so keep-alive clients minting
+/// unique ids cannot grow memory without limit: a per-user cap on
+/// *settled* outcomes (oldest evicted first; in-flight entries are
+/// never evicted — they are bounded by the admission queue) and a TTL
+/// sweep driven from the idle-connection reaper. Evictions trade the
+/// replay guarantee for that key: a retry after eviction re-attempts
+/// instead of replaying, which at worst double-*refuses* — a spend is
+/// only re-attempted if the client violated the retry contract by
+/// waiting past the TTL.
+struct IdemTable {
+    entries: HashMap<(u64, u64), IdemState>,
+    /// Per-user settled ids, oldest first. May hold stale ids (keys
+    /// released on retryable refusals or reaped by TTL); those are
+    /// skipped on pop and purged by the sweep.
+    done_order: HashMap<u64, VecDeque<u64>>,
+    /// Live settled entries per user (stale queue ids excluded).
+    done_counts: HashMap<u64, usize>,
+    /// Last TTL sweep ([`Clock`] nanos); sweeps are rate-limited so
+    /// every idle tick does not rescan the table.
+    last_sweep_nanos: u64,
+}
+
+impl IdemTable {
+    fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            done_order: HashMap::new(),
+            done_counts: HashMap::new(),
+            last_sweep_nanos: 0,
+        }
+    }
+
+    /// Remove `key` without settling (retryable refusal / worker loss).
+    fn release(&mut self, key: (u64, u64)) {
+        if let Some(IdemState::Done(..)) = self.entries.remove(&key) {
+            self.drop_done_count(key.0);
+        }
+    }
+
+    /// Record the terminal outcome for `key`, evicting the user's
+    /// oldest settled entries beyond `cap`. Returns how many were
+    /// evicted.
+    fn settle(&mut self, key: (u64, u64), body: String, now: u64, cap: usize) -> u64 {
+        let (user, id) = key;
+        if !matches!(
+            self.entries.insert(key, IdemState::Done(body, now)),
+            Some(IdemState::Done(..))
+        ) {
+            *self.done_counts.entry(user).or_insert(0) += 1;
+        }
+        self.done_order.entry(user).or_default().push_back(id);
+        let mut evicted = 0u64;
+        while self.done_counts.get(&user).copied().unwrap_or(0) > cap.max(1) {
+            let Some(queue) = self.done_order.get_mut(&user) else {
+                break;
+            };
+            let Some(old_id) = queue.pop_front() else {
+                break;
+            };
+            if matches!(self.entries.get(&(user, old_id)), Some(IdemState::Done(..))) {
+                self.entries.remove(&(user, old_id));
+                self.drop_done_count(user);
+                evicted += 1;
+            }
+            // A stale id (already released) is simply discarded.
+        }
+        evicted
+    }
+
+    /// Reap settled outcomes older than `ttl_nanos` and purge stale
+    /// queue ids. Returns how many settled entries were evicted.
+    fn sweep(&mut self, now: u64, ttl_nanos: u64) -> u64 {
+        let mut evicted = 0u64;
+        if ttl_nanos > 0 {
+            let expired: Vec<(u64, u64)> = self
+                .entries
+                .iter()
+                .filter_map(|(key, state)| match state {
+                    IdemState::Done(_, at) if now.saturating_sub(*at) >= ttl_nanos => Some(*key),
+                    _ => None,
+                })
+                .collect();
+            for key in expired {
+                self.entries.remove(&key);
+                self.drop_done_count(key.0);
+                evicted += 1;
+            }
+        }
+        // Purge stale ids so the order queues stay proportional to the
+        // live table even when TTL (not the cap) does the evicting.
+        self.done_order.retain(|user, queue| {
+            queue.retain(|id| matches!(self.entries.get(&(*user, *id)), Some(IdemState::Done(..))));
+            !queue.is_empty()
+        });
+        self.done_counts.retain(|_, count| *count > 0);
+        evicted
+    }
+
+    fn drop_done_count(&mut self, user: u64) {
+        if let Some(count) = self.done_counts.get_mut(&user) {
+            *count = count.saturating_sub(1);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
 }
 
 struct WireShared {
     server: Server,
+    applier: crate::replica::Applier,
     clock: Arc<dyn Clock>,
     draining: AtomicBool,
     shutdown_requested: AtomicBool,
     shed_net: AtomicU64,
     torn: AtomicU64,
     retried: AtomicU64,
+    idem_evicted: AtomicU64,
+    unauthorized: AtomicU64,
     active_connections: AtomicU64,
-    idem: Mutex<HashMap<(u64, u64), IdemState>>,
+    idem: Mutex<IdemTable>,
     handlers: Mutex<Vec<JoinHandle<()>>>,
     config: WireConfig,
 }
@@ -181,17 +331,21 @@ impl WireServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let applier = crate::replica::Applier::new(&ledger, config.standby);
         let server = Server::start(mechanism, ledger, Arc::clone(&clock), config.serve);
         let shared = Arc::new(WireShared {
             server,
+            applier,
             clock,
             draining: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
             shed_net: AtomicU64::new(0),
             torn: AtomicU64::new(0),
             retried: AtomicU64::new(0),
+            idem_evicted: AtomicU64::new(0),
+            unauthorized: AtomicU64::new(0),
             active_connections: AtomicU64::new(0),
-            idem: Mutex::new(HashMap::new()),
+            idem: Mutex::new(IdemTable::new()),
             handlers: Mutex::new(Vec::new()),
             config,
         });
@@ -224,6 +378,41 @@ impl WireServer {
     /// Idempotent replays served from the retry table so far.
     pub fn retried(&self) -> u64 {
         self.shared.retried.load(Ordering::Relaxed)
+    }
+
+    /// Live idempotency-table entries (test/ops visibility for the
+    /// per-user cap and TTL sweep).
+    pub fn idem_entries(&self) -> usize {
+        self.shared
+            .idem
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether this server is still a warm standby (refusing `/protect`
+    /// with `503 standby` while applying the primary's records).
+    pub fn standby(&self) -> bool {
+        self.shared.applier.standby()
+    }
+
+    /// The fence generation this server enforces on `/replicate`.
+    pub fn fence_gen(&self) -> u64 {
+        self.shared.applier.fence_gen()
+    }
+
+    /// Promote this standby to primary: bump and persist the fence
+    /// generation past everything ever seen, checkpoint every shard,
+    /// and start serving `/protect`. Idempotent (a second promotion
+    /// just bumps the generation again). Same effect as `POST
+    /// /promote` or `SIGUSR1`.
+    ///
+    /// # Errors
+    /// [`crate::ledger::SpendError::Journal`] when persisting the
+    /// generation or checkpointing fails — the standby stays fenced-off
+    /// rather than serving with an unpersisted generation.
+    pub fn promote(&self) -> Result<u64, crate::ledger::SpendError> {
+        self.shared.applier.promote(self.shared.server.ledger())
     }
 
     /// Total ε spent across all users this epoch (healthy shards).
@@ -264,10 +453,21 @@ impl WireServer {
         let shed_net = shared.shed_net.load(Ordering::Relaxed);
         let torn = shared.torn.load(Ordering::Relaxed);
         let retried = shared.retried.load(Ordering::Relaxed);
+        let idem_evicted = shared.idem_evicted.load(Ordering::Relaxed);
+        let unauthorized = shared.unauthorized.load(Ordering::Relaxed);
+        let fenced_nacks = shared.applier.fenced_total();
+        // Ship any still-pending replication records before the journals
+        // close: a graceful drain must leave the follower caught up.
+        if let Some(shipper) = shared.server.ledger().shipper() {
+            shipper.flush_all();
+        }
         let inner = shared.server.shutdown();
         let mut report = inner.report;
         report.shed_net = shed_net;
         report.torn = torn;
+        report.idem_evicted = idem_evicted;
+        report.unauthorized = unauthorized;
+        report.fenced += fenced_nacks;
         WireShutdownOutcome {
             report,
             degradation: inner.degradation,
@@ -282,6 +482,12 @@ impl WireShared {
         let mut report = self.server.report();
         report.shed_net = self.shed_net.load(Ordering::Relaxed);
         report.torn = self.torn.load(Ordering::Relaxed);
+        report.idem_evicted = self.idem_evicted.load(Ordering::Relaxed);
+        report.unauthorized = self.unauthorized.load(Ordering::Relaxed);
+        // `fenced` folds both sides of the fence: spends the gate
+        // refused because the local shipper is fenced, and stale-
+        // generation batches this applier nacked.
+        report.fenced += self.applier.fenced_total();
         report
     }
 }
@@ -348,6 +554,8 @@ fn refuse_connection(mut stream: TcpStream) {
 struct Frame {
     method: String,
     path: String,
+    /// `Authorization` header value, verbatim, when present.
+    auth: Option<String>,
     body: Vec<u8>,
 }
 
@@ -438,6 +646,7 @@ fn try_extract_frame(pending: &mut Vec<u8>, max_body: usize) -> Extract {
         return Extract::Bad;
     }
     let mut content_length = 0usize;
+    let mut auth = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -445,6 +654,8 @@ fn try_extract_frame(pending: &mut Vec<u8>, max_body: usize) -> Extract {
                     Ok(n) => content_length = n,
                     Err(_) => return Extract::Bad,
                 }
+            } else if name.eq_ignore_ascii_case("authorization") {
+                auth = Some(value.trim().to_string());
             }
         }
     }
@@ -460,13 +671,41 @@ fn try_extract_frame(pending: &mut Vec<u8>, max_body: usize) -> Extract {
     let body = pending[head_end + 4..total].to_vec();
     // Keep any pipelined follow-on bytes for the next frame.
     pending.drain(..total);
-    Extract::Frame(Frame { method, path, body })
+    Extract::Frame(Frame {
+        method,
+        path,
+        auth,
+        body,
+    })
+}
+
+/// Constant-time bearer-token check: the comparison XOR-folds every
+/// byte so a mismatch at byte 0 takes as long as one at byte N (no
+/// early exit an attacker could time). The length itself is not
+/// secret.
+fn authorized(header: Option<&str>, token: &str) -> bool {
+    let Some(value) = header else {
+        return false;
+    };
+    let Some(presented) = value.strip_prefix("Bearer ") else {
+        return false;
+    };
+    let (a, b) = (presented.trim().as_bytes(), token.as_bytes());
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
 }
 
 fn render_http(status: u16, body: &str) -> String {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
@@ -497,7 +736,11 @@ fn handle_connection(shared: &Arc<WireShared>, mut stream: TcpStream) {
             ReadOutcome::Idle => {
                 // No frame in progress and nothing in flight (responses
                 // are written before the next read begins): reap the
-                // connection once it has idled past the cap.
+                // connection once it has idled past the cap. The same
+                // tick drives the idempotency-table TTL sweep — idle
+                // read deadlines are the one periodic pulse every
+                // serving process already has.
+                sweep_idem(shared);
                 if last_activity.elapsed() >= idle_cap {
                     break;
                 }
@@ -536,6 +779,19 @@ fn handle_connection(shared: &Arc<WireShared>, mut stream: TcpStream) {
                     shared.torn.fetch_add(1, Ordering::Relaxed);
                     break;
                 }
+                if let Some(token) = shared.config.auth_token.as_deref() {
+                    // `/healthz` stays open: probes and orchestrators
+                    // must see readiness without holding the secret.
+                    if frame.path != "/healthz" && !authorized(frame.auth.as_deref(), token) {
+                        shared.unauthorized.fetch_add(1, Ordering::Relaxed);
+                        let rendered = render_http(401, r#"{"status":"unauthorized"}"#);
+                        if stream.write_all(rendered.as_bytes()).is_err() {
+                            shared.torn.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        continue;
+                    }
+                }
                 let is_protect = frame.method == "POST" && frame.path == "/protect";
                 let (status, body) = dispatch(shared, &frame);
                 let rendered = render_http(status, &body);
@@ -559,20 +815,104 @@ fn handle_connection(shared: &Arc<WireShared>, mut stream: TcpStream) {
     shared.active_connections.fetch_sub(1, Ordering::Relaxed);
 }
 
+/// Rate-limited TTL sweep of the retry table, driven from idle ticks.
+fn sweep_idem(shared: &Arc<WireShared>) {
+    if shared.config.idem_ttl_ms == 0 {
+        return;
+    }
+    let now = shared.clock.now_nanos();
+    let mut idem = shared.idem.lock().unwrap_or_else(PoisonError::into_inner);
+    if now.saturating_sub(idem.last_sweep_nanos) < 1_000_000_000 {
+        return;
+    }
+    idem.last_sweep_nanos = now;
+    let ttl_nanos = shared.config.idem_ttl_ms.saturating_mul(1_000_000);
+    let evicted = idem.sweep(now, ttl_nanos);
+    if evicted > 0 {
+        shared.idem_evicted.fetch_add(evicted, Ordering::Relaxed);
+    }
+}
+
 fn dispatch(shared: &Arc<WireShared>, frame: &Frame) -> (u16, String) {
     match (frame.method.as_str(), frame.path.as_str()) {
-        ("POST", "/protect") => dispatch_protect(shared, &frame.body),
+        ("POST", "/protect") => {
+            if shared.applier.standby() {
+                // A warm standby never spends on its own: clients that
+                // find it before promotion get a counted, retryable
+                // refusal (their failover logic decides what next).
+                shared.shed_net.fetch_add(1, Ordering::Relaxed);
+                (503, r#"{"status":"standby"}"#.to_string())
+            } else {
+                dispatch_protect(shared, &frame.body)
+            }
+        }
         ("GET", "/report") => (200, report_body(shared)),
         ("GET", "/healthz") => healthz_body(shared),
         ("POST", "/repair") => {
             let started = shared.server.ledger().repair_now();
             (200, format!(r#"{{"status":"repair","started":{started}}}"#))
         }
+        ("POST", "/replicate") => {
+            // Always 200 with a JSON verdict: transport-level success,
+            // ack/nack decided by the applier (fencing, epoch, shape).
+            (
+                200,
+                shared.applier.handle(shared.server.ledger(), &frame.body),
+            )
+        }
+        ("POST", "/promote") => match shared.applier.promote(shared.server.ledger()) {
+            Ok(gen) => (200, format!(r#"{{"status":"promoted","gen":{gen}}}"#)),
+            Err(e) => {
+                let detail = Json::Str(e.to_string()).render();
+                (
+                    500,
+                    format!(r#"{{"status":"promote_failed","detail":{detail}}}"#),
+                )
+            }
+        },
+        ("POST", "/follow") => dispatch_follow(shared, &frame.body),
         ("POST", "/shutdown") => {
             shared.shutdown_requested.store(true, Ordering::SeqCst);
             (200, r#"{"status":"draining"}"#.to_string())
         }
         _ => (404, r#"{"status":"not_found"}"#.to_string()),
+    }
+}
+
+/// `POST /follow {"addr":"host:port"}` — a follower registering itself
+/// as this primary's replication peer. Refused when the server was not
+/// started with a shipper (no `--max-replica-lag` mode).
+fn dispatch_follow(shared: &Arc<WireShared>, body: &[u8]) -> (u16, String) {
+    let addr = std::str::from_utf8(body)
+        .ok()
+        .and_then(|text| Json::parse(text).ok())
+        .and_then(|json| json.get("addr").and_then(Json::as_str).map(str::to_string));
+    let Some(addr) = addr else {
+        return (
+            400,
+            r#"{"status":"bad_request","detail":"missing addr"}"#.into(),
+        );
+    };
+    let Some(shipper) = shared.server.ledger().shipper() else {
+        return (503, r#"{"status":"not_replicating"}"#.into());
+    };
+    match shipper.set_peer(&addr) {
+        Ok(()) => {
+            // Push whatever is already pending so the new follower
+            // catches up without waiting for the next spend.
+            shipper.flush_all();
+            (
+                200,
+                format!(r#"{{"status":"following","gen":{}}}"#, shipper.generation()),
+            )
+        }
+        Err(e) => {
+            let detail = Json::Str(e.to_string()).render();
+            (
+                500,
+                format!(r#"{{"status":"follow_failed","detail":{detail}}}"#),
+            )
+        }
     }
 }
 
@@ -648,8 +988,8 @@ fn submit_one(shared: &Arc<WireShared>, item: &Json) -> SubmitOutcome {
     let key = item.get("id").and_then(Json::as_u64).map(|id| (user, id));
     if let Some(key) = key {
         let mut idem = shared.idem.lock().unwrap_or_else(PoisonError::into_inner);
-        match idem.get(&key) {
-            Some(IdemState::Done(body)) => {
+        match idem.entries.get(&key) {
+            Some(IdemState::Done(body, _)) => {
                 // Retry of a settled request: replay the journaled
                 // outcome verbatim; the gate is not consulted and no
                 // budget is spent — at-most-once server-side.
@@ -661,7 +1001,7 @@ fn submit_one(shared: &Arc<WireShared>, item: &Json) -> SubmitOutcome {
                 return SubmitOutcome::Terminal(503, r#"{"status":"in_flight"}"#.into());
             }
             None => {
-                idem.insert(key, IdemState::Pending);
+                idem.entries.insert(key, IdemState::Pending);
             }
         }
     }
@@ -687,7 +1027,7 @@ fn submit_one(shared: &Arc<WireShared>, item: &Json) -> SubmitOutcome {
                     .idem
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
-                    .remove(&key);
+                    .release(key);
             }
             let body = match err {
                 SubmitError::QueueFull => r#"{"status":"overloaded"}"#,
@@ -706,18 +1046,30 @@ fn settle_one(shared: &Arc<WireShared>, outcome: SubmitOutcome) -> (u16, String)
                 let body = render_outcome(&response);
                 let retryable = matches!(
                     response,
-                    Response::ShardUnavailable { .. } | Response::DiskFull
+                    Response::ShardUnavailable { .. }
+                        | Response::DiskFull
+                        | Response::ReplicaLag { .. }
+                        | Response::Fenced
                 );
                 if let Some(key) = key {
                     let mut idem = shared.idem.lock().unwrap_or_else(PoisonError::into_inner);
                     if retryable {
                         // Nothing was journaled and the condition may
-                        // clear (repair, freed space): release the key so
-                        // the retry re-attempts instead of replaying the
-                        // refusal forever.
-                        idem.remove(&key);
+                        // clear (repair, freed space, follower caught
+                        // up, client failing over): release the key so
+                        // the retry re-attempts instead of replaying
+                        // the refusal forever.
+                        idem.release(key);
                     } else {
-                        idem.insert(key, IdemState::Done(body.clone()));
+                        let evicted = idem.settle(
+                            key,
+                            body.clone(),
+                            shared.clock.now_nanos(),
+                            shared.config.idem_max_per_user,
+                        );
+                        if evicted > 0 {
+                            shared.idem_evicted.fetch_add(evicted, Ordering::Relaxed);
+                        }
                     }
                 }
                 (if retryable { 503 } else { 200 }, body)
@@ -730,7 +1082,7 @@ fn settle_one(shared: &Arc<WireShared>, outcome: SubmitOutcome) -> (u16, String)
                         .idem
                         .lock()
                         .unwrap_or_else(PoisonError::into_inner)
-                        .remove(&key);
+                        .release(key);
                 }
                 (500, r#"{"status":"internal"}"#.into())
             }
@@ -762,6 +1114,10 @@ fn render_outcome(response: &Response) -> String {
             format!(r#"{{"status":"shard_unavailable","shard":{shard}}}"#)
         }
         Response::DiskFull => r#"{"status":"disk_full"}"#.to_string(),
+        Response::ReplicaLag { lag } => {
+            format!(r#"{{"status":"replica_lag","lag":{lag}}}"#)
+        }
+        Response::Fenced => r#"{"status":"fenced"}"#.to_string(),
     }
 }
 
@@ -797,6 +1153,14 @@ fn healthz_body(shared: &Arc<WireShared>) -> (u16, String) {
         (
             "abandoned".into(),
             Json::Num(ledger.abandoned_repairs() as f64),
+        ),
+        // Failover probes read these without the auth token: a client
+        // that lost the primary learns here whether this peer has been
+        // promoted (standby=false) before re-pointing its load.
+        ("standby".into(), Json::Bool(shared.applier.standby())),
+        (
+            "fence_gen".into(),
+            Json::Num(shared.applier.fence_gen() as f64),
         ),
     ])
     .render();
@@ -853,6 +1217,19 @@ fn report_body(shared: &Arc<WireShared>) -> String {
         (
             "unaccounted_shards".into(),
             Json::Num(report.unaccounted_shards as f64),
+        ),
+        ("replica_lag".into(), Json::Num(report.replica_lag as f64)),
+        ("fenced".into(), Json::Num(report.fenced as f64)),
+        ("idem_evicted".into(), Json::Num(report.idem_evicted as f64)),
+        ("unauthorized".into(), Json::Num(report.unauthorized as f64)),
+        ("standby".into(), Json::Bool(shared.applier.standby())),
+        (
+            "fence_gen".into(),
+            Json::Num(shared.applier.fence_gen() as f64),
+        ),
+        (
+            "replica_applied".into(),
+            Json::Num(shared.applier.applied_total() as f64),
         ),
         ("shed_net".into(), Json::Num(report.shed_net as f64)),
         ("torn".into(), Json::Num(report.torn as f64)),

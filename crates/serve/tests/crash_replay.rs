@@ -595,3 +595,276 @@ mod scavenge_matrix {
         fs::remove_dir_all(&dir).ok();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Promotion matrix: the primary is killed with one request at each stage of
+// the replication pipeline — never shipped, torn mid-ship, shipped but
+// unacked, fully acked — then the follower is promoted. The invariants at
+// every position: the follower holds every *served* spend exactly once
+// (retransmits dedup by sequence, nothing is double-counted), the refused
+// spend is replayable on the promoted follower, and a revived stale primary
+// is fenced before any of its records can land.
+// ---------------------------------------------------------------------------
+
+mod promotion_matrix {
+    use super::*;
+    use geoind_serve::replica::{Applier, Shipper, ShipperConfig};
+    use geoind_serve::shard::ShardedLedger;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const SHARDS: usize = 2;
+    const BASELINE: u64 = 6;
+    const FAULT_USER: u64 = 1;
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    enum Position {
+        /// The follower drops connections before reading a byte.
+        PreShip,
+        /// `serve.repl.ship_torn`: the batch is cut mid-write.
+        TornShip,
+        /// `serve.repl.ack_lost`: applied durably, ack never returns.
+        ShippedUnacked,
+        /// No fault: the spend is acked, then the primary dies.
+        Acked,
+    }
+
+    /// The smallest honest stand-in for the follower's wire layer: an
+    /// accept loop where each connection carries one `POST /replicate`,
+    /// answered with the applier's verdict.
+    struct MiniFollower {
+        addr: String,
+        refuse: Arc<AtomicBool>,
+        stop: Arc<AtomicBool>,
+        handle: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl MiniFollower {
+        fn start(applier: Arc<Applier>, ledger: Arc<ShardedLedger>) -> Self {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind mini follower");
+            let addr = listener.local_addr().expect("local addr").to_string();
+            let refuse = Arc::new(AtomicBool::new(false));
+            let stop = Arc::new(AtomicBool::new(false));
+            let (refuse_l, stop_l) = (Arc::clone(&refuse), Arc::clone(&stop));
+            let handle = std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_l.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = conn else { continue };
+                    if refuse_l.load(Ordering::SeqCst) {
+                        continue; // dropped before a single byte is read
+                    }
+                    let Some(body) = read_replicate_body(&mut stream) else {
+                        continue; // torn ship: apply nothing
+                    };
+                    let verdict = applier.handle(&ledger, &body);
+                    // A lost ack is the sender's problem, not ours.
+                    let _ = stream.write_all(
+                        format!(
+                            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{verdict}",
+                            verdict.len()
+                        )
+                        .as_bytes(),
+                    );
+                }
+            });
+            Self {
+                addr,
+                refuse,
+                stop,
+                handle: Some(handle),
+            }
+        }
+    }
+
+    impl Drop for MiniFollower {
+        fn drop(&mut self) {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(&self.addr); // unblock accept
+            if let Some(handle) = self.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    /// Read one `POST /replicate` frame's body; `None` on a torn frame.
+    fn read_replicate_body(stream: &mut TcpStream) -> Option<Vec<u8>> {
+        stream
+            .set_read_timeout(Some(Duration::from_millis(2_000)))
+            .ok()?;
+        let mut pending = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(head_end) = pending.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = std::str::from_utf8(&pending[..head_end]).ok()?;
+                let mut content_length = 0usize;
+                for line in head.split("\r\n").skip(1) {
+                    if let Some((name, value)) = line.split_once(':') {
+                        if name.eq_ignore_ascii_case("content-length") {
+                            content_length = value.trim().parse().ok()?;
+                        }
+                    }
+                }
+                let body_start = head_end + 4;
+                while pending.len() < body_start + content_length {
+                    match stream.read(&mut buf) {
+                        Ok(0) => return None,
+                        Ok(n) => pending.extend_from_slice(&buf[..n]),
+                        Err(_) => return None,
+                    }
+                }
+                return Some(pending[body_start..body_start + content_length].to_vec());
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => return None,
+                Ok(n) => pending.extend_from_slice(&buf[..n]),
+                Err(_) => return None,
+            }
+        }
+    }
+
+    fn shipper_for(dir: &std::path::Path, peer: Option<&str>) -> Shipper {
+        let shipper = Shipper::new(ShipperConfig {
+            dir: Some(dir.to_path_buf()),
+            shards: SHARDS,
+            epoch: 0,
+            max_lag: 4,
+            timeout_ms: 500,
+            auth_token: None,
+        })
+        .expect("build shipper");
+        if let Some(peer) = peer {
+            shipper.set_peer(peer).expect("register peer");
+        }
+        shipper
+    }
+
+    fn run_position(tag: &str, position: Position) {
+        let p_dir = temp_dir(&format!("promo-{tag}-p"));
+        let f_dir = temp_dir(&format!("promo-{tag}-f"));
+        let follower_ledger = Arc::new(ShardedLedger::open(&f_dir, config(100.0, 0), SHARDS));
+        let applier = Arc::new(Applier::new(&follower_ledger, true));
+        let follower = MiniFollower::start(Arc::clone(&applier), Arc::clone(&follower_ledger));
+
+        let primary = ShardedLedger::open(&p_dir, config(100.0, 0), SHARDS);
+        assert!(primary.attach_shipper(Arc::new(shipper_for(&p_dir, Some(&follower.addr)))));
+
+        for i in 0..BASELINE {
+            primary.try_spend(i % USERS, EPS).expect("baseline spend");
+        }
+        assert!(
+            (follower_ledger.total_spent() - BASELINE as f64 * EPS).abs() < 1e-9,
+            "every served spend must be acked durable on the follower first"
+        );
+
+        // The position-specific final request, then the primary dies.
+        let mut fp = Session::new();
+        match position {
+            Position::PreShip => {
+                follower.refuse.store(true, Ordering::SeqCst);
+            }
+            Position::TornShip => {
+                fp.arm("serve.repl.ship_torn", FailSpec::always());
+            }
+            Position::ShippedUnacked => {
+                fp.arm("serve.repl.ack_lost", FailSpec::always());
+            }
+            Position::Acked => {}
+        }
+        match (position, primary.try_spend(FAULT_USER, EPS)) {
+            (Position::Acked, Ok(())) => {}
+            (Position::Acked, other) => panic!("{tag}: clean spend answered {other:?}"),
+            (_, Err(SpendError::ReplicaLag { .. })) => {}
+            (_, other) => panic!("{tag}: want a replica-lag refusal, got {other:?}"),
+        }
+        drop(fp);
+        follower.refuse.store(false, Ordering::SeqCst);
+        drop(primary); // crash: no checkpoint, no graceful flush
+
+        // Every acked serve is on the follower; the in-flight record only
+        // where the whole batch actually landed — and even with the
+        // in-request retransmits of the unacked case, exactly once.
+        let on_follower = match position {
+            Position::PreShip | Position::TornShip => BASELINE,
+            Position::ShippedUnacked | Position::Acked => BASELINE + 1,
+        };
+        assert!(
+            (follower_ledger.total_spent() - on_follower as f64 * EPS).abs() < 1e-9,
+            "{tag}: follower books {} != {on_follower} records",
+            follower_ledger.total_spent()
+        );
+
+        // Fenced failover: promotion bumps past every generation seen.
+        let gen = applier.promote(&follower_ledger).expect("promote");
+        assert_eq!(gen, 2, "{tag}");
+
+        // The request the dead primary refused is replayable on the
+        // promoted follower. (In the acked/unacked positions the record
+        // already landed, and the wire layer's idempotency replays the
+        // journaled outcome instead — covered in `tests/wire.rs`.)
+        if matches!(position, Position::PreShip | Position::TornShip) {
+            follower_ledger
+                .try_spend(FAULT_USER, EPS)
+                .expect("refused spend replays on the promoted follower");
+        }
+        let settled = follower_ledger.total_spent();
+
+        // The revived stale primary recovers its full journal — the
+        // refused spend stays charged locally (over-counting, never
+        // minting) — and resumes shipping to its persisted peer. The
+        // newer generation refuses the first batch: hard fence, and not
+        // one stale record lands on the promoted node.
+        let revived = ShardedLedger::open(&p_dir, config(100.0, 0), SHARDS);
+        assert!(
+            (revived.total_spent() - (BASELINE + 1) as f64 * EPS).abs() < 1e-9,
+            "{tag}: revived primary lost or minted records: {}",
+            revived.total_spent()
+        );
+        let shipper = shipper_for(&p_dir, None);
+        assert_eq!(
+            shipper.peer().as_deref(),
+            Some(follower.addr.as_str()),
+            "{tag}: peer registration must survive the crash"
+        );
+        assert_eq!(shipper.generation(), 1, "{tag}: stale generation persisted");
+        assert!(revived.attach_shipper(Arc::new(shipper)));
+        for attempt in 0..2 {
+            match revived.try_spend(FAULT_USER, EPS) {
+                Err(SpendError::Fenced) => {}
+                other => panic!("{tag}: revived primary attempt {attempt} answered {other:?}"),
+            }
+        }
+        assert!(
+            (follower_ledger.total_spent() - settled).abs() < 1e-9,
+            "{tag}: a fenced batch changed the promoted node's books"
+        );
+
+        drop(follower);
+        fs::remove_dir_all(&p_dir).ok();
+        fs::remove_dir_all(&f_dir).ok();
+    }
+
+    #[test]
+    fn killed_before_shipping_promotes_without_the_refused_spend() {
+        run_position("preship", Position::PreShip);
+    }
+
+    #[test]
+    fn killed_mid_ship_applies_nothing_and_promotes_clean() {
+        run_position("torn", Position::TornShip);
+    }
+
+    #[test]
+    fn killed_after_ship_before_ack_keeps_exactly_one_copy() {
+        run_position("unacked", Position::ShippedUnacked);
+    }
+
+    #[test]
+    fn killed_after_ack_loses_nothing() {
+        run_position("acked", Position::Acked);
+    }
+}

@@ -15,6 +15,7 @@ use geoind_core::ResilientMechanism;
 use geoind_data::prior::GridPrior;
 use geoind_serve::client::{run_load, ClientConfig};
 use geoind_serve::ledger::LedgerConfig;
+use geoind_serve::replica::{register_with_primary, Shipper, ShipperConfig};
 use geoind_serve::shard::{shard_of, ShardedLedger};
 use geoind_serve::wire::{WireConfig, WireServer};
 use geoind_serve::{ServeConfig, SpendLedger};
@@ -84,6 +85,10 @@ fn wire_config() -> WireConfig {
         max_body_bytes: 64 * 1024,
         deadline_ms: None,
         idle_timeout_ms: 5_000,
+        standby: false,
+        auth_token: None,
+        idem_max_per_user: 256,
+        idem_ttl_ms: 60_000,
     }
 }
 
@@ -109,6 +114,9 @@ fn client_config(addr: std::net::SocketAddr, requests: u64) -> ClientConfig {
         backoff_base_ms: 5,
         seed: 7,
         shutdown_after: false,
+        failover: None,
+        auth_token: None,
+        retry_budget: None,
     }
 }
 
@@ -598,6 +606,325 @@ fn idle_connections_are_reaped_after_the_timeout() {
     let outcome = server.shutdown();
     assert_eq!(outcome.report.served(), 2);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Read exactly one HTTP response frame off an already-open stream
+/// (keep-alive counterpart of [`raw_exchange`]).
+fn read_one_frame(stream: &mut TcpStream) -> String {
+    let mut pending = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(end) = frame_end(&pending) {
+            return String::from_utf8_lossy(&pending[..end]).into_owned();
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return String::from_utf8_lossy(&pending).into_owned(),
+            Ok(n) => pending.extend_from_slice(&buf[..n]),
+            Err(e) => panic!("keep-alive read failed with {pending:?} buffered: {e}"),
+        }
+    }
+}
+
+fn protect_request_auth(user: u64, id: u64, token: &str) -> String {
+    let body = format!(r#"{{"user":{user},"id":{id},"x":1.0,"y":2.0}}"#);
+    format!(
+        "POST /protect HTTP/1.1\r\nAuthorization: Bearer {token}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// A primary with a shipper attached: spends require the follower at
+/// `--max-replica-lag` semantics (fail-closed before registration).
+fn start_primary(dir: &std::path::Path, cap: f64, max_lag: u64) -> WireServer {
+    let ledger = sharded(dir, cap, 4);
+    let shipper = Shipper::new(ShipperConfig {
+        dir: Some(dir.to_path_buf()),
+        shards: 4,
+        epoch: 0,
+        max_lag,
+        timeout_ms: 2_000,
+        auth_token: None,
+    })
+    .expect("build shipper");
+    assert!(ledger.attach_shipper(Arc::new(shipper)));
+    WireServer::start(
+        mechanism(),
+        ledger,
+        Arc::new(SystemClock),
+        wire_config(),
+        "127.0.0.1:0",
+    )
+    .expect("bind primary")
+}
+
+fn start_follower(dir: &std::path::Path, cap: f64) -> WireServer {
+    WireServer::start(
+        mechanism(),
+        sharded(dir, cap, 4),
+        Arc::new(SystemClock),
+        WireConfig {
+            standby: true,
+            ..wire_config()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind follower")
+}
+
+/// Satellite: Bearer auth. Requests without the token (or with a wrong
+/// one) get a typed `401` that burns no budget; the right token — raw
+/// or through the loadgen client — serves; `/healthz` stays open for
+/// unauthenticated failover probes.
+#[test]
+fn bearer_auth_rejects_wrong_tokens_and_admits_the_right_one() {
+    let _guard = NET_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_dir("auth");
+    let server = WireServer::start(
+        mechanism(),
+        sharded(&dir, 100.0, 4),
+        Arc::new(SystemClock),
+        WireConfig {
+            auth_token: Some("open-sesame".into()),
+            ..wire_config()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // The loadgen client carries the token and reconciles exactly (it
+    // runs first: reconciliation demands the client's tallies match the
+    // server's gate counters with nothing out of band).
+    let report = run_load(&ClientConfig {
+        auth_token: Some("open-sesame".into()),
+        ..client_config(addr, 10)
+    })
+    .expect("authed load reconciles");
+    assert_eq!(report.served, 10);
+
+    // User/id outside the loadgen's (user = id % users, id < requests)
+    // space above, so this raw serve is never a replay of one of its ids.
+    let bare = raw_exchange(addr, &protect_request(42, 10_001));
+    assert!(bare.contains("401"), "{bare}");
+    assert!(bare.contains(r#""status":"unauthorized""#), "{bare}");
+    let wrong = raw_exchange(addr, &protect_request_auth(42, 10_001, "open-sesame-NOT"));
+    assert!(wrong.contains("401"), "{wrong}");
+    assert!(
+        (server.ledger_total_spent() - 10.0 * EPS).abs() < 1e-9,
+        "401s must not spend"
+    );
+
+    let right = raw_exchange(addr, &protect_request_auth(42, 10_001, "open-sesame"));
+    assert!(right.contains(r#""status":"served""#), "{right}");
+
+    // Health stays unauthenticated: failover probes read standby state
+    // without holding the secret.
+    let health = raw_exchange(addr, "GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    assert!(!health.contains("401"), "{health}");
+    assert!(health.contains(r#""standby":false"#), "{health}");
+
+    let outcome = server.shutdown();
+    assert_eq!(outcome.report.unauthorized, 2);
+    assert_eq!(outcome.report.served(), 11);
+    assert!(
+        (server_spent(&dir) - 11.0 * EPS).abs() < 1e-9,
+        "unauthorized requests reached the ledger"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite regression: a keep-alive client posting ever-fresh ids for
+/// one user must not grow the idempotency table without bound — settled
+/// entries are capped per user, oldest evicted first, and the evictions
+/// are counted.
+#[test]
+fn idempotency_table_stays_bounded_under_unique_ids() {
+    let _guard = NET_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = temp_dir("idem-bound");
+    let cap = 8usize;
+    let server = WireServer::start(
+        mechanism(),
+        sharded(&dir, 1_000.0, 4),
+        Arc::new(SystemClock),
+        WireConfig {
+            idem_max_per_user: cap,
+            idem_ttl_ms: 0, // isolate the cap: no TTL sweeping
+            ..wire_config()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(2_000)))
+        .expect("timeout");
+    let total = 40u64;
+    for id in 0..total {
+        stream
+            .write_all(protect_request(1, id).as_bytes())
+            .expect("write");
+        let response = read_one_frame(&mut stream);
+        assert!(response.contains(r#""status":"served""#), "{response}");
+    }
+    assert!(
+        server.idem_entries() <= cap,
+        "idempotency table grew to {} entries (cap {cap})",
+        server.idem_entries()
+    );
+
+    let outcome = server.shutdown();
+    assert_eq!(outcome.report.served(), total);
+    assert_eq!(
+        outcome.report.idem_evicted,
+        total - cap as u64,
+        "every settle past the cap evicts exactly the oldest entry"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tentpole round trip over real sockets: a primary refuses spends
+/// before any follower registers (fail-closed), ships every served
+/// spend synchronously once one does, the follower refuses `/protect`
+/// while in standby, promotion opens it for serving, and the stale
+/// primary's very next spend is fenced — with the books on both
+/// directories proving zero double-spend.
+#[test]
+fn replicated_standby_promotes_and_fences_the_stale_primary() {
+    let _guard = NET_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::reset_global();
+    let primary_dir = temp_dir("repl-primary");
+    let follower_dir = temp_dir("repl-follower");
+    let follower = start_follower(&follower_dir, 100.0);
+    let primary = start_primary(&primary_dir, 100.0, 8);
+    let p_addr = primary.local_addr();
+    let f_addr = follower.local_addr();
+
+    // Fail-closed: with a lag bound configured and nobody to ship to,
+    // the primary refuses rather than serving with unbounded lag.
+    let lagged = raw_exchange(p_addr, &protect_request(1, 7_777));
+    assert!(lagged.contains("503"), "{lagged}");
+    assert!(lagged.contains(r#""status":"replica_lag""#), "{lagged}");
+    assert_eq!(
+        primary.ledger_total_spent(),
+        0.0,
+        "refusal must pre-empt the spend"
+    );
+
+    register_with_primary(&p_addr.to_string(), &f_addr.to_string(), None, 2_000)
+        .expect("follower registers");
+
+    // A standby never spends on its own.
+    let standby = raw_exchange(f_addr, &protect_request(1, 7_778));
+    assert!(standby.contains(r#""status":"standby""#), "{standby}");
+
+    let report = run_load(&client_config(p_addr, 20)).expect("replicated load reconciles");
+    assert_eq!(report.served, 20);
+
+    // Every serve was acked durable on the follower before answering.
+    let f_report = raw_exchange(f_addr, "GET /report HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    assert!(f_report.contains(r#""replica_applied":20"#), "{f_report}");
+
+    let promoted = raw_exchange(
+        f_addr,
+        "POST /promote HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert!(promoted.contains(r#""status":"promoted""#), "{promoted}");
+    assert!(promoted.contains(r#""gen":2"#), "{promoted}");
+    assert!(!follower.standby(), "promotion opens /protect");
+    let f_served = raw_exchange(f_addr, &protect_request(1, 9_000));
+    assert!(f_served.contains(r#""status":"served""#), "{f_served}");
+
+    // The stale primary's next spend journals locally, ships, and is
+    // refused by the newer-generation follower: hard-fenced, refused,
+    // and refused again without even reaching the wire.
+    let fenced = raw_exchange(p_addr, &protect_request(1, 9_001));
+    assert!(fenced.contains("503"), "{fenced}");
+    assert!(fenced.contains(r#""status":"fenced""#), "{fenced}");
+    let fenced_again = raw_exchange(p_addr, &protect_request(2, 9_002));
+    assert!(
+        fenced_again.contains(r#""status":"fenced""#),
+        "{fenced_again}"
+    );
+
+    let p_outcome = primary.shutdown();
+    assert_eq!(p_outcome.report.served(), 20);
+    assert!(p_outcome.report.replica_lag >= 1);
+    assert!(p_outcome.report.fenced >= 2);
+    let f_outcome = follower.shutdown();
+    assert_eq!(f_outcome.report.served(), 1, "one post-promotion serve");
+    assert!(f_outcome.report.fenced >= 1, "the stale batch was counted");
+
+    // Zero double-spend: the follower holds exactly the 20 replicated
+    // spends plus its own serve. The fenced primary's first refused
+    // spend is journaled locally (over-counting is the safe direction);
+    // the second was pre-empted before spending.
+    assert!(
+        (server_spent(&follower_dir) - 21.0 * EPS).abs() < 1e-9,
+        "follower books drifted: {}",
+        server_spent(&follower_dir)
+    );
+    assert!(
+        (server_spent(&primary_dir) - 21.0 * EPS).abs() < 1e-9,
+        "primary books drifted: {}",
+        server_spent(&primary_dir)
+    );
+    std::fs::remove_dir_all(&primary_dir).ok();
+    std::fs::remove_dir_all(&follower_dir).ok();
+}
+
+/// Tentpole fault sweep: each `serve.repl.*` failpoint fires mid-run
+/// and the system still reconciles exactly, with the follower's books
+/// matching the primary's serve count — retransmits dedup by sequence,
+/// so a lost ack or torn ship never double-spends.
+#[test]
+fn every_replication_failpoint_preserves_exact_books_on_both_nodes() {
+    let _guard = NET_FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+    for site in [
+        "serve.repl.ship_torn",
+        "serve.repl.ack_lost",
+        "serve.repl.stale_gen",
+    ] {
+        failpoint::reset_global();
+        let tag = site.replace('.', "-");
+        let primary_dir = temp_dir(&format!("sweep-{tag}-p"));
+        let follower_dir = temp_dir(&format!("sweep-{tag}-f"));
+        let follower = start_follower(&follower_dir, 100.0);
+        let primary = start_primary(&primary_dir, 100.0, 8);
+        register_with_primary(
+            &primary.local_addr().to_string(),
+            &follower.local_addr().to_string(),
+            None,
+            2_000,
+        )
+        .expect("follower registers");
+
+        // Two consecutive ship failures: the in-request retry loop must
+        // absorb them without surfacing a refusal to the client.
+        failpoint::arm_global(site, FailSpec::after(2, 2));
+        let result = run_load(&client_config(primary.local_addr(), 20));
+        let fired = failpoint::fired(site);
+        failpoint::disarm_global(site);
+        let report = result.unwrap_or_else(|e| panic!("{site}: {e}"));
+        assert_eq!(report.served, 20, "{site}");
+        assert_eq!(report.total(), 20, "{site}");
+        assert!(fired > 0, "{site} never fired");
+
+        let p_outcome = primary.shutdown();
+        assert_eq!(p_outcome.report.served(), 20, "{site}");
+        follower.shutdown();
+        assert!(
+            (server_spent(&primary_dir) - 20.0 * EPS).abs() < 1e-9,
+            "{site}: primary spend drifted"
+        );
+        assert!(
+            (server_spent(&follower_dir) - 20.0 * EPS).abs() < 1e-9,
+            "{site}: follower double-applied or lost records"
+        );
+        std::fs::remove_dir_all(&primary_dir).ok();
+        std::fs::remove_dir_all(&follower_dir).ok();
+    }
+    failpoint::reset_global();
 }
 
 #[test]

@@ -82,6 +82,9 @@ pub const SITES: &[&str] = &[
     "serve.net.read_torn",       // request frame arrives torn (cut mid-read); no budget burns
     "serve.net.write_short",     // response write is cut short after the spend is journaled
     "serve.net.stall",           // peer stalls mid-exchange until the read deadline fires
+    "serve.repl.ship_torn", // replication batch write is cut mid-body; follower applies nothing
+    "serve.repl.ack_lost",  // replication batch lands but the ack is lost; primary retransmits
+    "serve.repl.stale_gen", // follower treats a batch as stale-generation and refuses it fenced
 ];
 
 /// When an armed site fires: skip the first `skip` hits, then fire

@@ -133,6 +133,155 @@ for fp in serve.net.accept serve.net.read_torn serve.net.write_short serve.net.s
     }
 done
 
+echo "== replication smoke (primary+follower pair, serve.repl.* faults armed in rotation)"
+# Warm-standby replication end to end on the release binary: every spend the
+# primary serves must first be acked durable by the follower, so the
+# retrying client reconciles exactly no matter which replication step
+# faults. Each serve.repl.* site fires mid-run (skip 2 hits, then fire
+# twice): ship_torn and ack_lost on the primary's shipper, stale_gen in the
+# follower's applier.
+REPL_P_LOG="$(mktemp /tmp/geoind-ci-repl-p.XXXXXX)"
+REPL_F_LOG="$(mktemp /tmp/geoind-ci-repl-f.XXXXXX)"
+REPL_P_DIR="/tmp/geoind-ci-repl-primary.$$"
+REPL_F_DIR="/tmp/geoind-ci-repl-follower.$$"
+trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE" "$WIRE_LOG" "$REPL_P_LOG" "$REPL_F_LOG"; rm -rf "$WIRE_DIR" "$REPL_P_DIR" "$REPL_F_DIR"' EXIT
+for fp in serve.repl.ship_torn serve.repl.ack_lost serve.repl.stale_gen; do
+    if [ "$fp" = "serve.repl.stale_gen" ]; then
+        P_FP=""; F_FP="$fp=2:2"
+    else
+        P_FP="$fp=2:2"; F_FP=""
+    fi
+    echo "   -- primary GEOIND_FAILPOINTS='$P_FP' follower GEOIND_FAILPOINTS='$F_FP'"
+    rm -rf "$REPL_P_DIR" "$REPL_F_DIR"
+    : > "$REPL_P_LOG"
+    : > "$REPL_F_LOG"
+    GEOIND_FAILPOINTS="$P_FP" target/release/geoind serve \
+        --listen 127.0.0.1:0 --shards 4 --cap 100.0 --max-replica-lag 8 \
+        --eps 0.4 --g 2 --synthetic-size 3000 \
+        --workers 2 --queue 16 --read-timeout-ms 300 --seed 7 \
+        --ledger-dir "$REPL_P_DIR" > "$REPL_P_LOG" &
+    REPL_P_PID=$!
+    P_ADDR=""
+    i=0
+    while [ "$i" -lt 100 ]; do
+        P_ADDR="$(sed -n 's/^# listening on //p' "$REPL_P_LOG")"
+        [ -n "$P_ADDR" ] && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -n "$P_ADDR" ] || { echo "replication primary never announced its port"; cat "$REPL_P_LOG"; exit 1; }
+    GEOIND_FAILPOINTS="$F_FP" target/release/geoind serve \
+        --listen 127.0.0.1:0 --shards 4 --cap 100.0 --follow "$P_ADDR" \
+        --eps 0.4 --g 2 --synthetic-size 3000 \
+        --workers 2 --queue 16 --read-timeout-ms 300 --seed 7 \
+        --ledger-dir "$REPL_F_DIR" > "$REPL_F_LOG" &
+    REPL_F_PID=$!
+    i=0
+    while [ "$i" -lt 100 ]; do
+        grep -q "registered: true" "$REPL_F_LOG" && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    grep -q "registered: true" "$REPL_F_LOG" || { echo "follower never registered"; cat "$REPL_F_LOG"; exit 1; }
+    target/release/geoind loadgen --connect "$P_ADDR" \
+        --requests 60 --connections 3 --users 6 --seed 9 \
+        --max-attempts 20 --backoff-ms 5 --shutdown on
+    wait "$REPL_P_PID"
+    kill -TERM "$REPL_F_PID" 2>/dev/null || true
+    wait "$REPL_F_PID" || true
+    grep -q "replica_lag=" "$REPL_P_LOG" || {
+        echo "primary report missing replication counters"; cat "$REPL_P_LOG"; exit 1;
+    }
+done
+
+echo "== failover drill (kill -9 the primary mid-load; fenced revival proven)"
+# The warm-standby tentpole end to end: a replicating primary is killed -9
+# under live load; the client detects the loss, promotes the follower and
+# re-points (SIGUSR1 doubles as the operator fallback for the race where
+# the load finishes first), and the run must still reconcile — exact
+# against live endpoints, provable bounds for the counters the dead
+# primary took with it. Then the stale primary is revived on its old
+# ledger: its first spend must be refused fenced, proven by fenced= in its
+# own final report line.
+DRILL_P_LOG="$(mktemp /tmp/geoind-ci-drill-p.XXXXXX)"
+DRILL_F_LOG="$(mktemp /tmp/geoind-ci-drill-f.XXXXXX)"
+DRILL_P_DIR="/tmp/geoind-ci-drill-primary.$$"
+DRILL_F_DIR="/tmp/geoind-ci-drill-follower.$$"
+trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE" "$WIRE_LOG" "$REPL_P_LOG" "$REPL_F_LOG" "$DRILL_P_LOG" "$DRILL_F_LOG"; rm -rf "$WIRE_DIR" "$REPL_P_DIR" "$REPL_F_DIR" "$DRILL_P_DIR" "$DRILL_F_DIR"' EXIT
+target/release/geoind serve \
+    --listen 127.0.0.1:0 --shards 4 --cap 400.0 --max-replica-lag 16 \
+    --eps 0.4 --g 2 --synthetic-size 3000 \
+    --workers 2 --queue 16 --read-timeout-ms 300 --seed 7 \
+    --ledger-dir "$DRILL_P_DIR" > "$DRILL_P_LOG" &
+DRILL_P_PID=$!
+DRILL_P_ADDR=""
+i=0
+while [ "$i" -lt 100 ]; do
+    DRILL_P_ADDR="$(sed -n 's/^# listening on //p' "$DRILL_P_LOG")"
+    [ -n "$DRILL_P_ADDR" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$DRILL_P_ADDR" ] || { echo "drill primary never announced its port"; cat "$DRILL_P_LOG"; exit 1; }
+target/release/geoind serve \
+    --listen 127.0.0.1:0 --shards 4 --cap 400.0 --follow "$DRILL_P_ADDR" \
+    --eps 0.4 --g 2 --synthetic-size 3000 \
+    --workers 2 --queue 16 --read-timeout-ms 300 --seed 7 \
+    --ledger-dir "$DRILL_F_DIR" > "$DRILL_F_LOG" &
+DRILL_F_PID=$!
+DRILL_F_ADDR=""
+i=0
+while [ "$i" -lt 100 ]; do
+    DRILL_F_ADDR="$(sed -n 's/^# listening on //p' "$DRILL_F_LOG")"
+    [ -n "$DRILL_F_ADDR" ] && grep -q "registered: true" "$DRILL_F_LOG" && break
+    sleep 0.1
+    i=$((i + 1))
+done
+grep -q "registered: true" "$DRILL_F_LOG" || { echo "drill follower never registered"; cat "$DRILL_F_LOG"; exit 1; }
+target/release/geoind loadgen --connect "$DRILL_P_ADDR" --failover "$DRILL_F_ADDR" \
+    --requests 4000 --connections 4 --users 8 --seed 11 \
+    --max-attempts 40 --backoff-ms 5 --retry-budget 8000 &
+DRILL_LOAD_PID=$!
+sleep 1
+kill -9 "$DRILL_P_PID" 2>/dev/null || true
+kill -USR1 "$DRILL_F_PID" 2>/dev/null || true
+wait "$DRILL_LOAD_PID" || { echo "failover load did not reconcile"; cat "$DRILL_F_LOG"; exit 1; }
+wait "$DRILL_P_PID" 2>/dev/null || true
+# Revive the stale primary on its crashed ledger: it recovers, resumes
+# shipping to its persisted peer, and the promoted follower's newer fence
+# generation must refuse it before a single stale record lands.
+: > "$DRILL_P_LOG"
+target/release/geoind serve \
+    --listen 127.0.0.1:0 --shards 4 --cap 400.0 --max-replica-lag 16 \
+    --eps 0.4 --g 2 --synthetic-size 3000 \
+    --workers 2 --queue 16 --read-timeout-ms 300 --seed 7 \
+    --ledger-dir "$DRILL_P_DIR" > "$DRILL_P_LOG" &
+DRILL_P_PID=$!
+STALE_ADDR=""
+i=0
+while [ "$i" -lt 100 ]; do
+    STALE_ADDR="$(sed -n 's/^# listening on //p' "$DRILL_P_LOG")"
+    [ -n "$STALE_ADDR" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$STALE_ADDR" ] || { echo "revived primary never announced its port"; cat "$DRILL_P_LOG"; exit 1; }
+if target/release/geoind loadgen --connect "$STALE_ADDR" \
+    --requests 6 --connections 1 --users 2 --seed 3 \
+    --max-attempts 3 --backoff-ms 5; then
+    echo "revived stale primary served a spend"; cat "$DRILL_P_LOG"; exit 1
+fi
+kill -TERM "$DRILL_P_PID" 2>/dev/null || true
+wait "$DRILL_P_PID" || true
+grep -Eq "fenced=[1-9]" "$DRILL_P_LOG" || {
+    echo "stale primary was never fenced"; cat "$DRILL_P_LOG"; exit 1;
+}
+kill -TERM "$DRILL_F_PID" 2>/dev/null || true
+wait "$DRILL_F_PID" || true
+grep -q "served=" "$DRILL_F_LOG" || {
+    echo "promoted follower report missing"; cat "$DRILL_F_LOG"; exit 1;
+}
+
 echo "== chaos soak (~60s of rotating disk faults; books balance, shards self-heal)"
 # Rotating randomized disk-fault specs against the auto-repair server: each
 # round arms a fresh combination of ENOSPC / transient-EIO sites, drives a
@@ -145,7 +294,7 @@ SOAK_SEED="${SOAK_SEED:-$(date +%s)}"
 echo "   -- SOAK_SEED=$SOAK_SEED (export SOAK_SEED to reproduce)"
 SOAK_LOG="$(mktemp /tmp/geoind-ci-soak.XXXXXX)"
 SOAK_DIR="/tmp/geoind-ci-soak-ledger.$$"
-trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE" "$WIRE_LOG" "$SOAK_LOG"; rm -rf "$WIRE_DIR" "$SOAK_DIR"' EXIT
+trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE" "$WIRE_LOG" "$REPL_P_LOG" "$REPL_F_LOG" "$DRILL_P_LOG" "$DRILL_F_LOG" "$SOAK_LOG"; rm -rf "$WIRE_DIR" "$REPL_P_DIR" "$REPL_F_DIR" "$DRILL_P_DIR" "$DRILL_F_DIR" "$SOAK_DIR"' EXIT
 SOAK_END=$(( $(date +%s) + 60 ))
 SOAK_STATE=$SOAK_SEED
 SOAK_ROUNDS=0

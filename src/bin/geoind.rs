@@ -22,9 +22,10 @@ use geoind::mechanisms::Mechanism;
 use geoind::prelude::*;
 use geoind::serve::clock::{Clock, SystemClock};
 use geoind::serve::{
-    install_termination_handler, run_load, termination_requested, ClientConfig, ClientError,
-    LedgerConfig, RepairMode, Request, Response, ServeConfig, Server, ShardedLedger, SpendLedger,
-    SubmitError, WireConfig, WireServer,
+    install_promote_handler, install_termination_handler, register_with_primary, run_load,
+    take_promote_requested, termination_requested, ClientConfig, ClientError, LedgerConfig,
+    RepairMode, Request, Response, ServeConfig, Server, ShardedLedger, Shipper, ShipperConfig,
+    SpendLedger, SubmitError, WireConfig, WireServer,
 };
 use geoind_rng::SeededRng;
 use std::collections::HashMap;
@@ -580,6 +581,17 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
                 eprintln!("warning: request refused fail-closed: journal disk full");
                 *disk_refused += 1;
             }
+            // The self-driving loop never attaches a replication
+            // shipper, so these cannot fire here; tally them anyway so
+            // the books would catch a stray refusal.
+            Response::ReplicaLag { lag } => {
+                eprintln!("warning: request refused fail-closed: replica lag {lag}");
+                *shard_refused += 1;
+            }
+            Response::Fenced => {
+                eprintln!("warning: request refused fail-closed: fenced");
+                *shard_refused += 1;
+            }
         }
     }
     for i in 0..n {
@@ -742,6 +754,12 @@ fn cmd_serve_listen(flags: &Flags, listen: &str) -> Result<(), String> {
     while clock.now_nanos() == 0 {
         std::thread::yield_now();
     }
+    let follow = flags.get("follow").cloned();
+    let auth_token = flags.get("auth-token").cloned();
+    let max_replica_lag = flags.get("max-replica-lag").map(|v| {
+        v.parse::<u64>()
+            .map_err(|_| format!("--max-replica-lag: bad integer '{v}'"))
+    });
     let config = WireConfig {
         serve: ServeConfig {
             workers: get_u64(flags, "workers", 4)? as usize,
@@ -761,9 +779,37 @@ fn cmd_serve_listen(flags: &Flags, listen: &str) -> Result<(), String> {
             .get("deadline-ms")
             .map(|_| get_u64(flags, "deadline-ms", 0))
             .transpose()?,
+        standby: follow.is_some(),
+        auth_token: auth_token.clone(),
+        idem_max_per_user: get_u64(flags, "idem-max", 256)?.max(1) as usize,
+        idem_ttl_ms: get_u64(flags, "idem-ttl-ms", 60_000)?,
     };
-    // SIGTERM/SIGINT trigger the same graceful drain as POST /shutdown.
+    if let Some(max_lag) = max_replica_lag.transpose()? {
+        // Primary mode: spends ship to the follower registered via
+        // POST /follow, and are served only after its durable ack.
+        let shipper = Shipper::new(ShipperConfig {
+            dir: Some(dir.clone()),
+            shards,
+            epoch,
+            max_lag,
+            timeout_ms: get_u64(flags, "replicate-timeout-ms", 2_000)?,
+            auth_token: auth_token.clone(),
+        })
+        .map_err(|e| format!("starting replication shipper: {e}"))?;
+        println!(
+            "# replicating: fence generation {}, max lag {max_lag}{}",
+            shipper.generation(),
+            match shipper.peer() {
+                Some(peer) => format!(", resuming to {peer}"),
+                None => ", waiting for a follower".into(),
+            }
+        );
+        ledger.attach_shipper(std::sync::Arc::new(shipper));
+    }
+    // SIGTERM/SIGINT trigger the same graceful drain as POST /shutdown;
+    // SIGUSR1 requests a follower promotion out-of-band.
     install_termination_handler();
+    install_promote_handler();
     let server = WireServer::start(ladder, ledger, clock, config, listen)
         .map_err(|e| format!("binding {listen}: {e}"))?;
     // CI and scripts poll this line to learn the bound port; the pipe to
@@ -771,11 +817,44 @@ fn cmd_serve_listen(flags: &Flags, listen: &str) -> Result<(), String> {
     println!("# listening on {}", server.local_addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
+    if let Some(primary) = follow.as_deref() {
+        // Warm standby: register with the primary so its shipper knows
+        // where to push. Retried — the primary may still be booting —
+        // and non-fatal: the operator can re-point the primary later.
+        let self_addr = server.local_addr().to_string();
+        let mut registered = false;
+        for attempt in 0..20u64 {
+            if attempt > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            match register_with_primary(primary, &self_addr, auth_token.as_deref(), 2_000) {
+                Ok(()) => {
+                    registered = true;
+                    break;
+                }
+                Err(_) if attempt < 19 => {}
+                Err(e) => eprintln!("warning: could not register with {primary}: {e}"),
+            }
+        }
+        println!(
+            "# following {primary} (registered: {registered}, fence generation {})",
+            server.fence_gen()
+        );
+        let _ = std::io::stdout().flush();
+    }
 
     // Serve until a client posts /shutdown or a termination signal
     // lands; handlers never tear the server down from inside a
-    // connection, the owner does it here.
+    // connection, the owner does it here. SIGUSR1 promotes a standby
+    // without stopping the loop.
     while !server.shutdown_requested() && !termination_requested() {
+        if take_promote_requested() {
+            match server.promote() {
+                Ok(gen) => println!("# promoted to primary (fence generation {gen})"),
+                Err(e) => eprintln!("warning: promotion failed: {e}"),
+            }
+            let _ = std::io::stdout().flush();
+        }
         std::thread::sleep(std::time::Duration::from_millis(20));
     }
     if termination_requested() {
@@ -814,6 +893,12 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
         backoff_base_ms: get_u64(flags, "backoff-ms", 10)?,
         seed: get_u64(flags, "seed", 1)?,
         shutdown_after: flags.get("shutdown").map(String::as_str) == Some("on"),
+        failover: flags.get("failover").cloned(),
+        auth_token: flags.get("auth-token").cloned(),
+        retry_budget: flags
+            .get("retry-budget")
+            .map(|_| get_u64(flags, "retry-budget", 0))
+            .transpose()?,
     };
     let report = match run_load(&config) {
         Ok(report) => report,
@@ -822,6 +907,12 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
             // post-mortem needs both sides.
             println!("{}", report.log_line());
             return Err(format!("reconciliation failed: {detail}"));
+        }
+        Err(ClientError::RetryBudgetExhausted { abandoned, report }) => {
+            println!("{}", report.log_line());
+            return Err(format!(
+                "retry budget exhausted: {abandoned} requests abandoned"
+            ));
         }
         Err(e) => return Err(e.to_string()),
     };
@@ -839,7 +930,7 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
                 "\"torn_seen\":{},\"server_retried\":{},\"wall_s\":{},\"req_per_s\":{},",
                 "\"p50_ms\":{},\"p99_ms\":{},\"shard_unavailable_seen\":{},",
                 "\"disk_full_seen\":{},\"shards_ready\":{},\"shards_total\":{},",
-                "\"repaired_shards\":{}}}\n"
+                "\"repaired_shards\":{},\"retry_budget_exhausted\":{},\"failed_over\":{}}}\n"
             ),
             label,
             config.requests,
@@ -860,6 +951,8 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
             report.shards_ready,
             report.shards_total,
             report.repaired_shards,
+            report.retry_budget_exhausted,
+            report.failed_over,
         );
         std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
     }
@@ -890,11 +983,22 @@ COMMANDS
                keep-alive connections, --repair auto|manual|off for
                damaged-shard scavenge-and-readmit — POST /repair triggers
                it under manual, GET /healthz reports per-shard state;
-               POST /shutdown or SIGTERM/SIGINT drain gracefully)
+               POST /shutdown or SIGTERM/SIGINT drain gracefully;
+               --max-replica-lag N ships every spend to a registered
+               follower and refuses past N unacked records,
+               --follow PRIMARY starts as that primary's warm standby
+               (POST /promote or SIGUSR1 promotes it, fencing the old
+               primary), --auth-token T requires a bearer token on every
+               endpoint but /healthz, --idem-max K / --idem-ttl-ms T
+               bound the per-user idempotency retry table)
   loadgen     closed-loop load generator against `serve --listen`
               (--connect ADDR, --requests N, --connections C, --users U,
                --timeout-ms T, --max-attempts A, --backoff-ms B, --seed S,
                --shutdown on to drain the server after reconciling,
+               --failover ADDR to promote and re-point at a warm standby
+               on primary loss (reconciles against both servers),
+               --retry-budget N global retry tokens for fast failure,
+               --auth-token T bearer token,
                --json-out FILE --label L for benchmark artifacts); exits
               nonzero unless client tallies match the server's counters;
               polls /healthz and reports shard availability separately
