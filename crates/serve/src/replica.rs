@@ -13,11 +13,27 @@
 //! `served`.
 //!
 //! **Lag bound.** The pending queue holds records journaled locally
-//! but not yet acked. `--max-replica-lag` bounds it: when the queue is
-//! full (or no follower has registered at all) the primary refuses the
-//! spend with `replica_lag` instead of serving ahead of the standby —
-//! fail-closed, because the follower is the source of truth for
+//! but not yet acked. `--max-replica-lag` bounds it *strictly*:
+//! [`Shipper::admit`] reserves a pending-queue slot under the shard's
+//! ship lock (so concurrent admits cannot collectively overshoot the
+//! bound), and refuses the spend with `replica_lag` when no slot is
+//! free even after a flush — or when no follower has registered at
+//! all. Fail-closed, because the follower is the source of truth for
 //! failover.
+//!
+//! **Sequence handshake.** The shipper's per-shard sequence counters
+//! live in memory, but the registered peer persists in `replica.peer`
+//! — so a restarted primary must not re-number new spends from 1 while
+//! the follower's durable watermark sits at N (the follower would
+//! dedup-skip every new record yet still ack N, silently
+//! un-replicating served spends). Before the first publish of each
+//! shard, [`Shipper::admit`] probes the follower with an *empty* batch
+//! at `first_seq = 1` (which the follower applies nothing for and
+//! never adopts a watermark from) and seeds `last_seq = acked_seq`
+//! from the returned durable sequence; until the probe succeeds the
+//! shard's spends are refused `replica_lag` (and a probe refused
+//! `fenced` by a promoted follower hard-fences the primary before it
+//! can serve a single spend).
 //!
 //! **Fencing.** Replication runs under a *fence generation*, persisted
 //! as `repl.gen` next to the shard directories (see
@@ -188,10 +204,19 @@ pub struct ShipperConfig {
 
 #[derive(Debug, Default)]
 struct ShipShard {
-    /// Highest sequence number assigned so far (sequences start at 1).
+    /// Sequence state seeded from the follower's durable watermark (see
+    /// the module docs on the sequence handshake). Nothing may be
+    /// published before this is true.
+    synced: bool,
+    /// Highest sequence number assigned so far (sequences start at the
+    /// follower's watermark + 1).
     last_seq: u64,
     /// Highest sequence the follower has durably acked.
     acked_seq: u64,
+    /// Admitted spends not yet published: slots reserved against the
+    /// lag bound by [`Shipper::admit`], consumed by
+    /// [`Shipper::publish`] or given back by [`Shipper::release`].
+    reserved: u64,
     /// Encoded records `acked_seq+1 ..= last_seq`, oldest first.
     pending: VecDeque<[u8; BATCH_RECORD_LEN]>,
 }
@@ -298,8 +323,12 @@ impl Shipper {
     }
 
     /// Pre-spend gate: refuse when fenced, when no follower has
-    /// registered, or when the shard's pending queue is at the lag
-    /// bound even after one flush attempt.
+    /// registered, when the shard's sequence state cannot be seeded
+    /// from the follower, or when the shard is at the lag bound even
+    /// after one flush attempt. A successful admit holds one reserved
+    /// pending-queue slot, which [`Self::publish`] consumes — so the
+    /// bound is strict even under concurrent admits — and
+    /// [`Self::release`] must give back if the spend never publishes.
     ///
     /// # Errors
     /// [`SpendError::Fenced`] / [`SpendError::ReplicaLag`] as above.
@@ -312,27 +341,110 @@ impl Shipper {
             // no standby at all would be unbounded lag.
             return Err(SpendError::ReplicaLag { lag: 0 });
         }
+        self.ensure_synced(shard)?;
         let max_lag = self.config.max_lag.max(1);
-        if self.lag(shard) >= max_lag {
-            let _ = self.flush(shard);
-            if self.is_fenced() {
-                return Err(SpendError::Fenced);
-            }
-            let lag = self.lag(shard);
-            if lag >= max_lag {
-                return Err(SpendError::ReplicaLag { lag });
-            }
+        if self.try_reserve(shard, max_lag) {
+            return Ok(());
         }
-        Ok(())
+        let _ = self.flush(shard);
+        if self.is_fenced() {
+            return Err(SpendError::Fenced);
+        }
+        if self.try_reserve(shard, max_lag) {
+            return Ok(());
+        }
+        Err(SpendError::ReplicaLag {
+            lag: self.inflight(shard),
+        })
+    }
+
+    /// Seed the shard's sequence state from the follower's durable
+    /// watermark before this process's first publish: an empty probe
+    /// batch at `first_seq = 1` — which the follower applies nothing
+    /// for and never adopts a watermark from — answers with its highest
+    /// durably applied sequence. Without this, a restarted primary
+    /// (the peer file persists, the counters do not) would re-number
+    /// new spends from 1 and the follower's dedup would skip them while
+    /// still acking its old watermark: served spends silently
+    /// un-replicated until the counter caught up, re-granted as budget
+    /// by a later failover.
+    ///
+    /// The probe also means a revived stale primary is hard-fenced at
+    /// its first admit, before any spend is journaled locally.
+    fn ensure_synced(&self, shard: usize) -> Result<(), SpendError> {
+        let Some(peer) = self.peer() else {
+            return Err(SpendError::ReplicaLag { lag: 0 });
+        };
+        let mut s = self.shards[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if s.synced {
+            return Ok(());
+        }
+        let probe = encode_batch(
+            shard as u32,
+            self.config.shards as u32,
+            self.gen,
+            self.config.epoch,
+            1,
+            &[],
+        );
+        match self.exchange(&peer, &probe) {
+            Ok(acked) => {
+                s.last_seq = acked;
+                s.acked_seq = acked;
+                s.synced = true;
+                Ok(())
+            }
+            Err(_) if self.is_fenced() => Err(SpendError::Fenced),
+            // The follower could not confirm its watermark; shipping
+            // blind could silently un-replicate, so refuse fail-closed.
+            Err(_) => Err(SpendError::ReplicaLag { lag: 0 }),
+        }
+    }
+
+    /// Reserve one pending-queue slot under the shard's ship lock, so
+    /// that `pending + reserved` never exceeds `max_lag` no matter how
+    /// many workers admit concurrently.
+    fn try_reserve(&self, shard: usize, max_lag: u64) -> bool {
+        let mut s = self.shards[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if s.pending.len() as u64 + s.reserved < max_lag {
+            s.reserved += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records admitted or journaled locally but not yet acked.
+    fn inflight(&self, shard: usize) -> u64 {
+        let s = self.shards[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        s.pending.len() as u64 + s.reserved
+    }
+
+    /// Give back a slot reserved by a successful [`Self::admit`] whose
+    /// spend never reached [`Self::publish`] (the local journal refused
+    /// it, or the owning shard was unavailable).
+    pub(crate) fn release(&self, shard: usize) {
+        let mut s = self.shards[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        s.reserved = s.reserved.saturating_sub(1);
     }
 
     /// Queue a just-journaled spend for shipping and return its
-    /// sequence number. Called under the shard's slot lock, so queue
-    /// order matches journal order.
+    /// sequence number, consuming the caller's reserved slot. Called
+    /// under the shard's slot lock, so queue order matches journal
+    /// order.
     pub(crate) fn publish(&self, shard: usize, user: u64, eps: f64) -> u64 {
         let mut s = self.shards[shard]
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        s.reserved = s.reserved.saturating_sub(1);
         s.last_seq += 1;
         let seq = s.last_seq;
         s.pending.push_back(journal::encode_record(user, eps, seq));
@@ -370,6 +482,18 @@ impl Shipper {
         })
     }
 
+    /// Test-only: mark the shard synced at `watermark`, exactly as a
+    /// successful handshake probe would.
+    #[cfg(test)]
+    fn force_synced(&self, shard: usize, watermark: u64) {
+        let mut s = self.shards[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        s.synced = true;
+        s.last_seq = watermark;
+        s.acked_seq = watermark;
+    }
+
     /// Best-effort flush of every shard's pending queue (graceful
     /// shutdown path).
     pub fn flush_all(&self) {
@@ -400,7 +524,22 @@ impl Shipper {
             s.acked_seq + 1,
             &records,
         );
-        let answer = self.post_replicate(&peer, &body)?;
+        let acked = self.exchange(&peer, &body)?;
+        if acked > s.acked_seq {
+            let newly = (acked - s.acked_seq).min(s.pending.len() as u64);
+            for _ in 0..newly {
+                s.pending.pop_front();
+            }
+            s.acked_seq = acked;
+        }
+        Ok(s.acked_seq)
+    }
+
+    /// One ship-and-parse exchange: `POST /replicate` the batch, decode
+    /// the JSON verdict, and fold any authoritative `fenced` nack into
+    /// [`Self::is_fenced`]. Returns the follower's durable sequence.
+    fn exchange(&self, peer: &str, body: &[u8]) -> Result<u64, String> {
+        let answer = self.post_replicate(peer, body)?;
         let parsed = Json::parse(&answer).map_err(|e| format!("unparseable ack: {e}"))?;
         if parsed.get("ok") != Some(&Json::Bool(true)) {
             if parsed.get("fenced") == Some(&Json::Bool(true)) {
@@ -426,18 +565,10 @@ impl Shipper {
                 .unwrap_or("unspecified");
             return Err(format!("follower refused batch: {detail}"));
         }
-        let acked = parsed
+        parsed
             .get("acked_seq")
             .and_then(Json::as_u64)
-            .ok_or("ack missing acked_seq")?;
-        if acked > s.acked_seq {
-            let newly = (acked - s.acked_seq).min(s.pending.len() as u64);
-            for _ in 0..newly {
-                s.pending.pop_front();
-            }
-            s.acked_seq = acked;
-        }
-        Ok(s.acked_seq)
+            .ok_or_else(|| "ack missing acked_seq".to_string())
     }
 
     /// One `POST /replicate` exchange. The `serve.repl.ship_torn`
@@ -553,6 +684,19 @@ impl Applier {
     /// Fence-generation persistence or checkpoint failures; the node
     /// stays in standby so a failed promotion is visible.
     pub fn promote(&self, ledger: &ShardedLedger) -> Result<u64, SpendError> {
+        // Hold every per-shard applied lock across the fence bump and
+        // checkpoint: [`Self::handle`] checks the fence and applies its
+        // batch under its shard's applied lock, so an in-flight
+        // old-generation batch either finishes (and is folded by the
+        // checkpoint below) before the bump, or re-reads the fence
+        // after it and is refused. Without this, a batch that passed
+        // the fence check could be applied and acked *after* promotion,
+        // letting the stale primary serve briefly past the fence.
+        let _applied: Vec<_> = self
+            .applied
+            .iter()
+            .map(|m| m.lock().unwrap_or_else(PoisonError::into_inner))
+            .collect();
         let new_gen = self
             .fence_gen
             .load(Ordering::SeqCst)
@@ -580,11 +724,6 @@ impl Applier {
             Ok(batch) => batch,
             Err(detail) => return nack(&detail),
         };
-        let fence_gen = self.fence_gen.load(Ordering::SeqCst);
-        if failpoint::hit("serve.repl.stale_gen") || batch.gen < fence_gen {
-            self.fenced.fetch_add(1, Ordering::SeqCst);
-            return format!(r#"{{"ok":false,"fenced":true,"fence_gen":{fence_gen}}}"#);
-        }
         if batch.epoch != ledger.epoch() {
             return nack(&format!(
                 "epoch mismatch: batch {} vs ledger {}",
@@ -602,8 +741,18 @@ impl Applier {
         let Some(applied) = self.applied.get(batch.shard as usize) else {
             return nack(&format!("shard {} out of range", batch.shard));
         };
-        self.max_seen_gen.fetch_max(batch.gen, Ordering::SeqCst);
         let mut applied = applied.lock().unwrap_or_else(PoisonError::into_inner);
+        // The fence check runs under the shard's applied lock, which
+        // [`Self::promote`] holds across its generation bump — so the
+        // check-then-apply below is atomic against promotion, and no
+        // batch stamped with a pre-promotion generation can be applied
+        // and acked after the fence has moved.
+        let fence_gen = self.fence_gen.load(Ordering::SeqCst);
+        if failpoint::hit("serve.repl.stale_gen") || batch.gen < fence_gen {
+            self.fenced.fetch_add(1, Ordering::SeqCst);
+            return format!(r#"{{"ok":false,"fenced":true,"fence_gen":{fence_gen}}}"#);
+        }
+        self.max_seen_gen.fetch_max(batch.gen, Ordering::SeqCst);
         if batch.first_seq > *applied + 1 {
             // The primary ships strictly from its acked sequence, and
             // acks only ever came from us (possibly a previous
@@ -821,5 +970,72 @@ mod tests {
         assert_eq!(shipper.publish(0, 9, 0.5), 2);
         assert_eq!(shipper.publish(1, 9, 0.5), 1);
         assert_eq!(shipper.lag(0), 2);
+    }
+
+    fn test_shipper(max_lag: u64) -> Shipper {
+        let shipper = Shipper::new(ShipperConfig {
+            dir: None,
+            shards: 1,
+            epoch: 0,
+            max_lag,
+            timeout_ms: 50,
+            auth_token: None,
+        })
+        .unwrap();
+        // A real peer address is never contacted below: the shard is
+        // force-synced (or expected to refuse before any publish), and
+        // port 9 refuses connections immediately.
+        shipper.set_peer("127.0.0.1:9").unwrap();
+        shipper
+    }
+
+    #[test]
+    fn unsynced_shard_refuses_until_the_watermark_probe_succeeds() {
+        let shipper = test_shipper(4);
+        // The handshake probe cannot reach the follower: shipping blind
+        // could silently un-replicate, so the spend is refused.
+        assert!(matches!(
+            shipper.admit(0),
+            Err(SpendError::ReplicaLag { lag: 0 })
+        ));
+    }
+
+    #[test]
+    fn publish_continues_from_the_seeded_watermark() {
+        let shipper = test_shipper(4);
+        shipper.force_synced(0, 41);
+        // A restarted primary must number past the follower's durable
+        // watermark, never from 1 into its dedup window.
+        assert_eq!(shipper.publish(0, 9, 0.5), 42);
+        assert_eq!(shipper.publish(0, 9, 0.5), 43);
+    }
+
+    #[test]
+    fn admit_reservations_bound_concurrent_spends_strictly() {
+        let shipper = test_shipper(3);
+        shipper.force_synced(0, 0);
+        // Three workers admit before any of them publishes: all pass.
+        for _ in 0..3 {
+            shipper.admit(0).expect("reserve within the bound");
+        }
+        // A fourth concurrent admit is refused even though the pending
+        // queue is still empty — reservations make the bound strict.
+        assert!(matches!(
+            shipper.admit(0),
+            Err(SpendError::ReplicaLag { lag: 3 })
+        ));
+        // A spend that failed after admission gives its slot back.
+        shipper.release(0);
+        shipper.admit(0).expect("released slot reopens");
+        // Publishing converts reservations into pending records without
+        // changing the inflight total: still at the bound.
+        for _ in 0..3 {
+            shipper.publish(0, 5, 0.25);
+        }
+        assert_eq!(shipper.lag(0), 3);
+        assert!(matches!(
+            shipper.admit(0),
+            Err(SpendError::ReplicaLag { lag: 3 })
+        ));
     }
 }

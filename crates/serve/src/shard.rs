@@ -432,9 +432,16 @@ impl ShardedLedger {
         };
         // Ship outside the slot lock: the spend is durable locally;
         // now it must be durable on the follower before it is served.
-        match (shipper.as_deref(), published?) {
-            (Some(shipper), Some(seq)) => shipper.wait_acked(shard_index, seq),
-            _ => Ok(()),
+        match (shipper.as_deref(), published) {
+            (Some(shipper), Ok(Some(seq))) => shipper.wait_acked(shard_index, seq),
+            (Some(shipper), Err(e)) => {
+                // Admitted but never journaled: give the reserved
+                // pending-queue slot back so the lag bound does not
+                // leak capacity on refused spends.
+                shipper.release(shard_index);
+                Err(e)
+            }
+            (_, other) => other.map(|_| ()),
         }
     }
 

@@ -848,6 +848,57 @@ mod promotion_matrix {
         fs::remove_dir_all(&f_dir).ok();
     }
 
+    /// A restarted primary (peer file persisted, in-memory sequence
+    /// counters gone) must resume shipping at the follower's durable
+    /// watermark. Without the handshake probe it would re-number new
+    /// spends from 1: the follower's dedup would skip every one while
+    /// still acking its old watermark, so the client hears `served`
+    /// for spends the follower never applied — budget a later failover
+    /// would silently re-grant.
+    #[test]
+    fn restarted_primary_resumes_at_the_followers_watermark() {
+        let p_dir = temp_dir("promo-resume-p");
+        let f_dir = temp_dir("promo-resume-f");
+        let follower_ledger = Arc::new(ShardedLedger::open(&f_dir, config(100.0, 0), SHARDS));
+        let applier = Arc::new(Applier::new(&follower_ledger, true));
+        let follower = MiniFollower::start(Arc::clone(&applier), Arc::clone(&follower_ledger));
+
+        {
+            let primary = ShardedLedger::open(&p_dir, config(100.0, 0), SHARDS);
+            assert!(primary.attach_shipper(Arc::new(shipper_for(&p_dir, Some(&follower.addr)))));
+            for i in 0..BASELINE {
+                primary.try_spend(i % USERS, EPS).expect("baseline spend");
+            }
+            // Crash: dropped without a flush. The peer registration
+            // survives on disk; the shipper's counters do not.
+        }
+
+        let revived = ShardedLedger::open(&p_dir, config(100.0, 0), SHARDS);
+        let shipper = shipper_for(&p_dir, None);
+        assert_eq!(
+            shipper.peer().as_deref(),
+            Some(follower.addr.as_str()),
+            "peer registration must survive the restart"
+        );
+        assert!(revived.attach_shipper(Arc::new(shipper)));
+        for i in 0..BASELINE {
+            revived
+                .try_spend(i % USERS, EPS)
+                .expect("post-restart spend");
+        }
+        assert!(
+            (follower_ledger.total_spent() - 2.0 * BASELINE as f64 * EPS).abs() < 1e-9,
+            "post-restart spends vanished into the follower's dedup window: \
+             follower books {} want {}",
+            follower_ledger.total_spent(),
+            2.0 * BASELINE as f64 * EPS
+        );
+
+        drop(follower);
+        fs::remove_dir_all(&p_dir).ok();
+        fs::remove_dir_all(&f_dir).ok();
+    }
+
     #[test]
     fn killed_before_shipping_promotes_without_the_refused_spend() {
         run_position("preship", Position::PreShip);

@@ -821,7 +821,24 @@ fn cmd_serve_listen(flags: &Flags, listen: &str) -> Result<(), String> {
         // Warm standby: register with the primary so its shipper knows
         // where to push. Retried — the primary may still be booting —
         // and non-fatal: the operator can re-point the primary later.
-        let self_addr = server.local_addr().to_string();
+        // The registered address must be routable *from the primary*:
+        // a wildcard bind (0.0.0.0 / [::]) only resolves back to this
+        // standby when both processes share a host, so it needs an
+        // explicit --advertise-addr instead of silently degrading to
+        // replica_lag refusals on the primary.
+        let self_addr = match flags.get("advertise-addr") {
+            Some(addr) => addr.clone(),
+            None => {
+                let local = server.local_addr();
+                if local.ip().is_unspecified() {
+                    return Err(format!(
+                        "--follow with a wildcard bind ({local}): pass \
+                         --advertise-addr HOST:PORT so the primary can reach this standby"
+                    ));
+                }
+                local.to_string()
+            }
+        };
         let mut registered = false;
         for attempt in 0..20u64 {
             if attempt > 0 {
@@ -988,7 +1005,9 @@ COMMANDS
                follower and refuses past N unacked records,
                --follow PRIMARY starts as that primary's warm standby
                (POST /promote or SIGUSR1 promotes it, fencing the old
-               primary), --auth-token T requires a bearer token on every
+               primary; --advertise-addr HOST:PORT is the address it
+               registers — required when bound to a wildcard address),
+               --auth-token T requires a bearer token on every
                endpoint but /healthz, --idem-max K / --idem-ttl-ms T
                bound the per-user idempotency retry table)
   loadgen     closed-loop load generator against `serve --listen`
