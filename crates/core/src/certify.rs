@@ -144,13 +144,47 @@ fn neumaier_sum(values: &[f64]) -> f64 {
     sum + comp
 }
 
+/// Largest scaled violation `e^{−ε·d(x,x′)}·K(x)(z) − K(x′)(z)` over all
+/// outputs `z`, for one ordered input pair. This is the per-pair check
+/// [`measure`] runs exhaustively — and, run against a candidate LP
+/// solution instead of a finished channel, it is the *separation oracle*
+/// of the delayed-constraint-generation solve in
+/// [`crate::opt::OptimalMechanism`]: a positive return beyond the
+/// separation tolerance means the pair's GeoInd rows are violated and
+/// must be appended to the working LP.
+pub(crate) fn pair_violation(channel: &Channel, eps: f64, x: usize, xp: usize) -> f64 {
+    let inputs = channel.inputs();
+    let m = channel.num_outputs();
+    let factor = (-eps * inputs[x].dist(inputs[xp])).exp();
+    let mut worst = f64::NEG_INFINITY;
+    for z in 0..m {
+        let v = factor * channel.prob(x, z) - channel.prob(xp, z);
+        if v > worst {
+            worst = v;
+        }
+    }
+    worst
+}
+
+/// Largest compensated row-sum deviation `|Σ_z K(x)(z) − 1|` over all
+/// rows — the Neumaier-summed stochasticity check shared by [`measure`]
+/// and the cut-generation loop's candidate scan.
+pub(crate) fn max_row_error(channel: &Channel) -> f64 {
+    let mut worst = 0.0f64;
+    for x in 0..channel.num_inputs() {
+        let e = (neumaier_sum(channel.row(x)) - 1.0).abs();
+        if e > worst {
+            worst = e;
+        }
+    }
+    worst
+}
+
 /// Exhaustively measure a channel: the largest scaled ε·d violation over
 /// all ordered input pairs and outputs, the number of pairs checked, and
 /// the largest compensated row-sum deviation.
 pub fn measure(channel: &Channel, eps: f64) -> (f64, usize, f64) {
     let n = channel.num_inputs();
-    let m = channel.num_outputs();
-    let inputs = channel.inputs();
     let mut max_violation = f64::NEG_INFINITY;
     let mut checked_pairs = 0usize;
     for x in 0..n {
@@ -159,23 +193,13 @@ pub fn measure(channel: &Channel, eps: f64) -> (f64, usize, f64) {
                 continue;
             }
             checked_pairs += 1;
-            let factor = (-eps * inputs[x].dist(inputs[xp])).exp();
-            for z in 0..m {
-                let v = factor * channel.prob(x, z) - channel.prob(xp, z);
-                if v > max_violation {
-                    max_violation = v;
-                }
+            let v = pair_violation(channel, eps, x, xp);
+            if v > max_violation {
+                max_violation = v;
             }
         }
     }
-    let mut max_row_error = 0.0f64;
-    for x in 0..n {
-        let e = (neumaier_sum(channel.row(x)) - 1.0).abs();
-        if e > max_row_error {
-            max_row_error = e;
-        }
-    }
-    (max_violation, checked_pairs, max_row_error)
+    (max_violation, checked_pairs, max_row_error(channel))
 }
 
 /// Row-stochasticity tolerance for an `m`-output channel: rows are
@@ -207,6 +231,23 @@ pub fn admission_tolerance(n: usize, m: usize, spec: &CertifySpec) -> f64 {
 /// size term.
 pub fn strict_tolerance(n: usize, m: usize) -> f64 {
     1e-10 + size_term(n, m)
+}
+
+/// Tolerance for *re-certifying* an already-admitted channel (doctor
+/// re-checks, offline-cache import): the strict tolerance, widened by the
+/// same `δ·(n−1)` chaining factor the admission gate applies when the
+/// channel was provisioned under a spanner constraint set. Re-checking a
+/// spanner-admitted bundle against the bare full-set strict tolerance
+/// would hold it to a tighter spec than the one it was admitted under and
+/// risk false quarantine.
+pub fn recheck_tolerance(n: usize, m: usize, constraints: ConstraintSet) -> f64 {
+    let base = strict_tolerance(n, m);
+    match constraints {
+        ConstraintSet::Full => base,
+        ConstraintSet::Spanner { dilation } => {
+            base * dilation.max(1.0) * (n.saturating_sub(1)).max(1) as f64
+        }
+    }
 }
 
 /// Certify a channel against `eps` at tolerance `tol` — no repair. Used

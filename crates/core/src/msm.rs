@@ -22,7 +22,8 @@ use crate::cache::ShardedCache;
 use crate::certify::{Certificate, Verdict};
 use crate::channel::Channel;
 use crate::metrics::QualityMetric;
-use crate::opt::{OptOptions, OptimalMechanism};
+use crate::opt::{ConstraintSet, OptOptions, OptimalMechanism};
+use crate::spanner::Spanner;
 use crate::{Mechanism, MechanismError};
 use geoind_data::prior::GridPrior;
 use geoind_lp::simplex::Basis;
@@ -30,6 +31,7 @@ use geoind_rng::Rng;
 use geoind_spatial::geom::{BBox, Point};
 use geoind_spatial::grid::Grid;
 use geoind_spatial::hier::{HierGrid, LevelCell};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::{Mutex, PoisonError, RwLock};
@@ -134,6 +136,7 @@ impl MsmBuilder {
             cache: ShardedCache::new("msm channel cache"),
             residual_watermark: Mutex::new((0.0, 0.0)),
             pivot_count: AtomicU64::new(0),
+            level_stats: Mutex::new(BTreeMap::new()),
             flat_tree: RwLock::new(None),
         })
     }
@@ -334,6 +337,24 @@ pub struct FlatAudit {
     pub failures: Vec<(LevelCell, f64)>,
 }
 
+/// Aggregated LP solve effort for one tree level, keyed by the level of
+/// the solved channels (`parent.level + 1`). `geoind precompute` prints
+/// one line per level so the delayed-constraint-generation savings
+/// (`rows_active` vs `rows_total`) are visible where they happen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelSolveStats {
+    /// Per-node OPT solves that actually ran at this level (cache hits
+    /// don't count).
+    pub solves: u64,
+    /// Cut-generation rounds summed over those solves (0 under an eager
+    /// full materialization).
+    pub cut_rounds: u64,
+    /// Rows materialized in the final working LPs, summed.
+    pub rows_active: u64,
+    /// Rows the full target programs would have, summed.
+    pub rows_total: u64,
+}
+
 /// The multi-step mechanism over a hierarchical grid index.
 #[derive(Debug)]
 pub struct MsmMechanism {
@@ -355,6 +376,9 @@ pub struct MsmMechanism {
     /// Total simplex pivots across per-node solves — the benchmark
     /// harness reads this to quantify what warm starts save.
     pivot_count: AtomicU64,
+    /// Per-level aggregated solve stats (cut rounds, active vs total
+    /// rows), keyed by channel level — read by `geoind precompute`.
+    level_stats: Mutex<BTreeMap<u32, LevelSolveStats>>,
     /// The fused serving structure, when [`Self::flatten`] has run and no
     /// cache mutation has dropped it since.
     flat_tree: RwLock<Option<Arc<FlatTree>>>,
@@ -447,18 +471,50 @@ impl MsmMechanism {
         &self,
         cell: LevelCell,
         warm: Option<&Basis>,
+        shared: Option<&Arc<Spanner>>,
         basis_out: &mut Option<Basis>,
     ) -> Result<Arc<Channel>, MechanismError> {
         if !self.caching {
-            let (ch, basis) = self.build_channel_warm(cell, warm)?;
+            let (ch, basis) = self.build_channel_warm(cell, warm, shared)?;
             *basis_out = Some(basis);
             return Ok(Arc::new(ch));
         }
         self.cache.get_or_fill(cell, || {
-            let (ch, basis) = self.build_channel_warm(cell, warm)?;
+            let (ch, basis) = self.build_channel_warm(cell, warm, shared)?;
             *basis_out = Some(basis);
             Ok(ch)
         })
+    }
+
+    /// The greedy spanner shared by every node solve on one tree level,
+    /// built from `donor`'s child geometry. All nodes at a level have
+    /// congruent (translated) child grids, so their pairwise distances —
+    /// and hence the greedy spanner, an O(n³) construction — agree; the
+    /// precompute schedule builds it once per level instead of once per
+    /// node. Returns `None` when the configured solve never consults a
+    /// spanner (full-set target with cut generation off) or when the
+    /// dilation is invalid (the solve itself surfaces the typed error).
+    pub(crate) fn level_shared_spanner(&self, donor: LevelCell) -> Option<Arc<Spanner>> {
+        let dilation = match self.opt_options.constraints {
+            ConstraintSet::Spanner { dilation } => dilation,
+            ConstraintSet::Full if self.opt_options.cutgen.enabled => {
+                self.opt_options.cutgen.seed_dilation
+            }
+            ConstraintSet::Full => return None,
+        };
+        if !(dilation.is_finite() && dilation >= 1.0) {
+            return None;
+        }
+        let centers: Vec<Point> = self
+            .hier
+            .children(donor)
+            .iter()
+            .map(|c| self.hier.center(*c))
+            .collect();
+        if centers.len() < 2 {
+            return None;
+        }
+        Some(Arc::new(Spanner::greedy(&centers, dilation)))
     }
 
     pub(crate) fn children_of(&self, parent: LevelCell) -> Vec<LevelCell> {
@@ -519,7 +575,8 @@ impl MsmMechanism {
     /// restricted to the node and renormalized (uniform when the node has
     /// zero mass), and the level budget.
     fn build_channel(&self, parent: LevelCell) -> Result<Channel, MechanismError> {
-        self.build_channel_warm(parent, None).map(|(ch, _)| ch)
+        self.build_channel_warm(parent, None, None)
+            .map(|(ch, _)| ch)
     }
 
     /// [`Self::build_channel`] with an optional warm-start basis from a
@@ -532,6 +589,7 @@ impl MsmMechanism {
         &self,
         parent: LevelCell,
         warm: Option<&Basis>,
+        shared: Option<&Arc<Spanner>>,
     ) -> Result<(Channel, Basis), MechanismError> {
         let children = self.hier.children(parent);
         let centers: Vec<Point> = children.iter().map(|c| self.hier.center(*c)).collect();
@@ -545,6 +603,7 @@ impl MsmMechanism {
         let eps_i = self.budgets.level(level);
         let mut opts = self.opt_options.clone();
         opts.simplex.start_basis = warm.cloned();
+        opts.shared_spanner = shared.cloned();
         let opt = OptimalMechanism::solve_with(eps_i, &centers, &masses, self.metric, opts)?;
         let stats = opt.stats();
         self.pivot_count
@@ -556,6 +615,17 @@ impl MsmMechanism {
                 .unwrap_or_else(PoisonError::into_inner);
             w.0 = w.0.max(stats.primal_residual);
             w.1 = w.1.max(stats.dual_residual);
+        }
+        {
+            let mut ls = self
+                .level_stats
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let entry = ls.entry(level).or_default();
+            entry.solves += 1;
+            entry.cut_rounds += stats.cut_rounds as u64;
+            entry.rows_active += stats.rows_active as u64;
+            entry.rows_total += stats.rows_total as u64;
         }
         Ok((opt.channel().clone(), opt.basis().clone()))
     }
@@ -577,17 +647,43 @@ impl MsmMechanism {
             .unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Per-level aggregated solve statistics, sorted by level. A solve is
+    /// counted at the level of the channel it built (`parent.level + 1`);
+    /// cache hits never count.
+    pub fn level_solve_stats(&self) -> Vec<(u32, LevelSolveStats)> {
+        self.level_stats
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&l, &s)| (l, s))
+            .collect()
+    }
+
+    /// The per-solve options this mechanism forwards to every per-node
+    /// OPT solve (constraint set, cut-generation tuning, simplex knobs).
+    pub fn opt_options(&self) -> &OptOptions {
+        &self.opt_options
+    }
+
     /// Re-certify every memoized channel against its level budget at the
-    /// strict (post-repair) tolerance, without repairing anything. Returns
-    /// one `(parent cell, certificate)` per cached channel; a `Quarantined`
-    /// verdict means the cached channel must not be served — `geoind
-    /// doctor` exits nonzero on any such entry.
+    /// recheck tolerance — the strict (post-repair) tolerance, widened by
+    /// the `δ·(n−1)` chaining factor when this mechanism provisions its
+    /// channels under a spanner constraint set (holding those to the bare
+    /// full-set tolerance would risk false quarantine; see
+    /// [`crate::certify::recheck_tolerance`]). No repairs happen here.
+    /// Returns one `(parent cell, certificate)` per cached channel; a
+    /// `Quarantined` verdict means the cached channel must not be served —
+    /// `geoind doctor` exits nonzero on any such entry.
     pub fn recertify_cache(&self) -> Vec<(LevelCell, Certificate)> {
         self.cache_snapshot()
             .into_iter()
             .map(|(cell, ch)| {
                 let eps_i = self.budgets.level(cell.level + 1);
-                let tol = crate::certify::strict_tolerance(ch.num_inputs(), ch.num_outputs());
+                let tol = crate::certify::recheck_tolerance(
+                    ch.num_inputs(),
+                    ch.num_outputs(),
+                    self.opt_options.constraints,
+                );
                 (cell, crate::certify::certify(&ch, eps_i, tol))
             })
             .collect()
@@ -1251,10 +1347,12 @@ mod tests {
         let level1 = msm.children_of(LevelCell::ROOT);
         assert!(level1.len() >= 2, "need siblings at level 1");
         let donor = level1[0];
-        let (_, donor_basis) = msm.build_channel_warm(donor, None).unwrap();
+        let (_, donor_basis) = msm.build_channel_warm(donor, None, None).unwrap();
         for &sibling in &level1[1..] {
-            let (cold, _) = msm.build_channel_warm(sibling, None).unwrap();
-            let (warm, _) = msm.build_channel_warm(sibling, Some(&donor_basis)).unwrap();
+            let (cold, _) = msm.build_channel_warm(sibling, None, None).unwrap();
+            let (warm, _) = msm
+                .build_channel_warm(sibling, Some(&donor_basis), None)
+                .unwrap();
             let cert = warm.certificate().expect("admitted channels are certified");
             assert!(
                 cert.passes(),

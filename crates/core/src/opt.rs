@@ -15,12 +15,15 @@ use crate::metrics::QualityMetric;
 use crate::spanner::Spanner;
 use crate::{Mechanism, MechanismError};
 use geoind_data::prior::GridPrior;
+use geoind_lp::dual::remap_dual_basis_after_le_append;
 use geoind_lp::model::{Model, Op, Sense, SolveVia};
-use geoind_lp::simplex::{Basis, SimplexOptions};
+use geoind_lp::simplex::{Basis, SimplexOptions, WarmMode, VALUE_CLIP};
+use geoind_lp::LpError;
 use geoind_rng::Rng;
 use geoind_spatial::geom::Point;
 use geoind_spatial::grid::Grid;
 use geoind_spatial::kdtree::KdTree;
+use std::sync::Arc;
 
 /// Which GeoInd constraint set to generate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +39,48 @@ pub enum ConstraintSet {
     },
 }
 
+/// Options for the delayed-constraint-generation (cutting-plane) solve
+/// strategy: materialize only a seed subset of the GeoInd rows, solve,
+/// scan the optimum for violated pairs with the same per-pair check
+/// `certify` runs, append just those rows, warm-restart the simplex from
+/// the previous exit basis, and iterate to a fixed point. The fixed point
+/// satisfies *every* target constraint within the separation tolerance,
+/// so this is an exact method, not an approximation — the admission gate
+/// certifies it against the full target spec regardless.
+#[derive(Debug, Clone, Copy)]
+pub struct CutGenOptions {
+    /// Use delayed constraint generation (the default). When disabled,
+    /// every target row is materialized up front as before.
+    pub enabled: bool,
+    /// Dilation of the greedy spanner whose edges seed the working set
+    /// when the target set is [`ConstraintSet::Full`] — the spanner edges
+    /// are exactly the near-pair constraints that tend to be active at the
+    /// optimum. Must be ≥ 1.
+    pub seed_dilation: f64,
+    /// Scaled-violation threshold above which a pair's rows are appended.
+    /// Must sit above the solver's value-clipping noise
+    /// ([`geoind_lp::simplex::VALUE_CLIP`]), or the loop would chase pairs
+    /// whose rows the LP already satisfies up to truncation; the admission
+    /// gate allows `4·(VALUE_CLIP + opt_tol) + …`, so the default
+    /// (`VALUE_CLIP`) certifies the fixed point with a 4× margin.
+    pub separation_tol: f64,
+    /// Safety cap on solve rounds. Each round strictly grows the working
+    /// set, so termination is guaranteed regardless; this bounds
+    /// pathological float behavior.
+    pub max_rounds: usize,
+}
+
+impl Default for CutGenOptions {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            seed_dilation: 1.2,
+            separation_tol: VALUE_CLIP,
+            max_rounds: 200,
+        }
+    }
+}
+
 /// Options for [`OptimalMechanism::solve_with`].
 #[derive(Debug, Clone)]
 pub struct OptOptions {
@@ -43,6 +88,14 @@ pub struct OptOptions {
     pub via: SolveVia,
     /// Constraint generation strategy.
     pub constraints: ConstraintSet,
+    /// Delayed-constraint-generation tuning.
+    pub cutgen: CutGenOptions,
+    /// A prebuilt greedy spanner shared across sibling solves (all nodes
+    /// at one tree level share their local grid geometry, and
+    /// `Spanner::greedy` is an O(n³) candidate scan — build it once per
+    /// level, not once per node). Used when its vertex count and dilation
+    /// match what this solve needs; otherwise a fresh spanner is built.
+    pub shared_spanner: Option<Arc<Spanner>>,
     /// Simplex tuning.
     pub simplex: SimplexOptions,
 }
@@ -52,6 +105,8 @@ impl Default for OptOptions {
         Self {
             via: SolveVia::Dual,
             constraints: ConstraintSet::Full,
+            cutgen: CutGenOptions::default(),
+            shared_spanner: None,
             simplex: SimplexOptions::default(),
         }
     }
@@ -60,17 +115,43 @@ impl Default for OptOptions {
 /// Size/effort statistics from the LP solve.
 #[derive(Debug, Clone, Copy)]
 pub struct SolveStats {
-    /// Constraint rows in the primal formulation.
+    /// Constraint rows in the primal formulation of the *target* program
+    /// (equal to [`SolveStats::rows_total`]; kept under its historical
+    /// name).
     pub rows: usize,
     /// Variables in the primal formulation.
     pub cols: usize,
-    /// Simplex pivots performed.
+    /// Simplex pivots performed, summed over all cut rounds.
     pub iterations: usize,
+    /// Cut-generation rounds (LP solves) performed; 0 when cut generation
+    /// was disabled and the target rows were materialized up front.
+    pub cut_rounds: usize,
+    /// Rows actually materialized in the final working LP — the seed rows
+    /// plus every violated row the separation oracle appended.
+    pub rows_active: usize,
+    /// Rows the full target program would have (`n` stochasticity rows
+    /// plus `n` GeoInd rows per target pair).
+    pub rows_total: usize,
     /// `‖Ax − b‖∞` of the solution after one iterative-refinement pass on
     /// the final basis (primal feasibility).
     pub primal_residual: f64,
     /// Worst reduced-cost violation at the exit basis (dual feasibility).
     pub dual_residual: f64,
+}
+
+/// Reuse a level-shared spanner when it matches this solve's geometry and
+/// dilation, otherwise build a fresh one. Siblings on a tree level share
+/// congruent child grids, so the precompute schedule can build the greedy
+/// spanner (O(n³)) once per level and hand it to every node solve.
+fn reuse_or_build(
+    shared: Option<&Arc<Spanner>>,
+    locations: &[Point],
+    dilation: f64,
+) -> Arc<Spanner> {
+    match shared {
+        Some(s) if s.num_vertices() == locations.len() && s.dilation() == dilation => Arc::clone(s),
+        _ => Arc::new(Spanner::greedy(locations, dilation)),
+    }
 }
 
 /// The optimal mechanism: a precomputed channel plus a nearest-location
@@ -165,6 +246,78 @@ impl OptimalMechanism {
         }
         let n = locations.len();
 
+        // The ordered constraint pairs of the *target* program and their
+        // per-row budget. Pair order is canonical and deterministic: scan
+        // order for the full set, greedy edge order (both directions) for
+        // a spanner set.
+        let (eps_row, target_pairs): (f64, Vec<(usize, usize)>) = match opts.constraints {
+            ConstraintSet::Full => {
+                let mut pairs = Vec::with_capacity(n * (n - 1));
+                for x in 0..n {
+                    for xp in 0..n {
+                        if x != xp {
+                            pairs.push((x, xp));
+                        }
+                    }
+                }
+                (eps, pairs)
+            }
+            ConstraintSet::Spanner { dilation } => {
+                if dilation < 1.0 {
+                    return Err(MechanismError::BadParameter(format!(
+                        "spanner dilation must be >= 1, got {dilation}"
+                    )));
+                }
+                let spanner = reuse_or_build(opts.shared_spanner.as_ref(), locations, dilation);
+                let mut pairs = Vec::with_capacity(2 * spanner.edges().len());
+                for &(i, j) in spanner.edges() {
+                    pairs.push((i, j));
+                    pairs.push((j, i));
+                }
+                (eps / dilation, pairs)
+            }
+        };
+        let rows_total = n + n * target_pairs.len();
+
+        // Seed pairs materialized before the first solve. With cut
+        // generation off, that is the whole target set (the historical
+        // behavior); with it on, a sparse subset likely to contain the
+        // active set: the δ-spanner edges for a full target (near pairs
+        // bind at the optimum), the shortest edges for a spanner target.
+        let cutgen = opts.cutgen;
+        let seed_pairs: Vec<(usize, usize)> = if !cutgen.enabled {
+            target_pairs.clone()
+        } else {
+            match opts.constraints {
+                ConstraintSet::Full => {
+                    if cutgen.seed_dilation < 1.0 {
+                        return Err(MechanismError::BadParameter(format!(
+                            "cut-gen seed dilation must be >= 1, got {}",
+                            cutgen.seed_dilation
+                        )));
+                    }
+                    let spanner = reuse_or_build(
+                        opts.shared_spanner.as_ref(),
+                        locations,
+                        cutgen.seed_dilation,
+                    );
+                    let mut pairs = Vec::with_capacity(2 * spanner.edges().len());
+                    for &(i, j) in spanner.edges() {
+                        pairs.push((i, j));
+                        pairs.push((j, i));
+                    }
+                    pairs
+                }
+                // The greedy spanner adds edges ascending by length, so a
+                // prefix of the target list is its shortest (most binding)
+                // edges.
+                ConstraintSet::Spanner { .. } => {
+                    let take = (8 * n).min(target_pairs.len());
+                    target_pairs[..take].to_vec()
+                }
+            }
+        };
+
         let mut model = Model::new(Sense::Minimize);
         // Variables k[x*n + z] with objective Π(x)·d_Q(x,z).
         for x in 0..n {
@@ -180,46 +333,95 @@ impl OptimalMechanism {
         }
         // GeoInd constraints. Rows are scaled by e^{−ε·d} so every
         // coefficient stays in [−1, 1] (the rhs is 0, so scaling is free).
-        let add_pair = |m: &mut Model, x: usize, xp: usize, e: f64| {
-            let scale = (-e * locations[x].dist(locations[xp])).exp();
+        let add_pair = |m: &mut Model, x: usize, xp: usize| {
+            let scale = (-eps_row * locations[x].dist(locations[xp])).exp();
             for z in 0..n {
                 m.add_row(&[(x * n + z, scale), (xp * n + z, -1.0)], Op::Le, 0.0);
             }
         };
-        match opts.constraints {
-            ConstraintSet::Full => {
-                for x in 0..n {
-                    for xp in 0..n {
-                        if x != xp {
-                            add_pair(&mut model, x, xp, eps);
-                        }
-                    }
-                }
-            }
-            ConstraintSet::Spanner { dilation } => {
-                if dilation < 1.0 {
-                    return Err(MechanismError::BadParameter(format!(
-                        "spanner dilation must be >= 1, got {dilation}"
-                    )));
-                }
-                let spanner = Spanner::greedy(locations, dilation);
-                for &(i, j) in spanner.edges() {
-                    add_pair(&mut model, i, j, eps / dilation);
-                    add_pair(&mut model, j, i, eps / dilation);
-                }
+        let mut included = vec![false; n * n];
+        let mut active_pairs = 0usize;
+        for &(x, xp) in &seed_pairs {
+            if !included[x * n + xp] {
+                included[x * n + xp] = true;
+                active_pairs += 1;
+                add_pair(&mut model, x, xp);
             }
         }
 
-        let stats_rows = model.num_rows();
         let stats_cols = model.num_vars();
         let solver_slack = opts.simplex.opt_tol;
-        let sol = model.solve_with(opts.via, opts.simplex)?;
+        // Cut warm restarts are only sound on the dual path, where the
+        // exit basis can be remapped past the appended dual columns. Other
+        // paths re-solve cold each round (still exact, just slower).
+        let warm_capable = opts.via == SolveVia::Dual;
+        let mut simplex = opts.simplex.clone();
+        let mut total_iterations = 0usize;
+        let mut rounds = 0usize;
+        let mut seed_basis: Option<Basis> = None;
+        let sol = loop {
+            if rounds >= cutgen.max_rounds.max(1) {
+                return Err(MechanismError::Lp(LpError::IterationLimit));
+            }
+            rounds += 1;
+            let sol = model.solve_with(opts.via, simplex.clone())?;
+            total_iterations += sol.iterations;
+            if seed_basis.is_none() {
+                // The seed-round exit basis lives in the seed LP's column
+                // space, which sibling solves share; later rounds' bases
+                // live in this solve's private cut-extended space.
+                seed_basis = Some(sol.basis.clone());
+            }
+            if !cutgen.enabled {
+                break sol;
+            }
+            // Separation oracle: scan the candidate optimum for violated
+            // target pairs with certify's per-pair check, in canonical
+            // target order.
+            let cand = Channel::new(locations.to_vec(), locations.to_vec(), sol.values.clone());
+            let fresh: Vec<(usize, usize)> = target_pairs
+                .iter()
+                .copied()
+                .filter(|&(x, xp)| {
+                    !included[x * n + xp]
+                        && crate::certify::pair_violation(&cand, eps_row, x, xp)
+                            > cutgen.separation_tol
+                })
+                .collect();
+            if fresh.is_empty() {
+                break sol; // fixed point: every target pair satisfied
+            }
+            // Warm restart: the appended primal rows become new dual
+            // columns, so the exit basis stays primal-feasible once its
+            // column references are shifted past the insertion block —
+            // resume primal phase 2 instead of re-solving from scratch.
+            // (Computed against the model *before* the rows go in.)
+            if warm_capable {
+                simplex.start_basis = Some(remap_dual_basis_after_le_append(
+                    &model,
+                    &sol.basis,
+                    n * fresh.len(),
+                ));
+                simplex.warm_mode = WarmMode::PrimalContinue;
+            } else {
+                simplex.start_basis = None;
+            }
+            for (x, xp) in fresh {
+                included[x * n + xp] = true;
+                active_pairs += 1;
+                add_pair(&mut model, x, xp);
+            }
+        };
+        let rows_active = n + n * active_pairs;
+
         // Mandatory admission gate: certify the raw simplex optimum against
         // the solve-time constraint set, lift it back onto the exact GeoInd
         // surface (the LP enforces row-scaled constraints, so the solver
         // tolerance must be un-scaled into an honest guarantee — see
         // Channel::geoind_repair), and re-certify strictly. A channel that
-        // still violates is quarantined, never sampled.
+        // still violates is quarantined, never sampled. The cut-generation
+        // fixed point satisfies the *entire* target set, so the spec is
+        // identical whether or not rows were delayed.
         let spec = crate::certify::CertifySpec {
             eps,
             constraints: opts.constraints,
@@ -237,13 +439,16 @@ impl OptimalMechanism {
             channel,
             snapper,
             stats: SolveStats {
-                rows: stats_rows,
+                rows: rows_total,
                 cols: stats_cols,
-                iterations: sol.iterations,
+                iterations: total_iterations,
+                cut_rounds: if cutgen.enabled { rounds } else { 0 },
+                rows_active,
+                rows_total,
                 primal_residual: sol.residual,
                 dual_residual: sol.dual_residual,
             },
-            basis: sol.basis,
+            basis: seed_basis.unwrap_or_default(),
         })
     }
 
@@ -481,6 +686,208 @@ mod tests {
             let z = opt.report(Point::new(1.1, 2.3), &mut rng);
             assert!(centers.iter().any(|c| c.dist(z) < 1e-12));
         }
+    }
+
+    fn solve_cutgen(
+        eps: f64,
+        pts: &[Point],
+        prior: &[f64],
+        constraints: ConstraintSet,
+        enabled: bool,
+    ) -> OptimalMechanism {
+        OptimalMechanism::solve_with(
+            eps,
+            pts,
+            prior,
+            QualityMetric::Euclidean,
+            OptOptions {
+                constraints,
+                cutgen: CutGenOptions {
+                    enabled,
+                    ..CutGenOptions::default()
+                },
+                ..OptOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cutgen_fixed_point_certifies_full_set_with_zero_violated_rows() {
+        // The cut-generation invariant: the fixed point is exact, so every
+        // one of the n²(n−1) scalar GeoInd constraints of the *full* target
+        // program holds at full admission tolerance — the separation oracle
+        // must find zero violated rows in the admitted channel.
+        for (g, eps) in [(2u32, 1.0), (3, 0.5), (3, 0.2), (4, 0.7)] {
+            let grid = Grid::new(BBox::square(12.0), g);
+            let pts = grid.centers();
+            let n = pts.len();
+            let mut prior = vec![1.0; n];
+            for (i, w) in prior.iter_mut().enumerate() {
+                *w += ((i * 37) % 11) as f64 / 3.0; // deterministic skew
+            }
+            let s: f64 = prior.iter().sum();
+            for w in &mut prior {
+                *w /= s;
+            }
+            let opt = solve_cutgen(eps, &pts, &prior, ConstraintSet::Full, true);
+            assert!(opt.stats().cut_rounds >= 1);
+            assert!(opt.stats().rows_active <= opt.stats().rows_total);
+            let tol = crate::certify::strict_tolerance(n, n);
+            let mut violated = 0usize;
+            for x in 0..n {
+                for xp in 0..n {
+                    if x != xp && crate::certify::pair_violation(opt.channel(), eps, x, xp) > tol {
+                        violated += 1;
+                    }
+                }
+            }
+            assert_eq!(violated, 0, "g={g} eps={eps}: violated pairs remain");
+        }
+    }
+
+    #[test]
+    fn cutgen_is_bit_identical_to_full_materialization() {
+        // Cut generation is an exact method. The refactorize-at-exit rule
+        // plus double-double dual refinement make the emitted channel a
+        // pure function of the optimum the solve converged to, so on
+        // instances whose optimal basis is unique the delayed-row solve
+        // reproduces the eager solve bit for bit — including g=3 here,
+        // where the lazy path genuinely skips ~20% of the GeoInd rows.
+        for (g, eps) in [(2u32, 0.4), (2, 0.9), (2, 1.3), (3, 1.1)] {
+            let grid = Grid::new(BBox::square(10.0), g);
+            let pts = grid.centers();
+            let n = pts.len();
+            let mut prior = vec![0.0; n];
+            for (i, w) in prior.iter_mut().enumerate() {
+                *w = 1.0 + ((i * 29) % 13) as f64 / 4.0; // unique optimum
+            }
+            let s: f64 = prior.iter().sum();
+            for w in &mut prior {
+                *w /= s;
+            }
+            let eager = solve_cutgen(eps, &pts, &prior, ConstraintSet::Full, false);
+            let lazy = solve_cutgen(eps, &pts, &prior, ConstraintSet::Full, true);
+            assert_eq!(eager.stats().cut_rounds, 0);
+            assert!(lazy.stats().cut_rounds >= 1);
+            assert_eq!(eager.stats().rows_total, lazy.stats().rows_total);
+            for x in 0..n {
+                for z in 0..n {
+                    assert_eq!(
+                        eager.channel().prob(x, z).to_bits(),
+                        lazy.channel().prob(x, z).to_bits(),
+                        "g={g} eps={eps}: probs differ at ({x},{z})"
+                    );
+                }
+            }
+        }
+        // Near-degenerate instances break exact ties only through float
+        // rounding of the LP coefficients, so two different optimal bases
+        // carry exact duals ~1 ulp apart and bitwise equality is not
+        // attainable from different pivot paths; the channels still agree
+        // to machine precision.
+        let grid = Grid::new(BBox::square(10.0), 3);
+        let pts = grid.centers();
+        let n = pts.len();
+        let mut prior = vec![0.0; n];
+        for (i, w) in prior.iter_mut().enumerate() {
+            *w = 1.0 + ((i * 29) % 13) as f64 / 4.0;
+        }
+        let s: f64 = prior.iter().sum();
+        for w in &mut prior {
+            *w /= s;
+        }
+        let eager = solve_cutgen(0.4, &pts, &prior, ConstraintSet::Full, false);
+        let lazy = solve_cutgen(0.4, &pts, &prior, ConstraintSet::Full, true);
+        for x in 0..n {
+            for z in 0..n {
+                let d = (eager.channel().prob(x, z) - lazy.channel().prob(x, z)).abs();
+                assert!(
+                    d <= 4e-16,
+                    "probs differ beyond ulp noise at ({x},{z}): {d:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cutgen_composes_with_spanner_target() {
+        // Spanner target + delayed rows: the fixed point satisfies every
+        // spanner edge at ε/δ, hence full ε-GeoInd by path chaining.
+        let grid = Grid::new(BBox::square(20.0), 3);
+        let prior = GridPrior::uniform(BBox::square(20.0), 3);
+        let eps = 0.5;
+        let lazy = solve_cutgen(
+            eps,
+            &grid.centers(),
+            prior.probs(),
+            ConstraintSet::Spanner { dilation: 1.2 },
+            true,
+        );
+        let eager = solve_cutgen(
+            eps,
+            &grid.centers(),
+            prior.probs(),
+            ConstraintSet::Spanner { dilation: 1.2 },
+            false,
+        );
+        assert!(lazy.channel().satisfies_geoind(eps, 1e-6));
+        assert!(lazy.stats().rows_active <= lazy.stats().rows_total);
+        assert!(
+            (lazy.expected_loss(prior.probs()) - eager.expected_loss(prior.probs())).abs() <= 1e-9
+        );
+    }
+
+    #[test]
+    fn shared_spanner_matches_fresh_build() {
+        // A level-shared spanner must leave the solve unchanged when it
+        // matches the node geometry (and be ignored when it does not).
+        let grid = Grid::new(BBox::square(20.0), 3);
+        let prior = GridPrior::uniform(BBox::square(20.0), 3);
+        let eps = 0.5;
+        let pts = grid.centers();
+        let shared = Arc::new(Spanner::greedy(&pts, 1.2));
+        let with_shared = OptimalMechanism::solve_with(
+            eps,
+            &pts,
+            prior.probs(),
+            QualityMetric::Euclidean,
+            OptOptions {
+                constraints: ConstraintSet::Spanner { dilation: 1.2 },
+                shared_spanner: Some(Arc::clone(&shared)),
+                ..OptOptions::default()
+            },
+        )
+        .unwrap();
+        let fresh = solve_cutgen(
+            eps,
+            &pts,
+            prior.probs(),
+            ConstraintSet::Spanner { dilation: 1.2 },
+            true,
+        );
+        for x in 0..pts.len() {
+            for z in 0..pts.len() {
+                assert_eq!(
+                    with_shared.channel().prob(x, z).to_bits(),
+                    fresh.channel().prob(x, z).to_bits()
+                );
+            }
+        }
+        // Mismatched dilation: falls back to a fresh build, still private.
+        let mismatched = OptimalMechanism::solve_with(
+            eps,
+            &pts,
+            prior.probs(),
+            QualityMetric::Euclidean,
+            OptOptions {
+                constraints: ConstraintSet::Spanner { dilation: 1.5 },
+                shared_spanner: Some(shared),
+                ..OptOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(mismatched.channel().satisfies_geoind(eps, 1e-6));
     }
 
     #[test]

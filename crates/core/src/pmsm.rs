@@ -81,6 +81,23 @@ impl<P: SpacePartition> PartitionMsm<P> {
         })
     }
 
+    /// Replace the options forwarded to every per-node OPT solve
+    /// (constraint set, cut generation, simplex tuning). Unlike the grid
+    /// MSM, no level-shared spanner is threaded through the precompute:
+    /// partition cells are irregular, so sibling child geometries are not
+    /// translates of each other and each node builds its own spanner (the
+    /// [`crate::opt`] solve does this whenever `shared_spanner` is absent
+    /// or mismatched).
+    pub fn with_opt_options(mut self, opts: OptOptions) -> Self {
+        self.opt_options = opts;
+        self
+    }
+
+    /// The options forwarded to every per-node OPT solve.
+    pub fn opt_options(&self) -> &OptOptions {
+        &self.opt_options
+    }
+
     /// Total privacy budget `Σ ε_i` (an upper bound on what any single walk
     /// consumes; shallow-leaf paths consume less).
     pub fn epsilon(&self) -> f64 {

@@ -112,56 +112,149 @@ pub struct SingularMatrix {
     pub column: usize,
 }
 
+/// Panel width for the blocked LU factorization and the blocked multi-RHS
+/// solves: updates are applied a panel at a time so each target column is
+/// streamed through cache once per panel instead of once per eliminated
+/// column. The value keeps a panel (width × column height) comfortably
+/// inside L2 at the matrix sizes the simplex engine refactorizes.
+const PANEL: usize = 48;
+
 impl LuFactors {
     /// Factorize a square [`DenseMatrix`].
+    ///
+    /// Right-looking LU with partial pivoting, blocked by [`PANEL`]: the
+    /// panel is factorized unblocked, then the trailing columns absorb the
+    /// whole panel in one pass each. The arithmetic (and therefore the
+    /// bit-exact result) is identical to the textbook unblocked loop — the
+    /// per-column updates are applied in the same `k` order, only grouped —
+    /// while the trailing block streams from memory once per panel instead
+    /// of once per column.
     pub fn factor(a: &DenseMatrix) -> Result<Self, SingularMatrix> {
         assert_eq!(a.nrows, a.ncols, "LU requires a square matrix");
         let n = a.nrows;
         let mut lu = a.data.clone();
         let mut perm: Vec<usize> = (0..n).collect();
-        for k in 0..n {
-            // Pivot search in column k, rows k..n.
-            let col = &lu[k * n..(k + 1) * n];
-            let mut piv = k;
-            let mut piv_abs = col[k].abs();
-            for i in (k + 1)..n {
-                let v = col[i].abs();
-                if v > piv_abs {
-                    piv = i;
-                    piv_abs = v;
+        let mut kb = 0;
+        while kb < n {
+            let kend = (kb + PANEL).min(n);
+            // Unblocked factorization of the panel columns kb..kend. Row
+            // swaps apply to the whole matrix immediately (right-looking
+            // columns have not been updated yet, left columns are final L).
+            for k in kb..kend {
+                // Pivot search in column k, rows k..n.
+                let col = &lu[k * n..(k + 1) * n];
+                let mut piv = k;
+                let mut piv_abs = col[k].abs();
+                for i in (k + 1)..n {
+                    let v = col[i].abs();
+                    if v > piv_abs {
+                        piv = i;
+                        piv_abs = v;
+                    }
                 }
-            }
-            if piv_abs < 1e-13 {
-                return Err(SingularMatrix { column: k });
-            }
-            if piv != k {
-                perm.swap(k, piv);
-                // Swap rows k and piv across all columns.
-                for j in 0..n {
-                    lu.swap(j * n + k, j * n + piv);
+                if piv_abs < 1e-13 {
+                    return Err(SingularMatrix { column: k });
                 }
-            }
-            let pivot = lu[k * n + k];
-            // Compute multipliers.
-            for i in (k + 1)..n {
-                lu[k * n + i] /= pivot;
-            }
-            // Rank-1 update of the trailing block, column by column.
-            for j in (k + 1)..n {
-                let ukj = lu[j * n + k];
-                if ukj != 0.0 {
-                    // Split the column to appease the borrow checker: the
-                    // multipliers live in column k, the target in column j.
-                    let (lcols, rcols) = lu.split_at_mut(j * n);
-                    let lk = &lcols[k * n..(k + 1) * n];
-                    let cj = &mut rcols[..n];
-                    for i in (k + 1)..n {
-                        cj[i] -= lk[i] * ukj;
+                if piv != k {
+                    perm.swap(k, piv);
+                    // Swap rows k and piv across all columns.
+                    for j in 0..n {
+                        lu.swap(j * n + k, j * n + piv);
+                    }
+                }
+                let pivot = lu[k * n + k];
+                // Compute multipliers.
+                for i in (k + 1)..n {
+                    lu[k * n + i] /= pivot;
+                }
+                // Rank-1 update of the remaining *panel* columns only.
+                for j in (k + 1)..kend {
+                    let ukj = lu[j * n + k];
+                    if ukj != 0.0 {
+                        // Split the column to appease the borrow checker:
+                        // the multipliers live in column k, the target in
+                        // column j.
+                        let (lcols, rcols) = lu.split_at_mut(j * n);
+                        let lk = &lcols[k * n..(k + 1) * n];
+                        let cj = &mut rcols[..n];
+                        for i in (k + 1)..n {
+                            cj[i] -= lk[i] * ukj;
+                        }
                     }
                 }
             }
+            // Trailing update: each column right of the panel absorbs all
+            // panel eliminations in one cache-resident pass.
+            for j in kend..n {
+                for k in kb..kend {
+                    let ukj = lu[j * n + k];
+                    if ukj != 0.0 {
+                        let (lcols, rcols) = lu.split_at_mut(j * n);
+                        let lk = &lcols[k * n..(k + 1) * n];
+                        let cj = &mut rcols[..n];
+                        for i in (k + 1)..n {
+                            cj[i] -= lk[i] * ukj;
+                        }
+                    }
+                }
+            }
+            kb = kend;
         }
         Ok(Self { n, lu, perm })
+    }
+
+    /// The explicit inverse `A⁻¹`, equivalent to solving `A x = e_j` for
+    /// every unit vector but with the right-hand sides processed in panels:
+    /// the packed LU streams through cache once per panel of columns
+    /// instead of once per column, which is the difference between seconds
+    /// and minutes at the sizes the simplex engine refactorizes. Each
+    /// column's arithmetic is identical to [`LuFactors::solve`] on its unit
+    /// vector, so the result is bit-identical to the column-by-column loop.
+    pub fn inverse(&self) -> DenseMatrix {
+        let n = self.n;
+        let mut out = DenseMatrix::zeros(n, n);
+        // Column j of the permuted identity has its 1 where perm[i] == j.
+        let mut inv_perm = vec![0usize; n];
+        for (i, &p) in self.perm.iter().enumerate() {
+            inv_perm[p] = i;
+        }
+        let mut jb = 0;
+        while jb < n {
+            let jend = (jb + PANEL).min(n);
+            for j in jb..jend {
+                out.col_mut(j)[inv_perm[j]] = 1.0;
+            }
+            // Forward substitution with unit-diagonal L, k-outer so the L
+            // column is fetched once for the whole panel.
+            for k in 0..n {
+                let lcol = &self.lu[k * n..(k + 1) * n];
+                for j in jb..jend {
+                    let x = out.col_mut(j);
+                    let xk = x[k];
+                    if xk != 0.0 {
+                        for i in (k + 1)..n {
+                            x[i] -= lcol[i] * xk;
+                        }
+                    }
+                }
+            }
+            // Back substitution with U.
+            for k in (0..n).rev() {
+                let ucol = &self.lu[k * n..(k + 1) * n];
+                for j in jb..jend {
+                    let x = out.col_mut(j);
+                    x[k] /= ucol[k];
+                    let xk = x[k];
+                    if xk != 0.0 {
+                        for i in 0..k {
+                            x[i] -= ucol[i] * xk;
+                        }
+                    }
+                }
+            }
+            jb = jend;
+        }
+        out
     }
 
     /// Solve `A x = b`.

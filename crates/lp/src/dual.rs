@@ -11,7 +11,7 @@
 //! simplex never needs a phase 1.
 
 use crate::model::{Model, Op, Sense, Solution, SolveVia, VarDomain};
-use crate::simplex::SimplexOptions;
+use crate::simplex::{Basis, SimplexOptions};
 use crate::LpError;
 
 /// The dual model plus the bookkeeping needed to map solutions back.
@@ -78,6 +78,31 @@ pub fn dualize_min(primal: &Model) -> Dualized {
         model: dual,
         row_var_signs,
     }
+}
+
+/// Remap a [`Basis`] exported from a [`SolveVia::Dual`] solve of `before`
+/// so it can warm-start the dual path again after `added` new `Le` rows
+/// were appended to the (primal) model.
+///
+/// On the dual path a primal row is a dual *variable*, so appending primal
+/// `Le` rows inserts `added` non-negative dual variables — one
+/// standard-form column each — immediately before the dual's slack block.
+/// The dual's rows (one per primal variable) and right-hand side (the
+/// primal objective) are untouched, which is why the old basis remains
+/// primal-feasible for the grown dual LP and a
+/// [`crate::simplex::WarmMode::PrimalContinue`] restart is sound: only the
+/// column indices at or past the insertion point need shifting.
+///
+/// `before` must be the model *before* the rows were appended; free dual
+/// variables (primal `Eq` rows) occupy two standard columns, everything
+/// else one.
+pub fn remap_dual_basis_after_le_append(before: &Model, basis: &Basis, added: usize) -> Basis {
+    let insert_at: usize = before
+        .rows
+        .iter()
+        .map(|r| if r.op == Op::Eq { 2 } else { 1 })
+        .sum();
+    basis.with_columns_inserted(insert_at, added)
 }
 
 /// Solve `primal` by dualizing, running the simplex on the dual, and mapping
@@ -213,6 +238,39 @@ mod tests {
         assert_close(d.values[k10], expect, 1e-8, "k10");
         assert_close(d.values[k00], 1.0 - expect, 1e-8, "k00");
         assert_close(d.values[k11], 1.0 - expect, 1e-8, "k11");
+    }
+
+    #[test]
+    fn dual_basis_survives_le_row_append() {
+        use crate::simplex::{SimplexOptions, WarmMode};
+        // min 2x + y s.t. x + y = 2  =>  (0, 2), objective 2.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(2.0);
+        let y = m.add_var(1.0);
+        m.add_row(&[(x, 1.0), (y, 1.0)], Op::Eq, 2.0);
+        let first = m.solve(SolveVia::Dual).unwrap();
+        assert!((first.objective - 2.0).abs() < 1e-9);
+
+        // Append a violated cut y <= 1.5; remap the exit basis past the new
+        // dual column and continue in primal mode.
+        let before = m.clone();
+        m.add_row(&[(y, 1.0)], Op::Le, 1.5);
+        let warm_basis = remap_dual_basis_after_le_append(&before, &first.basis, 1);
+        let warm = m
+            .solve_with(
+                SolveVia::Dual,
+                SimplexOptions {
+                    start_basis: Some(warm_basis),
+                    warm_mode: WarmMode::PrimalContinue,
+                    ..SimplexOptions::default()
+                },
+            )
+            .unwrap();
+        let cold = m.solve(SolveVia::Dual).unwrap();
+        assert_close(warm.objective, 2.5, 1e-9, "objective after cut");
+        assert_close(warm.values[x], 0.5, 1e-8, "x");
+        assert_close(warm.values[y], 1.5, 1e-8, "y");
+        assert_close(warm.objective, cold.objective, 1e-9, "warm vs cold");
     }
 
     #[test]

@@ -60,8 +60,9 @@ pub mod simplex;
 pub mod sparse;
 pub mod tableau;
 
+pub use dual::remap_dual_basis_after_le_append;
 pub use model::{Model, Op, Sense, Solution, SolveVia, VarDomain};
-pub use simplex::{Basis, Pricing, SimplexOptions, SimplexStatus};
+pub use simplex::{Basis, Pricing, SimplexOptions, SimplexStatus, WarmMode};
 pub use sparse::CscMatrix;
 
 /// Errors surfaced by the solvers.

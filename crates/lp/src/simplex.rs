@@ -9,16 +9,21 @@
 //! * runs phase 1 (min Σ artificials) only when artificials exist, then
 //!   pivots surviving zero-level artificials out (redundant rows keep theirs,
 //!   harmlessly);
-//! * maintains an explicit basis inverse, updated in `O(m²)` per pivot and
-//!   refactorized from a fresh LU every [`SimplexOptions::refactor_every`]
-//!   pivots to shed drift;
+//! * maintains an explicit basis inverse with exact-zero block structure:
+//!   refactorization (every [`SimplexOptions::refactor_every`] pivots, to
+//!   shed drift) factors only the k×k block of non-singleton basic columns
+//!   — `O(k³ + k·m)` instead of `O(m³)`, a decisive saving on the
+//!   slack-heavy bases these LPs produce (see `Engine::refactorize`);
+//! * carries the row duals incrementally across pivots (`O(m)` per pivot
+//!   instead of a from-scratch `O(m²)` BTRAN), re-verifying any claimed
+//!   optimum against freshly computed duals before trusting it;
 //! * prices with Dantzig's rule and falls back to Bland's rule after a long
 //!   degenerate stall (anti-cycling).
 //!
 //! The problems this crate was built for (duals of optimal-mechanism LPs)
 //! are *column-heavy*: millions of columns over a few thousand rows, every
 //! column carrying 1–3 nonzeros. All per-iteration work is therefore either
-//! `O(m²)` dense (BTRAN/FTRAN against the inverse) or `O(nnz)` sparse
+//! dense against the (mostly exactly-zero) inverse or `O(nnz)` sparse
 //! (pricing), never `O(m·n)` dense.
 
 use crate::dense::{DenseMatrix, LuFactors};
@@ -31,6 +36,16 @@ use geoind_testkit::failpoint;
 /// must budget for truncation of this size on top of
 /// [`SimplexOptions::opt_tol`].
 pub const VALUE_CLIP: f64 = 1e-7;
+
+/// Row count from which the engine carries duals incrementally across
+/// pivots instead of recomputing them by a BTRAN each iteration. Below
+/// this, the `O(m²)` recompute is cheap and its exact-to-the-basis duals
+/// make tied pricing decisions maximally reproducible across pivot paths
+/// (warm and cold solves of a degenerate LP tend to exit at the same
+/// vertex); above it, the recompute dominates the whole solve and the
+/// incremental update — exact in real arithmetic, drift-checked at every
+/// claimed optimum — is the only way large instances finish at all.
+const INCREMENTAL_DUALS_MIN_ROWS: usize = 1024;
 
 /// A linear program in computational standard form.
 #[derive(Debug, Clone)]
@@ -86,6 +101,37 @@ impl Basis {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+
+    /// Remap this basis for a standard form that grew by `added` columns
+    /// inserted at column index `insert_at` (row count unchanged): every
+    /// entry at or past the insertion point shifts up by `added`, entries
+    /// before it are untouched, and none of the new columns is basic.
+    ///
+    /// This is the delayed-constraint-generation bridge: appending cut rows
+    /// to a primal model appends dual variables — standard-form *columns* —
+    /// in the dualized LP the engine actually pivots on, and the old optimal
+    /// basis stays primal-feasible for the grown LP (same rows, same rhs)
+    /// once its column references are shifted past the insertion block.
+    pub fn with_columns_inserted(&self, insert_at: usize, added: usize) -> Basis {
+        Basis {
+            rows: self
+                .rows
+                .iter()
+                .map(|a| a.map(|j| if j >= insert_at { j + added } else { j }))
+                .collect(),
+        }
+    }
+
+    /// Extend this basis for a standard form that gained rows, each covered
+    /// by a fresh basic column (its slack): `new_basic` names, in order, the
+    /// column basic in each appended row. This is the primal-path analogue
+    /// of [`Basis::with_columns_inserted`] — after a row append, the old
+    /// basis plus the new slack columns is a valid starting basis.
+    pub fn with_rows_appended(&self, new_basic: &[usize]) -> Basis {
+        let mut rows = self.rows.clone();
+        rows.extend(new_basic.iter().map(|&j| Some(j)));
+        Basis { rows }
+    }
 }
 
 /// Tuning knobs for the simplex engine.
@@ -98,6 +144,13 @@ pub struct SimplexOptions {
     /// Minimum pivot magnitude accepted by the ratio test.
     pub pivot_tol: f64,
     /// Rebuild the basis inverse from an LU every this many pivots.
+    /// `0` (the default) means automatic: `max(600, m)` for an `m`-row LP,
+    /// so small problems keep the tight drift window while large ones —
+    /// where a refactorization is an `O(m³)` event that can dwarf the
+    /// pivots it covers — refactorize a bounded number of times per solve.
+    /// Accuracy does not ride on the cadence alone: every claimed optimum
+    /// is re-verified against freshly computed duals, and the exit path
+    /// refactorizes, refines, and residual-gates the result regardless.
     pub refactor_every: usize,
     /// Consecutive non-improving pivots before switching to Bland's rule.
     pub stall_limit: usize,
@@ -115,6 +168,26 @@ pub struct SimplexOptions {
     /// scratch; on any mismatch it falls back to a cold start, so the
     /// result is identical in status and always a true optimum.
     pub start_basis: Option<Basis>,
+    /// How [`SimplexOptions::start_basis`] is used — the classic
+    /// dual-simplex restart, or primal continuation after a column append.
+    pub warm_mode: WarmMode,
+}
+
+/// Strategy applied to [`SimplexOptions::start_basis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmMode {
+    /// Same matrix and costs, different rhs (the MSM sibling pattern): the
+    /// donor basis is dual-feasible, so restore primal feasibility with
+    /// dual-simplex pivots.
+    #[default]
+    DualRestart,
+    /// The LP gained columns since the basis was exported (delayed
+    /// constraint generation: appended cuts become new dual columns) and
+    /// the basis was remapped with [`Basis::with_columns_inserted`]. Rows
+    /// and rhs are unchanged, so the basis is still primal-feasible but the
+    /// new columns price favorably by construction — skip the
+    /// dual-feasibility screen and resume primal phase 2 directly.
+    PrimalContinue,
 }
 
 impl Default for SimplexOptions {
@@ -123,11 +196,12 @@ impl Default for SimplexOptions {
             max_iterations: 2_000_000,
             opt_tol: 1e-9,
             pivot_tol: 1e-9,
-            refactor_every: 600,
+            refactor_every: 0,
             stall_limit: 2_000,
             pricing: Pricing::Dantzig,
             residual_tol: 1e-6,
             start_basis: None,
+            warm_mode: WarmMode::default(),
         }
     }
 }
@@ -307,7 +381,10 @@ impl<'a> Engine<'a> {
 
     /// Devex weight update after selecting entering `q` with FTRAN column
     /// `w` and leaving row `r` (Forrest–Goldfarb reference framework).
-    fn update_devex(&mut self, q: usize, r: usize, w: &[f64]) {
+    /// `rho` is row `r` of the pre-pivot `B⁻¹`, gathered by the caller
+    /// (which also needs it for the incremental dual update):
+    /// `alpha_j = A_jᵀ·rho` for nonbasic `j`.
+    fn update_devex(&mut self, q: usize, r: usize, w: &[f64], rho: &[f64]) {
         if self.opts.pricing != Pricing::Devex {
             return;
         }
@@ -315,8 +392,6 @@ impl<'a> Engine<'a> {
         if alpha_q.abs() < self.opts.pivot_tol {
             return;
         }
-        // Row r of B⁻¹, gathered once: alpha_j = A_jᵀ·rho for nonbasic j.
-        let rho: Vec<f64> = (0..self.m).map(|k| self.binv.col(k)[r]).collect();
         let wq = self.devex[q].max(1.0);
         let scale = wq / (alpha_q * alpha_q);
         let mut overflow = false;
@@ -324,7 +399,7 @@ impl<'a> Engine<'a> {
             if j == q || self.in_basis[j] {
                 continue;
             }
-            let alpha_j = self.lp.cols.col_dot(j, &rho);
+            let alpha_j = self.lp.cols.col_dot(j, rho);
             if alpha_j != 0.0 {
                 let cand = alpha_j * alpha_j * scale;
                 if cand > self.devex[j] {
@@ -423,43 +498,94 @@ impl<'a> Engine<'a> {
         }
         self.iterations += 1;
         self.pivots_since_refactor += 1;
-        if self.pivots_since_refactor >= self.opts.refactor_every {
+        let cadence = if self.opts.refactor_every == 0 {
+            self.m.max(600)
+        } else {
+            self.opts.refactor_every
+        };
+        if self.pivots_since_refactor >= cadence {
             self.refactorize();
         }
     }
 
-    /// Rebuild `binv` and `xb` from scratch via a dense LU of the basis.
+    /// Rebuild `binv` and `xb` from scratch.
+    ///
+    /// The bases this engine sees are *slack-heavy*: at an optimum of an
+    /// optimal-mechanism dual most rows keep their slack basic (the primal
+    /// channel is sparse), so up to row/column permutation the basis matrix
+    /// is `[[M, 0], [C, D]]` — `D` diagonal from singleton basic columns
+    /// (slacks and artificials), `M` the square block of general columns on
+    /// the k rows no singleton covers, `C` those columns' entries on the
+    /// covered rows. Only `M` needs an LU; the inverse assembles in block
+    /// form
+    ///
+    /// ```text
+    ///   B⁻¹ = [[ M⁻¹,          0   ],
+    ///          [ −D⁻¹·C·M⁻¹,   D⁻¹ ]]
+    /// ```
+    ///
+    /// in `O(k³ + k·m)` instead of the `O(m³)` of a full dense LU plus m
+    /// triangular solves — at m in the thousands with k ≪ m, milliseconds
+    /// instead of a minute. Just as important, the assembled inverse is
+    /// *exactly* zero outside the k dense columns and the diagonal
+    /// singletons, which keeps the per-pivot rank-1 update (it skips
+    /// exact-zero entries) proportional to the dense block, not to m².
     fn refactorize(&mut self) {
-        let mut b = DenseMatrix::zeros(self.m, self.m);
-        for (i, &var) in self.basis.iter().enumerate() {
-            match var {
+        self.pivots_since_refactor = 0;
+        let m = self.m;
+        // Split the basis: a singleton column at position p with value v on
+        // row r contributes the diagonal entry D[r,r] = v; everything else
+        // is part of the general block.
+        let mut unit_of_row: Vec<Option<(usize, f64)>> = vec![None; m];
+        let mut structural: Vec<usize> = Vec::new();
+        for (p, &var) in self.basis.iter().enumerate() {
+            let singleton = match var {
+                Basic::Artificial(r) => Some((r, 1.0)),
                 Basic::Col(j) => {
-                    for (r, v) in self.lp.cols.col(j) {
-                        b.set(r, i, v);
+                    let mut it = self.lp.cols.col(j);
+                    match (it.next(), it.next()) {
+                        (Some((r, v)), None) if v != 0.0 => Some((r, v)),
+                        _ => None,
                     }
                 }
-                Basic::Artificial(r) => b.set(r, i, 1.0),
+            };
+            match singleton {
+                Some((r, _)) if unit_of_row[r].is_some() => {
+                    // Two singleton columns on one row: linearly dependent
+                    // basis, no factorization exists.
+                    self.singular = true;
+                    return;
+                }
+                Some((r, v)) => unit_of_row[r] = Some((p, v)),
+                None => structural.push(p),
             }
         }
-        match LuFactors::factor(&b) {
-            Ok(lu) => {
-                let mut inv = DenseMatrix::zeros(self.m, self.m);
-                let mut e = vec![0.0; self.m];
-                for k in 0..self.m {
-                    e[k] = 1.0;
-                    let col = lu.solve(&e);
-                    inv.col_mut(k).copy_from_slice(&col);
-                    e[k] = 0.0;
-                }
-                self.binv = inv;
-                self.xb = self.binv.mul_vec(&self.lp.rhs);
-                // Numerical guard: clip small negatives introduced by drift.
-                for v in &mut self.xb {
-                    if *v < 0.0 && *v > -VALUE_CLIP {
-                        *v = 0.0;
-                    }
+        // Rows no singleton covers, ascending (a fixed, thread-independent
+        // order keeps refactorization bit-deterministic).
+        let mut t_of_row: Vec<Option<usize>> = vec![None; m];
+        let mut t_rows: Vec<usize> = Vec::new();
+        for (r, unit) in unit_of_row.iter().enumerate() {
+            if unit.is_none() {
+                t_of_row[r] = Some(t_rows.len());
+                t_rows.push(r);
+            }
+        }
+        let k = structural.len();
+        debug_assert_eq!(t_rows.len(), k);
+        // Factor the k×k general block M and invert it column by column.
+        let mut block = DenseMatrix::zeros(k, k);
+        for (s, &p) in structural.iter().enumerate() {
+            let Basic::Col(j) = self.basis[p] else {
+                unreachable!("artificials are singletons")
+            };
+            for (r, v) in self.lp.cols.col(j) {
+                if let Some(t) = t_of_row[r] {
+                    block.set(t, s, v);
                 }
             }
+        }
+        let lu = match LuFactors::factor(&block) {
+            Ok(lu) => lu,
             Err(_) => {
                 // Numerically singular refactorization: the rank-1-updated
                 // inverse we still hold is the very thing that drifted into
@@ -467,9 +593,57 @@ impl<'a> Engine<'a> {
                 // garbage. Flag the run; the phase loop aborts with
                 // `SingularBasis` at its next head.
                 self.singular = true;
+                return;
+            }
+        };
+        let minv = lu.inverse();
+        // Per general column: its covered-row entries as
+        // (singleton position, entry / diagonal value) — the C and D⁻¹
+        // factors of the lower-left block, pre-divided.
+        let covered: Vec<Vec<(usize, f64)>> = structural
+            .iter()
+            .map(|&p| {
+                let Basic::Col(j) = self.basis[p] else {
+                    unreachable!("artificials are singletons")
+                };
+                self.lp
+                    .cols
+                    .col(j)
+                    .filter_map(|(r, v)| unit_of_row[r].map(|(pu, vu)| (pu, v / vu)))
+                    .collect()
+            })
+            .collect();
+        // Assemble B⁻¹: uncovered-row columns carry M⁻¹ on general
+        // positions and −D⁻¹·C·M⁻¹ on singleton positions; covered-row
+        // columns carry the single diagonal entry 1/v; all else stays an
+        // exact zero.
+        let mut inv = DenseMatrix::zeros(m, m);
+        for (t, &tr) in t_rows.iter().enumerate() {
+            let mcol = minv.col(t);
+            let col = inv.col_mut(tr);
+            for (s, &ms) in mcol.iter().enumerate() {
+                if ms == 0.0 {
+                    continue;
+                }
+                col[structural[s]] = ms;
+                for &(pu, scale) in &covered[s] {
+                    col[pu] -= scale * ms;
+                }
             }
         }
-        self.pivots_since_refactor = 0;
+        for (r, unit) in unit_of_row.iter().enumerate() {
+            if let Some((p, v)) = *unit {
+                inv.col_mut(r)[p] = 1.0 / v;
+            }
+        }
+        self.binv = inv;
+        self.xb = self.binv.mul_vec(&self.lp.rhs);
+        // Numerical guard: clip small negatives introduced by drift.
+        for v in &mut self.xb {
+            if *v < 0.0 && *v > -VALUE_CLIP {
+                *v = 0.0;
+            }
+        }
     }
 
     /// Objective of the current basis under the given phase costs.
@@ -487,6 +661,21 @@ impl<'a> Engine<'a> {
         let mut bland = false;
         let mut stall = 0usize;
         let mut last_obj = self.objective(phase1);
+        // The row duals are carried *incrementally* across pivots: a
+        // from-scratch BTRAN reads the whole m×m inverse every iteration
+        // and dominates the solve once m reaches the thousands. After a
+        // pivot (entering q, leaving row r) the exact update is
+        // `y' = y + (d_q/w_r)·ρ_r` with ρ_r row r of the pre-pivot
+        // inverse: a surviving basic column i keeps B_iᵀy' = c_i because
+        // B_iᵀρ_r = (B⁻¹B_i)_r = 0, and the entering column satisfies
+        // A_qᵀy' = c_q because A_qᵀρ_r = w_r cancels against d_q. Rounding
+        // drift still accumulates, so the vector is rebuilt whenever the
+        // inverse itself is refactorized, and a claimed optimum is never
+        // trusted until it re-prices clean against freshly computed duals.
+        // Small LPs keep the per-iteration recompute (see
+        // [`INCREMENTAL_DUALS_MIN_ROWS`]).
+        let incremental = self.m >= INCREMENTAL_DUALS_MIN_ROWS;
+        let mut y = self.duals(phase1);
         loop {
             // `lp.refactor.singular` simulates an LU refactorization
             // collapsing at the point where the run would detect it.
@@ -499,18 +688,48 @@ impl<'a> Engine<'a> {
             {
                 return Some(SimplexStatus::IterationLimit);
             }
-            let y = self.duals(phase1);
-            let Some(q) = self.price(&y, phase1, bland) else {
-                return None; // phase-optimal
+            if !incremental {
+                y = self.duals(phase1);
+            }
+            let q = match self.price(&y, phase1, bland) {
+                Some(q) => q,
+                None => {
+                    if !incremental {
+                        return None; // phase-optimal under exact duals
+                    }
+                    // Optimal under the incrementally maintained (hence
+                    // drifted) duals — recompute exactly and re-price
+                    // before declaring the phase done; pricing clean
+                    // against exact duals certifies the phase optimum.
+                    y = self.duals(phase1);
+                    self.price(&y, phase1, bland)?
+                }
             };
+            let cq = if phase1 { 0.0 } else { self.lp.costs[q] };
+            let dq = cq - self.lp.cols.col_dot(q, &y);
             let w = self.ftran(q);
             let Some(r) = self.ratio_test(&w, bland) else {
                 // Phase 1 is bounded below by 0, so an unbounded ray here
                 // signals numerical trouble; report it as unbounded anyway.
                 return Some(SimplexStatus::Unbounded);
             };
-            self.update_devex(q, r, &w);
+            // Row r of B⁻¹, gathered before the pivot mutates the inverse;
+            // shared by the Devex update and the dual update.
+            let rho: Vec<f64> = (0..self.m).map(|i| self.binv.col(i)[r]).collect();
+            self.update_devex(q, r, &w, &rho);
+            let step = dq / w[r];
             self.pivot(r, q, &w);
+            if incremental {
+                if self.pivots_since_refactor == 0 {
+                    // The pivot crossed the refactorization cadence and
+                    // rebuilt the inverse; rebase the duals on it too.
+                    y = self.duals(phase1);
+                } else {
+                    for (yi, &ri) in y.iter_mut().zip(&rho) {
+                        *yi += step * ri;
+                    }
+                }
+            }
             let obj = self.objective(phase1);
             if obj < last_obj - 1e-12 {
                 last_obj = obj;
@@ -589,6 +808,14 @@ impl<'a> Engine<'a> {
         // The restart only pays off while it is much cheaper than a cold
         // solve; past this budget, give up and let the cold path decide.
         let cap = self.opts.max_iterations.min(4 * self.m + 128);
+        // Duals carried incrementally across pivots on large LPs, exactly
+        // as in `run_phase` — the dual-simplex basis change is the same
+        // basis change, so the same `y' = y + (d_q/w_r)·ρ_r` update
+        // applies. Any drift is caught downstream: the caller always
+        // finishes with `run_phase(false)`, which re-verifies optimality
+        // against freshly computed duals.
+        let incremental = self.m >= INCREMENTAL_DUALS_MIN_ROWS;
+        let mut y = self.duals(false);
         loop {
             if self.singular {
                 return false;
@@ -607,7 +834,9 @@ impl<'a> Engine<'a> {
             if self.iterations >= cap {
                 return false;
             }
-            let y = self.duals(false);
+            if !incremental {
+                y = self.duals(false);
+            }
             // Row r of B⁻¹, gathered once.
             let rho: Vec<f64> = (0..self.m).map(|k| self.binv.col(k)[r]).collect();
             let mut best: Option<(usize, f64)> = None;
@@ -633,13 +862,32 @@ impl<'a> Engine<'a> {
             let Some((q, _)) = best else {
                 return false;
             };
+            let dq = self.lp.costs[q] - self.lp.cols.col_dot(q, &y);
             let w = self.ftran(q);
             if w[r] >= -self.opts.pivot_tol {
                 return false; // rho-gathered alpha disagrees with FTRAN
             }
-            self.update_devex(q, r, &w);
+            self.update_devex(q, r, &w, &rho);
+            let step = dq / w[r];
             self.pivot(r, q, &w);
+            if incremental {
+                if self.pivots_since_refactor == 0 {
+                    y = self.duals(false);
+                } else {
+                    for (yi, &ri) in y.iter_mut().zip(&rho) {
+                        *yi += step * ri;
+                    }
+                }
+            }
         }
+    }
+
+    /// Primal feasibility of the current basic values. `install_basis`
+    /// already clipped drift-level negatives during its refactorization, so
+    /// any remaining negative entry means the basis is genuinely infeasible
+    /// for this LP's rhs and a primal continuation must fall back to cold.
+    fn primal_feasible(&self) -> bool {
+        self.xb.iter().all(|&v| v >= 0.0)
     }
 
     /// Sum of basic-artificial values — the phase-1 objective. A warm
@@ -714,6 +962,78 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Refine the phase-2 duals to (near) the correctly rounded solution of
+    /// `Bᵀy = c_B` by iterating `y += B⁻ᵀ·(c_B − Bᵀy)` with the residual
+    /// accumulated in doubled precision (Neumaier summation over exact
+    /// `mul_add` product splits). The exact `y` at an optimum is a property
+    /// of the optimal *vertex*, not of which degenerate basis represents
+    /// it, so refining until the correction stops changing bits makes the
+    /// reported duals independent of the pivot path — two solves reaching
+    /// the same optimum (e.g. a delayed-constraint-generation run and a
+    /// cold full-set run) report bit-identical duals even when they exit
+    /// at different optimal bases.
+    fn refined_duals(&self) -> Vec<f64> {
+        let cb: Vec<f64> = self
+            .basis
+            .iter()
+            .map(|&b| self.basic_cost(b, false))
+            .collect();
+        // y carried as an unevaluated double-double (hi + lo) so the
+        // iteration converges to an ε²-accurate value before the final
+        // rounding — a plain-f64 carrier can stall one ulp apart depending
+        // on the basis it was approached through.
+        let mut hi = self.binv.mul_vec_transpose(&cb);
+        let mut lo = vec![0.0; self.m];
+        let mut r = vec![0.0; self.m];
+        for _ in 0..4 {
+            for (i, &var) in self.basis.iter().enumerate() {
+                // Doubled-precision r_i = cb_i − (Bᵀ(hi+lo))_i: Dekker-split
+                // each product with mul_add, Neumaier-compensate the sum.
+                let mut s = cb[i];
+                let mut comp = 0.0;
+                let add = |s: &mut f64, comp: &mut f64, v: f64, row: usize| {
+                    let p = -(v * hi[row]);
+                    let e = (-v).mul_add(hi[row], -p); // exact product error
+                    let t = *s + p;
+                    *comp += if s.abs() >= p.abs() {
+                        (*s - t) + p
+                    } else {
+                        (p - t) + *s
+                    };
+                    *s = t;
+                    *comp += e - v * lo[row];
+                };
+                match var {
+                    Basic::Col(j) => {
+                        for (row, v) in self.lp.cols.col(j) {
+                            add(&mut s, &mut comp, v, row);
+                        }
+                    }
+                    Basic::Artificial(row) => add(&mut s, &mut comp, 1.0, row),
+                }
+                r[i] = s + comp;
+            }
+            let dy = self.binv.mul_vec_transpose(&r);
+            let mut changed = false;
+            for k in 0..self.m {
+                // Two-sum (hi, lo + dy) back into a normalized double-double.
+                let b = lo[k] + dy[k];
+                let s = hi[k] + b;
+                let bb = s - hi[k];
+                let err = (hi[k] - (s - bb)) + (b - bb);
+                if s.to_bits() != hi[k].to_bits() || err.to_bits() != lo[k].to_bits() {
+                    hi[k] = s;
+                    lo[k] = err;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        hi
+    }
+
     fn result(&self, status: SimplexStatus) -> SimplexResult {
         let mut x = vec![0.0; self.lp.cols.ncols()];
         for (i, &b) in self.basis.iter().enumerate() {
@@ -737,7 +1057,14 @@ impl<'a> Engine<'a> {
             residual = residual.max((lhs - self.lp.rhs[i]).abs());
         }
         let objective = x.iter().zip(&self.lp.costs).map(|(v, c)| v * c).sum();
-        let duals = self.duals(false);
+        // At an optimal exit the duals are a deliverable (the dual solve
+        // path reads primal values off them), so polish them to the
+        // basis-independent rounding; elsewhere the one-shot BTRAN serves.
+        let duals = if status == SimplexStatus::Optimal {
+            self.refined_duals()
+        } else {
+            self.duals(false)
+        };
         // Worst dual-feasibility violation over nonbasic columns — one
         // pricing-style sweep against the exit duals.
         let mut dual_residual = 0.0f64;
@@ -780,6 +1107,20 @@ fn finish_phase2(mut eng: Engine) -> SimplexResult {
     match eng.run_phase(false) {
         Some(bad) => eng.result(bad),
         None => {
+            // Re-derive the inverse from a fresh LU of the exit basis before
+            // extracting the solution. This makes the reported numbers a
+            // pure function of (LP, exit basis), independent of the pivot
+            // history that reached it — two solves landing on the same
+            // optimal basis (e.g. a cut-generation run and a cold full-set
+            // run) report bit-identical values. Skipped when the inverse is
+            // already fresh (zero pivots since the last refactorization),
+            // where it would be an idempotent no-op.
+            if eng.pivots_since_refactor > 0 {
+                eng.refactorize();
+                if eng.singular {
+                    return eng.result(SimplexStatus::SingularBasis);
+                }
+            }
             eng.refine();
             let residual_tol = eng.opts.residual_tol;
             let mut r = eng.result(SimplexStatus::Optimal);
@@ -804,11 +1145,18 @@ fn finish_phase2(mut eng: Engine) -> SimplexResult {
 pub fn solve_standard(lp: &StandardLp, opts: SimplexOptions) -> SimplexResult {
     if let Some(warm) = opts.start_basis.clone() {
         let mut eng = Engine::new(lp, opts.clone());
-        if eng.install_basis(&warm)
-            && eng.dual_feasible()
-            && eng.restore_primal_feasibility()
-            && eng.artificial_mass() <= 1e-7
-        {
+        let usable = match opts.warm_mode {
+            WarmMode::DualRestart => {
+                eng.install_basis(&warm)
+                    && eng.dual_feasible()
+                    && eng.restore_primal_feasibility()
+                    && eng.artificial_mass() <= 1e-7
+            }
+            WarmMode::PrimalContinue => {
+                eng.install_basis(&warm) && eng.primal_feasible() && eng.artificial_mass() <= 1e-7
+            }
+        };
+        if usable {
             return finish_phase2(eng);
         }
     }
@@ -1039,6 +1387,135 @@ mod tests {
         for (a, b) in warm.x.iter().zip(&cold.x) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    /// The banded LP with `extra` additional columns inserted *before* the
+    /// slack block — the shape a dualized model takes when cut rows are
+    /// appended to the primal.
+    fn banded_lp_with_inserted(rhs: &[f64], extra: &[(Vec<(usize, f64)>, f64)]) -> StandardLp {
+        let n = rhs.len();
+        let mut bld = CscBuilder::new(n);
+        for j in 0..n {
+            let mut col = vec![(j, 1.0)];
+            if j + 1 < n {
+                col.push((j + 1, 0.4));
+            }
+            bld.push_col(&col);
+        }
+        let mut costs: Vec<f64> = (0..n).map(|i| -((i % 5) as f64) - 0.5).collect();
+        for (col, cost) in extra {
+            bld.push_col(col);
+            costs.push(*cost);
+        }
+        for j in 0..n {
+            bld.push_col(&[(j, 1.0)]);
+            costs.push(0.0);
+        }
+        StandardLp {
+            cols: bld.finish(),
+            costs,
+            rhs: rhs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn primal_continue_after_column_insertion_matches_cold() {
+        let rhs: Vec<f64> = (0..24).map(|i| 1.0 + (i % 4) as f64).collect();
+        let n = rhs.len();
+        let base = banded_lp_with_inserted(&rhs, &[]);
+        let donor = solve_standard(&base, SimplexOptions::default());
+        assert_eq!(donor.status, SimplexStatus::Optimal);
+
+        // Insert two attractive columns before the slack block; the old
+        // basis stays primal-feasible (rows and rhs unchanged) but is no
+        // longer dual-feasible — exactly the cut-generation situation.
+        let extra = vec![
+            (vec![(3, 1.0), (7, 0.5)], -9.0),
+            (vec![(11, 1.0), (12, 0.25)], -8.0),
+        ];
+        let grown = banded_lp_with_inserted(&rhs, &extra);
+        let cold = solve_standard(&grown, SimplexOptions::default());
+        assert_eq!(cold.status, SimplexStatus::Optimal);
+        let warm = solve_standard(
+            &grown,
+            SimplexOptions {
+                start_basis: Some(donor.basis.with_columns_inserted(n, extra.len())),
+                warm_mode: WarmMode::PrimalContinue,
+                ..SimplexOptions::default()
+            },
+        );
+        assert_eq!(warm.status, SimplexStatus::Optimal);
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-9,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        assert!(
+            warm.iterations < cold.iterations,
+            "continuation did not save pivots ({} >= {})",
+            warm.iterations,
+            cold.iterations
+        );
+        // Under the dual-restart mode the same remapped basis is rejected
+        // (not dual-feasible) and the solve falls back to cold bits.
+        let fallback = solve_standard(
+            &grown,
+            SimplexOptions {
+                start_basis: Some(donor.basis.with_columns_inserted(n, extra.len())),
+                ..SimplexOptions::default()
+            },
+        );
+        assert_eq!(fallback.iterations, cold.iterations);
+        for (a, b) in fallback.x.iter().zip(&cold.x) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn column_insertion_remap_shifts_only_tail_entries() {
+        let basis = Basis {
+            rows: vec![Some(0), Some(4), None, Some(9)],
+        };
+        let shifted = basis.with_columns_inserted(4, 3);
+        assert_eq!(shifted.rows, vec![Some(0), Some(7), None, Some(12)]);
+        // Inserting zero columns is the identity.
+        assert_eq!(basis.with_columns_inserted(2, 0), basis);
+    }
+
+    #[test]
+    fn row_append_with_basic_slacks_resumes_primal() {
+        // min -3x - 2y s.t. x + y + s1 = 4, x + 3y + s2 = 6; optimum x=4.
+        let base = lp_from_dense(
+            &[&[1.0, 1.0, 1.0, 0.0], &[1.0, 3.0, 0.0, 1.0]],
+            &[-3.0, -2.0, 0.0, 0.0],
+            &[4.0, 6.0],
+        );
+        let donor = solve_standard(&base, SimplexOptions::default());
+        assert_eq!(donor.status, SimplexStatus::Optimal);
+        // Append a non-binding cut x + s3 = 5 (old optimum satisfies it
+        // slackly): the extended basis — old columns remapped past nothing,
+        // new slack basic in the new row — restarts without phase 1.
+        let grown = lp_from_dense(
+            &[
+                &[1.0, 1.0, 1.0, 0.0, 0.0],
+                &[1.0, 3.0, 0.0, 1.0, 0.0],
+                &[1.0, 0.0, 0.0, 0.0, 1.0],
+            ],
+            &[-3.0, -2.0, 0.0, 0.0, 0.0],
+            &[4.0, 6.0, 5.0],
+        );
+        let warm = solve_standard(
+            &grown,
+            SimplexOptions {
+                start_basis: Some(donor.basis.with_rows_appended(&[4])),
+                warm_mode: WarmMode::PrimalContinue,
+                ..SimplexOptions::default()
+            },
+        );
+        assert_eq!(warm.status, SimplexStatus::Optimal);
+        assert_eq!(warm.iterations, 0, "non-binding cut forced pivots");
+        assert!((warm.objective + 12.0).abs() < 1e-9);
     }
 
     #[test]

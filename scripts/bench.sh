@@ -46,6 +46,42 @@ cat BENCH_precompute.json
 echo "== smoke-check the artifact"
 sh scripts/check_bench.sh BENCH_precompute.json
 
+# precompute-cutgen: single-node OPT wall time across constraint
+# strategies — the full materialized set vs delayed constraint
+# generation at a tractable grid, then cut generation at the headline
+# grid (the node that DNF'd before cut generation existed) under both
+# the exact Full target and the Spanner (δ·ε) target. The rows merge
+# into BENCH_precompute.json next to the jobs grid so one committed
+# artifact carries the whole precompute story.
+CG="${BENCH_CUTGEN_G:-8}"
+CGS="${BENCH_CUTGEN_G_SMALL:-6}"
+CGEPS="${BENCH_CUTGEN_EPS:-0.7}"
+CGD="${BENCH_CUTGEN_DILATION:-1.2}"
+
+echo "== precompute-cutgen: headline g=$CG, on/off comparison g=$CGS, spanner dilation=$CGD"
+target/release/bench_precompute cutgen \
+    --g "$CG" --g-small "$CGS" --eps "$CGEPS" --dilation "$CGD" \
+    > /tmp/geoind-bench-cutgen.json
+
+python3 - BENCH_precompute.json /tmp/geoind-bench-cutgen.json <<'EOF' > /tmp/geoind-bench-merged.json
+import json, sys
+pre = json.load(open(sys.argv[1]))
+cut = json.load(open(sys.argv[2]))
+pre["cells"].extend(cut["cells"])
+pre["cutgen_g"] = cut["g"]
+pre["cutgen_eps"] = cut["eps"]
+pre["cutgen_speedup"] = cut["cutgen_speedup"]
+pre["spanner_speedup"] = cut["spanner_speedup"]
+json.dump(pre, sys.stdout, indent=1)
+print()
+EOF
+mv /tmp/geoind-bench-merged.json BENCH_precompute.json
+rm -f /tmp/geoind-bench-cutgen.json
+cat BENCH_precompute.json
+
+echo "== smoke-check the merged artifact"
+sh scripts/check_bench.sh BENCH_precompute.json
+
 # The sampling bench wants the failpoints feature so it can reconstruct
 # the pre-flattening seed path as its baseline cell (arming
 # sample.alias.build during admission); rebuilding here is cheap and the

@@ -70,14 +70,64 @@ elif data.get("bench") == "serve":
         f"{shed_rate:.2f} refusals/request, all retried to terminal"
     )
 else:
+    # bench=precompute (and legacy artifacts without a "bench" tag): the
+    # jobs×warm grid plus, since the cut-generation work, single-node
+    # OPT rows keyed by constraint strategy. Only load-independent
+    # invariants — structural row accounting, certified losses, and the
+    # two headline speedups at break-even (the same bar the jobs grid
+    # has always used; the measured ratios sit far above it).
+    jobs_cells = [cell for cell in cells if "jobs" in cell]
+    cut_cells = [cell for cell in cells if "constraints" in cell]
+    assert jobs_cells, "precompute artifact lost its jobs grid"
     for cell in cells:
         assert cell["wall_s"] > 0, f"non-positive wall clock: {cell}"
         assert cell["pivots"] >= 0, f"negative pivot count: {cell}"
+    for cell in cut_cells:
+        strategy = cell["constraints"].split(":")[0]
+        assert strategy in ("full", "spanner"), f"unknown strategy: {cell}"
+        assert isinstance(cell["cutgen"], bool), f"cutgen must be a bool: {cell}"
+        assert cell["g"] >= 2, f"degenerate grid: {cell}"
+        assert 0 < cell["rows_active"] <= cell["rows_total"], (
+            f"working set must be a nonempty subset of the target rows: {cell}"
+        )
+        if cell["cutgen"]:
+            assert cell["cut_rounds"] >= 1, f"cutgen solve took no rounds: {cell}"
+        else:
+            assert cell["cut_rounds"] == 0, f"eager solve reported rounds: {cell}"
+        assert cell["loss"] > 0, f"non-positive expected loss: {cell}"
     speedup = float(data["speedup"])
     assert speedup >= 1.0, f"speedup regressed below break-even: {speedup}"
-    print(
+    line = (
         f"bench ok ({path}): speedup {speedup:.2f}x over sequential cold, "
         f"pivot reduction {float(data['pivot_reduction']) * 100:.1f}% "
         f"warm vs cold, {int(data['cores'])} core(s)"
     )
+    if cut_cells:
+        strategies = {(cell["constraints"].split(":")[0], cell["cutgen"]) for cell in cut_cells}
+        assert ("full", True) in strategies, "missing full-target cutgen row"
+        assert any(s == "spanner" for s, _ in strategies), "missing spanner row"
+        # cutgen_speedup is eager/cutgen wall at the headline grid — a
+        # *finding*, not a gate: the engine-level work made the eager
+        # build competitive again, so the honest ratio can sit below 1
+        # (see DESIGN.md §16). Only the spanner ratio is structural
+        # (strictly smaller program, same solve path) and must not
+        # regress below break-even.
+        cutgen_speedup = float(data["cutgen_speedup"])
+        spanner_speedup = float(data["spanner_speedup"])
+        assert cutgen_speedup > 0, f"non-positive cutgen ratio: {cutgen_speedup}"
+        assert spanner_speedup >= 1.0, (
+            f"spanner sparsification regressed below break-even: {spanner_speedup}"
+        )
+        headline = max(
+            (c for c in cut_cells if c["constraints"] == "full" and c["cutgen"]),
+            key=lambda c: c["g"],
+        )
+        line += (
+            f"; g={headline['g']} exact optimum via cutgen in "
+            f"{headline['wall_s']:.0f}s "
+            f"({headline['rows_active']}/{headline['rows_total']} rows, "
+            f"eager/cutgen {cutgen_speedup:.2f}x), "
+            f"spanner {spanner_speedup:.2f}x on top"
+        )
+    print(line)
 EOF

@@ -73,7 +73,8 @@ echo "== doctor run (precompute a bundle, then re-certify every channel)"
 # or out-of-bounds LP residual exits nonzero.
 DOCTOR_CACHE="$(mktemp /tmp/geoind-ci-cache.XXXXXX)"
 JOBS4_CACHE="$(mktemp /tmp/geoind-ci-cache4.XXXXXX)"
-trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE"' EXIT
+CUTGEN_CACHE="$(mktemp /tmp/geoind-ci-cutgen.XXXXXX)"
+trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE" "$CUTGEN_CACHE"' EXIT
 target/release/geoind precompute --out "$DOCTOR_CACHE" \
     --eps 0.4 --g 2 --synthetic-size 5000 --jobs 1
 target/release/geoind doctor --cache "$DOCTOR_CACHE" \
@@ -85,6 +86,22 @@ echo "== parallel precompute determinism (--jobs 4 bundle is byte-identical)"
 target/release/geoind precompute --out "$JOBS4_CACHE" \
     --eps 0.4 --g 2 --synthetic-size 5000 --jobs 4
 cmp "$DOCTOR_CACHE" "$JOBS4_CACHE"
+
+echo "== cutgen doctor run (g=6 spanner cut-generation precompute, wall-budgeted)"
+# The cut-generation tentpole end to end on the release binary at a real
+# node size (g=6: each node is a 36-location OPT over a 1296-row dual):
+# precompute with delayed constraint generation against a spanner target,
+# then re-certify the bundle through the certify-on-load gate under the
+# same spanner spec — doctor must be told the spec or it would apply the
+# full-set tolerance and false-quarantine every channel. `timeout`
+# enforces the wall budget: before cut generation this grid cost minutes
+# per node, so blowing the budget is a perf regression, not flake.
+timeout 300 target/release/geoind precompute --out "$CUTGEN_CACHE" \
+    --eps 0.4 --g 6 --synthetic-size 5000 --jobs 1 \
+    --constraints spanner:1.2 --cutgen on
+timeout 120 target/release/geoind doctor --cache "$CUTGEN_CACHE" \
+    --eps 0.4 --g 6 --synthetic-size 5000 --requests 64 --seed 7 \
+    --constraints spanner:1.2 --cutgen on
 
 echo "== statistical equivalence suite (seeded chi-square, cannot flake)"
 # The flattened-sampling equivalence claims (DESIGN.md §12): exact alias
@@ -104,7 +121,7 @@ echo "== socket smoke (serve --listen + loadgen over loopback, wire faults armed
 cargo build --release --offline --features failpoints
 WIRE_LOG="$(mktemp /tmp/geoind-ci-wire.XXXXXX)"
 WIRE_DIR="/tmp/geoind-ci-wire-ledger.$$"
-trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE" "$WIRE_LOG"; rm -rf "$WIRE_DIR"' EXIT
+trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE" "$CUTGEN_CACHE" "$WIRE_LOG"; rm -rf "$WIRE_DIR"' EXIT
 for fp in serve.net.accept serve.net.read_torn serve.net.write_short serve.net.stall; do
     echo "   -- GEOIND_FAILPOINTS=$fp=2:2 (server side only)"
     rm -rf "$WIRE_DIR"
@@ -144,7 +161,7 @@ REPL_P_LOG="$(mktemp /tmp/geoind-ci-repl-p.XXXXXX)"
 REPL_F_LOG="$(mktemp /tmp/geoind-ci-repl-f.XXXXXX)"
 REPL_P_DIR="/tmp/geoind-ci-repl-primary.$$"
 REPL_F_DIR="/tmp/geoind-ci-repl-follower.$$"
-trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE" "$WIRE_LOG" "$REPL_P_LOG" "$REPL_F_LOG"; rm -rf "$WIRE_DIR" "$REPL_P_DIR" "$REPL_F_DIR"' EXIT
+trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE" "$CUTGEN_CACHE" "$WIRE_LOG" "$REPL_P_LOG" "$REPL_F_LOG"; rm -rf "$WIRE_DIR" "$REPL_P_DIR" "$REPL_F_DIR"' EXIT
 for fp in serve.repl.ship_torn serve.repl.ack_lost serve.repl.stale_gen; do
     if [ "$fp" = "serve.repl.stale_gen" ]; then
         P_FP=""; F_FP="$fp=2:2"
@@ -207,7 +224,7 @@ DRILL_P_LOG="$(mktemp /tmp/geoind-ci-drill-p.XXXXXX)"
 DRILL_F_LOG="$(mktemp /tmp/geoind-ci-drill-f.XXXXXX)"
 DRILL_P_DIR="/tmp/geoind-ci-drill-primary.$$"
 DRILL_F_DIR="/tmp/geoind-ci-drill-follower.$$"
-trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE" "$WIRE_LOG" "$REPL_P_LOG" "$REPL_F_LOG" "$DRILL_P_LOG" "$DRILL_F_LOG"; rm -rf "$WIRE_DIR" "$REPL_P_DIR" "$REPL_F_DIR" "$DRILL_P_DIR" "$DRILL_F_DIR"' EXIT
+trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE" "$CUTGEN_CACHE" "$WIRE_LOG" "$REPL_P_LOG" "$REPL_F_LOG" "$DRILL_P_LOG" "$DRILL_F_LOG"; rm -rf "$WIRE_DIR" "$REPL_P_DIR" "$REPL_F_DIR" "$DRILL_P_DIR" "$DRILL_F_DIR"' EXIT
 target/release/geoind serve \
     --listen 127.0.0.1:0 --shards 4 --cap 400.0 --max-replica-lag 16 \
     --eps 0.4 --g 2 --synthetic-size 3000 \
@@ -294,7 +311,7 @@ SOAK_SEED="${SOAK_SEED:-$(date +%s)}"
 echo "   -- SOAK_SEED=$SOAK_SEED (export SOAK_SEED to reproduce)"
 SOAK_LOG="$(mktemp /tmp/geoind-ci-soak.XXXXXX)"
 SOAK_DIR="/tmp/geoind-ci-soak-ledger.$$"
-trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE" "$WIRE_LOG" "$REPL_P_LOG" "$REPL_F_LOG" "$DRILL_P_LOG" "$DRILL_F_LOG" "$SOAK_LOG"; rm -rf "$WIRE_DIR" "$REPL_P_DIR" "$REPL_F_DIR" "$DRILL_P_DIR" "$DRILL_F_DIR" "$SOAK_DIR"' EXIT
+trap 'rm -f "$DOCTOR_CACHE" "$JOBS4_CACHE" "$CUTGEN_CACHE" "$WIRE_LOG" "$REPL_P_LOG" "$REPL_F_LOG" "$DRILL_P_LOG" "$DRILL_F_LOG" "$SOAK_LOG"; rm -rf "$WIRE_DIR" "$REPL_P_DIR" "$REPL_F_DIR" "$DRILL_P_DIR" "$DRILL_F_DIR" "$SOAK_DIR"' EXIT
 SOAK_END=$(( $(date +%s) + 60 ))
 SOAK_STATE=$SOAK_SEED
 SOAK_ROUNDS=0

@@ -139,6 +139,42 @@ fn dataset(flags: &Flags) -> Result<Dataset, String> {
     }
 }
 
+/// `--constraints full|spanner:<δ>` and `--cutgen on|off`, forwarded to
+/// every per-node OPT solve. A bundle is only portable between commands
+/// run with the same pair (doctor re-certifies a spanner bundle under the
+/// spanner spec, so it needs the flags the precompute used).
+fn opt_options_from_flags(flags: &Flags) -> Result<OptOptions, String> {
+    let mut opts = OptOptions::default();
+    match flags.get("constraints").map(String::as_str) {
+        None | Some("full") => {}
+        Some(s) => match s.strip_prefix("spanner:") {
+            Some(d) => {
+                let dilation: f64 = d
+                    .parse()
+                    .map_err(|_| format!("--constraints: bad spanner dilation '{d}'"))?;
+                if !(dilation.is_finite() && dilation >= 1.0) {
+                    return Err(format!(
+                        "--constraints: spanner dilation must be >= 1, got {dilation}"
+                    ));
+                }
+                opts.constraints = ConstraintSet::Spanner { dilation };
+            }
+            None => {
+                return Err(format!(
+                    "--constraints: expected full or spanner:<dilation>, got '{s}'"
+                ))
+            }
+        },
+    }
+    match flags.get("cutgen").map(String::as_str) {
+        None => {}
+        Some("on") => opts.cutgen.enabled = true,
+        Some("off") => opts.cutgen.enabled = false,
+        Some(other) => return Err(format!("--cutgen: expected on|off, got '{other}'")),
+    }
+    Ok(opts)
+}
+
 fn build_msm(flags: &Flags, data: &Dataset) -> Result<MsmMechanism, String> {
     let eps = get_f64(flags, "eps", 0.5)?;
     let g = get_u64(flags, "g", 4)? as u32;
@@ -148,6 +184,7 @@ fn build_msm(flags: &Flags, data: &Dataset) -> Result<MsmMechanism, String> {
         .epsilon(eps)
         .granularity(g)
         .rho(rho)
+        .opt_options(opt_options_from_flags(flags)?)
         .build()
         .map_err(|e| e.to_string())
 }
@@ -361,6 +398,14 @@ fn cmd_precompute(flags: &Flags) -> Result<(), String> {
         "precomputed {nodes} channels ({} bytes) -> {out}",
         blob.len()
     );
+    // Per-level cut-generation telemetry: rows_active vs rows_total is
+    // what the delayed-constraint solve saved at each level.
+    for (level, s) in msm.level_solve_stats() {
+        println!(
+            "# level {level}: solves {} cut_rounds {} rows_active {} rows_total {}",
+            s.solves, s.cut_rounds, s.rows_active, s.rows_total
+        );
+    }
     let (primal, dual) = msm.lp_residual_watermark();
     println!("# lp residual watermark: primal {primal:.3e} dual {dual:.3e}");
     println!("# load on-device with MsmMechanism::import_cache");
@@ -1025,12 +1070,24 @@ COMMANDS
   doctor      re-certify every channel, audit alias-table marginals against
               the certified matrices, check LP residuals, exercise the
               ladder; exits nonzero on any quarantine (--cache FILE to
-              inspect a precomputed bundle, --requests N ladder probes)
+              inspect a precomputed bundle, --requests N ladder probes;
+              pass the same --constraints/--cutgen the precompute used —
+              a spanner bundle is re-certified under the spanner spec,
+              not the tighter full-set tolerance)
 
 COMMON FLAGS
   --eps E            privacy budget per km (default 0.5)
   --g G              MSM per-level granularity (default 4)
   --rho R            self-map target for budget allocation (default 0.8)
+  --constraints C    full (default) or spanner:<dilation> — which GeoInd
+                     rows the per-node OPT targets; spanner:<d> enforces
+                     only greedy d-spanner edges at eps/d (still eps-GeoInd
+                     by path chaining, utility >= exact optimum's loss)
+  --cutgen M         on (default) or off: delayed constraint generation —
+                     solve with a seed row subset, append only violated
+                     rows (certify's own separation check), warm-restart
+                     from the previous basis until no violations remain;
+                     exact fixed point, certified against the full target
   --mechanism M      msm (default) or pl
   --gowalla FILE     real SNAP-format check-ins (else synthetic city)
   --window W         austin (default) or vegas, for --gowalla and --lat/--lon

@@ -168,6 +168,47 @@ fn precompute_bundle_bytes_are_independent_of_jobs() {
     );
 }
 
+/// The jobs-invariance contract holds for every solve strategy, not just
+/// the default: a cut-generation precompute over a spanner-sparsified
+/// constraint set walks the same donor-first schedule, shares one
+/// per-level spanner built from the donor geometry, and lands every
+/// sibling solve on the same fixed point — so `--jobs 1` and `--jobs 4`
+/// still export byte-identical bundles.
+#[test]
+fn cutgen_spanner_bundle_bytes_are_independent_of_jobs() {
+    let dataset = city();
+    let export = |jobs: usize| {
+        let prior = GridPrior::from_dataset(&dataset, 8);
+        let opts = OptOptions {
+            constraints: ConstraintSet::Spanner { dilation: 1.2 },
+            ..OptOptions::default()
+        };
+        assert!(opts.cutgen.enabled, "cut generation is the default");
+        let msm = MsmMechanism::builder(dataset.domain(), prior)
+            .epsilon(0.8)
+            .granularity(2)
+            .opt_options(opts)
+            .build()
+            .expect("valid configuration");
+        let nodes = msm.precompute_jobs(100_000, jobs).expect("precompute");
+        assert!(nodes >= 1, "precompute solved nothing at jobs={jobs}");
+        let stats = msm.level_solve_stats();
+        assert!(
+            stats.iter().any(|(_, s)| s.rows_total > 0),
+            "per-level solve stats were never recorded"
+        );
+        let mut blob = Vec::new();
+        msm.export_cache(&mut blob).expect("export");
+        blob
+    };
+    let sequential = export(1);
+    let parallel = export(4);
+    assert_eq!(
+        sequential, parallel,
+        "cutgen+spanner cache bytes depend on the worker count"
+    );
+}
+
 /// Cross-mechanism: interleaving two mechanisms on one RNG stream is still
 /// reproducible (the stream position, not the mechanism, owns determinism).
 #[test]
